@@ -1,0 +1,151 @@
+//! The eavesdropper: records uplink waveforms near the end device
+//! (paper §4.2.1 step ❶).
+//!
+//! The recording is usable only if the legitimate signal at the
+//! eavesdropper is sufficiently stronger than the concurrent jamming
+//! signal — the paper relies on propagation attenuation making the jamming
+//! "weak at the eavesdropper" when the replayer is far away (§8.1.1
+//! demonstrates this across building floors).
+
+use softlora_phy::channel::CAPTURE_THRESHOLD_DB;
+use softlora_sim::{AirFrame, Position, RadioMedium};
+
+/// A recorded uplink waveform, ready to be transferred to the replayer
+/// (over a separate link, e.g. LTE — paper §4.2.2).
+#[derive(Debug, Clone)]
+pub struct RecordedWaveform {
+    /// The frame as transmitted (bytes are bit-exact; the radio waveform
+    /// is represented by its parameters).
+    pub frame: AirFrame,
+    /// SNR of the recording at the eavesdropper, dB.
+    pub recording_snr_db: f64,
+    /// Margin of the legitimate signal over the jamming signal at the
+    /// eavesdropper, dB (`+inf` when no jamming overlapped).
+    pub jamming_margin_db: f64,
+}
+
+impl RecordedWaveform {
+    /// Whether the recording is clean enough to replay: the legitimate
+    /// signal beat any jamming contamination by the capture margin.
+    pub fn is_clean(&self) -> bool {
+        self.jamming_margin_db >= CAPTURE_THRESHOLD_DB
+    }
+}
+
+/// An SDR recorder placed near the end device.
+#[derive(Debug, Clone)]
+pub struct Eavesdropper {
+    /// Eavesdropper position.
+    pub position: Position,
+    /// Minimum recording SNR for a usable capture, dB. USRP-class
+    /// hardware records well below the LoRa demodulation floor, but the
+    /// replayed copy inherits the recording's noise, so a margin is kept.
+    pub min_recording_snr_db: f64,
+}
+
+impl Eavesdropper {
+    /// Creates an eavesdropper at `position` with a −5 dB recording floor.
+    pub fn new(position: Position) -> Self {
+        Eavesdropper { position, min_recording_snr_db: -5.0 }
+    }
+
+    /// Attempts to record an uplink, given the concurrent jammer transmit
+    /// power and position (if the jammer fires while recording).
+    ///
+    /// Returns `None` if the recording SNR is below the usable floor.
+    pub fn record(
+        &self,
+        frame: &AirFrame,
+        medium: &RadioMedium,
+        jammer: Option<(&Position, f64)>,
+    ) -> Option<RecordedWaveform> {
+        let legit = medium.link(&frame.tx_position, &self.position, frame.tx_power_dbm);
+        if legit.snr_db() < self.min_recording_snr_db {
+            return None;
+        }
+        let jamming_margin_db = match jammer {
+            None => f64::INFINITY,
+            Some((jam_pos, jam_power_dbm)) => {
+                let jam = medium.link(jam_pos, &self.position, jam_power_dbm);
+                legit.rx_power_dbm() - jam.rx_power_dbm()
+            }
+        };
+        Some(RecordedWaveform {
+            frame: frame.clone(),
+            recording_snr_db: legit.snr_db(),
+            jamming_margin_db,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softlora_phy::SpreadingFactor;
+    use softlora_sim::medium::FreeSpace;
+
+    fn frame_at(pos: Position, power: f64) -> AirFrame {
+        AirFrame {
+            dev_addr: 1,
+            bytes: vec![0xAB; 20],
+            tx_start_global_s: 0.0,
+            airtime_s: 0.06,
+            tx_power_dbm: power,
+            tx_position: pos,
+            tx_bias_hz: -20e3,
+            tx_phase: 0.0,
+            sf: SpreadingFactor::Sf7,
+        }
+    }
+
+    fn medium() -> RadioMedium {
+        RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }))
+    }
+
+    #[test]
+    fn nearby_recording_is_clean_without_jamming() {
+        let eaves = Eavesdropper::new(Position::new(5.0, 0.0, 0.0));
+        let rec = eaves.record(&frame_at(Position::default(), 14.0), &medium(), None).unwrap();
+        assert!(rec.is_clean());
+        assert!(rec.recording_snr_db > 40.0);
+        assert!(rec.jamming_margin_db.is_infinite());
+    }
+
+    #[test]
+    fn distant_jammer_does_not_corrupt_recording() {
+        // Paper §4.2.1: "when the replayer is far away from the
+        // eavesdropper ... the jamming signal will be weak at the
+        // eavesdropper after propagation attenuation".
+        let eaves = Eavesdropper::new(Position::new(5.0, 0.0, 0.0));
+        let far_jammer = Position::new(500.0, 0.0, 0.0);
+        let rec = eaves
+            .record(&frame_at(Position::default(), 14.0), &medium(), Some((&far_jammer, 14.0)))
+            .unwrap();
+        assert!(rec.is_clean(), "margin {}", rec.jamming_margin_db);
+    }
+
+    #[test]
+    fn close_strong_jammer_corrupts_recording() {
+        let eaves = Eavesdropper::new(Position::new(5.0, 0.0, 0.0));
+        let near_jammer = Position::new(6.0, 0.0, 0.0);
+        let rec = eaves
+            .record(&frame_at(Position::default(), 14.0), &medium(), Some((&near_jammer, 14.0)))
+            .unwrap();
+        assert!(!rec.is_clean(), "margin {}", rec.jamming_margin_db);
+    }
+
+    #[test]
+    fn too_weak_signal_not_recorded() {
+        let eaves = Eavesdropper::new(Position::new(100_000.0, 0.0, 0.0));
+        assert!(eaves.record(&frame_at(Position::default(), 0.0), &medium(), None).is_none());
+    }
+
+    #[test]
+    fn recording_preserves_frame_bytes_and_bias() {
+        let eaves = Eavesdropper::new(Position::new(5.0, 0.0, 0.0));
+        let f = frame_at(Position::default(), 14.0);
+        let rec = eaves.record(&f, &medium(), None).unwrap();
+        assert_eq!(rec.frame.bytes, f.bytes);
+        assert_eq!(rec.frame.tx_bias_hz, f.tx_bias_hz);
+    }
+}

@@ -1,0 +1,253 @@
+//! The stealthy jammer (paper §4.3).
+//!
+//! Jamming is stealthy only when its onset falls inside the effective
+//! attack window `[t0+w1, t0+w2]` measured in Table 1: earlier and the
+//! victim chip locks onto the jamming frame instead; later and the victim
+//! reports a CRC error. The jammer detects the uplink direction within one
+//! chirp time (up-chirps — §4.2.2), so any onset after one chirp is
+//! reachable.
+
+use softlora_phy::frame_timing::JammingWindows;
+use softlora_phy::rn2483::{JammingAttempt, Rn2483Model};
+use softlora_phy::PhyConfig;
+use softlora_sim::Position;
+
+/// A jammer near the gateway with configurable onset policy.
+#[derive(Debug, Clone)]
+pub struct StealthyJammer {
+    /// Jammer position.
+    pub position: Position,
+    /// Jammer transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Fraction of the effective window `[w1, w2]` at which to start
+    /// (0 = at `w1`, 1 = at `w2`); mid-window is safest against timing
+    /// error in either direction.
+    pub onset_fraction: f64,
+    behaviour: Rn2483Model,
+}
+
+impl StealthyJammer {
+    /// Creates a jammer at `position` transmitting at 14.1 dBm (the
+    /// paper's jamming power in §8.1.1), aiming mid-window.
+    pub fn new(position: Position) -> Self {
+        StealthyJammer {
+            position,
+            tx_power_dbm: 14.1,
+            onset_fraction: 0.5,
+            behaviour: Rn2483Model::new(),
+        }
+    }
+
+    /// Sets the transmit power.
+    pub fn with_power_dbm(mut self, dbm: f64) -> Self {
+        self.tx_power_dbm = dbm;
+        self
+    }
+
+    /// Sets the onset fraction within the effective window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `[0, 1]`.
+    pub fn with_onset_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "onset fraction must be in [0, 1]");
+        self.onset_fraction = fraction;
+        self
+    }
+
+    /// The jamming windows for a frame configuration.
+    pub fn windows(&self, cfg: &PhyConfig, payload_len: usize) -> JammingWindows {
+        self.behaviour.windows(cfg, payload_len)
+    }
+
+    /// Plans the jamming onset (seconds after the legitimate frame onset)
+    /// for a frame of `payload_len` bytes.
+    ///
+    /// The onset is placed `onset_fraction` of the way through the
+    /// effective window, but never earlier than one chirp time plus the
+    /// direction-sensing margin (the jammer must first see the uplink
+    /// preamble).
+    pub fn plan_onset_s(&self, cfg: &PhyConfig, payload_len: usize) -> f64 {
+        let w = self.windows(cfg, payload_len);
+        let sensing_floor = cfg.chirp_time() * 1.5;
+        (w.w1 + self.onset_fraction * (w.w2 - w.w1)).max(sensing_floor)
+    }
+
+    /// Builds the [`JammingAttempt`] the victim gateway experiences, given
+    /// the jammer's power relative to the legitimate signal at the gateway.
+    pub fn attempt(
+        &self,
+        cfg: &PhyConfig,
+        payload_len: usize,
+        relative_power_db: f64,
+    ) -> JammingAttempt {
+        JammingAttempt { onset_s: self.plan_onset_s(cfg, payload_len), relative_power_db }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softlora_phy::rn2483::ReceptionOutcome;
+    use softlora_phy::SpreadingFactor;
+
+    fn jammer() -> StealthyJammer {
+        StealthyJammer::new(Position::new(1.0, 0.0, 0.0))
+    }
+
+    #[test]
+    fn planned_onset_is_inside_effective_window() {
+        let j = jammer();
+        for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9] {
+            let cfg = PhyConfig::uplink(sf);
+            for len in [10usize, 20, 30, 40] {
+                let w = j.windows(&cfg, len);
+                let onset = j.plan_onset_s(&cfg, len);
+                assert!(onset >= w.w1 && onset <= w.w2, "{sf} {len}: onset {onset}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_jam_causes_silent_drop() {
+        let j = jammer();
+        let model = Rn2483Model::new();
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let attempt = j.attempt(&cfg, 20, 8.0);
+        let outcome = model.receive(&cfg, 20, 5.0, Some(attempt));
+        assert_eq!(outcome, ReceptionOutcome::SilentDrop);
+        assert!(outcome.is_stealthy_suppression());
+    }
+
+    #[test]
+    fn onset_fraction_moves_within_window() {
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf8);
+        let early = jammer().with_onset_fraction(0.0).plan_onset_s(&cfg, 30);
+        let mid = jammer().with_onset_fraction(0.5).plan_onset_s(&cfg, 30);
+        let late = jammer().with_onset_fraction(1.0).plan_onset_s(&cfg, 30);
+        assert!(early < mid && mid < late);
+        let w = jammer().windows(&cfg, 30);
+        assert!((early - w.w1).abs() < 1e-12);
+        assert!((late - w.w2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onset_respects_direction_sensing_floor() {
+        // Even asked for fraction 0, the jammer cannot start before it has
+        // sensed the transmission direction (~1.5 chirps).
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let j = jammer().with_onset_fraction(0.0);
+        assert!(j.plan_onset_s(&cfg, 20) >= cfg.chirp_time() * 1.5 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        jammer().with_onset_fraction(1.5);
+    }
+
+    #[test]
+    fn default_power_matches_paper() {
+        assert!((jammer().tx_power_dbm - 14.1).abs() < 1e-12);
+    }
+}
+
+/// The *selective* jammer of Aras et al. [5], modelled for the paper's §2
+/// comparison.
+///
+/// A selective jammer must decode the frame header before deciding to jam,
+/// so its earliest possible onset is the end of the header block. The
+/// paper argues this "cannot be stealthy" because payload corruption
+/// raises a CRC alert — which holds mechanistically (and in our model for
+/// minimal frames, where `w2` equals the header end). A nuance this
+/// reproduction surfaces: the paper's *own Table 1 measurements* put `w2`
+/// at ≈ 0.67 × airtime, well beyond the header end, meaning the measured
+/// RN2483 also stays silent when early-payload symbols are corrupted — so
+/// on long frames a fast selective jammer retains a (smaller) stealthy
+/// window. Either way its stealth margin is strictly worse than the
+/// onset-window jammer's, which is the §2 comparison that matters.
+#[derive(Debug, Clone)]
+pub struct SelectiveJammer {
+    /// Jammer position.
+    pub position: Position,
+    /// Jammer transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Processing latency between finishing header decode and emitting the
+    /// jamming signal, seconds.
+    pub decision_latency_s: f64,
+}
+
+impl SelectiveJammer {
+    /// Creates a selective jammer with a 2 ms decision latency.
+    pub fn new(position: Position) -> Self {
+        SelectiveJammer { position, tx_power_dbm: 14.1, decision_latency_s: 2e-3 }
+    }
+
+    /// Earliest jamming onset: the header must be fully received first.
+    pub fn earliest_onset_s(&self, cfg: &PhyConfig) -> f64 {
+        cfg.header_end_time() + self.decision_latency_s
+    }
+
+    /// Builds the jamming attempt this jammer can achieve at best.
+    pub fn attempt(&self, cfg: &PhyConfig, relative_power_db: f64) -> JammingAttempt {
+        JammingAttempt { onset_s: self.earliest_onset_s(cfg), relative_power_db }
+    }
+}
+
+#[cfg(test)]
+mod selective_tests {
+    use super::*;
+    use softlora_phy::rn2483::{ReceptionOutcome, Rn2483Model};
+    use softlora_phy::SpreadingFactor;
+
+    #[test]
+    fn selective_jamming_alerts_on_minimal_frames() {
+        // Paper §2's mechanistic claim: once the header has been received
+        // intact, corrupting what remains yields an integrity alert. For
+        // minimal frames w2 coincides with the header end, so the selective
+        // jammer's earliest onset lands in the alert window.
+        let model = Rn2483Model::new();
+        let jammer = SelectiveJammer::new(Position::new(1.0, 0.0, 0.0));
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let attempt = jammer.attempt(&cfg, 10.0);
+        let outcome = model.receive(&cfg, 0, 5.0, Some(attempt));
+        assert_eq!(outcome, ReceptionOutcome::CrcAlert, "{outcome:?}");
+    }
+
+    #[test]
+    fn selective_jammer_has_strictly_worse_stealth_margin() {
+        // On long frames the Table-1-calibrated chip still silently drops
+        // early-payload corruption, so the selective jammer is not always
+        // caught — but its margin to the end of the silent window is far
+        // smaller than the onset-window jammer's for every configuration.
+        let model = Rn2483Model::new();
+        for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9] {
+            let cfg = PhyConfig::uplink(sf);
+            let stealthy = StealthyJammer::new(Position::new(1.0, 0.0, 0.0));
+            let selective = SelectiveJammer::new(Position::new(1.0, 0.0, 0.0));
+            for payload in [20usize, 40] {
+                let w = model.windows(&cfg, payload);
+                let _ = stealthy.plan_onset_s(&cfg, payload); // policy onset
+                let n_onset = selective.earliest_onset_s(&cfg);
+                // Header decode forces the selective jammer well past the
+                // earliest stealthy onset (w1 = five chirps).
+                assert!(n_onset > w.w1, "{sf} {payload}");
+                // Usable stealthy windows: [w1, w2] for the onset-window
+                // jammer, [header end + latency, w2] for the selective one.
+                let s_window = w.w2 - w.w1;
+                let n_window = (w.w2 - n_onset).max(0.0);
+                assert!(
+                    s_window > 1.5 * n_window,
+                    "{sf} {payload}: stealthy window {s_window}, selective {n_window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_onset_after_header() {
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let j = SelectiveJammer::new(Position::default());
+        assert!(j.earliest_onset_s(&cfg) > cfg.header_end_time());
+    }
+}

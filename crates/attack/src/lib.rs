@@ -1,0 +1,31 @@
+//! The frame-delay attack of paper §4, implemented against the simulated
+//! LoRaWAN.
+//!
+//! The attack (paper Fig. 1) combines three roles:
+//!
+//! * an [`eavesdropper::Eavesdropper`] near the end device records the
+//!   uplink waveform;
+//! * a [`jammer`] stealthy jamming transmission near the gateway starts
+//!   inside the *effective attack window* `[t0+w1, t0+w2]` so the victim
+//!   chip silently drops the legitimate frame (paper §4.3, Table 1);
+//! * a [`replayer::Replayer`] (a USRP-class SDR with its own oscillator
+//!   bias) re-transmits the recorded waveform after an attacker-chosen
+//!   delay τ.
+//!
+//! The [`orchestrator::FrameDelayAttack`] glues the roles into a
+//! [`softlora_sim::Interceptor`], so any simulation built on the honest
+//! channel can be re-run under attack by swapping one object.
+//!
+//! [`rtt_detector`] implements the strawman round-trip-timing defence the
+//! paper's §4.4 argues against, with its communication-overhead accounting.
+
+pub mod eavesdropper;
+pub mod jammer;
+pub mod orchestrator;
+pub mod replayer;
+pub mod rtt_detector;
+
+pub use eavesdropper::Eavesdropper;
+pub use jammer::StealthyJammer;
+pub use orchestrator::{AttackOutcome, FrameDelayAttack};
+pub use replayer::Replayer;

@@ -1,0 +1,109 @@
+//! The round-trip-timing strawman defence (paper §4.4) and its cost.
+//!
+//! A gateway could detect frame delay by echoing a downlink after each
+//! uplink and comparing the measured round-trip time against a threshold.
+//! The paper rejects this because (a) it needs one downlink per uplink,
+//! doubling airtime on a link that is heavily uplink-optimised (a gateway
+//! can receive many SFs concurrently but transmit only one downlink at a
+//! time), and (b) it burns the budget continuously to catch a rare event.
+//! This module implements the detector and quantifies that overhead so the
+//! repro can print the comparison.
+
+/// Round-trip-timing attack detector.
+#[derive(Debug, Clone, Copy)]
+pub struct RttDetector {
+    /// Maximum acceptable round-trip time, seconds. Must cover two
+    /// propagation delays plus the device's RX-window turnaround.
+    pub threshold_s: f64,
+}
+
+impl RttDetector {
+    /// Creates a detector with a threshold covering `max_range_m` of
+    /// propagation plus the Class A RX1 turnaround of 1 s plus `margin_s`.
+    pub fn for_range(max_range_m: f64, margin_s: f64) -> Self {
+        let prop = 2.0 * max_range_m / softlora_phy::channel::SPEED_OF_LIGHT;
+        RttDetector { threshold_s: prop + 1.0 + margin_s }
+    }
+
+    /// Classifies a measured round-trip time: `true` = attack suspected.
+    pub fn is_suspicious(&self, measured_rtt_s: f64) -> bool {
+        measured_rtt_s > self.threshold_s
+    }
+}
+
+/// Communication-overhead comparison between continuous RTT probing and
+/// SoftLoRa's passive FB monitoring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadComparison {
+    /// Extra downlink transmissions per uplink for RTT probing.
+    pub rtt_downlinks_per_uplink: f64,
+    /// Total airtime multiplier versus plain uplinks for RTT probing.
+    pub rtt_airtime_multiplier: f64,
+    /// Extra transmissions per uplink for FB monitoring (none — passive).
+    pub softlora_extra_transmissions: f64,
+    /// Fraction of gateway downlink capacity consumed by RTT acks when
+    /// `n_devices` share one gateway at `uplinks_per_hour` each.
+    pub gateway_downlink_utilisation: f64,
+}
+
+/// Computes the §4.4 overhead comparison.
+///
+/// `downlink_airtime_s` is the ack air time; the gateway can transmit at
+/// most one downlink at a time (Class A unicast rule), so its downlink
+/// capacity is `3600 / downlink_airtime_s` acks per hour.
+pub fn overhead_comparison(
+    n_devices: usize,
+    uplinks_per_hour: f64,
+    uplink_airtime_s: f64,
+    downlink_airtime_s: f64,
+) -> OverheadComparison {
+    let acks_needed = n_devices as f64 * uplinks_per_hour;
+    let ack_capacity = 3600.0 / downlink_airtime_s;
+    OverheadComparison {
+        rtt_downlinks_per_uplink: 1.0,
+        rtt_airtime_multiplier: (uplink_airtime_s + downlink_airtime_s) / uplink_airtime_s,
+        softlora_extra_transmissions: 0.0,
+        gateway_downlink_utilisation: acks_needed / ack_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_thresholds() {
+        let d = RttDetector::for_range(10_000.0, 0.05);
+        // 10 km round trip ≈ 67 µs; threshold ≈ 1.05 s.
+        assert!((d.threshold_s - 1.05).abs() < 0.001);
+        assert!(!d.is_suspicious(1.02));
+        assert!(d.is_suspicious(1.2));
+        // A τ = 30 s frame delay is trivially caught by RTT...
+        assert!(d.is_suspicious(31.0));
+    }
+
+    #[test]
+    fn rtt_doubles_airtime_for_symmetric_frames() {
+        let c = overhead_comparison(10, 24.0, 1.5, 1.5);
+        assert!((c.rtt_airtime_multiplier - 2.0).abs() < 1e-12);
+        assert_eq!(c.softlora_extra_transmissions, 0.0);
+        assert_eq!(c.rtt_downlinks_per_uplink, 1.0);
+    }
+
+    #[test]
+    fn gateway_downlink_saturates_with_many_devices() {
+        // 100 SF12 devices at 21 uplinks/hour, 1.6 s acks: the gateway
+        // needs 2100 acks/hour against a capacity of 2250 — ~93 %
+        // utilisation, leaving almost nothing for real downlinks.
+        let c = overhead_comparison(100, 21.0, 1.6, 1.6);
+        assert!(c.gateway_downlink_utilisation > 0.9, "{}", c.gateway_downlink_utilisation);
+        // SoftLoRa needs none of it.
+        assert_eq!(c.softlora_extra_transmissions, 0.0);
+    }
+
+    #[test]
+    fn few_devices_low_utilisation() {
+        let c = overhead_comparison(2, 10.0, 0.06, 0.06);
+        assert!(c.gateway_downlink_utilisation < 0.01);
+    }
+}

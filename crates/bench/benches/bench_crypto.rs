@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the cryptographic substrate: AES-128 blocks,
+//! CMAC tags and full LoRaWAN frame encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softlora_crypto::{Aes128, Cmac};
+use softlora_lorawan::{DataFrame, DeviceKeys, FrameType};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let aes = Aes128::new(&[0x42; 16]);
+    let cmac = Cmac::new(&[0x42; 16]);
+    let block = [0xA5u8; 16];
+    let msg = [0x5Au8; 64];
+
+    let mut group = c.benchmark_group("crypto");
+    group.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    group.bench_function("aes128_decrypt_block", |b| {
+        b.iter(|| aes.decrypt_block(black_box(&block)))
+    });
+    group.bench_function("cmac_64B", |b| b.iter(|| cmac.compute(black_box(&msg))));
+    group.finish();
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let keys = DeviceKeys::derive_for_tests(0x2601_0001);
+    let frame = DataFrame {
+        frame_type: FrameType::UnconfirmedUp,
+        dev_addr: 0x2601_0001,
+        fcnt: 7,
+        fport: 1,
+        payload: vec![0x11; 30],
+    };
+    let bytes = frame.encode(&keys).expect("encode");
+
+    let mut group = c.benchmark_group("lorawan_frame_30B");
+    group.bench_function("encode", |b| b.iter(|| frame.encode(black_box(&keys))));
+    group.bench_function("decode", |b| {
+        b.iter(|| DataFrame::decode(black_box(&bytes), &keys, 0).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_frames);
+criterion_main!(benches);

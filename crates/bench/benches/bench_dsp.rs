@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the DSP substrate: FFT, Hilbert envelope and
+//! the onset pickers — the per-frame cost of SoftLoRa's PHY timestamping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softlora_dsp::aic::{aic_pick, power_aic_pick};
+use softlora_dsp::envelope::EnvelopeDetector;
+use softlora_dsp::fft::fft_forward;
+use softlora_dsp::hilbert::envelope;
+use softlora_dsp::Complex;
+use std::hint::black_box;
+
+fn tone(n: usize) -> Vec<Complex> {
+    (0..n).map(|i| Complex::cis(0.13 * i as f64)).collect()
+}
+
+fn onset_trace(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let i: Vec<f64> =
+        (0..n).map(|k| if k >= n / 3 { (0.4 * k as f64).cos() } else { 0.01 }).collect();
+    let q: Vec<f64> =
+        (0..n).map(|k| if k >= n / 3 { (0.4 * k as f64).sin() } else { 0.01 }).collect();
+    (i, q)
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [1024usize, 4096, 16384] {
+        let data = tone(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| fft_forward(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pickers(c: &mut Criterion) {
+    // One SF7 two-chirp capture at 2.4 Msps is ~5600 samples.
+    let (i, q) = onset_trace(5600);
+    let mut group = c.benchmark_group("onset_pickers");
+    group.bench_function("aic_pick", |b| b.iter(|| aic_pick(black_box(&i), 16)));
+    group.bench_function("power_aic_pick", |b| {
+        b.iter(|| power_aic_pick(black_box(&i), black_box(&q), 16))
+    });
+    group.bench_function("envelope_detector", |b| {
+        let det = EnvelopeDetector::new();
+        b.iter(|| det.detect(black_box(&i)))
+    });
+    group.bench_function("hilbert_envelope", |b| b.iter(|| envelope(black_box(&i))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_pickers);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmark for the full SoftLoRa per-frame pipeline — the cost
+//! of being attack-aware: capture + AIC timestamp + FB estimate + LoRaWAN
+//! verify + replay check for one delivery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softlora::{SoftLoraConfig, SoftLoraGateway};
+use softlora_lorawan::{ClassADevice, DeviceConfig};
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use softlora_sim::Delivery;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let dev_cfg = DeviceConfig::new(0x2601_0001, phy);
+    let mut dev = ClassADevice::new(dev_cfg.clone());
+    let mut cfg = SoftLoraConfig::new(phy);
+    cfg.adc_quantisation = false;
+    let mut gw = SoftLoraGateway::new(cfg, 3);
+    gw.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+
+    // Warm the FB database so the benchmark measures the steady state.
+    let mut mk_delivery = |t: f64, fcnt_time: f64| -> Delivery {
+        dev.sense(1, fcnt_time).expect("sense");
+        let tx = dev.try_transmit(t).expect("tx");
+        Delivery {
+            bytes: tx.bytes,
+            dev_addr: dev_cfg.dev_addr,
+            arrival_global_s: t + 4e-6,
+            snr_db: 10.0,
+            carrier_bias_hz: -22_000.0,
+            carrier_phase: 0.4,
+            sf: phy.sf,
+            jamming: None,
+            is_replay: false,
+        }
+    };
+    for k in 0..5 {
+        let d = mk_delivery(100.0 + 200.0 * k as f64, 99.0 + 200.0 * k as f64);
+        gw.process(&d).expect("warmup");
+    }
+    // A representative steady-state delivery. Processing it repeatedly
+    // trips the frame-counter replay guard, which still exercises the
+    // whole SDR + DSP front half of the pipeline (the expensive part).
+    let d = mk_delivery(2000.0, 1999.0);
+
+    let mut group = c.benchmark_group("softlora_gateway");
+    group.sample_size(20);
+    group.bench_function("process_delivery_sf7", |b| {
+        b.iter(|| gw.process(black_box(&d)).expect("process"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the CSS modem: frame modulation and the full
+//! dechirp-FFT demodulation path, per spreading factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softlora_dsp::Complex;
+use softlora_phy::demodulator::Demodulator;
+use softlora_phy::modulator::Modulator;
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use std::hint::black_box;
+
+fn bench_modulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modulate_20B");
+    for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf9] {
+        let m = Modulator::new(PhyConfig::uplink(sf), 1).expect("modulator");
+        group.bench_with_input(BenchmarkId::from_parameter(sf), &m, |b, m| {
+            b.iter(|| m.modulate(black_box(b"20-byte-payload-data"), -20e3, 0.3, 1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_demodulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demodulate_20B");
+    group.sample_size(20);
+    for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf9] {
+        let cfg = PhyConfig::uplink(sf);
+        let m = Modulator::new(cfg, 1).expect("modulator");
+        let d = Demodulator::new(cfg, 1).expect("demodulator");
+        let frame = m.modulate(b"20-byte-payload-data", -20e3, 0.3, 1.0).expect("frame");
+        let mut capture = vec![Complex::ZERO; 64];
+        capture.extend_from_slice(&frame.samples);
+        capture.extend(vec![Complex::ZERO; 256]);
+        group.bench_with_input(BenchmarkId::from_parameter(sf), &(d, capture), |b, (d, cap)| {
+            b.iter(|| d.demodulate(black_box(cap), 64).expect("demod"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modulate, bench_demodulate);
+criterion_main!(benches);

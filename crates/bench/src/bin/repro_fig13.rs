@@ -1,0 +1,30 @@
+//! Reproduces paper Fig. 13: FBs of 16 nodes, original vs USRP-replayed.
+use softlora_bench::experiments::fig13;
+use softlora_bench::table::Table;
+
+fn main() {
+    println!("Fig. 13 — FBs from 16 nodes: original vs replayed (20 frames each)\n");
+    let nodes = fig13::run(16, 20);
+    let mut t = Table::new([
+        "Node", "orig mean(kHz)", "orig min/max", "replay mean(kHz)", "replay min/max",
+        "added bias(Hz)",
+    ]);
+    let mut added = Vec::new();
+    for n in &nodes {
+        t.row([
+            n.node.to_string(),
+            format!("{:.2}", n.original_khz.0),
+            format!("{:.2}/{:.2}", n.original_khz.1, n.original_khz.2),
+            format!("{:.2}", n.replayed_khz.0),
+            format!("{:.2}/{:.2}", n.replayed_khz.1, n.replayed_khz.2),
+            format!("{:.0}", n.added_bias_hz()),
+        ]);
+        added.push(n.added_bias_hz());
+    }
+    println!("{t}");
+    let min = added.iter().cloned().fold(f64::MAX, f64::min);
+    let max = added.iter().cloned().fold(f64::MIN, f64::max);
+    println!("Added FB range: {min:.0} to {max:.0} Hz (paper: −543 to −743 Hz mean).");
+    println!("Every node's replayed series sits below its original — the artefact");
+    println!("SoftLoRa detects without requiring FB uniqueness across nodes.");
+}

@@ -1,0 +1,37 @@
+//! Reproduces paper Fig. 15: SNR survey and timing accuracy in the
+//! six-floor building.
+use softlora_bench::experiments::fig15;
+
+fn main() {
+    println!("Fig. 15 — building SNR survey (dB) and timing error bound (µs)");
+    println!("Fixed node at column A1, floor 3 (marked *)\n");
+    let cells = fig15::run(3);
+    // SNR heat map, floors top-down.
+    print!("{:>6}", "floor");
+    for col in 0..11 {
+        print!("{:>7}", fig15::column_label(col));
+    }
+    println!("\n--- SNR (dB) ---");
+    for floor in (1..=6).rev() {
+        print!("{floor:>6}");
+        for col in 0..11 {
+            let cell = cells.iter().find(|c| c.col == col && c.floor == floor).unwrap();
+            let mark = if col == 0 && floor == 3 { "*" } else { "" };
+            print!("{:>7}", format!("{:.1}{mark}", cell.snr_db));
+        }
+        println!();
+    }
+    println!("\n--- timing error upper bound (µs); '-' = inaccessible ---");
+    for floor in (1..=6).rev() {
+        print!("{floor:>6}");
+        for col in 0..11 {
+            let cell = cells.iter().find(|c| c.col == col && c.floor == floor).unwrap();
+            match cell.timing_error_us {
+                Some(e) => print!("{:>7}", format!("{e:.1}")),
+                None => print!("{:>7}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\nPaper: SNRs −1..13 dB; timing bounds 0.07–8.03 µs (sub-10 µs).");
+}

@@ -1,0 +1,37 @@
+//! Reproduces the §3.2 overhead arithmetic and the §4.4 round-trip-timing
+//! cost comparison.
+use softlora_bench::experiments::overhead;
+use softlora_bench::table::Table;
+
+fn main() {
+    let r = overhead::run();
+    println!("§3.2 — synchronization-based vs synchronization-free overhead\n");
+    println!("Clock: 40 ppm crystal, sub-10 ms requirement");
+    println!("  sync sessions needed per hour : {:.1} (paper: 14)", r.sessions_per_hour);
+    println!("  SF12 30B frames/hour at 1% duty: {} (paper: 24; {} with mandatory LDRO)",
+        r.frames_per_hour_no_ldro, r.frames_per_hour_ldro);
+    println!();
+    let mut t = Table::new(["", "sync sessions/h", "budget fraction", "payload time fraction", "time bytes/record"]);
+    t.row([
+        "sync-based".to_string(),
+        format!("{:.1}", r.sync_based.sync_sessions_per_hour),
+        format!("{:.0}%", r.sync_based.sync_budget_fraction * 100.0),
+        format!("{:.0}%", r.sync_based.payload_time_fraction * 100.0),
+        format!("{:.2}", r.sync_based.time_bytes_per_record),
+    ]);
+    t.row([
+        "sync-free".to_string(),
+        format!("{:.1}", r.sync_free.sync_sessions_per_hour),
+        format!("{:.0}%", r.sync_free.sync_budget_fraction * 100.0),
+        format!("{:.0}%", r.sync_free.payload_time_fraction * 100.0),
+        format!("{:.2}", r.sync_free.time_bytes_per_record),
+    ]);
+    println!("{t}");
+    println!("Sync-free end-to-end accuracy budget: {:.2} ms total", r.accuracy.total_s() * 1e3);
+    println!();
+    println!("§4.4 — round-trip-timing defence cost (100 devices, 21 uplinks/h):");
+    println!("  downlinks per uplink          : {:.0}", r.rtt.rtt_downlinks_per_uplink);
+    println!("  airtime multiplier            : {:.1}x", r.rtt.rtt_airtime_multiplier);
+    println!("  gateway downlink utilisation  : {:.0}%", r.rtt.gateway_downlink_utilisation * 100.0);
+    println!("  SoftLoRa extra transmissions  : {:.0}", r.rtt.softlora_extra_transmissions);
+}

@@ -1,0 +1,22 @@
+//! Reproduces paper Table 2: onset-detection error upper bounds, ENV vs AIC.
+use softlora_bench::experiments::table2;
+use softlora_bench::table::Table;
+
+fn main() {
+    println!("Table 2 — Signal timestamping error upper bound (µs), 10 trials\n");
+    let rows = table2::run(10);
+    let mut t = Table::new(["Detector", "Trace", "per-trial errors (µs)", "max", "mean"]);
+    for row in &rows {
+        let errs: Vec<String> = row.errors_us.iter().map(|e| format!("{e:.1}")).collect();
+        t.row([
+            row.detector.to_string(),
+            row.component.to_string(),
+            errs.join(" "),
+            format!("{:.2}", row.max_us()),
+            format!("{:.2}", row.mean_us()),
+        ]);
+    }
+    println!("{t}");
+    let (aic, env) = table2::paper_bounds();
+    println!("Paper: AIC errors < {aic} µs; envelope errors up to ~{env} µs.");
+}

@@ -1,0 +1,76 @@
+//! Paper Fig. 10: AIC timestamping error versus received SNR.
+//!
+//! Methodology follows §6.2: zero-mean Gaussian noise is added to a
+//! high-SNR capture at each target SNR, and the AIC error is averaged over
+//! trials. The paper reports errors within ~20 µs for the building's SNR
+//! range (−1..13 dB) and within ~25 µs at −20 dB; our amplitude-domain
+//! pickers match the first regime and degrade faster below ≈ −5 dB (see
+//! EXPERIMENTS.md for the discussion).
+
+use crate::common;
+use softlora::phy_timestamp::{OnsetMethod, PhyTimestamper};
+use softlora_phy::{PhyConfig, SpreadingFactor};
+
+/// One SNR point of the Fig. 10 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Point {
+    /// Received SNR in dB.
+    pub snr_db: f64,
+    /// Mean absolute timestamping error, µs.
+    pub mean_error_us: f64,
+    /// Maximum absolute timestamping error, µs.
+    pub max_error_us: f64,
+}
+
+/// Sweeps the SNR axis with `trials` captures per point using `method`.
+pub fn run(snrs_db: &[f64], trials: usize, method: OnsetMethod) -> Vec<Fig10Point> {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let ts = PhyTimestamper::new(method);
+    snrs_db
+        .iter()
+        .map(|&snr| {
+            let mut sum = 0.0;
+            let mut max = 0.0f64;
+            for t in 0..trials {
+                let clean = common::capture(&phy, 2, -22_000.0, 1.0, 700, 31 * t as u64 + 5);
+                let noisy = common::with_noise(&clean, snr, false, 77 + t as u64);
+                let err = ts.timestamp_error_s(&noisy).expect("pick").abs() * 1e6;
+                sum += err;
+                max = max.max(err);
+            }
+            Fig10Point { snr_db: snr, mean_error_us: sum / trials as f64, max_error_us: max }
+        })
+        .collect()
+}
+
+/// The paper's SNR axis.
+pub fn paper_snrs() -> Vec<f64> {
+    vec![-20.0, -10.0, -1.0, 0.0, 5.0, 10.0, 13.0, 20.0, 30.0, 40.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_snr_range_within_20us() {
+        // The Fig. 15 confirmation: for SNRs −1..13 dB the average error
+        // stays within ~20 µs.
+        let pts = run(&[-1.0, 5.0, 13.0], 6, OnsetMethod::PowerAic);
+        for p in pts {
+            assert!(p.mean_error_us < 20.0, "{} dB: {} µs", p.snr_db, p.mean_error_us);
+        }
+    }
+
+    #[test]
+    fn high_snr_sub_microsecond_class() {
+        let pts = run(&[30.0], 5, OnsetMethod::Aic);
+        assert!(pts[0].mean_error_us < 3.0, "{} µs", pts[0].mean_error_us);
+    }
+
+    #[test]
+    fn error_monotone_in_snr_broadly() {
+        let pts = run(&[0.0, 13.0, 30.0], 6, OnsetMethod::PowerAic);
+        assert!(pts[0].mean_error_us >= pts[2].mean_error_us);
+    }
+}

@@ -1,0 +1,123 @@
+//! Paper Figs. 11–12: the effect of the FB on the I trace, and the
+//! linear-regression FB extraction pipeline.
+//!
+//! Fig. 11 shows numerically that δ = ±25 kHz shifts the axis of symmetry
+//! (the "dip") of the I trace; Fig. 12 walks through atan2 → 2kπ
+//! rectification → quadratic removal → linear fit, ending at the example
+//! estimate δ ≈ −22.8 kHz (26 ppm of 869.75 MHz).
+
+use softlora::fb_estimator::{FbEstimator, FbMethod};
+use softlora_dsp::regression::linear_fit;
+use softlora_dsp::unwrap::unwrap_iq;
+use softlora_phy::{ChirpGenerator, LoRaChannel, PhyConfig, SpreadingFactor};
+
+/// Outputs of the Figs. 11–12 regeneration.
+#[derive(Debug, Clone)]
+pub struct Fig11to12 {
+    /// Sample index of the I-trace minimum ("dip") for δ = −25 kHz.
+    pub dip_minus_25khz: usize,
+    /// Sample index of the I-trace dip for δ = +25 kHz.
+    pub dip_plus_25khz: usize,
+    /// Sample index of the dip for δ = 0.
+    pub dip_zero: usize,
+    /// r² of the de-quadratic'd phase line fit (Fig. 12d is "indeed a
+    /// linear function of time").
+    pub line_fit_r_squared: f64,
+    /// The recovered δ for the paper's −22.8 kHz example, Hz.
+    pub recovered_delta_hz: f64,
+    /// The recovered δ expressed in ppm of the carrier.
+    pub recovered_ppm: f64,
+}
+
+fn dip_index(trace: &[f64]) -> usize {
+    // Locate the minimum of a lightly smoothed magnitude-free I trace:
+    // the paper's "dip" is the envelope minimum near the band-edge wrap.
+    let mut best = 0;
+    let mut best_v = f64::MAX;
+    let half = 24;
+    for k in half..trace.len() - half {
+        let v: f64 = trace[k - half..k + half].iter().map(|x| x.abs()).sum();
+        if v < best_v {
+            best_v = v;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Regenerates the data behind Figs. 11–12.
+pub fn run() -> Fig11to12 {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let generator =
+        ChirpGenerator::new(phy.sf, phy.channel.bandwidth.hz(), 2.4e6).expect("generator");
+
+    // Fig. 11: dips under different δ.
+    let (i_minus, _) = generator.upchirp_iq(0, -25_000.0, 0.0, 1.0);
+    let (i_plus, _) = generator.upchirp_iq(0, 25_000.0, 0.0, 1.0);
+    let (i_zero, _) = generator.upchirp_iq(0, 0.0, 0.0, 1.0);
+
+    // Fig. 12: the regression pipeline on the paper's example bias.
+    let delta = -22_800.0;
+    let (i, q) = generator.upchirp_iq(0, delta, 0.45, 1.0);
+    let unwrapped = unwrap_iq(&i, &q);
+    let dt = 1.0 / 2.4e6;
+    let w = phy.channel.bandwidth.hz();
+    let a = std::f64::consts::PI * w * w / 128.0;
+    let xs: Vec<f64> = (0..unwrapped.len()).map(|k| k as f64 * dt).collect();
+    let line: Vec<f64> = unwrapped
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let t = k as f64 * dt;
+            p - a * t * t + std::f64::consts::PI * w * t
+        })
+        .collect();
+    let fit = linear_fit(&xs, &line).expect("fit");
+    let recovered = fit.slope / (2.0 * std::f64::consts::PI);
+
+    // Cross-check against the production estimator.
+    let est = FbEstimator::new(&phy, 2.4e6);
+    let _ = est.linear_regression(&i, &q).expect("estimator agrees");
+    let _ = FbMethod::LinearRegression;
+
+    Fig11to12 {
+        dip_minus_25khz: dip_index(&i_minus),
+        dip_plus_25khz: dip_index(&i_plus),
+        dip_zero: dip_index(&i_zero),
+        line_fit_r_squared: fit.r_squared,
+        recovered_delta_hz: recovered,
+        recovered_ppm: LoRaChannel::PAPER.hz_to_ppm(recovered).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_shifts_the_dip() {
+        // Fig. 11: "the non-zero δ shifts the axis of symmetry".
+        let f = run();
+        assert_ne!(f.dip_minus_25khz, f.dip_zero);
+        assert_ne!(f.dip_plus_25khz, f.dip_zero);
+        // Shifts go in opposite directions for opposite signs.
+        let left = f.dip_minus_25khz as i64 - f.dip_zero as i64;
+        let right = f.dip_plus_25khz as i64 - f.dip_zero as i64;
+        assert!(left * right < 0, "left {left} right {right}");
+    }
+
+    #[test]
+    fn dequadratic_phase_is_linear() {
+        let f = run();
+        assert!(f.line_fit_r_squared > 0.9999, "r² {}", f.line_fit_r_squared);
+    }
+
+    #[test]
+    fn recovers_paper_example_estimate() {
+        // Fig. 12: "the FB δ ... is estimated as −22.8 kHz ... merely
+        // 26 ppm of the central frequency".
+        let f = run();
+        assert!((f.recovered_delta_hz + 22_800.0).abs() < 20.0, "{}", f.recovered_delta_hz);
+        assert!((f.recovered_ppm - 26.2).abs() < 0.3, "{} ppm", f.recovered_ppm);
+    }
+}

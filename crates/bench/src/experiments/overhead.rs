@@ -1,0 +1,71 @@
+//! Paper §3.2 and §4.4: the overhead arithmetic motivating the
+//! synchronization-free design and the FB-based (rather than round-trip)
+//! defence.
+
+use softlora::analysis::{
+    sessions_per_hour, sync_based_profile, sync_free_profile, AccuracyBudget, OverheadProfile,
+};
+use softlora_attack::rtt_detector::{overhead_comparison, OverheadComparison};
+use softlora_lorawan::region::DutyCycleTracker;
+use softlora_phy::{PhyConfig, SpreadingFactor};
+
+/// The complete §3.2/§4.4 comparison.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Sync sessions per hour at 40 ppm for sub-10 ms error (paper: ~14).
+    pub sessions_per_hour: f64,
+    /// SF12 30-byte frames allowed per hour at 1 % duty (paper: 24,
+    /// computed without LDRO).
+    pub frames_per_hour_no_ldro: u64,
+    /// The same with the LDRO that EU868 mandates at SF12.
+    pub frames_per_hour_ldro: u64,
+    /// The synchronization-based profile (30-byte payloads).
+    pub sync_based: OverheadProfile,
+    /// The synchronization-free profile.
+    pub sync_free: OverheadProfile,
+    /// End-to-end accuracy budget of the synchronization-free approach.
+    pub accuracy: AccuracyBudget,
+    /// §4.4: round-trip-timing defence cost for 100 devices.
+    pub rtt: OverheadComparison,
+}
+
+/// Computes the report.
+pub fn run() -> OverheadReport {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf12);
+    let mut no_ldro = phy;
+    no_ldro.low_data_rate = false;
+    let duty = DutyCycleTracker::eu868();
+    let at = phy.airtime(30);
+    OverheadReport {
+        sessions_per_hour: sessions_per_hour(40.0, 0.010),
+        frames_per_hour_no_ldro: duty.max_frames(no_ldro.airtime(30), 3600.0),
+        frames_per_hour_ldro: duty.max_frames(at, 3600.0),
+        sync_based: sync_based_profile(40.0, 0.010, &phy, 30),
+        sync_free: sync_free_profile(30),
+        accuracy: AccuracyBudget::commodity(),
+        rtt: overhead_comparison(100, 21.0, at, at),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduced() {
+        let r = run();
+        assert!((r.sessions_per_hour - 14.4).abs() < 0.1);
+        assert_eq!(r.frames_per_hour_no_ldro, 24);
+        assert!((r.sync_based.payload_time_fraction - 0.267).abs() < 0.01);
+        assert!(r.sync_free.payload_time_fraction < 0.08);
+        assert!(r.accuracy.total_s() < 5e-3);
+    }
+
+    #[test]
+    fn rtt_defence_is_expensive() {
+        let r = run();
+        assert!((r.rtt.rtt_airtime_multiplier - 2.0).abs() < 1e-9);
+        assert!(r.rtt.gateway_downlink_utilisation > 0.9);
+        assert_eq!(r.rtt.softlora_extra_transmissions, 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Per-device frequency-bias history database (paper §7.2).
+//!
+//! The SoftLoRa gateway keeps, for each provisioned device, the FBs
+//! estimated from recent *accepted* frames. The store adapts to slow
+//! oscillator wander ("time-varying radio frequency skews due to run-time
+//! conditions like temperature") by using a sliding window, and never
+//! updates from frames flagged as replays — the paper is explicit that a
+//! detected frame must not poison the database.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Consistency check result for one frame's FB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FbCheck {
+    /// Within the device's tracked band.
+    Consistent {
+        /// Deviation from the tracked centre, Hz.
+        deviation_hz: f64,
+    },
+    /// Outside the band — replay suspected.
+    Inconsistent {
+        /// Deviation from the tracked centre, Hz.
+        deviation_hz: f64,
+        /// The band half-width that was exceeded, Hz.
+        band_hz: f64,
+    },
+    /// Not enough history to decide.
+    Unknown,
+}
+
+impl FbCheck {
+    /// Whether the check flags the frame.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, FbCheck::Inconsistent { .. })
+    }
+}
+
+/// Sliding-window FB statistics for one device.
+#[derive(Debug, Clone)]
+struct DeviceHistory {
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl DeviceHistory {
+    fn new(capacity: usize) -> Self {
+        DeviceHistory { window: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    fn push(&mut self, fb_hz: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(fb_hz);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().sum::<f64>() / self.window.len() as f64
+    }
+
+    fn std(&self) -> f64 {
+        if self.window.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.window.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.window.len() as f64)
+            .sqrt()
+    }
+}
+
+/// The gateway's FB database.
+///
+/// # Example
+///
+/// ```
+/// use softlora::FbDatabase;
+/// let mut db = FbDatabase::new(16, 3, 360.0, 4.0);
+/// for _ in 0..3 {
+///     db.update(7, -22_000.0);
+/// }
+/// assert!(!db.check(7, -22_050.0).is_flagged()); // within band
+/// assert!(db.check(7, -22_700.0).is_flagged()); // a USRP-sized jump
+/// ```
+#[derive(Debug, Clone)]
+pub struct FbDatabase {
+    histories: HashMap<u32, DeviceHistory>,
+    window: usize,
+    warmup: usize,
+    band_floor_hz: f64,
+    band_sigma: f64,
+}
+
+impl FbDatabase {
+    /// Creates a database keeping `window` recent FBs per device, giving
+    /// verdicts only after `warmup` frames, with tolerance band
+    /// `max(band_floor_hz, band_sigma·σ)`.
+    pub fn new(window: usize, warmup: usize, band_floor_hz: f64, band_sigma: f64) -> Self {
+        FbDatabase {
+            histories: HashMap::new(),
+            window: window.max(1),
+            warmup: warmup.max(1),
+            band_floor_hz,
+            band_sigma,
+        }
+    }
+
+    /// Number of devices tracked.
+    pub fn devices(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Number of stored FBs for a device.
+    pub fn history_len(&self, dev_addr: u32) -> usize {
+        self.histories.get(&dev_addr).map_or(0, |h| h.window.len())
+    }
+
+    /// The tracked FB centre for a device, if any history exists.
+    pub fn tracked_center_hz(&self, dev_addr: u32) -> Option<f64> {
+        self.histories.get(&dev_addr).filter(|h| !h.window.is_empty()).map(|h| h.mean())
+    }
+
+    /// The current tolerance band half-width for a device, Hz.
+    pub fn band_hz(&self, dev_addr: u32) -> f64 {
+        let sigma = self.histories.get(&dev_addr).map_or(0.0, |h| h.std());
+        (self.band_sigma * sigma).max(self.band_floor_hz)
+    }
+
+    /// Checks a frame's estimated FB against the device's history.
+    pub fn check(&self, dev_addr: u32, fb_hz: f64) -> FbCheck {
+        let Some(h) = self.histories.get(&dev_addr) else {
+            return FbCheck::Unknown;
+        };
+        if h.window.len() < self.warmup {
+            return FbCheck::Unknown;
+        }
+        let deviation_hz = fb_hz - h.mean();
+        let band_hz = self.band_hz(dev_addr);
+        if deviation_hz.abs() <= band_hz {
+            FbCheck::Consistent { deviation_hz }
+        } else {
+            FbCheck::Inconsistent { deviation_hz, band_hz }
+        }
+    }
+
+    /// Records an accepted frame's FB for a device. Callers must *not*
+    /// update with FBs from flagged frames (paper §7.2).
+    pub fn update(&mut self, dev_addr: u32, fb_hz: f64) {
+        self.histories
+            .entry(dev_addr)
+            .or_insert_with(|| DeviceHistory::new(self.window))
+            .push(fb_hz);
+    }
+
+    /// Removes a device's history (e.g. on re-provisioning).
+    pub fn forget(&mut self, dev_addr: u32) {
+        self.histories.remove(&dev_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> FbDatabase {
+        FbDatabase::new(16, 3, 360.0, 4.0)
+    }
+
+    #[test]
+    fn unknown_before_warmup() {
+        let mut d = db();
+        assert_eq!(d.check(1, -20_000.0), FbCheck::Unknown);
+        d.update(1, -20_000.0);
+        d.update(1, -20_010.0);
+        assert_eq!(d.check(1, -20_000.0), FbCheck::Unknown);
+        d.update(1, -19_990.0);
+        assert!(matches!(d.check(1, -20_000.0), FbCheck::Consistent { .. }));
+    }
+
+    #[test]
+    fn detects_usrp_scale_jump() {
+        // Device FB stable around −22 kHz ± 30 Hz jitter; a replay adds
+        // −543 Hz (the paper's smallest measured artefact).
+        let mut d = db();
+        for k in 0..10 {
+            d.update(7, -22_000.0 + 30.0 * ((k % 3) as f64 - 1.0));
+        }
+        let verdict = d.check(7, -22_000.0 - 543.0);
+        assert!(verdict.is_flagged(), "{verdict:?}");
+        if let FbCheck::Inconsistent { deviation_hz, band_hz } = verdict {
+            assert!((deviation_hz + 543.0).abs() < 40.0);
+            assert!(band_hz >= 360.0);
+        }
+    }
+
+    #[test]
+    fn tolerates_frame_jitter() {
+        let mut d = db();
+        for k in 0..10 {
+            d.update(3, -18_000.0 + 40.0 * ((k % 5) as f64 - 2.0));
+        }
+        // ±100 Hz excursions stay inside the 360 Hz floor band.
+        assert!(!d.check(3, -18_100.0).is_flagged());
+        assert!(!d.check(3, -17_900.0).is_flagged());
+    }
+
+    #[test]
+    fn band_adapts_to_noisy_estimates() {
+        // A device observed at low SNR has noisier FB estimates; the
+        // 4σ band must widen beyond the floor.
+        let mut d = db();
+        for k in 0..16 {
+            d.update(5, -20_000.0 + 150.0 * ((k % 7) as f64 - 3.0));
+        }
+        assert!(d.band_hz(5) > 360.0, "band {}", d.band_hz(5));
+        // A 500 Hz deviation is now within the widened band.
+        assert!(!d.check(5, -20_500.0).is_flagged());
+    }
+
+    #[test]
+    fn sliding_window_follows_temperature_drift() {
+        // Slow wander: the tracked centre follows, so old values drop out.
+        let mut d = FbDatabase::new(8, 3, 360.0, 4.0);
+        for k in 0..40 {
+            d.update(9, -22_000.0 + 20.0 * k as f64); // drifts 780 Hz total
+        }
+        let center = d.tracked_center_hz(9).unwrap();
+        // Centre tracks the recent window (last 8 values avg = -22k + 20*35.5).
+        assert!((center - (-22_000.0 + 20.0 * 35.5)).abs() < 1.0, "center {center}");
+        // The current value is consistent even though the day-one value
+        // would no longer be.
+        assert!(!d.check(9, -22_000.0 + 20.0 * 39.0).is_flagged());
+        assert!(d.check(9, -22_000.0).is_flagged());
+    }
+
+    #[test]
+    fn devices_are_independent() {
+        let mut d = db();
+        for _ in 0..5 {
+            d.update(1, -17_000.0);
+            d.update(2, -25_000.0);
+        }
+        assert_eq!(d.devices(), 2);
+        // Node 1's FB presented as node 2 is flagged (cross-device check),
+        // even though both are legitimate devices.
+        assert!(d.check(2, -17_000.0).is_flagged());
+        assert!(!d.check(1, -17_000.0).is_flagged());
+    }
+
+    #[test]
+    fn similar_fbs_do_not_matter_for_detection() {
+        // Paper: "the detection does not require uniqueness of the FBs
+        // across different LoRa transceivers, because it is based on
+        // changes of FB". Two devices with identical FBs both detect the
+        // replay offset.
+        let mut d = db();
+        for _ in 0..5 {
+            d.update(3, -21_000.0);
+            d.update(8, -21_000.0);
+            d.update(14, -21_000.0);
+        }
+        for dev in [3, 8, 14] {
+            assert!(d.check(dev, -21_600.0).is_flagged(), "device {dev}");
+        }
+    }
+
+    #[test]
+    fn forget_clears_history() {
+        let mut d = db();
+        for _ in 0..4 {
+            d.update(1, -20_000.0);
+        }
+        d.forget(1);
+        assert_eq!(d.check(1, -20_000.0), FbCheck::Unknown);
+        assert_eq!(d.history_len(1), 0);
+    }
+
+    #[test]
+    fn window_capacity_respected() {
+        let mut d = FbDatabase::new(4, 1, 360.0, 4.0);
+        for k in 0..10 {
+            d.update(1, k as f64);
+        }
+        assert_eq!(d.history_len(1), 4);
+        assert!((d.tracked_center_hz(1).unwrap() - 7.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,461 @@
+//! The SoftLoRa gateway: the full attack-aware timestamping pipeline
+//! (paper §5.3, Fig. 4).
+//!
+//! Per uplink delivery:
+//!
+//! 1. the commodity radio model decides whether the frame survives any
+//!    jamming ([`softlora_phy::rn2483`] — silent drops stay silent);
+//! 2. the SDR front-end captures the first two preamble chirps at
+//!    2.4 Msps;
+//! 3. the AIC picker timestamps the signal onset to microseconds;
+//! 4. the FB estimator extracts the frame's carrier bias from the second
+//!    chirp;
+//! 5. the LoRaWAN layer verifies MIC and counter and decodes the claimed
+//!    source;
+//! 6. the replay detector compares the FB with the claimed device's
+//!    history: flagged frames are dropped *before* any record is
+//!    timestamped, and never update the database.
+
+use crate::config::SoftLoraConfig;
+use crate::fb_db::FbDatabase;
+use crate::fb_estimator::{FbEstimate, FbEstimator, FbMethod};
+use crate::phy_timestamp::{PhyTimestamp, PhyTimestamper};
+use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
+use crate::SoftLoraError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use softlora_lorawan::frame::DataFrame;
+use softlora_lorawan::{DeviceKeys, Gateway as LorawanGateway, ReceivedUplink, RxVerdict};
+use softlora_phy::noise::{GaussianNoise, NoiseSource};
+use softlora_phy::oscillator::Oscillator;
+use softlora_phy::rn2483::{ReceptionOutcome, Rn2483Model};
+use softlora_phy::sdr::{IqCapture, SdrReceiver};
+use softlora_sim::Delivery;
+
+/// Outcome of processing one delivery.
+#[derive(Debug, Clone)]
+pub enum SoftLoraVerdict {
+    /// Frame accepted: records carry trustworthy timestamps.
+    Accepted {
+        /// The verified, timestamped uplink.
+        uplink: ReceivedUplink,
+        /// The frame's estimated FB.
+        fb: FbEstimate,
+        /// PHY-layer arrival timestamp (gateway clock), seconds.
+        phy_arrival_s: f64,
+        /// Whether the FB database was still warming up for this device.
+        learning: bool,
+    },
+    /// The FB check flagged the frame; it was dropped without
+    /// timestamping.
+    ReplayDetected {
+        /// Claimed source address.
+        dev_addr: u32,
+        /// FB deviation from the tracked centre, Hz.
+        deviation_hz: f64,
+        /// Band that was exceeded, Hz.
+        band_hz: f64,
+    },
+    /// The radio never handed the frame to the host (jamming or below the
+    /// demodulation floor).
+    NotReceived {
+        /// What the chip experienced.
+        outcome: ReceptionOutcome,
+    },
+    /// The LoRaWAN layer rejected the frame (MIC, counter, unknown
+    /// device).
+    LorawanRejected {
+        /// The rejection reason, printable.
+        reason: String,
+    },
+}
+
+impl SoftLoraVerdict {
+    /// Whether the frame was accepted and timestamped.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SoftLoraVerdict::Accepted { .. })
+    }
+
+    /// Whether a replay was flagged.
+    pub fn is_replay_detected(&self) -> bool {
+        matches!(self, SoftLoraVerdict::ReplayDetected { .. })
+    }
+}
+
+/// The SoftLoRa gateway (commodity radio + SDR receiver + defence).
+#[derive(Debug)]
+pub struct SoftLoraGateway {
+    config: SoftLoraConfig,
+    lorawan: LorawanGateway,
+    sdr: SdrReceiver,
+    timestamper: PhyTimestamper,
+    estimator: FbEstimator,
+    detector: ReplayDetector,
+    rn2483: Rn2483Model,
+    rng: StdRng,
+    noise_seed: u64,
+}
+
+impl SoftLoraGateway {
+    /// Creates a gateway with the given configuration; `seed` controls the
+    /// SDR oscillator draw and capture noise (deterministic runs).
+    pub fn new(config: SoftLoraConfig, seed: u64) -> Self {
+        let osc = Oscillator::sample_rtl_sdr(config.phy.channel.center_hz, seed);
+        let mut sdr = SdrReceiver::new(osc);
+        if !config.adc_quantisation {
+            sdr = sdr.without_quantisation();
+        }
+        let estimator = FbEstimator::new(&config.phy, sdr.sample_rate());
+        let detector = ReplayDetector::new(FbDatabase::new(
+            32,
+            config.warmup_frames,
+            config.band_floor_hz,
+            config.band_sigma,
+        ));
+        SoftLoraGateway {
+            timestamper: PhyTimestamper::new(config.onset_method),
+            lorawan: LorawanGateway::new(),
+            sdr,
+            estimator,
+            detector,
+            rn2483: Rn2483Model::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x50F7),
+            noise_seed: seed,
+            config,
+        }
+    }
+
+    /// Provisions a device's LoRaWAN session keys.
+    pub fn provision(&mut self, dev_addr: u32, keys: DeviceKeys) {
+        self.lorawan.provision(dev_addr, keys);
+    }
+
+    /// Pre-loads a device's FB history (offline database construction,
+    /// paper §7.2).
+    pub fn preload_fb(&mut self, dev_addr: u32, fbs_hz: &[f64]) {
+        self.detector.preload(dev_addr, fbs_hz);
+    }
+
+    /// The SDR receiver's oscillator bias (δRx), Hz.
+    pub fn receiver_bias_hz(&self) -> f64 {
+        self.sdr.receiver_bias_hz()
+    }
+
+    /// Detection statistics accumulated so far.
+    pub fn detection_stats(&self) -> DetectionStats {
+        self.detector.stats()
+    }
+
+    /// Read access to the FB database.
+    pub fn fb_database(&self) -> &FbDatabase {
+        self.detector.db()
+    }
+
+    /// The gateway configuration.
+    pub fn config(&self) -> &SoftLoraConfig {
+        &self.config
+    }
+
+    /// Synthesises the SDR capture for a delivery: the first two preamble
+    /// chirps at 2.4 Msps, with the waveform's carrier bias/phase, plus
+    /// channel noise matching the delivery's SNR.
+    fn capture_delivery(&mut self, delivery: &Delivery) -> Result<IqCapture, SoftLoraError> {
+        let lead =
+            self.config.capture_lead + (self.rng.random::<u64>() % 200) as usize;
+        // Capture one chirp beyond the configured analysis window: the
+        // real preamble has 8 identical up-chirps, so when a low-SNR onset
+        // pick lands late the analysis window still covers genuine
+        // preamble signal instead of running off the buffer.
+        let cap = self
+            .sdr
+            .capture_chirps(
+                &self.config.phy,
+                self.config.capture_chirps + 1,
+                delivery.carrier_bias_hz,
+                delivery.carrier_phase,
+                1.0,
+                lead,
+            )
+            .map_err(SoftLoraError::Phy)?;
+        // Add noise at the delivery SNR (power referenced to the unit-
+        // amplitude chirp: signal power = 1).
+        let noise_power = 10f64.powf(-delivery.snr_db / 10.0);
+        let mut z = cap.to_complex();
+        let mut src = GaussianNoise::with_power(noise_power, self.noise_seed.wrapping_add(lead as u64));
+        let noise = src.generate(z.len());
+        for (s, n) in z.iter_mut().zip(noise.iter()) {
+            *s += *n;
+        }
+        Ok(IqCapture::from_complex(&z, cap.sample_rate, cap.true_onset))
+    }
+
+    /// PHY-timestamps a capture and maps the onset to the gateway's global
+    /// clock, given the true arrival time the capture was triggered by.
+    fn phy_arrival(
+        &self,
+        capture: &IqCapture,
+        delivery_arrival_s: f64,
+    ) -> Result<(PhyTimestamp, f64), SoftLoraError> {
+        let ts = self.timestamper.timestamp(capture)?;
+        // The capture buffer started (true_onset · dt) before the frame
+        // arrived; the PHY arrival is the buffer start plus the detected
+        // onset.
+        let capture_start_s = delivery_arrival_s - capture.true_onset as f64 * capture.dt();
+        Ok((ts, capture_start_s + ts.onset_s))
+    }
+
+    /// Processes one delivery through the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftLoraError`] only for infrastructure failures (capture
+    /// synthesis); protocol-level rejections are verdicts, not errors.
+    pub fn process(&mut self, delivery: &Delivery) -> Result<SoftLoraVerdict, SoftLoraError> {
+        // 1. Does the commodity radio deliver anything to the host?
+        let outcome = self.rn2483.receive(
+            &self.config.phy,
+            delivery.bytes.len(),
+            delivery.snr_db,
+            delivery.jamming,
+        );
+        let legit_received = matches!(
+            outcome,
+            ReceptionOutcome::Legitimate | ReceptionOutcome::BothReceived
+        );
+        if !legit_received {
+            return Ok(SoftLoraVerdict::NotReceived { outcome });
+        }
+
+        // 2–3. SDR capture and PHY timestamp.
+        let capture = self.capture_delivery(delivery)?;
+        let (_, phy_arrival_s) = self.phy_arrival(&capture, delivery.arrival_global_s)?;
+
+        // 4. FB estimation from the second chirp; estimator chosen by SNR.
+        let onset = self.timestamper.timestamp(&capture)?.onset_sample;
+        let method = if delivery.snr_db >= self.config.ls_below_snr_db {
+            FbMethod::LinearRegression
+        } else {
+            self.config.ls_method
+        };
+        let noise_power = 10f64.powf(-delivery.snr_db / 10.0);
+        let fb = self.estimator.estimate_from_capture(&capture, onset, method, noise_power)?;
+
+        // 5. Replay check against the claimed source (header peek needs no
+        // keys), BEFORE consuming LoRaWAN state.
+        let claimed = DataFrame::peek_header(&delivery.bytes)
+            .map(|(_, addr, _)| addr)
+            .unwrap_or(delivery.dev_addr);
+        let verdict = self.detector.check(claimed, fb.delta_hz);
+        self.detector.score(verdict, delivery.is_replay);
+        if let ReplayVerdict::ReplayDetected { deviation_hz, band_hz } = verdict {
+            return Ok(SoftLoraVerdict::ReplayDetected {
+                dev_addr: claimed,
+                deviation_hz,
+                band_hz,
+            });
+        }
+
+        // 6. LoRaWAN verification + synchronization-free timestamping at
+        // the PHY arrival instant.
+        match self.lorawan.receive(&delivery.bytes, phy_arrival_s) {
+            RxVerdict::Accepted(uplink) => {
+                // Learn this frame's FB.
+                self.detector.learn(claimed, fb.delta_hz);
+                Ok(SoftLoraVerdict::Accepted {
+                    uplink,
+                    fb,
+                    phy_arrival_s,
+                    learning: matches!(verdict, ReplayVerdict::LearningPhase),
+                })
+            }
+            RxVerdict::UnknownDevice { dev_addr } => Ok(SoftLoraVerdict::LorawanRejected {
+                reason: format!("unknown device {dev_addr:#x}"),
+            }),
+            RxVerdict::Rejected(e) => {
+                Ok(SoftLoraVerdict::LorawanRejected { reason: e.to_string() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softlora_lorawan::{ClassADevice, DeviceConfig};
+    use softlora_phy::{PhyConfig, SpreadingFactor};
+    use softlora_sim::Delivery;
+
+    const FC: f64 = 869.75e6;
+
+    fn phy() -> PhyConfig {
+        PhyConfig::uplink(SpreadingFactor::Sf7)
+    }
+
+    fn quick_config() -> SoftLoraConfig {
+        let mut c = SoftLoraConfig::new(phy());
+        c.adc_quantisation = false;
+        c
+    }
+
+    /// Builds a delivery from a real device transmission.
+    fn delivery(
+        dev: &mut ClassADevice,
+        t: f64,
+        bias_hz: f64,
+        snr_db: f64,
+        delay_s: f64,
+        is_replay: bool,
+    ) -> Delivery {
+        dev.sense(777, t - 1.0).unwrap();
+        let tx = dev.try_transmit(t).unwrap();
+        Delivery {
+            bytes: tx.bytes,
+            dev_addr: dev.dev_addr(),
+            arrival_global_s: t + delay_s + 4e-6,
+            snr_db,
+            carrier_bias_hz: bias_hz,
+            carrier_phase: 0.7,
+            sf: SpreadingFactor::Sf7,
+            jamming: None,
+            is_replay,
+        }
+    }
+
+    fn setup() -> (ClassADevice, SoftLoraGateway) {
+        let dev_cfg = DeviceConfig::new(0x2601_0001, phy());
+        let mut gw = SoftLoraGateway::new(quick_config(), 99);
+        gw.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+        (ClassADevice::new(dev_cfg), gw)
+    }
+
+    #[test]
+    fn genuine_frames_accept_and_learn() {
+        let (mut dev, mut gw) = setup();
+        let device_bias = -22_000.0;
+        for k in 0..5 {
+            let t = 100.0 + 200.0 * k as f64;
+            let d = delivery(&mut dev, t, device_bias + 20.0 * (k as f64 - 2.0), 10.0, 0.0, false);
+            let v = gw.process(&d).unwrap();
+            assert!(v.is_accepted(), "frame {k}: {v:?}");
+        }
+        assert!(gw.fb_database().history_len(0x2601_0001) >= 5);
+        // The tracked centre reflects δTx − δRx.
+        let center = gw.fb_database().tracked_center_hz(0x2601_0001).unwrap();
+        let expect = device_bias - gw.receiver_bias_hz();
+        assert!((center - expect).abs() < 100.0, "center {center} expect {expect}");
+    }
+
+    #[test]
+    fn replay_with_usrp_bias_is_detected_and_dropped() {
+        let (mut dev, mut gw) = setup();
+        let device_bias = -22_000.0;
+        // Build history.
+        for k in 0..5 {
+            let d = delivery(&mut dev, 100.0 + 200.0 * k as f64, device_bias, 10.0, 0.0, false);
+            assert!(gw.process(&d).unwrap().is_accepted());
+        }
+        // Frame-delay attack: original suppressed, replay arrives 30 s late
+        // with the USRP's −600 Hz chain bias.
+        let d = delivery(&mut dev, 1100.0, device_bias - 600.0, 10.0, 30.0, true);
+        let v = gw.process(&d).unwrap();
+        assert!(v.is_replay_detected(), "{v:?}");
+        if let SoftLoraVerdict::ReplayDetected { deviation_hz, .. } = v {
+            assert!((deviation_hz + 600.0).abs() < 250.0, "deviation {deviation_hz}");
+        }
+        // Counter state untouched: a later legitimate frame still accepts.
+        let d = delivery(&mut dev, 1300.0, device_bias, 10.0, 0.0, false);
+        assert!(gw.process(&d).unwrap().is_accepted());
+        let stats = gw.detection_stats();
+        assert_eq!(stats.true_positives, 1);
+        assert_eq!(stats.false_positives, 0);
+    }
+
+    #[test]
+    fn timestamps_are_millisecond_accurate() {
+        let (mut dev, mut gw) = setup();
+        for k in 0..3 {
+            let d = delivery(&mut dev, 100.0 + 200.0 * k as f64, -20_000.0, 10.0, 0.0, false);
+            let v = gw.process(&d).unwrap();
+            if let SoftLoraVerdict::Accepted { uplink, .. } = v {
+                // Record's true time of interest was t − 1.
+                let t = 100.0 + 200.0 * k as f64;
+                let err = (uplink.records[0].global_time_s - (t - 1.0)).abs();
+                assert!(err < 2e-3, "timestamp error {err}");
+            } else {
+                panic!("{v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jammed_frame_is_silently_dropped() {
+        let (mut dev, mut gw) = setup();
+        let mut d = delivery(&mut dev, 100.0, -20_000.0, 10.0, 0.0, false);
+        d.jamming = Some(softlora_phy::rn2483::JammingAttempt {
+            onset_s: 0.02, // inside the SF7 effective window
+            relative_power_db: 10.0,
+        });
+        let v = gw.process(&d).unwrap();
+        match v {
+            SoftLoraVerdict::NotReceived { outcome } => {
+                assert_eq!(outcome, ReceptionOutcome::SilentDrop);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn below_floor_frame_not_received() {
+        let (mut dev, mut gw) = setup();
+        let d = delivery(&mut dev, 100.0, -20_000.0, -15.0, 0.0, false);
+        let v = gw.process(&d).unwrap();
+        assert!(matches!(
+            v,
+            SoftLoraVerdict::NotReceived { outcome: ReceptionOutcome::NoSignal }
+        ));
+    }
+
+    #[test]
+    fn unknown_device_rejected_after_fb_stage() {
+        let dev_cfg = DeviceConfig::new(0xBEEF, phy());
+        let mut dev = ClassADevice::new(dev_cfg);
+        let mut gw = SoftLoraGateway::new(quick_config(), 5);
+        let d = delivery(&mut dev, 100.0, -20_000.0, 10.0, 0.0, false);
+        let v = gw.process(&d).unwrap();
+        assert!(matches!(v, SoftLoraVerdict::LorawanRejected { .. }));
+    }
+
+    #[test]
+    fn preloaded_database_flags_first_replay() {
+        let (mut dev, mut gw) = setup();
+        // Offline-built database (paper §7.2).
+        let expected_center = -22_000.0 - gw.receiver_bias_hz();
+        gw.preload_fb(0x2601_0001, &vec![expected_center; 8]);
+        let d = delivery(&mut dev, 100.0, -22_000.0 - 700.0, 10.0, 60.0, true);
+        let v = gw.process(&d).unwrap();
+        assert!(v.is_replay_detected(), "{v:?}");
+    }
+
+    #[test]
+    fn low_snr_path_uses_ls_estimator() {
+        let (mut dev, mut gw) = setup();
+        // SNR −7 dB < the −5 dB threshold -> matched-filter LS path; the
+        // frame still decodes (SF7 floor −7.5) and the FB must be close.
+        let d = delivery(&mut dev, 100.0, -21_000.0, -7.0, 0.0, false);
+        let v = gw.process(&d).unwrap();
+        if let SoftLoraVerdict::Accepted { fb, .. } = v {
+            assert_eq!(fb.method, FbMethod::MatchedFilter);
+            // At this SNR the onset-pick error (tens of microseconds)
+            // couples into the FB estimate as chirp-slope × timing error —
+            // the physical reason the paper calls µs timestamping a
+            // prerequisite of FB estimation. The estimate is therefore only
+            // required to stay within the oscillator search range here; the
+            // controlled-onset accuracy claims are covered by the
+            // fb_estimator tests and the Fig. 14 repro, which follow the
+            // paper in taking the onset from the clean trace.
+            assert!(fb.delta_hz.abs() < 34_000.0, "fb {}", fb.delta_hz);
+        } else {
+            panic!("{v:?}");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! AES-128 block cipher (FIPS 197).
+//!
+//! Straightforward table-free implementation: S-box lookups, shift-rows,
+//! mix-columns over GF(2^8), and the 10-round key schedule. Verified
+//! against the FIPS 197 Appendix C known-answer vectors in the tests.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse S-box (computed at construction).
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial 0x11B.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// AES-128 with a precomputed key schedule.
+///
+/// # Example
+///
+/// ```
+/// use softlora_crypto::Aes128;
+/// let key = [0u8; 16];
+/// let aes = Aes128::new(&key);
+/// let block = [0u8; 16];
+/// let ct = aes.encrypt_block(&block);
+/// assert_eq!(aes.decrypt_block(&ct), block);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+    inv_sbox: [u8; 256],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut round_keys = [[0u8; 16]; 11];
+        round_keys[0] = *key;
+        let mut rcon: u8 = 1;
+        for r in 1..11 {
+            let prev = round_keys[r - 1];
+            let mut word = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon.
+            word.rotate_left(1);
+            for b in word.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            word[0] ^= rcon;
+            rcon = gmul(rcon, 2);
+            for c in 0..4 {
+                for i in 0..4 {
+                    let idx = c * 4 + i;
+                    let left = if c == 0 { word[i] } else { round_keys[r][(c - 1) * 4 + i] };
+                    round_keys[r][idx] = prev[idx] ^ left;
+                }
+            }
+        }
+        Aes128 { round_keys, inv_sbox: inv_sbox() }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[10]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state, &self.inv_sbox);
+        for round in (1..10).rev() {
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state, &self.inv_sbox);
+        }
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(key.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16], inv: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+/// State layout: column-major, `state[c*4 + r]` is row r column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[((c + r) % 4) * 4 + r] = s[c * 4 + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        state[c * 4] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[c * 4 + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[c * 4 + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[c * 4 + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        state[c * 4] =
+            gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[c * 4 + 1] =
+            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[c * 4 + 2] =
+            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[c * 4 + 3] =
+            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS 197 Appendix C.1: AES-128.
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let want: [u8; 16] = hex("69c4e0d86a7b0430d8cdb78070b4c55a").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), want);
+        assert_eq!(aes.decrypt_block(&want), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS 197 Appendix B example.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let pt: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let want: [u8; 16] = hex("3925841d02dc09fbdc118597196a0b32").try_into().unwrap();
+        assert_eq!(Aes128::new(&key).encrypt_block(&pt), want);
+    }
+
+    #[test]
+    fn rfc4493_key_expansion_block() {
+        // The RFC 4493 examples rely on E(K, 0^128) = 7df76b0c1ab899b33e42f047b91b546f.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let want: [u8; 16] = hex("7df76b0c1ab899b33e42f047b91b546f").try_into().unwrap();
+        assert_eq!(Aes128::new(&key).encrypt_block(&[0u8; 16]), want);
+    }
+
+    #[test]
+    fn round_trip_many_blocks() {
+        let aes = Aes128::new(&[0x5A; 16]);
+        for i in 0u8..32 {
+            let mut block = [0u8; 16];
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = i.wrapping_mul(31).wrapping_add(j as u8 * 7);
+            }
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let pt = [0u8; 16];
+        let a = Aes128::new(&[0u8; 16]).encrypt_block(&pt);
+        let b = Aes128::new(&[1u8; 16]).encrypt_block(&pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn avalanche_effect() {
+        // Single plaintext bit flip changes about half the ciphertext bits.
+        let key = [0x42u8; 16];
+        let aes = Aes128::new(&key);
+        let a = aes.encrypt_block(&[0u8; 16]);
+        let mut flipped = [0u8; 16];
+        flipped[0] = 1;
+        let b = aes.encrypt_block(&flipped);
+        let dist: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!((40..=90).contains(&dist), "hamming distance {dist}");
+    }
+
+    #[test]
+    fn gmul_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xC1); // FIPS 197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xFE);
+        assert_eq!(gmul(1, 0xAB), 0xAB);
+        assert_eq!(gmul(0, 0xFF), 0);
+    }
+
+    #[test]
+    fn sbox_inverse_is_consistent() {
+        let inv = inv_sbox();
+        for i in 0..256 {
+            assert_eq!(inv[SBOX[i] as usize] as usize, i);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//!
+//! LoRaWAN computes its frame MIC as the first four bytes of
+//! `AES-CMAC(NwkSKey, B0 | msg)`; this module provides the full CMAC and
+//! is verified against the four RFC 4493 test vectors.
+
+use crate::aes::Aes128;
+
+/// AES-CMAC keyed MAC.
+///
+/// # Example
+///
+/// ```
+/// use softlora_crypto::Cmac;
+/// let cmac = Cmac::new(&[0u8; 16]);
+/// let tag = cmac.compute(b"message");
+/// assert_eq!(tag.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cmac {
+    aes: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+impl Cmac {
+    /// Derives the CMAC subkeys from `key`.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let l = aes.encrypt_block(&[0u8; 16]);
+        let k1 = double(&l);
+        let k2 = double(&k1);
+        Cmac { aes, k1, k2 }
+    }
+
+    /// Computes the 16-byte CMAC tag of `msg`.
+    pub fn compute(&self, msg: &[u8]) -> [u8; 16] {
+        let n = msg.len().div_ceil(16).max(1);
+        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+
+        let mut x = [0u8; 16];
+        for i in 0..n - 1 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&msg[i * 16..(i + 1) * 16]);
+            xor_into(&mut x, &block);
+            x = self.aes.encrypt_block(&x);
+        }
+
+        // Last block: XOR with K1 if complete, else pad and XOR with K2.
+        let mut last = [0u8; 16];
+        let tail = &msg[(n - 1) * 16..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            xor_into(&mut last, &self.k1);
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            xor_into(&mut last, &self.k2);
+        }
+        xor_into(&mut x, &last);
+        self.aes.encrypt_block(&x)
+    }
+
+    /// Computes a truncated tag of `len` bytes (LoRaWAN uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 16`.
+    pub fn compute_truncated(&self, msg: &[u8], len: usize) -> Vec<u8> {
+        assert!(len <= 16, "CMAC tag is at most 16 bytes");
+        self.compute(msg)[..len].to_vec()
+    }
+
+    /// Constant-time-ish verification of a tag.
+    pub fn verify(&self, msg: &[u8], tag: &[u8]) -> bool {
+        if tag.is_empty() || tag.len() > 16 {
+            return false;
+        }
+        let full = self.compute(msg);
+        let mut diff = 0u8;
+        for (a, b) in full[..tag.len()].iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// GF(2^128) doubling used in subkey generation.
+fn double(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let carry = block[0] >> 7;
+    for i in 0..16 {
+        out[i] = block[i] << 1;
+        if i < 15 {
+            out[i] |= block[i + 1] >> 7;
+        }
+    }
+    if carry != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+fn xor_into(dst: &mut [u8; 16], src: &[u8; 16]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    fn rfc_key() -> [u8; 16] {
+        hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap()
+    }
+
+    #[test]
+    fn rfc4493_subkeys() {
+        let cmac = Cmac::new(&rfc_key());
+        assert_eq!(cmac.k1.to_vec(), hex("fbeed618357133667c85e08f7236a8de"));
+        assert_eq!(cmac.k2.to_vec(), hex("f7ddac306ae266ccf90bc11ee46d513b"));
+    }
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let cmac = Cmac::new(&rfc_key());
+        assert_eq!(cmac.compute(b"").to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_example_2_16_bytes() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(cmac.compute(&msg).to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+        );
+        assert_eq!(cmac.compute(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        assert_eq!(cmac.compute(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn truncation_and_verify() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = b"lorawan frame bytes";
+        let tag4 = cmac.compute_truncated(msg, 4);
+        assert_eq!(tag4.len(), 4);
+        assert!(cmac.verify(msg, &tag4));
+        assert!(cmac.verify(msg, &cmac.compute(msg)));
+        let mut bad = tag4.clone();
+        bad[0] ^= 1;
+        assert!(!cmac.verify(msg, &bad));
+        assert!(!cmac.verify(b"other message", &tag4));
+        assert!(!cmac.verify(msg, &[]));
+        assert!(!cmac.verify(msg, &[0u8; 17]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16")]
+    fn oversized_truncation_panics() {
+        Cmac::new(&rfc_key()).compute_truncated(b"x", 17);
+    }
+
+    #[test]
+    fn double_shifts_and_reduces() {
+        // Doubling 0x80... triggers the reduction constant.
+        let mut block = [0u8; 16];
+        block[0] = 0x80;
+        let d = double(&block);
+        assert_eq!(d[15], 0x87);
+        // Doubling without the top bit is a plain shift.
+        let mut b2 = [0u8; 16];
+        b2[15] = 0x01;
+        assert_eq!(double(&b2)[15], 0x02);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cryptographic substrate for the SoftLoRa reproduction.
+//!
+//! The paper's threat model (Definition 1) assumes LoRaWAN frames are
+//! cryptographically protected: the frame-delay attack succeeds *despite*
+//! valid MICs and frame counters, because it replays a recorded waveform
+//! unmodified. To reproduce that property faithfully, the simulated
+//! LoRaWAN stack carries real cryptography — implemented here from
+//! scratch (no crypto crate exists in the offline dependency set):
+//!
+//! * [`aes`] — AES-128 block cipher (FIPS 197), encryption and decryption;
+//! * [`cmac`] — AES-CMAC (RFC 4493 / NIST SP 800-38B);
+//! * [`lorawan`] — the LoRaWAN 1.0.2 constructions: frame-payload
+//!   encryption with the `A`-block keystream and the `B0`-block MIC.
+//!
+//! This is a *simulation-grade* implementation: correct against the
+//! standard test vectors (see the tests), but table-based and not
+//! hardened against side channels. Do not reuse it outside this
+//! reproduction.
+
+pub mod aes;
+pub mod cmac;
+pub mod lorawan;
+
+pub use aes::Aes128;
+pub use cmac::Cmac;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Aes128>();
+        assert_send_sync::<crate::Cmac>();
+    }
+}

@@ -1,0 +1,342 @@
+//! Minimal `f64` complex-number type used throughout the workspace.
+//!
+//! The offline dependency set has no `num-complex`, so the SDR I/Q sample
+//! type is defined here. The representation is the usual Cartesian pair; an
+//! I/Q sample from the SDR front-end maps as `I -> re`, `Q -> im`
+//! (paper §5.2).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components, used as the I/Q baseband sample
+/// type.
+///
+/// # Example
+///
+/// ```
+/// use softlora_dsp::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!(z * Complex::I, Complex::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar form `r * e^{i theta}`.
+    ///
+    /// ```
+    /// use softlora_dsp::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// `e^{i theta}` — a unit phasor. This is the workhorse for chirp
+    /// synthesis where the instantaneous angle is evaluated per sample.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|^2` (cheaper than [`Complex::norm`], used for
+    /// power computations).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in `(-pi, pi]`, computed with `atan2(im, re)`.
+    ///
+    /// This is exactly the `atan2(Q(t), I(t))` quantity the paper feeds into
+    /// its phase-unwrapping step (paper §7.1.1).
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a pair of infinities/NaNs if `z` is zero, matching `f64`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    /// Embeds a real number as `x + 0i`.
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl From<(f64, f64)> for Complex {
+    /// Interprets an `(I, Q)` pair as a complex baseband sample.
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Complex {
+        Complex { re, im }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::new(1.0, 0.0));
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+        assert_eq!(Complex::from(2.5), Complex::new(2.5, 0.0));
+        assert_eq!(Complex::from((1.0, -2.0)), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(3.0, PI / 3.0);
+        assert!((z.norm() - 3.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..100 {
+            let theta = k as f64 * 0.17 - 8.0;
+            assert!((Complex::cis(theta).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.25, 4.0);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * a.inv(), Complex::ONE));
+        assert!(close(-a + a, Complex::ZERO));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(2.0, 3.0);
+        assert!(close(a * a.conj(), Complex::from(a.norm_sqr())));
+        assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 1.234;
+        assert!(close(Complex::new(0.0, theta).exp(), Complex::cis(theta)));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Complex::new(1.0, -2.0);
+        assert_eq!(a * 2.0, Complex::new(2.0, -4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Complex::new(0.5, -1.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Complex::new(1.0, 1.0);
+        a += Complex::ONE;
+        a -= Complex::I;
+        a *= Complex::new(2.0, 0.0);
+        a /= Complex::new(2.0, 0.0);
+        assert!(close(a, Complex::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: Complex = (0..4).map(|i| Complex::new(i as f64, -(i as f64))).sum();
+        assert_eq!(s, Complex::new(6.0, -6.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex::new(1.0, 2.0).is_nan());
+    }
+}

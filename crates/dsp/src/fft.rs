@@ -1,0 +1,347 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Implemented from scratch (no external FFT crate in the offline set): an
+//! iterative, in-place, decimation-in-time Cooley–Tukey transform for
+//! power-of-two lengths, plus convenience wrappers that zero-pad arbitrary
+//! lengths. Used by the spectrogram (paper Fig. 6), the Hilbert-transform
+//! envelope detector (paper §6.1.2) and the dechirp-based LoRa demodulator.
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+///
+/// ```
+/// use softlora_dsp::fft::next_pow2;
+/// assert_eq!(next_pow2(1), 1);
+/// assert_eq!(next_pow2(5), 8);
+/// assert_eq!(next_pow2(1024), 1024);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two. Use [`fft_forward`] for
+/// arbitrary lengths (it zero-pads).
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT, including the `1/N` normalisation.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+}
+
+/// Forward FFT of an arbitrary-length slice; the input is zero-padded to the
+/// next power of two.
+///
+/// The returned vector has `next_pow2(input.len())` bins.
+pub fn fft_forward(input: &[Complex]) -> Vec<Complex> {
+    let n = next_pow2(input.len());
+    let mut buf = vec![Complex::ZERO; n];
+    buf[..input.len()].copy_from_slice(input);
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse FFT of an arbitrary-length slice (zero-padded to a power of two,
+/// `1/N` normalised).
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = next_pow2(input.len());
+    let mut buf = vec![Complex::ZERO; n];
+    buf[..input.len()].copy_from_slice(input);
+    ifft_in_place(&mut buf);
+    buf
+}
+
+/// Forward FFT of a real-valued signal (imaginary parts zero).
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(input.len());
+    let mut buf = vec![Complex::ZERO; n];
+    for (b, &x) in buf.iter_mut().zip(input.iter()) {
+        *b = Complex::new(x, 0.0);
+    }
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Power spectrum `|X_k|^2` of a complex signal (zero-padded FFT).
+pub fn power_spectrum(input: &[Complex]) -> Vec<f64> {
+    fft_forward(input).iter().map(|z| z.norm_sqr()).collect()
+}
+
+/// Index of the largest-magnitude FFT bin together with its magnitude.
+///
+/// This is the core of the LoRa dechirp demodulator: after multiplying a
+/// received symbol by the conjugate base chirp, the symbol value appears as
+/// the argmax bin of the FFT.
+///
+/// Returns `(0, 0.0)` for an empty spectrum.
+pub fn argmax_bin(spectrum: &[Complex]) -> (usize, f64) {
+    let mut best = (0usize, 0.0f64);
+    for (i, z) in spectrum.iter().enumerate() {
+        let m = z.norm();
+        if m > best.1 {
+            best = (i, m);
+        }
+    }
+    best
+}
+
+/// Circular cross-correlation of two equal-length complex signals via FFT:
+/// `r[k] = sum_n a[n] * conj(b[n-k])`.
+///
+/// # Errors
+///
+/// Returns [`crate::DspError::InvalidWindow`] if the inputs have different
+/// lengths, and [`crate::DspError::InputTooShort`] if they are empty.
+pub fn circular_cross_correlation(
+    a: &[Complex],
+    b: &[Complex],
+) -> Result<Vec<Complex>, crate::DspError> {
+    if a.len() != b.len() {
+        return Err(crate::DspError::InvalidWindow { reason: "inputs must have equal length" });
+    }
+    if a.is_empty() {
+        return Err(crate::DspError::InputTooShort { required: 1, actual: 0 });
+    }
+    let n = next_pow2(a.len());
+    // Zero-padding a circular correlation changes its semantics, so require
+    // power-of-two input for the exact circular case; otherwise fall back to
+    // a direct O(N^2) computation, which is fine for the short preamble
+    // segments this is used on.
+    if a.len() == n {
+        let mut fa = fft_forward(a);
+        let fb = fft_forward(b);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = *x * y.conj();
+        }
+        Ok(ifft(&fa))
+    } else {
+        let len = a.len();
+        let mut out = vec![Complex::ZERO; len];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (i, ai) in a.iter().enumerate() {
+                let j = (i + len - k) % len;
+                acc += *ai * b[j].conj();
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+}
+
+/// Iterative decimation-in-time radix-2 transform.
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(129), 256);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_is_impulse() {
+        let mut data = vec![Complex::ONE; 16];
+        fft_in_place(&mut data);
+        assert!((data[0].re - 16.0).abs() < 1e-12);
+        for z in &data[1..] {
+            assert!(z.norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tone_lands_in_expected_bin() {
+        let n = 128;
+        let k = 9;
+        let tone: Vec<Complex> =
+            (0..n).map(|i| Complex::cis(2.0 * PI * k as f64 * i as f64 / n as f64)).collect();
+        let spec = fft_forward(&tone);
+        let (bin, mag) = argmax_bin(&spec);
+        assert_eq!(bin, k);
+        assert!((mag - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_frequency_tone_lands_in_high_bin() {
+        let n = 64;
+        let tone: Vec<Complex> =
+            (0..n).map(|i| Complex::cis(-2.0 * PI * 3.0 * i as f64 / n as f64)).collect();
+        let spec = fft_forward(&tone);
+        let (bin, _) = argmax_bin(&spec);
+        assert_eq!(bin, n - 3);
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let data: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut buf = data.clone();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (a, b) in data.iter().zip(buf.iter()) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let data: Vec<Complex> = (0..256)
+            .map(|i| Complex::new((i as f64 * 0.11).sin() * 2.0, (i as f64 * 0.05).cos()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let spec = fft_forward(&data);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..32).map(|i| Complex::new(0.0, (i as f64).sqrt())).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft_forward(&a);
+        let fb = fft_forward(&b);
+        let fsum = fft_forward(&sum);
+        for i in 0..32 {
+            assert!((fa[i] + fb[i] - fsum[i]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_padding_applied_for_non_pow2() {
+        let input = vec![Complex::ONE; 5];
+        let out = fft_forward(&input);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn fft_real_matches_complex() {
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let zs: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let a = fft_real(&xs);
+        let b = fft_forward(&zs);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let xs: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).sin() + 0.5 * (i as f64 * 1.1).cos()).collect();
+        let spec = fft_real(&xs);
+        let n = spec.len();
+        for k in 1..n / 2 {
+            assert!((spec[k] - spec[n - k].conj()).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_correlation_peak_at_lag() {
+        let n = 64;
+        let base: Vec<Complex> =
+            (0..n).map(|i| Complex::cis(2.0 * PI * (i * i) as f64 / n as f64)).collect();
+        // b is a circularly shifted copy of a; correlation should peak at the shift.
+        let shift = 13;
+        let shifted: Vec<Complex> = (0..n).map(|i| base[(i + n - shift) % n]).collect();
+        let corr = circular_cross_correlation(&shifted, &base).unwrap();
+        let (peak, _) = argmax_bin(&corr);
+        assert_eq!(peak, shift);
+    }
+
+    #[test]
+    fn cross_correlation_rejects_mismatched_lengths() {
+        let a = vec![Complex::ONE; 4];
+        let b = vec![Complex::ONE; 8];
+        assert!(circular_cross_correlation(&a, &b).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_direct_path_matches_fft_path() {
+        // length 12 (non pow2) exercises the direct path; compare against
+        // manually computed circular correlation.
+        let a: Vec<Complex> = (0..12).map(|i| Complex::new((i as f64).sin(), 0.3 * i as f64)).collect();
+        let b: Vec<Complex> = (0..12).map(|i| Complex::new((i as f64 * 0.5).cos(), -0.1 * i as f64)).collect();
+        let got = circular_cross_correlation(&a, &b).unwrap();
+        for k in 0..12 {
+            let mut want = Complex::ZERO;
+            for i in 0..12 {
+                want += a[i] * b[(i + 12 - k) % 12].conj();
+            }
+            assert!((got[k] - want).norm() < 1e-9, "lag {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn in_place_rejects_non_pow2() {
+        let mut data = vec![Complex::ONE; 6];
+        fft_in_place(&mut data);
+    }
+}

@@ -1,0 +1,170 @@
+//! Hilbert transform and amplitude envelope extraction.
+//!
+//! The paper's envelope onset detector (§6.1.2, Fig. 9a) first applies the
+//! Hilbert transform to the I (or Q) trace to obtain the analytic signal,
+//! whose magnitude is the amplitude envelope. The analytic signal is
+//! computed in the frequency domain: zero the negative-frequency half of the
+//! spectrum and double the positive half.
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, ifft_in_place, next_pow2};
+use crate::DspError;
+
+/// Computes the analytic signal of a real trace via the FFT method.
+///
+/// The input is zero-padded to a power of two internally; the returned
+/// vector is truncated back to the input length. For input `x`, the result
+/// is `x + i * H(x)` where `H` is the Hilbert transform.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] for inputs shorter than 2 samples.
+pub fn analytic_signal(x: &[f64]) -> Result<Vec<Complex>, DspError> {
+    if x.len() < 2 {
+        return Err(DspError::InputTooShort { required: 2, actual: x.len() });
+    }
+    let n = next_pow2(x.len());
+    let mut buf: Vec<Complex> = Vec::with_capacity(n);
+    buf.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
+    buf.resize(n, Complex::ZERO);
+    fft_in_place(&mut buf);
+
+    // Single-sided spectrum: keep DC and Nyquist, double positive
+    // frequencies, zero negative frequencies.
+    for (k, z) in buf.iter_mut().enumerate() {
+        if k == 0 || k == n / 2 {
+            // unchanged
+        } else if k < n / 2 {
+            *z = z.scale(2.0);
+        } else {
+            *z = Complex::ZERO;
+        }
+    }
+    ifft_in_place(&mut buf);
+    buf.truncate(x.len());
+    Ok(buf)
+}
+
+/// Amplitude envelope of a real trace: `|analytic_signal(x)|`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] for inputs shorter than 2 samples.
+///
+/// ```
+/// use softlora_dsp::hilbert::envelope;
+/// // Envelope of a pure tone is (approximately) its constant amplitude.
+/// let x: Vec<f64> = (0..512).map(|i| 3.0 * (0.3 * i as f64).sin()).collect();
+/// let env = envelope(&x)?;
+/// let mid = &env[64..448];
+/// let avg: f64 = mid.iter().sum::<f64>() / mid.len() as f64;
+/// assert!((avg - 3.0).abs() < 0.05);
+/// # Ok::<(), softlora_dsp::DspError>(())
+/// ```
+pub fn envelope(x: &[f64]) -> Result<Vec<f64>, DspError> {
+    Ok(analytic_signal(x)?.into_iter().map(Complex::norm).collect())
+}
+
+/// Instantaneous phase of a real trace, i.e. the argument of the analytic
+/// signal, in `(-pi, pi]` per sample (not unwrapped).
+pub fn instantaneous_phase(x: &[f64]) -> Result<Vec<f64>, DspError> {
+    Ok(analytic_signal(x)?.into_iter().map(Complex::arg).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn analytic_signal_real_part_is_input() {
+        let x: Vec<f64> = (0..256).map(|i| (0.1 * i as f64).sin() + 0.2).collect();
+        let a = analytic_signal(&x).unwrap();
+        for (ai, xi) in a.iter().zip(x.iter()) {
+            assert!((ai.re - xi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hilbert_of_cos_is_sin() {
+        // H(cos) = sin for frequencies away from DC/Nyquist.
+        let n = 1024;
+        let k = 37.0;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * k * i as f64 / n as f64).cos()).collect();
+        let a = analytic_signal(&x).unwrap();
+        for i in 0..n {
+            let want = (2.0 * PI * k * i as f64 / n as f64).sin();
+            assert!((a[i].im - want).abs() < 1e-6, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn envelope_tracks_amplitude_modulation() {
+        // AM tone: (1 + 0.5 cos(wm t)) * cos(wc t)
+        let n = 2048;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (1.0 + 0.5 * (2.0 * PI * 4.0 * t).cos()) * (2.0 * PI * 200.0 * t).cos()
+            })
+            .collect();
+        let env = envelope(&x).unwrap();
+        // Compare to the known modulation envelope away from edges.
+        for i in 128..n - 128 {
+            let t = i as f64 / n as f64;
+            let want = 1.0 + 0.5 * (2.0 * PI * 4.0 * t).cos();
+            assert!((env[i] - want).abs() < 0.05, "sample {i}: {} vs {want}", env[i]);
+        }
+    }
+
+    #[test]
+    fn envelope_of_step_rises_at_step() {
+        // Silence then a tone: envelope should be near zero before, near one after.
+        let n = 1024;
+        let onset = 512;
+        let x: Vec<f64> = (0..n)
+            .map(|i| if i < onset { 0.0 } else { (0.4 * i as f64).sin() })
+            .collect();
+        let env = envelope(&x).unwrap();
+        let before: f64 = env[64..onset - 64].iter().sum::<f64>() / (onset - 128) as f64;
+        let after: f64 = env[onset + 64..n - 64].iter().sum::<f64>() / (n - onset - 128) as f64;
+        assert!(before < 0.15, "before {before}");
+        assert!(after > 0.8, "after {after}");
+    }
+
+    #[test]
+    fn instantaneous_phase_advances_for_tone() {
+        let n = 512;
+        let k = 10.0;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * k * i as f64 / n as f64).cos()).collect();
+        let ph = instantaneous_phase(&x).unwrap();
+        // Phase increment per sample ~ 2*pi*k/n.
+        let want = 2.0 * PI * k / n as f64;
+        let mut ok = 0;
+        for i in 100..400 {
+            let mut d = ph[i + 1] - ph[i];
+            if d < -PI {
+                d += 2.0 * PI;
+            }
+            if (d - want).abs() < 0.01 {
+                ok += 1;
+            }
+        }
+        assert!(ok > 250, "only {ok} good increments");
+    }
+
+    #[test]
+    fn rejects_tiny_input() {
+        assert!(analytic_signal(&[1.0]).is_err());
+        assert!(envelope(&[]).is_err());
+    }
+
+    #[test]
+    fn non_pow2_length_handled() {
+        let x: Vec<f64> = (0..1000).map(|i| (0.05 * i as f64).sin()).collect();
+        let env = envelope(&x).unwrap();
+        assert_eq!(env.len(), 1000);
+        let mid: f64 = env[200..800].iter().sum::<f64>() / 600.0;
+        assert!((mid - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,234 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The paper's closed-form frequency-bias estimator (§7.1.1) reduces the
+//! de-quadratic'd chirp phase `Θ(t) − πW²/2^S·t² + πW·t = 2πδt + θ` to a
+//! straight line whose slope is `2πδ`; the fit is performed here.
+
+use crate::DspError;
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for a perfect line).
+    pub r_squared: f64,
+    /// Standard deviation of the residuals.
+    pub residual_std: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// # Errors
+///
+/// * [`DspError::InvalidWindow`] if `x` and `y` differ in length.
+/// * [`DspError::InputTooShort`] if fewer than 2 points are given.
+/// * [`DspError::InvalidParameter`] if all `x` are identical (vertical line).
+///
+/// ```
+/// use softlora_dsp::regression::linear_fit;
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let fit = linear_fit(&x, &y)?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// # Ok::<(), softlora_dsp::DspError>(())
+/// ```
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, DspError> {
+    if x.len() != y.len() {
+        return Err(DspError::InvalidWindow { reason: "x and y must have equal length" });
+    }
+    if x.len() < 2 {
+        return Err(DspError::InputTooShort { required: 2, actual: x.len() });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(DspError::InvalidParameter { reason: "all x values identical" });
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = x
+        .iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| {
+            let r = yi - (slope * xi + intercept);
+            r * r
+        })
+        .sum();
+    let r_squared = if syy > 0.0 { (1.0 - ss_res / syy).clamp(0.0, 1.0) } else { 1.0 };
+    let residual_std = (ss_res / n).sqrt();
+    Ok(LinearFit { slope, intercept, r_squared, residual_std })
+}
+
+/// Fits a line to uniformly sampled data `y[i] ≈ slope·(i·dt) + intercept`.
+///
+/// Convenience wrapper used by the FB estimator where the abscissa is the
+/// sample clock.
+///
+/// # Errors
+///
+/// Same as [`linear_fit`], plus [`DspError::InvalidParameter`] if
+/// `dt <= 0`.
+pub fn linear_fit_uniform(y: &[f64], dt: f64) -> Result<LinearFit, DspError> {
+    if dt <= 0.0 || !dt.is_finite() {
+        return Err(DspError::InvalidParameter { reason: "dt must be positive and finite" });
+    }
+    let x: Vec<f64> = (0..y.len()).map(|i| i as f64 * dt).collect();
+    linear_fit(&x, y)
+}
+
+/// Robust line fit via iteratively re-weighted least squares with a Huber
+/// influence function. Useful when low-SNR phase unwrapping leaves a few
+/// cycle-slip outliers in the de-quadratic'd phase.
+///
+/// `k_sigma` is the Huber threshold in units of the residual standard
+/// deviation (1.345 is the classical choice); `iters` bounds the reweighting
+/// rounds.
+///
+/// # Errors
+///
+/// Same as [`linear_fit`].
+pub fn huber_fit(x: &[f64], y: &[f64], k_sigma: f64, iters: usize) -> Result<LinearFit, DspError> {
+    let mut fit = linear_fit(x, y)?;
+    for _ in 0..iters {
+        let sigma = fit.residual_std.max(1e-300);
+        let k = k_sigma * sigma;
+        // Weighted least squares with Huber weights.
+        let mut sw = 0.0;
+        let mut swx = 0.0;
+        let mut swy = 0.0;
+        let mut swxx = 0.0;
+        let mut swxy = 0.0;
+        for (&xi, &yi) in x.iter().zip(y.iter()) {
+            let r = yi - fit.predict(xi);
+            let w = if r.abs() <= k { 1.0 } else { k / r.abs() };
+            sw += w;
+            swx += w * xi;
+            swy += w * yi;
+            swxx += w * xi * xi;
+            swxy += w * xi * yi;
+        }
+        let det = sw * swxx - swx * swx;
+        if det.abs() < 1e-300 {
+            break;
+        }
+        let slope = (sw * swxy - swx * swy) / det;
+        let intercept = (swy - slope * swx) / sw;
+        let ss_res: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&xi, &yi)| {
+                let r = yi - (slope * xi + intercept);
+                r * r
+            })
+            .sum();
+        let n = x.len() as f64;
+        let converged = (slope - fit.slope).abs() < 1e-14 * slope.abs().max(1.0);
+        fit = LinearFit {
+            slope,
+            intercept,
+            r_squared: fit.r_squared,
+            residual_std: (ss_res / n).sqrt(),
+        };
+        if converged {
+            break;
+        }
+    }
+    Ok(fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&v| -3.5 * v + 2.0).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope + 3.5).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.residual_std < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_slope_close() {
+        let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut state = 7u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let y: Vec<f64> = x.iter().map(|&v| 0.5 * v + 10.0 + noise()).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn uniform_wrapper_matches() {
+        let y: Vec<f64> = (0..100).map(|i| 2.0 * (i as f64 * 0.01) + 1.0).collect();
+        let fit = linear_fit_uniform(&y, 0.01).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_err());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(linear_fit_uniform(&[1.0, 2.0], 0.0).is_err());
+        assert!(linear_fit_uniform(&[1.0, 2.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn predict_evaluates_line() {
+        let fit = LinearFit { slope: 2.0, intercept: -1.0, r_squared: 1.0, residual_std: 0.0 };
+        assert_eq!(fit.predict(3.0), 5.0);
+    }
+
+    #[test]
+    fn huber_resists_outliers() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = x.iter().map(|&v| 1.0 * v).collect();
+        // Corrupt 5% of points with huge outliers (cycle slips).
+        for i in (0..200).step_by(40) {
+            y[i] += 500.0;
+        }
+        let ols = linear_fit(&x, &y).unwrap();
+        let rob = huber_fit(&x, &y, 1.345, 20).unwrap();
+        assert!((rob.slope - 1.0).abs() < (ols.slope - 1.0).abs());
+        assert!((rob.slope - 1.0).abs() < 0.02, "robust slope {}", rob.slope);
+    }
+
+    #[test]
+    fn huber_on_clean_data_matches_ols() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|&v| -2.0 * v + 4.0).collect();
+        let rob = huber_fit(&x, &y, 1.345, 10).unwrap();
+        assert!((rob.slope + 2.0).abs() < 1e-10);
+        assert!((rob.intercept - 4.0).abs() < 1e-9);
+    }
+}

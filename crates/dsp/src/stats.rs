@@ -1,0 +1,357 @@
+//! Statistics and decibel helpers shared across the workspace.
+
+use crate::DspError;
+
+/// Arithmetic mean; returns 0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population variance; returns 0 for slices shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Linear interpolation percentile, `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] on empty input and
+/// [`DspError::InvalidParameter`] if `p` is outside `[0, 100]`.
+pub fn percentile(x: &[f64], p: f64) -> Result<f64, DspError> {
+    if x.is_empty() {
+        return Err(DspError::InputTooShort { required: 1, actual: 0 });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(DspError::InvalidParameter { reason: "percentile must be in [0, 100]" });
+    }
+    let mut sorted = x.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] on empty input.
+pub fn median(x: &[f64]) -> Result<f64, DspError> {
+    percentile(x, 50.0)
+}
+
+/// Converts a linear power ratio to decibels (`10 log10`).
+pub fn power_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+pub fn db_to_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear amplitude ratio to decibels (`20 log10`).
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear amplitude ratio.
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Mean power (mean of squares) of a real trace.
+pub fn mean_power(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().map(|&v| v * v).sum::<f64>() / x.len() as f64
+    }
+}
+
+/// SNR in dB given separate signal and noise traces, per the paper's
+/// definition `10 log10(signal power / noise power)` (§6.2).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if the noise trace has zero power.
+pub fn snr_db(signal: &[f64], noise: &[f64]) -> Result<f64, DspError> {
+    let np = mean_power(noise);
+    if np <= 0.0 {
+        return Err(DspError::InvalidParameter { reason: "noise power must be positive" });
+    }
+    Ok(power_to_db(mean_power(signal) / np))
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the gateway's frequency-bias database to keep per-device
+/// statistics without storing every frame's estimate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Running population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Running population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidBounds`] unless `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, DspError> {
+        if !(lo < hi) || bins == 0 {
+            return Err(DspError::InvalidBounds { reason: "need lo < hi and bins > 0" });
+        }
+        Ok(Histogram { lo, hi, bins: vec![0; bins], below: 0, above: 0 })
+    }
+
+    /// Records an observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `lo`.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of observations at or above `hi`.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.below + self.above + self.bins.iter().sum::<u64>()
+    }
+
+    /// Centre value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert!((variance(&x) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&x) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let x = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&x, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&x, 100.0).unwrap(), 4.0);
+        assert_eq!(median(&x).unwrap(), 2.5);
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&x, -1.0).is_err());
+        assert!(percentile(&x, 101.0).is_err());
+    }
+
+    #[test]
+    fn decibel_round_trips() {
+        for db in [-30.0, -3.0, 0.0, 10.0, 25.5] {
+            assert!((power_to_db(db_to_power(db)) - db).abs() < 1e-10);
+            assert!((amplitude_to_db(db_to_amplitude(db)) - db).abs() < 1e-10);
+        }
+        assert!((power_to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_definition_matches_paper() {
+        // Signal power 1.0, noise power 0.01 -> 20 dB.
+        let signal = vec![1.0, -1.0, 1.0, -1.0];
+        let noise = vec![0.1, -0.1, 0.1, -0.1];
+        assert!((snr_db(&signal, &noise).unwrap() - 20.0).abs() < 1e-9);
+        assert!(snr_db(&signal, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn running_stats_match_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 1000);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-9);
+        assert!((rs.variance() - variance(&xs)).abs() < 1e-9);
+        assert_eq!(rs.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(rs.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn running_stats_merge_matches_concatenation() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 * 0.7).collect();
+        let b: Vec<f64> = (0..250).map(|i| (i as f64 - 40.0) * 1.3).collect();
+        let mut ra = RunningStats::new();
+        a.iter().for_each(|&x| ra.push(x));
+        let mut rb = RunningStats::new();
+        b.iter().for_each(|&x| rb.push(x));
+        ra.merge(&rb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).cloned().collect();
+        assert!((ra.mean() - mean(&all)).abs() < 1e-9);
+        assert!((ra.variance() - variance(&all)).abs() < 1e-9);
+        assert_eq!(ra.count(), 350);
+    }
+
+    #[test]
+    fn running_stats_empty_merge() {
+        let mut a = RunningStats::new();
+        let b = RunningStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        a.push(2.0);
+        let mut c = RunningStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.5, 1.5, 2.5, 9.9, -1.0, 10.0, 11.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 2);
+        assert_eq!(h.total(), 7);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_validates() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Window functions for spectral analysis.
+//!
+//! The paper's spectrogram (Fig. 6) uses a Kaiser window with a `2^S`-point
+//! short-time FFT; the Kaiser window requires the zeroth-order modified
+//! Bessel function of the first kind, implemented here by its power series.
+
+/// Zeroth-order modified Bessel function of the first kind, `I0(x)`.
+///
+/// Computed by the rapidly converging power series
+/// `I0(x) = sum_{k>=0} ((x/2)^k / k!)^2`; terms are accumulated until they
+/// fall below `1e-16` of the running sum.
+///
+/// ```
+/// use softlora_dsp::window::bessel_i0;
+/// assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+/// // Reference value I0(1) = 1.2660658777520084...
+/// assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-12);
+/// ```
+pub fn bessel_i0(x: f64) -> f64 {
+    let half = x / 2.0;
+    let mut term = 1.0f64;
+    let mut sum = 1.0f64;
+    let mut k = 1.0f64;
+    loop {
+        term *= (half / k) * (half / k);
+        sum += term;
+        if term < sum * 1e-16 {
+            return sum;
+        }
+        k += 1.0;
+        if k > 1000.0 {
+            return sum;
+        }
+    }
+}
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowKind {
+    /// Rectangular (no tapering).
+    Rect,
+    /// Hann (raised cosine).
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+    /// Kaiser with shape parameter `beta`; `beta = 0` reduces to Rect.
+    Kaiser {
+        /// Shape parameter controlling the sidelobe/mainlobe trade-off.
+        beta: f64,
+    },
+}
+
+impl Default for WindowKind {
+    /// The paper's spectrogram uses a Kaiser window; `beta = 8.6` gives
+    /// roughly Blackman-like sidelobe suppression and is a common default.
+    fn default() -> Self {
+        WindowKind::Kaiser { beta: 8.6 }
+    }
+}
+
+/// Generates the `n` coefficients of the chosen window.
+///
+/// All windows are symmetric; a length-1 window is `[1.0]` and a length-0
+/// window is empty.
+///
+/// ```
+/// use softlora_dsp::window::{window, WindowKind};
+/// let w = window(WindowKind::Hann, 8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0].abs() < 1e-12); // Hann starts at zero
+/// ```
+pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let m = (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            match kind {
+                WindowKind::Rect => 1.0,
+                WindowKind::Hann => {
+                    0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos()
+                }
+                WindowKind::Hamming => {
+                    0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos()
+                }
+                WindowKind::Blackman => {
+                    let a = 2.0 * std::f64::consts::PI * x / m;
+                    0.42 - 0.5 * a.cos() + 0.08 * (2.0 * a).cos()
+                }
+                WindowKind::Kaiser { beta } => {
+                    let r = 2.0 * x / m - 1.0;
+                    bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) / bessel_i0(beta)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Coherent gain of a window: `sum(w) / n`.
+///
+/// Used to renormalise amplitude estimates taken through a window.
+pub fn coherent_gain(w: &[f64]) -> f64 {
+    if w.is_empty() {
+        return 0.0;
+    }
+    w.iter().sum::<f64>() / w.len() as f64
+}
+
+/// Equivalent noise bandwidth of a window in bins:
+/// `n * sum(w^2) / sum(w)^2`.
+pub fn enbw(w: &[f64]) -> f64 {
+    let s1: f64 = w.iter().sum();
+    let s2: f64 = w.iter().map(|x| x * x).sum();
+    if s1 == 0.0 {
+        return 0.0;
+    }
+    w.len() as f64 * s2 / (s1 * s1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bessel_known_values() {
+        // Abramowitz & Stegun table values.
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.266_065_877_752_008_4).abs() < 1e-12);
+        assert!((bessel_i0(2.0) - 2.279_585_302_336_067).abs() < 1e-11);
+        assert!((bessel_i0(5.0) - 27.239_871_823_604_45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bessel_is_even_growing() {
+        assert!(bessel_i0(3.0) > bessel_i0(2.0));
+        assert!(bessel_i0(10.0) > bessel_i0(5.0));
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [
+            WindowKind::Rect,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Kaiser { beta: 8.6 },
+        ] {
+            let w = window(kind, 33);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} not symmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windows_peak_at_center_and_bounded() {
+        for kind in [
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Kaiser { beta: 6.0 },
+        ] {
+            let w = window(kind, 65);
+            let center = w[32];
+            assert!((center - 1.0).abs() < 1e-9, "{kind:?} center {center}");
+            for &x in &w {
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&x),
+                    "{kind:?} out of range: {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rect() {
+        let w = window(WindowKind::Kaiser { beta: 0.0 }, 16);
+        for &x in &w {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(window(WindowKind::Hann, 0).is_empty());
+        assert_eq!(window(WindowKind::Hann, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn hann_starts_and_ends_at_zero() {
+        let w = window(WindowKind::Hann, 32);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[31].abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_reasonable() {
+        let w = window(WindowKind::Hann, 1024);
+        assert!((coherent_gain(&w) - 0.5).abs() < 1e-3);
+        // Hann ENBW is 1.5 bins.
+        assert!((enbw(&w) - 1.5).abs() < 0.01);
+        let r = window(WindowKind::Rect, 64);
+        assert!((coherent_gain(&r) - 1.0).abs() < 1e-12);
+        assert!((enbw(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_of_empty_window_is_zero() {
+        assert_eq!(coherent_gain(&[]), 0.0);
+        assert_eq!(enbw(&[]), 0.0);
+    }
+}

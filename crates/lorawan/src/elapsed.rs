@@ -1,0 +1,281 @@
+//! Synchronization-free elapsed-time record encoding (paper §3.2).
+//!
+//! Instead of absolute timestamps, a device tags each buffered sensor
+//! record with the *elapsed time* from the record's time of interest to the
+//! moment of transmission, measured on its own (unsynchronised) clock.
+//! With a 40 ppm crystal and a ≤ 4.1 minute buffer, 18 bits at 1 ms
+//! resolution suffice, versus the 8 bytes of a full timestamp — the paper
+//! computes that full timestamps would eat 27 % of a 30-byte frame's
+//! payload.
+//!
+//! The gateway reconstructs the global time of interest as
+//! `t_arrival − elapsed` (the one-hop propagation time being microseconds,
+//! i.e. negligible at millisecond resolution).
+
+use crate::LorawanError;
+
+/// Number of bits in an encoded elapsed time.
+pub const ELAPSED_BITS: u32 = 18;
+
+/// Resolution of the elapsed-time field in seconds (1 ms).
+pub const ELAPSED_RESOLUTION_S: f64 = 1e-3;
+
+/// Maximum encodable elapsed time: `(2^18 − 1) ms ≈ 262 s ≈ 4.4 min`.
+pub const MAX_ELAPSED_S: f64 = ((1u32 << ELAPSED_BITS) - 1) as f64 * ELAPSED_RESOLUTION_S;
+
+/// A sensor record queued on a device: an opaque value plus the local time
+/// of interest at which it was captured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorRecord {
+    /// Sensor value (opaque to the timestamping machinery).
+    pub value: u16,
+    /// Local-clock time of interest, seconds.
+    pub local_time_s: f64,
+}
+
+/// Codec packing `(value, elapsed)` records into frame payload bytes.
+///
+/// Layout per record: 2 bytes of value (LE) + 18 bits of elapsed time,
+/// bit-packed; records are packed back to back and the tail is padded to a
+/// whole byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElapsedCodec;
+
+impl ElapsedCodec {
+    /// Bytes needed for `n` records.
+    pub fn encoded_len(n: usize) -> usize {
+        // 16 bits value + 18 bits elapsed = 34 bits per record.
+        (34 * n).div_ceil(8)
+    }
+
+    /// Encodes records relative to the transmission time `tx_local_s` (same
+    /// clock as the records' times of interest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LorawanError::OutOfRange`] if any record is older than
+    /// [`MAX_ELAPSED_S`] or has a time of interest in the future.
+    pub fn encode(records: &[SensorRecord], tx_local_s: f64) -> Result<Vec<u8>, LorawanError> {
+        let mut bits = BitWriter::new();
+        for r in records {
+            let elapsed = tx_local_s - r.local_time_s;
+            if elapsed < 0.0 {
+                return Err(LorawanError::OutOfRange {
+                    reason: "record time of interest is in the future",
+                });
+            }
+            if elapsed > MAX_ELAPSED_S {
+                return Err(LorawanError::OutOfRange {
+                    reason: "record older than the 18-bit elapsed-time range (~4.4 min)",
+                });
+            }
+            let ticks = (elapsed / ELAPSED_RESOLUTION_S).round() as u32;
+            bits.write(r.value as u32, 16);
+            bits.write(ticks, ELAPSED_BITS);
+        }
+        Ok(bits.into_bytes())
+    }
+
+    /// Decodes `n` records, returning `(value, elapsed_s)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LorawanError::Malformed`] if the payload is too short for
+    /// `n` records.
+    pub fn decode(payload: &[u8], n: usize) -> Result<Vec<(u16, f64)>, LorawanError> {
+        if payload.len() < Self::encoded_len(n) {
+            return Err(LorawanError::Malformed { reason: "payload too short for record count" });
+        }
+        let mut bits = BitReader::new(payload);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let value = bits.read(16) as u16;
+            let ticks = bits.read(ELAPSED_BITS);
+            out.push((value, ticks as f64 * ELAPSED_RESOLUTION_S));
+        }
+        Ok(out)
+    }
+
+    /// Gateway-side reconstruction: the global time of interest of a record
+    /// with `elapsed_s`, given the frame's arrival time on the gateway's
+    /// (GPS-disciplined) clock.
+    ///
+    /// This is the synchronization-free timestamping equation the paper's
+    /// whole security analysis revolves around: a frame-delay attack
+    /// inflates `arrival_global_s` and silently shifts every reconstructed
+    /// timestamp by the injected delay τ.
+    pub fn reconstruct(arrival_global_s: f64, elapsed_s: f64) -> f64 {
+        arrival_global_s - elapsed_s
+    }
+}
+
+/// Overhead comparison of §3.2: fraction of an `n`-byte payload spent on
+/// time information for full 8-byte timestamps vs 18-bit elapsed fields.
+pub fn timestamp_overhead_fraction(payload_bytes: usize, full_timestamp: bool) -> f64 {
+    if payload_bytes == 0 {
+        return 0.0;
+    }
+    let bits = if full_timestamp { 64.0 } else { ELAPSED_BITS as f64 };
+    (bits / 8.0) / payload_bytes as f64
+}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { bytes: Vec::new(), bit: 0 }
+    }
+
+    fn write(&mut self, value: u32, nbits: u32) {
+        for i in (0..nbits).rev() {
+            let b = (value >> i) & 1;
+            if self.bit == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (b as u8) << (7 - self.bit);
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn read(&mut self, nbits: u32) -> u32 {
+        let mut v = 0u32;
+        for _ in 0..nbits {
+            let byte = self.bytes.get(self.pos / 8).copied().unwrap_or(0);
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | bit as u32;
+            self.pos += 1;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        // Paper: "18 bits will be sufficient to represent an elapsed time
+        // with 1 ms resolution" for a 4.1-minute buffer.
+        assert_eq!(ELAPSED_BITS, 18);
+        assert!(MAX_ELAPSED_S > 4.1 * 60.0, "max {MAX_ELAPSED_S}");
+        assert!(MAX_ELAPSED_S < 5.0 * 60.0);
+    }
+
+    #[test]
+    fn round_trip_single_record() {
+        let records = [SensorRecord { value: 1234, local_time_s: 100.0 }];
+        let bytes = ElapsedCodec::encode(&records, 130.5).unwrap();
+        let decoded = ElapsedCodec::decode(&bytes, 1).unwrap();
+        assert_eq!(decoded[0].0, 1234);
+        assert!((decoded[0].1 - 30.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn round_trip_many_records() {
+        let records: Vec<SensorRecord> = (0..10)
+            .map(|i| SensorRecord { value: i * 111, local_time_s: 50.0 + i as f64 * 3.7 })
+            .collect();
+        let tx = 95.0;
+        let bytes = ElapsedCodec::encode(&records, tx).unwrap();
+        assert_eq!(bytes.len(), ElapsedCodec::encoded_len(10));
+        let decoded = ElapsedCodec::decode(&bytes, 10).unwrap();
+        for (r, (v, e)) in records.iter().zip(decoded.iter()) {
+            assert_eq!(*v, r.value);
+            assert!((e - (tx - r.local_time_s)).abs() < 1e-3, "elapsed {e}");
+        }
+    }
+
+    #[test]
+    fn resolution_is_one_millisecond() {
+        let r = [SensorRecord { value: 0, local_time_s: 0.0 }];
+        let bytes = ElapsedCodec::encode(&r, 0.0123456).unwrap();
+        let decoded = ElapsedCodec::decode(&bytes, 1).unwrap();
+        assert!((decoded[0].1 - 0.012).abs() < 0.6e-3);
+    }
+
+    #[test]
+    fn range_validation() {
+        let future = [SensorRecord { value: 0, local_time_s: 10.0 }];
+        assert!(ElapsedCodec::encode(&future, 5.0).is_err());
+        let stale = [SensorRecord { value: 0, local_time_s: 0.0 }];
+        assert!(ElapsedCodec::encode(&stale, MAX_ELAPSED_S + 1.0).is_err());
+        // Exactly at the limit is fine.
+        assert!(ElapsedCodec::encode(&stale, MAX_ELAPSED_S - 0.001).is_ok());
+    }
+
+    #[test]
+    fn decode_validates_length() {
+        assert!(ElapsedCodec::decode(&[0u8; 3], 1).is_err());
+        assert!(ElapsedCodec::decode(&[0u8; 5], 1).is_ok());
+    }
+
+    #[test]
+    fn encoded_len_is_34_bits_per_record() {
+        assert_eq!(ElapsedCodec::encoded_len(0), 0);
+        assert_eq!(ElapsedCodec::encoded_len(1), 5); // 34 bits -> 5 bytes
+        assert_eq!(ElapsedCodec::encoded_len(4), 17); // 136 bits -> 17 bytes
+    }
+
+    #[test]
+    fn reconstruction_equation() {
+        // Gateway receives at t=1000.123 s; record was 2.5 s old.
+        let t = ElapsedCodec::reconstruct(1000.123, 2.5);
+        assert!((t - 997.623).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attack_shifts_reconstructed_time_by_tau() {
+        // The vulnerability in one assertion: delaying the frame by τ
+        // shifts the reconstructed timestamp by exactly τ.
+        let tau = 5.0;
+        let honest = ElapsedCodec::reconstruct(1000.0, 2.0);
+        let attacked = ElapsedCodec::reconstruct(1000.0 + tau, 2.0);
+        assert!((attacked - honest - tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_fractions_match_paper() {
+        // Paper: 8-byte timestamp in a 30-byte payload = 27 %.
+        let full = timestamp_overhead_fraction(30, true);
+        assert!((full - 0.2667).abs() < 0.005, "{full}");
+        // 18-bit elapsed field: ~7.5 %.
+        let elapsed = timestamp_overhead_fraction(30, false);
+        assert!(elapsed < 0.08, "{elapsed}");
+        assert_eq!(timestamp_overhead_fraction(0, true), 0.0);
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xFFFF, 16);
+        w.write(0, 5);
+        w.write(0x2AAAA, 18);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(16), 0xFFFF);
+        assert_eq!(r.read(5), 0);
+        assert_eq!(r.read(18), 0x2AAAA);
+    }
+}

@@ -1,0 +1,313 @@
+//! LoRaWAN 1.0.2 data-frame format.
+//!
+//! Wire layout of a data frame (`PHYPayload`):
+//!
+//! ```text
+//! | MHDR (1) | DevAddr (4, LE) | FCtrl (1) | FCnt (2, LE) | FPort (1) | FRMPayload (n) | MIC (4) |
+//! ```
+//!
+//! `FRMPayload` is encrypted under `AppSKey`; the MIC covers everything
+//! before it under `NwkSKey`. Join procedures are out of scope — devices
+//! are provisioned ABP-style with [`DeviceKeys`].
+
+use crate::LorawanError;
+use softlora_crypto::lorawan::{compute_mic, crypt_frm_payload, verify_mic, Direction};
+
+/// LoRaWAN message types (MHDR MType field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Unconfirmed data uplink (0b010).
+    UnconfirmedUp,
+    /// Confirmed data uplink (0b100).
+    ConfirmedUp,
+    /// Unconfirmed data downlink (0b011).
+    UnconfirmedDown,
+    /// Confirmed data downlink (0b101).
+    ConfirmedDown,
+}
+
+impl FrameType {
+    fn mhdr(self) -> u8 {
+        let mtype = match self {
+            FrameType::UnconfirmedUp => 0b010,
+            FrameType::ConfirmedUp => 0b100,
+            FrameType::UnconfirmedDown => 0b011,
+            FrameType::ConfirmedDown => 0b101,
+        };
+        mtype << 5 // major = 0 (LoRaWAN R1)
+    }
+
+    fn from_mhdr(mhdr: u8) -> Result<Self, LorawanError> {
+        match mhdr >> 5 {
+            0b010 => Ok(FrameType::UnconfirmedUp),
+            0b100 => Ok(FrameType::ConfirmedUp),
+            0b011 => Ok(FrameType::UnconfirmedDown),
+            0b101 => Ok(FrameType::ConfirmedDown),
+            _ => Err(LorawanError::Malformed { reason: "unsupported message type" }),
+        }
+    }
+
+    /// Whether this is an uplink type.
+    pub fn is_uplink(self) -> bool {
+        matches!(self, FrameType::UnconfirmedUp | FrameType::ConfirmedUp)
+    }
+
+    fn direction(self) -> Direction {
+        if self.is_uplink() {
+            Direction::Uplink
+        } else {
+            Direction::Downlink
+        }
+    }
+}
+
+/// ABP session keys for one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceKeys {
+    /// Network session key (MIC).
+    pub nwk_skey: [u8; 16],
+    /// Application session key (payload encryption).
+    pub app_skey: [u8; 16],
+}
+
+impl DeviceKeys {
+    /// Derives deterministic per-device test keys from a device address
+    /// (simulation convenience; real deployments provision random keys).
+    pub fn derive_for_tests(dev_addr: u32) -> Self {
+        let mut nwk = [0u8; 16];
+        let mut app = [0u8; 16];
+        for i in 0..16 {
+            nwk[i] = (dev_addr.rotate_left(i as u32) as u8).wrapping_add(0x3A + i as u8);
+            app[i] = (dev_addr.rotate_right(i as u32) as u8).wrapping_add(0xC5 ^ i as u8);
+        }
+        DeviceKeys { nwk_skey: nwk, app_skey: app }
+    }
+}
+
+/// A parsed (decrypted, verified) LoRaWAN data frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Message type.
+    pub frame_type: FrameType,
+    /// Device address.
+    pub dev_addr: u32,
+    /// 16-bit frame counter as transmitted.
+    pub fcnt: u16,
+    /// Application port.
+    pub fport: u8,
+    /// Decrypted application payload.
+    pub payload: Vec<u8>,
+}
+
+impl DataFrame {
+    /// Builds and serialises a frame: encrypts the payload and appends the
+    /// MIC. Returns the complete PHY payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LorawanError::OutOfRange`] for payloads longer than 222
+    /// bytes (the EU868 SF7 limit, a conservative cap for all SFs).
+    pub fn encode(&self, keys: &DeviceKeys) -> Result<Vec<u8>, LorawanError> {
+        if self.payload.len() > 222 {
+            return Err(LorawanError::OutOfRange { reason: "payload exceeds 222 bytes" });
+        }
+        let dir = self.frame_type.direction();
+        let mut frm = self.payload.clone();
+        crypt_frm_payload(&keys.app_skey, self.dev_addr, self.fcnt as u32, dir, &mut frm);
+
+        let mut bytes = Vec::with_capacity(9 + frm.len() + 4);
+        bytes.push(self.frame_type.mhdr());
+        bytes.extend_from_slice(&self.dev_addr.to_le_bytes());
+        bytes.push(0x00); // FCtrl: no ADR, no ACK, no FOpts
+        bytes.extend_from_slice(&self.fcnt.to_le_bytes());
+        bytes.push(self.fport);
+        bytes.extend_from_slice(&frm);
+        let mic = compute_mic(&keys.nwk_skey, self.dev_addr, self.fcnt as u32, dir, &bytes);
+        bytes.extend_from_slice(&mic);
+        Ok(bytes)
+    }
+
+    /// Parses frame bytes without verifying the MIC or decrypting — enough
+    /// to read the claimed source address, which is what the SoftLoRa
+    /// gateway needs before consulting its frequency-bias database
+    /// (paper §7.2: "applied after the SoftLoRa gateway decodes the frame
+    /// to obtain the claimed source node ID").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LorawanError::Malformed`] on truncated or unknown frames.
+    pub fn peek_header(bytes: &[u8]) -> Result<(FrameType, u32, u16), LorawanError> {
+        if bytes.len() < 13 {
+            return Err(LorawanError::Malformed { reason: "frame shorter than minimum 13 bytes" });
+        }
+        let frame_type = FrameType::from_mhdr(bytes[0])?;
+        let dev_addr = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+        let fcnt = u16::from_le_bytes([bytes[6], bytes[7]]);
+        Ok((frame_type, dev_addr, fcnt))
+    }
+
+    /// Parses, MIC-verifies and decrypts frame bytes.
+    ///
+    /// `fcnt_high` supplies the upper 16 bits of the 32-bit counter used in
+    /// the crypto blocks (0 for short-lived simulations).
+    ///
+    /// # Errors
+    ///
+    /// * [`LorawanError::Malformed`] on structural problems.
+    /// * [`LorawanError::BadMic`] when authentication fails.
+    pub fn decode(
+        bytes: &[u8],
+        keys: &DeviceKeys,
+        fcnt_high: u16,
+    ) -> Result<DataFrame, LorawanError> {
+        let (frame_type, dev_addr, fcnt) = Self::peek_header(bytes)?;
+        let fctrl = bytes[5];
+        let fopts_len = (fctrl & 0x0F) as usize;
+        if fopts_len != 0 {
+            return Err(LorawanError::Malformed { reason: "FOpts not supported" });
+        }
+        let dir = frame_type.direction();
+        let full_fcnt = ((fcnt_high as u32) << 16) | fcnt as u32;
+
+        let mic_start = bytes.len() - 4;
+        let mic: [u8; 4] =
+            bytes[mic_start..].try_into().map_err(|_| LorawanError::Malformed {
+                reason: "missing MIC",
+            })?;
+        if !verify_mic(&keys.nwk_skey, dev_addr, full_fcnt, dir, &bytes[..mic_start], &mic) {
+            return Err(LorawanError::BadMic);
+        }
+        let fport = bytes[8];
+        let mut payload = bytes[9..mic_start].to_vec();
+        crypt_frm_payload(&keys.app_skey, dev_addr, full_fcnt, dir, &mut payload);
+        Ok(DataFrame { frame_type, dev_addr, fcnt, fport, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        DataFrame {
+            frame_type: FrameType::UnconfirmedUp,
+            dev_addr: 0x2601_4B2A,
+            fcnt: 42,
+            fport: 1,
+            payload: b"temperature=23.4".to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let keys = DeviceKeys::derive_for_tests(0x2601_4B2A);
+        let bytes = frame().encode(&keys).unwrap();
+        let decoded = DataFrame::decode(&bytes, &keys, 0).unwrap();
+        assert_eq!(decoded, frame());
+    }
+
+    #[test]
+    fn wire_layout() {
+        let keys = DeviceKeys::derive_for_tests(1);
+        let f = DataFrame {
+            frame_type: FrameType::UnconfirmedUp,
+            dev_addr: 0x0403_0201,
+            fcnt: 0x1234,
+            fport: 7,
+            payload: vec![0xAA; 5],
+        };
+        let bytes = f.encode(&keys).unwrap();
+        assert_eq!(bytes[0] >> 5, 0b010);
+        assert_eq!(&bytes[1..5], &[0x01, 0x02, 0x03, 0x04]);
+        assert_eq!(bytes[5], 0);
+        assert_eq!(&bytes[6..8], &[0x34, 0x12]);
+        assert_eq!(bytes[8], 7);
+        assert_eq!(bytes.len(), 9 + 5 + 4);
+    }
+
+    #[test]
+    fn payload_is_encrypted_on_the_wire() {
+        let keys = DeviceKeys::derive_for_tests(9);
+        let f = DataFrame { payload: b"plaintext!".to_vec(), ..frame() };
+        let bytes = f.encode(&keys).unwrap();
+        let wire_payload = &bytes[9..bytes.len() - 4];
+        assert_ne!(wire_payload, b"plaintext!");
+    }
+
+    #[test]
+    fn mic_detects_tampering() {
+        let keys = DeviceKeys::derive_for_tests(0x2601_4B2A);
+        let mut bytes = frame().encode(&keys).unwrap();
+        bytes[10] ^= 0x01;
+        assert_eq!(DataFrame::decode(&bytes, &keys, 0), Err(LorawanError::BadMic));
+    }
+
+    #[test]
+    fn wrong_keys_fail_mic() {
+        let keys = DeviceKeys::derive_for_tests(0x2601_4B2A);
+        let other = DeviceKeys::derive_for_tests(0xDEAD_BEEF);
+        let bytes = frame().encode(&keys).unwrap();
+        assert_eq!(DataFrame::decode(&bytes, &other, 0), Err(LorawanError::BadMic));
+    }
+
+    #[test]
+    fn bit_exact_replay_still_verifies() {
+        // The property the paper's attack exploits.
+        let keys = DeviceKeys::derive_for_tests(5);
+        let bytes = frame().encode(&keys).unwrap();
+        let replayed = bytes.clone();
+        assert!(DataFrame::decode(&replayed, &keys, 0).is_ok());
+    }
+
+    #[test]
+    fn peek_header_without_keys() {
+        let keys = DeviceKeys::derive_for_tests(0x2601_4B2A);
+        let bytes = frame().encode(&keys).unwrap();
+        let (ft, addr, fcnt) = DataFrame::peek_header(&bytes).unwrap();
+        assert_eq!(ft, FrameType::UnconfirmedUp);
+        assert_eq!(addr, 0x2601_4B2A);
+        assert_eq!(fcnt, 42);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        assert!(DataFrame::peek_header(&[0x40; 5]).is_err());
+        let keys = DeviceKeys::derive_for_tests(1);
+        assert!(DataFrame::decode(&[0x40; 12], &keys, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_mtype_rejected() {
+        let mut bytes = frame().encode(&DeviceKeys::derive_for_tests(0x2601_4B2A)).unwrap();
+        bytes[0] = 0xE0; // proprietary
+        assert!(matches!(
+            DataFrame::peek_header(&bytes),
+            Err(LorawanError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let keys = DeviceKeys::derive_for_tests(1);
+        let f = DataFrame { payload: vec![0; 223], ..frame() };
+        assert!(matches!(f.encode(&keys), Err(LorawanError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn downlink_direction_crypto_differs() {
+        let keys = DeviceKeys::derive_for_tests(7);
+        let up = DataFrame { frame_type: FrameType::UnconfirmedUp, ..frame() };
+        let down = DataFrame { frame_type: FrameType::UnconfirmedDown, ..frame() };
+        let ub = up.encode(&keys).unwrap();
+        let db = down.encode(&keys).unwrap();
+        // Same payload, different keystream/MIC because of the direction bit.
+        assert_ne!(ub[9..], db[9..]);
+    }
+
+    #[test]
+    fn fcnt_high_mismatch_fails_mic() {
+        let keys = DeviceKeys::derive_for_tests(3);
+        let bytes = frame().encode(&keys).unwrap(); // encoded with high = 0
+        assert!(DataFrame::decode(&bytes, &keys, 1).is_err());
+    }
+}

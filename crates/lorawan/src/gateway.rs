@@ -1,0 +1,315 @@
+//! Commodity LoRaWAN gateway: frame verification, deduplication and
+//! synchronization-free data timestamping (paper §3.2).
+//!
+//! The gateway holds a GPS-disciplined clock, so the *arrival time* of an
+//! uplink is trusted global time. For every accepted frame it reconstructs
+//! the global time of interest of each sensor record as
+//! `arrival − elapsed`. This module implements the plain (attack-unaware)
+//! gateway; the SoftLoRa defence wraps it in the `softlora` core crate.
+
+use crate::elapsed::ElapsedCodec;
+use crate::frame::{DataFrame, DeviceKeys};
+use crate::LorawanError;
+use std::collections::HashMap;
+
+/// A sensor record with its reconstructed global timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimestampedRecord {
+    /// Sensor value.
+    pub value: u16,
+    /// Reconstructed global time of interest, seconds.
+    pub global_time_s: f64,
+    /// Elapsed time the device reported, seconds.
+    pub elapsed_s: f64,
+}
+
+/// An accepted uplink with reconstructed record timestamps.
+#[derive(Debug, Clone)]
+pub struct ReceivedUplink {
+    /// Source device address.
+    pub dev_addr: u32,
+    /// Frame counter.
+    pub fcnt: u16,
+    /// Frame arrival time on the gateway clock, seconds.
+    pub arrival_global_s: f64,
+    /// Timestamped sensor records.
+    pub records: Vec<TimestampedRecord>,
+}
+
+/// The gateway's verdict on an incoming frame.
+#[derive(Debug, Clone)]
+pub enum RxVerdict {
+    /// Frame accepted; records timestamped.
+    Accepted(ReceivedUplink),
+    /// The claimed device address is not provisioned.
+    UnknownDevice {
+        /// The unprovisioned address.
+        dev_addr: u32,
+    },
+    /// Authentication or structure failure.
+    Rejected(LorawanError),
+}
+
+impl RxVerdict {
+    /// Whether the frame was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, RxVerdict::Accepted(_))
+    }
+}
+
+/// Per-device session state.
+#[derive(Debug, Clone)]
+struct Session {
+    keys: DeviceKeys,
+    /// Highest accepted frame counter, or None before the first frame.
+    last_fcnt: Option<u16>,
+}
+
+/// A commodity LoRaWAN gateway with synchronization-free timestamping.
+///
+/// # Example
+///
+/// ```
+/// use softlora_lorawan::{ClassADevice, DeviceConfig, Gateway};
+/// use softlora_phy::{PhyConfig, SpreadingFactor};
+///
+/// let cfg = DeviceConfig::new(7, PhyConfig::uplink(SpreadingFactor::Sf7));
+/// let mut dev = ClassADevice::new(cfg.clone());
+/// let mut gw = Gateway::new();
+/// gw.provision(cfg.dev_addr, cfg.keys.clone());
+///
+/// dev.sense(100, 4.0)?;
+/// let tx = dev.try_transmit(5.0)?;
+/// // Frame arrives (propagation is microseconds; ignore here).
+/// let verdict = gw.receive(&tx.bytes, 5.0 + tx.airtime_s);
+/// assert!(verdict.is_accepted());
+/// # Ok::<(), softlora_lorawan::LorawanError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gateway {
+    sessions: HashMap<u32, Session>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Gateway {
+    /// Creates an empty gateway.
+    pub fn new() -> Self {
+        Gateway::default()
+    }
+
+    /// Provisions a device's session keys (ABP).
+    pub fn provision(&mut self, dev_addr: u32, keys: DeviceKeys) {
+        self.sessions.insert(dev_addr, Session { keys, last_fcnt: None });
+    }
+
+    /// Whether a device is provisioned.
+    pub fn knows(&self, dev_addr: u32) -> bool {
+        self.sessions.contains_key(&dev_addr)
+    }
+
+    /// Total accepted frames.
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total rejected frames.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Processes an uplink frame that arrived at `arrival_global_s` on the
+    /// gateway clock: verifies structure, MIC and counter, decodes the
+    /// elapsed-time records and reconstructs their global timestamps.
+    pub fn receive(&mut self, bytes: &[u8], arrival_global_s: f64) -> RxVerdict {
+        match self.receive_inner(bytes, arrival_global_s) {
+            Ok(up) => {
+                self.accepted += 1;
+                RxVerdict::Accepted(up)
+            }
+            Err(RxError::Unknown(dev_addr)) => {
+                self.rejected += 1;
+                RxVerdict::UnknownDevice { dev_addr }
+            }
+            Err(RxError::Lorawan(e)) => {
+                self.rejected += 1;
+                RxVerdict::Rejected(e)
+            }
+        }
+    }
+
+    fn receive_inner(
+        &mut self,
+        bytes: &[u8],
+        arrival_global_s: f64,
+    ) -> Result<ReceivedUplink, RxError> {
+        let (_, dev_addr, _) = DataFrame::peek_header(bytes).map_err(RxError::Lorawan)?;
+        let session = self.sessions.get_mut(&dev_addr).ok_or(RxError::Unknown(dev_addr))?;
+        let frame = DataFrame::decode(bytes, &session.keys, 0).map_err(RxError::Lorawan)?;
+
+        // Counter replay protection: strictly increasing.
+        if let Some(last) = session.last_fcnt {
+            if frame.fcnt <= last {
+                return Err(RxError::Lorawan(LorawanError::CounterReplay {
+                    last_accepted: last as u32,
+                    received: frame.fcnt as u32,
+                }));
+            }
+        }
+        session.last_fcnt = Some(frame.fcnt);
+
+        // Decode records: count byte + packed elapsed records.
+        if frame.payload.is_empty() {
+            return Err(RxError::Lorawan(LorawanError::Malformed {
+                reason: "empty application payload",
+            }));
+        }
+        let n = frame.payload[0] as usize;
+        let pairs = ElapsedCodec::decode(&frame.payload[1..], n).map_err(RxError::Lorawan)?;
+        let records = pairs
+            .into_iter()
+            .map(|(value, elapsed_s)| TimestampedRecord {
+                value,
+                elapsed_s,
+                global_time_s: ElapsedCodec::reconstruct(arrival_global_s, elapsed_s),
+            })
+            .collect();
+
+        Ok(ReceivedUplink { dev_addr, fcnt: frame.fcnt, arrival_global_s, records })
+    }
+}
+
+enum RxError {
+    Unknown(u32),
+    Lorawan(LorawanError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{ClassADevice, DeviceConfig};
+    use softlora_phy::{PhyConfig, SpreadingFactor};
+
+    fn setup() -> (ClassADevice, Gateway) {
+        let cfg = DeviceConfig::new(0x11, PhyConfig::uplink(SpreadingFactor::Sf7));
+        let mut gw = Gateway::new();
+        gw.provision(cfg.dev_addr, cfg.keys.clone());
+        (ClassADevice::new(cfg), gw)
+    }
+
+    #[test]
+    fn end_to_end_timestamping_accuracy() {
+        let (mut dev, mut gw) = setup();
+        // Record taken at device-local 10.0; device clock ~= global here.
+        dev.sense(500, 10.0).unwrap();
+        let tx = dev.try_transmit(12.0).unwrap();
+        let arrival = 12.0 + tx.airtime_s + 3.5e-6; // propagation
+        let verdict = gw.receive(&tx.bytes, arrival);
+        let RxVerdict::Accepted(up) = verdict else { panic!("not accepted") };
+        assert_eq!(up.records.len(), 1);
+        // Reconstructed time should be ~ 10.0 + airtime (+ prop): the
+        // elapsed field was computed at tx start, so the airtime appears
+        // as reconstruction bias; still millisecond-scale for short frames?
+        // No: airtime is tens of ms; the *structural* error here is
+        // airtime + propagation because our device stamps elapsed at tx
+        // start while the gateway stamps arrival at frame end.
+        let err = up.records[0].global_time_s - 10.0;
+        assert!(err > 0.0 && err < tx.airtime_s + 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn frame_end_referenced_arrival_removes_airtime_bias() {
+        // A gateway that timestamps the frame *onset* (as SoftLoRa's PHY
+        // timestamping does) removes the airtime bias entirely.
+        let (mut dev, mut gw) = setup();
+        dev.sense(500, 10.0).unwrap();
+        let tx = dev.try_transmit(12.0).unwrap();
+        let onset_arrival = 12.0 + 3.5e-6;
+        let RxVerdict::Accepted(up) = gw.receive(&tx.bytes, onset_arrival) else {
+            panic!("not accepted")
+        };
+        let err = (up.records[0].global_time_s - 10.0).abs();
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn counter_replay_rejected() {
+        let (mut dev, mut gw) = setup();
+        dev.sense(1, 0.0).unwrap();
+        let tx = dev.try_transmit(1.0).unwrap();
+        assert!(gw.receive(&tx.bytes, 1.1).is_accepted());
+        // Bit-exact replay: rejected by the counter (the naive defence).
+        match gw.receive(&tx.bytes, 5.0) {
+            RxVerdict::Rejected(LorawanError::CounterReplay { .. }) => {}
+            other => panic!("expected counter replay rejection, got {other:?}"),
+        }
+        assert_eq!(gw.accepted_count(), 1);
+        assert_eq!(gw.rejected_count(), 1);
+    }
+
+    #[test]
+    fn suppressed_original_makes_replay_pass() {
+        // The frame-delay attack: the gateway never saw the original (it
+        // was jammed), so the delayed replay has a *fresh* counter and is
+        // accepted — with a wrong arrival time.
+        let (mut dev, mut gw) = setup();
+        dev.sense(42, 100.0).unwrap();
+        let tx = dev.try_transmit(101.0).unwrap();
+        // Original suppressed; replayer re-transmits τ = 30 s later.
+        let tau = 30.0;
+        let verdict = gw.receive(&tx.bytes, 101.0 + tx.airtime_s + tau);
+        let RxVerdict::Accepted(up) = verdict else { panic!("replay should be accepted") };
+        // Every reconstructed timestamp is off by ~τ.
+        let err = up.records[0].global_time_s - 100.0;
+        assert!((err - tau).abs() < 0.1, "timestamp shifted by {err}, want ~{tau}");
+    }
+
+    #[test]
+    fn unknown_device_reported() {
+        let (mut dev, _) = setup();
+        let mut empty_gw = Gateway::new();
+        dev.sense(1, 0.0).unwrap();
+        let tx = dev.try_transmit(1.0).unwrap();
+        match empty_gw.receive(&tx.bytes, 1.1) {
+            RxVerdict::UnknownDevice { dev_addr } => assert_eq!(dev_addr, 0x11),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut gw = Gateway::new();
+        assert!(!gw.receive(&[0u8; 4], 0.0).is_accepted());
+        assert!(!gw.receive(&[0x40; 30], 0.0).is_accepted());
+    }
+
+    #[test]
+    fn tampered_frame_rejected() {
+        let (mut dev, mut gw) = setup();
+        dev.sense(1, 0.0).unwrap();
+        let mut tx = dev.try_transmit(1.0).unwrap();
+        tx.bytes[10] ^= 0xFF;
+        match gw.receive(&tx.bytes, 1.1) {
+            RxVerdict::Rejected(LorawanError::BadMic) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_devices_tracked_independently() {
+        let cfg_a = DeviceConfig::new(0xA, PhyConfig::uplink(SpreadingFactor::Sf7));
+        let cfg_b = DeviceConfig::new(0xB, PhyConfig::uplink(SpreadingFactor::Sf7));
+        let mut gw = Gateway::new();
+        gw.provision(0xA, cfg_a.keys.clone());
+        gw.provision(0xB, cfg_b.keys.clone());
+        let mut a = ClassADevice::new(cfg_a);
+        let mut b = ClassADevice::new(cfg_b);
+        a.sense(1, 0.0).unwrap();
+        b.sense(2, 0.0).unwrap();
+        let ta = a.try_transmit(1.0).unwrap();
+        let tb = b.try_transmit(1.0).unwrap();
+        assert!(gw.receive(&ta.bytes, 1.1).is_accepted());
+        assert!(gw.receive(&tb.bytes, 1.1).is_accepted());
+        assert!(gw.knows(0xA) && gw.knows(0xB) && !gw.knows(0xC));
+    }
+}

@@ -1,0 +1,227 @@
+//! Radio channel and link-budget models.
+//!
+//! Provides the propagation machinery behind the paper's two testbeds: the
+//! six-floor concrete building (Fig. 15, SNRs from −1 to 13 dB) and the
+//! 1.07 km campus link (§8.2, one-way propagation time 3.57 µs, heavy rain
+//! during the tests). Geometry-specific deployments live in `softlora-sim`;
+//! this module supplies the generic pieces: path-loss laws, thermal noise
+//! floors, propagation delay, and the capture-effect threshold for
+//! co-channel LoRa transmissions.
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// One-way propagation delay over `distance_m` metres, in seconds.
+///
+/// ```
+/// use softlora_phy::channel::propagation_delay_s;
+/// // The paper's campus link: 1.07 km -> 3.57 µs.
+/// let d = propagation_delay_s(1070.0);
+/// assert!((d - 3.57e-6).abs() < 0.02e-6);
+/// ```
+pub fn propagation_delay_s(distance_m: f64) -> f64 {
+    distance_m / SPEED_OF_LIGHT
+}
+
+/// Free-space path loss in dB at `distance_m` metres and `freq_hz` hertz.
+///
+/// `FSPL = 20·log10(d) + 20·log10(f) − 147.55`.
+pub fn free_space_path_loss_db(distance_m: f64, freq_hz: f64) -> f64 {
+    20.0 * distance_m.max(1e-3).log10() + 20.0 * freq_hz.log10() - 147.55
+}
+
+/// Log-distance path-loss model with shadowing hook:
+/// `PL(d) = PL(d0) + 10·n·log10(d/d0)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    /// Reference distance in metres (usually 1 m).
+    pub d0_m: f64,
+    /// Path loss at the reference distance, dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent (2 free space, 2.7–4 urban, up to 6 indoor NLOS).
+    pub exponent: f64,
+}
+
+impl LogDistance {
+    /// Indoor-concrete defaults at 868 MHz: `PL(1 m) = 31.2 dB`, exponent 3.3.
+    pub fn indoor_868() -> Self {
+        LogDistance { d0_m: 1.0, pl0_db: 31.2, exponent: 3.3 }
+    }
+
+    /// Open-campus defaults at 868 MHz: exponent 2.7 (partially obstructed).
+    pub fn campus_868() -> Self {
+        LogDistance { d0_m: 1.0, pl0_db: 31.2, exponent: 2.7 }
+    }
+
+    /// Path loss in dB at `distance_m` metres.
+    pub fn path_loss_db(&self, distance_m: f64) -> f64 {
+        self.pl0_db + 10.0 * self.exponent * (distance_m.max(self.d0_m) / self.d0_m).log10()
+    }
+}
+
+/// Rain attenuation margin in dB for sub-GHz links.
+///
+/// At 868 MHz rain attenuation is small (well under 0.01 dB/km even in
+/// heavy rain), but antenna wetting and reduced multipath coherence add an
+/// empirical margin; the paper's campus tests ran in heavy rain and still
+/// achieved microsecond timestamping.
+pub fn rain_margin_db(distance_km: f64, rain_rate_mm_h: f64) -> f64 {
+    // Specific attenuation at 868 MHz is negligible; model the wetting
+    // margin as 0.3 dB plus a tiny distance-proportional term.
+    0.3 + 0.002 * rain_rate_mm_h * distance_km
+}
+
+/// Thermal noise floor in dBm for a receiver of bandwidth `bw_hz` and noise
+/// figure `nf_db`: `−174 + 10·log10(BW) + NF`.
+///
+/// ```
+/// use softlora_phy::channel::noise_floor_dbm;
+/// // 125 kHz, 6 dB NF -> about −117 dBm.
+/// let nf = noise_floor_dbm(125e3, 6.0);
+/// assert!((nf + 117.0).abs() < 0.1);
+/// ```
+pub fn noise_floor_dbm(bw_hz: f64, nf_db: f64) -> f64 {
+    -174.0 + 10.0 * bw_hz.log10() + nf_db
+}
+
+/// Co-channel capture threshold for LoRa: a frame is decodable in the
+/// presence of a same-SF interferer if it is at least this much stronger
+/// (dB). The ~6 dB figure is the commonly measured SX127x co-SF capture
+/// margin and is what makes the paper's jamming effective.
+pub const CAPTURE_THRESHOLD_DB: f64 = 6.0;
+
+/// A point-to-point radio link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Transmit power in dBm (EIRP).
+    pub tx_power_dbm: f64,
+    /// Total path loss in dB (path loss + penetration + margins).
+    pub path_loss_db: f64,
+    /// Receiver noise floor in dBm.
+    pub noise_floor_dbm: f64,
+}
+
+impl LinkBudget {
+    /// Received signal power in dBm.
+    pub fn rx_power_dbm(&self) -> f64 {
+        self.tx_power_dbm - self.path_loss_db
+    }
+
+    /// Received SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        self.rx_power_dbm() - self.noise_floor_dbm
+    }
+
+    /// Whether a frame at spreading factor `sf` is decodable on this link
+    /// (SNR above the SX1276 demodulation floor).
+    pub fn decodable(&self, sf: crate::SpreadingFactor) -> bool {
+        self.snr_db() >= sf.demod_floor_db()
+    }
+
+    /// Linear amplitude scale corresponding to the received power, relative
+    /// to a 0 dBm reference amplitude of 1.0.
+    pub fn rx_amplitude(&self) -> f64 {
+        10f64.powf(self.rx_power_dbm() / 20.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpreadingFactor;
+
+    #[test]
+    fn propagation_delay_microseconds_scale() {
+        // Paper §3: "radio signal propagation times ... are generally in
+        // microseconds".
+        assert!(propagation_delay_s(300.0) < 1.1e-6);
+        assert!((propagation_delay_s(1070.0) - 3.569e-6).abs() < 5e-9);
+    }
+
+    #[test]
+    fn fspl_known_value() {
+        // 868 MHz at 1 km: ≈ 91.2 dB.
+        let pl = free_space_path_loss_db(1000.0, 868e6);
+        assert!((pl - 91.2).abs() < 0.3, "{pl}");
+    }
+
+    #[test]
+    fn fspl_monotone_in_distance_and_freq() {
+        assert!(
+            free_space_path_loss_db(200.0, 868e6) > free_space_path_loss_db(100.0, 868e6)
+        );
+        assert!(
+            free_space_path_loss_db(100.0, 915e6) > free_space_path_loss_db(100.0, 868e6)
+        );
+    }
+
+    #[test]
+    fn log_distance_matches_fspl_with_exponent_two() {
+        let ld = LogDistance {
+            d0_m: 1.0,
+            pl0_db: free_space_path_loss_db(1.0, 868e6),
+            exponent: 2.0,
+        };
+        for d in [10.0, 100.0, 1000.0] {
+            let a = ld.path_loss_db(d);
+            let b = free_space_path_loss_db(d, 868e6);
+            assert!((a - b).abs() < 0.01, "d={d}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn log_distance_clamps_below_reference() {
+        let ld = LogDistance::indoor_868();
+        assert_eq!(ld.path_loss_db(0.1), ld.pl0_db);
+    }
+
+    #[test]
+    fn noise_floor_values() {
+        assert!((noise_floor_dbm(125e3, 6.0) + 117.03).abs() < 0.05);
+        // Wider bandwidth, higher floor.
+        assert!(noise_floor_dbm(500e3, 6.0) > noise_floor_dbm(125e3, 6.0));
+    }
+
+    #[test]
+    fn link_budget_snr_and_decodability() {
+        let link = LinkBudget {
+            tx_power_dbm: 14.0,
+            path_loss_db: 120.0,
+            noise_floor_dbm: noise_floor_dbm(125e3, 6.0),
+        };
+        assert!((link.rx_power_dbm() + 106.0).abs() < 1e-9);
+        assert!((link.snr_db() - 11.0).abs() < 0.1);
+        assert!(link.decodable(SpreadingFactor::Sf7));
+
+        let weak = LinkBudget { path_loss_db: 140.0, ..link };
+        // SNR ≈ −9 dB: SF7 floor is −7.5 (fails) but SF8's −10 passes.
+        assert!(!weak.decodable(SpreadingFactor::Sf7));
+        assert!(weak.decodable(SpreadingFactor::Sf8));
+    }
+
+    #[test]
+    fn sf8_crosses_what_sf7_cannot_like_paper_building() {
+        // Paper §8.1.1: SF7 fails across the building floors, SF8 works.
+        // Find a path loss that reproduces that ordering.
+        let pl = 139.0;
+        let link = LinkBudget {
+            tx_power_dbm: 14.0,
+            path_loss_db: pl,
+            noise_floor_dbm: noise_floor_dbm(125e3, 6.0),
+        };
+        assert!(!link.decodable(SpreadingFactor::Sf7));
+        assert!(link.decodable(SpreadingFactor::Sf8));
+    }
+
+    #[test]
+    fn rx_amplitude_is_20log_inverse() {
+        let link = LinkBudget { tx_power_dbm: 0.0, path_loss_db: 40.0, noise_floor_dbm: -117.0 };
+        assert!((link.rx_amplitude() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rain_margin_small_at_868() {
+        let m = rain_margin_db(1.07, 25.0);
+        assert!(m > 0.0 && m < 1.0, "{m}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Gray code mapping between symbol values and bit patterns.
+//!
+//! LoRa maps interleaved codeword bits to chirp symbols through a Gray code
+//! so that the most likely demodulation error — the FFT peak landing one bin
+//! off — flips only a single bit, which the Hamming stage can then correct.
+
+/// Encodes a binary value to its reflected Gray code.
+///
+/// ```
+/// use softlora_phy::coding::gray_encode;
+/// assert_eq!(gray_encode(0), 0);
+/// assert_eq!(gray_encode(1), 1);
+/// assert_eq!(gray_encode(2), 3);
+/// assert_eq!(gray_encode(3), 2);
+/// ```
+pub fn gray_encode(value: u32) -> u32 {
+    value ^ (value >> 1)
+}
+
+/// Decodes a reflected Gray code back to binary.
+pub fn gray_decode(gray: u32) -> u32 {
+    let mut v = gray;
+    v ^= v >> 16;
+    v ^= v >> 8;
+    v ^= v >> 4;
+    v ^= v >> 2;
+    v ^= v >> 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_12_bit_values() {
+        for v in 0u32..(1 << 12) {
+            assert_eq!(gray_decode(gray_encode(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn adjacent_values_differ_in_one_bit() {
+        for v in 0u32..4095 {
+            let a = gray_encode(v);
+            let b = gray_encode(v + 1);
+            assert_eq!((a ^ b).count_ones(), 1, "values {v},{}", v + 1);
+        }
+    }
+
+    #[test]
+    fn known_sequence() {
+        let want = [0u32, 1, 3, 2, 6, 7, 5, 4];
+        for (v, &g) in want.iter().enumerate() {
+            assert_eq!(gray_encode(v as u32), g);
+        }
+    }
+
+    #[test]
+    fn large_values_round_trip() {
+        for v in [0x0000_FFFFu32, 0x1234_5678, 0xFFFF_FFFF, 0x8000_0000] {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Diagonal block interleaver.
+//!
+//! LoRa arranges a block of `ppm` codewords (each `4 + CR` bits) into a
+//! matrix and reads it out diagonally to form `4 + CR` chirp symbols of
+//! `ppm` bits each. A burst error that corrupts one symbol therefore
+//! touches only one bit of each codeword — which the Hamming stage can
+//! correct. `ppm` is `SF` normally, or `SF − 2` for the header block and
+//! in low-data-rate mode.
+
+use crate::PhyError;
+
+/// Interleaves a block of `ppm` codewords of `cw_bits` bits each into
+/// `cw_bits` symbol values of `ppm` bits each.
+///
+/// Output symbol `j`, bit `i` is codeword `(i + j) mod ppm`, bit `j`
+/// (the classic LoRa diagonal pattern).
+///
+/// # Errors
+///
+/// Returns [`PhyError::InvalidConfig`] unless `codewords.len() == ppm`,
+/// `0 < ppm <= 16` and `0 < cw_bits <= 8`.
+pub fn interleave_block(
+    codewords: &[u8],
+    ppm: usize,
+    cw_bits: usize,
+) -> Result<Vec<u16>, PhyError> {
+    validate(codewords.len(), ppm, cw_bits)?;
+    let mut symbols = vec![0u16; cw_bits];
+    for (j, sym) in symbols.iter_mut().enumerate() {
+        for i in 0..ppm {
+            let row = (i + j) % ppm;
+            let bit = (codewords[row] >> j) & 1;
+            *sym |= (bit as u16) << i;
+        }
+    }
+    Ok(symbols)
+}
+
+/// Inverts [`interleave_block`].
+///
+/// # Errors
+///
+/// Returns [`PhyError::InvalidConfig`] unless `symbols.len() == cw_bits` and
+/// the dimension constraints of [`interleave_block`] hold.
+pub fn deinterleave_block(
+    symbols: &[u16],
+    ppm: usize,
+    cw_bits: usize,
+) -> Result<Vec<u8>, PhyError> {
+    if symbols.len() != cw_bits {
+        return Err(PhyError::InvalidConfig { reason: "symbol count must equal codeword bits" });
+    }
+    validate(ppm, ppm, cw_bits)?;
+    let mut codewords = vec![0u8; ppm];
+    for (j, &sym) in symbols.iter().enumerate() {
+        for i in 0..ppm {
+            let row = (i + j) % ppm;
+            let bit = ((sym >> i) & 1) as u8;
+            codewords[row] |= bit << j;
+        }
+    }
+    Ok(codewords)
+}
+
+fn validate(n_codewords: usize, ppm: usize, cw_bits: usize) -> Result<(), PhyError> {
+    if ppm == 0 || ppm > 16 {
+        return Err(PhyError::InvalidConfig { reason: "ppm must be in 1..=16" });
+    }
+    if cw_bits == 0 || cw_bits > 8 {
+        return Err(PhyError::InvalidConfig { reason: "codeword bits must be in 1..=8" });
+    }
+    if n_codewords != ppm {
+        return Err(PhyError::InvalidConfig { reason: "codeword count must equal ppm" });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exhaustive_small() {
+        // ppm=4, cw_bits=5: iterate a spread of blocks.
+        for seed in 0u32..200 {
+            let codewords: Vec<u8> =
+                (0..4).map(|i| ((seed.wrapping_mul(31).wrapping_add(i * 97)) % 32) as u8).collect();
+            let symbols = interleave_block(&codewords, 4, 5).unwrap();
+            let back = deinterleave_block(&symbols, 4, 5).unwrap();
+            assert_eq!(back, codewords);
+        }
+    }
+
+    #[test]
+    fn round_trip_lora_dimensions() {
+        // All realistic (ppm, cw_bits) combinations.
+        for ppm in [5usize, 6, 7, 8, 9, 10, 11, 12] {
+            for cw_bits in [5usize, 6, 7, 8] {
+                let codewords: Vec<u8> =
+                    (0..ppm).map(|i| ((i * 37 + 11) % (1 << cw_bits.min(8))) as u8).collect();
+                let symbols = interleave_block(&codewords, ppm, cw_bits).unwrap();
+                assert_eq!(symbols.len(), cw_bits);
+                for &s in &symbols {
+                    assert!(s < (1 << ppm), "symbol {s} exceeds {ppm} bits");
+                }
+                let back = deinterleave_block(&symbols, ppm, cw_bits).unwrap();
+                assert_eq!(back, codewords, "ppm {ppm} cw {cw_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_corrupted_symbol_touches_each_codeword_once() {
+        let ppm = 7;
+        let cw_bits = 8;
+        let codewords: Vec<u8> = (0..ppm).map(|i| (i * 13 + 5) as u8).collect();
+        let mut symbols = interleave_block(&codewords, ppm, cw_bits).unwrap();
+        // Corrupt every bit of one symbol (a fully jammed chirp).
+        symbols[3] ^= (1 << ppm) - 1;
+        let back = deinterleave_block(&symbols, ppm, cw_bits).unwrap();
+        for (orig, got) in codewords.iter().zip(back.iter()) {
+            let flipped = (orig ^ got).count_ones();
+            assert_eq!(flipped, 1, "codeword damaged in {flipped} bits");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let cw = vec![0u8; 4];
+        assert!(interleave_block(&cw, 5, 5).is_err()); // count mismatch
+        assert!(interleave_block(&cw, 0, 5).is_err());
+        assert!(interleave_block(&cw, 4, 0).is_err());
+        assert!(interleave_block(&cw, 4, 9).is_err());
+        assert!(deinterleave_block(&[0u16; 3], 4, 5).is_err()); // wrong symbol count
+    }
+
+    #[test]
+    fn interleave_is_a_permutation_of_bits() {
+        let ppm = 8;
+        let cw_bits = 6;
+        let codewords: Vec<u8> = vec![0x3F, 0, 0, 0, 0, 0, 0, 0];
+        let symbols = interleave_block(&codewords, ppm, cw_bits).unwrap();
+        let total_bits: u32 = symbols.iter().map(|s| s.count_ones()).sum();
+        assert_eq!(total_bits, 6); // all six set bits survive, just moved
+    }
+}

@@ -1,0 +1,697 @@
+//! LoRa frame demodulator: baseband I/Q in, bytes out.
+//!
+//! Implements the classic dechirp-and-FFT receiver. Synchronisation follows
+//! the standard preamble/SFD trick: dechirping a preamble *up*-chirp yields
+//! a tone at `cfo + sto` (in bins/chips), dechirping an SFD *down*-chirp
+//! yields `cfo − sto`; combining the two separates carrier frequency offset
+//! from sample timing offset. A fine stage then polishes timing by template
+//! correlation and removes the fractional carrier/timing residuals with
+//! parabolic FFT-peak interpolation on the preamble and SFD tones.
+//!
+//! The demodulator mirrors the RN2483 behaviour the paper's §4.3 attack
+//! experiments rely on: losing the header results in a *silent*
+//! [`PhyError::HeaderLost`] drop, while a payload CRC failure raises the
+//! "alert" error [`PhyError::PayloadCrc`].
+
+use crate::chirp::ChirpGenerator;
+use crate::coding::{
+    crc16_ccitt, deinterleave_block, gray_decode, hamming_decode, DecodeOutcome, Whitener,
+};
+use crate::modulator::{header_checksum, SYNC_SYMBOLS};
+use crate::params::{CodingRate, PhyConfig};
+use crate::PhyError;
+use softlora_dsp::fft::{argmax_bin, fft_forward};
+use softlora_dsp::Complex;
+
+/// Decoded PHY header fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhyHeader {
+    /// Payload length in bytes (before CRC).
+    pub payload_len: usize,
+    /// Payload coding rate.
+    pub cr: CodingRate,
+    /// Whether a payload CRC-16 follows the payload.
+    pub has_crc: bool,
+}
+
+/// Result of successfully demodulating a frame.
+#[derive(Debug, Clone)]
+pub struct DemodulatedFrame {
+    /// Recovered payload bytes (de-whitened, CRC stripped).
+    pub payload: Vec<u8>,
+    /// Decoded header.
+    pub header: PhyHeader,
+    /// Estimated carrier frequency offset in Hz (transmitter bias minus
+    /// receiver bias, as seen by this receiver).
+    pub cfo_hz: f64,
+    /// Estimated frame start, in samples from the beginning of the capture.
+    pub frame_start: usize,
+    /// Number of Hamming-corrected codewords in the payload.
+    pub corrected_codewords: usize,
+}
+
+/// Dechirp-and-FFT LoRa demodulator.
+#[derive(Debug, Clone)]
+pub struct Demodulator {
+    cfg: PhyConfig,
+    oversample: usize,
+    generator: ChirpGenerator,
+    up_ref: Vec<Complex>,
+    down_ref: Vec<Complex>,
+}
+
+impl Demodulator {
+    /// Creates a demodulator for frames produced by a matching
+    /// [`crate::modulator::Modulator`] at the same oversampling factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidConfig`] for invalid configurations.
+    pub fn new(cfg: PhyConfig, oversample: usize) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        let generator =
+            ChirpGenerator::oversampled(cfg.sf, cfg.channel.bandwidth.hz(), oversample)?;
+        let up_ref = generator.dechirp_reference();
+        let down_ref: Vec<Complex> =
+            generator.downchirp(0, 0.0, 0.0, 1.0).iter().map(|z| z.conj()).collect();
+        Ok(Demodulator { cfg, oversample, generator, up_ref, down_ref })
+    }
+
+    /// Samples per chirp.
+    pub fn samples_per_chirp(&self) -> usize {
+        self.generator.samples_per_chirp()
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.generator.sample_rate()
+    }
+
+    /// Zero-padding factor of the dechirped decision FFT: each chip/bin is
+    /// resolved into 4 sub-bins, making fractional tone positions directly
+    /// measurable.
+    const PAD: usize = 4;
+
+    /// Dechirps one window with the given reference, folds to chip rate and
+    /// returns the 4x zero-padded FFT spectrum (length `4 · 2^SF`).
+    fn dechirp_fft(&self, window: &[Complex], reference: &[Complex]) -> Vec<Complex> {
+        let chips = self.cfg.sf.chips();
+        let os = self.oversample;
+        let mut folded = vec![Complex::ZERO; chips * Self::PAD];
+        for i in 0..chips {
+            // Sum the os polyphase samples of each chip (fold/alias to the
+            // chip rate) — equivalent to decimation after dechirping with a
+            // boxcar anti-alias, adequate since the dechirped tone is
+            // narrowband.
+            for k in 0..os {
+                let idx = i * os + k;
+                if idx < window.len() && idx < reference.len() {
+                    folded[i] += window[idx] * reference[idx];
+                }
+            }
+        }
+        fft_forward(&folded)
+    }
+
+    /// Fractional tone position of the dechirped window, in chip units
+    /// within `[0, 2^SF)`: padded-FFT argmax plus a parabolic sub-bin
+    /// refinement.
+    fn dechirp_tone_chips(&self, window: &[Complex], reference: &[Complex]) -> f64 {
+        let spec = self.dechirp_fft(window, reference);
+        let (pk, _) = argmax_bin(&spec);
+        let m = spec.len();
+        let mag = |i: usize| spec[i % m].norm();
+        let (ym, y0, yp) = (mag(pk + m - 1), mag(pk), mag(pk + 1));
+        let denom = ym - 2.0 * y0 + yp;
+        let frac = if denom.abs() > 1e-12 {
+            (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
+        } else {
+            0.0
+        };
+        (pk as f64 + frac) / Self::PAD as f64
+    }
+
+    /// Derotates a window copy by `-cfo_hz`, with phase referenced to the
+    /// window's first sample index `abs_start` so successive windows stay
+    /// phase-continuous.
+    fn derotated(&self, samples: &[Complex], abs_start: usize, len: usize, cfo_hz: f64) -> Vec<Complex> {
+        let dt = 1.0 / self.sample_rate();
+        (0..len)
+            .map(|n| {
+                let idx = abs_start + n;
+                if idx < samples.len() {
+                    samples[idx]
+                        * Complex::cis(-2.0 * std::f64::consts::PI * cfo_hz * (idx as f64 * dt))
+                } else {
+                    Complex::ZERO
+                }
+            })
+            .collect()
+    }
+
+    /// Demodulates a frame from `samples`.
+    ///
+    /// `start_hint` is an estimate of the frame's first sample, accurate to
+    /// within ±¼ chirp (the gateway's energy detector or, on SoftLoRa, the
+    /// AIC PHY timestamp provides this). The carrier frequency offset may be
+    /// up to ±W/4.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhyError::CaptureTooShort`] if the capture cannot contain a
+    ///   minimal frame at the hint.
+    /// * [`PhyError::HeaderLost`] if preamble/header recovery fails (the
+    ///   silent-drop path).
+    /// * [`PhyError::PayloadCrc`] if the payload CRC check fails (the
+    ///   alert path).
+    pub fn demodulate(
+        &self,
+        samples: &[Complex],
+        start_hint: usize,
+    ) -> Result<DemodulatedFrame, PhyError> {
+        let n = self.samples_per_chirp();
+        let chips = self.cfg.sf.chips();
+        let os = self.oversample;
+        let min_len = start_hint + (self.cfg.preamble_chirps + 4 + 8) * n;
+        if samples.len() < min_len {
+            return Err(PhyError::CaptureTooShort { required: min_len, actual: samples.len() });
+        }
+
+        // --- Coarse sync: fractional preamble up-tone and SFD down-tone,
+        // in chip units. Use the 3rd preamble chirp so a hint up to
+        // ¼ chirp early still lands inside the preamble. ---
+        let up_win_start = start_hint + 2 * n;
+        let b_up = self.dechirp_tone_chips(&samples[up_win_start..up_win_start + n], &self.up_ref);
+        let sfd_start = start_hint + (self.cfg.preamble_chirps + 2) * n;
+        let b_down =
+            self.dechirp_tone_chips(&samples[sfd_start..sfd_start + n], &self.down_ref);
+
+        // Signed fold to (−2^S/2, 2^S/2] in float chip units.
+        let fold_f = |x: f64| -> f64 {
+            let m = chips as f64;
+            (x + m / 2.0).rem_euclid(m) - m / 2.0
+        };
+        let fold = |x: i64| -> i64 {
+            let m = chips as i64;
+            let half = m / 2;
+            ((x + half).rem_euclid(m)) - half
+        };
+        // b_up = cfo + sto, b_down = cfo − sto  (bins/chips, mod 2^S).
+        let diff = fold_f(b_up - b_down);
+        let sto_chips_f = diff / 2.0;
+        let sto_chips = sto_chips_f.round() as i64;
+        let cfo_chips = fold_f(b_up - sto_chips_f);
+        let bin_hz = self.cfg.channel.bandwidth.hz() / chips as f64;
+        let mut cfo_hz = cfo_chips * bin_hz;
+        // A positive sto means our windows started late; shift back.
+        let mut start = start_hint as i64 - sto_chips * os as i64;
+        if start < 0 {
+            return Err(PhyError::HeaderLost);
+        }
+
+        // --- Fine timing: correlate a derotated preamble chirp against the
+        // clean template over ±2 chips. ---
+        let template = self.generator.upchirp(0, 0.0, 0.0, 1.0);
+        let search = 2 * os as i64;
+        let mut best_off = 0i64;
+        let mut best_mag = -1.0f64;
+        for off in -search..=search {
+            let ws = start + 2 * n as i64 + off;
+            if ws < 0 || (ws as usize + n) > samples.len() {
+                continue;
+            }
+            let win = self.derotated(samples, ws as usize, n, cfo_hz);
+            let corr: Complex =
+                win.iter().zip(template.iter()).map(|(a, b)| *a * b.conj()).sum();
+            let mag = corr.norm();
+            if mag > best_mag {
+                best_mag = mag;
+                best_off = off;
+            }
+        }
+        start += best_off;
+        if start < 0 {
+            return Err(PhyError::HeaderLost);
+        }
+        let start = start as usize;
+
+        // --- Fractional CFO/STO separation. The preamble up-chirps carry
+        // symbol 0 (their dechirped tone does not wrap, so its fractional
+        // peak position is unbiased) and the SFD provides the matching
+        // down-chirp measurement; combining them separates the fractional
+        // carrier offset from the fractional timing offset just like the
+        // coarse stage did for the integer parts. ---
+        let up_f = {
+            let win = self.derotated(samples, start + 2 * n, n, cfo_hz);
+            fold_f(self.dechirp_tone_chips(&win, &self.up_ref))
+        };
+        let down_f = {
+            let ws = start + (self.cfg.preamble_chirps + 2) * n;
+            let win = self.derotated(samples, ws, n, cfo_hz);
+            fold_f(self.dechirp_tone_chips(&win, &self.down_ref))
+        };
+        let cfo_frac_bins = (up_f + down_f) / 2.0;
+        let sto_frac_chips = (up_f - down_f) / 2.0;
+        cfo_hz += cfo_frac_bins * bin_hz;
+        let frac_shift = (sto_frac_chips * os as f64).round() as i64;
+        let start = (start as i64 - frac_shift).max(0) as usize;
+
+        // --- Residual common-mode trim: whatever (small) tone offset the
+        // preamble still shows after the corrections is shared by every
+        // payload symbol; subtract it from each decision. ---
+        let mut ref_offset = 0.0;
+        for k in [2usize, 3] {
+            let win = self.derotated(samples, start + k * n, n, cfo_hz);
+            ref_offset += fold_f(self.dechirp_tone_chips(&win, &self.up_ref));
+        }
+        ref_offset /= 2.0;
+        let cfo_report = cfo_hz + ref_offset * bin_hz;
+
+        // Reads the symbol value of the dechirped window at `ws`, offset-
+        // corrected relative to the preamble reference.
+        let read_symbol_at = |ws: usize| -> Option<usize> {
+            if ws + n > samples.len() {
+                return None;
+            }
+            let win = self.derotated(samples, ws, n, cfo_hz);
+            let value = self.dechirp_tone_chips(&win, &self.up_ref) - ref_offset;
+            Some((value.round() as i64).rem_euclid(chips as i64) as usize)
+        };
+
+        // --- Sync word sanity check (loose: each within ±1 of expected). ---
+        let mut sync_ok = 0;
+        for (k, &expect) in SYNC_SYMBOLS.iter().enumerate() {
+            let ws = start + (self.cfg.preamble_chirps + k) * n;
+            if let Some(sym) = read_symbol_at(ws) {
+                let err = fold(sym as i64 - (expect % chips) as i64).abs();
+                if err <= 1 {
+                    sync_ok += 1;
+                }
+            }
+        }
+        if sync_ok == 0 {
+            return Err(PhyError::HeaderLost);
+        }
+
+        // --- Payload section. ---
+        let payload_start = start + (self.cfg.preamble_chirps + 2) * n + 2 * n + n / 4;
+        let read_symbol = |k: usize| -> Option<usize> { read_symbol_at(payload_start + k * n) };
+
+        let sf = self.cfg.sf.value() as usize;
+        let mut corrected = 0usize;
+        let mut nibbles: Vec<u8> = Vec::new();
+        let mut symbol_idx = 0usize;
+
+        // Header block (explicit header assumed for gateway uplinks).
+        let header = if self.cfg.explicit_header {
+            let ppm = sf - 2;
+            let mut syms = Vec::with_capacity(8);
+            for _ in 0..8 {
+                let s = read_symbol(symbol_idx).ok_or(PhyError::HeaderLost)?;
+                symbol_idx += 1;
+                // Reduced rate: round to the nearest multiple of 4.
+                let v = ((s + 2) >> 2) as u32 % (1u32 << ppm);
+                syms.push(gray_decode(v) as u16);
+            }
+            let codewords = deinterleave_block(&syms, ppm, 8)?;
+            let mut hdr_nibbles = Vec::with_capacity(ppm);
+            for cw in codewords {
+                let (nib, outcome) = hamming_decode(cw, CodingRate::Cr4_8);
+                if outcome == DecodeOutcome::Detected {
+                    return Err(PhyError::HeaderLost);
+                }
+                if outcome == DecodeOutcome::Corrected {
+                    corrected += 1;
+                }
+                hdr_nibbles.push(nib);
+            }
+            let len = (hdr_nibbles[0] | (hdr_nibbles[1] << 4)) as usize;
+            let flags = hdr_nibbles[2];
+            let check = hdr_nibbles[3] | (hdr_nibbles[4] << 4);
+            if header_checksum(len as u8, flags) != check {
+                return Err(PhyError::HeaderLost);
+            }
+            let cr = CodingRate::from_parity_bits((flags & 0x07) as usize)
+                .map_err(|_| PhyError::HeaderLost)?;
+            let has_crc = flags & 0x08 != 0;
+            // Extra payload nibbles that rode in the header block.
+            nibbles.extend_from_slice(&hdr_nibbles[5..]);
+            PhyHeader { payload_len: len, cr, has_crc }
+        } else {
+            PhyHeader { payload_len: 0, cr: self.cfg.cr, has_crc: self.cfg.payload_crc }
+        };
+
+        let body_len = header.payload_len + if header.has_crc { 2 } else { 0 };
+        let total_nibbles = 2 * body_len;
+        let ppm = if self.cfg.low_data_rate { sf - 2 } else { sf };
+        let cw_bits = header.cr.codeword_bits();
+        let shift = sf - ppm;
+
+        while nibbles.len() < total_nibbles {
+            let mut syms = Vec::with_capacity(cw_bits);
+            for _ in 0..cw_bits {
+                let s = read_symbol(symbol_idx).ok_or(PhyError::PayloadCrc)?;
+                symbol_idx += 1;
+                let v = if shift > 0 {
+                    ((s + (1 << (shift - 1))) >> shift) as u32 % (1u32 << ppm)
+                } else {
+                    s as u32
+                };
+                syms.push(gray_decode(v) as u16);
+            }
+            let codewords = deinterleave_block(&syms, ppm, cw_bits)?;
+            for cw in codewords {
+                let (nib, outcome) = hamming_decode(cw, header.cr);
+                if outcome == DecodeOutcome::Corrected {
+                    corrected += 1;
+                }
+                nibbles.push(nib);
+            }
+        }
+
+        // Reassemble bytes (low nibble first).
+        let mut body = Vec::with_capacity(body_len);
+        for pair in nibbles.chunks(2).take(body_len) {
+            body.push(pair[0] | (pair.get(1).copied().unwrap_or(0) << 4));
+        }
+
+        // CRC check on whitened body, then de-whiten.
+        let mut payload_whitened = body;
+        if header.has_crc {
+            if payload_whitened.len() < 2 {
+                return Err(PhyError::PayloadCrc);
+            }
+            let crc_hi = payload_whitened[payload_whitened.len() - 2];
+            let crc_lo = payload_whitened[payload_whitened.len() - 1];
+            payload_whitened.truncate(payload_whitened.len() - 2);
+            let want = ((crc_hi as u16) << 8) | crc_lo as u16;
+            if crc16_ccitt(&payload_whitened) != want {
+                return Err(PhyError::PayloadCrc);
+            }
+        }
+        let mut payload = payload_whitened;
+        Whitener::new().apply(&mut payload);
+
+        Ok(DemodulatedFrame {
+            payload,
+            header,
+            cfo_hz: cfo_report,
+            frame_start: start,
+            corrected_codewords: corrected,
+        })
+    }
+
+    /// Scans a capture for the coarse start of a LoRa frame.
+    ///
+    /// Slides a dechirp window in quarter-chirp steps and looks for a run of
+    /// windows whose dechirped spectra show a dominant bin that *advances by
+    /// exactly `2^S/4` per step* — the signature of constant preamble
+    /// up-chirps seen through a sliding window (the tone bin encodes
+    /// `cfo + timing`, and the timing term grows by a quarter chirp per
+    /// step). The run start is then refined with an AIC onset pick on the
+    /// sample-magnitude trace, yielding a start accurate to well within the
+    /// ±¼ chirp that [`Demodulator::demodulate`] requires.
+    ///
+    /// `threshold` is the required peak-to-average spectral ratio (e.g. 8.0
+    /// for comfortable SNR, 4.0 near the demodulation floor).
+    pub fn find_frame_start(&self, samples: &[Complex], threshold: f64) -> Option<usize> {
+        let n = self.samples_per_chirp();
+        if samples.len() < 4 * n {
+            return None;
+        }
+        let step = n / 4;
+        // The decision spectrum is 4x zero-padded: positions are in padded
+        // bins, and a quarter-chirp window step advances the tone by a
+        // quarter of the chip range = `chips` padded bins.
+        let padded = (self.cfg.sf.chips() * Self::PAD) as i64;
+        let bin_step = padded / 4;
+        let tol = Self::PAD as i64; // one chip of slack
+        let mut run_start = None;
+        let mut prev_bin: Option<i64> = None;
+        let mut run_len = 0usize;
+        let mut pos = 0usize;
+        let mut found = None;
+        while pos + n <= samples.len() {
+            let spec = self.dechirp_fft(&samples[pos..pos + n], &self.up_ref);
+            let (bin, mag) = argmax_bin(&spec);
+            let avg = spec.iter().map(|z| z.norm()).sum::<f64>() / spec.len() as f64;
+            let strong = avg > 0.0 && mag / avg > threshold;
+            let progression_ok = match prev_bin {
+                None => true,
+                Some(p) => {
+                    let d = (bin as i64 - p - bin_step).rem_euclid(padded);
+                    d <= tol || d >= padded - tol
+                }
+            };
+            if strong && (run_len == 0 || progression_ok) {
+                if run_len == 0 {
+                    run_start = Some(pos);
+                }
+                prev_bin = Some(bin as i64);
+                run_len += 1;
+                // 12 consecutive quarter-chirp windows ≈ 3 full stable
+                // chirps: enough evidence of a preamble.
+                if run_len >= 12 {
+                    found = run_start;
+                    break;
+                }
+            } else {
+                run_len = 0;
+                run_start = None;
+                prev_bin = None;
+            }
+            pos += step;
+        }
+        let coarse = found?;
+        // Refine: AIC onset pick on the magnitude trace around the coarse
+        // start (the first strong window can precede the true onset by up
+        // to a window length at high SNR).
+        let lo = coarse.saturating_sub(2 * n);
+        let hi = (coarse + 2 * n).min(samples.len());
+        let mags: Vec<f64> = samples[lo..hi].iter().map(|z| z.norm()).collect();
+        match softlora_dsp::aic::aic_pick(&mags, 16) {
+            Ok(pick) => Some(lo + pick.onset),
+            Err(_) => Some(coarse),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulator::Modulator;
+    use crate::params::SpreadingFactor;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn build(sf: SpreadingFactor, os: usize) -> (Modulator, Demodulator) {
+        let cfg = PhyConfig::uplink(sf);
+        (Modulator::new(cfg, os).unwrap(), Demodulator::new(cfg, os).unwrap())
+    }
+
+    fn with_padding(frame: &[Complex], lead: usize, tail: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; lead];
+        v.extend_from_slice(frame);
+        v.extend(vec![Complex::ZERO; tail]);
+        v
+    }
+
+    fn add_noise(samples: &mut [Complex], sigma: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = || {
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        for z in samples.iter_mut() {
+            *z += Complex::new(sigma * gauss(), sigma * gauss());
+        }
+    }
+
+    #[test]
+    fn clean_round_trip_sf7() {
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let payload = b"hello softlora!";
+        let frame = m.modulate(payload, 0.0, 0.0, 1.0).unwrap();
+        let capture = with_padding(&frame.samples, 100, 500);
+        let out = d.demodulate(&capture, 100).unwrap();
+        assert_eq!(out.payload, payload);
+        assert_eq!(out.header.payload_len, payload.len());
+        assert!(out.header.has_crc);
+        assert!(out.cfo_hz.abs() < 50.0, "cfo {}", out.cfo_hz);
+    }
+
+    #[test]
+    fn round_trip_all_sf() {
+        for sf in [
+            SpreadingFactor::Sf7,
+            SpreadingFactor::Sf8,
+            SpreadingFactor::Sf9,
+            SpreadingFactor::Sf10,
+        ] {
+            let (m, d) = build(sf, 1);
+            let payload = b"test payload 123";
+            let frame = m.modulate(payload, 0.0, 0.5, 1.0).unwrap();
+            let capture = with_padding(&frame.samples, 64, 256);
+            let out = d.demodulate(&capture, 64).unwrap();
+            assert_eq!(out.payload, payload, "{sf}");
+        }
+    }
+
+    #[test]
+    fn round_trip_sf12_ldro() {
+        let (m, d) = build(SpreadingFactor::Sf12, 1);
+        let payload = b"ldro";
+        let frame = m.modulate(payload, 0.0, 0.0, 1.0).unwrap();
+        let capture = with_padding(&frame.samples, 10, 100);
+        let out = d.demodulate(&capture, 10).unwrap();
+        assert_eq!(out.payload, payload);
+    }
+
+    #[test]
+    fn round_trip_with_large_cfo() {
+        // Device FBs in the paper are 17–25 kHz; the demodulator must
+        // tolerate them (|cfo| < W/4 = 31.25 kHz).
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let payload = b"frequency bias";
+        for cfo in [-25_000.0, -17_000.0, 12_345.0, 25_000.0] {
+            let frame = m.modulate(payload, cfo, 1.1, 1.0).unwrap();
+            let capture = with_padding(&frame.samples, 50, 300);
+            let out = d.demodulate(&capture, 50).unwrap();
+            assert_eq!(out.payload, payload, "cfo {cfo}");
+            // The demod-level CFO estimate is coarse: a ±1-sample timing
+            // residual at 2x oversampling aliases into ±0.5 bin (≈490 Hz).
+            assert!((out.cfo_hz - cfo).abs() < 600.0, "cfo {cfo} est {}", out.cfo_hz);
+        }
+    }
+
+    #[test]
+    fn round_trip_with_timing_offset() {
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let payload = b"timing";
+        let n = m.samples_per_chirp() as i64;
+        let frame = m.modulate(payload, -20e3, 0.3, 1.0).unwrap();
+        // Hint off by up to ±¼ chirp.
+        for hint_err in [-n / 4 + 1, -n / 8, 0, n / 8, n / 4 - 1] {
+            let lead = 2000usize;
+            let capture = with_padding(&frame.samples, lead, 300);
+            let hint = (lead as i64 + hint_err) as usize;
+            let out = d.demodulate(&capture, hint).unwrap();
+            assert_eq!(out.payload, payload, "hint err {hint_err}");
+            assert!(
+                (out.frame_start as i64 - lead as i64).abs() <= 2,
+                "hint err {hint_err}: start {} vs {}",
+                out.frame_start,
+                lead
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_with_noise() {
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let payload = b"noisy channel";
+        let frame = m.modulate(payload, -22e3, 0.0, 1.0).unwrap();
+        let mut capture = with_padding(&frame.samples, 200, 400);
+        // sigma 0.35 per I/Q component: SNR = 1 / (2·0.35²) ≈ 6 dB.
+        add_noise(&mut capture, 0.35, 42);
+        let out = d.demodulate(&capture, 200).unwrap();
+        assert_eq!(out.payload, payload);
+    }
+
+    #[test]
+    fn round_trip_near_demod_floor() {
+        // SF9 floor is −12.5 dB; run at ≈ −6 dB where decoding should still
+        // comfortably succeed (amplitude 1, sigma 1.0 -> SNR = -3 dB).
+        let (m, d) = build(SpreadingFactor::Sf9, 1);
+        let payload = b"low snr";
+        let frame = m.modulate(payload, 5e3, 0.2, 1.0).unwrap();
+        let mut capture = with_padding(&frame.samples, 128, 256);
+        add_noise(&mut capture, 1.0, 7);
+        let out = d.demodulate(&capture, 128).unwrap();
+        assert_eq!(out.payload, payload);
+    }
+
+    #[test]
+    fn corrupted_payload_raises_crc_alert() {
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let frame = m.modulate(b"integrity", 0.0, 0.0, 1.0).unwrap();
+        let mut capture = with_padding(&frame.samples, 20, 200);
+        // Blast payload symbols *after* the 8-symbol header block with a
+        // strong tone (CR 4/5 cannot correct, CRC must catch it).
+        let start = 20 + frame.payload_start + 9 * m.samples_per_chirp();
+        for k in 0..3 * m.samples_per_chirp() {
+            capture[start + k] = Complex::from_polar(3.0, 0.31 * k as f64);
+        }
+        match d.demodulate(&capture, 20) {
+            Err(PhyError::PayloadCrc) => {}
+            other => panic!("expected PayloadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_header_is_silent_drop() {
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let frame = m.modulate(b"header", 0.0, 0.0, 1.0).unwrap();
+        let mut capture = with_padding(&frame.samples, 20, 200);
+        // Corrupt the header block (first symbols after the SFD).
+        let start = 20 + frame.payload_start;
+        for k in 0..6 * m.samples_per_chirp() {
+            capture[start + k] = Complex::from_polar(3.0, 0.47 * k as f64);
+        }
+        match d.demodulate(&capture, 20) {
+            Err(PhyError::HeaderLost) => {}
+            other => panic!("expected HeaderLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capture_too_short_detected() {
+        let (_, d) = build(SpreadingFactor::Sf7, 2);
+        let tiny = vec![Complex::ZERO; 100];
+        assert!(matches!(
+            d.demodulate(&tiny, 0),
+            Err(PhyError::CaptureTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn find_frame_start_locates_preamble() {
+        let (m, d) = build(SpreadingFactor::Sf7, 2);
+        let frame = m.modulate(b"locate me", -15e3, 0.0, 1.0).unwrap();
+        let lead = 5 * m.samples_per_chirp() + 37;
+        let mut capture = with_padding(&frame.samples, lead, 300);
+        add_noise(&mut capture, 0.1, 3);
+        let found = d.find_frame_start(&capture, 6.0).expect("preamble not found");
+        let err = (found as i64 - lead as i64).abs();
+        assert!(err <= (m.samples_per_chirp() / 4) as i64, "err {err}");
+        // And the coarse start must be good enough to demodulate.
+        let out = d.demodulate(&capture, found).unwrap();
+        assert_eq!(out.payload, b"locate me");
+    }
+
+    #[test]
+    fn find_frame_start_rejects_pure_noise() {
+        let (_, d) = build(SpreadingFactor::Sf7, 2);
+        let mut capture = vec![Complex::ZERO; 30 * d.samples_per_chirp()];
+        add_noise(&mut capture, 1.0, 11);
+        assert!(d.find_frame_start(&capture, 8.0).is_none());
+    }
+
+    #[test]
+    fn hamming_corrections_counted_under_noise() {
+        // CR 4/8 payload with noise: occasionally codewords get corrected.
+        let mut cfg = PhyConfig::uplink(SpreadingFactor::Sf8);
+        cfg.cr = CodingRate::Cr4_8;
+        let m = Modulator::new(cfg, 1).unwrap();
+        let d = Demodulator::new(cfg, 1).unwrap();
+        let payload = vec![0x5Au8; 24];
+        let frame = m.modulate(&payload, 0.0, 0.0, 1.0).unwrap();
+        let mut capture = with_padding(&frame.samples, 32, 128);
+        add_noise(&mut capture, 0.9, 23);
+        let out = d.demodulate(&capture, 32).unwrap();
+        assert_eq!(out.payload, payload);
+        // corrected_codewords is usize — just touch it for the API.
+        let _ = out.corrected_codewords;
+    }
+}

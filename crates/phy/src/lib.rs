@@ -1,0 +1,132 @@
+//! LoRa physical layer for the SoftLoRa reproduction.
+//!
+//! This crate rebuilds, in software, every piece of radio hardware the paper
+//! ("Attack-Aware Data Timestamping in Low-Power Synchronization-Free
+//! LoRaWAN", ICDCS 2020) relies on:
+//!
+//! * the **Chirp Spread Spectrum waveform** exactly as modelled in paper
+//!   §5.2/§6.1.1/§7.1 — instantaneous angle
+//!   `Θ(t) = πW²/2^S·t² − πW·t + 2πδ·t + θ` — in [`chirp`];
+//! * a full **modulator/demodulator** pair (whitening, Hamming FEC,
+//!   diagonal interleaving, Gray mapping, explicit header, payload CRC) in
+//!   [`modulator`], [`demodulator`] and [`coding`];
+//! * **oscillator models** with ppm-scale frequency bias — the physical trait
+//!   the paper's defence keys on — in [`oscillator`];
+//! * the **SDR receiver front-end** (quadrature mixing with receiver bias
+//!   `δRx` and random phase `θRx`, low-pass filtering, 2.4 Msps sampling;
+//!   paper Fig. 5) in [`sdr`];
+//! * **radio channel models** (log-distance/free-space path loss, the
+//!   six-floor building of paper Fig. 15, AWGN and "real" coloured noise) in
+//!   [`channel`] and [`noise`];
+//! * **frame timing** and the stealthy-jamming windows `w1/w2/w3` of paper
+//!   Table 1 in [`frame_timing`];
+//! * a behavioural model of the **RN2483 receiver chip's** lock/drop/alert
+//!   logic under jamming (paper §4.3) in [`rn2483`].
+//!
+//! The crate is deliberately self-contained: given a payload, a device
+//! oscillator and a channel, it produces the same I/Q traces an RTL-SDR
+//! would capture, which the `softlora` core crate then timestamps and
+//! analyses.
+
+pub mod channel;
+pub mod chirp;
+pub mod coding;
+pub mod demodulator;
+pub mod frame_timing;
+pub mod modulator;
+pub mod noise;
+pub mod oscillator;
+pub mod params;
+pub mod rn2483;
+pub mod sdr;
+
+pub use chirp::ChirpGenerator;
+pub use params::{Bandwidth, CodingRate, LoRaChannel, PhyConfig, SpreadingFactor};
+
+/// Errors returned by PHY-layer routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhyError {
+    /// A configuration parameter was out of its documented domain.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// The payload exceeds the maximum the PHY header can describe.
+    PayloadTooLong {
+        /// Maximum payload length in bytes.
+        max: usize,
+        /// Requested payload length in bytes.
+        actual: usize,
+    },
+    /// Demodulation failed before the header could be recovered (no
+    /// preamble lock, or header parity failure). This is the "silent drop"
+    /// path of the RN2483 (paper §4.3): no alert is raised.
+    HeaderLost,
+    /// The header decoded but the payload failed its CRC — the chip raises
+    /// a frame-corruption alert (paper §4.3).
+    PayloadCrc,
+    /// The capture does not contain enough samples for the requested
+    /// operation.
+    CaptureTooShort {
+        /// Samples required.
+        required: usize,
+        /// Samples available.
+        actual: usize,
+    },
+    /// An underlying DSP routine rejected its input.
+    Dsp(softlora_dsp::DspError),
+}
+
+impl std::fmt::Display for PhyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhyError::InvalidConfig { reason } => write!(f, "invalid PHY configuration: {reason}"),
+            PhyError::PayloadTooLong { max, actual } => {
+                write!(f, "payload too long: {actual} bytes exceeds maximum {max}")
+            }
+            PhyError::HeaderLost => write!(f, "frame header lost (silent drop, no alert)"),
+            PhyError::PayloadCrc => write!(f, "payload integrity check failed (alert raised)"),
+            PhyError::CaptureTooShort { required, actual } => {
+                write!(f, "capture too short: need {required} samples, got {actual}")
+            }
+            PhyError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhyError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<softlora_dsp::DspError> for PhyError {
+    fn from(e: softlora_dsp::DspError) -> Self {
+        PhyError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(PhyError::HeaderLost.to_string().contains("silent"));
+        assert!(PhyError::PayloadCrc.to_string().contains("alert"));
+        let e = PhyError::PayloadTooLong { max: 255, actual: 300 };
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn dsp_error_converts_and_sources() {
+        use std::error::Error;
+        let d = softlora_dsp::DspError::InputTooShort { required: 4, actual: 1 };
+        let e: PhyError = d.clone().into();
+        assert_eq!(e, PhyError::Dsp(d));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,395 @@
+//! LoRa frame modulator: bytes in, baseband I/Q out.
+//!
+//! Frame structure (matching the LoRa air-time formula the paper uses):
+//!
+//! ```text
+//! | preamble: P up-chirps | 2 sync up-chirps | 2.25 down-chirp SFD | payload symbols |
+//! ```
+//!
+//! The bit chain is whitening → Hamming(4, 4+CR) → diagonal interleaving →
+//! Gray mapping → cyclic chirp shift. The first interleaving block carries
+//! the explicit PHY header at the robust rate (CR 4/8, `SF − 2` bits per
+//! symbol); later blocks use the configured coding rate, at `SF − 2` bits
+//! per symbol when low-data-rate optimisation is active and `SF` otherwise.
+
+use crate::chirp::ChirpGenerator;
+use crate::coding::{
+    crc16_ccitt, gray_encode, hamming_encode, interleave_block, Whitener,
+};
+use crate::params::{CodingRate, PhyConfig, SpreadingFactor};
+use crate::PhyError;
+use softlora_dsp::Complex;
+
+/// Sync-word chirp symbols transmitted between the preamble and the SFD.
+pub const SYNC_SYMBOLS: [usize; 2] = [24, 48];
+
+/// Maximum payload length our one-byte header length field can describe.
+pub const MAX_PAYLOAD: usize = 255;
+
+/// A modulated frame: the transmitted symbol stream plus its waveform
+/// layout, ready to be placed on a channel.
+#[derive(Debug, Clone)]
+pub struct ModulatedFrame {
+    /// Complex baseband samples of the whole frame.
+    pub samples: Vec<Complex>,
+    /// The chirp symbol values of the payload section (after the SFD).
+    pub payload_symbols: Vec<usize>,
+    /// Sample index where the payload section starts.
+    pub payload_start: usize,
+    /// Sample rate of `samples` in Hz.
+    pub sample_rate: f64,
+}
+
+/// Frame modulator bound to a PHY configuration and sample rate.
+///
+/// # Example
+///
+/// ```
+/// use softlora_phy::modulator::Modulator;
+/// use softlora_phy::{PhyConfig, SpreadingFactor};
+///
+/// let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+/// let m = Modulator::new(cfg, 2)?; // 2x oversampling
+/// let frame = m.modulate(b"hello", 0.0, 0.0, 1.0)?;
+/// assert!(!frame.samples.is_empty());
+/// # Ok::<(), softlora_phy::PhyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Modulator {
+    cfg: PhyConfig,
+    oversample: usize,
+    generator: ChirpGenerator,
+}
+
+impl Modulator {
+    /// Creates a modulator with `oversample` samples per chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::InvalidConfig`] for invalid configs (see
+    /// [`PhyConfig::validate`]), zero oversampling, or SF6 with an explicit
+    /// header (real chips only support implicit headers at SF6).
+    pub fn new(cfg: PhyConfig, oversample: usize) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        if cfg.sf == SpreadingFactor::Sf6 && cfg.explicit_header {
+            return Err(PhyError::InvalidConfig {
+                reason: "SF6 supports implicit headers only",
+            });
+        }
+        let generator =
+            ChirpGenerator::oversampled(cfg.sf, cfg.channel.bandwidth.hz(), oversample)?;
+        Ok(Modulator { cfg, oversample, generator })
+    }
+
+    /// The PHY configuration.
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// Samples per chirp at this modulator's rate.
+    pub fn samples_per_chirp(&self) -> usize {
+        self.generator.samples_per_chirp()
+    }
+
+    /// Oversampling factor (samples per chip).
+    pub fn oversample(&self) -> usize {
+        self.oversample
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.generator.sample_rate()
+    }
+
+    /// Encodes `payload` into the chirp symbol stream (no waveform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::PayloadTooLong`] for payloads above
+    /// [`MAX_PAYLOAD`] bytes.
+    pub fn encode_symbols(&self, payload: &[u8]) -> Result<Vec<usize>, PhyError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(PhyError::PayloadTooLong { max: MAX_PAYLOAD, actual: payload.len() });
+        }
+        let sf = self.cfg.sf.value() as usize;
+
+        // Whiten payload, append CRC over the *whitened* bytes (self-
+        // consistent choice; the demodulator mirrors it).
+        let mut body = payload.to_vec();
+        Whitener::new().apply(&mut body);
+        if self.cfg.payload_crc {
+            let crc = crc16_ccitt(&body);
+            body.push((crc >> 8) as u8);
+            body.push((crc & 0xFF) as u8);
+        }
+
+        // Nibble stream, low nibble first.
+        let mut nibbles: Vec<u8> = Vec::with_capacity(2 * body.len() + 6);
+        if self.cfg.explicit_header {
+            nibbles.extend_from_slice(&header_nibbles(payload.len(), self.cfg));
+        }
+        for b in &body {
+            nibbles.push(b & 0x0F);
+            nibbles.push(b >> 4);
+        }
+
+        let mut symbols = Vec::new();
+        let mut idx = 0;
+
+        // Header block: CR 4/8, reduced rate (SF−2 bits per symbol).
+        if self.cfg.explicit_header {
+            let ppm = sf - 2;
+            let mut block = Vec::with_capacity(ppm);
+            for _ in 0..ppm {
+                let nib = nibbles.get(idx).copied().unwrap_or(0);
+                idx += 1;
+                block.push(hamming_encode(nib, CodingRate::Cr4_8));
+            }
+            let interleaved = interleave_block(&block, ppm, 8)?;
+            for v in interleaved {
+                symbols.push(self.map_symbol(v as u32, sf - ppm));
+            }
+        }
+
+        // Payload blocks.
+        let ppm = if self.cfg.low_data_rate { sf - 2 } else { sf };
+        let cw_bits = self.cfg.cr.codeword_bits();
+        while idx < nibbles.len() {
+            let mut block = Vec::with_capacity(ppm);
+            for _ in 0..ppm {
+                let nib = nibbles.get(idx).copied().unwrap_or(0);
+                idx += 1;
+                block.push(hamming_encode(nib, self.cfg.cr));
+            }
+            let interleaved = interleave_block(&block, ppm, cw_bits)?;
+            for v in interleaved {
+                symbols.push(self.map_symbol(v as u32, sf - ppm));
+            }
+        }
+        Ok(symbols)
+    }
+
+    /// Gray-maps an interleaved value and applies the reduced-rate shift.
+    fn map_symbol(&self, value: u32, shift: usize) -> usize {
+        let chips = self.cfg.sf.chips();
+        ((gray_encode(value) as usize) << shift) % chips
+    }
+
+    /// Modulates a payload to a complete baseband frame.
+    ///
+    /// `delta_hz` is the transmitter's frequency bias, `theta` its carrier
+    /// phase and `amp` the waveform amplitude. The bias and phase model the
+    /// oscillator trait the paper's defence measures; the continuous phase
+    /// across symbols is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Modulator::encode_symbols`].
+    pub fn modulate(
+        &self,
+        payload: &[u8],
+        delta_hz: f64,
+        theta: f64,
+        amp: f64,
+    ) -> Result<ModulatedFrame, PhyError> {
+        let payload_symbols = self.encode_symbols(payload)?;
+        let n = self.generator.samples_per_chirp();
+        let quarter = n / 4;
+        let total_chirps = self.cfg.preamble_chirps + 2 + 2; // + quarter SFD
+        let total = total_chirps * n + quarter + payload_symbols.len() * n;
+        let mut samples = Vec::with_capacity(total);
+
+        // Preamble up-chirps.
+        for _ in 0..self.cfg.preamble_chirps {
+            samples.extend(self.generator.upchirp(0, delta_hz, theta, amp));
+        }
+        // Sync word.
+        for &s in &SYNC_SYMBOLS {
+            samples.extend(self.generator.upchirp(s % self.cfg.sf.chips(), delta_hz, theta, amp));
+        }
+        // SFD: 2.25 down-chirps.
+        let down = self.generator.downchirp(0, delta_hz, theta, amp);
+        samples.extend_from_slice(&down);
+        samples.extend_from_slice(&down);
+        samples.extend_from_slice(&down[..quarter]);
+
+        let payload_start = samples.len();
+        for &sym in &payload_symbols {
+            samples.extend(self.generator.upchirp(sym, delta_hz, theta, amp));
+        }
+
+        Ok(ModulatedFrame {
+            samples,
+            payload_symbols,
+            payload_start,
+            sample_rate: self.generator.sample_rate(),
+        })
+    }
+}
+
+/// Builds the 5 header nibbles: length (2), flags (1: CRC bit | CR), and a
+/// CRC-8 checksum (2) over the first three.
+pub(crate) fn header_nibbles(payload_len: usize, cfg: PhyConfig) -> [u8; 5] {
+    let len = payload_len as u8;
+    let flags = ((cfg.payload_crc as u8) << 3) | (cfg.cr.parity_bits() as u8 & 0x07);
+    let check = header_checksum(len, flags);
+    [len & 0x0F, len >> 4, flags, check & 0x0F, check >> 4]
+}
+
+/// CRC-8 (poly 0x07) over the two header bytes.
+pub(crate) fn header_checksum(len: u8, flags: u8) -> u8 {
+    let mut crc: u8 = 0;
+    for byte in [len, flags] {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LoRaChannel;
+
+    fn modulator(sf: SpreadingFactor) -> Modulator {
+        Modulator::new(PhyConfig::uplink(sf), 2).unwrap()
+    }
+
+    #[test]
+    fn frame_layout_lengths() {
+        let m = modulator(SpreadingFactor::Sf7);
+        let frame = m.modulate(b"abcdef", 0.0, 0.0, 1.0).unwrap();
+        let n = m.samples_per_chirp();
+        // 8 preamble + 2 sync + 2.25 SFD = 12.25 chirps before payload.
+        assert_eq!(frame.payload_start, 12 * n + n / 4);
+        assert_eq!(
+            frame.samples.len(),
+            frame.payload_start + frame.payload_symbols.len() * n
+        );
+    }
+
+    #[test]
+    fn symbol_count_matches_airtime_formula() {
+        // The encoded symbol count must equal the datasheet formula that
+        // PhyConfig::payload_symbols implements — this ties our coding chain
+        // to the paper's timing arithmetic.
+        for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9] {
+            let cfg = PhyConfig::uplink(sf);
+            let m = Modulator::new(cfg, 1).unwrap();
+            for len in [10usize, 20, 30, 40] {
+                let payload = vec![0xA5u8; len];
+                let symbols = m.encode_symbols(&payload).unwrap();
+                assert_eq!(
+                    symbols.len(),
+                    cfg.payload_symbols(len),
+                    "{sf} payload {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_count_matches_airtime_formula_with_ldro() {
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf12);
+        let m = Modulator::new(cfg, 1).unwrap();
+        for len in [10usize, 30, 51] {
+            let payload = vec![0x3Cu8; len];
+            assert_eq!(m.encode_symbols(&payload).unwrap().len(), cfg.payload_symbols(len));
+        }
+    }
+
+    #[test]
+    fn symbols_in_range() {
+        let m = modulator(SpreadingFactor::Sf8);
+        let symbols = m.encode_symbols(&[0xFF; 32]).unwrap();
+        for &s in &symbols {
+            assert!(s < 256);
+        }
+    }
+
+    #[test]
+    fn header_block_uses_reduced_rate_symbols() {
+        // Header symbols are multiples of 4 (shifted by SF − (SF−2) = 2).
+        let m = modulator(SpreadingFactor::Sf9);
+        let symbols = m.encode_symbols(b"x").unwrap();
+        for &s in &symbols[..8] {
+            assert_eq!(s % 4, 0, "header symbol {s} not reduced-rate");
+        }
+    }
+
+    #[test]
+    fn payload_too_long_rejected() {
+        let m = modulator(SpreadingFactor::Sf7);
+        assert!(matches!(
+            m.encode_symbols(&vec![0u8; 300]),
+            Err(PhyError::PayloadTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn sf6_explicit_header_rejected() {
+        let mut cfg = PhyConfig::uplink(SpreadingFactor::Sf6);
+        assert!(Modulator::new(cfg, 1).is_err());
+        cfg.explicit_header = false;
+        assert!(Modulator::new(cfg, 1).is_ok());
+    }
+
+    #[test]
+    fn different_payloads_different_symbols() {
+        let m = modulator(SpreadingFactor::Sf7);
+        let a = m.encode_symbols(b"payload-a").unwrap();
+        let b = m.encode_symbols(b"payload-b").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let m = modulator(SpreadingFactor::Sf7);
+        assert_eq!(m.encode_symbols(b"same").unwrap(), m.encode_symbols(b"same").unwrap());
+    }
+
+    #[test]
+    fn empty_payload_encodes() {
+        let m = modulator(SpreadingFactor::Sf7);
+        let symbols = m.encode_symbols(b"").unwrap();
+        // Header block + one payload block for the CRC bytes.
+        assert!(!symbols.is_empty());
+    }
+
+    #[test]
+    fn waveform_amplitude_uniform() {
+        let m = modulator(SpreadingFactor::Sf7);
+        let frame = m.modulate(b"test", -20e3, 1.0, 0.7).unwrap();
+        for z in &frame.samples {
+            assert!((z.norm() - 0.7).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_checksum_changes_with_fields() {
+        assert_ne!(header_checksum(10, 0b1001), header_checksum(11, 0b1001));
+        assert_ne!(header_checksum(10, 0b1001), header_checksum(10, 0b1010));
+    }
+
+    #[test]
+    fn header_nibbles_encode_length_and_flags() {
+        let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let h = header_nibbles(0xAB, cfg);
+        assert_eq!(h[0], 0x0B);
+        assert_eq!(h[1], 0x0A);
+        assert_eq!(h[2] & 0x07, 1); // CR 4/5
+        assert_eq!(h[2] >> 3, 1); // CRC enabled
+    }
+
+    #[test]
+    fn custom_channel_supported() {
+        let cfg = PhyConfig {
+            channel: LoRaChannel { center_hz: 915e6, bandwidth: crate::Bandwidth::Khz250 },
+            ..PhyConfig::uplink(SpreadingFactor::Sf7)
+        };
+        let m = Modulator::new(cfg, 2).unwrap();
+        assert!((m.sample_rate() - 500e3).abs() < 1e-6);
+    }
+}

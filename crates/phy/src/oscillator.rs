@@ -1,0 +1,249 @@
+//! Crystal-oscillator models.
+//!
+//! Every radio in the paper's system — the 16 RN2483 end devices, the
+//! RTL-SDR receiver, the two USRP attack stations — derives its carrier
+//! from an imperfect crystal. The resulting frequency bias (FB) of one to
+//! tens of ppm is the physical trait SoftLoRa's defence measures: a frame
+//! replayed through a USRP carries the *replayer's* bias instead of the
+//! original device's (paper §7).
+//!
+//! The model: a per-device constant bias (manufacturing), a slow
+//! temperature-dependent wander, and small per-frame jitter. Paper Fig. 13
+//! shows device biases of −17 to −25 kHz at 869.75 MHz (≈ 20–29 ppm) that
+//! are stable within a frame and drift slowly over time.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A crystal oscillator with manufacturing bias, thermal wander and jitter.
+///
+/// # Example
+///
+/// ```
+/// use softlora_phy::oscillator::Oscillator;
+///
+/// // A typical end-device crystal: −26 ppm bias at 869.75 MHz ≈ −22.6 kHz.
+/// let osc = Oscillator::with_bias_ppm(-26.0, 869.75e6, 1);
+/// let fb = osc.frequency_bias_hz();
+/// assert!(fb < -20_000.0 && fb > -25_000.0);
+/// ```
+#[derive(Debug)]
+pub struct Oscillator {
+    /// Nominal carrier frequency in Hz.
+    nominal_hz: f64,
+    /// Constant manufacturing bias in ppm.
+    bias_ppm: f64,
+    /// Temperature sensitivity in ppm per kelvin around the calibration
+    /// point (typical AT-cut crystal: ~0.04 ppm/K² near turnover; we use a
+    /// linearised coefficient).
+    temp_coeff_ppm_per_k: f64,
+    /// Current temperature offset from the calibration point, kelvin.
+    temp_offset_k: f64,
+    /// Per-frame jitter standard deviation in Hz (short-term instability).
+    jitter_hz: f64,
+    rng: StdRng,
+}
+
+impl Oscillator {
+    /// Creates an oscillator with the given constant bias (ppm of
+    /// `nominal_hz`), no thermal wander and 30 Hz per-frame jitter — matching
+    /// the frame-to-frame FB spread of roughly ±100 Hz visible in paper
+    /// Fig. 13's error bars.
+    pub fn with_bias_ppm(bias_ppm: f64, nominal_hz: f64, seed: u64) -> Self {
+        Oscillator {
+            nominal_hz,
+            bias_ppm,
+            temp_coeff_ppm_per_k: 0.0,
+            temp_offset_k: 0.0,
+            jitter_hz: 30.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the per-frame jitter standard deviation in Hz.
+    pub fn with_jitter_hz(mut self, jitter_hz: f64) -> Self {
+        self.jitter_hz = jitter_hz;
+        self
+    }
+
+    /// Enables thermal wander with the given sensitivity (ppm/K).
+    pub fn with_temperature_coefficient(mut self, ppm_per_k: f64) -> Self {
+        self.temp_coeff_ppm_per_k = ppm_per_k;
+        self
+    }
+
+    /// Draws a device oscillator like the paper's RN2483 population:
+    /// uniformly distributed bias in `[-29, -20]` ppm (Fig. 13 reports
+    /// absolute FBs of 17–25 kHz at 869.75 MHz, all negative for their
+    /// batch).
+    pub fn sample_end_device(nominal_hz: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bias_ppm = -20.0 - 9.0 * rng.random::<f64>();
+        Oscillator {
+            nominal_hz,
+            bias_ppm,
+            temp_coeff_ppm_per_k: 0.02,
+            temp_offset_k: 0.0,
+            jitter_hz: 30.0,
+            rng,
+        }
+    }
+
+    /// Draws a USRP-class oscillator (TCXO): small bias of ±2 ppm. Paper
+    /// §7.2 measures the replay chain adding −543 to −743 Hz (−0.62 to
+    /// −0.85 ppm).
+    pub fn sample_usrp(nominal_hz: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Negative-leaning like the paper's unit: −0.9 to −0.5 ppm.
+        let bias_ppm = -0.9 + 0.4 * rng.random::<f64>();
+        Oscillator {
+            nominal_hz,
+            bias_ppm,
+            temp_coeff_ppm_per_k: 0.002,
+            temp_offset_k: 0.0,
+            jitter_hz: 10.0,
+            rng,
+        }
+    }
+
+    /// Draws an RTL-SDR receiver oscillator: consumer crystal, up to
+    /// ±30 ppm but stable ("nearly fixed δRx", paper §7.1).
+    pub fn sample_rtl_sdr(nominal_hz: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bias_ppm = -5.0 + 10.0 * rng.random::<f64>();
+        Oscillator {
+            nominal_hz,
+            bias_ppm,
+            temp_coeff_ppm_per_k: 0.01,
+            temp_offset_k: 0.0,
+            jitter_hz: 5.0,
+            rng,
+        }
+    }
+
+    /// Nominal carrier frequency in Hz.
+    pub fn nominal_hz(&self) -> f64 {
+        self.nominal_hz
+    }
+
+    /// Constant bias component in ppm.
+    pub fn bias_ppm(&self) -> f64 {
+        self.bias_ppm
+    }
+
+    /// Sets the temperature offset from the calibration point (kelvin),
+    /// modelling the run-time conditions paper §7.2 says the FB database
+    /// must adapt to.
+    pub fn set_temperature_offset(&mut self, kelvin: f64) {
+        self.temp_offset_k = kelvin;
+    }
+
+    /// Current deterministic frequency bias in Hz (bias + thermal, no
+    /// jitter).
+    pub fn frequency_bias_hz(&self) -> f64 {
+        (self.bias_ppm + self.temp_coeff_ppm_per_k * self.temp_offset_k) * self.nominal_hz / 1e6
+    }
+
+    /// Draws the effective frequency bias for one frame: deterministic bias
+    /// plus Gaussian per-frame jitter.
+    pub fn frame_bias_hz(&mut self) -> f64 {
+        self.frequency_bias_hz() + self.jitter_hz * self.gaussian()
+    }
+
+    /// Draws a uniformly random carrier phase in `[0, 2π)` — transmitters
+    /// and low-end SDR receivers are not phase-locked (paper §6.1.2).
+    pub fn random_phase(&mut self) -> f64 {
+        2.0 * std::f64::consts::PI * self.rng.random::<f64>()
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FC: f64 = 869.75e6;
+
+    #[test]
+    fn bias_conversion() {
+        let osc = Oscillator::with_bias_ppm(-26.2, FC, 0);
+        // −26.2 ppm of 869.75 MHz ≈ −22.79 kHz (the paper's Fig. 12 example).
+        assert!((osc.frequency_bias_hz() + 22_787.5).abs() < 10.0);
+    }
+
+    #[test]
+    fn frame_bias_jitter_is_small_and_zero_mean() {
+        let mut osc = Oscillator::with_bias_ppm(-20.0, FC, 1).with_jitter_hz(30.0);
+        let base = osc.frequency_bias_hz();
+        let draws: Vec<f64> = (0..400).map(|_| osc.frame_bias_hz()).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - base).abs() < 10.0, "mean {mean} base {base}");
+        let max_dev = draws.iter().map(|d| (d - base).abs()).fold(0.0, f64::max);
+        assert!(max_dev < 150.0, "max dev {max_dev}");
+        assert!(max_dev > 10.0, "jitter looks disabled");
+    }
+
+    #[test]
+    fn end_device_population_matches_fig13_range() {
+        for seed in 0..16 {
+            let osc = Oscillator::sample_end_device(FC, seed);
+            let fb_khz = osc.frequency_bias_hz() / 1e3;
+            assert!(
+                (-25.5..=-17.0).contains(&fb_khz),
+                "device {seed}: {fb_khz} kHz outside Fig. 13 range"
+            );
+        }
+    }
+
+    #[test]
+    fn devices_have_distinct_biases() {
+        let biases: Vec<i64> = (0..16)
+            .map(|s| Oscillator::sample_end_device(FC, s).frequency_bias_hz() as i64)
+            .collect();
+        let distinct: std::collections::HashSet<i64> = biases.iter().cloned().collect();
+        assert!(distinct.len() >= 14, "{distinct:?}");
+    }
+
+    #[test]
+    fn usrp_bias_matches_paper_replay_offset() {
+        for seed in 0..8 {
+            let osc = Oscillator::sample_usrp(FC, seed);
+            let fb = osc.frequency_bias_hz();
+            // −0.9..−0.5 ppm -> −783..−435 Hz.
+            assert!((-800.0..=-400.0).contains(&fb), "seed {seed}: {fb}");
+        }
+    }
+
+    #[test]
+    fn temperature_moves_bias() {
+        let mut osc =
+            Oscillator::with_bias_ppm(-20.0, FC, 2).with_temperature_coefficient(0.05);
+        let cold = osc.frequency_bias_hz();
+        osc.set_temperature_offset(10.0);
+        let warm = osc.frequency_bias_hz();
+        // 0.05 ppm/K * 10 K = 0.5 ppm ≈ 435 Hz.
+        assert!((warm - cold - 434.875).abs() < 1.0, "shift {}", warm - cold);
+    }
+
+    #[test]
+    fn random_phase_in_domain() {
+        let mut osc = Oscillator::with_bias_ppm(0.0, FC, 3);
+        for _ in 0..100 {
+            let p = osc.random_phase();
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Oscillator::sample_end_device(FC, 9);
+        let mut b = Oscillator::sample_end_device(FC, 9);
+        assert_eq!(a.frame_bias_hz(), b.frame_bias_hz());
+        assert_eq!(a.random_phase(), b.random_phase());
+    }
+}

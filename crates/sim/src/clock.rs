@@ -1,0 +1,206 @@
+//! Drifting-clock models (paper §3.2).
+//!
+//! A crystal-driven device clock advances at `1 + ε` times real time, with
+//! `ε` of 30–50 ppm for the microcontroller crystals the paper cites [10].
+//! The paper's arithmetic: at 40 ppm, a device needs 14 synchronisation
+//! sessions per hour to hold a sub-10 ms error, while the
+//! synchronization-free scheme only requires the *buffer time* between
+//! sensing and transmission to stay within 4.1 minutes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A clock with constant frequency error and optional white phase jitter.
+///
+/// # Example
+///
+/// ```
+/// use softlora_sim::DriftingClock;
+/// let clock = DriftingClock::new(40.0, 0.0); // 40 ppm fast, zero offset
+/// // After 1000 s of real time, the local clock has gained 40 ms.
+/// let local = clock.local_from_global(1000.0);
+/// assert!((local - 1000.04).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct DriftingClock {
+    /// Frequency error in parts-per-million (positive = runs fast).
+    drift_ppm: f64,
+    /// Initial offset of the local clock at global time zero, seconds.
+    offset_s: f64,
+    /// Per-read white jitter standard deviation, seconds.
+    jitter_s: f64,
+    rng: StdRng,
+}
+
+impl DriftingClock {
+    /// Creates a deterministic clock (no jitter).
+    pub fn new(drift_ppm: f64, offset_s: f64) -> Self {
+        DriftingClock { drift_ppm, offset_s, jitter_s: 0.0, rng: StdRng::seed_from_u64(0) }
+    }
+
+    /// Adds per-read Gaussian jitter with standard deviation `jitter_s`.
+    pub fn with_jitter(mut self, jitter_s: f64, seed: u64) -> Self {
+        self.jitter_s = jitter_s;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// A GPS-disciplined gateway clock: sub-ppm drift, microsecond jitter.
+    pub fn gps_disciplined(seed: u64) -> Self {
+        DriftingClock {
+            drift_ppm: 0.001,
+            offset_s: 0.0,
+            jitter_s: 1e-7,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a typical device crystal: 30–50 ppm drift of random sign and a
+    /// random initial offset within ±1 s (the device was never
+    /// synchronised).
+    pub fn sample_device_crystal(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let magnitude = 30.0 + 20.0 * rng.random::<f64>();
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        let offset = 2.0 * rng.random::<f64>() - 1.0;
+        DriftingClock { drift_ppm: magnitude * sign, offset_s: offset, jitter_s: 2e-6, rng }
+    }
+
+    /// The clock's frequency error in ppm.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// Deterministic local reading at global time `t` (no jitter).
+    pub fn local_from_global(&self, global_s: f64) -> f64 {
+        global_s * (1.0 + self.drift_ppm * 1e-6) + self.offset_s
+    }
+
+    /// Local reading at global time `t`, with jitter if configured.
+    pub fn read(&mut self, global_s: f64) -> f64 {
+        let jitter = if self.jitter_s > 0.0 { self.jitter_s * self.gaussian() } else { 0.0 };
+        self.local_from_global(global_s) + jitter
+    }
+
+    /// Inverts the deterministic mapping: the global time at which the
+    /// local clock shows `local_s`.
+    pub fn global_from_local(&self, local_s: f64) -> f64 {
+        (local_s - self.offset_s) / (1.0 + self.drift_ppm * 1e-6)
+    }
+
+    /// Clock error accumulated over an *interval* of `dt` seconds:
+    /// `dt · drift` (independent of the absolute offset). This is the error
+    /// an elapsed-time measurement inherits.
+    pub fn interval_error_s(&self, dt_s: f64) -> f64 {
+        dt_s * self.drift_ppm * 1e-6
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Number of synchronisation sessions per hour needed to keep a clock of
+/// `drift_ppm` within `max_error_s` (paper §3.2's "14 sessions per hour for
+/// sub-10 ms at 40 ppm").
+pub fn sync_sessions_per_hour(drift_ppm: f64, max_error_s: f64) -> f64 {
+    if max_error_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    let seconds_to_drift = max_error_s / (drift_ppm.abs() * 1e-6);
+    3600.0 / seconds_to_drift
+}
+
+/// Maximum buffer time before an elapsed-time reading of a `drift_ppm`
+/// clock exceeds `max_error_s` (paper §3.2's "4.1 minutes for 10 ms at
+/// 40 ppm").
+pub fn max_buffer_time_s(drift_ppm: f64, max_error_s: f64) -> f64 {
+    max_error_s / (drift_ppm.abs() * 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        let c = DriftingClock::new(-40.0, 0.5);
+        assert!((c.local_from_global(0.0) - 0.5).abs() < 1e-12);
+        // 40 ppm slow: loses 144 ms over an hour.
+        let err = c.local_from_global(3600.0) - (3600.0 + 0.5);
+        assert!((err + 0.144).abs() < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn global_local_round_trip() {
+        let c = DriftingClock::new(37.5, -0.25);
+        for t in [0.0, 1.0, 1234.5, 86400.0] {
+            let back = c.global_from_local(c.local_from_global(t));
+            assert!((back - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_sync_sessions_number() {
+        // Paper: "an end device will need 14 synchronization sessions per
+        // hour to ensure a sub-10 ms clock error" at 40 ppm.
+        let sessions = sync_sessions_per_hour(40.0, 0.010);
+        assert!((sessions - 14.4).abs() < 0.1, "{sessions}");
+    }
+
+    #[test]
+    fn paper_buffer_time_number() {
+        // Paper: "to enforce an upper bound of 10 ms clock drift under a
+        // drift rate of 40 ppm, the buffer time needs to be within 4.1
+        // minutes".
+        let buf = max_buffer_time_s(40.0, 0.010);
+        assert!((buf / 60.0 - 4.17).abs() < 0.1, "{buf}");
+    }
+
+    #[test]
+    fn interval_error_matches_drift() {
+        let c = DriftingClock::new(40.0, 100.0);
+        // 100 s interval at 40 ppm -> 4 ms.
+        assert!((c.interval_error_s(100.0) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gps_clock_is_tight() {
+        let mut c = DriftingClock::gps_disciplined(1);
+        let err = (c.read(10_000.0) - 10_000.0).abs();
+        assert!(err < 1e-4, "gps clock err {err}");
+    }
+
+    #[test]
+    fn sampled_crystals_in_paper_range() {
+        for seed in 0..32 {
+            let c = DriftingClock::sample_device_crystal(seed);
+            let d = c.drift_ppm().abs();
+            assert!((30.0..=50.0).contains(&d), "seed {seed}: {d} ppm");
+        }
+    }
+
+    #[test]
+    fn sampled_crystals_have_both_signs() {
+        let signs: Vec<bool> =
+            (0..32).map(|s| DriftingClock::sample_device_crystal(s).drift_ppm() > 0.0).collect();
+        assert!(signs.iter().any(|&s| s));
+        assert!(signs.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn jitter_is_applied_but_small() {
+        let mut c = DriftingClock::new(0.0, 0.0).with_jitter(1e-6, 7);
+        let reads: Vec<f64> = (0..200).map(|_| c.read(100.0)).collect();
+        let spread = reads.iter().cloned().fold(f64::MIN, f64::max)
+            - reads.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.0 && spread < 1e-5, "spread {spread}");
+    }
+
+    #[test]
+    fn degenerate_session_count() {
+        assert!(sync_sessions_per_hour(40.0, 0.0).is_infinite());
+    }
+}

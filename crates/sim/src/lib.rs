@@ -1,0 +1,27 @@
+//! Discrete-event network simulator for the SoftLoRa reproduction.
+//!
+//! Provides the substrate the paper's evaluation (§8) runs on:
+//!
+//! * [`clock`] — drifting device clocks (30–50 ppm crystals) and the
+//!   gateway's GPS-disciplined clock, the asymmetry the whole
+//!   synchronization-free scheme exploits;
+//! * [`queue`] — a deterministic time-ordered event queue;
+//! * [`medium`] — positions, path-loss models, link budgets and
+//!   propagation delays between radios;
+//! * [`deployment`] — the paper's two testbeds: the 190 m six-floor
+//!   concrete building of Fig. 15 and the 1.07 km campus link of §8.2;
+//! * [`network`] — the uplink pipeline gluing devices, the medium and the
+//!   gateway together, with an [`network::Interceptor`] hook that the
+//!   frame-delay attack (in `softlora-attack`) implements.
+
+pub mod clock;
+pub mod deployment;
+pub mod medium;
+pub mod network;
+pub mod queue;
+pub mod scenario;
+
+pub use clock::DriftingClock;
+pub use medium::{Position, RadioMedium};
+pub use network::{AirFrame, Delivery, HonestChannel, Interceptor};
+pub use scenario::{Scenario, ScenarioStats};

@@ -1,0 +1,179 @@
+//! Radio medium: positions, path-loss evaluation and link budgets.
+//!
+//! The medium ties node geometry to the channel models of
+//! [`softlora_phy::channel`]: given two positions and a path-loss model it
+//! produces the [`softlora_phy::channel::LinkBudget`] and propagation delay
+//! that the behavioural gateway model and the attack interceptor consume.
+
+use softlora_phy::channel::{
+    free_space_path_loss_db, noise_floor_dbm, propagation_delay_s, LinkBudget, LogDistance,
+};
+
+/// A 3-D position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate (metres).
+    pub x: f64,
+    /// Y coordinate (metres).
+    pub y: f64,
+    /// Z coordinate / height (metres).
+    pub z: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Position { x, y, z }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance_m(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// A path-loss model over positions.
+///
+/// Implementations add environment-specific structure (walls, floors) on
+/// top of distance-based laws. The trait is object-safe so deployments can
+/// be swapped at run time.
+pub trait PathLoss {
+    /// Total path loss in dB between two positions.
+    fn path_loss_db(&self, a: &Position, b: &Position) -> f64;
+}
+
+/// Free-space propagation at a fixed frequency.
+#[derive(Debug, Clone, Copy)]
+pub struct FreeSpace {
+    /// Carrier frequency in Hz.
+    pub freq_hz: f64,
+}
+
+impl PathLoss for FreeSpace {
+    fn path_loss_db(&self, a: &Position, b: &Position) -> f64 {
+        free_space_path_loss_db(a.distance_m(b), self.freq_hz)
+    }
+}
+
+/// Log-distance propagation (environment captured by the exponent).
+#[derive(Debug, Clone, Copy)]
+pub struct LogDistanceModel {
+    /// Underlying log-distance parameters.
+    pub params: LogDistance,
+}
+
+impl PathLoss for LogDistanceModel {
+    fn path_loss_db(&self, a: &Position, b: &Position) -> f64 {
+        self.params.path_loss_db(a.distance_m(b))
+    }
+}
+
+/// The radio medium: a path-loss model plus receiver noise parameters.
+pub struct RadioMedium {
+    model: Box<dyn PathLoss + Send + Sync>,
+    noise_floor_dbm: f64,
+}
+
+impl std::fmt::Debug for RadioMedium {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RadioMedium")
+            .field("noise_floor_dbm", &self.noise_floor_dbm)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RadioMedium {
+    /// Creates a medium over `model` with a 125 kHz / 6 dB-NF receiver
+    /// noise floor (the paper's channel).
+    pub fn new(model: Box<dyn PathLoss + Send + Sync>) -> Self {
+        RadioMedium { model, noise_floor_dbm: noise_floor_dbm(125e3, 6.0) }
+    }
+
+    /// Overrides the receiver noise floor.
+    pub fn with_noise_floor_dbm(mut self, floor: f64) -> Self {
+        self.noise_floor_dbm = floor;
+        self
+    }
+
+    /// The receiver noise floor in dBm.
+    pub fn noise_floor_dbm(&self) -> f64 {
+        self.noise_floor_dbm
+    }
+
+    /// Path loss between two positions in dB.
+    pub fn path_loss_db(&self, a: &Position, b: &Position) -> f64 {
+        self.model.path_loss_db(a, b)
+    }
+
+    /// Link budget for a transmission of `tx_power_dbm` from `a` to `b`.
+    pub fn link(&self, a: &Position, b: &Position, tx_power_dbm: f64) -> LinkBudget {
+        LinkBudget {
+            tx_power_dbm,
+            path_loss_db: self.path_loss_db(a, b),
+            noise_floor_dbm: self.noise_floor_dbm,
+        }
+    }
+
+    /// One-way propagation delay between two positions, seconds.
+    pub fn delay_s(&self, a: &Position, b: &Position) -> f64 {
+        propagation_delay_s(a.distance_m(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softlora_phy::SpreadingFactor;
+
+    #[test]
+    fn distance_computation() {
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(3.0, 4.0, 0.0);
+        assert!((a.distance_m(&b) - 5.0).abs() < 1e-12);
+        let c = Position::new(1.0, 2.0, 2.0);
+        assert!((a.distance_m(&c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_space_medium_link() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(1000.0, 0.0, 0.0);
+        let link = medium.link(&a, &b, 14.0);
+        // FSPL at 1 km / 868 MHz ≈ 91.2 dB -> SNR ≈ 14 − 91.2 + 117 ≈ 40 dB.
+        assert!((link.snr_db() - 39.8).abs() < 1.0, "snr {}", link.snr_db());
+        assert!(link.decodable(SpreadingFactor::Sf7));
+    }
+
+    #[test]
+    fn log_distance_weaker_than_free_space() {
+        let fs = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let ld = RadioMedium::new(Box::new(LogDistanceModel {
+            params: LogDistance::indoor_868(),
+        }));
+        let a = Position::default();
+        let b = Position::new(100.0, 0.0, 0.0);
+        assert!(ld.path_loss_db(&a, &b) > fs.path_loss_db(&a, &b));
+    }
+
+    #[test]
+    fn delay_matches_campus_figure() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let a = Position::default();
+        let b = Position::new(1070.0, 0.0, 0.0);
+        assert!((medium.delay_s(&a, &b) - 3.57e-6).abs() < 0.02e-6);
+    }
+
+    #[test]
+    fn custom_noise_floor() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }))
+            .with_noise_floor_dbm(-100.0);
+        assert_eq!(medium.noise_floor_dbm(), -100.0);
+        let a = Position::default();
+        let link = medium.link(&a, &Position::new(10.0, 0.0, 0.0), 0.0);
+        assert_eq!(link.noise_floor_dbm, -100.0);
+    }
+}

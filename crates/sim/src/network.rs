@@ -1,0 +1,149 @@
+//! The uplink pipeline: frames on the air, interception, and delivery.
+//!
+//! A device transmission becomes an [`AirFrame`] — bytes plus everything
+//! physical about the emission (time, power, position, the oscillator bias
+//! of this frame). An [`Interceptor`] turns an air frame into the
+//! [`Delivery`]s that actually reach the gateway: the [`HonestChannel`]
+//! passes the frame through with propagation delay and the link's SNR,
+//! while the frame-delay attack (in `softlora-attack`) jams the direct
+//! copy and injects a delayed replay with its own oscillator bias.
+
+use crate::medium::{Position, RadioMedium};
+use softlora_phy::rn2483::JammingAttempt;
+use softlora_phy::SpreadingFactor;
+
+/// A frame in flight, as emitted by a device.
+#[derive(Debug, Clone)]
+pub struct AirFrame {
+    /// Claimed source device address (readable from the header).
+    pub dev_addr: u32,
+    /// Serialized PHY payload.
+    pub bytes: Vec<u8>,
+    /// Global time the transmission started, seconds.
+    pub tx_start_global_s: f64,
+    /// Frame air time, seconds.
+    pub airtime_s: f64,
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Transmitter position.
+    pub tx_position: Position,
+    /// The transmitter oscillator's frequency bias for this frame, Hz.
+    pub tx_bias_hz: f64,
+    /// The transmitter's carrier phase for this frame, radians.
+    pub tx_phase: f64,
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+}
+
+/// A copy of a frame arriving at the gateway.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Frame bytes as received (bit-exact replays keep the original).
+    pub bytes: Vec<u8>,
+    /// Claimed source address.
+    pub dev_addr: u32,
+    /// Global arrival time of the frame onset at the gateway, seconds.
+    pub arrival_global_s: f64,
+    /// Received SNR at the gateway, dB.
+    pub snr_db: f64,
+    /// Net oscillator bias of the arriving waveform, Hz — the original
+    /// transmitter's bias, plus the replay chain's bias if this copy went
+    /// through the attacker's USRPs.
+    pub carrier_bias_hz: f64,
+    /// Carrier phase of the arriving waveform, radians.
+    pub carrier_phase: f64,
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Concurrent jamming at the gateway overlapping this frame, if any.
+    pub jamming: Option<JammingAttempt>,
+    /// Ground truth for evaluation: whether this copy is a malicious
+    /// replay.
+    pub is_replay: bool,
+}
+
+/// Turns an air frame into the deliveries the gateway observes.
+pub trait Interceptor {
+    /// Processes one uplink.
+    fn intercept(
+        &mut self,
+        frame: &AirFrame,
+        medium: &RadioMedium,
+        gateway_position: &Position,
+    ) -> Vec<Delivery>;
+}
+
+/// The benign channel: one delivery, delayed by propagation, at the link
+/// SNR, with the transmitter's own bias.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HonestChannel;
+
+impl Interceptor for HonestChannel {
+    fn intercept(
+        &mut self,
+        frame: &AirFrame,
+        medium: &RadioMedium,
+        gateway_position: &Position,
+    ) -> Vec<Delivery> {
+        let link = medium.link(&frame.tx_position, gateway_position, frame.tx_power_dbm);
+        let delay = medium.delay_s(&frame.tx_position, gateway_position);
+        vec![Delivery {
+            bytes: frame.bytes.clone(),
+            dev_addr: frame.dev_addr,
+            arrival_global_s: frame.tx_start_global_s + delay,
+            snr_db: link.snr_db(),
+            carrier_bias_hz: frame.tx_bias_hz,
+            carrier_phase: frame.tx_phase,
+            sf: frame.sf,
+            jamming: None,
+            is_replay: false,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::FreeSpace;
+
+    fn frame_at(pos: Position) -> AirFrame {
+        AirFrame {
+            dev_addr: 7,
+            bytes: vec![1, 2, 3],
+            tx_start_global_s: 100.0,
+            airtime_s: 0.05,
+            tx_power_dbm: 14.0,
+            tx_position: pos,
+            tx_bias_hz: -22_000.0,
+            tx_phase: 1.0,
+            sf: SpreadingFactor::Sf7,
+        }
+    }
+
+    #[test]
+    fn honest_channel_single_delivery() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let gw = Position::new(300.0, 0.0, 0.0);
+        let mut ch = HonestChannel;
+        let deliveries = ch.intercept(&frame_at(Position::default()), &medium, &gw);
+        assert_eq!(deliveries.len(), 1);
+        let d = &deliveries[0];
+        assert_eq!(d.bytes, vec![1, 2, 3]);
+        assert!(!d.is_replay);
+        assert!(d.jamming.is_none());
+        // Arrival = tx start + ~1 µs propagation over 300 m.
+        let delay = d.arrival_global_s - 100.0;
+        assert!((delay - 1.0e-6).abs() < 0.05e-6, "delay {delay}");
+        assert_eq!(d.carrier_bias_hz, -22_000.0);
+    }
+
+    #[test]
+    fn honest_snr_comes_from_link_budget() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let gw_near = Position::new(100.0, 0.0, 0.0);
+        let gw_far = Position::new(5000.0, 0.0, 0.0);
+        let mut ch = HonestChannel;
+        let near = ch.intercept(&frame_at(Position::default()), &medium, &gw_near)[0].snr_db;
+        let far = ch.intercept(&frame_at(Position::default()), &medium, &gw_far)[0].snr_db;
+        assert!(near > far + 30.0, "near {near} far {far}");
+    }
+}

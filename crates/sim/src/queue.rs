@@ -1,0 +1,168 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A thin wrapper over a binary heap that breaks time ties by insertion
+//! order, so simulations are reproducible regardless of float equality
+//! quirks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulation time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time_s: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour; ties broken by sequence number.
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-time priority queue of events.
+///
+/// # Example
+///
+/// ```
+/// use softlora_sim::queue::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop(), Some((2.0, "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at `time_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_s` is NaN (a NaN time would silently corrupt the
+    /// ordering).
+    pub fn schedule(&mut self, time_s: f64, event: E) {
+        assert!(!time_s.is_nan(), "event time must not be NaN");
+        self.heap.push(Scheduled { time_s, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time_s, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time_s)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule(1.0, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(5.0, ());
+        q.schedule(4.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(4.0));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(5.0));
+    }
+
+    #[test]
+    fn negative_and_zero_times_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(0.0, "zero");
+        q.schedule(-1.0, "past");
+        assert_eq!(q.pop().unwrap().1, "past");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "c");
+        q.schedule(1.0, "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(5.0, "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

@@ -1,0 +1,76 @@
+//! Long-range timestamping across the 1.07 km campus link (paper §8.2).
+//!
+//! A roadway-detector-style sensor on a roof top reports through a kilometre
+//! of campus, in heavy rain, to a SoftLoRa gateway in an open staircase.
+//! The example reports the link budget, then runs a sequence of uplinks
+//! and prints the PHY timestamping and record-timestamp accuracy.
+//!
+//! Run with: `cargo run --release --example campus_long_range`
+
+use softlora_repro::lorawan::{ClassADevice, DeviceConfig};
+use softlora_repro::phy::channel::propagation_delay_s;
+use softlora_repro::phy::oscillator::Oscillator;
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+use softlora_repro::sim::deployment::CampusDeployment;
+use softlora_repro::sim::{AirFrame, HonestChannel, Interceptor};
+use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+
+fn main() {
+    let campus = CampusDeployment::default();
+    let medium = campus.medium();
+    let site_a = campus.site_a(); // roof top: the end device
+    let site_b = campus.site_b(); // open staircase: the gateway
+    // SF9 keeps the demo fast; §8.2 used SF12 (same link budget story).
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf9);
+
+    let distance = site_a.distance_m(&site_b);
+    let link = medium.link(&site_a, &site_b, 14.0);
+    println!("Campus long-range timestamping (paper §8.2, heavy rain)\n");
+    println!("distance            : {distance:.0} m");
+    println!("one-way propagation : {:.2} µs", propagation_delay_s(distance) * 1e6);
+    println!("link SNR            : {:.1} dB (SF9 floor: {:.1} dB)",
+        link.snr_db(), phy.sf.demod_floor_db());
+    println!();
+
+    let dev_cfg = DeviceConfig::new(0x2601_0C0C, phy);
+    let mut device = ClassADevice::new(dev_cfg.clone());
+    let mut osc = Oscillator::sample_end_device(869.75e6, 21);
+    let mut gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 33);
+    gateway.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+
+    let mut honest = HonestChannel;
+    println!("{:>6} {:>16} {:>18}", "test", "PHY error (µs)", "record error (ms)");
+    for k in 0..4 {
+        let t = 60.0 + 300.0 * k as f64;
+        device.sense(900 + k as u16, t - 1.5).expect("sense");
+        let tx = device.try_transmit(t).expect("tx");
+        let frame = AirFrame {
+            dev_addr: dev_cfg.dev_addr,
+            bytes: tx.bytes,
+            tx_start_global_s: t,
+            airtime_s: tx.airtime_s,
+            tx_power_dbm: 14.0,
+            tx_position: site_a,
+            tx_bias_hz: osc.frame_bias_hz(),
+            tx_phase: 0.9,
+            sf: phy.sf,
+        };
+        for d in honest.intercept(&frame, &medium, &site_b) {
+            match gateway.process(&d).expect("pipeline") {
+                SoftLoraVerdict::Accepted { uplink, phy_arrival_s, .. } => {
+                    // PHY timestamping error: detected arrival vs the true
+                    // arrival (tx start + propagation).
+                    let true_arrival = t + propagation_delay_s(distance);
+                    let phy_err_us = (phy_arrival_s - true_arrival).abs() * 1e6;
+                    let rec_err_ms =
+                        (uplink.records[0].global_time_s - (t - 1.5)).abs() * 1e3;
+                    println!("{:>6} {:>16.2} {:>18.3}", k + 1, phy_err_us, rec_err_ms);
+                }
+                other => println!("{:>6} {other:?}", k + 1),
+            }
+        }
+    }
+    println!("\nPaper §8.2 measured 0.23–6.43 µs over four rainy tests — microsecond");
+    println!("signal timestamping at a kilometre, which keeps the FB estimate (and");
+    println!("therefore the attack detector) accurate.");
+}

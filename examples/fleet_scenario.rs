@@ -1,0 +1,100 @@
+//! Fleet-scale scenario: a 12-device metering network under the
+//! frame-delay attack, driven by the discrete-event scenario runner.
+//!
+//! Devices report on jittered periods through a shared channel (ALOHA with
+//! the capture effect); the attacker targets one meter; the SoftLoRa
+//! gateway keeps per-device FB bands and flags the replays while the rest
+//! of the fleet keeps timestamping normally.
+//!
+//! Run with: `cargo run --release --example fleet_scenario`
+
+use softlora_repro::attack::FrameDelayAttack;
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+use softlora_repro::sim::medium::FreeSpace;
+use softlora_repro::sim::scenario::Scenario;
+use softlora_repro::sim::{Position, RadioMedium};
+use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+
+fn main() {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let gw_pos = Position::new(0.0, 0.0, 15.0);
+    let target_addr = 0x2601_3004;
+
+    println!("Fleet scenario: 12 meters, 90 s periods, one device under attack\n");
+
+    // --- Phase 1: a clean hour builds every device's FB history. ---
+    let mut gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 2026);
+    let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 }));
+    let mut net = Scenario::new(
+        phy,
+        medium,
+        gw_pos,
+        Box::new(softlora_repro::sim::HonestChannel),
+    );
+    for k in 0..12u32 {
+        let angle = k as f64 * 0.52;
+        let pos = Position::new(250.0 * angle.cos(), 250.0 * angle.sin(), 1.5);
+        net.add_device(0x2601_3000 + k, pos, 90.0, k as u64);
+    }
+    for k in 0..net.devices() {
+        let cfg = net.device_config(k).clone();
+        gateway.provision(cfg.dev_addr, cfg.keys);
+    }
+    let mut warm_accepted = 0u64;
+    net.run(3600.0, |d| {
+        if gateway.process(d).map(|v| v.is_accepted()).unwrap_or(false) {
+            warm_accepted += 1;
+        }
+    });
+    let st = net.stats().clone();
+    println!("warm-up hour: {} transmitted, {} collided, {} accepted", st.transmitted, st.collided, warm_accepted);
+
+    // --- Phase 2: the attacker moves in on one meter; the network keeps
+    // its device state (frame counters, duty cycles). ---
+    // The target is device k = 4 on the 250 m ring.
+    let target_angle = 4.0 * 0.52;
+    let eaves_pos = Position::new(
+        250.0 * f64::cos(target_angle) + 2.0,
+        250.0 * f64::sin(target_angle) + 1.0,
+        1.5,
+    );
+    let attack = FrameDelayAttack::new(
+        eaves_pos,                     // eavesdropper beside the target
+        Position::new(2.0, 1.0, 15.0), // USRPs near the gateway
+        120.0,                         // two-minute delay
+        phy,
+        99,
+    )
+    .with_targets(vec![target_addr]);
+    net.set_interceptor(Box::new(attack));
+
+    let mut accepted = 0u64;
+    let mut detections = 0u64;
+    let mut suppressed = 0u64;
+    net.run(3600.0 + 1800.0, |d| match gateway.process(d) {
+        Ok(SoftLoraVerdict::Accepted { .. }) => accepted += 1,
+        Ok(SoftLoraVerdict::ReplayDetected { dev_addr, deviation_hz, .. }) => {
+            detections += 1;
+            if detections <= 3 {
+                println!(
+                    "  replay flagged: device {dev_addr:#x}, FB off by {deviation_hz:+.0} Hz"
+                );
+            }
+        }
+        Ok(SoftLoraVerdict::NotReceived { .. }) => suppressed += 1,
+        _ => {}
+    });
+
+    println!("\nattacked half hour:");
+    println!("  fleet uplinks accepted      : {accepted}");
+    println!("  originals silently jammed   : {suppressed}");
+    println!("  replays flagged             : {detections}");
+    let stats = gateway.detection_stats();
+    println!(
+        "  overall: detection {:.0} %, false alarms {:.2} %",
+        stats.detection_rate() * 100.0,
+        stats.false_alarm_rate() * 100.0
+    );
+    println!("\nEleven meters never noticed anything; the twelfth's delayed frames");
+    println!("were dropped instead of poisoning the billing timeline.");
+}

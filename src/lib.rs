@@ -1,0 +1,40 @@
+//! Umbrella crate for the SoftLoRa reproduction.
+//!
+//! This repository reproduces **"Attack-Aware Data Timestamping in
+//! Low-Power Synchronization-Free LoRaWAN"** (Gu, Tan, Huang — ICDCS 2020)
+//! as a set of Rust crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`dsp`] | FFT, windows, Hilbert envelope, AIC pickers, phase unwrap, regression, differential evolution |
+//! | [`phy`] | CSS chirps, modulator/demodulator, oscillators, SDR front-end, channels, jamming windows, RN2483 behaviour |
+//! | [`crypto`] | AES-128, AES-CMAC, LoRaWAN MIC / payload encryption |
+//! | [`lorawan`] | frames, Class A device, duty cycle, elapsed-time timestamping, commodity gateway |
+//! | [`sim`] | drifting clocks, event queue, radio medium, building/campus deployments, interception |
+//! | [`attack`] | eavesdropper, stealthy jammer, USRP replayer, frame-delay orchestrator, RTT strawman |
+//! | [`softlora`] | the paper's contribution: PHY timestamping, FB estimation, FB database, replay detection, the SoftLoRa gateway |
+//!
+//! See the repository `README.md` for a guided tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-versus-measured
+//! record. The `examples/` directory holds runnable scenarios; the
+//! `softlora-bench` crate regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway};
+//! use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+//!
+//! let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+//! let gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 1);
+//! assert!(gateway.receiver_bias_hz().abs() < 10_000.0); // an RTL-SDR crystal
+//! ```
+
+pub use softlora;
+pub use softlora_attack as attack;
+pub use softlora_crypto as crypto;
+pub use softlora_dsp as dsp;
+pub use softlora_lorawan as lorawan;
+pub use softlora_phy as phy;
+pub use softlora_sim as sim;

@@ -1,0 +1,113 @@
+//! Waveform-level integration: LoRaWAN frame bytes through the real CSS
+//! modulator, a noisy channel, the dechirp demodulator, and the LoRaWAN
+//! gateway — crypto verified end to end at the signal level.
+
+use softlora_repro::dsp::Complex;
+use softlora_repro::lorawan::{ClassADevice, DeviceConfig, Gateway, RxVerdict};
+use softlora_repro::phy::demodulator::Demodulator;
+use softlora_repro::phy::modulator::Modulator;
+use softlora_repro::phy::noise::{add_noise_at_snr, GaussianNoise};
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+
+fn transmit_over_waveform(
+    bytes: &[u8],
+    cfo_hz: f64,
+    snr_db: Option<f64>,
+    sf: SpreadingFactor,
+) -> Result<Vec<u8>, softlora_repro::phy::PhyError> {
+    let cfg = PhyConfig::uplink(sf);
+    let os = 2;
+    let modulator = Modulator::new(cfg, os)?;
+    let demodulator = Demodulator::new(cfg, os)?;
+    let frame = modulator.modulate(bytes, cfo_hz, 0.7, 1.0)?;
+    let mut capture = vec![Complex::ZERO; 300];
+    capture.extend_from_slice(&frame.samples);
+    capture.extend(vec![Complex::ZERO; 400]);
+    if let Some(snr) = snr_db {
+        let mut noise = GaussianNoise::new(1.0, 99);
+        add_noise_at_snr(&mut capture, &mut noise, snr);
+    }
+    Ok(demodulator.demodulate(&capture, 300)?.payload)
+}
+
+#[test]
+fn lorawan_frame_survives_the_air() {
+    // A real Class A device builds an encrypted, MIC'd frame; the bytes fly
+    // as chirps with a −22 kHz crystal offset; the gateway decodes,
+    // verifies and timestamps.
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let dev_cfg = DeviceConfig::new(0x2601_0EE7, phy);
+    let mut device = ClassADevice::new(dev_cfg.clone());
+    let mut gateway = Gateway::new();
+    gateway.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+
+    device.sense(1234, 10.0).expect("sense");
+    let tx = device.try_transmit(12.0).expect("tx");
+
+    let received =
+        transmit_over_waveform(&tx.bytes, -22_000.0, Some(8.0), SpreadingFactor::Sf7)
+            .expect("waveform round trip");
+    assert_eq!(received, tx.bytes, "bytes corrupted over the air");
+
+    let verdict = gateway.receive(&received, 12.0 + tx.airtime_s);
+    let RxVerdict::Accepted(up) = verdict else { panic!("gateway rejected: {verdict:?}") };
+    assert_eq!(up.records.len(), 1);
+    assert_eq!(up.records[0].value, 1234);
+}
+
+#[test]
+fn tampered_waveform_fails_mic() {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let dev_cfg = DeviceConfig::new(0x2601_0EE8, phy);
+    let mut device = ClassADevice::new(dev_cfg.clone());
+    let mut gateway = Gateway::new();
+    gateway.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+
+    device.sense(1, 1.0).expect("sense");
+    let tx = device.try_transmit(2.0).expect("tx");
+    let mut bytes = tx.bytes.clone();
+    bytes[10] ^= 0x40; // tamper after modulation would break CRC; tamper
+                       // before flight models a forged frame instead
+    let received = transmit_over_waveform(&bytes, -20_000.0, None, SpreadingFactor::Sf7)
+        .expect("waveform round trip");
+    assert!(!gateway.receive(&received, 3.0).is_accepted());
+}
+
+#[test]
+fn multiple_sf_waveform_round_trips() {
+    for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf8] {
+        let phy = PhyConfig::uplink(sf);
+        let dev_cfg = DeviceConfig::new(0x2601_0F00 + sf.value(), phy);
+        let mut device = ClassADevice::new(dev_cfg.clone());
+        device.sense(7, 0.5).expect("sense");
+        device.sense(8, 0.7).expect("sense");
+        let tx = device.try_transmit(1.0).expect("tx");
+        let received = transmit_over_waveform(&tx.bytes, 15_000.0, Some(10.0), sf)
+            .expect("round trip");
+        assert_eq!(received, tx.bytes, "{sf}");
+    }
+}
+
+#[test]
+fn replayed_waveform_is_bit_exact_and_verifies() {
+    // The paper's core premise at waveform level: demodulating the same
+    // waveform twice yields identical bytes, and the second copy still
+    // passes all cryptographic checks if the first never consumed the
+    // counter.
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let dev_cfg = DeviceConfig::new(0x2601_0EE9, phy);
+    let mut device = ClassADevice::new(dev_cfg.clone());
+    device.sense(42, 1.0).expect("sense");
+    let tx = device.try_transmit(2.0).expect("tx");
+
+    let first = transmit_over_waveform(&tx.bytes, -21_000.0, Some(12.0), SpreadingFactor::Sf7)
+        .expect("original");
+    let second = transmit_over_waveform(&tx.bytes, -21_600.0, Some(12.0), SpreadingFactor::Sf7)
+        .expect("replay through a biased chain");
+    assert_eq!(first, second, "replay must be bit-exact");
+
+    let mut gateway = Gateway::new();
+    gateway.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+    // Original jammed: the gateway only sees the (delayed) replay.
+    assert!(gateway.receive(&second, 100.0).is_accepted());
+}
