@@ -137,8 +137,7 @@ impl Interceptor for FrameDelayAttack {
         }
 
         // Jamming strength relative to the legitimate signal at the victim.
-        let legit_at_gw =
-            medium.link(&frame.tx_position, gateway_position, frame.tx_power_dbm);
+        let legit_at_gw = medium.link(&frame.tx_position, gateway_position, frame.tx_power_dbm);
         let jam_at_gw =
             medium.link(&self.jammer.position, gateway_position, self.jammer.tx_power_dbm);
         let relative_power_db = jam_at_gw.rx_power_dbm() - legit_at_gw.rx_power_dbm();
@@ -179,8 +178,8 @@ mod tests {
         let device_pos = Position::default();
         let gw_pos = Position::new(400.0, 0.0, 0.0);
         let attack = FrameDelayAttack::new(
-            Position::new(3.0, 2.0, 0.0),      // eavesdropper near device
-            Position::new(398.0, 1.0, 0.0),    // jammer+replayer near gateway
+            Position::new(3.0, 2.0, 0.0),   // eavesdropper near device
+            Position::new(398.0, 1.0, 0.0), // jammer+replayer near gateway
             30.0,
             phy,
             7,
@@ -308,8 +307,7 @@ mod tests {
         let deliveries = attack.intercept(&frame, &medium, &gw_pos);
         // Original silently dropped (jammed) -> gateway only sees replay.
         let replay = deliveries.iter().find(|d| d.is_replay).unwrap();
-        let RxVerdict::Accepted(up) = gw.receive(&replay.bytes, replay.arrival_global_s)
-        else {
+        let RxVerdict::Accepted(up) = gw.receive(&replay.bytes, replay.arrival_global_s) else {
             panic!("replay should be accepted")
         };
         let err = up.records[0].global_time_s - 99.0;

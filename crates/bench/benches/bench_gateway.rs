@@ -1,24 +1,35 @@
-//! Criterion benchmark for the full SoftLoRa per-frame pipeline — the cost
-//! of being attack-aware: capture + AIC timestamp + FB estimate + LoRaWAN
-//! verify + replay check for one delivery.
+//! Criterion benchmarks for the SoftLoRa gateway pipeline.
+//!
+//! Three questions:
+//!
+//! 1. the cost of being attack-aware per delivery (`process_delivery_sf7`:
+//!    capture + AIC timestamp + FB estimate + replay check + LoRaWAN
+//!    verify);
+//! 2. what the staged refactor bought per frame — the monolithic gateway
+//!    ran the AIC onset picker **twice** per frame (once for the
+//!    timestamp, once for the FB window); `front_half_single_pick` versus
+//!    `front_half_with_redundant_pick` measures exactly that delta;
+//! 3. what batching buys — `sequential_16` versus `batch_16` runs the
+//!    same 16-delivery stream through a `process` loop and through
+//!    `process_batch`'s parallel front half.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use softlora::{SoftLoraConfig, SoftLoraGateway};
+use softlora::SoftLoraGateway;
 use softlora_lorawan::{ClassADevice, DeviceConfig};
 use softlora_phy::{PhyConfig, SpreadingFactor};
 use softlora_sim::Delivery;
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn mk_gateway_and_stream(n: usize) -> (SoftLoraGateway, Vec<Delivery>) {
     let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
     let dev_cfg = DeviceConfig::new(0x2601_0001, phy);
     let mut dev = ClassADevice::new(dev_cfg.clone());
-    let mut cfg = SoftLoraConfig::new(phy);
-    cfg.adc_quantisation = false;
-    let mut gw = SoftLoraGateway::new(cfg, 3);
-    gw.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+    let mut gw = SoftLoraGateway::builder(phy)
+        .adc_quantisation(false)
+        .seed(3)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+        .build();
 
-    // Warm the FB database so the benchmark measures the steady state.
     let mut mk_delivery = |t: f64, fcnt_time: f64| -> Delivery {
         dev.sense(1, fcnt_time).expect("sense");
         let tx = dev.try_transmit(t).expect("tx");
@@ -34,22 +45,69 @@ fn bench_pipeline(c: &mut Criterion) {
             is_replay: false,
         }
     };
+    // Warm the FB database so the benchmarks measure the steady state.
     for k in 0..5 {
         let d = mk_delivery(100.0 + 200.0 * k as f64, 99.0 + 200.0 * k as f64);
         gw.process(&d).expect("warmup");
     }
-    // A representative steady-state delivery. Processing it repeatedly
-    // trips the frame-counter replay guard, which still exercises the
-    // whole SDR + DSP front half of the pipeline (the expensive part).
-    let d = mk_delivery(2000.0, 1999.0);
+    // Representative steady-state deliveries. Re-processing them trips the
+    // frame-counter replay guard, which still exercises the whole SDR +
+    // DSP front half of the pipeline (the expensive part).
+    let stream: Vec<Delivery> =
+        (0..n).map(|k| mk_delivery(2000.0 + 200.0 * k as f64, 1999.0 + 200.0 * k as f64)).collect();
+    (gw, stream)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (mut gw, stream) = mk_gateway_and_stream(1);
+    let d = stream[0].clone();
 
     let mut group = c.benchmark_group("softlora_gateway");
     group.sample_size(20);
     group.bench_function("process_delivery_sf7", |b| {
         b.iter(|| gw.process(black_box(&d)).expect("process"))
     });
+
+    // The per-frame win of the staged refactor: the front half picks the
+    // onset once; the monolithic gateway effectively ran it twice.
+    let pipeline = gw.pipeline();
+    group.bench_function("front_half_single_pick", |b| {
+        b.iter(|| pipeline.front_half(black_box(&d), 1_000).expect("front half"))
+    });
+    let capture = pipeline.capture.synthesise(pipeline.config(), &d, 1_000).expect("capture");
+    group.bench_function("front_half_with_redundant_pick", |b| {
+        b.iter(|| {
+            let front = pipeline.front_half(black_box(&d), 1_000).expect("front half");
+            // The second pick the old monolith paid for per frame.
+            let again = pipeline
+                .onset
+                .pick(black_box(&capture.capture), d.arrival_global_s)
+                .expect("redundant pick");
+            (front, again)
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softlora_gateway_batch");
+    group.sample_size(10);
+
+    let (mut gw, stream) = mk_gateway_and_stream(16);
+    group.bench_function("sequential_16", |b| {
+        b.iter(|| {
+            for d in &stream {
+                gw.process(black_box(d)).expect("process");
+            }
+        })
+    });
+
+    let (mut gw, stream) = mk_gateway_and_stream(16);
+    group.bench_function("batch_16", |b| {
+        b.iter(|| gw.process_batch(black_box(&stream)).expect("batch"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_batch);
 criterion_main!(benches);

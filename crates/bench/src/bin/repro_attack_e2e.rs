@@ -11,8 +11,12 @@ fn main() {
     println!();
     println!("Attack (τ = {} s) over {} frames ({} attacked):", r.tau_s, r.frames, 8);
     println!("  originals silently suppressed : {}", r.originals_suppressed);
-    println!("  commodity gateway: accepted replays with mean timestamp error {:.2} s",
-        r.commodity_timestamp_error_s);
-    println!("  SoftLoRa gateway : {} replays flagged, {} genuine frames accepted",
-        r.softlora_detections, r.softlora_accepted);
+    println!(
+        "  commodity gateway: accepted replays with mean timestamp error {:.2} s",
+        r.commodity_timestamp_error_s
+    );
+    println!(
+        "  SoftLoRa gateway : {} replays flagged, {} genuine frames accepted",
+        r.softlora_detections, r.softlora_accepted
+    );
 }

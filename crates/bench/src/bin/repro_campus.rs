@@ -5,12 +5,19 @@ use softlora_bench::experiments::campus;
 fn main() {
     println!("§8.2 — campus long-distance signal timestamping\n");
     let r = campus::run(4);
-    println!("Link: {:.0} m, one-way propagation {:.2} µs, SNR {:.1} dB (rain margin applied)",
-        r.distance_m, r.propagation_us, r.snr_db);
+    println!(
+        "Link: {:.0} m, one-way propagation {:.2} µs, SNR {:.1} dB (rain margin applied)",
+        r.distance_m, r.propagation_us, r.snr_db
+    );
     println!();
     println!("Timing error upper bounds over 4 tests (µs):");
     for (k, e) in r.timing_errors_us.iter().enumerate() {
-        println!("  test {}: {:.2} µs   (paper test {}: {:.2} µs)",
-            k + 1, e, k + 1, campus::PAPER_ERRORS_US[k]);
+        println!(
+            "  test {}: {:.2} µs   (paper test {}: {:.2} µs)",
+            k + 1,
+            e,
+            k + 1,
+            campus::PAPER_ERRORS_US[k]
+        );
     }
 }

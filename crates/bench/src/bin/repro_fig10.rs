@@ -8,7 +8,13 @@ fn main() {
     let snrs = fig10::paper_snrs();
     let aic = fig10::run(&snrs, 20, OnsetMethod::Aic);
     let power = fig10::run(&snrs, 20, OnsetMethod::PowerAic);
-    let mut t = Table::new(["SNR(dB)", "AIC mean(µs)", "AIC max(µs)", "PowerAIC mean(µs)", "PowerAIC max(µs)"]);
+    let mut t = Table::new([
+        "SNR(dB)",
+        "AIC mean(µs)",
+        "AIC max(µs)",
+        "PowerAIC mean(µs)",
+        "PowerAIC max(µs)",
+    ]);
     for (a, p) in aic.iter().zip(power.iter()) {
         t.row([
             format!("{:.0}", a.snr_db),

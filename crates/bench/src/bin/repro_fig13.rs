@@ -6,7 +6,11 @@ fn main() {
     println!("Fig. 13 — FBs from 16 nodes: original vs replayed (20 frames each)\n");
     let nodes = fig13::run(16, 20);
     let mut t = Table::new([
-        "Node", "orig mean(kHz)", "orig min/max", "replay mean(kHz)", "replay min/max",
+        "Node",
+        "orig mean(kHz)",
+        "orig min/max",
+        "replay mean(kHz)",
+        "replay min/max",
         "added bias(Hz)",
     ]);
     let mut added = Vec::new();

@@ -10,7 +10,11 @@ fn main() {
     let gauss = fig14::run(&snrs, false, 9, FbMethod::MatchedFilter);
     let real = fig14::run(&snrs, true, 9, FbMethod::MatchedFilter);
     let mut t = Table::new([
-        "SNR(dB)", "Gauss median(Hz)", "Gauss mean(Hz)", "Real median(Hz)", "Real mean(Hz)",
+        "SNR(dB)",
+        "Gauss median(Hz)",
+        "Gauss mean(Hz)",
+        "Real median(Hz)",
+        "Real mean(Hz)",
     ]);
     for (g, r) in gauss.iter().zip(real.iter()) {
         t.row([

@@ -6,10 +6,17 @@ fn main() {
     let f = fig6_9::run();
     println!("Fig. 6 — SF7 chirp spectrogram geometry");
     println!("  frames over one chirp : {} (paper: 20)", f.spectrogram_frames);
-    println!("  time resolution       : {:.1} µs (paper: ~50 µs — too coarse for PHY timestamping)", f.time_resolution_us);
+    println!(
+        "  time resolution       : {:.1} µs (paper: ~50 µs — too coarse for PHY timestamping)",
+        f.time_resolution_us
+    );
     let first = f.ridge_hz.first().unwrap();
     let last = f.ridge_hz.last().unwrap();
-    println!("  frequency ridge       : {:.1} kHz -> {:.1} kHz (linear up-sweep)", first / 1e3, last / 1e3);
+    println!(
+        "  frequency ridge       : {:.1} kHz -> {:.1} kHz (linear up-sweep)",
+        first / 1e3,
+        last / 1e3
+    );
     println!();
     println!("Fig. 7 — matched filtering is defeated by the unknown phase:");
     println!("  corr(I | θ=0, I | θ=π) = {:.3} (the trace inverts)", f.phase_trace_correlation);

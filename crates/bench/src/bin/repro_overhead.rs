@@ -8,10 +8,18 @@ fn main() {
     println!("§3.2 — synchronization-based vs synchronization-free overhead\n");
     println!("Clock: 40 ppm crystal, sub-10 ms requirement");
     println!("  sync sessions needed per hour : {:.1} (paper: 14)", r.sessions_per_hour);
-    println!("  SF12 30B frames/hour at 1% duty: {} (paper: 24; {} with mandatory LDRO)",
-        r.frames_per_hour_no_ldro, r.frames_per_hour_ldro);
+    println!(
+        "  SF12 30B frames/hour at 1% duty: {} (paper: 24; {} with mandatory LDRO)",
+        r.frames_per_hour_no_ldro, r.frames_per_hour_ldro
+    );
     println!();
-    let mut t = Table::new(["", "sync sessions/h", "budget fraction", "payload time fraction", "time bytes/record"]);
+    let mut t = Table::new([
+        "",
+        "sync sessions/h",
+        "budget fraction",
+        "payload time fraction",
+        "time bytes/record",
+    ]);
     t.row([
         "sync-based".to_string(),
         format!("{:.1}", r.sync_based.sync_sessions_per_hour),
@@ -32,6 +40,9 @@ fn main() {
     println!("§4.4 — round-trip-timing defence cost (100 devices, 21 uplinks/h):");
     println!("  downlinks per uplink          : {:.0}", r.rtt.rtt_downlinks_per_uplink);
     println!("  airtime multiplier            : {:.1}x", r.rtt.rtt_airtime_multiplier);
-    println!("  gateway downlink utilisation  : {:.0}%", r.rtt.gateway_downlink_utilisation * 100.0);
+    println!(
+        "  gateway downlink utilisation  : {:.0}%",
+        r.rtt.gateway_downlink_utilisation * 100.0
+    );
     println!("  SoftLoRa extra transmissions  : {:.0}", r.rtt.softlora_extra_transmissions);
 }

@@ -8,7 +8,10 @@ fn main() {
     println!("Ablation — FB-band policy ROC (extension beyond the paper)\n");
     let sigmas = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0];
     for regime in &roc::REGIMES {
-        println!("Regime: {} (noise {} Hz, artefact {} Hz)", regime.label, regime.fb_noise_hz, regime.artefact_hz);
+        println!(
+            "Regime: {} (noise {} Hz, artefact {} Hz)",
+            regime.label, regime.fb_noise_hz, regime.artefact_hz
+        );
         let pts = roc::run(regime, &sigmas, 400, 7);
         let mut t = Table::new(["band_sigma", "detection", "false alarms"]);
         for p in &pts {

@@ -5,8 +5,15 @@ use softlora_bench::table::Table;
 fn main() {
     println!("Table 1 — Jamming attack time windows (measured by onset sweep)\n");
     let mut t = Table::new([
-        "SF", "Chirp(ms)", "Preamble(ms)", "Payload(B)", "w1(ms)", "w2(ms)", "w3(ms)",
-        "paper w1/w2/w3", "effective(ms)",
+        "SF",
+        "Chirp(ms)",
+        "Preamble(ms)",
+        "Payload(B)",
+        "w1(ms)",
+        "w2(ms)",
+        "w3(ms)",
+        "paper w1/w2/w3",
+        "effective(ms)",
     ]);
     for row in table1::run() {
         t.row([

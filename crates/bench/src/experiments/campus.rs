@@ -8,6 +8,7 @@
 
 use crate::common;
 use softlora::phy_timestamp::{OnsetMethod, PhyTimestamper};
+use softlora::pipeline::OnsetStage;
 use softlora_phy::{PhyConfig, SpreadingFactor};
 use softlora_sim::deployment::CampusDeployment;
 
@@ -41,13 +42,19 @@ pub fn run(trials: usize) -> CampusResult {
     // SF12 is the experiment default; SF9 chirps keep the capture length
     // tractable — timing error depends on SNR for amplitude pickers.
     let phy = PhyConfig::uplink(SpreadingFactor::Sf9);
-    let ts = PhyTimestamper::new(OnsetMethod::PowerAic);
+    // The gateway pipeline's onset stage, driven stand-alone: the same
+    // single pick that feeds both timestamping and FB estimation on the
+    // full gateway.
+    let onset = OnsetStage::new(PhyTimestamper::new(OnsetMethod::PowerAic));
 
     let timing_errors_us = (0..trials)
         .map(|t| {
             let clean = common::capture(&phy, 2, -23_000.0, 0.8, 600, 40 + t as u64);
             let noisy = common::with_noise(&clean, link.snr_db(), true, 90 + t as u64);
-            ts.timestamp_error_s(&noisy).expect("pick").abs() * 1e6 + noisy.dt() * 1e6 / 2.0
+            let pick = onset.pick(&noisy, 0.0).expect("pick");
+            let err_s =
+                (pick.timestamp.onset_sample as i64 - noisy.true_onset as i64) as f64 * noisy.dt();
+            err_s.abs() * 1e6 + pick.timestamp.quantisation_bound_s * 1e6
         })
         .collect();
 

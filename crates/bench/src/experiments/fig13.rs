@@ -106,11 +106,7 @@ mod tests {
         // population spans −783..−435 Hz.
         for node in run(16, 5) {
             let added = node.added_bias_hz();
-            assert!(
-                (-900.0..=-350.0).contains(&added),
-                "node {}: added {added} Hz",
-                node.node
-            );
+            assert!((-900.0..=-350.0).contains(&added), "node {}: added {added} Hz", node.node);
         }
     }
 

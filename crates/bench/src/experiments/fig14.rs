@@ -26,12 +26,7 @@ pub struct Fig14Point {
 }
 
 /// Sweeps SNR for one noise type with the given LS solver.
-pub fn run(
-    snrs_db: &[f64],
-    real_noise: bool,
-    trials: usize,
-    method: FbMethod,
-) -> Vec<Fig14Point> {
+pub fn run(snrs_db: &[f64], real_noise: bool, trials: usize, method: FbMethod) -> Vec<Fig14Point> {
     let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
     let estimator = FbEstimator::new(&phy, 2.4e6);
     let true_bias = -21_500.0;
@@ -40,14 +35,8 @@ pub fn run(
         .map(|&snr| {
             let mut errs: Vec<f64> = (0..trials)
                 .map(|t| {
-                    let clean =
-                        common::capture(&phy, 2, true_bias, 0.0, 500, 500 + t as u64);
-                    let noisy = common::with_noise(
-                        &clean,
-                        snr,
-                        real_noise,
-                        9000 + 13 * t as u64,
-                    );
+                    let clean = common::capture(&phy, 2, true_bias, 0.0, 500, 500 + t as u64);
+                    let noisy = common::with_noise(&clean, snr, real_noise, 9000 + 13 * t as u64);
                     let noise_power = 10f64.powf(-snr / 10.0);
                     let fb = estimator
                         .estimate_from_capture(&noisy, noisy.true_onset, method, noise_power)
@@ -103,8 +92,12 @@ mod tests {
     fn real_noise_comparable_to_gaussian() {
         let g = &run(&[-10.0], false, 5, FbMethod::MatchedFilter)[0];
         let r = &run(&[-10.0], true, 5, FbMethod::MatchedFilter)[0];
-        assert!(r.median_error_hz < 4.0 * g.median_error_hz.max(20.0),
-            "real {} vs gaussian {}", r.median_error_hz, g.median_error_hz);
+        assert!(
+            r.median_error_hz < 4.0 * g.median_error_hz.max(20.0),
+            "real {} vs gaussian {}",
+            r.median_error_hz,
+            g.median_error_hz
+        );
     }
 
     #[test]

@@ -57,8 +57,7 @@ pub fn run(trials: usize) -> Vec<Fig15Cell> {
                         500,
                         (col * 100 + floor * 10 + t) as u64,
                     );
-                    let noisy =
-                        common::with_noise(&clean, snr, true, (col * 31 + floor) as u64);
+                    let noisy = common::with_noise(&clean, snr, true, (col * 31 + floor) as u64);
                     let err = ts.timestamp_error_s(&noisy).expect("pick").abs() * 1e6
                         + noisy.dt() * 1e6 / 2.0;
                     worst = worst.max(err);
@@ -81,11 +80,8 @@ mod tests {
     #[test]
     fn snr_spans_paper_range() {
         let cells = run(1);
-        let snrs: Vec<f64> = cells
-            .iter()
-            .filter(|c| !(c.col == 0 && c.floor == 3))
-            .map(|c| c.snr_db)
-            .collect();
+        let snrs: Vec<f64> =
+            cells.iter().filter(|c| !(c.col == 0 && c.floor == 3)).map(|c| c.snr_db).collect();
         let min = snrs.iter().cloned().fold(f64::MAX, f64::min);
         let max = snrs.iter().cloned().fold(f64::MIN, f64::max);
         assert!((-2.5..=0.5).contains(&min), "min {min}");

@@ -93,7 +93,12 @@ pub fn run(trials: usize) -> Fig16Series {
             let noisy = common::with_noise(&cap, snr + 15.0, false, seed + 1); // eaves is close
             v_eaves.push(
                 estimator
-                    .estimate_from_capture(&noisy, noisy.true_onset, FbMethod::LinearRegression, 0.0)
+                    .estimate_from_capture(
+                        &noisy,
+                        noisy.true_onset,
+                        FbMethod::LinearRegression,
+                        0.0,
+                    )
                     .expect("eaves fb")
                     .delta_hz,
             );

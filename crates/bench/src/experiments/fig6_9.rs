@@ -40,11 +40,10 @@ pub fn run() -> Fig6to9 {
     let fs = 2.4e6;
 
     // Fig. 6: ideal chirp spectrogram.
-    let generator = ChirpGenerator::new(phy.sf, phy.channel.bandwidth.hz(), fs)
-        .expect("chirp generator");
+    let generator =
+        ChirpGenerator::new(phy.sf, phy.channel.bandwidth.hz(), fs).expect("chirp generator");
     let chirp = generator.upchirp(0, 0.0, 0.0, 1.0);
-    let sg: Spectrogram =
-        stft(&chirp, &StftConfig::paper_fig6(7, fs)).expect("spectrogram");
+    let sg: Spectrogram = stft(&chirp, &StftConfig::paper_fig6(7, fs)).expect("spectrogram");
     let ridge_hz = sg.ridge();
 
     // Fig. 7: θ = 0 versus θ = π.

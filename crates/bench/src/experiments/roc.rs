@@ -101,11 +101,20 @@ mod tests {
     fn building_regime_shows_tradeoff() {
         // 1.5 kHz artefact vs 400 Hz noise: tight bands detect but risk
         // false alarms; wide bands miss replays. This is the regime where
-        // the band policy genuinely matters.
-        let pts = run(&REGIMES[1], &[1.0, 3.0, 8.0], 300, 2);
-        let tight = &pts[0];
-        let mid = &pts[1];
-        let loose = &pts[2];
+        // the band policy genuinely matters. A single 300-frame run has
+        // binomial noise comparable to the 5% false-alarm bound, so
+        // average the rates over a few independent seeds.
+        let seeds = [1u64, 2, 3];
+        let mut avg = [RocPoint { band_sigma: 0.0, detection_rate: 0.0, false_alarm_rate: 0.0 }; 3];
+        for &seed in &seeds {
+            let pts = run(&REGIMES[1], &[1.0, 3.0, 8.0], 300, seed);
+            for (a, p) in avg.iter_mut().zip(&pts) {
+                a.band_sigma = p.band_sigma;
+                a.detection_rate += p.detection_rate / seeds.len() as f64;
+                a.false_alarm_rate += p.false_alarm_rate / seeds.len() as f64;
+            }
+        }
+        let [tight, mid, loose] = &avg;
         assert!(tight.detection_rate > 0.95, "{tight:?}");
         assert!(tight.false_alarm_rate > 0.1, "{tight:?}");
         assert!(mid.detection_rate > 0.7, "{mid:?}");

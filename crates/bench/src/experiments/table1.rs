@@ -53,12 +53,7 @@ fn measure(sf: SpreadingFactor, payload: usize, paper: (f64, f64, f64)) -> Table
     let model = Rn2483Model::new();
     let snr = 5.0; // comfortably decodable
     let outcome_at = |onset_s: f64| -> ReceptionOutcome {
-        model.receive(
-            &cfg,
-            payload,
-            snr,
-            Some(JammingAttempt { onset_s, relative_power_db: 10.0 }),
-        )
+        model.receive(&cfg, payload, snr, Some(JammingAttempt { onset_s, relative_power_db: 10.0 }))
     };
     // Sweep at 0.1 ms resolution to the frame end plus slack.
     let end = cfg.airtime(payload) + 0.2;
@@ -92,11 +87,7 @@ pub fn run() -> Vec<Table1Row> {
     PAPER_TABLE1
         .iter()
         .map(|&(sf, payload, w1, w2, w3)| {
-            measure(
-                SpreadingFactor::from_value(sf).expect("table sf"),
-                payload,
-                (w1, w2, w3),
-            )
+            measure(SpreadingFactor::from_value(sf).expect("table sf"), payload, (w1, w2, w3))
         })
         .collect()
 }
@@ -134,7 +125,14 @@ mod tests {
         // Within 20 % of the paper's measured value for every row.
         for row in run() {
             let rel = (row.w2_ms - row.paper_ms.1).abs() / row.paper_ms.1;
-            assert!(rel < 0.2, "SF{} {}B: w2 {} vs paper {}", row.sf, row.payload, row.w2_ms, row.paper_ms.1);
+            assert!(
+                rel < 0.2,
+                "SF{} {}B: w2 {} vs paper {}",
+                row.sf,
+                row.payload,
+                row.w2_ms,
+                row.paper_ms.1
+            );
         }
     }
 
@@ -143,7 +141,14 @@ mod tests {
         // w3 = airtime + decode latency; within 20 % of the paper's value.
         for row in run() {
             let rel = (row.w3_ms - row.paper_ms.2).abs() / row.paper_ms.2;
-            assert!(rel < 0.2, "SF{} {}B: w3 {} vs paper {}", row.sf, row.payload, row.w3_ms, row.paper_ms.2);
+            assert!(
+                rel < 0.2,
+                "SF{} {}B: w3 {} vs paper {}",
+                row.sf,
+                row.payload,
+                row.w3_ms,
+                row.paper_ms.2
+            );
         }
     }
 

@@ -83,12 +83,7 @@ mod tests {
         let rows = run(10);
         let (aic_bound, env_bound) = paper_bounds();
         for row in rows.iter().filter(|r| r.detector == "AIC") {
-            assert!(
-                row.max_us() <= aic_bound,
-                "AIC {} max {} µs",
-                row.component,
-                row.max_us()
-            );
+            assert!(row.max_us() <= aic_bound, "AIC {} max {} µs", row.component, row.max_us());
         }
         for row in rows.iter().filter(|r| r.detector == "ENV") {
             assert!(

@@ -19,11 +19,11 @@ pub mod table;
 
 /// Shared helpers for building captures and deliveries across experiments.
 pub mod common {
+    use softlora_dsp::Complex;
     use softlora_phy::noise::{GaussianNoise, NoiseSource, RealNoiseEmulator};
     use softlora_phy::oscillator::Oscillator;
     use softlora_phy::sdr::{IqCapture, SdrReceiver};
     use softlora_phy::PhyConfig;
-    use softlora_dsp::Complex;
 
     /// The paper's carrier frequency.
     pub const FC: f64 = 869.75e6;
@@ -41,8 +41,7 @@ pub mod common {
         let osc = Oscillator::with_bias_ppm(rx_bias_ppm, FC, seed).with_jitter_hz(0.0);
         let mut rx = SdrReceiver::new(osc).without_quantisation();
         let theta = 0.1 + 0.61 * (seed % 10) as f64;
-        rx.capture_chirps(phy, chirps, delta_tx_hz, theta, 1.0, lead)
-            .expect("capture construction")
+        rx.capture_chirps(phy, chirps, delta_tx_hz, theta, 1.0, lead).expect("capture construction")
     }
 
     /// Adds noise at an SNR referenced to the unit-amplitude chirp (the

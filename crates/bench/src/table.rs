@@ -31,9 +31,7 @@ impl Table {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let cols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         let measure = |widths: &mut Vec<usize>, row: &[String]| {
             for (i, cell) in row.iter().enumerate() {

@@ -34,11 +34,14 @@ pub fn sync_based_profile(
     payload_bytes: usize,
 ) -> OverheadProfile {
     let sessions = crate::analysis::sessions_per_hour(drift_ppm, max_clock_error_s);
-    let frames_per_hour =
-        (3600.0 * EU868_DUTY_CYCLE / phy.airtime(payload_bytes)).floor();
+    let frames_per_hour = (3600.0 * EU868_DUTY_CYCLE / phy.airtime(payload_bytes)).floor();
     OverheadProfile {
         sync_sessions_per_hour: sessions,
-        sync_budget_fraction: if frames_per_hour > 0.0 { sessions / frames_per_hour } else { f64::INFINITY },
+        sync_budget_fraction: if frames_per_hour > 0.0 {
+            sessions / frames_per_hour
+        } else {
+            f64::INFINITY
+        },
         payload_time_fraction: 8.0 / payload_bytes as f64,
         time_bytes_per_record: 8.0,
     }

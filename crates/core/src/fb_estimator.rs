@@ -86,8 +86,8 @@ impl FbEstimator {
     /// The quadratic part of the chirp angle at time `t` (symbol-0 chirp,
     /// zero bias/phase): `πW²/2^S·t² − πW·t`.
     fn quadratic_angle(&self, t: f64) -> f64 {
-        let a = std::f64::consts::PI * self.bandwidth_hz * self.bandwidth_hz
-            / (1u64 << self.sf) as f64;
+        let a =
+            std::f64::consts::PI * self.bandwidth_hz * self.bandwidth_hz / (1u64 << self.sf) as f64;
         a * t * t - std::f64::consts::PI * self.bandwidth_hz * t
     }
 
@@ -143,7 +143,9 @@ impl FbEstimator {
     fn dechirp(&self, z: &[Complex]) -> Result<Vec<Complex>, SoftLoraError> {
         let n = self.samples_per_chirp();
         if z.len() < n {
-            return Err(SoftLoraError::Capture { reason: "need one full chirp for matched filter" });
+            return Err(SoftLoraError::Capture {
+                reason: "need one full chirp for matched filter",
+            });
         }
         let generator = ChirpGenerator::new(
             softlora_phy::SpreadingFactor::from_value(self.sf).map_err(SoftLoraError::Phy)?,
@@ -196,9 +198,8 @@ impl FbEstimator {
         // With 4x zero padding the tone energy spreads over ~4 bins;
         // detecting on a 4-bin energy window (instead of a single bin)
         // matches that spread and suppresses low-SNR noise-peak outliers.
-        let window_energy = |k: usize| -> f64 {
-            (0..4).map(|j| spec[(k + j) % fft_len].norm_sqr()).sum()
-        };
+        let window_energy =
+            |k: usize| -> f64 { (0..4).map(|j| spec[(k + j) % fft_len].norm_sqr()).sum() };
         let mut best_bin = 0usize;
         let mut best_mag = -1.0;
         for k in 0..fft_len {
@@ -211,11 +212,9 @@ impl FbEstimator {
                 }
             }
         }
-        let coarse_hz = if best_bin < fft_len / 2 {
-            best_bin as f64
-        } else {
-            best_bin as f64 - fft_len as f64
-        } * bin_hz;
+        let coarse_hz =
+            if best_bin < fft_len / 2 { best_bin as f64 } else { best_bin as f64 - fft_len as f64 }
+                * bin_hz;
 
         // Polish: golden-section on the continuous correlation magnitude,
         // over a window wide enough to cover the 4-bin detection spread.
@@ -287,17 +286,13 @@ impl FbEstimator {
         .with_max_generations(120)
         .with_tolerance(1e-8);
         let coarse = de.minimize(objective).map_err(SoftLoraError::Dsp)?;
-        let fine = nelder_mead(objective, &coarse.x, 1e-4, 200, 1e-12)
-            .map_err(SoftLoraError::Dsp)?;
+        let fine =
+            nelder_mead(objective, &coarse.x, 1e-4, 200, 1e-12).map_err(SoftLoraError::Dsp)?;
 
         // Quality: residual power against total power.
         let total: f64 = z.iter().map(|v| v.norm_sqr()).sum();
         let quality = if total > 0.0 { (1.0 - fine.value / total).clamp(0.0, 1.0) } else { 0.0 };
-        Ok(FbEstimate {
-            delta_hz: fine.x[0],
-            method: FbMethod::DifferentialEvolution,
-            quality,
-        })
+        Ok(FbEstimate { delta_hz: fine.x[0], method: FbMethod::DifferentialEvolution, quality })
     }
 
     /// Estimates the FB from an SDR capture whose signal onset is at sample
@@ -366,7 +361,12 @@ mod tests {
     }
 
     /// One clean capture: 2 chirps, known net bias, known onset.
-    fn clean_capture(delta_tx: f64, delta_rx_ppm: f64, theta: f64, seed: u64) -> softlora_phy::sdr::IqCapture {
+    fn clean_capture(
+        delta_tx: f64,
+        delta_rx_ppm: f64,
+        theta: f64,
+        seed: u64,
+    ) -> softlora_phy::sdr::IqCapture {
         let osc = Oscillator::with_bias_ppm(delta_rx_ppm, FC, seed).with_jitter_hz(0.0);
         let mut rx = SdrReceiver::new(osc).without_quantisation().with_fixed_phase(theta);
         rx.capture_chirps(&cfg(), 2, delta_tx, 0.9, 1.0, 300).unwrap()
@@ -403,9 +403,8 @@ mod tests {
         let lr = est
             .estimate_from_capture(&cap, cap.true_onset, FbMethod::LinearRegression, 0.0)
             .unwrap();
-        let mf = est
-            .estimate_from_capture(&cap, cap.true_onset, FbMethod::MatchedFilter, 0.0)
-            .unwrap();
+        let mf =
+            est.estimate_from_capture(&cap, cap.true_onset, FbMethod::MatchedFilter, 0.0).unwrap();
         assert!((lr.delta_hz - mf.delta_hz).abs() < 30.0, "{} vs {}", lr.delta_hz, mf.delta_hz);
         assert!(mf.quality > 0.9, "quality {}", mf.quality);
     }
@@ -419,11 +418,8 @@ mod tests {
             let mut z = cap.to_complex();
             let mut noise = GaussianNoise::new(1.0, 77 + seed);
             add_noise_at_snr(&mut z, &mut noise, -25.0);
-            let noisy = softlora_phy::sdr::IqCapture::from_complex(
-                &z,
-                cap.sample_rate,
-                cap.true_onset,
-            );
+            let noisy =
+                softlora_phy::sdr::IqCapture::from_complex(&z, cap.sample_rate, cap.true_onset);
             let est = FbEstimator::new(&cfg(), cap.sample_rate);
             let fb = est
                 .estimate_from_capture(&noisy, cap.true_onset, FbMethod::MatchedFilter, 0.0)
@@ -449,11 +445,8 @@ mod tests {
             let mut z = cap.to_complex();
             let mut noise = GaussianNoise::new(1.0, 90 + seed);
             add_noise_at_snr(&mut z, &mut noise, -15.0);
-            let noisy = softlora_phy::sdr::IqCapture::from_complex(
-                &z,
-                cap.sample_rate,
-                cap.true_onset,
-            );
+            let noisy =
+                softlora_phy::sdr::IqCapture::from_complex(&z, cap.sample_rate, cap.true_onset);
             let est = FbEstimator::new(&cfg(), cap.sample_rate);
             lr_err += (est
                 .estimate_from_capture(&noisy, cap.true_onset, FbMethod::LinearRegression, 0.0)
@@ -525,7 +518,8 @@ mod tests {
     fn capture_too_short_is_error() {
         let cap = clean_capture(-20_000.0, 0.0, 0.0, 7);
         let est = FbEstimator::new(&cfg(), cap.sample_rate);
-        for m in [FbMethod::LinearRegression, FbMethod::MatchedFilter, FbMethod::DifferentialEvolution]
+        for m in
+            [FbMethod::LinearRegression, FbMethod::MatchedFilter, FbMethod::DifferentialEvolution]
         {
             assert!(est.estimate_from_capture(&cap, cap.len(), m, 0.0).is_err(), "{m:?}");
         }

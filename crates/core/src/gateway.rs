@@ -1,39 +1,46 @@
 //! The SoftLoRa gateway: the full attack-aware timestamping pipeline
-//! (paper §5.3, Fig. 4).
+//! (paper §5.3, Fig. 4), staged and batchable.
 //!
-//! Per uplink delivery:
+//! Per uplink delivery the gateway drives the six stages of
+//! [`crate::pipeline`]:
 //!
-//! 1. the commodity radio model decides whether the frame survives any
-//!    jamming ([`softlora_phy::rn2483`] — silent drops stay silent);
-//! 2. the SDR front-end captures the first two preamble chirps at
-//!    2.4 Msps;
-//! 3. the AIC picker timestamps the signal onset to microseconds;
-//! 4. the FB estimator extracts the frame's carrier bias from the second
-//!    chirp;
-//! 5. the LoRaWAN layer verifies MIC and counter and decodes the claimed
-//!    source;
-//! 6. the replay detector compares the FB with the claimed device's
-//!    history: flagged frames are dropped *before* any record is
-//!    timestamped, and never update the database.
+//! 1. [`crate::pipeline::RadioFrontEnd`] — the commodity radio model decides
+//!    whether the frame survives any jamming (silent drops stay silent);
+//! 2. [`crate::pipeline::CaptureSynth`] — the SDR front-end captures the first
+//!    preamble chirps at 2.4 Msps;
+//! 3. [`crate::pipeline::OnsetStage`] — the AIC picker timestamps the signal
+//!    onset to microseconds, **once**; the pick feeds both the timestamp
+//!    and the FB window;
+//! 4. [`crate::pipeline::FbStage`] — the FB estimator extracts the frame's
+//!    carrier bias from the second chirp;
+//! 5. [`crate::pipeline::DetectStage`] — the replay detector compares the FB with
+//!    the claimed device's history: flagged frames are dropped *before*
+//!    any record is timestamped, and never update the database;
+//! 6. [`crate::pipeline::MacStage`] — the LoRaWAN layer verifies MIC and counter
+//!    and timestamps the records at the PHY arrival instant.
+//!
+//! Stages 1–4 are pure per-delivery functions; [`SoftLoraGateway::process_batch`]
+//! runs them for independent deliveries in parallel and then replays the
+//! stateful tail sequentially in arrival order, yielding verdicts
+//! bit-identical to a sequential [`SoftLoraGateway::process`] loop.
 
+use crate::builder::GatewayBuilder;
 use crate::config::SoftLoraConfig;
 use crate::fb_db::FbDatabase;
-use crate::fb_estimator::{FbEstimate, FbEstimator, FbMethod};
-use crate::phy_timestamp::{PhyTimestamp, PhyTimestamper};
-use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
+use crate::fb_estimator::FbEstimate;
+use crate::observer::{AcceptEvent, GatewayObserver, RejectEvent, ReplayFlagEvent, Stage};
+use crate::pipeline::{AnalyzedFrame, FrontFrame, Pipeline, StageTiming};
+use crate::replay_detect::{DetectionStats, ReplayVerdict};
 use crate::SoftLoraError;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use softlora_lorawan::frame::DataFrame;
-use softlora_lorawan::{DeviceKeys, Gateway as LorawanGateway, ReceivedUplink, RxVerdict};
-use softlora_phy::noise::{GaussianNoise, NoiseSource};
-use softlora_phy::oscillator::Oscillator;
-use softlora_phy::rn2483::{ReceptionOutcome, Rn2483Model};
-use softlora_phy::sdr::{IqCapture, SdrReceiver};
+use rayon::prelude::*;
+use softlora_lorawan::{DeviceKeys, ReceivedUplink, RxVerdict};
+use softlora_phy::rn2483::ReceptionOutcome;
+use softlora_phy::PhyConfig;
 use softlora_sim::Delivery;
+use std::time::Instant;
 
 /// Outcome of processing one delivery.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SoftLoraVerdict {
     /// Frame accepted: records carry trustworthy timestamps.
     Accepted {
@@ -83,125 +90,92 @@ impl SoftLoraVerdict {
 }
 
 /// The SoftLoRa gateway (commodity radio + SDR receiver + defence).
-#[derive(Debug)]
 pub struct SoftLoraGateway {
-    config: SoftLoraConfig,
-    lorawan: LorawanGateway,
-    sdr: SdrReceiver,
-    timestamper: PhyTimestamper,
-    estimator: FbEstimator,
-    detector: ReplayDetector,
-    rn2483: Rn2483Model,
-    rng: StdRng,
-    noise_seed: u64,
+    pipeline: Pipeline,
+    observers: Vec<Box<dyn GatewayObserver>>,
+    /// Deliveries processed so far; doubles as the per-delivery random
+    /// stream index, so batch and sequential processing draw identically.
+    frames_seen: u64,
+}
+
+impl std::fmt::Debug for SoftLoraGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftLoraGateway")
+            .field("pipeline", &self.pipeline)
+            .field("observers", &self.observers.len())
+            .field("frames_seen", &self.frames_seen)
+            .finish()
+    }
 }
 
 impl SoftLoraGateway {
     /// Creates a gateway with the given configuration; `seed` controls the
-    /// SDR oscillator draw and capture noise (deterministic runs).
+    /// SDR oscillator draw and all per-delivery randomness (deterministic
+    /// runs).
     pub fn new(config: SoftLoraConfig, seed: u64) -> Self {
-        let osc = Oscillator::sample_rtl_sdr(config.phy.channel.center_hz, seed);
-        let mut sdr = SdrReceiver::new(osc);
-        if !config.adc_quantisation {
-            sdr = sdr.without_quantisation();
-        }
-        let estimator = FbEstimator::new(&config.phy, sdr.sample_rate());
-        let detector = ReplayDetector::new(FbDatabase::new(
-            32,
-            config.warmup_frames,
-            config.band_floor_hz,
-            config.band_sigma,
-        ));
         SoftLoraGateway {
-            timestamper: PhyTimestamper::new(config.onset_method),
-            lorawan: LorawanGateway::new(),
-            sdr,
-            estimator,
-            detector,
-            rn2483: Rn2483Model::new(),
-            rng: StdRng::seed_from_u64(seed ^ 0x50F7),
-            noise_seed: seed,
-            config,
+            pipeline: Pipeline::new(config, seed),
+            observers: Vec::new(),
+            frames_seen: 0,
         }
+    }
+
+    /// Starts a [`GatewayBuilder`] from the paper-faithful defaults for
+    /// `phy` — the preferred way to construct a gateway.
+    pub fn builder(phy: PhyConfig) -> GatewayBuilder {
+        GatewayBuilder::new(phy)
     }
 
     /// Provisions a device's LoRaWAN session keys.
     pub fn provision(&mut self, dev_addr: u32, keys: DeviceKeys) {
-        self.lorawan.provision(dev_addr, keys);
+        self.pipeline.mac.provision(dev_addr, keys);
     }
 
     /// Pre-loads a device's FB history (offline database construction,
     /// paper §7.2).
     pub fn preload_fb(&mut self, dev_addr: u32, fbs_hz: &[f64]) {
-        self.detector.preload(dev_addr, fbs_hz);
+        self.pipeline.detect.preload(dev_addr, fbs_hz);
+    }
+
+    /// Attaches an event observer (see [`crate::observer`]).
+    pub fn attach_observer(&mut self, observer: Box<dyn GatewayObserver>) {
+        self.observers.push(observer);
     }
 
     /// The SDR receiver's oscillator bias (δRx), Hz.
     pub fn receiver_bias_hz(&self) -> f64 {
-        self.sdr.receiver_bias_hz()
+        self.pipeline.capture.receiver_bias_hz()
     }
 
     /// Detection statistics accumulated so far.
     pub fn detection_stats(&self) -> DetectionStats {
-        self.detector.stats()
+        self.pipeline.detect.stats()
     }
 
     /// Read access to the FB database.
     pub fn fb_database(&self) -> &FbDatabase {
-        self.detector.db()
+        self.pipeline.detect.db()
     }
 
     /// The gateway configuration.
     pub fn config(&self) -> &SoftLoraConfig {
-        &self.config
+        self.pipeline.config()
     }
 
-    /// Synthesises the SDR capture for a delivery: the first two preamble
-    /// chirps at 2.4 Msps, with the waveform's carrier bias/phase, plus
-    /// channel noise matching the delivery's SNR.
-    fn capture_delivery(&mut self, delivery: &Delivery) -> Result<IqCapture, SoftLoraError> {
-        let lead =
-            self.config.capture_lead + (self.rng.random::<u64>() % 200) as usize;
-        // Capture one chirp beyond the configured analysis window: the
-        // real preamble has 8 identical up-chirps, so when a low-SNR onset
-        // pick lands late the analysis window still covers genuine
-        // preamble signal instead of running off the buffer.
-        let cap = self
-            .sdr
-            .capture_chirps(
-                &self.config.phy,
-                self.config.capture_chirps + 1,
-                delivery.carrier_bias_hz,
-                delivery.carrier_phase,
-                1.0,
-                lead,
-            )
-            .map_err(SoftLoraError::Phy)?;
-        // Add noise at the delivery SNR (power referenced to the unit-
-        // amplitude chirp: signal power = 1).
-        let noise_power = 10f64.powf(-delivery.snr_db / 10.0);
-        let mut z = cap.to_complex();
-        let mut src = GaussianNoise::with_power(noise_power, self.noise_seed.wrapping_add(lead as u64));
-        let noise = src.generate(z.len());
-        for (s, n) in z.iter_mut().zip(noise.iter()) {
-            *s += *n;
-        }
-        Ok(IqCapture::from_complex(&z, cap.sample_rate, cap.true_onset))
+    /// The staged pipeline (read access, e.g. for stage-level telemetry).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
     }
 
-    /// PHY-timestamps a capture and maps the onset to the gateway's global
-    /// clock, given the true arrival time the capture was triggered by.
-    fn phy_arrival(
-        &self,
-        capture: &IqCapture,
-        delivery_arrival_s: f64,
-    ) -> Result<(PhyTimestamp, f64), SoftLoraError> {
-        let ts = self.timestamper.timestamp(capture)?;
-        // The capture buffer started (true_onset · dt) before the frame
-        // arrived; the PHY arrival is the buffer start plus the detected
-        // onset.
-        let capture_start_s = delivery_arrival_s - capture.true_onset as f64 * capture.dt();
-        Ok((ts, capture_start_s + ts.onset_s))
+    /// How many times the onset picker has run (exactly once per frame
+    /// that reached the SDR path).
+    pub fn onset_picker_runs(&self) -> u64 {
+        self.pipeline.onset.picker_runs()
+    }
+
+    /// Deliveries processed so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
     }
 
     /// Processes one delivery through the full pipeline.
@@ -211,69 +185,147 @@ impl SoftLoraGateway {
     /// Returns [`SoftLoraError`] only for infrastructure failures (capture
     /// synthesis); protocol-level rejections are verdicts, not errors.
     pub fn process(&mut self, delivery: &Delivery) -> Result<SoftLoraVerdict, SoftLoraError> {
-        // 1. Does the commodity radio deliver anything to the host?
-        let outcome = self.rn2483.receive(
-            &self.config.phy,
-            delivery.bytes.len(),
-            delivery.snr_db,
-            delivery.jamming,
-        );
-        let legit_received = matches!(
-            outcome,
-            ReceptionOutcome::Legitimate | ReceptionOutcome::BothReceived
-        );
-        if !legit_received {
-            return Ok(SoftLoraVerdict::NotReceived { outcome });
+        let frame_index = self.frames_seen;
+        self.frames_seen += 1;
+        let front = self.pipeline.front_half(delivery, frame_index)?;
+        Ok(self.commit(delivery, frame_index, front))
+    }
+
+    /// Processes a batch of deliveries: the embarrassingly-parallel front
+    /// half (radio gate, capture synthesis, onset pick, FB estimation)
+    /// runs across worker threads, then the stateful detector/MAC tail is
+    /// replayed **sequentially in slice order**.
+    ///
+    /// Verdicts are bit-identical to calling [`SoftLoraGateway::process`]
+    /// on each delivery in order: per-delivery randomness is derived from
+    /// `(gateway seed, frame index)`, not from a shared sequential stream.
+    ///
+    /// # Errors
+    ///
+    /// On an infrastructure failure for delivery `k`, deliveries `0..k`
+    /// are committed (exactly as the sequential loop would have) and the
+    /// error is returned. Note that the parallel front half may already
+    /// have run for deliveries after `k` before the error surfaces, so
+    /// [`SoftLoraGateway::onset_picker_runs`] can exceed the committed
+    /// frame count on this path; the once-per-frame invariant holds for
+    /// every batch that returns `Ok`.
+    pub fn process_batch(
+        &mut self,
+        deliveries: &[Delivery],
+    ) -> Result<Vec<SoftLoraVerdict>, SoftLoraError> {
+        let start = self.frames_seen;
+        let indexed: Vec<(u64, &Delivery)> =
+            deliveries.iter().enumerate().map(|(k, d)| (start + k as u64, d)).collect();
+        let pipeline = &self.pipeline;
+        let fronts: Vec<Result<FrontFrame, SoftLoraError>> = indexed
+            .par_iter()
+            .map(|(frame_index, delivery)| pipeline.front_half(delivery, *frame_index))
+            .collect();
+
+        let mut verdicts = Vec::with_capacity(deliveries.len());
+        for (k, front) in fronts.into_iter().enumerate() {
+            let frame_index = start + k as u64;
+            self.frames_seen = frame_index + 1;
+            match front {
+                Ok(front) => verdicts.push(self.commit(&deliveries[k], frame_index, front)),
+                Err(e) => return Err(e),
+            }
         }
+        Ok(verdicts)
+    }
 
-        // 2–3. SDR capture and PHY timestamp.
-        let capture = self.capture_delivery(delivery)?;
-        let (_, phy_arrival_s) = self.phy_arrival(&capture, delivery.arrival_global_s)?;
+    /// Runs the stateful back half for one front-half result and notifies
+    /// observers. Sequential by construction.
+    fn commit(
+        &mut self,
+        delivery: &Delivery,
+        frame_index: u64,
+        front: FrontFrame,
+    ) -> SoftLoraVerdict {
+        match front {
+            FrontFrame::NotReceived { outcome, timings } => {
+                self.notify_stages(frame_index, &timings);
+                self.notify(|o| o.on_reject(frame_index, RejectEvent::NotReceived { outcome }));
+                SoftLoraVerdict::NotReceived { outcome }
+            }
+            FrontFrame::Analyzed(frame) => self.commit_analyzed(delivery, frame_index, frame),
+        }
+    }
 
-        // 4. FB estimation from the second chirp; estimator chosen by SNR.
-        let onset = self.timestamper.timestamp(&capture)?.onset_sample;
-        let method = if delivery.snr_db >= self.config.ls_below_snr_db {
-            FbMethod::LinearRegression
-        } else {
-            self.config.ls_method
-        };
-        let noise_power = 10f64.powf(-delivery.snr_db / 10.0);
-        let fb = self.estimator.estimate_from_capture(&capture, onset, method, noise_power)?;
+    fn commit_analyzed(
+        &mut self,
+        delivery: &Delivery,
+        frame_index: u64,
+        frame: AnalyzedFrame,
+    ) -> SoftLoraVerdict {
+        let AnalyzedFrame { claimed_dev, fb, onset, timings } = frame;
+        self.notify_stages(frame_index, &timings);
 
-        // 5. Replay check against the claimed source (header peek needs no
-        // keys), BEFORE consuming LoRaWAN state.
-        let claimed = DataFrame::peek_header(&delivery.bytes)
-            .map(|(_, addr, _)| addr)
-            .unwrap_or(delivery.dev_addr);
-        let verdict = self.detector.check(claimed, fb.delta_hz);
-        self.detector.score(verdict, delivery.is_replay);
+        // 5. Replay check against the claimed source, BEFORE consuming any
+        // LoRaWAN state.
+        let t = Instant::now();
+        let verdict = self.pipeline.detect.check(claimed_dev, fb.delta_hz, delivery.is_replay);
+        let detect_s = t.elapsed().as_secs_f64();
+        self.notify(|o| o.on_stage(frame_index, Stage::Detect, detect_s));
         if let ReplayVerdict::ReplayDetected { deviation_hz, band_hz } = verdict {
-            return Ok(SoftLoraVerdict::ReplayDetected {
-                dev_addr: claimed,
+            let event = ReplayFlagEvent { dev_addr: claimed_dev, deviation_hz, band_hz };
+            self.notify(|o| o.on_replay_flag(frame_index, event));
+            return SoftLoraVerdict::ReplayDetected {
+                dev_addr: claimed_dev,
                 deviation_hz,
                 band_hz,
-            });
+            };
         }
 
         // 6. LoRaWAN verification + synchronization-free timestamping at
         // the PHY arrival instant.
-        match self.lorawan.receive(&delivery.bytes, phy_arrival_s) {
+        let t = Instant::now();
+        let rx = self.pipeline.mac.verify(&delivery.bytes, onset.phy_arrival_s);
+        let mac_s = t.elapsed().as_secs_f64();
+        self.notify(|o| o.on_stage(frame_index, Stage::Mac, mac_s));
+        match rx {
             RxVerdict::Accepted(uplink) => {
-                // Learn this frame's FB.
-                self.detector.learn(claimed, fb.delta_hz);
-                Ok(SoftLoraVerdict::Accepted {
+                // Learn this frame's FB only once the MAC layer vouches
+                // for it.
+                self.pipeline.detect.learn(claimed_dev, fb.delta_hz);
+                let learning = matches!(verdict, ReplayVerdict::LearningPhase);
+                let event = AcceptEvent {
+                    uplink: &uplink,
+                    fb: &fb,
+                    timestamp: onset.timestamp,
+                    phy_arrival_s: onset.phy_arrival_s,
+                    learning,
+                };
+                self.notify(|o| o.on_accept(frame_index, event));
+                SoftLoraVerdict::Accepted {
                     uplink,
                     fb,
-                    phy_arrival_s,
-                    learning: matches!(verdict, ReplayVerdict::LearningPhase),
-                })
+                    phy_arrival_s: onset.phy_arrival_s,
+                    learning,
+                }
             }
-            RxVerdict::UnknownDevice { dev_addr } => Ok(SoftLoraVerdict::LorawanRejected {
-                reason: format!("unknown device {dev_addr:#x}"),
-            }),
+            RxVerdict::UnknownDevice { dev_addr } => {
+                let reason = format!("unknown device {dev_addr:#x}");
+                self.notify(|o| o.on_reject(frame_index, RejectEvent::Lorawan { reason: &reason }));
+                SoftLoraVerdict::LorawanRejected { reason }
+            }
             RxVerdict::Rejected(e) => {
-                Ok(SoftLoraVerdict::LorawanRejected { reason: e.to_string() })
+                let reason = e.to_string();
+                self.notify(|o| o.on_reject(frame_index, RejectEvent::Lorawan { reason: &reason }));
+                SoftLoraVerdict::LorawanRejected { reason }
             }
+        }
+    }
+
+    fn notify_stages(&mut self, frame_index: u64, timings: &[StageTiming]) {
+        for &(stage, elapsed_s) in timings {
+            self.notify(|o| o.on_stage(frame_index, stage, elapsed_s));
+        }
+    }
+
+    fn notify(&mut self, mut f: impl FnMut(&mut dyn GatewayObserver)) {
+        for observer in &mut self.observers {
+            f(observer.as_mut());
         }
     }
 }
@@ -281,20 +333,19 @@ impl SoftLoraGateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::GatewayStats;
     use softlora_lorawan::{ClassADevice, DeviceConfig};
     use softlora_phy::{PhyConfig, SpreadingFactor};
     use softlora_sim::Delivery;
-
-    const FC: f64 = 869.75e6;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn phy() -> PhyConfig {
         PhyConfig::uplink(SpreadingFactor::Sf7)
     }
 
-    fn quick_config() -> SoftLoraConfig {
-        let mut c = SoftLoraConfig::new(phy());
-        c.adc_quantisation = false;
-        c
+    fn quick_gateway(seed: u64) -> GatewayBuilder {
+        SoftLoraGateway::builder(phy()).adc_quantisation(false).seed(seed)
     }
 
     /// Builds a delivery from a real device transmission.
@@ -323,8 +374,7 @@ mod tests {
 
     fn setup() -> (ClassADevice, SoftLoraGateway) {
         let dev_cfg = DeviceConfig::new(0x2601_0001, phy());
-        let mut gw = SoftLoraGateway::new(quick_config(), 99);
-        gw.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+        let gw = quick_gateway(99).provision(dev_cfg.dev_addr, dev_cfg.keys.clone()).build();
         (ClassADevice::new(dev_cfg), gw)
     }
 
@@ -409,17 +459,14 @@ mod tests {
         let (mut dev, mut gw) = setup();
         let d = delivery(&mut dev, 100.0, -20_000.0, -15.0, 0.0, false);
         let v = gw.process(&d).unwrap();
-        assert!(matches!(
-            v,
-            SoftLoraVerdict::NotReceived { outcome: ReceptionOutcome::NoSignal }
-        ));
+        assert!(matches!(v, SoftLoraVerdict::NotReceived { outcome: ReceptionOutcome::NoSignal }));
     }
 
     #[test]
     fn unknown_device_rejected_after_fb_stage() {
         let dev_cfg = DeviceConfig::new(0xBEEF, phy());
         let mut dev = ClassADevice::new(dev_cfg);
-        let mut gw = SoftLoraGateway::new(quick_config(), 5);
+        let mut gw = quick_gateway(5).build();
         let d = delivery(&mut dev, 100.0, -20_000.0, 10.0, 0.0, false);
         let v = gw.process(&d).unwrap();
         assert!(matches!(v, SoftLoraVerdict::LorawanRejected { .. }));
@@ -430,7 +477,7 @@ mod tests {
         let (mut dev, mut gw) = setup();
         // Offline-built database (paper §7.2).
         let expected_center = -22_000.0 - gw.receiver_bias_hz();
-        gw.preload_fb(0x2601_0001, &vec![expected_center; 8]);
+        gw.preload_fb(0x2601_0001, &[expected_center; 8]);
         let d = delivery(&mut dev, 100.0, -22_000.0 - 700.0, 10.0, 60.0, true);
         let v = gw.process(&d).unwrap();
         assert!(v.is_replay_detected(), "{v:?}");
@@ -444,7 +491,7 @@ mod tests {
         let d = delivery(&mut dev, 100.0, -21_000.0, -7.0, 0.0, false);
         let v = gw.process(&d).unwrap();
         if let SoftLoraVerdict::Accepted { fb, .. } = v {
-            assert_eq!(fb.method, FbMethod::MatchedFilter);
+            assert_eq!(fb.method, crate::FbMethod::MatchedFilter);
             // At this SNR the onset-pick error (tens of microseconds)
             // couples into the FB estimate as chirp-slope × timing error —
             // the physical reason the paper calls µs timestamping a
@@ -457,5 +504,48 @@ mod tests {
         } else {
             panic!("{v:?}");
         }
+    }
+
+    #[test]
+    fn onset_picker_runs_once_per_processed_frame() {
+        let (mut dev, mut gw) = setup();
+        for k in 0..4 {
+            let d = delivery(&mut dev, 100.0 + 200.0 * k as f64, -22_000.0, 10.0, 0.0, false);
+            gw.process(&d).unwrap();
+        }
+        assert_eq!(gw.onset_picker_runs(), 4);
+        assert_eq!(gw.frames_seen(), 4);
+    }
+
+    #[test]
+    fn observers_see_every_outcome() {
+        let stats = Rc::new(RefCell::new(GatewayStats::default()));
+        let dev_cfg = DeviceConfig::new(0x2601_0001, phy());
+        let mut gw = quick_gateway(99)
+            .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+            .observer(Box::new(Rc::clone(&stats)))
+            .build();
+        let mut dev = ClassADevice::new(dev_cfg);
+        // 5 accepted (learning + genuine), then one replay.
+        for k in 0..5 {
+            let d = delivery(&mut dev, 100.0 + 200.0 * k as f64, -22_000.0, 10.0, 0.0, false);
+            gw.process(&d).unwrap();
+        }
+        let d = delivery(&mut dev, 1100.0, -22_700.0, 10.0, 30.0, true);
+        gw.process(&d).unwrap();
+        // And one below-floor frame.
+        let d = delivery(&mut dev, 1300.0, -22_000.0, -15.0, 0.0, false);
+        gw.process(&d).unwrap();
+
+        let s = stats.borrow();
+        assert_eq!(s.accepted, 5);
+        assert_eq!(s.replays_flagged, 1);
+        assert_eq!(s.not_received, 1);
+        assert_eq!(s.frames(), 7);
+        // The onset stage ran once per frame that reached the SDR path.
+        assert_eq!(s.stage_runs(Stage::Onset), 6);
+        assert_eq!(s.stage_runs(Stage::RadioFrontEnd), 7);
+        // The MAC stage never ran for the flagged or dropped frames.
+        assert_eq!(s.stage_runs(Stage::Mac), 5);
     }
 }

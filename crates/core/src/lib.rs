@@ -25,31 +25,55 @@
 //! modifications, no clock synchronisation ([`analysis`] quantifies the
 //! savings).
 //!
+//! The gateway is an explicit six-stage pipeline ([`pipeline`]): the
+//! embarrassingly-parallel front half (radio gate → capture synthesis →
+//! onset pick → FB estimate) is a pure function of the gateway seed and
+//! frame index, so [`SoftLoraGateway::process_batch`] fans it out across
+//! threads and replays the stateful detector/MAC tail sequentially —
+//! bit-identical to a sequential [`SoftLoraGateway::process`] loop.
+//!
 //! # Quick start
 //!
 //! ```
-//! use softlora::{SoftLoraConfig, SoftLoraGateway};
+//! use softlora::observer::GatewayStats;
+//! use softlora::SoftLoraGateway;
 //! use softlora_phy::{PhyConfig, SpreadingFactor};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
 //!
 //! let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
-//! let mut gw = SoftLoraGateway::new(SoftLoraConfig::new(phy), 42);
-//! // Provision a device and process deliveries from the simulator...
+//! let stats = Rc::new(RefCell::new(GatewayStats::default()));
+//! let mut gw = SoftLoraGateway::builder(phy)
+//!     .seed(42)
+//!     .warmup_frames(3)
+//!     .observer(Box::new(Rc::clone(&stats)))
+//!     .build();
+//! // Provision devices, then feed deliveries from the simulator:
+//! // `gw.process(&delivery)` one at a time, or `gw.process_batch(&batch)`
+//! // to run the DSP front half for independent deliveries in parallel.
+//! assert_eq!(stats.borrow().frames(), 0);
 //! # let _ = &mut gw;
 //! ```
 
 pub mod analysis;
+pub mod builder;
 pub mod config;
 pub mod fb_db;
 pub mod fb_estimator;
 pub mod gateway;
+pub mod observer;
 pub mod phy_timestamp;
+pub mod pipeline;
 pub mod replay_detect;
 
+pub use builder::GatewayBuilder;
 pub use config::SoftLoraConfig;
 pub use fb_db::FbDatabase;
 pub use fb_estimator::{FbEstimate, FbEstimator, FbMethod};
 pub use gateway::{SoftLoraGateway, SoftLoraVerdict};
+pub use observer::{GatewayObserver, GatewayStats, Stage};
 pub use phy_timestamp::{OnsetMethod, PhyTimestamp, PhyTimestamper};
+pub use pipeline::Pipeline;
 pub use replay_detect::{ReplayDetector, ReplayVerdict};
 
 /// Errors returned by SoftLoRa processing stages.
@@ -115,7 +139,8 @@ mod tests {
     #[test]
     fn error_conversions_and_display() {
         use std::error::Error;
-        let d: SoftLoraError = softlora_dsp::DspError::InputTooShort { required: 2, actual: 0 }.into();
+        let d: SoftLoraError =
+            softlora_dsp::DspError::InputTooShort { required: 2, actual: 0 }.into();
         assert!(d.source().is_some());
         assert!(d.to_string().contains("dsp"));
         let p: SoftLoraError = softlora_phy::PhyError::HeaderLost.into();

@@ -1,0 +1,270 @@
+//! Gateway event observers: per-frame outcomes and per-stage timing.
+//!
+//! Experiments, examples and operational telemetry all used to
+//! pattern-match [`SoftLoraVerdict`](crate::SoftLoraVerdict) by hand.
+//! [`GatewayObserver`] inverts that: the gateway pushes typed events —
+//! accept / replay-flag / reject plus a timing sample per pipeline stage —
+//! and consumers implement only the hooks they care about.
+//!
+//! Observers are invoked **sequentially in arrival order**, including for
+//! [`SoftLoraGateway::process_batch`](crate::SoftLoraGateway::process_batch):
+//! stage timings are measured inside the (possibly parallel) front half and
+//! replayed to observers when the frame's verdict is committed, so an
+//! observer never needs to be thread-safe.
+
+use crate::fb_estimator::FbEstimate;
+use crate::phy_timestamp::PhyTimestamp;
+use softlora_lorawan::ReceivedUplink;
+use softlora_phy::rn2483::ReceptionOutcome;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// The named stages of the SoftLoRa gateway pipeline (paper §5.3, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Commodity-radio reception model (RN2483 under jamming).
+    RadioFrontEnd,
+    /// SDR capture synthesis of the first preamble chirps.
+    CaptureSynth,
+    /// AIC onset pick — PHY-layer signal timestamping.
+    Onset,
+    /// Frequency-bias estimation from the second chirp.
+    Fb,
+    /// FB-consistency replay check against the device history.
+    Detect,
+    /// LoRaWAN MIC/counter verification and record timestamping.
+    Mac,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::RadioFrontEnd,
+        Stage::CaptureSynth,
+        Stage::Onset,
+        Stage::Fb,
+        Stage::Detect,
+        Stage::Mac,
+    ];
+}
+
+/// Payload of an accepted, timestamped frame.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceptEvent<'a> {
+    /// The verified uplink with reconstructed record timestamps.
+    pub uplink: &'a ReceivedUplink,
+    /// The frame's estimated frequency bias.
+    pub fb: &'a FbEstimate,
+    /// The PHY-layer onset timestamp within the capture.
+    pub timestamp: PhyTimestamp,
+    /// PHY arrival instant on the gateway clock, seconds.
+    pub phy_arrival_s: f64,
+    /// Whether the FB database was still warming up for this device.
+    pub learning: bool,
+}
+
+/// Payload of a frame dropped by the FB replay check.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayFlagEvent {
+    /// Claimed source address.
+    pub dev_addr: u32,
+    /// FB deviation from the tracked centre, Hz.
+    pub deviation_hz: f64,
+    /// The exceeded band half-width, Hz.
+    pub band_hz: f64,
+}
+
+/// Payload of a frame the gateway did not accept (outside the FB check).
+#[derive(Debug, Clone, Copy)]
+pub enum RejectEvent<'a> {
+    /// The commodity radio never handed the frame to the host.
+    NotReceived {
+        /// What the chip experienced.
+        outcome: ReceptionOutcome,
+    },
+    /// The LoRaWAN layer rejected the frame (MIC, counter, unknown device).
+    Lorawan {
+        /// Printable rejection reason.
+        reason: &'a str,
+    },
+}
+
+/// Hooks the gateway calls while processing deliveries. All methods have
+/// empty defaults; implement only what you consume.
+#[allow(unused_variables)]
+pub trait GatewayObserver {
+    /// A frame was accepted and its records timestamped.
+    fn on_accept(&mut self, frame_index: u64, event: AcceptEvent<'_>) {}
+
+    /// A frame was flagged as a replay and dropped before timestamping.
+    fn on_replay_flag(&mut self, frame_index: u64, event: ReplayFlagEvent) {}
+
+    /// A frame was rejected for a non-replay reason.
+    fn on_reject(&mut self, frame_index: u64, event: RejectEvent<'_>) {}
+
+    /// One pipeline stage ran for `frame_index`, taking `elapsed_s`
+    /// seconds. Emitted once per executed stage per frame — a frame that
+    /// never reached the host only reports [`Stage::RadioFrontEnd`].
+    fn on_stage(&mut self, frame_index: u64, stage: Stage, elapsed_s: f64) {}
+}
+
+impl<T: GatewayObserver> GatewayObserver for Rc<RefCell<T>> {
+    fn on_accept(&mut self, frame_index: u64, event: AcceptEvent<'_>) {
+        self.borrow_mut().on_accept(frame_index, event);
+    }
+    fn on_replay_flag(&mut self, frame_index: u64, event: ReplayFlagEvent) {
+        self.borrow_mut().on_replay_flag(frame_index, event);
+    }
+    fn on_reject(&mut self, frame_index: u64, event: RejectEvent<'_>) {
+        self.borrow_mut().on_reject(frame_index, event);
+    }
+    fn on_stage(&mut self, frame_index: u64, stage: Stage, elapsed_s: f64) {
+        self.borrow_mut().on_stage(frame_index, stage, elapsed_s);
+    }
+}
+
+impl<T: GatewayObserver> GatewayObserver for Arc<Mutex<T>> {
+    fn on_accept(&mut self, frame_index: u64, event: AcceptEvent<'_>) {
+        self.lock().expect("observer poisoned").on_accept(frame_index, event);
+    }
+    fn on_replay_flag(&mut self, frame_index: u64, event: ReplayFlagEvent) {
+        self.lock().expect("observer poisoned").on_replay_flag(frame_index, event);
+    }
+    fn on_reject(&mut self, frame_index: u64, event: RejectEvent<'_>) {
+        self.lock().expect("observer poisoned").on_reject(frame_index, event);
+    }
+    fn on_stage(&mut self, frame_index: u64, stage: Stage, elapsed_s: f64) {
+        self.lock().expect("observer poisoned").on_stage(frame_index, stage, elapsed_s);
+    }
+}
+
+/// A ready-made observer tallying outcomes and per-stage run counts and
+/// times — what most experiments and examples need.
+///
+/// # Example
+///
+/// ```
+/// use softlora::observer::{GatewayStats, Stage};
+/// use softlora::{SoftLoraGateway};
+/// use softlora_phy::{PhyConfig, SpreadingFactor};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let stats = Rc::new(RefCell::new(GatewayStats::default()));
+/// let gw = SoftLoraGateway::builder(PhyConfig::uplink(SpreadingFactor::Sf7))
+///     .seed(1)
+///     .observer(Box::new(Rc::clone(&stats)))
+///     .build();
+/// assert_eq!(stats.borrow().stage_runs(Stage::Onset), 0);
+/// # let _ = gw;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GatewayStats {
+    /// Frames accepted and timestamped.
+    pub accepted: u64,
+    /// Accepted frames that were still in the FB learning phase.
+    pub accepted_learning: u64,
+    /// Frames flagged as replays.
+    pub replays_flagged: u64,
+    /// Frames the radio never delivered.
+    pub not_received: u64,
+    /// Frames rejected by the LoRaWAN layer.
+    pub lorawan_rejected: u64,
+    /// Sum of reconstructed-record timestamp count over accepted frames.
+    pub records_timestamped: u64,
+    stage_runs: [u64; 6],
+    stage_time_s: [f64; 6],
+}
+
+impl GatewayStats {
+    /// Total frames that produced any verdict.
+    pub fn frames(&self) -> u64 {
+        self.accepted + self.replays_flagged + self.not_received + self.lorawan_rejected
+    }
+
+    /// How many times `stage` ran.
+    pub fn stage_runs(&self, stage: Stage) -> u64 {
+        self.stage_runs[stage_slot(stage)]
+    }
+
+    /// Total seconds spent in `stage`.
+    pub fn stage_time_s(&self, stage: Stage) -> f64 {
+        self.stage_time_s[stage_slot(stage)]
+    }
+}
+
+fn stage_slot(stage: Stage) -> usize {
+    match stage {
+        Stage::RadioFrontEnd => 0,
+        Stage::CaptureSynth => 1,
+        Stage::Onset => 2,
+        Stage::Fb => 3,
+        Stage::Detect => 4,
+        Stage::Mac => 5,
+    }
+}
+
+impl GatewayObserver for GatewayStats {
+    fn on_accept(&mut self, _frame_index: u64, event: AcceptEvent<'_>) {
+        self.accepted += 1;
+        if event.learning {
+            self.accepted_learning += 1;
+        }
+        self.records_timestamped += event.uplink.records.len() as u64;
+    }
+
+    fn on_replay_flag(&mut self, _frame_index: u64, _event: ReplayFlagEvent) {
+        self.replays_flagged += 1;
+    }
+
+    fn on_reject(&mut self, _frame_index: u64, event: RejectEvent<'_>) {
+        match event {
+            RejectEvent::NotReceived { .. } => self.not_received += 1,
+            RejectEvent::Lorawan { .. } => self.lorawan_rejected += 1,
+        }
+    }
+
+    fn on_stage(&mut self, _frame_index: u64, stage: Stage, elapsed_s: f64) {
+        let slot = stage_slot(stage);
+        self.stage_runs[slot] += 1;
+        self.stage_time_s[slot] += elapsed_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_tally_events() {
+        let mut s = GatewayStats::default();
+        s.on_stage(0, Stage::Onset, 1e-4);
+        s.on_stage(1, Stage::Onset, 2e-4);
+        s.on_replay_flag(1, ReplayFlagEvent { dev_addr: 7, deviation_hz: -600.0, band_hz: 360.0 });
+        s.on_reject(2, RejectEvent::NotReceived { outcome: ReceptionOutcome::SilentDrop });
+        s.on_reject(3, RejectEvent::Lorawan { reason: "bad mic" });
+        assert_eq!(s.stage_runs(Stage::Onset), 2);
+        assert!((s.stage_time_s(Stage::Onset) - 3e-4).abs() < 1e-12);
+        assert_eq!(s.replays_flagged, 1);
+        assert_eq!(s.not_received, 1);
+        assert_eq!(s.lorawan_rejected, 1);
+        assert_eq!(s.frames(), 3);
+    }
+
+    #[test]
+    fn shared_handle_observers_delegate() {
+        let shared = Rc::new(RefCell::new(GatewayStats::default()));
+        let mut handle = Rc::clone(&shared);
+        handle.on_stage(0, Stage::Fb, 0.5);
+        assert_eq!(shared.borrow().stage_runs(Stage::Fb), 1);
+
+        let sync = Arc::new(Mutex::new(GatewayStats::default()));
+        let mut handle = Arc::clone(&sync);
+        handle.on_replay_flag(
+            0,
+            ReplayFlagEvent { dev_addr: 1, deviation_hz: 700.0, band_hz: 360.0 },
+        );
+        assert_eq!(sync.lock().unwrap().replays_flagged, 1);
+    }
+}

@@ -71,7 +71,9 @@ impl PhyTimestamper {
             OnsetMethod::Envelope => {
                 let det = EnvelopeDetector::new();
                 det.detect(&capture.i)
-                    .map_err(|_| SoftLoraError::Capture { reason: "capture too short for envelope" })?
+                    .map_err(|_| SoftLoraError::Capture {
+                        reason: "capture too short for envelope",
+                    })?
                     .onset
             }
             OnsetMethod::Aic => {
@@ -117,7 +119,6 @@ mod tests {
     use softlora_phy::oscillator::Oscillator;
     use softlora_phy::sdr::SdrReceiver;
     use softlora_phy::{PhyConfig, SpreadingFactor};
-    use softlora_dsp::Complex;
 
     fn capture(snr_db: Option<f64>, seed: u64) -> IqCapture {
         let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
@@ -165,14 +166,9 @@ mod tests {
         let mut env_sum = 0.0;
         for seed in 0..10 {
             let cap = capture(Some(10.0), 100 + seed);
-            aic_sum += PhyTimestamper::new(OnsetMethod::Aic)
-                .timestamp_error_s(&cap)
-                .unwrap()
-                .abs();
-            env_sum += PhyTimestamper::new(OnsetMethod::Envelope)
-                .timestamp_error_s(&cap)
-                .unwrap()
-                .abs();
+            aic_sum += PhyTimestamper::new(OnsetMethod::Aic).timestamp_error_s(&cap).unwrap().abs();
+            env_sum +=
+                PhyTimestamper::new(OnsetMethod::Envelope).timestamp_error_s(&cap).unwrap().abs();
         }
         assert!(aic_sum <= env_sum, "aic {aic_sum} env {env_sum}");
     }
@@ -184,10 +180,8 @@ mod tests {
         let mut high_snr_err = 0.0;
         let mut low_snr_err = 0.0;
         for seed in 0..6 {
-            high_snr_err +=
-                ts.timestamp_error_s(&capture(Some(13.0), 200 + seed)).unwrap().abs();
-            low_snr_err +=
-                ts.timestamp_error_s(&capture(Some(-1.0), 300 + seed)).unwrap().abs();
+            high_snr_err += ts.timestamp_error_s(&capture(Some(13.0), 200 + seed)).unwrap().abs();
+            low_snr_err += ts.timestamp_error_s(&capture(Some(-1.0), 300 + seed)).unwrap().abs();
         }
         high_snr_err /= 6.0;
         low_snr_err /= 6.0;
@@ -215,12 +209,9 @@ mod tests {
     #[test]
     fn short_capture_is_error() {
         let cap = IqCapture { i: vec![0.0; 8], q: vec![0.0; 8], sample_rate: 2.4e6, true_onset: 0 };
-        for m in [
-            OnsetMethod::Envelope,
-            OnsetMethod::Aic,
-            OnsetMethod::AicIq,
-            OnsetMethod::PowerAic,
-        ] {
+        for m in
+            [OnsetMethod::Envelope, OnsetMethod::Aic, OnsetMethod::AicIq, OnsetMethod::PowerAic]
+        {
             assert!(PhyTimestamper::new(m).timestamp(&cap).is_err());
         }
     }

@@ -36,7 +36,7 @@ impl Cmac {
     /// Computes the 16-byte CMAC tag of `msg`.
     pub fn compute(&self, msg: &[u8]) -> [u8; 16] {
         let n = msg.len().div_ceil(16).max(1);
-        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
 
         let mut x = [0u8; 16];
         for i in 0..n - 1 {
@@ -142,19 +142,16 @@ mod tests {
     #[test]
     fn rfc4493_example_3_40_bytes() {
         let cmac = Cmac::new(&rfc_key());
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
-        );
+        let msg =
+            hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
         assert_eq!(cmac.compute(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
     }
 
     #[test]
     fn rfc4493_example_4_64_bytes() {
         let cmac = Cmac::new(&rfc_key());
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
-             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
-        );
+        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
         assert_eq!(cmac.compute(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
     }
 

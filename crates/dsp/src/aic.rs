@@ -411,9 +411,13 @@ mod tests {
     fn power_aic_beats_variance_aic_at_low_snr() {
         // At strongly negative SNR the single-component variance contrast
         // collapses while the power-mean contrast survives.
+        // The per-trial errors are heavy-tailed at this SNR, so a handful
+        // of seeds cannot resolve the ranking; 20 trials keeps the test
+        // fast while making the comparison statistically meaningful.
+        const TRIALS: u64 = 20;
         let mut power_err = 0i64;
         let mut var_err = 0i64;
-        for seed in 0..6u64 {
+        for seed in 0..TRIALS {
             let mut rng = StdRng::seed_from_u64(400 + seed);
             let n = 4000;
             let onset = 1500;
@@ -434,7 +438,8 @@ mod tests {
             var_err += (aic_pick(&i, 16).unwrap().onset as i64 - onset as i64).abs();
         }
         assert!(power_err <= var_err, "power {power_err} vs var {var_err}");
-        assert!(power_err / 6 < 120, "mean power-aic error {} samples", power_err / 6);
+        let mean = power_err / TRIALS as i64;
+        assert!(mean < 120, "mean power-aic error {mean} samples");
     }
 
     #[test]

@@ -156,10 +156,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, rhs: Complex) -> Complex {
-        Complex {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Complex { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -189,6 +186,8 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    // Division by multiplication with the inverse is the intended formula.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

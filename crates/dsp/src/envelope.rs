@@ -163,8 +163,7 @@ mod tests {
         let r = det.detect(&x).unwrap();
         let peak_ratio = r.ratio[r.onset];
         // The ratio at onset should dominate the pre-onset region.
-        let pre_max =
-            r.ratio[16..onset - 16].iter().cloned().fold(f64::MIN, f64::max);
+        let pre_max = r.ratio[16..onset - 16].iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak_ratio > pre_max, "peak {peak_ratio} vs pre {pre_max}");
     }
 

@@ -125,7 +125,7 @@ pub fn circular_cross_correlation(
         let mut fa = fft_forward(a);
         let fb = fft_forward(b);
         for (x, y) in fa.iter_mut().zip(fb.iter()) {
-            *x = *x * y.conj();
+            *x *= y.conj();
         }
         Ok(ifft(&fa))
     } else {
@@ -174,7 +174,7 @@ fn transform(data: &mut [Complex], inverse: bool) {
                 let v = data[i + j + len / 2] * w;
                 data[i + j] = u + v;
                 data[i + j + len / 2] = u - v;
-                w = w * wlen;
+                w *= wlen;
             }
             i += len;
         }
@@ -294,7 +294,8 @@ mod tests {
 
     #[test]
     fn real_signal_spectrum_is_conjugate_symmetric() {
-        let xs: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).sin() + 0.5 * (i as f64 * 1.1).cos()).collect();
+        let xs: Vec<f64> =
+            (0..128).map(|i| (i as f64 * 0.3).sin() + 0.5 * (i as f64 * 1.1).cos()).collect();
         let spec = fft_real(&xs);
         let n = spec.len();
         for k in 1..n / 2 {
@@ -326,8 +327,10 @@ mod tests {
     fn cross_correlation_direct_path_matches_fft_path() {
         // length 12 (non pow2) exercises the direct path; compare against
         // manually computed circular correlation.
-        let a: Vec<Complex> = (0..12).map(|i| Complex::new((i as f64).sin(), 0.3 * i as f64)).collect();
-        let b: Vec<Complex> = (0..12).map(|i| Complex::new((i as f64 * 0.5).cos(), -0.1 * i as f64)).collect();
+        let a: Vec<Complex> =
+            (0..12).map(|i| Complex::new((i as f64).sin(), 0.3 * i as f64)).collect();
+        let b: Vec<Complex> =
+            (0..12).map(|i| Complex::new((i as f64 * 0.5).cos(), -0.1 * i as f64)).collect();
         let got = circular_cross_correlation(&a, &b).unwrap();
         for k in 0..12 {
             let mut want = Complex::ZERO;

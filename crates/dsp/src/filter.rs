@@ -29,7 +29,7 @@ pub fn lowpass_fir(cutoff: f64, taps: usize, kind: WindowKind) -> Result<Vec<f64
     if taps == 0 {
         return Err(DspError::InvalidParameter { reason: "taps must be positive" });
     }
-    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    let taps = if taps.is_multiple_of(2) { taps + 1 } else { taps };
     let mid = (taps / 2) as isize;
     let w = window(kind, taps);
     let mut h: Vec<f64> = (0..taps as isize)

@@ -92,9 +92,9 @@ mod tests {
         let k = 37.0;
         let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * k * i as f64 / n as f64).cos()).collect();
         let a = analytic_signal(&x).unwrap();
-        for i in 0..n {
+        for (i, z) in a.iter().enumerate() {
             let want = (2.0 * PI * k * i as f64 / n as f64).sin();
-            assert!((a[i].im - want).abs() < 1e-6, "sample {i}");
+            assert!((z.im - want).abs() < 1e-6, "sample {i}");
         }
     }
 
@@ -110,10 +110,10 @@ mod tests {
             .collect();
         let env = envelope(&x).unwrap();
         // Compare to the known modulation envelope away from edges.
-        for i in 128..n - 128 {
+        for (i, e) in env.iter().enumerate().take(n - 128).skip(128) {
             let t = i as f64 / n as f64;
             let want = 1.0 + 0.5 * (2.0 * PI * 4.0 * t).cos();
-            assert!((env[i] - want).abs() < 0.05, "sample {i}: {} vs {want}", env[i]);
+            assert!((e - want).abs() < 0.05, "sample {i}: {e} vs {want}");
         }
     }
 
@@ -122,9 +122,8 @@ mod tests {
         // Silence then a tone: envelope should be near zero before, near one after.
         let n = 1024;
         let onset = 512;
-        let x: Vec<f64> = (0..n)
-            .map(|i| if i < onset { 0.0 } else { (0.4 * i as f64).sin() })
-            .collect();
+        let x: Vec<f64> =
+            (0..n).map(|i| if i < onset { 0.0 } else { (0.4 * i as f64).sin() }).collect();
         let env = envelope(&x).unwrap();
         let before: f64 = env[64..onset - 64].iter().sum::<f64>() / (onset - 128) as f64;
         let after: f64 = env[onset + 64..n - 64].iter().sum::<f64>() / (n - onset - 128) as f64;

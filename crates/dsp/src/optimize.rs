@@ -115,8 +115,10 @@ impl DifferentialEvolution {
             return Err(DspError::InvalidBounds { reason: "bounds must be non-empty" });
         }
         for &(lo, hi) in &self.bounds {
-            if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
-                return Err(DspError::InvalidBounds { reason: "each bound must satisfy finite lo < hi" });
+            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(DspError::InvalidBounds {
+                    reason: "each bound must satisfy finite lo < hi",
+                });
             }
         }
         let dims = self.bounds.len();
@@ -126,10 +128,7 @@ impl DifferentialEvolution {
         // Initial population: uniform in bounds.
         let mut pop: Vec<Vec<f64>> = (0..np)
             .map(|_| {
-                self.bounds
-                    .iter()
-                    .map(|&(lo, hi)| lo + (hi - lo) * rng.random::<f64>())
-                    .collect()
+                self.bounds.iter().map(|&(lo, hi)| lo + (hi - lo) * rng.random::<f64>()).collect()
             })
             .collect();
         let mut fitness: Vec<f64> = pop.iter().map(|x| objective(x)).collect();
@@ -207,7 +206,7 @@ where
     if start.is_empty() {
         return Err(DspError::InvalidParameter { reason: "start point must be non-empty" });
     }
-    if !(scale > 0.0) || !scale.is_finite() {
+    if scale <= 0.0 || !scale.is_finite() {
         return Err(DspError::InvalidParameter { reason: "scale must be positive and finite" });
     }
     let n = start.len();
@@ -308,7 +307,7 @@ pub fn golden_section<F>(mut f: F, lo: f64, hi: f64, tolerance: f64) -> Result<(
 where
     F: FnMut(f64) -> f64,
 {
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(DspError::InvalidBounds { reason: "need finite lo < hi" });
     }
     let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
@@ -417,9 +416,8 @@ mod tests {
 
     #[test]
     fn de_minimizes_rosenbrock_2d() {
-        let de = DifferentialEvolution::new(vec![(-5.0, 5.0); 2])
-            .with_seed(2)
-            .with_max_generations(600);
+        let de =
+            DifferentialEvolution::new(vec![(-5.0, 5.0); 2]).with_seed(2).with_max_generations(600);
         let r = de.minimize(rosenbrock).unwrap();
         assert!(r.value < 1e-4, "value {}", r.value);
         assert!((r.x[0] - 1.0).abs() < 0.05);
@@ -445,9 +443,8 @@ mod tests {
     #[test]
     fn de_never_worse_than_best_initial_population_member() {
         // Run a single generation and confirm monotone improvement.
-        let de = DifferentialEvolution::new(vec![(-8.0, 8.0); 3])
-            .with_seed(5)
-            .with_max_generations(1);
+        let de =
+            DifferentialEvolution::new(vec![(-8.0, 8.0); 3]).with_seed(5).with_max_generations(1);
         let r = de.minimize(sphere).unwrap();
         // The best initial member of a uniform population on [-8,8]^3 has
         // an expected value far above machine epsilon; here we only check
@@ -490,9 +487,8 @@ mod tests {
     fn de_then_nm_pipeline() {
         // The production FB estimator runs DE coarse + NM polish; verify the
         // pipeline reaches near machine precision on a nasty objective.
-        let de = DifferentialEvolution::new(vec![(-10.0, 10.0)])
-            .with_seed(7)
-            .with_max_generations(60);
+        let de =
+            DifferentialEvolution::new(vec![(-10.0, 10.0)]).with_seed(7).with_max_generations(60);
         let coarse = de.minimize(comb).unwrap();
         let fine = nelder_mead(comb, &coarse.x, 0.01, 300, 1e-15).unwrap();
         assert!((fine.x[0] - 2.0).abs() < 1e-8, "x {}", fine.x[0]);

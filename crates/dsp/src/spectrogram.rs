@@ -159,7 +159,8 @@ mod tests {
     fn tone_ridge_is_flat_at_tone_frequency() {
         let fs = 8000.0;
         let sig = tone(2048, 1000.0, fs);
-        let cfg = StftConfig { window_len: 256, overlap: 128, kind: WindowKind::Hann, sample_rate: fs };
+        let cfg =
+            StftConfig { window_len: 256, overlap: 128, kind: WindowKind::Hann, sample_rate: fs };
         let sg = stft(&sig, &cfg).unwrap();
         for f in sg.ridge() {
             assert!((f - 1000.0).abs() < sg.freq_resolution(), "ridge {f}");
@@ -170,7 +171,8 @@ mod tests {
     fn negative_frequency_tone_maps_below_zero() {
         let fs = 8000.0;
         let sig = tone(1024, -1500.0, fs);
-        let cfg = StftConfig { window_len: 256, overlap: 0, kind: WindowKind::Hann, sample_rate: fs };
+        let cfg =
+            StftConfig { window_len: 256, overlap: 0, kind: WindowKind::Hann, sample_rate: fs };
         let sg = stft(&sig, &cfg).unwrap();
         for f in sg.ridge() {
             assert!((f + 1500.0).abs() < 2.0 * sg.freq_resolution());
@@ -189,13 +191,14 @@ mod tests {
                 Complex::cis(2.0 * PI * (0.5 * k * t * t))
             })
             .collect();
-        let cfg = StftConfig { window_len: 256, overlap: 128, kind: WindowKind::Hann, sample_rate: fs };
+        let cfg =
+            StftConfig { window_len: 256, overlap: 128, kind: WindowKind::Hann, sample_rate: fs };
         let sg = stft(&sig, &cfg).unwrap();
         let ridge = sg.ridge();
         // Compare early vs late thirds; monotone increase overall.
         let early: f64 = ridge[..ridge.len() / 3].iter().sum::<f64>() / (ridge.len() / 3) as f64;
-        let late: f64 =
-            ridge[2 * ridge.len() / 3..].iter().sum::<f64>() / (ridge.len() - 2 * ridge.len() / 3) as f64;
+        let late: f64 = ridge[2 * ridge.len() / 3..].iter().sum::<f64>()
+            / (ridge.len() - 2 * ridge.len() / 3) as f64;
         assert!(late > early + 500.0, "early {early} late {late}");
     }
 
@@ -231,7 +234,12 @@ mod tests {
     #[test]
     fn frame_time_axis() {
         let sig = tone(1000, 100.0, 1000.0);
-        let cfg = StftConfig { window_len: 100, overlap: 50, kind: WindowKind::Rect, sample_rate: 1000.0 };
+        let cfg = StftConfig {
+            window_len: 100,
+            overlap: 50,
+            kind: WindowKind::Rect,
+            sample_rate: 1000.0,
+        };
         let sg = stft(&sig, &cfg).unwrap();
         assert_eq!(sg.frame_time(0), 0.0);
         assert!((sg.frame_time(2) - 0.1).abs() < 1e-12);

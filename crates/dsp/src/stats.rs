@@ -204,7 +204,7 @@ impl Histogram {
     ///
     /// Returns [`DspError::InvalidBounds`] unless `lo < hi` and `bins > 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, DspError> {
-        if !(lo < hi) || bins == 0 {
+        if lo.is_nan() || hi.is_nan() || lo >= hi || bins == 0 {
             return Err(DspError::InvalidBounds { reason: "need lo < hi and bins > 0" });
         }
         Ok(Histogram { lo, hi, bins: vec![0; bins], below: 0, above: 0 })

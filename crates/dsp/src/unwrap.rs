@@ -69,8 +69,7 @@ pub fn wrap_to_pi(phase: f64) -> f64 {
 /// [`unwrap_phase`]. This is the first two steps of the paper's Fig. 12
 /// pipeline.
 pub fn unwrap_iq(i: &[f64], q: &[f64]) -> Vec<f64> {
-    let wrapped: Vec<f64> =
-        i.iter().zip(q.iter()).map(|(&ii, &qq)| qq.atan2(ii)).collect();
+    let wrapped: Vec<f64> = i.iter().zip(q.iter()).map(|(&ii, &qq)| qq.atan2(ii)).collect();
     unwrap_phase(&wrapped)
 }
 

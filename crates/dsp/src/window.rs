@@ -84,12 +84,8 @@ pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
             let x = i as f64;
             match kind {
                 WindowKind::Rect => 1.0,
-                WindowKind::Hann => {
-                    0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos()
-                }
-                WindowKind::Hamming => {
-                    0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos()
-                }
+                WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos(),
                 WindowKind::Blackman => {
                     let a = 2.0 * std::f64::consts::PI * x / m;
                     0.42 - 0.5 * a.cos() + 0.08 * (2.0 * a).cos()
@@ -154,10 +150,7 @@ mod tests {
         ] {
             let w = window(kind, 33);
             for i in 0..w.len() {
-                assert!(
-                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
-                    "{kind:?} not symmetric at {i}"
-                );
+                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12, "{kind:?} not symmetric at {i}");
             }
         }
     }
@@ -174,10 +167,7 @@ mod tests {
             let center = w[32];
             assert!((center - 1.0).abs() < 1e-9, "{kind:?} center {center}");
             for &x in &w {
-                assert!(
-                    (-1e-12..=1.0 + 1e-12).contains(&x),
-                    "{kind:?} out of range: {x}"
-                );
+                assert!((-1e-12..=1.0 + 1e-12).contains(&x), "{kind:?} out of range: {x}");
             }
         }
     }

@@ -138,9 +138,10 @@ impl ClassADevice {
 
     /// Oldest buffered record's age at `now_local_s`, if any.
     pub fn oldest_record_age(&self, now_local_s: f64) -> Option<f64> {
-        self.buffer.iter().map(|r| now_local_s - r.local_time_s).fold(None, |acc, age| {
-            Some(acc.map_or(age, |a: f64| a.max(age)))
-        })
+        self.buffer
+            .iter()
+            .map(|r| now_local_s - r.local_time_s)
+            .fold(None, |acc, age| Some(acc.map_or(age, |a: f64| a.max(age))))
     }
 
     /// Whether a record would overflow the elapsed-time range if the device
@@ -213,10 +214,7 @@ mod tests {
     use softlora_phy::SpreadingFactor;
 
     fn device() -> ClassADevice {
-        ClassADevice::new(DeviceConfig::new(
-            0x2601_0001,
-            PhyConfig::uplink(SpreadingFactor::Sf7),
-        ))
+        ClassADevice::new(DeviceConfig::new(0x2601_0001, PhyConfig::uplink(SpreadingFactor::Sf7)))
     }
 
     #[test]
@@ -296,8 +294,7 @@ mod tests {
         let mut d = device();
         d.sense(777, 5.0).unwrap();
         let tx = d.try_transmit(6.25).unwrap();
-        let decoded =
-            crate::frame::DataFrame::decode(&tx.bytes, &d.config().keys, 0).unwrap();
+        let decoded = crate::frame::DataFrame::decode(&tx.bytes, &d.config().keys, 0).unwrap();
         assert_eq!(decoded.dev_addr, 0x2601_0001);
         assert_eq!(decoded.payload[0], 1); // record count
         let recs = ElapsedCodec::decode(&decoded.payload[1..], 1).unwrap();

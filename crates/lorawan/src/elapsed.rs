@@ -173,10 +173,13 @@ mod tests {
     use super::*;
 
     #[test]
+    // The point of this test is pinning the constants to the paper's
+    // prose, so asserting on constants is exactly what we want.
+    #[allow(clippy::assertions_on_constants)]
     fn constants_match_paper() {
         // Paper: "18 bits will be sufficient to represent an elapsed time
         // with 1 ms resolution" for a 4.1-minute buffer.
-        assert_eq!(ELAPSED_BITS, 18);
+        assert_eq!(ELAPSED_BITS, 18, "paper-prescribed field width");
         assert!(MAX_ELAPSED_S > 4.1 * 60.0, "max {MAX_ELAPSED_S}");
         assert!(MAX_ELAPSED_S < 5.0 * 60.0);
     }

@@ -170,10 +170,9 @@ impl DataFrame {
         let full_fcnt = ((fcnt_high as u32) << 16) | fcnt as u32;
 
         let mic_start = bytes.len() - 4;
-        let mic: [u8; 4] =
-            bytes[mic_start..].try_into().map_err(|_| LorawanError::Malformed {
-                reason: "missing MIC",
-            })?;
+        let mic: [u8; 4] = bytes[mic_start..]
+            .try_into()
+            .map_err(|_| LorawanError::Malformed { reason: "missing MIC" })?;
         if !verify_mic(&keys.nwk_skey, dev_addr, full_fcnt, dir, &bytes[..mic_start], &mic) {
             return Err(LorawanError::BadMic);
         }
@@ -280,10 +279,7 @@ mod tests {
     fn unknown_mtype_rejected() {
         let mut bytes = frame().encode(&DeviceKeys::derive_for_tests(0x2601_4B2A)).unwrap();
         bytes[0] = 0xE0; // proprietary
-        assert!(matches!(
-            DataFrame::peek_header(&bytes),
-            Err(LorawanError::Malformed { .. })
-        ));
+        assert!(matches!(DataFrame::peek_header(&bytes), Err(LorawanError::Malformed { .. })));
     }
 
     #[test]

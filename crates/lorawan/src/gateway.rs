@@ -24,7 +24,7 @@ pub struct TimestampedRecord {
 }
 
 /// An accepted uplink with reconstructed record timestamps.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReceivedUplink {
     /// Source device address.
     pub dev_addr: u32,

@@ -64,10 +64,9 @@ impl std::fmt::Display for LorawanError {
         match self {
             LorawanError::Malformed { reason } => write!(f, "malformed frame: {reason}"),
             LorawanError::BadMic => write!(f, "message integrity check failed"),
-            LorawanError::CounterReplay { last_accepted, received } => write!(
-                f,
-                "frame counter {received} not above last accepted {last_accepted}"
-            ),
+            LorawanError::CounterReplay { last_accepted, received } => {
+                write!(f, "frame counter {received} not above last accepted {last_accepted}")
+            }
             LorawanError::DutyCycleExceeded { wait_s } => {
                 write!(f, "duty cycle exceeded, wait {wait_s:.1} s")
             }

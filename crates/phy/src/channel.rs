@@ -147,21 +147,14 @@ mod tests {
 
     #[test]
     fn fspl_monotone_in_distance_and_freq() {
-        assert!(
-            free_space_path_loss_db(200.0, 868e6) > free_space_path_loss_db(100.0, 868e6)
-        );
-        assert!(
-            free_space_path_loss_db(100.0, 915e6) > free_space_path_loss_db(100.0, 868e6)
-        );
+        assert!(free_space_path_loss_db(200.0, 868e6) > free_space_path_loss_db(100.0, 868e6));
+        assert!(free_space_path_loss_db(100.0, 915e6) > free_space_path_loss_db(100.0, 868e6));
     }
 
     #[test]
     fn log_distance_matches_fspl_with_exponent_two() {
-        let ld = LogDistance {
-            d0_m: 1.0,
-            pl0_db: free_space_path_loss_db(1.0, 868e6),
-            exponent: 2.0,
-        };
+        let ld =
+            LogDistance { d0_m: 1.0, pl0_db: free_space_path_loss_db(1.0, 868e6), exponent: 2.0 };
         for d in [10.0, 100.0, 1000.0] {
             let a = ld.path_loss_db(d);
             let b = free_space_path_loss_db(d, 868e6);

@@ -31,9 +31,7 @@ use softlora_dsp::Complex;
 /// ```
 pub fn instantaneous_angle(t: f64, w: f64, sf: u32, delta: f64, theta: f64) -> f64 {
     let a = std::f64::consts::PI * w * w / (1u64 << sf) as f64;
-    a * t * t - std::f64::consts::PI * w * t
-        + 2.0 * std::f64::consts::PI * delta * t
-        + theta
+    a * t * t - std::f64::consts::PI * w * t + 2.0 * std::f64::consts::PI * delta * t + theta
 }
 
 /// Direction of a chirp's frequency sweep.
@@ -80,10 +78,10 @@ impl ChirpGenerator {
     /// Returns [`PhyError::InvalidConfig`] if the sample rate is below the
     /// bandwidth (Nyquist for complex baseband) or non-finite.
     pub fn new(sf: SpreadingFactor, bandwidth_hz: f64, sample_rate: f64) -> Result<Self, PhyError> {
-        if !(bandwidth_hz > 0.0) || !bandwidth_hz.is_finite() {
+        if bandwidth_hz <= 0.0 || !bandwidth_hz.is_finite() {
             return Err(PhyError::InvalidConfig { reason: "bandwidth must be positive" });
         }
-        if !(sample_rate >= bandwidth_hz) || !sample_rate.is_finite() {
+        if sample_rate < bandwidth_hz || !sample_rate.is_finite() {
             return Err(PhyError::InvalidConfig {
                 reason: "sample rate must be at least the bandwidth",
             });

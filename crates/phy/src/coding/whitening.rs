@@ -30,8 +30,8 @@ impl Whitener {
         let out = self.state;
         // Galois LFSR step, 8 bit-steps per byte.
         for _ in 0..8 {
-            let fb = ((self.state >> 7) ^ (self.state >> 5) ^ (self.state >> 4) ^ (self.state >> 3))
-                & 1;
+            let fb =
+                ((self.state >> 7) ^ (self.state >> 5) ^ (self.state >> 4) ^ (self.state >> 3)) & 1;
             self.state = (self.state << 1) | fb;
         }
         out

@@ -98,7 +98,7 @@ impl Demodulator {
         let chips = self.cfg.sf.chips();
         let os = self.oversample;
         let mut folded = vec![Complex::ZERO; chips * Self::PAD];
-        for i in 0..chips {
+        for (i, slot) in folded.iter_mut().take(chips).enumerate() {
             // Sum the os polyphase samples of each chip (fold/alias to the
             // chip rate) — equivalent to decimation after dechirping with a
             // boxcar anti-alias, adequate since the dechirped tone is
@@ -106,7 +106,7 @@ impl Demodulator {
             for k in 0..os {
                 let idx = i * os + k;
                 if idx < window.len() && idx < reference.len() {
-                    folded[i] += window[idx] * reference[idx];
+                    *slot += window[idx] * reference[idx];
                 }
             }
         }
@@ -123,18 +123,21 @@ impl Demodulator {
         let mag = |i: usize| spec[i % m].norm();
         let (ym, y0, yp) = (mag(pk + m - 1), mag(pk), mag(pk + 1));
         let denom = ym - 2.0 * y0 + yp;
-        let frac = if denom.abs() > 1e-12 {
-            (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5)
-        } else {
-            0.0
-        };
+        let frac =
+            if denom.abs() > 1e-12 { (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5) } else { 0.0 };
         (pk as f64 + frac) / Self::PAD as f64
     }
 
     /// Derotates a window copy by `-cfo_hz`, with phase referenced to the
     /// window's first sample index `abs_start` so successive windows stay
     /// phase-continuous.
-    fn derotated(&self, samples: &[Complex], abs_start: usize, len: usize, cfo_hz: f64) -> Vec<Complex> {
+    fn derotated(
+        &self,
+        samples: &[Complex],
+        abs_start: usize,
+        len: usize,
+        cfo_hz: f64,
+    ) -> Vec<Complex> {
         let dt = 1.0 / self.sample_rate();
         (0..len)
             .map(|n| {
@@ -183,8 +186,7 @@ impl Demodulator {
         let up_win_start = start_hint + 2 * n;
         let b_up = self.dechirp_tone_chips(&samples[up_win_start..up_win_start + n], &self.up_ref);
         let sfd_start = start_hint + (self.cfg.preamble_chirps + 2) * n;
-        let b_down =
-            self.dechirp_tone_chips(&samples[sfd_start..sfd_start + n], &self.down_ref);
+        let b_down = self.dechirp_tone_chips(&samples[sfd_start..sfd_start + n], &self.down_ref);
 
         // Signed fold to (−2^S/2, 2^S/2] in float chip units.
         let fold_f = |x: f64| -> f64 {
@@ -221,8 +223,7 @@ impl Demodulator {
                 continue;
             }
             let win = self.derotated(samples, ws as usize, n, cfo_hz);
-            let corr: Complex =
-                win.iter().zip(template.iter()).map(|(a, b)| *a * b.conj()).sum();
+            let corr: Complex = win.iter().zip(template.iter()).map(|(a, b)| *a * b.conj()).sum();
             let mag = corr.norm();
             if mag > best_mag {
                 best_mag = mag;
@@ -649,10 +650,7 @@ mod tests {
     fn capture_too_short_detected() {
         let (_, d) = build(SpreadingFactor::Sf7, 2);
         let tiny = vec![Complex::ZERO; 100];
-        assert!(matches!(
-            d.demodulate(&tiny, 0),
-            Err(PhyError::CaptureTooShort { .. })
-        ));
+        assert!(matches!(d.demodulate(&tiny, 0), Err(PhyError::CaptureTooShort { .. })));
     }
 
     #[test]

@@ -13,9 +13,7 @@
 //! per symbol when low-data-rate optimisation is active and `SF` otherwise.
 
 use crate::chirp::ChirpGenerator;
-use crate::coding::{
-    crc16_ccitt, gray_encode, hamming_encode, interleave_block, Whitener,
-};
+use crate::coding::{crc16_ccitt, gray_encode, hamming_encode, interleave_block, Whitener};
 use crate::params::{CodingRate, PhyConfig, SpreadingFactor};
 use crate::PhyError;
 use softlora_dsp::Complex;
@@ -72,9 +70,7 @@ impl Modulator {
     pub fn new(cfg: PhyConfig, oversample: usize) -> Result<Self, PhyError> {
         cfg.validate()?;
         if cfg.sf == SpreadingFactor::Sf6 && cfg.explicit_header {
-            return Err(PhyError::InvalidConfig {
-                reason: "SF6 supports implicit headers only",
-            });
+            return Err(PhyError::InvalidConfig { reason: "SF6 supports implicit headers only" });
         }
         let generator =
             ChirpGenerator::oversampled(cfg.sf, cfg.channel.bandwidth.hz(), oversample)?;
@@ -264,10 +260,7 @@ mod tests {
         let n = m.samples_per_chirp();
         // 8 preamble + 2 sync + 2.25 SFD = 12.25 chirps before payload.
         assert_eq!(frame.payload_start, 12 * n + n / 4);
-        assert_eq!(
-            frame.samples.len(),
-            frame.payload_start + frame.payload_symbols.len() * n
-        );
+        assert_eq!(frame.samples.len(), frame.payload_start + frame.payload_symbols.len() * n);
     }
 
     #[test]
@@ -281,11 +274,7 @@ mod tests {
             for len in [10usize, 20, 30, 40] {
                 let payload = vec![0xA5u8; len];
                 let symbols = m.encode_symbols(&payload).unwrap();
-                assert_eq!(
-                    symbols.len(),
-                    cfg.payload_symbols(len),
-                    "{sf} payload {len}"
-                );
+                assert_eq!(symbols.len(), cfg.payload_symbols(len), "{sf} payload {len}");
             }
         }
     }
@@ -322,10 +311,7 @@ mod tests {
     #[test]
     fn payload_too_long_rejected() {
         let m = modulator(SpreadingFactor::Sf7);
-        assert!(matches!(
-            m.encode_symbols(&vec![0u8; 300]),
-            Err(PhyError::PayloadTooLong { .. })
-        ));
+        assert!(matches!(m.encode_symbols(&vec![0u8; 300]), Err(PhyError::PayloadTooLong { .. })));
     }
 
     #[test]

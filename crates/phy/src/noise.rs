@@ -178,8 +178,7 @@ pub fn add_noise_at_snr<S: NoiseSource>(
     if signal.is_empty() {
         return 0.0;
     }
-    let sig_power =
-        signal.iter().map(|z| z.norm_sqr()).sum::<f64>() / signal.len() as f64;
+    let sig_power = signal.iter().map(|z| z.norm_sqr()).sum::<f64>() / signal.len() as f64;
     let target_noise_power = sig_power / 10f64.powf(snr_db / 10.0);
     let noise = source.generate(signal.len());
     let actual = noise.iter().map(|z| z.norm_sqr()).sum::<f64>() / noise.len() as f64;
@@ -207,8 +206,7 @@ mod tests {
     fn gaussian_components_uncorrelated() {
         let mut g = GaussianNoise::new(1.0, 2);
         let samples = g.generate(100_000);
-        let corr: f64 =
-            samples.iter().map(|z| z.re * z.im).sum::<f64>() / samples.len() as f64;
+        let corr: f64 = samples.iter().map(|z| z.re * z.im).sum::<f64>() / samples.len() as f64;
         assert!(corr.abs() < 0.02, "I/Q correlation {corr}");
     }
 
@@ -229,10 +227,7 @@ mod tests {
         let re: Vec<f64> = samples.iter().map(|z| z.re).collect();
         let mean = re.iter().sum::<f64>() / re.len() as f64;
         let var: f64 = re.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / re.len() as f64;
-        let lag1: f64 = re
-            .windows(2)
-            .map(|w| (w[0] - mean) * (w[1] - mean))
-            .sum::<f64>()
+        let lag1: f64 = re.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
             / (re.len() - 1) as f64;
         let rho_hat = lag1 / var;
         assert!(rho_hat > 0.15, "autocorrelation {rho_hat} looks white");
@@ -262,12 +257,9 @@ mod tests {
             let clean = signal.clone();
             let mut src = GaussianNoise::new(1.0, 6);
             add_noise_at_snr(&mut signal, &mut src, snr);
-            let noise_p: f64 = signal
-                .iter()
-                .zip(clean.iter())
-                .map(|(a, b)| (*a - *b).norm_sqr())
-                .sum::<f64>()
-                / signal.len() as f64;
+            let noise_p: f64 =
+                signal.iter().zip(clean.iter()).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>()
+                    / signal.len() as f64;
             let got = 10.0 * (1.0 / noise_p).log10();
             assert!((got - snr).abs() < 0.5, "target {snr} got {got}");
         }

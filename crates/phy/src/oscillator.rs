@@ -17,6 +17,10 @@ use rand::{RngExt, SeedableRng};
 
 /// A crystal oscillator with manufacturing bias, thermal wander and jitter.
 ///
+/// Cloning snapshots the oscillator *including* its jitter stream, so a
+/// clone replays the same per-frame draws — the staged gateway pipeline
+/// uses this to keep parallel capture synthesis deterministic.
+///
 /// # Example
 ///
 /// ```
@@ -27,7 +31,7 @@ use rand::{RngExt, SeedableRng};
 /// let fb = osc.frequency_bias_hz();
 /// assert!(fb < -20_000.0 && fb > -25_000.0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Oscillator {
     /// Nominal carrier frequency in Hz.
     nominal_hz: f64,
@@ -221,8 +225,7 @@ mod tests {
 
     #[test]
     fn temperature_moves_bias() {
-        let mut osc =
-            Oscillator::with_bias_ppm(-20.0, FC, 2).with_temperature_coefficient(0.05);
+        let mut osc = Oscillator::with_bias_ppm(-20.0, FC, 2).with_temperature_coefficient(0.05);
         let cold = osc.frequency_bias_hz();
         osc.set_temperature_offset(10.0);
         let warm = osc.frequency_bias_hz();

@@ -9,9 +9,9 @@
 //! thousands of frames cheaply. (The waveform-level path exists too: see
 //! [`crate::demodulator`].)
 
+use crate::channel::CAPTURE_THRESHOLD_DB;
 use crate::frame_timing::{jamming_windows, JammingCalibration, JammingWindows};
 use crate::params::PhyConfig;
-use crate::channel::CAPTURE_THRESHOLD_DB;
 
 /// What the gateway host observes for one legitimate frame under (possible)
 /// jamming.
@@ -199,9 +199,7 @@ mod tests {
         let w = m.windows(&cfg(), 20);
         let mid = (w.w1 + w.w2) / 2.0;
         assert_eq!(m.receive(&cfg(), 20, 5.0, strong_jam(mid)), ReceptionOutcome::SilentDrop);
-        assert!(m
-            .receive(&cfg(), 20, 5.0, strong_jam(mid))
-            .is_stealthy_suppression());
+        assert!(m.receive(&cfg(), 20, 5.0, strong_jam(mid)).is_stealthy_suppression());
     }
 
     #[test]

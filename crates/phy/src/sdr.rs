@@ -66,7 +66,7 @@ impl IqCapture {
 }
 
 /// Model of the RTL-SDR receive chain.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SdrReceiver {
     oscillator: Oscillator,
     sample_rate: f64,
@@ -167,10 +167,35 @@ impl SdrReceiver {
         amp: f64,
         lead: usize,
     ) -> Result<IqCapture, PhyError> {
-        let generator =
-            ChirpGenerator::new(cfg.sf, cfg.channel.bandwidth.hz(), self.sample_rate)?;
-        let delta_rx = self.oscillator.frequency_bias_hz();
         let theta_rx = self.next_phase.take().unwrap_or_else(|| self.oscillator.random_phase());
+        self.capture_chirps_with_phase(cfg, n_chirps, delta_tx, theta_tx, amp, lead, theta_rx)
+    }
+
+    /// Like [`SdrReceiver::capture_chirps`], but with the receiver mixing
+    /// phase `θRx` supplied by the caller instead of drawn from the
+    /// oscillator.
+    ///
+    /// This variant takes `&self` and draws no randomness, so independent
+    /// captures can be synthesised concurrently with per-capture phases
+    /// derived from an external seed (the staged gateway pipeline's batch
+    /// mode relies on this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhyError::InvalidConfig`] from chirp generation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_chirps_with_phase(
+        &self,
+        cfg: &PhyConfig,
+        n_chirps: usize,
+        delta_tx: f64,
+        theta_tx: f64,
+        amp: f64,
+        lead: usize,
+        theta_rx: f64,
+    ) -> Result<IqCapture, PhyError> {
+        let generator = ChirpGenerator::new(cfg.sf, cfg.channel.bandwidth.hz(), self.sample_rate)?;
+        let delta_rx = self.oscillator.frequency_bias_hz();
         // Net bias and phase, per the paper's Eq. (5).
         let delta = delta_tx - delta_rx;
         let theta = theta_tx - theta_rx;
@@ -250,10 +275,7 @@ mod tests {
         let xs: Vec<f64> = (0..linear.len()).map(|n| n as f64 * dt).collect();
         let fit = softlora_dsp::regression::linear_fit(&xs, &linear).unwrap();
         let delta_est = fit.slope / (2.0 * std::f64::consts::PI);
-        assert!(
-            (delta_est + 25_000.0).abs() < 50.0,
-            "estimated net bias {delta_est}, want −25000"
-        );
+        assert!((delta_est + 25_000.0).abs() < 50.0, "estimated net bias {delta_est}, want −25000");
     }
 
     #[test]

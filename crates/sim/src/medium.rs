@@ -151,9 +151,7 @@ mod tests {
     #[test]
     fn log_distance_weaker_than_free_space() {
         let fs = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
-        let ld = RadioMedium::new(Box::new(LogDistanceModel {
-            params: LogDistance::indoor_868(),
-        }));
+        let ld = RadioMedium::new(Box::new(LogDistanceModel { params: LogDistance::indoor_868() }));
         let a = Position::default();
         let b = Position::new(100.0, 0.0, 0.0);
         assert!(ld.path_loss_db(&a, &b) > fs.path_loss_db(&a, &b));
@@ -169,8 +167,8 @@ mod tests {
 
     #[test]
     fn custom_noise_floor() {
-        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }))
-            .with_noise_floor_dbm(-100.0);
+        let medium =
+            RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 })).with_noise_floor_dbm(-100.0);
         assert_eq!(medium.noise_floor_dbm(), -100.0);
         let a = Position::default();
         let link = medium.link(&a, &Position::new(10.0, 0.0, 0.0), 0.0);

@@ -25,10 +25,7 @@ impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for min-heap behaviour; ties broken by sequence number.
-        other
-            .time_s
-            .total_cmp(&self.time_s)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time_s.total_cmp(&self.time_s).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Scheduled<E> {

@@ -93,7 +93,13 @@ impl Scenario {
 
     /// Adds a device at `position` reporting every `period_s` seconds,
     /// with a sampled crystal and oscillator. Returns its device address.
-    pub fn add_device(&mut self, dev_addr: u32, position: Position, period_s: f64, seed: u64) -> u32 {
+    pub fn add_device(
+        &mut self,
+        dev_addr: u32,
+        position: Position,
+        period_s: f64,
+        seed: u64,
+    ) -> u32 {
         let cfg = DeviceConfig::new(dev_addr, self.phy);
         let node = Node {
             device: ClassADevice::new(cfg),
@@ -157,8 +163,10 @@ impl Scenario {
             .wrapping_add(value as u64)
             .wrapping_mul(0xBF58476D1CE4E5B9);
         let jitter = ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.2 * period;
-        self.queue
-            .schedule(now + period + jitter, Event::SenseAndSend { idx, value: value.wrapping_add(1) });
+        self.queue.schedule(
+            now + period + jitter,
+            Event::SenseAndSend { idx, value: value.wrapping_add(1) },
+        );
 
         // Sense on the device's local clock, then attempt an uplink.
         let local_now = self.nodes[idx].clock.read(now);
@@ -199,9 +207,8 @@ impl Scenario {
         // Collision bookkeeping: prune ended flights, then check overlap.
         self.in_flight.retain(|(_, end)| *end > now);
         let gw = self.gateway_position;
-        let rx_power = |f: &AirFrame| {
-            self.medium.link(&f.tx_position, &gw, f.tx_power_dbm).rx_power_dbm()
-        };
+        let rx_power =
+            |f: &AirFrame| self.medium.link(&f.tx_position, &gw, f.tx_power_dbm).rx_power_dbm();
         let new_power = rx_power(&frame);
         let mut survives = true;
         for (other, _) in &self.in_flight {

@@ -6,6 +6,11 @@
 //! demonstrates the naive counter-based defence failing (the original was
 //! jammed, so the replay's counter looks fresh).
 //!
+//! The attacked frame's deliveries (jammed original + delayed replay) are
+//! handed to [`SoftLoraGateway::process_batch`] in one call — the paranoid
+//! DSP front half runs in parallel — and the flag itself is consumed
+//! through the observer hook.
+//!
 //! Run with: `cargo run --release --example attack_comparison`
 
 use softlora_repro::attack::FrameDelayAttack;
@@ -15,7 +20,20 @@ use softlora_repro::phy::rn2483::Rn2483Model;
 use softlora_repro::phy::{PhyConfig, SpreadingFactor};
 use softlora_repro::sim::medium::FreeSpace;
 use softlora_repro::sim::{AirFrame, HonestChannel, Interceptor, Position, RadioMedium};
-use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+use softlora_repro::softlora::observer::{GatewayObserver, ReplayFlagEvent};
+use softlora_repro::softlora::{SoftLoraGateway, SoftLoraVerdict};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Remembers the most recent replay flag for the summary line.
+#[derive(Default)]
+struct LastFlag(Option<ReplayFlagEvent>);
+
+impl GatewayObserver for LastFlag {
+    fn on_replay_flag(&mut self, _frame: u64, event: ReplayFlagEvent) {
+        self.0 = Some(event);
+    }
+}
 
 fn main() {
     let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
@@ -35,8 +53,12 @@ fn main() {
         let mut osc = Oscillator::sample_end_device(869.75e6, 4);
         let mut commodity = CommodityGateway::new();
         commodity.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
-        let mut softlora = SoftLoraGateway::new(SoftLoraConfig::new(phy), 8);
-        softlora.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+        let flag = Rc::new(RefCell::new(LastFlag::default()));
+        let mut softlora = SoftLoraGateway::builder(phy)
+            .seed(8)
+            .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+            .observer(Box::new(Rc::clone(&flag)))
+            .build();
         let model = Rn2483Model::new();
 
         let send = |device: &mut ClassADevice, osc: &mut Oscillator, t: f64| -> AirFrame {
@@ -65,7 +87,12 @@ fn main() {
             }
         }
 
-        // One attacked frame at this τ.
+        // Warm-up verdicts may have touched the observer; only flags from
+        // the attacked batch below should reach the summary line.
+        flag.borrow_mut().0 = None;
+
+        // One attacked frame at this τ. Its deliveries (the jammed
+        // original and the delayed replay) go through as one batch.
         let mut attack = FrameDelayAttack::new(
             Position::new(2.0, 0.0, 1.5),
             Position::new(498.0, 0.0, 12.0),
@@ -75,29 +102,33 @@ fn main() {
         );
         let t = 1000.0;
         let frame = send(&mut device, &mut osc, t);
+        let deliveries = attack.intercept(&frame, &medium, &gw_pos);
+
         let mut commodity_line = ("no frame seen".to_string(), f64::NAN);
-        let mut softlora_line = "-".to_string();
-        for d in attack.intercept(&frame, &medium, &gw_pos) {
+        for d in &deliveries {
             let outcome = model.receive(&phy, d.bytes.len(), d.snr_db, d.jamming);
             if outcome.host_sees_frame() {
-                if let RxVerdict::Accepted(up) = commodity.receive(&d.bytes, d.arrival_global_s)
-                {
+                if let RxVerdict::Accepted(up) = commodity.receive(&d.bytes, d.arrival_global_s) {
                     commodity_line = (
                         "yes (fresh counter!)".to_string(),
                         up.records[0].global_time_s - (t - 1.0),
                     );
                 }
             }
-            match softlora.process(&d).expect("pipeline") {
-                SoftLoraVerdict::ReplayDetected { deviation_hz, .. } => {
-                    softlora_line = format!("flagged ({deviation_hz:+.0} Hz)");
-                }
-                SoftLoraVerdict::Accepted { .. } if d.is_replay => {
-                    softlora_line = "MISSED".to_string();
-                }
-                _ => {}
-            }
         }
+
+        let verdicts = softlora.process_batch(&deliveries).expect("pipeline");
+        let softlora_line = match &flag.borrow().0 {
+            Some(event) => format!("flagged ({:+.0} Hz)", event.deviation_hz),
+            None if deliveries
+                .iter()
+                .zip(&verdicts)
+                .any(|(d, v)| d.is_replay && matches!(v, SoftLoraVerdict::Accepted { .. })) =>
+            {
+                "MISSED".to_string()
+            }
+            None => "-".to_string(),
+        };
         println!(
             "{:>8.0} {:>22} {:>14.2} {:>20}",
             tau, commodity_line.0, commodity_line.1, softlora_line

@@ -4,7 +4,8 @@
 //! Six temperature sensors spread over the six-floor concrete building
 //! report to a SoftLoRa gateway on the 6th floor. The example surveys the
 //! per-sensor link quality, runs an hour of simulated reporting, and
-//! summarises the reconstructed-timestamp accuracy per sensor.
+//! summarises the reconstructed-timestamp accuracy per sensor. Outcomes
+//! flow through a `GatewayObserver` that buckets accuracy per device.
 //!
 //! Run with: `cargo run --release --example building_monitoring`
 
@@ -14,7 +15,41 @@ use softlora_repro::phy::{PhyConfig, SpreadingFactor};
 use softlora_repro::sim::clock::DriftingClock;
 use softlora_repro::sim::deployment::BuildingDeployment;
 use softlora_repro::sim::{AirFrame, HonestChannel, Interceptor};
-use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+use softlora_repro::softlora::observer::{AcceptEvent, GatewayObserver, RejectEvent};
+use softlora_repro::softlora::{GatewayBuilder, SoftLoraGateway};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Buckets reconstructed-timestamp errors per device address.
+#[derive(Default)]
+struct AccuracyLedger {
+    /// True sample time of the uplink currently being processed.
+    true_time_s: f64,
+    /// Per-device signed errors, ms.
+    errors_ms: HashMap<u32, Vec<f64>>,
+    /// Frames that produced no timestamped records.
+    lost: usize,
+}
+
+impl GatewayObserver for AccuracyLedger {
+    fn on_accept(&mut self, _frame: u64, event: AcceptEvent<'_>) {
+        let err = (event.uplink.records[0].global_time_s - self.true_time_s) * 1e3;
+        self.errors_ms.entry(event.uplink.dev_addr).or_default().push(err);
+    }
+
+    fn on_reject(&mut self, _frame: u64, _event: RejectEvent<'_>) {
+        self.lost += 1;
+    }
+
+    fn on_replay_flag(
+        &mut self,
+        _frame: u64,
+        _event: softlora_repro::softlora::observer::ReplayFlagEvent,
+    ) {
+        self.lost += 1;
+    }
+}
 
 fn main() {
     let building = BuildingDeployment::new();
@@ -27,7 +62,9 @@ fn main() {
     println!("Building monitoring: 6 sensors -> SoftLoRa gateway at C3/6F (SF8)\n");
     println!("{:<8} {:>10} {:>10} {:>12}", "sensor", "floor", "SNR(dB)", "decodable");
 
-    let mut gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 2024);
+    let ledger = Rc::new(RefCell::new(AccuracyLedger::default()));
+    let mut builder: GatewayBuilder =
+        SoftLoraGateway::builder(phy).seed(2024).observer(Box::new(Rc::clone(&ledger)));
     let mut sensors = Vec::new();
     for (idx, &(col, floor)) in spots.iter().enumerate() {
         let pos = building.position(col, floor);
@@ -40,7 +77,7 @@ fn main() {
             link.decodable(phy.sf)
         );
         let cfg = DeviceConfig::new(0x2601_0100 + idx as u32, phy);
-        gateway.provision(cfg.dev_addr, cfg.keys.clone());
+        builder = builder.provision(cfg.dev_addr, cfg.keys.clone());
         sensors.push((
             ClassADevice::new(cfg),
             Oscillator::sample_end_device(869.75e6, idx as u64),
@@ -48,12 +85,10 @@ fn main() {
             pos,
         ));
     }
+    let mut gateway = builder.build();
 
     // One hour: each sensor samples every 10 minutes and uplinks.
     let mut honest = HonestChannel;
-    let mut errors_ms: Vec<Vec<f64>> = vec![Vec::new(); sensors.len()];
-    let mut accepted = 0usize;
-    let mut lost = 0usize;
     for round in 0..6 {
         for (idx, (device, osc, clock, pos)) in sensors.iter_mut().enumerate() {
             let t_global = 120.0 + 600.0 * round as f64 + 13.0 * idx as f64;
@@ -63,7 +98,7 @@ fn main() {
             let t_tx_local = clock.read(t_global);
             device.sense(400 + round as u16, t_sample_local).expect("buffer");
             let Ok(tx) = device.try_transmit(t_tx_local) else {
-                lost += 1;
+                ledger.borrow_mut().lost += 1;
                 continue;
             };
             let frame = AirFrame {
@@ -78,29 +113,33 @@ fn main() {
                 sf: phy.sf,
             };
             for d in honest.intercept(&frame, &medium, &gw_pos) {
-                match gateway.process(&d).expect("pipeline") {
-                    SoftLoraVerdict::Accepted { uplink, .. } => {
-                        accepted += 1;
-                        let err = (uplink.records[0].global_time_s - (t_global - 2.0)) * 1e3;
-                        errors_ms[idx].push(err);
-                    }
-                    _ => lost += 1,
-                }
+                ledger.borrow_mut().true_time_s = t_global - 2.0;
+                gateway.process(&d).expect("pipeline");
             }
         }
     }
 
-    println!("\nhour summary: {accepted} uplinks accepted, {lost} lost");
+    let ledger = ledger.borrow();
+    let accepted: usize = ledger.errors_ms.values().map(Vec::len).sum();
+    println!("\nhour summary: {accepted} uplinks accepted, {} lost", ledger.lost);
     println!("\nreconstructed timestamp error per sensor (ms):");
     println!("{:<8} {:>8} {:>10} {:>10}", "sensor", "frames", "mean", "worst");
-    for (idx, errs) in errors_ms.iter().enumerate() {
-        if errs.is_empty() {
-            println!("{:<8} {:>8}", format!("S{idx}"), 0);
-            continue;
+    for (idx, &(_, _)) in spots.iter().enumerate() {
+        let dev_addr = 0x2601_0100 + idx as u32;
+        match ledger.errors_ms.get(&dev_addr) {
+            None => println!("{:<8} {:>8}", format!("S{idx}"), 0),
+            Some(errs) => {
+                let mean = errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64;
+                let worst = errs.iter().map(|e| e.abs()).fold(0.0f64, f64::max);
+                println!(
+                    "{:<8} {:>8} {:>10.3} {:>10.3}",
+                    format!("S{idx}"),
+                    errs.len(),
+                    mean,
+                    worst
+                );
+            }
         }
-        let mean = errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64;
-        let worst = errs.iter().map(|e| e.abs()).fold(0.0f64, f64::max);
-        println!("{:<8} {:>8} {:>10.3} {:>10.3}", format!("S{idx}"), errs.len(), mean, worst);
     }
     println!("\nDevice clocks drift 30–50 ppm and were never synchronised; the");
     println!("elapsed-time scheme plus PHY-layer arrival timestamping keeps every");

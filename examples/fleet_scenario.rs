@@ -4,7 +4,9 @@
 //! Devices report on jittered periods through a shared channel (ALOHA with
 //! the capture effect); the attacker targets one meter; the SoftLoRa
 //! gateway keeps per-device FB bands and flags the replays while the rest
-//! of the fleet keeps timestamping normally.
+//! of the fleet keeps timestamping normally. Two observers consume the
+//! gateway's events: the stock [`GatewayStats`] tally and a small printer
+//! for the first few flags.
 //!
 //! Run with: `cargo run --release --example fleet_scenario`
 
@@ -13,7 +15,28 @@ use softlora_repro::phy::{PhyConfig, SpreadingFactor};
 use softlora_repro::sim::medium::FreeSpace;
 use softlora_repro::sim::scenario::Scenario;
 use softlora_repro::sim::{Position, RadioMedium};
-use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+use softlora_repro::softlora::observer::{GatewayObserver, GatewayStats, ReplayFlagEvent};
+use softlora_repro::softlora::{GatewayBuilder, SoftLoraGateway};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Prints the first few replay flags as they happen.
+#[derive(Default)]
+struct FlagPrinter {
+    printed: usize,
+}
+
+impl GatewayObserver for FlagPrinter {
+    fn on_replay_flag(&mut self, _frame: u64, event: ReplayFlagEvent) {
+        self.printed += 1;
+        if self.printed <= 3 {
+            println!(
+                "  replay flagged: device {:#x}, FB off by {:+.0} Hz",
+                event.dev_addr, event.deviation_hz
+            );
+        }
+    }
+}
 
 fn main() {
     let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
@@ -23,31 +46,33 @@ fn main() {
     println!("Fleet scenario: 12 meters, 90 s periods, one device under attack\n");
 
     // --- Phase 1: a clean hour builds every device's FB history. ---
-    let mut gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 2026);
     let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 }));
-    let mut net = Scenario::new(
-        phy,
-        medium,
-        gw_pos,
-        Box::new(softlora_repro::sim::HonestChannel),
-    );
+    let mut net = Scenario::new(phy, medium, gw_pos, Box::new(softlora_repro::sim::HonestChannel));
     for k in 0..12u32 {
         let angle = k as f64 * 0.52;
         let pos = Position::new(250.0 * angle.cos(), 250.0 * angle.sin(), 1.5);
         net.add_device(0x2601_3000 + k, pos, 90.0, k as u64);
     }
+    let stats = Rc::new(RefCell::new(GatewayStats::default()));
+    let mut builder: GatewayBuilder = SoftLoraGateway::builder(phy)
+        .seed(2026)
+        .observer(Box::new(Rc::clone(&stats)))
+        .observer(Box::new(FlagPrinter::default()));
     for k in 0..net.devices() {
         let cfg = net.device_config(k).clone();
-        gateway.provision(cfg.dev_addr, cfg.keys);
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
     }
-    let mut warm_accepted = 0u64;
+    let mut gateway = builder.build();
+
     net.run(3600.0, |d| {
-        if gateway.process(d).map(|v| v.is_accepted()).unwrap_or(false) {
-            warm_accepted += 1;
-        }
+        gateway.process(d).expect("pipeline");
     });
     let st = net.stats().clone();
-    println!("warm-up hour: {} transmitted, {} collided, {} accepted", st.transmitted, st.collided, warm_accepted);
+    let warm_accepted = stats.borrow().accepted;
+    println!(
+        "warm-up hour: {} transmitted, {} collided, {} accepted",
+        st.transmitted, st.collided, warm_accepted
+    );
 
     // --- Phase 2: the attacker moves in on one meter; the network keeps
     // its device state (frame counters, duty cycles). ---
@@ -68,32 +93,21 @@ fn main() {
     .with_targets(vec![target_addr]);
     net.set_interceptor(Box::new(attack));
 
-    let mut accepted = 0u64;
-    let mut detections = 0u64;
-    let mut suppressed = 0u64;
-    net.run(3600.0 + 1800.0, |d| match gateway.process(d) {
-        Ok(SoftLoraVerdict::Accepted { .. }) => accepted += 1,
-        Ok(SoftLoraVerdict::ReplayDetected { dev_addr, deviation_hz, .. }) => {
-            detections += 1;
-            if detections <= 3 {
-                println!(
-                    "  replay flagged: device {dev_addr:#x}, FB off by {deviation_hz:+.0} Hz"
-                );
-            }
-        }
-        Ok(SoftLoraVerdict::NotReceived { .. }) => suppressed += 1,
-        _ => {}
+    let before = stats.borrow().clone();
+    net.run(3600.0 + 1800.0, |d| {
+        gateway.process(d).expect("pipeline");
     });
+    let after = stats.borrow().clone();
 
     println!("\nattacked half hour:");
-    println!("  fleet uplinks accepted      : {accepted}");
-    println!("  originals silently jammed   : {suppressed}");
-    println!("  replays flagged             : {detections}");
-    let stats = gateway.detection_stats();
+    println!("  fleet uplinks accepted      : {}", after.accepted - before.accepted);
+    println!("  originals silently jammed   : {}", after.not_received - before.not_received);
+    println!("  replays flagged             : {}", after.replays_flagged - before.replays_flagged);
+    let det = gateway.detection_stats();
     println!(
         "  overall: detection {:.0} %, false alarms {:.2} %",
-        stats.detection_rate() * 100.0,
-        stats.false_alarm_rate() * 100.0
+        det.detection_rate() * 100.0,
+        det.false_alarm_rate() * 100.0
     );
     println!("\nEleven meters never noticed anything; the twelfth's delayed frames");
     println!("were dropped instead of poisoning the billing timeline.");

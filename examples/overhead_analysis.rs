@@ -34,12 +34,18 @@ fn main() {
     }
 
     println!("\nPayload spent on time information (30-byte payload):");
-    println!("  8-byte timestamps : {:.0}% of the payload (paper: 27%)",
-        timestamp_overhead_fraction(30, true) * 100.0);
-    println!("  18-bit elapsed    : {:.1}% of the payload",
-        timestamp_overhead_fraction(30, false) * 100.0);
-    println!("  elapsed-time range: {:.1} minutes of buffering at 1 ms resolution",
-        MAX_ELAPSED_S / 60.0);
+    println!(
+        "  8-byte timestamps : {:.0}% of the payload (paper: 27%)",
+        timestamp_overhead_fraction(30, true) * 100.0
+    );
+    println!(
+        "  18-bit elapsed    : {:.1}% of the payload",
+        timestamp_overhead_fraction(30, false) * 100.0
+    );
+    println!(
+        "  elapsed-time range: {:.1} minutes of buffering at 1 ms resolution",
+        MAX_ELAPSED_S / 60.0
+    );
 
     let budget = AccuracyBudget::commodity();
     println!("\nSynchronization-free accuracy budget (commodity stack):");
@@ -47,8 +53,10 @@ fn main() {
     println!("  PHY timestamping  : {:.0} µs", budget.phy_timestamp_error_s * 1e6);
     println!("  propagation       : {:.1} µs", budget.propagation_s * 1e6);
     println!("  quantisation      : {:.1} ms", budget.quantisation_s * 1e3);
-    println!("  total             : {:.2} ms — meets ms/sub-second applications",
-        budget.total_s() * 1e3);
+    println!(
+        "  total             : {:.2} ms — meets ms/sub-second applications",
+        budget.total_s() * 1e3
+    );
 
     println!("\n§4.4 — the round-trip-timing defence, costed (SF12, 30 B):");
     let at = PhyConfig::uplink(SpreadingFactor::Sf12).airtime(30);

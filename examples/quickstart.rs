@@ -6,6 +6,10 @@
 //! gateway, and the SoftLoRa gateway catches it by the replayed frame's
 //! carrier frequency bias.
 //!
+//! The gateway is built with the fluent [`SoftLoraGateway::builder`] and
+//! outcomes are consumed through a [`GatewayObserver`] — no verdict
+//! pattern-matching.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use softlora_repro::attack::FrameDelayAttack;
@@ -14,7 +18,57 @@ use softlora_repro::phy::oscillator::Oscillator;
 use softlora_repro::phy::{PhyConfig, SpreadingFactor};
 use softlora_repro::sim::medium::FreeSpace;
 use softlora_repro::sim::{AirFrame, HonestChannel, Interceptor, Position, RadioMedium};
-use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+use softlora_repro::softlora::observer::{
+    AcceptEvent, GatewayObserver, RejectEvent, ReplayFlagEvent,
+};
+use softlora_repro::softlora::SoftLoraGateway;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Prints every gateway outcome against the per-frame ground truth the
+/// main loop deposits before each uplink.
+#[derive(Default)]
+struct Narrator {
+    /// Label of the frame being processed ("frame 3 replay  ", ...).
+    label: String,
+    /// True global time of the record of interest, seconds.
+    true_time_s: f64,
+}
+
+impl GatewayObserver for Narrator {
+    fn on_accept(&mut self, _frame: u64, event: AcceptEvent<'_>) {
+        let err_s = event.uplink.records[0].global_time_s - self.true_time_s;
+        if err_s.abs() < 0.1 {
+            println!(
+                "{}: accepted; FB {:.2} kHz; timestamp error {:+.2} ms",
+                self.label,
+                event.fb.delta_hz / 1e3,
+                err_s * 1e3
+            );
+        } else {
+            println!("{}: ACCEPTED — timestamp error {err_s:+.2} s (!!)", self.label);
+        }
+    }
+
+    fn on_replay_flag(&mut self, _frame: u64, event: ReplayFlagEvent) {
+        println!(
+            "{}: REPLAY DETECTED — FB off by {:+.0} Hz (band ±{:.0} Hz); \
+             frame dropped, no timestamp spoofed",
+            self.label, event.deviation_hz, event.band_hz
+        );
+    }
+
+    fn on_reject(&mut self, _frame: u64, event: RejectEvent<'_>) {
+        match event {
+            RejectEvent::NotReceived { outcome } => {
+                println!("{}: not received ({outcome:?}) — stealthy jamming", self.label);
+            }
+            RejectEvent::Lorawan { reason } => {
+                println!("{}: rejected ({reason})", self.label);
+            }
+        }
+    }
+}
 
 fn main() {
     // --- Topology: a device 300 m from the gateway, free space. ---
@@ -27,18 +81,21 @@ fn main() {
     let dev_cfg = DeviceConfig::new(0x2601_0001, phy);
     let mut device = ClassADevice::new(dev_cfg.clone());
     let mut device_osc = Oscillator::with_bias_ppm(-25.3, 869.75e6, 7);
-    let mut gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 42);
-    gateway.provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+    let narrator = Rc::new(RefCell::new(Narrator::default()));
+    let mut gateway = SoftLoraGateway::builder(phy)
+        .seed(42)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+        .observer(Box::new(Rc::clone(&narrator)))
+        .build();
 
     println!("SoftLoRa quickstart — synchronization-free timestamping under attack");
-    println!("device crystal bias: {:.1} kHz; gateway SDR bias: {:.1} kHz\n",
-        device_osc.frequency_bias_hz() / 1e3, gateway.receiver_bias_hz() / 1e3);
+    println!(
+        "device crystal bias: {:.1} kHz; gateway SDR bias: {:.1} kHz\n",
+        device_osc.frequency_bias_hz() / 1e3,
+        gateway.receiver_bias_hz() / 1e3
+    );
 
-    let send = |device: &mut ClassADevice,
-                    osc: &mut Oscillator,
-                    t: f64,
-                    value: u16|
-     -> AirFrame {
+    let send = |device: &mut ClassADevice, osc: &mut Oscillator, t: f64, value: u16| -> AirFrame {
         device.sense(value, t - 0.8).expect("record buffered");
         let tx = device.try_transmit(t).expect("duty cycle clear");
         AirFrame {
@@ -60,16 +117,12 @@ fn main() {
         let t = 100.0 + 200.0 * k as f64;
         let frame = send(&mut device, &mut device_osc, t, 2000 + k as u16);
         for d in honest.intercept(&frame, &medium, &gateway_pos) {
-            match gateway.process(&d).expect("pipeline") {
-                SoftLoraVerdict::Accepted { uplink, fb, .. } => {
-                    let err_ms = (uplink.records[0].global_time_s - (t - 0.8)) * 1e3;
-                    println!(
-                        "frame {k}: accepted; FB {:.2} kHz; timestamp error {err_ms:+.2} ms",
-                        fb.delta_hz / 1e3
-                    );
-                }
-                other => println!("frame {k}: {other:?}"),
+            {
+                let mut n = narrator.borrow_mut();
+                n.label = format!("frame {k}");
+                n.true_time_s = t - 0.8;
             }
+            gateway.process(&d).expect("pipeline");
         }
     }
 
@@ -87,24 +140,12 @@ fn main() {
         let frame = send(&mut device, &mut device_osc, t, 2000 + k);
         for d in attack.intercept(&frame, &medium, &gateway_pos) {
             let kind = if d.is_replay { "replay  " } else { "original" };
-            match gateway.process(&d).expect("pipeline") {
-                SoftLoraVerdict::Accepted { uplink, .. } => {
-                    let err = uplink.records[0].global_time_s - (t - 0.8);
-                    println!("frame {k} {kind}: ACCEPTED — timestamp error {err:+.2} s (!!)");
-                }
-                SoftLoraVerdict::ReplayDetected { deviation_hz, band_hz, .. } => {
-                    println!(
-                        "frame {k} {kind}: REPLAY DETECTED — FB off by {deviation_hz:+.0} Hz \
-                         (band ±{band_hz:.0} Hz); frame dropped, no timestamp spoofed"
-                    );
-                }
-                SoftLoraVerdict::NotReceived { outcome } => {
-                    println!("frame {k} {kind}: not received ({outcome:?}) — stealthy jamming");
-                }
-                SoftLoraVerdict::LorawanRejected { reason } => {
-                    println!("frame {k} {kind}: rejected ({reason})");
-                }
+            {
+                let mut n = narrator.borrow_mut();
+                n.label = format!("frame {k} {kind}");
+                n.true_time_s = t - 0.8;
             }
+            gateway.process(&d).expect("pipeline");
         }
     }
 

@@ -22,13 +22,27 @@
 //!
 //! # Quick start
 //!
+//! The gateway is built with a fluent builder and processed deliveries
+//! flow through an explicit six-stage pipeline; outcomes can be consumed
+//! as observer events, and batches run the DSP front half in parallel:
+//!
 //! ```
-//! use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway};
 //! use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+//! use softlora_repro::softlora::observer::GatewayStats;
+//! use softlora_repro::softlora::SoftLoraGateway;
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
 //!
 //! let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
-//! let gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), 1);
+//! let stats = Rc::new(RefCell::new(GatewayStats::default()));
+//! let gateway = SoftLoraGateway::builder(phy)
+//!     .seed(1)
+//!     .adc_quantisation(false)
+//!     .observer(Box::new(Rc::clone(&stats)))
+//!     .build();
 //! assert!(gateway.receiver_bias_hz().abs() < 10_000.0); // an RTL-SDR crystal
+//! assert_eq!(gateway.onset_picker_runs(), 0); // one AIC pick per frame, later
+//! // gateway.process(&delivery)? / gateway.process_batch(&deliveries)?
 //! ```
 
 pub use softlora;

@@ -7,7 +7,7 @@ use softlora_repro::phy::oscillator::Oscillator;
 use softlora_repro::phy::{PhyConfig, SpreadingFactor};
 use softlora_repro::sim::medium::FreeSpace;
 use softlora_repro::sim::{AirFrame, HonestChannel, Interceptor, Position, RadioMedium};
-use softlora_repro::softlora::{SoftLoraConfig, SoftLoraGateway, SoftLoraVerdict};
+use softlora_repro::softlora::{GatewayBuilder, SoftLoraGateway, SoftLoraVerdict};
 
 struct World {
     phy: PhyConfig,
@@ -21,17 +21,18 @@ struct World {
 impl World {
     fn new(n_devices: usize, seed: u64) -> Self {
         let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
-        let mut gateway = SoftLoraGateway::new(SoftLoraConfig::new(phy), seed);
+        let mut builder: GatewayBuilder = SoftLoraGateway::builder(phy).seed(seed);
         let mut devices = Vec::new();
         for k in 0..n_devices {
             let cfg = DeviceConfig::new(0x2601_1000 + k as u32, phy);
-            gateway.provision(cfg.dev_addr, cfg.keys.clone());
+            builder = builder.provision(cfg.dev_addr, cfg.keys.clone());
             devices.push((
                 ClassADevice::new(cfg),
                 Oscillator::sample_end_device(869.75e6, seed * 100 + k as u64),
                 Position::new(50.0 * k as f64, 30.0, 1.5),
             ));
         }
+        let gateway = builder.build();
         World {
             phy,
             medium: RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 })),

@@ -1,0 +1,199 @@
+//! Batch-versus-sequential equivalence of the staged gateway pipeline.
+//!
+//! `process_batch` runs the DSP front half (capture synthesis, onset pick,
+//! FB estimation) for independent deliveries in parallel, then replays the
+//! stateful detector/MAC tail sequentially. These tests pin down the
+//! contract: on the same delivery stream, a batch run is **verdict-for-
+//! verdict identical** to a sequential `process` loop — across genuine,
+//! replayed, jammed, low-SNR and below-floor deliveries — and the AIC
+//! onset picker runs exactly once per frame that reaches the SDR path.
+
+use softlora_repro::lorawan::{ClassADevice, DeviceConfig};
+use softlora_repro::phy::rn2483::JammingAttempt;
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+use softlora_repro::sim::Delivery;
+use softlora_repro::softlora::observer::{GatewayStats, Stage};
+use softlora_repro::softlora::{GatewayBuilder, SoftLoraGateway, SoftLoraVerdict};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const DEV_ADDR: u32 = 0x2601_0001;
+const DEVICE_BIAS_HZ: f64 = -22_000.0;
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf7)
+}
+
+fn builder(seed: u64) -> GatewayBuilder {
+    let dev_cfg = DeviceConfig::new(DEV_ADDR, phy());
+    SoftLoraGateway::builder(phy())
+        .adc_quantisation(false)
+        .seed(seed)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+}
+
+/// A mixed stream: genuine warm-up, a low-SNR frame, a jammed frame, a
+/// below-floor frame, a USRP-biased replay, and a genuine closer.
+fn mixed_stream() -> Vec<Delivery> {
+    let dev_cfg = DeviceConfig::new(DEV_ADDR, phy());
+    let mut dev = ClassADevice::new(dev_cfg);
+    let mut stream = Vec::new();
+    let mut send =
+        |t: f64, bias: f64, snr: f64, delay: f64, replay: bool, jam: Option<JammingAttempt>| {
+            dev.sense(777, t - 1.0).unwrap();
+            let tx = dev.try_transmit(t).unwrap();
+            Delivery {
+                bytes: tx.bytes,
+                dev_addr: DEV_ADDR,
+                arrival_global_s: t + delay + 4e-6,
+                snr_db: snr,
+                carrier_bias_hz: bias,
+                carrier_phase: 0.7,
+                sf: SpreadingFactor::Sf7,
+                jamming: jam,
+                is_replay: replay,
+            }
+        };
+
+    // Five genuine warm-up frames with per-frame jitter.
+    for k in 0..5 {
+        let t = 100.0 + 200.0 * k as f64;
+        stream.push(send(t, DEVICE_BIAS_HZ + 20.0 * (k as f64 - 2.0), 10.0, 0.0, false, None));
+    }
+    // A genuine low-SNR frame (matched-filter FB path).
+    stream.push(send(1100.0, DEVICE_BIAS_HZ, -7.0, 0.0, false, None));
+    // A jammed frame: silent drop, host never sees it.
+    stream.push(send(
+        1300.0,
+        DEVICE_BIAS_HZ,
+        10.0,
+        0.0,
+        false,
+        Some(JammingAttempt { onset_s: 0.02, relative_power_db: 10.0 }),
+    ));
+    // A below-floor frame.
+    stream.push(send(1500.0, DEVICE_BIAS_HZ, -15.0, 0.0, false, None));
+    // A frame-delay replay with the USRP chain's −600 Hz artefact.
+    stream.push(send(1700.0, DEVICE_BIAS_HZ - 600.0, 10.0, 30.0, true, None));
+    // A genuine closer (counter state must be unaffected by the replay).
+    stream.push(send(1900.0, DEVICE_BIAS_HZ, 10.0, 0.0, false, None));
+    stream
+}
+
+/// The stream exercises every verdict variant (sanity for the tests
+/// below).
+#[test]
+fn mixed_stream_covers_all_verdicts() {
+    let mut gw = builder(2718).build();
+    let verdicts: Vec<SoftLoraVerdict> =
+        mixed_stream().iter().map(|d| gw.process(d).expect("pipeline")).collect();
+    assert!(verdicts.iter().any(|v| v.is_accepted()));
+    assert!(verdicts.iter().any(|v| v.is_replay_detected()));
+    assert!(verdicts.iter().any(|v| matches!(v, SoftLoraVerdict::NotReceived { .. })));
+    // The replay (index 8) is flagged, not merely counter-rejected, and
+    // the genuine closer still passes.
+    assert!(verdicts[8].is_replay_detected(), "{:?}", verdicts[8]);
+    assert!(verdicts[9].is_accepted(), "{:?}", verdicts[9]);
+}
+
+#[test]
+fn batch_is_verdict_for_verdict_identical_to_sequential() {
+    let stream = mixed_stream();
+
+    let mut sequential = builder(2718).build();
+    let seq: Vec<SoftLoraVerdict> =
+        stream.iter().map(|d| sequential.process(d).expect("pipeline")).collect();
+
+    let mut batched = builder(2718).build();
+    let bat = batched.process_batch(&stream).expect("pipeline");
+
+    assert_eq!(seq.len(), bat.len());
+    for (k, (s, b)) in seq.iter().zip(bat.iter()).enumerate() {
+        assert_eq!(s, b, "verdict {k} diverged");
+    }
+    // Downstream state converged too: same detector scores, same FB
+    // history, same frame count.
+    assert_eq!(sequential.detection_stats(), batched.detection_stats());
+    assert_eq!(
+        sequential.fb_database().tracked_center_hz(DEV_ADDR),
+        batched.fb_database().tracked_center_hz(DEV_ADDR)
+    );
+    assert_eq!(sequential.frames_seen(), batched.frames_seen());
+}
+
+#[test]
+fn interleaving_batches_and_singles_is_equivalent() {
+    let stream = mixed_stream();
+
+    let mut sequential = builder(99).build();
+    let seq: Vec<SoftLoraVerdict> =
+        stream.iter().map(|d| sequential.process(d).expect("pipeline")).collect();
+
+    // Same stream fed as: batch of 4, two singles, batch of the rest.
+    let mut mixed = builder(99).build();
+    let mut got = mixed.process_batch(&stream[..4]).expect("pipeline");
+    got.push(mixed.process(&stream[4]).expect("pipeline"));
+    got.push(mixed.process(&stream[5]).expect("pipeline"));
+    got.extend(mixed.process_batch(&stream[6..]).expect("pipeline"));
+
+    assert_eq!(seq, got);
+}
+
+#[test]
+fn batch_runs_the_aic_picker_exactly_once_per_received_frame() {
+    let stream = mixed_stream();
+    let stats = Rc::new(RefCell::new(GatewayStats::default()));
+    let mut gw = builder(7).observer(Box::new(Rc::clone(&stats))).build();
+    let verdicts = gw.process_batch(&stream).expect("pipeline");
+
+    // Two deliveries (jammed, below-floor) never reach the SDR path.
+    let reached_sdr =
+        verdicts.iter().filter(|v| !matches!(v, SoftLoraVerdict::NotReceived { .. })).count()
+            as u64;
+    assert_eq!(reached_sdr, stream.len() as u64 - 2);
+    // The pipeline's own invocation counter: one pick per received frame.
+    assert_eq!(gw.onset_picker_runs(), reached_sdr);
+    // The observer saw the same thing, stage by stage.
+    let s = stats.borrow();
+    assert_eq!(s.stage_runs(Stage::Onset), reached_sdr);
+    assert_eq!(s.stage_runs(Stage::Fb), reached_sdr);
+    assert_eq!(s.stage_runs(Stage::RadioFrontEnd), stream.len() as u64);
+}
+
+#[test]
+fn sequential_runs_the_aic_picker_exactly_once_per_received_frame() {
+    let stream = mixed_stream();
+    let mut gw = builder(7).build();
+    let mut reached_sdr = 0u64;
+    for d in &stream {
+        let v = gw.process(d).expect("pipeline");
+        if !matches!(v, SoftLoraVerdict::NotReceived { .. }) {
+            reached_sdr += 1;
+        }
+        assert_eq!(gw.onset_picker_runs(), reached_sdr, "picker re-ran within a frame");
+    }
+}
+
+#[test]
+fn builder_round_trip_matches_manual_config() {
+    use softlora_repro::softlora::{OnsetMethod, SoftLoraConfig};
+    let mut manual_cfg = SoftLoraConfig::new(phy());
+    manual_cfg.adc_quantisation = false;
+    manual_cfg.onset_method = OnsetMethod::Aic;
+    manual_cfg.warmup_frames = 2;
+    manual_cfg.band_floor_hz = 420.0;
+    let manual = SoftLoraGateway::new(manual_cfg, 31);
+
+    let built = SoftLoraGateway::builder(phy())
+        .adc_quantisation(false)
+        .onset_method(OnsetMethod::Aic)
+        .warmup_frames(2)
+        .band_floor_hz(420.0)
+        .seed(31)
+        .build();
+
+    assert_eq!(manual.receiver_bias_hz(), built.receiver_bias_hz());
+    assert_eq!(manual.config().onset_method, built.config().onset_method);
+    assert_eq!(manual.config().band_floor_hz, built.config().band_floor_hz);
+    assert_eq!(manual.config().warmup_frames, built.config().warmup_frames);
+}

@@ -16,7 +16,7 @@ proptest! {
     fn modem_round_trip_arbitrary_payload(
         payload in prop::collection::vec(any::<u8>(), 1..24),
         cfo_khz in -25i32..25,
-        phase in 0.0f64..6.28,
+        phase in 0.0f64..std::f64::consts::TAU,
     ) {
         let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
         let m = Modulator::new(cfg, 1).expect("modulator");

@@ -9,8 +9,8 @@ use softlora_repro::dsp::Complex;
 use softlora_repro::lorawan::elapsed::{ElapsedCodec, SensorRecord};
 use softlora_repro::lorawan::{DataFrame, DeviceKeys, FrameType};
 use softlora_repro::phy::coding::{
-    deinterleave_block, gray_decode, gray_encode, hamming_decode, hamming_encode,
-    interleave_block, Whitener,
+    deinterleave_block, gray_decode, gray_encode, hamming_decode, hamming_encode, interleave_block,
+    Whitener,
 };
 use softlora_repro::phy::CodingRate;
 

@@ -44,9 +44,8 @@ fn lorawan_frame_survives_the_air() {
     device.sense(1234, 10.0).expect("sense");
     let tx = device.try_transmit(12.0).expect("tx");
 
-    let received =
-        transmit_over_waveform(&tx.bytes, -22_000.0, Some(8.0), SpreadingFactor::Sf7)
-            .expect("waveform round trip");
+    let received = transmit_over_waveform(&tx.bytes, -22_000.0, Some(8.0), SpreadingFactor::Sf7)
+        .expect("waveform round trip");
     assert_eq!(received, tx.bytes, "bytes corrupted over the air");
 
     let verdict = gateway.receive(&received, 12.0 + tx.airtime_s);
@@ -82,8 +81,8 @@ fn multiple_sf_waveform_round_trips() {
         device.sense(7, 0.5).expect("sense");
         device.sense(8, 0.7).expect("sense");
         let tx = device.try_transmit(1.0).expect("tx");
-        let received = transmit_over_waveform(&tx.bytes, 15_000.0, Some(10.0), sf)
-            .expect("round trip");
+        let received =
+            transmit_over_waveform(&tx.bytes, 15_000.0, Some(10.0), sf).expect("round trip");
         assert_eq!(received, tx.bytes, "{sf}");
     }
 }

@@ -1,0 +1,219 @@
+//! Vendored, dependency-free benchmark harness exposing the slice of
+//! criterion's API the `softlora-bench` benches use.
+//!
+//! Offline builds cannot fetch crates.io, so `cargo bench` runs against
+//! this shim: each benchmark is warmed up, then timed over a fixed number
+//! of samples, and the per-iteration wall time is printed as
+//! `bench-name ... <time>/iter`. No statistics beyond mean/min/max are
+//! attempted — the point is honest relative comparisons (e.g. single
+//! versus double onset pick), not confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Times a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Times `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting niceties only in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample_iters: u64,
+    requested_samples: usize,
+}
+
+impl Bencher {
+    fn with_samples(n: usize) -> Self {
+        Bencher { samples: Vec::new(), per_sample_iters: 1, requested_samples: n.max(1) }
+    }
+
+    /// Times `f`, recording one duration per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~20 ms have elapsed (min 1 iteration) to fault
+        // in caches, and size the per-sample iteration count from it.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= Duration::from_millis(20) {
+                break;
+            }
+        }
+        let per_iter_ns = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+        // Aim for ~10 ms per sample, capped to keep total runtime bounded.
+        self.per_sample_iters = ((10_000_000 / per_iter_ns.max(1)) as u64).clamp(1, 100_000);
+        self.samples.clear();
+        for _ in 0..self.requested_samples {
+            let start = Instant::now();
+            for _ in 0..self.per_sample_iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher::with_samples(samples);
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let per = |d: &Duration| d.as_nanos() as f64 / b.per_sample_iters.max(1) as f64;
+    let mean = b.samples.iter().map(per).sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().map(per).fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().map(per).fold(0.0f64, f64::max);
+    println!(
+        "{label:<44} {:>12}/iter  [{} .. {}]  ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        b.samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::with_samples(3);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.per_sample_iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("fft", 1024).label, "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter("sf7").label, "sf7");
+    }
+}

@@ -1,0 +1,217 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the narrow API surface the repository actually uses: a seedable,
+//! cloneable [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the
+//! [`SeedableRng`] constructor trait and the [`RngExt`] sampling trait
+//! (`random::<T>()` / `random_range`). Every draw is deterministic given
+//! the seed, which the SoftLoRa reproduction depends on for repeatable
+//! experiments and for the batch-versus-sequential pipeline equivalence.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from a uniform bit stream.
+pub trait Uniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Uniform for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Uniform for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Uniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Uniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Half-open ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value inside the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling; bias is < 2^-64 per draw,
+                // far below anything the simulations can resolve.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand`'s `Rng` extension trait.
+pub trait RngExt: RngCore {
+    /// Draws a uniform value of type `T` (integers over their full domain,
+    /// `f64`/`f32` in `[0, 1)`, `bool` fair).
+    fn random<T: Uniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a half-open range.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Fast, 256-bit state, and `Clone` so snapshots of a
+    /// stream can be replayed (the batch pipeline relies on this).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..10_000).map(|_| rng.random::<f64>()).collect();
+        assert!(draws.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let k = rng.random_range(3usize..17);
+            assert!((3..17).contains(&k));
+            let x = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "{trues}");
+    }
+
+    #[test]
+    fn clone_replays_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        let _ = a.random::<u64>();
+        let mut snapshot = a.clone();
+        assert_eq!(a.random::<u64>(), snapshot.random::<u64>());
+    }
+}

@@ -1,0 +1,136 @@
+//! Vendored, dependency-free stand-in for `rayon`.
+//!
+//! Offline builds cannot fetch crates.io, so this crate supplies the data
+//! parallelism surface the SoftLoRa gateway uses — `par_iter().map(..)
+//! .collect()` over slices — implemented with `std::thread::scope`. Work is
+//! split into one contiguous chunk per available core; results are stitched
+//! back **in input order**, so a parallel map is observably identical to
+//! its sequential counterpart (which the batch pipeline's determinism
+//! guarantee relies on).
+
+use std::num::NonZeroUsize;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `.par_iter()` entry point for slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let workers =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stub worker panicked"))
+                .collect();
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..4096).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        // Single-core machines legitimately see 1; anything else must fan out.
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(threads > 1, "expected multi-threaded execution, saw {threads}");
+        }
+    }
+}
