@@ -152,7 +152,7 @@ mod tests {
     }
 }
 
-/// The *selective* jammer of Aras et al. [5], modelled for the paper's §2
+/// The *selective* jammer of Aras et al. \[5\], modelled for the paper's §2
 /// comparison.
 ///
 /// A selective jammer must decode the frame header before deciding to jam,

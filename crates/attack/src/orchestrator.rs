@@ -12,7 +12,7 @@ use crate::eavesdropper::Eavesdropper;
 use crate::jammer::StealthyJammer;
 use crate::replayer::Replayer;
 use softlora_phy::PhyConfig;
-use softlora_sim::{AirFrame, Delivery, Interceptor, Position, RadioMedium};
+use softlora_sim::{AirFrame, Delivery, FleetDelivery, Interceptor, Position, RadioMedium};
 
 /// Per-frame attack bookkeeping for evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +44,10 @@ pub struct FrameDelayAttack {
     /// hears — paper §4.2.1 notes the setup affects all devices near the
     /// eavesdropper).
     pub targets: Option<Vec<u32>>,
+    /// In a gateway fleet, the index of the gateway the jammer/replayer
+    /// chain is parked next to. Only this gateway's original copy is
+    /// jammed; the replay transmission is heard by every gateway.
+    pub attacked_gateway: usize,
     /// PHY configuration used to plan jamming windows.
     pub phy: PhyConfig,
     outcomes: Vec<AttackOutcome>,
@@ -74,14 +78,45 @@ impl FrameDelayAttack {
                 .with_recording_chain_bias_hz(eaves_chain),
             tau_s,
             targets: None,
+            attacked_gateway: 0,
             phy,
             outcomes: Vec::new(),
         }
     }
 
+    /// Places the attack in a gateway fleet: the jammer/replayer chain is
+    /// parked `standoff_m` metres from `gateways[attacked]` and only that
+    /// gateway's original copies are jammed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attacked` is out of range.
+    pub fn near_gateway(
+        eavesdropper_pos: Position,
+        gateways: &[Position],
+        attacked: usize,
+        standoff_m: f64,
+        tau_s: f64,
+        phy: PhyConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(attacked < gateways.len(), "attacked gateway {attacked} out of range");
+        let gw = gateways[attacked];
+        let chain_pos = Position::new(gw.x + standoff_m, gw.y, gw.z);
+        let mut attack = Self::new(eavesdropper_pos, chain_pos, tau_s, phy, seed);
+        attack.attacked_gateway = attacked;
+        attack
+    }
+
     /// Restricts the attack to specific device addresses.
     pub fn with_targets(mut self, targets: Vec<u32>) -> Self {
         self.targets = Some(targets);
+        self
+    }
+
+    /// Selects which fleet gateway the replay chain sits next to.
+    pub fn with_attacked_gateway(mut self, gateway: usize) -> Self {
+        self.attacked_gateway = gateway;
         self
     }
 
@@ -98,12 +133,12 @@ impl FrameDelayAttack {
     }
 
     /// Honest pass-through used when the attack aborts.
-    fn deliver_honest(
+    fn deliver_honest_fleet(
         frame: &AirFrame,
         medium: &RadioMedium,
-        gateway_position: &Position,
-    ) -> Vec<Delivery> {
-        softlora_sim::HonestChannel.intercept(frame, medium, gateway_position)
+        gateways: &[Position],
+    ) -> Vec<FleetDelivery> {
+        softlora_sim::HonestChannel.intercept_fleet(frame, medium, gateways)
     }
 }
 
@@ -114,9 +149,26 @@ impl Interceptor for FrameDelayAttack {
         medium: &RadioMedium,
         gateway_position: &Position,
     ) -> Vec<Delivery> {
+        self.intercept_fleet(frame, medium, std::slice::from_ref(gateway_position))
+            .into_iter()
+            .map(|c| c.delivery)
+            .collect()
+    }
+
+    /// The fleet-aware attack: the jammer suppresses the original only at
+    /// the gateway the chain is parked next to; the other gateways hear
+    /// the original clean. The single replay transmission τ later is
+    /// heard by **every** gateway — which is exactly what a network
+    /// server's cross-gateway consistency check exploits.
+    fn intercept_fleet(
+        &mut self,
+        frame: &AirFrame,
+        medium: &RadioMedium,
+        gateways: &[Position],
+    ) -> Vec<FleetDelivery> {
         if !self.is_target(frame.dev_addr) {
             self.outcomes.push(AttackOutcome::NotTargeted);
-            return Self::deliver_honest(frame, medium, gateway_position);
+            return Self::deliver_honest_fleet(frame, medium, gateways);
         }
 
         // ❶ Record at the eavesdropper while the jammer fires.
@@ -128,41 +180,56 @@ impl Interceptor for FrameDelayAttack {
             Some(r) => r,
             None => {
                 self.outcomes.push(AttackOutcome::RecordingFailed);
-                return Self::deliver_honest(frame, medium, gateway_position);
+                return Self::deliver_honest_fleet(frame, medium, gateways);
             }
         };
         if !recording.is_clean() {
             self.outcomes.push(AttackOutcome::RecordingCorrupted);
-            return Self::deliver_honest(frame, medium, gateway_position);
+            return Self::deliver_honest_fleet(frame, medium, gateways);
         }
 
-        // Jamming strength relative to the legitimate signal at the victim.
-        let legit_at_gw = medium.link(&frame.tx_position, gateway_position, frame.tx_power_dbm);
-        let jam_at_gw =
-            medium.link(&self.jammer.position, gateway_position, self.jammer.tx_power_dbm);
-        let relative_power_db = jam_at_gw.rx_power_dbm() - legit_at_gw.rx_power_dbm();
+        let attacked = self.attacked_gateway.min(gateways.len().saturating_sub(1));
         let payload_len = frame.bytes.len();
-        let jam_attempt = self.jammer.attempt(&self.phy, payload_len, relative_power_db);
+        let mut copies = Vec::with_capacity(2 * gateways.len());
+        for (gateway, gw_pos) in gateways.iter().enumerate() {
+            let legit_at_gw = medium.link(&frame.tx_position, gw_pos, frame.tx_power_dbm);
+            // Jamming is local: only the attacked gateway's copy overlaps
+            // the jammer's burst at suppression strength.
+            let jamming = (gateway == attacked).then(|| {
+                let jam_at_gw =
+                    medium.link(&self.jammer.position, gw_pos, self.jammer.tx_power_dbm);
+                let relative_power_db = jam_at_gw.rx_power_dbm() - legit_at_gw.rx_power_dbm();
+                self.jammer.attempt(&self.phy, payload_len, relative_power_db)
+            });
+            let delay = medium.delay_s(&frame.tx_position, gw_pos);
+            copies.push(FleetDelivery {
+                gateway,
+                delivery: Delivery {
+                    bytes: frame.bytes.clone(),
+                    dev_addr: frame.dev_addr,
+                    arrival_global_s: frame.tx_start_global_s + delay,
+                    snr_db: legit_at_gw.snr_db(),
+                    carrier_bias_hz: frame.tx_bias_hz,
+                    carrier_phase: frame.tx_phase,
+                    sf: frame.sf,
+                    jamming,
+                    is_replay: false,
+                },
+            });
+        }
 
-        // The original copy arrives jammed...
-        let delay = medium.delay_s(&frame.tx_position, gateway_position);
-        let original = Delivery {
-            bytes: frame.bytes.clone(),
-            dev_addr: frame.dev_addr,
-            arrival_global_s: frame.tx_start_global_s + delay,
-            snr_db: legit_at_gw.snr_db(),
-            carrier_bias_hz: frame.tx_bias_hz,
-            carrier_phase: frame.tx_phase,
-            sf: frame.sf,
-            jamming: Some(jam_attempt),
-            is_replay: false,
-        };
-
-        // ❷❸ ...and the replay arrives τ later.
-        let replay = self.replayer.replay(&recording, self.tau_s, medium, gateway_position);
+        // ❷❸ The replay τ later is one emission the whole fleet hears.
+        for (gateway, delivery) in self
+            .replayer
+            .replay_fleet(&recording, self.tau_s, medium, gateways)
+            .into_iter()
+            .enumerate()
+        {
+            copies.push(FleetDelivery { gateway, delivery });
+        }
 
         self.outcomes.push(AttackOutcome::Executed);
-        vec![original, replay]
+        copies
     }
 }
 
@@ -276,6 +343,85 @@ mod tests {
         let deliveries = attack.intercept(&uplink(1), &medium, &gw);
         assert_eq!(deliveries.len(), 1);
         assert_eq!(attack.outcomes(), &[AttackOutcome::RecordingCorrupted]);
+    }
+
+    #[test]
+    fn fleet_attack_jams_only_the_attacked_gateway() {
+        let phy = PhyConfig::uplink(SpreadingFactor::Sf8);
+        let gateways = [
+            Position::new(400.0, 0.0, 0.0),
+            Position::new(0.0, 400.0, 0.0),
+            Position::new(-400.0, -50.0, 0.0),
+        ];
+        let mut attack = FrameDelayAttack::near_gateway(
+            Position::new(3.0, 2.0, 0.0),
+            &gateways,
+            1,
+            2.0,
+            30.0,
+            phy,
+            7,
+        );
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let copies = attack.intercept_fleet(&uplink(1), &medium, &gateways);
+        // One original + one replay copy per gateway.
+        assert_eq!(copies.len(), 6);
+        let originals: Vec<_> = copies.iter().filter(|c| !c.delivery.is_replay).collect();
+        let replays: Vec<_> = copies.iter().filter(|c| c.delivery.is_replay).collect();
+        assert_eq!(originals.len(), 3);
+        assert_eq!(replays.len(), 3);
+        for c in &originals {
+            if c.gateway == 1 {
+                assert!(c.delivery.jamming.is_some(), "attacked gateway is jammed");
+            } else {
+                assert!(c.delivery.jamming.is_none(), "gateway {} must stay clean", c.gateway);
+            }
+        }
+        // The replay is heard by every gateway, τ late, strongest next to
+        // the replay chain (gateway 1).
+        for r in &replays {
+            let shift = r.delivery.arrival_global_s - 100.0;
+            assert!((shift - 30.0).abs() < 1e-2, "shift {shift}");
+        }
+        let snr_at = |g: usize| replays.iter().find(|r| r.gateway == g).unwrap().delivery.snr_db;
+        assert!(snr_at(1) > snr_at(0) && snr_at(1) > snr_at(2));
+        assert_eq!(attack.outcomes(), &[AttackOutcome::Executed]);
+    }
+
+    #[test]
+    fn fleet_intercept_with_one_gateway_matches_single_link() {
+        let (mut a, medium, gw) = setup();
+        let single = a.intercept(&uplink(1), &medium, &gw);
+        let (mut b, _, _) = setup();
+        let fleet = b.intercept_fleet(&uplink(1), &medium, std::slice::from_ref(&gw));
+        assert_eq!(single.len(), fleet.len());
+        for (s, f) in single.iter().zip(fleet.iter()) {
+            assert_eq!(f.gateway, 0);
+            assert_eq!(s.arrival_global_s, f.delivery.arrival_global_s);
+            assert_eq!(s.carrier_bias_hz, f.delivery.carrier_bias_hz);
+            assert_eq!(s.is_replay, f.delivery.is_replay);
+            assert_eq!(s.jamming.is_some(), f.delivery.jamming.is_some());
+        }
+    }
+
+    #[test]
+    fn aborted_fleet_attack_falls_back_to_honest_fan_out() {
+        let phy = PhyConfig::uplink(SpreadingFactor::Sf8);
+        let gateways = [Position::new(400.0, 0.0, 0.0), Position::new(0.0, 400.0, 0.0)];
+        let mut attack = FrameDelayAttack::near_gateway(
+            Position::new(0.0, 500_000.0, 0.0), // eavesdropper out of range
+            &gateways,
+            0,
+            2.0,
+            30.0,
+            phy,
+            7,
+        );
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let copies = attack.intercept_fleet(&uplink(1), &medium, &gateways);
+        assert_eq!(copies.len(), 2);
+        assert!(copies.iter().all(|c| !c.delivery.is_replay && c.delivery.jamming.is_none()));
+        assert_eq!(attack.outcomes(), &[AttackOutcome::RecordingFailed]);
     }
 
     #[test]

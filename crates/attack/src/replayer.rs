@@ -79,20 +79,43 @@ impl Replayer {
         medium: &RadioMedium,
         gateway_position: &Position,
     ) -> Delivery {
-        let link = medium.link(&self.position, gateway_position, self.tx_power_dbm);
-        let delay = medium.delay_s(&self.position, gateway_position);
+        self.replay_fleet(recording, tau_s, medium, std::slice::from_ref(gateway_position))
+            .pop()
+            .expect("one gateway in, one delivery out")
+    }
+
+    /// Replays a recorded waveform towards a whole gateway fleet: the
+    /// single re-transmission is heard by every gateway with its own link
+    /// budget and propagation delay, but one chain bias and one carrier
+    /// phase (it is one emission). With a single gateway this is exactly
+    /// [`Replayer::replay`].
+    pub fn replay_fleet(
+        &mut self,
+        recording: &RecordedWaveform,
+        tau_s: f64,
+        medium: &RadioMedium,
+        gateways: &[Position],
+    ) -> Vec<Delivery> {
         let chain = self.chain_bias_hz();
-        Delivery {
-            bytes: recording.frame.bytes.clone(),
-            dev_addr: recording.frame.dev_addr,
-            arrival_global_s: recording.frame.tx_start_global_s + tau_s + delay,
-            snr_db: link.snr_db(),
-            carrier_bias_hz: recording.frame.tx_bias_hz + chain,
-            carrier_phase: self.oscillator.random_phase(),
-            sf: recording.frame.sf,
-            jamming: None,
-            is_replay: true,
-        }
+        let phase = self.oscillator.random_phase();
+        gateways
+            .iter()
+            .map(|gateway_position| {
+                let link = medium.link(&self.position, gateway_position, self.tx_power_dbm);
+                let delay = medium.delay_s(&self.position, gateway_position);
+                Delivery {
+                    bytes: recording.frame.bytes.clone(),
+                    dev_addr: recording.frame.dev_addr,
+                    arrival_global_s: recording.frame.tx_start_global_s + tau_s + delay,
+                    snr_db: link.snr_db(),
+                    carrier_bias_hz: recording.frame.tx_bias_hz + chain,
+                    carrier_phase: phase,
+                    sf: recording.frame.sf,
+                    jamming: None,
+                    is_replay: true,
+                }
+            })
+            .collect()
     }
 
     /// The highest replay power that stays *stealthy*: decodable at the
@@ -187,6 +210,38 @@ mod tests {
         let mut r = Replayer::new(Position::default(), 2).with_recording_chain_bias_hz(-700.0);
         let bias = r.chain_bias_hz();
         assert!(bias < -1000.0, "chain bias {bias}");
+    }
+
+    #[test]
+    fn fleet_replay_is_one_emission_heard_everywhere() {
+        let mut r = Replayer::new(Position::new(10.0, 0.0, 0.0), 6);
+        let gateways =
+            [Position::new(12.0, 0.0, 0.0), Position::new(500.0, 0.0, 0.0), Position::default()];
+        let ds = r.replay_fleet(&recording(), 30.0, &medium(), &gateways);
+        assert_eq!(ds.len(), 3);
+        // One emission: same bytes, chain bias and carrier phase...
+        for d in &ds {
+            assert_eq!(d.bytes, ds[0].bytes);
+            assert_eq!(d.carrier_bias_hz, ds[0].carrier_bias_hz);
+            assert_eq!(d.carrier_phase, ds[0].carrier_phase);
+            assert!(d.is_replay);
+        }
+        // ...but per-gateway link budgets and delays.
+        assert!(ds[0].snr_db > ds[1].snr_db);
+        assert!(ds[1].arrival_global_s > ds[0].arrival_global_s);
+    }
+
+    #[test]
+    fn single_gateway_fleet_replay_matches_replay() {
+        let gw = Position::new(1000.0, 0.0, 0.0);
+        let mut a = Replayer::new(Position::new(990.0, 0.0, 0.0), 1);
+        let mut b = Replayer::new(Position::new(990.0, 0.0, 0.0), 1);
+        let single = a.replay(&recording(), 30.0, &medium(), &gw);
+        let fleet = b.replay_fleet(&recording(), 30.0, &medium(), &[gw]);
+        assert_eq!(single.carrier_bias_hz, fleet[0].carrier_bias_hz);
+        assert_eq!(single.carrier_phase, fleet[0].carrier_phase);
+        assert_eq!(single.arrival_global_s, fleet[0].arrival_global_s);
+        assert_eq!(single.snr_db, fleet[0].snr_db);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the fleet scenario engine and the network
+//! server.
+//!
+//! Two questions:
+//!
+//! 1. how fast the discrete-event engine turns device populations into
+//!    delivery groups across a devices × gateways grid (pure simulation,
+//!    no DSP) — `engine_*`;
+//! 2. what multi-gateway dedup costs per uplink at the server, where the
+//!    per-copy DSP front half dominates — `server_batch_*`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softlora::NetworkServer;
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use softlora_sim::{FleetDeployment, HonestChannel, Scenario, UplinkDeliveries};
+use std::hint::black_box;
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf7)
+}
+
+fn build_scenario(devices: usize, gateways: usize) -> Scenario {
+    let fleet = FleetDeployment::with_gateways(gateways);
+    let mut s = Scenario::new_fleet(
+        phy(),
+        fleet.medium(),
+        fleet.gateway_positions(),
+        Box::new(HonestChannel),
+    );
+    for (k, pos) in fleet.device_positions(devices, 42).iter().enumerate() {
+        s.add_device(0x2601_6000 + k as u32, *pos, 60.0, k as u64);
+    }
+    s
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_engine");
+    group.sample_size(10);
+    for (devices, gateways) in [(10, 1), (10, 4), (50, 1), (50, 4), (200, 4)] {
+        group.bench_function(format!("engine_{devices}dev_{gateways}gw"), |b| {
+            b.iter(|| {
+                let mut s = build_scenario(devices, gateways);
+                let mut copies = 0u64;
+                s.run(black_box(1800.0), |u| copies += u.copies.len() as u64);
+                copies
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_server");
+    group.sample_size(10);
+    for gateways in [1usize, 2] {
+        // Pre-collect a fixed stream of groups, then measure the server.
+        let mut scenario = build_scenario(4, gateways);
+        let mut builder = NetworkServer::builder(phy()).adc_quantisation(false);
+        for g in 0..gateways {
+            builder = builder.gateway(g as u64);
+        }
+        for k in 0..scenario.devices() {
+            let cfg = scenario.device_config(k).clone();
+            builder = builder.provision(cfg.dev_addr, cfg.keys);
+        }
+        let mut groups: Vec<UplinkDeliveries> = Vec::new();
+        scenario.run(300.0, |u| groups.push(u.clone()));
+        let mut server = builder.build();
+        group.bench_function(format!("server_batch_{}uplinks_{gateways}gw", groups.len()), |b| {
+            b.iter(|| server.process_batch(black_box(&groups)).expect("server pipeline"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_server);
+criterion_main!(benches);

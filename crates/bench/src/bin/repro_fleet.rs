@@ -1,0 +1,32 @@
+//! Fleet-scale sweep: devices × gateways through the scenario engine and
+//! the network-server pipeline, reporting throughput and detection.
+use softlora_bench::experiments::fleet;
+
+fn main() {
+    println!("Fleet sweep — multi-gateway dedup + attack-aware timestamping\n");
+    println!("Per cell: 30 min clean warm-up, then 30 min under the frame-delay");
+    println!("attack (τ = 45 s, chain parked at gateway 0, one targeted meter).\n");
+    let cells = fleet::run(&[5, 10, 20], &[1, 2, 4], 120.0, 1800.0, 1800.0, 45.0);
+    println!(
+        "{:>7} {:>4} | {:>7} {:>7} {:>9} | {:>8} {:>6} {:>6} {:>5} {:>6}",
+        "devices", "gws", "uplinks", "copies", "frames/s", "accepted", "fb", "xgw", "det%", "fa%"
+    );
+    for c in &cells {
+        println!(
+            "{:>7} {:>4} | {:>7} {:>7} {:>9.0} | {:>8} {:>6} {:>6} {:>5.0} {:>6.2}",
+            c.devices,
+            c.gateways,
+            c.uplinks,
+            c.copies,
+            c.frames_per_s,
+            c.stats.accepted,
+            c.stats.fb_replays_flagged,
+            c.stats.cross_gateway_replays_flagged,
+            c.detection_rate * 100.0,
+            c.false_alarm_rate * 100.0,
+        );
+    }
+    println!("\nSingle-gateway cells flag replays by FB only (the paper's defence);");
+    println!("fleet cells also catch them by cross-gateway arrival consistency and");
+    println!("keep delivering the attacked meter's uplinks from clean gateways.");
+}

@@ -11,6 +11,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig6_9;
+pub mod fleet;
 pub mod overhead;
 pub mod roc;
 pub mod table1;

@@ -6,7 +6,7 @@
 //! sub-10 ms error, 24 SF12 frames per hour under the 1 % duty cycle, 27 %
 //! payload overhead for 8-byte timestamps versus 18 bits for elapsed
 //! times, and the ~3 ms end-to-end uncertainty of gateway-side
-//! timestamping [9].
+//! timestamping \[9\].
 
 use softlora_lorawan::elapsed::ELAPSED_BITS;
 use softlora_lorawan::region::EU868_DUTY_CYCLE;
@@ -69,7 +69,7 @@ pub fn sessions_per_hour(drift_ppm: f64, max_error_s: f64) -> f64 {
 
 /// End-to-end timestamping uncertainty budget of the synchronization-free
 /// approach (paper §3.2 and §6): device-side transmit latency jitter
-/// (≈ 3 ms on commodity stacks [9]) plus the gateway's PHY timestamping
+/// (≈ 3 ms on commodity stacks \[9\]) plus the gateway's PHY timestamping
 /// error (microseconds on SoftLoRa) plus propagation (microseconds) plus
 /// the elapsed-field quantisation (0.5 ms).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -130,6 +130,13 @@ impl GatewayBuilder {
         self
     }
 
+    /// Device-capacity bound of the FB database (least-recently-updated
+    /// devices are evicted beyond it).
+    pub fn max_tracked_devices(mut self, devices: usize) -> Self {
+        self.config.max_tracked_devices = devices;
+        self
+    }
+
     /// Whether to model ADC quantisation in the SDR captures.
     pub fn adc_quantisation(mut self, enabled: bool) -> Self {
         self.config.adc_quantisation = enabled;
@@ -200,6 +207,7 @@ mod tests {
             .band_floor_hz(500.0)
             .band_sigma(2.5)
             .warmup_frames(7)
+            .max_tracked_devices(5000)
             .adc_quantisation(false)
             .build();
         let c = gw.config();
@@ -211,6 +219,7 @@ mod tests {
         assert_eq!(c.band_floor_hz, 500.0);
         assert_eq!(c.band_sigma, 2.5);
         assert_eq!(c.warmup_frames, 7);
+        assert_eq!(c.max_tracked_devices, 5000);
         assert!(!c.adc_quantisation);
     }
 

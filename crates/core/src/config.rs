@@ -35,6 +35,11 @@ pub struct SoftLoraConfig {
     /// Frames required before the FB database can give verdicts for a
     /// device (warm-up; verdicts are `Unknown` until then).
     pub warmup_frames: usize,
+    /// Device-capacity bound of the FB database: beyond it, the
+    /// least-recently-updated device's history is evicted. Defaults to
+    /// unbounded; a production network server serving millions of devices
+    /// sets this to its memory budget.
+    pub max_tracked_devices: usize,
     /// Whether to model ADC quantisation in the SDR captures.
     pub adc_quantisation: bool,
 }
@@ -59,6 +64,7 @@ impl SoftLoraConfig {
             band_floor_hz: 360.0,
             band_sigma: 3.0,
             warmup_frames: 3,
+            max_tracked_devices: usize::MAX,
             adc_quantisation: true,
         }
     }

@@ -41,11 +41,13 @@ impl FbCheck {
 struct DeviceHistory {
     window: VecDeque<f64>,
     capacity: usize,
+    /// Database tick of the most recent update (for LRU eviction).
+    last_update: u64,
 }
 
 impl DeviceHistory {
     fn new(capacity: usize) -> Self {
-        DeviceHistory { window: VecDeque::with_capacity(capacity), capacity }
+        DeviceHistory { window: VecDeque::with_capacity(capacity), capacity, last_update: 0 }
     }
 
     fn push(&mut self, fb_hz: f64) {
@@ -92,12 +94,21 @@ pub struct FbDatabase {
     warmup: usize,
     band_floor_hz: f64,
     band_sigma: f64,
+    /// Device-capacity bound; least-recently-updated devices are evicted
+    /// beyond it (millions-of-devices safety for a shared server store).
+    max_devices: usize,
+    /// Monotonic update tick driving LRU eviction.
+    clock: u64,
+    /// LRU index: `(last_update tick, device)` ordered stalest-first, so
+    /// eviction is O(log n) even at millions of tracked devices.
+    lru: std::collections::BTreeSet<(u64, u32)>,
 }
 
 impl FbDatabase {
     /// Creates a database keeping `window` recent FBs per device, giving
     /// verdicts only after `warmup` frames, with tolerance band
-    /// `max(band_floor_hz, band_sigma·σ)`.
+    /// `max(band_floor_hz, band_sigma·σ)`. Device capacity is unbounded;
+    /// see [`FbDatabase::with_max_devices`].
     pub fn new(window: usize, warmup: usize, band_floor_hz: f64, band_sigma: f64) -> Self {
         FbDatabase {
             histories: HashMap::new(),
@@ -105,7 +116,24 @@ impl FbDatabase {
             warmup: warmup.max(1),
             band_floor_hz,
             band_sigma,
+            max_devices: usize::MAX,
+            clock: 0,
+            lru: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Bounds the number of tracked devices to `max_devices` (≥ 1): when a
+    /// new device would exceed the bound, the least-recently-updated
+    /// device's history is evicted. A warm device keeps its state for as
+    /// long as it keeps reporting.
+    pub fn with_max_devices(mut self, max_devices: usize) -> Self {
+        self.max_devices = max_devices.max(1);
+        self
+    }
+
+    /// The configured device-capacity bound.
+    pub fn max_devices(&self) -> usize {
+        self.max_devices
     }
 
     /// Number of devices tracked.
@@ -148,16 +176,37 @@ impl FbDatabase {
 
     /// Records an accepted frame's FB for a device. Callers must *not*
     /// update with FBs from flagged frames (paper §7.2).
+    ///
+    /// When the device is new and the database is at its capacity bound,
+    /// the least-recently-updated device is evicted first (update ticks
+    /// are unique, so eviction is deterministic).
     pub fn update(&mut self, dev_addr: u32, fb_hz: f64) {
-        self.histories
-            .entry(dev_addr)
-            .or_insert_with(|| DeviceHistory::new(self.window))
-            .push(fb_hz);
+        self.clock += 1;
+        if let Some(h) = self.histories.get_mut(&dev_addr) {
+            self.lru.remove(&(h.last_update, dev_addr));
+            h.push(fb_hz);
+            h.last_update = self.clock;
+            self.lru.insert((self.clock, dev_addr));
+            return;
+        }
+        if self.histories.len() >= self.max_devices {
+            if let Some(&stalest) = self.lru.iter().next() {
+                self.lru.remove(&stalest);
+                self.histories.remove(&stalest.1);
+            }
+        }
+        let mut h = DeviceHistory::new(self.window);
+        h.push(fb_hz);
+        h.last_update = self.clock;
+        self.histories.insert(dev_addr, h);
+        self.lru.insert((self.clock, dev_addr));
     }
 
     /// Removes a device's history (e.g. on re-provisioning).
     pub fn forget(&mut self, dev_addr: u32) {
-        self.histories.remove(&dev_addr);
+        if let Some(h) = self.histories.remove(&dev_addr) {
+            self.lru.remove(&(h.last_update, dev_addr));
+        }
     }
 }
 
@@ -276,6 +325,80 @@ mod tests {
         d.forget(1);
         assert_eq!(d.check(1, -20_000.0), FbCheck::Unknown);
         assert_eq!(d.history_len(1), 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_updated() {
+        let mut d = FbDatabase::new(16, 3, 360.0, 4.0).with_max_devices(3);
+        for dev in [1u32, 2, 3] {
+            for _ in 0..4 {
+                d.update(dev, -20_000.0);
+            }
+        }
+        // Touch 1 and 3 so device 2 becomes the stalest.
+        d.update(1, -20_000.0);
+        d.update(3, -20_000.0);
+        d.update(4, -21_000.0); // over capacity -> evicts 2
+        assert_eq!(d.devices(), 3);
+        assert_eq!(d.history_len(2), 0);
+        assert_eq!(d.check(2, -20_000.0), FbCheck::Unknown);
+        // Survivors keep full state.
+        assert_eq!(d.history_len(1), 5);
+        assert_eq!(d.history_len(3), 5);
+    }
+
+    #[test]
+    fn warmup_state_survives_until_eviction() {
+        // A device past warm-up keeps giving verdicts while it stays
+        // within capacity — and only loses its state once evicted.
+        let mut d = FbDatabase::new(16, 3, 360.0, 4.0).with_max_devices(2);
+        for _ in 0..4 {
+            d.update(10, -22_000.0);
+        }
+        assert!(matches!(d.check(10, -22_010.0), FbCheck::Consistent { .. }));
+        // A second device fills the database; device 10's verdicts hold.
+        for _ in 0..4 {
+            d.update(11, -19_000.0);
+        }
+        assert!(matches!(d.check(10, -22_010.0), FbCheck::Consistent { .. }));
+        assert!(d.check(10, -22_700.0).is_flagged(), "warm device still detects");
+        // A third device forces eviction of the stalest (device 10).
+        d.update(12, -18_000.0);
+        assert_eq!(d.check(10, -22_010.0), FbCheck::Unknown, "evicted -> cold start");
+        assert!(matches!(d.check(11, -19_010.0), FbCheck::Consistent { .. }));
+    }
+
+    #[test]
+    fn unbounded_by_default_and_bound_floor() {
+        let mut d = FbDatabase::new(4, 1, 360.0, 4.0);
+        assert_eq!(d.max_devices(), usize::MAX);
+        for dev in 0..1000u32 {
+            d.update(dev, -20_000.0);
+        }
+        assert_eq!(d.devices(), 1000);
+        let bounded = FbDatabase::new(4, 1, 360.0, 4.0).with_max_devices(0);
+        assert_eq!(bounded.max_devices(), 1, "bound is floored at one device");
+    }
+
+    #[test]
+    fn eviction_is_deterministic_on_ties() {
+        // Two devices inserted in one... distinct ticks; craft a tie via
+        // fresh databases: same-tick ties cannot occur (clock is strictly
+        // monotonic), so determinism reduces to the (last_update, addr)
+        // key — verify eviction picks the lowest address among equally
+        // stale orderings across runs.
+        let run = || {
+            let mut d = FbDatabase::new(4, 1, 360.0, 4.0).with_max_devices(2);
+            d.update(5, -20_000.0);
+            d.update(9, -20_000.0);
+            d.update(1, -20_000.0);
+            let mut tracked: Vec<u32> =
+                [1u32, 5, 9].iter().copied().filter(|a| d.history_len(*a) > 0).collect();
+            tracked.sort_unstable();
+            tracked
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), vec![1, 9]);
     }
 
     #[test]

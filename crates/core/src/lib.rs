@@ -32,6 +32,13 @@
 //! threads and replays the stateful detector/MAC tail sequentially —
 //! bit-identical to a sequential [`SoftLoraGateway::process`] loop.
 //!
+//! For multi-gateway deployments, [`network_server`] lifts the defence to
+//! the network-server tier: per-gateway front halves feed a shared,
+//! capacity-bounded FB database, copies are deduplicated to the best-SNR
+//! one, and cross-gateway timestamp/FB consistency adds a second replay
+//! signal — the frame-delay attack is caught even at gateways the
+//! attacker never jammed.
+//!
 //! # Quick start
 //!
 //! ```
@@ -61,6 +68,7 @@ pub mod config;
 pub mod fb_db;
 pub mod fb_estimator;
 pub mod gateway;
+pub mod network_server;
 pub mod observer;
 pub mod phy_timestamp;
 pub mod pipeline;
@@ -71,6 +79,9 @@ pub use config::SoftLoraConfig;
 pub use fb_db::FbDatabase;
 pub use fb_estimator::{FbEstimate, FbEstimator, FbMethod};
 pub use gateway::{SoftLoraGateway, SoftLoraVerdict};
+pub use network_server::{
+    NetworkServer, NetworkServerBuilder, ReplaySignal, ServerStats, ServerVerdict,
+};
 pub use observer::{GatewayObserver, GatewayStats, Stage};
 pub use phy_timestamp::{OnsetMethod, PhyTimestamp, PhyTimestamper};
 pub use pipeline::Pipeline;

@@ -1,0 +1,867 @@
+//! The network-server timestamping service: multi-gateway deduplication
+//! over the SoftLoRa pipeline.
+//!
+//! Real LoRaWAN deployments place several gateways so that one uplink is
+//! heard by more than one of them; the network server deduplicates the
+//! copies and keeps the best. This module lifts the paper's single-link
+//! defence to that architecture:
+//!
+//! * each gateway contributes its **front half** of the staged
+//!   [`crate::pipeline`] (radio gate → capture synthesis → onset pick → FB
+//!   estimate) — per-gateway state, because every gateway has its own SDR
+//!   receiver and oscillator bias;
+//! * the server owns the **shared, capacity-bounded
+//!   [`crate::FbDatabase`] keyed by device**. FB estimates are
+//!   normalised into gateway 0's reference frame (`fb + δRx_g − δRx_0`) so
+//!   copies from different SDRs share one per-device history; for gateway
+//!   0 the normalisation is exactly zero, which keeps the one-gateway
+//!   configuration bit-for-bit identical to a standalone
+//!   [`SoftLoraGateway`](crate::SoftLoraGateway);
+//! * **dedup with consistency checking** adds a second replay signal on
+//!   top of the FB check: copies of one uplink must arrive within the
+//!   propagation window, and a repeated `(device, fcnt)` far outside it is
+//!   flagged — so the frame-delay attack is caught even at a gateway the
+//!   attacker never jammed;
+//! * [`NetworkServer::process_batch`] fans the per-gateway front halves
+//!   out across worker threads exactly like
+//!   [`SoftLoraGateway::process_batch`](crate::SoftLoraGateway::process_batch),
+//!   then replays the stateful dedup/detect/MAC tail sequentially in
+//!   uplink order.
+
+use crate::config::SoftLoraConfig;
+use crate::fb_db::FbDatabase;
+use crate::gateway::SoftLoraVerdict;
+use crate::pipeline::{AnalyzedFrame, FrontFrame, MacStage, Pipeline};
+use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
+use crate::SoftLoraError;
+use rayon::prelude::*;
+use softlora_lorawan::frame::DataFrame;
+use softlora_lorawan::{best_copy, DedupCache, DedupOutcome, DeviceKeys, RxVerdict, UplinkCopy};
+use softlora_phy::PhyConfig;
+use softlora_sim::{Delivery, FleetDelivery, UplinkDeliveries};
+
+/// One gateway's stateless analysis front end inside the server.
+struct GatewayFront {
+    pipeline: Pipeline,
+    frames_seen: u64,
+}
+
+/// Attack evidence the server gathered while deduplicating one uplink.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplaySignal {
+    /// The chosen copy's FB deviated from the device's tracked band
+    /// (the paper's single-gateway detection, paper §7.2).
+    FbInconsistent {
+        /// Gateway that heard the flagged copy.
+        gateway: usize,
+        /// FB deviation from the tracked centre, Hz.
+        deviation_hz: f64,
+        /// The exceeded band half-width, Hz.
+        band_hz: f64,
+    },
+    /// A copy of this uplink arrived far outside the propagation window of
+    /// the earliest copy — the cross-gateway timestamp consistency signal.
+    ArrivalInconsistent {
+        /// Gateway that heard the late copy.
+        gateway: usize,
+        /// Arrival gap behind the earliest (or first-recorded) copy, s.
+        gap_s: f64,
+        /// The tolerance that was exceeded, seconds.
+        tolerance_s: f64,
+    },
+    /// Normalised FBs of simultaneous copies disagree across gateways —
+    /// one copy went through a replay chain.
+    CrossGatewayFb {
+        /// Max-minus-min normalised FB across the copies, Hz.
+        spread_hz: f64,
+        /// The tolerance that was exceeded, Hz.
+        tolerance_hz: f64,
+    },
+}
+
+/// The server's deduplicated verdict for one uplink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerVerdict {
+    /// The authoritative per-uplink verdict (one per uplink, however many
+    /// gateways heard it). For replays flagged by a cross-gateway signal,
+    /// `ReplayDetected` carries the arrival gap (s → `deviation_hz` is the
+    /// spread/gap in the signal's unit) — inspect `signals` for the
+    /// precise evidence.
+    pub verdict: SoftLoraVerdict,
+    /// Gateway whose copy produced the verdict (best SNR among trusted
+    /// copies), when any copy was analysed.
+    pub gateway: Option<usize>,
+    /// Copies that survived their radio front ends.
+    pub copies_heard: usize,
+    /// Trusted duplicate copies suppressed in favour of the best one.
+    pub duplicates_suppressed: usize,
+    /// Every replay signal raised while processing this uplink.
+    pub signals: Vec<ReplaySignal>,
+}
+
+impl ServerVerdict {
+    /// Whether the uplink was accepted and timestamped.
+    pub fn is_accepted(&self) -> bool {
+        self.verdict.is_accepted()
+    }
+
+    /// Whether any replay evidence was raised for this uplink.
+    pub fn is_replay_flagged(&self) -> bool {
+        !self.signals.is_empty()
+    }
+}
+
+/// Aggregate server statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Uplink groups processed.
+    pub uplinks: u64,
+    /// Uplinks accepted and timestamped.
+    pub accepted: u64,
+    /// Uplinks flagged by the FB-consistency check.
+    pub fb_replays_flagged: u64,
+    /// Replay copies flagged by cross-gateway consistency (arrival gap or
+    /// FB spread).
+    pub cross_gateway_replays_flagged: u64,
+    /// Trusted duplicate copies suppressed by best-SNR dedup.
+    pub duplicates_suppressed: u64,
+    /// Uplinks no gateway's radio delivered.
+    pub not_received: u64,
+    /// Uplinks rejected by the LoRaWAN layer.
+    pub lorawan_rejected: u64,
+}
+
+/// Fluent builder for [`NetworkServer`].
+pub struct NetworkServerBuilder {
+    config: SoftLoraConfig,
+    gateway_seeds: Vec<u64>,
+    devices: Vec<(u32, DeviceKeys)>,
+    preloads: Vec<(u32, Vec<f64>)>,
+    arrival_tolerance_s: f64,
+    fb_spread_tolerance_hz: f64,
+    dedup_capacity: usize,
+}
+
+impl NetworkServerBuilder {
+    /// Starts from the paper-faithful defaults for `phy`. Add gateways
+    /// with [`NetworkServerBuilder::gateway`]; with none, `build` creates
+    /// a single gateway seeded 0.
+    pub fn new(phy: PhyConfig) -> Self {
+        NetworkServerBuilder {
+            config: SoftLoraConfig::new(phy),
+            gateway_seeds: Vec::new(),
+            devices: Vec::new(),
+            preloads: Vec::new(),
+            // Fleet copies of one frame differ by propagation (µs); a
+            // millisecond already dwarfs any honest geometry.
+            arrival_tolerance_s: 1e-3,
+            // Normalised FBs of honest simultaneous copies differ by
+            // per-gateway estimation noise (tens to low hundreds of Hz at
+            // workable SNR); a replay chain adds ≥ 543 Hz.
+            fb_spread_tolerance_hz: 450.0,
+            dedup_capacity: 4096,
+        }
+    }
+
+    /// Starts from an existing configuration.
+    pub fn from_config(config: SoftLoraConfig) -> Self {
+        let phy = config.phy;
+        let mut b = Self::new(phy);
+        b.config = config;
+        b
+    }
+
+    /// Adds a gateway whose SDR oscillator and per-delivery randomness are
+    /// drawn from `seed` (the same seed a standalone
+    /// [`crate::SoftLoraGateway`] would use).
+    pub fn gateway(mut self, seed: u64) -> Self {
+        self.gateway_seeds.push(seed);
+        self
+    }
+
+    /// Provisions a device's LoRaWAN session keys.
+    pub fn provision(mut self, dev_addr: u32, keys: DeviceKeys) -> Self {
+        self.devices.push((dev_addr, keys));
+        self
+    }
+
+    /// Pre-loads a device's FB history in gateway-0 reference frame
+    /// (offline database construction, paper §7.2).
+    pub fn preload_fb(mut self, dev_addr: u32, fbs_hz: &[f64]) -> Self {
+        self.preloads.push((dev_addr, fbs_hz.to_vec()));
+        self
+    }
+
+    /// Frames required before the shared FB database gives verdicts.
+    pub fn warmup_frames(mut self, frames: usize) -> Self {
+        self.config.warmup_frames = frames;
+        self
+    }
+
+    /// Device-capacity bound of the shared FB database.
+    pub fn max_tracked_devices(mut self, devices: usize) -> Self {
+        self.config.max_tracked_devices = devices;
+        self
+    }
+
+    /// Whether to model ADC quantisation in the SDR captures.
+    pub fn adc_quantisation(mut self, enabled: bool) -> Self {
+        self.config.adc_quantisation = enabled;
+        self
+    }
+
+    /// Arrival window within which copies of one uplink are mutually
+    /// consistent, seconds.
+    pub fn arrival_tolerance_s(mut self, tolerance_s: f64) -> Self {
+        self.arrival_tolerance_s = tolerance_s;
+        self
+    }
+
+    /// Cross-gateway normalised-FB agreement tolerance, Hz.
+    pub fn fb_spread_tolerance_hz(mut self, tolerance_hz: f64) -> Self {
+        self.fb_spread_tolerance_hz = tolerance_hz;
+        self
+    }
+
+    /// Capacity of the recent-uplink dedup cache.
+    pub fn dedup_capacity(mut self, uplinks: usize) -> Self {
+        self.dedup_capacity = uplinks;
+        self
+    }
+
+    /// Assembles the server.
+    pub fn build(self) -> NetworkServer {
+        let seeds = if self.gateway_seeds.is_empty() { vec![0] } else { self.gateway_seeds };
+        let fronts: Vec<GatewayFront> = seeds
+            .into_iter()
+            .map(|seed| GatewayFront {
+                pipeline: Pipeline::new(self.config.clone(), seed),
+                frames_seen: 0,
+            })
+            .collect();
+        let db = FbDatabase::new(
+            32,
+            self.config.warmup_frames,
+            self.config.band_floor_hz,
+            self.config.band_sigma,
+        )
+        .with_max_devices(self.config.max_tracked_devices);
+        let mut detector = ReplayDetector::new(db);
+        for (dev_addr, fbs) in &self.preloads {
+            detector.preload(*dev_addr, fbs);
+        }
+        let mut mac = MacStage::new();
+        for (dev_addr, keys) in self.devices {
+            mac.provision(dev_addr, keys);
+        }
+        NetworkServer {
+            fronts,
+            detector,
+            mac,
+            dedup: DedupCache::new(self.dedup_capacity),
+            arrival_tolerance_s: self.arrival_tolerance_s,
+            fb_spread_tolerance_hz: self.fb_spread_tolerance_hz,
+            stats: ServerStats::default(),
+        }
+    }
+}
+
+/// The multi-gateway network server (see the module docs).
+pub struct NetworkServer {
+    fronts: Vec<GatewayFront>,
+    detector: ReplayDetector,
+    mac: MacStage,
+    dedup: DedupCache,
+    arrival_tolerance_s: f64,
+    fb_spread_tolerance_hz: f64,
+    stats: ServerStats,
+}
+
+impl std::fmt::Debug for NetworkServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkServer")
+            .field("gateways", &self.fronts.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetworkServer {
+    /// Starts a [`NetworkServerBuilder`] from the paper-faithful defaults.
+    pub fn builder(phy: PhyConfig) -> NetworkServerBuilder {
+        NetworkServerBuilder::new(phy)
+    }
+
+    /// Number of gateways feeding this server.
+    pub fn gateway_count(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// Gateway `g`'s SDR oscillator bias (δRx), Hz.
+    pub fn receiver_bias_hz(&self, gateway: usize) -> f64 {
+        self.fronts[gateway].pipeline.capture.receiver_bias_hz()
+    }
+
+    /// Deliveries gateway `g`'s front end has analysed so far.
+    pub fn frames_seen(&self, gateway: usize) -> u64 {
+        self.fronts[gateway].frames_seen
+    }
+
+    /// Provisions a device's LoRaWAN session keys.
+    pub fn provision(&mut self, dev_addr: u32, keys: DeviceKeys) {
+        self.mac.provision(dev_addr, keys);
+    }
+
+    /// Pre-loads a device's FB history (gateway-0 reference frame).
+    pub fn preload_fb(&mut self, dev_addr: u32, fbs_hz: &[f64]) {
+        self.detector.preload(dev_addr, fbs_hz);
+    }
+
+    /// Read access to the shared FB database.
+    pub fn fb_database(&self) -> &FbDatabase {
+        self.detector.db()
+    }
+
+    /// FB detection statistics (scored on deduplicated verdicts).
+    pub fn detection_stats(&self) -> DetectionStats {
+        self.detector.stats()
+    }
+
+    /// Aggregate server statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Maps a gateway's FB estimate into gateway 0's reference frame.
+    /// Exactly the identity for gateway 0 — the bit-for-bit single-link
+    /// compatibility hinge.
+    fn normalized_fb(&self, gateway: usize, fb_hz: f64) -> f64 {
+        if gateway == 0 {
+            fb_hz
+        } else {
+            fb_hz + self.receiver_bias_hz(gateway) - self.receiver_bias_hz(0)
+        }
+    }
+
+    /// Processes one delivery heard by one gateway (a group of one). The
+    /// single-gateway compatibility surface: feeding gateway 0 the same
+    /// delivery stream a standalone [`crate::SoftLoraGateway`] (same seed)
+    /// processes produces bit-identical verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftLoraError`] only for infrastructure failures.
+    pub fn process_delivery(
+        &mut self,
+        gateway: usize,
+        delivery: &Delivery,
+    ) -> Result<ServerVerdict, SoftLoraError> {
+        let group = UplinkDeliveries {
+            uplink: self.stats.uplinks,
+            dev_addr: delivery.dev_addr,
+            tx_start_global_s: delivery.arrival_global_s,
+            airtime_s: 0.0,
+            copies: vec![FleetDelivery { gateway, delivery: delivery.clone() }],
+        };
+        self.process_uplink(&group)
+    }
+
+    /// Processes one uplink group: every copy runs its gateway's front
+    /// half, then the server dedups to a single verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftLoraError`] only for infrastructure failures.
+    pub fn process_uplink(
+        &mut self,
+        group: &UplinkDeliveries,
+    ) -> Result<ServerVerdict, SoftLoraError> {
+        let mut verdicts = self.process_batch(std::slice::from_ref(group))?;
+        Ok(verdicts.pop().expect("one group in, one verdict out"))
+    }
+
+    /// Processes a batch of uplink groups: all copies' front halves run
+    /// across worker threads (randomness is per `(gateway seed, gateway
+    /// frame index)`, so results are identical to the sequential order),
+    /// then the stateful dedup/detect/MAC tail replays sequentially.
+    ///
+    /// # Errors
+    ///
+    /// On an infrastructure failure inside group `k`, groups `0..k` are
+    /// committed and the error is returned. Per-gateway frame indices are
+    /// consumed up to and including the failing copy (exactly as
+    /// [`crate::SoftLoraGateway::process`] consumes an index for an
+    /// erroring delivery), so a retried group `k` draws fresh randomness
+    /// rather than replaying the failed indices.
+    pub fn process_batch(
+        &mut self,
+        groups: &[UplinkDeliveries],
+    ) -> Result<Vec<ServerVerdict>, SoftLoraError> {
+        // Assign per-gateway frame indices in arrival order, mirroring a
+        // sequential loop over every copy.
+        let mut counters: Vec<u64> = self.fronts.iter().map(|f| f.frames_seen).collect();
+        let mut jobs: Vec<(usize, u64, &Delivery)> = Vec::new();
+        for group in groups {
+            for copy in &group.copies {
+                assert!(copy.gateway < self.fronts.len(), "copy for unknown gateway");
+                jobs.push((copy.gateway, counters[copy.gateway], &copy.delivery));
+                counters[copy.gateway] += 1;
+            }
+        }
+        let fronts = &self.fronts;
+        let analysed: Vec<Result<FrontFrame, SoftLoraError>> = jobs
+            .par_iter()
+            .map(|(gateway, frame_index, delivery)| {
+                fronts[*gateway].pipeline.front_half(delivery, *frame_index)
+            })
+            .collect();
+
+        let mut results = analysed.into_iter();
+        let mut verdicts = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut fronts_of_group = Vec::with_capacity(group.copies.len());
+            let mut failure = None;
+            for copy in &group.copies {
+                self.fronts[copy.gateway].frames_seen += 1;
+                match results.next().expect("one front per copy") {
+                    Ok(front) => fronts_of_group.push(front),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(e) => return Err(e),
+                None => verdicts.push(self.commit_group(group, fronts_of_group)),
+            }
+        }
+        Ok(verdicts)
+    }
+
+    /// The stateful back half for one uplink group. Sequential by
+    /// construction.
+    fn commit_group(&mut self, group: &UplinkDeliveries, fronts: Vec<FrontFrame>) -> ServerVerdict {
+        assert!(!group.copies.is_empty(), "empty uplink group");
+        self.stats.uplinks += 1;
+
+        let mut signals = Vec::new();
+        let mut analysed: Vec<(usize, AnalyzedFrame)> = Vec::new();
+        let mut first_outcome = None;
+        for (k, front) in fronts.into_iter().enumerate() {
+            match front {
+                FrontFrame::NotReceived { outcome, .. } => {
+                    if first_outcome.is_none() {
+                        first_outcome = Some(outcome);
+                    }
+                }
+                FrontFrame::Analyzed(frame) => analysed.push((k, frame)),
+            }
+        }
+        let copies_heard = analysed.len();
+        if analysed.is_empty() {
+            self.stats.not_received += 1;
+            return ServerVerdict {
+                verdict: SoftLoraVerdict::NotReceived {
+                    outcome: first_outcome.expect("group has at least one copy"),
+                },
+                gateway: None,
+                copies_heard,
+                duplicates_suppressed: 0,
+                signals,
+            };
+        }
+
+        // Cross-gateway timestamp consistency inside the group: copies of
+        // one transmission arrive within the propagation window of the
+        // earliest copy. Late copies are replay evidence (the frame-delay
+        // replay reaches every gateway τ after the original).
+        let arrival = |k: usize| group.copies[k].delivery.arrival_global_s;
+        let t0 = analysed.iter().map(|(k, _)| arrival(*k)).fold(f64::INFINITY, f64::min);
+        let (trusted, late): (Vec<_>, Vec<_>) =
+            analysed.into_iter().partition(|(k, _)| arrival(*k) - t0 <= self.arrival_tolerance_s);
+        for (k, _) in &late {
+            let gateway = group.copies[*k].gateway;
+            let gap_s = arrival(*k) - t0;
+            signals.push(ReplaySignal::ArrivalInconsistent {
+                gateway,
+                gap_s,
+                tolerance_s: self.arrival_tolerance_s,
+            });
+            self.stats.cross_gateway_replays_flagged += 1;
+            self.detector.score(
+                ReplayVerdict::ReplayDetected { deviation_hz: 0.0, band_hz: 0.0 },
+                group.copies[*k].delivery.is_replay,
+            );
+        }
+
+        // Best-SNR pick among the trusted copies.
+        let metas: Vec<UplinkCopy> = trusted
+            .iter()
+            .map(|(k, _)| UplinkCopy {
+                gateway: group.copies[*k].gateway,
+                snr_db: group.copies[*k].delivery.snr_db,
+                arrival_global_s: arrival(*k),
+            })
+            .collect();
+        let best = best_copy(&metas).expect("trusted set is non-empty");
+        let duplicates_suppressed = trusted.len() - 1;
+        self.stats.duplicates_suppressed += duplicates_suppressed as u64;
+        let (best_k, best_frame) = &trusted[best];
+        let best_gateway = group.copies[*best_k].gateway;
+        let best_delivery = &group.copies[*best_k].delivery;
+        let claimed_dev = best_frame.claimed_dev;
+
+        // Cross-gateway FB consistency among simultaneous copies: after
+        // normalising out each SDR's own bias, every gateway measured the
+        // same transmitter — a disagreement means one copy went through a
+        // replay chain (a τ ≈ 0 relay the arrival check cannot see).
+        if trusted.len() >= 2 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (k, frame) in &trusted {
+                let fb = self.normalized_fb(group.copies[*k].gateway, frame.fb.delta_hz);
+                lo = lo.min(fb);
+                hi = hi.max(fb);
+            }
+            let spread_hz = hi - lo;
+            if spread_hz > self.fb_spread_tolerance_hz {
+                signals.push(ReplaySignal::CrossGatewayFb {
+                    spread_hz,
+                    tolerance_hz: self.fb_spread_tolerance_hz,
+                });
+                self.stats.cross_gateway_replays_flagged += 1;
+                self.detector.score(
+                    ReplayVerdict::ReplayDetected { deviation_hz: spread_hz, band_hz: 0.0 },
+                    best_delivery.is_replay,
+                );
+                return ServerVerdict {
+                    verdict: SoftLoraVerdict::ReplayDetected {
+                        dev_addr: claimed_dev,
+                        deviation_hz: spread_hz,
+                        band_hz: self.fb_spread_tolerance_hz,
+                    },
+                    gateway: Some(best_gateway),
+                    copies_heard,
+                    duplicates_suppressed,
+                    signals,
+                };
+            }
+        }
+
+        // Recent-uplink dedup across groups: a repeated (device, fcnt) far
+        // outside the arrival window is the replayed duplicate of a frame
+        // some other gateway already delivered — the detection that works
+        // at gateways the attacker never jammed.
+        if let Ok((_, dedup_dev, fcnt)) = DataFrame::peek_header(&best_delivery.bytes) {
+            match self.dedup.observe(dedup_dev, fcnt, best_delivery.arrival_global_s, best_gateway)
+            {
+                DedupOutcome::First => {}
+                DedupOutcome::Duplicate { gap_s, .. } => {
+                    if gap_s.abs() > self.arrival_tolerance_s {
+                        signals.push(ReplaySignal::ArrivalInconsistent {
+                            gateway: best_gateway,
+                            gap_s,
+                            tolerance_s: self.arrival_tolerance_s,
+                        });
+                        self.stats.cross_gateway_replays_flagged += 1;
+                        self.detector.score(
+                            ReplayVerdict::ReplayDetected { deviation_hz: 0.0, band_hz: 0.0 },
+                            best_delivery.is_replay,
+                        );
+                        return ServerVerdict {
+                            verdict: SoftLoraVerdict::ReplayDetected {
+                                dev_addr: claimed_dev,
+                                deviation_hz: gap_s,
+                                band_hz: self.arrival_tolerance_s,
+                            },
+                            gateway: Some(best_gateway),
+                            copies_heard,
+                            duplicates_suppressed,
+                            signals,
+                        };
+                    }
+                    // A same-window duplicate from another group: plain
+                    // fleet dedup, nothing suspicious.
+                    self.stats.duplicates_suppressed += 1;
+                    self.stats.lorawan_rejected += 1;
+                    return ServerVerdict {
+                        verdict: SoftLoraVerdict::LorawanRejected {
+                            reason: format!(
+                                "duplicate copy of uplink {dedup_dev:#x}/{fcnt} already delivered"
+                            ),
+                        },
+                        gateway: Some(best_gateway),
+                        copies_heard,
+                        duplicates_suppressed: duplicates_suppressed + 1,
+                        signals,
+                    };
+                }
+            }
+        }
+
+        // FB-consistency replay check against the shared per-device
+        // history, in gateway-0 reference frame.
+        let fb_norm = self.normalized_fb(best_gateway, best_frame.fb.delta_hz);
+        let fb_verdict = self.detector.check(claimed_dev, fb_norm);
+        self.detector.score(fb_verdict, best_delivery.is_replay);
+        if let ReplayVerdict::ReplayDetected { deviation_hz, band_hz } = fb_verdict {
+            signals.push(ReplaySignal::FbInconsistent {
+                gateway: best_gateway,
+                deviation_hz,
+                band_hz,
+            });
+            self.stats.fb_replays_flagged += 1;
+            return ServerVerdict {
+                verdict: SoftLoraVerdict::ReplayDetected {
+                    dev_addr: claimed_dev,
+                    deviation_hz,
+                    band_hz,
+                },
+                gateway: Some(best_gateway),
+                copies_heard,
+                duplicates_suppressed,
+                signals,
+            };
+        }
+
+        // LoRaWAN verification + synchronization-free timestamping at the
+        // chosen copy's PHY arrival instant.
+        let rx = self.mac.verify(&best_delivery.bytes, best_frame.onset.phy_arrival_s);
+        let verdict = match rx {
+            RxVerdict::Accepted(uplink) => {
+                self.detector.learn(claimed_dev, fb_norm);
+                self.stats.accepted += 1;
+                SoftLoraVerdict::Accepted {
+                    uplink,
+                    fb: best_frame.fb,
+                    phy_arrival_s: best_frame.onset.phy_arrival_s,
+                    learning: matches!(fb_verdict, ReplayVerdict::LearningPhase),
+                }
+            }
+            RxVerdict::UnknownDevice { dev_addr } => {
+                self.stats.lorawan_rejected += 1;
+                SoftLoraVerdict::LorawanRejected { reason: format!("unknown device {dev_addr:#x}") }
+            }
+            RxVerdict::Rejected(e) => {
+                self.stats.lorawan_rejected += 1;
+                SoftLoraVerdict::LorawanRejected { reason: e.to_string() }
+            }
+        };
+        ServerVerdict {
+            verdict,
+            gateway: Some(best_gateway),
+            copies_heard,
+            duplicates_suppressed,
+            signals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softlora_lorawan::{ClassADevice, DeviceConfig};
+    use softlora_phy::rn2483::ReceptionOutcome;
+    use softlora_phy::{PhyConfig, SpreadingFactor};
+    use softlora_sim::Delivery;
+
+    fn phy() -> PhyConfig {
+        PhyConfig::uplink(SpreadingFactor::Sf7)
+    }
+
+    fn delivery(dev: &mut ClassADevice, t: f64, bias_hz: f64, snr_db: f64) -> Delivery {
+        dev.sense(777, t - 1.0).unwrap();
+        let tx = dev.try_transmit(t).unwrap();
+        Delivery {
+            bytes: tx.bytes,
+            dev_addr: dev.dev_addr(),
+            arrival_global_s: t + 4e-6,
+            snr_db,
+            carrier_bias_hz: bias_hz,
+            carrier_phase: 0.7,
+            sf: SpreadingFactor::Sf7,
+            jamming: None,
+            is_replay: false,
+        }
+    }
+
+    fn group(copies: Vec<FleetDelivery>) -> UplinkDeliveries {
+        UplinkDeliveries {
+            uplink: 0,
+            dev_addr: copies[0].delivery.dev_addr,
+            tx_start_global_s: copies[0].delivery.arrival_global_s,
+            airtime_s: 0.046,
+            copies,
+        }
+    }
+
+    fn server(gateways: usize) -> (ClassADevice, NetworkServer) {
+        let dev_cfg = DeviceConfig::new(0x2601_0001, phy());
+        let mut b = NetworkServer::builder(phy())
+            .adc_quantisation(false)
+            .provision(dev_cfg.dev_addr, dev_cfg.keys.clone());
+        for g in 0..gateways {
+            b = b.gateway(99 + g as u64);
+        }
+        (ClassADevice::new(dev_cfg), b.build())
+    }
+
+    #[test]
+    fn builder_defaults_one_gateway() {
+        let s = NetworkServer::builder(phy()).build();
+        assert_eq!(s.gateway_count(), 1);
+    }
+
+    #[test]
+    fn dedups_multi_gateway_copies_to_best_snr() {
+        let (mut dev, mut srv) = server(3);
+        for k in 0..4 {
+            let t = 100.0 + 200.0 * k as f64;
+            let d = delivery(&mut dev, t, -22_000.0, 0.0);
+            let copies = (0..3)
+                .map(|g| {
+                    let mut c = d.clone();
+                    c.snr_db = 4.0 + 3.0 * g as f64; // gateway 2 hears best
+                    c.arrival_global_s = d.arrival_global_s + 1e-6 * g as f64;
+                    FleetDelivery { gateway: g, delivery: c }
+                })
+                .collect();
+            let v = srv.process_uplink(&group(copies)).unwrap();
+            assert!(v.is_accepted(), "uplink {k}: {v:?}");
+            assert_eq!(v.gateway, Some(2), "best SNR copy wins");
+            assert_eq!(v.copies_heard, 3);
+            assert_eq!(v.duplicates_suppressed, 2);
+            assert!(v.signals.is_empty(), "{:?}", v.signals);
+        }
+        let st = srv.stats();
+        assert_eq!(st.uplinks, 4);
+        assert_eq!(st.accepted, 4);
+        assert_eq!(st.duplicates_suppressed, 8);
+        // One shared history per device, not one per gateway.
+        assert_eq!(srv.fb_database().devices(), 1);
+        assert_eq!(srv.fb_database().history_len(0x2601_0001), 4);
+    }
+
+    #[test]
+    fn late_copy_in_group_is_flagged_cross_gateway() {
+        let (mut dev, mut srv) = server(2);
+        let d = delivery(&mut dev, 100.0, -22_000.0, 8.0);
+        let mut replayed = d.clone();
+        replayed.arrival_global_s += 30.0;
+        replayed.is_replay = true;
+        replayed.carrier_bias_hz -= 600.0;
+        let copies = vec![
+            FleetDelivery { gateway: 0, delivery: d },
+            FleetDelivery { gateway: 1, delivery: replayed },
+        ];
+        let v = srv.process_uplink(&group(copies)).unwrap();
+        // The clean original is accepted; the τ-late copy raised evidence.
+        assert!(v.is_accepted(), "{v:?}");
+        assert_eq!(v.gateway, Some(0));
+        assert!(matches!(v.signals[..], [ReplaySignal::ArrivalInconsistent { gateway: 1, .. }]));
+        assert_eq!(srv.stats().cross_gateway_replays_flagged, 1);
+    }
+
+    #[test]
+    fn cross_group_duplicate_with_tau_gap_is_replay() {
+        let (mut dev, mut srv) = server(2);
+        let d = delivery(&mut dev, 100.0, -22_000.0, 8.0);
+        // Gateway 0 delivers the original.
+        let v = srv.process_delivery(0, &d).unwrap();
+        assert!(v.is_accepted());
+        // The replayed duplicate surfaces at gateway 1, τ = 45 s late, in
+        // its own group — caught by dedup consistency, not FB.
+        let mut replayed = d;
+        replayed.arrival_global_s += 45.0;
+        replayed.is_replay = true;
+        let v = srv.process_delivery(1, &replayed).unwrap();
+        assert!(v.verdict.is_replay_detected(), "{v:?}");
+        assert!(matches!(v.signals[..], [ReplaySignal::ArrivalInconsistent { .. }]));
+    }
+
+    #[test]
+    fn microsecond_duplicate_across_groups_is_benign() {
+        let (mut dev, mut srv) = server(2);
+        let d = delivery(&mut dev, 100.0, -22_000.0, 8.0);
+        assert!(srv.process_delivery(0, &d).unwrap().is_accepted());
+        // The same frame via gateway 1, 2 µs later (fleet propagation).
+        let mut copy = d;
+        copy.arrival_global_s += 2e-6;
+        let v = srv.process_delivery(1, &copy).unwrap();
+        assert!(!v.is_replay_flagged(), "{v:?}");
+        assert!(matches!(v.verdict, SoftLoraVerdict::LorawanRejected { .. }));
+        assert_eq!(srv.stats().cross_gateway_replays_flagged, 0);
+    }
+
+    #[test]
+    fn no_gateway_heard_gives_not_received() {
+        let (mut dev, mut srv) = server(2);
+        let d = delivery(&mut dev, 100.0, -22_000.0, -15.0); // below floor
+        let copies = vec![
+            FleetDelivery { gateway: 0, delivery: d.clone() },
+            FleetDelivery { gateway: 1, delivery: d },
+        ];
+        let v = srv.process_uplink(&group(copies)).unwrap();
+        assert!(matches!(
+            v.verdict,
+            SoftLoraVerdict::NotReceived { outcome: ReceptionOutcome::NoSignal }
+        ));
+        assert_eq!(v.gateway, None);
+        assert_eq!(srv.stats().not_received, 1);
+    }
+
+    #[test]
+    fn fb_check_runs_in_gateway_zero_frame() {
+        // Copies land alternately at two gateways with different SDR
+        // biases; the shared history still converges because estimates are
+        // normalised into gateway 0's frame.
+        let (mut dev, mut srv) = server(2);
+        for k in 0..8 {
+            let t = 100.0 + 200.0 * k as f64;
+            let d = delivery(&mut dev, t, -22_000.0, 10.0);
+            let v = srv.process_delivery(k % 2, &d).unwrap();
+            assert!(v.is_accepted(), "uplink {k}: {v:?}");
+        }
+        // A replay with the USRP artefact is flagged whichever gateway
+        // hears it.
+        let d = delivery(&mut dev, 2000.0, -22_000.0 - 700.0, 10.0);
+        let v = srv.process_delivery(1, &d).unwrap();
+        assert!(v.verdict.is_replay_detected(), "{v:?}");
+        assert!(matches!(v.signals[..], [ReplaySignal::FbInconsistent { gateway: 1, .. }]));
+    }
+
+    #[test]
+    fn batch_matches_sequential_groups() {
+        let (mut dev, mut seq_srv) = server(2);
+        let (_, mut batch_srv) = {
+            let dev_cfg = DeviceConfig::new(0x2601_0001, phy());
+            let b = NetworkServer::builder(phy())
+                .adc_quantisation(false)
+                .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+                .gateway(99)
+                .gateway(100);
+            (ClassADevice::new(dev_cfg), b.build())
+        };
+        let groups: Vec<UplinkDeliveries> = (0..6)
+            .map(|k| {
+                let t = 100.0 + 200.0 * k as f64;
+                let d = delivery(&mut dev, t, -22_000.0, 9.0);
+                let copies = (0..2)
+                    .map(|g| {
+                        let mut c = d.clone();
+                        c.snr_db = 5.0 + 2.0 * g as f64;
+                        FleetDelivery { gateway: g, delivery: c }
+                    })
+                    .collect();
+                group(copies)
+            })
+            .collect();
+        let sequential: Vec<ServerVerdict> =
+            groups.iter().map(|g| seq_srv.process_uplink(g).unwrap()).collect();
+        let batched = batch_srv.process_batch(&groups).unwrap();
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_srv.frames_seen(0), batch_srv.frames_seen(0));
+        assert_eq!(seq_srv.frames_seen(1), batch_srv.frames_seen(1));
+    }
+}

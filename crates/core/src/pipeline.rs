@@ -310,12 +310,10 @@ impl DetectStage {
     /// Builds the stage from the gateway configuration.
     pub fn new(config: &SoftLoraConfig) -> Self {
         DetectStage {
-            detector: ReplayDetector::new(FbDatabase::new(
-                32,
-                config.warmup_frames,
-                config.band_floor_hz,
-                config.band_sigma,
-            )),
+            detector: ReplayDetector::new(
+                FbDatabase::new(32, config.warmup_frames, config.band_floor_hz, config.band_sigma)
+                    .with_max_devices(config.max_tracked_devices),
+            ),
         }
     }
 

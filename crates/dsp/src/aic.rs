@@ -1,7 +1,7 @@
 //! Akaike-Information-Criterion onset pickers (paper §6.1.2, Fig. 9b).
 //!
 //! The paper adapts the autoregressive AIC phase picker used in seismology
-//! (Sleeman & van Eck, 1999 [21]) to pick the LoRa preamble onset on SDR I/Q
+//! (Sleeman & van Eck, 1999 \[21\]) to pick the LoRa preamble onset on SDR I/Q
 //! traces with single-sample accuracy. Two variants are provided:
 //!
 //! * [`aic_pick`] — the variance-based "Maeda AIC" formulation

@@ -184,6 +184,117 @@ enum RxError {
     Lorawan(LorawanError),
 }
 
+/// Metadata describing one gateway's copy of an uplink, as collected by a
+/// network server for deduplication (real LoRaWAN: several gateways
+/// forward the same frame and the server keeps the best copy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkCopy {
+    /// Index of the receiving gateway in the fleet.
+    pub gateway: usize,
+    /// Received SNR at that gateway, dB.
+    pub snr_db: f64,
+    /// Arrival time on that gateway's clock, seconds.
+    pub arrival_global_s: f64,
+}
+
+/// Picks the index of the best copy: highest SNR, ties broken by earliest
+/// arrival then lowest gateway index (deterministic). `None` when empty.
+pub fn best_copy(copies: &[UplinkCopy]) -> Option<usize> {
+    copies
+        .iter()
+        .enumerate()
+        .reduce(|best, cand| {
+            let ord = cand
+                .1
+                .snr_db
+                .total_cmp(&best.1.snr_db)
+                .then(best.1.arrival_global_s.total_cmp(&cand.1.arrival_global_s))
+                .then(best.1.gateway.cmp(&cand.1.gateway));
+            if ord == std::cmp::Ordering::Greater {
+                cand
+            } else {
+                best
+            }
+        })
+        .map(|(idx, _)| idx)
+}
+
+/// What a [`DedupCache`] says about a newly observed copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DedupOutcome {
+    /// First copy of this `(device, fcnt)` within the cache window.
+    First,
+    /// A copy of an uplink already observed.
+    Duplicate {
+        /// Arrival of the first observed copy, seconds.
+        first_arrival_s: f64,
+        /// Gateway that observed the first copy.
+        first_gateway: usize,
+        /// This copy's arrival minus the first, seconds. Fleet copies of
+        /// one transmission differ by microseconds of propagation; a
+        /// frame-delay replay shows up seconds-to-minutes late.
+        gap_s: f64,
+    },
+}
+
+/// A bounded cache of recently observed `(device, fcnt)` uplinks for
+/// cross-gateway deduplication. Oldest entries are evicted first.
+#[derive(Debug, Clone)]
+pub struct DedupCache {
+    entries: HashMap<(u32, u16), (f64, usize)>,
+    order: std::collections::VecDeque<(u32, u16)>,
+    capacity: usize,
+}
+
+impl DedupCache {
+    /// Creates a cache remembering up to `capacity` recent uplinks.
+    pub fn new(capacity: usize) -> Self {
+        DedupCache {
+            entries: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of uplinks currently remembered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Observes a copy of `(dev_addr, fcnt)` arriving at
+    /// `arrival_global_s` via `gateway` and reports whether it is the
+    /// first copy or a duplicate of a remembered one.
+    pub fn observe(
+        &mut self,
+        dev_addr: u32,
+        fcnt: u16,
+        arrival_global_s: f64,
+        gateway: usize,
+    ) -> DedupOutcome {
+        let key = (dev_addr, fcnt);
+        if let Some(&(first_arrival_s, first_gateway)) = self.entries.get(&key) {
+            return DedupOutcome::Duplicate {
+                first_arrival_s,
+                first_gateway,
+                gap_s: arrival_global_s - first_arrival_s,
+            };
+        }
+        if self.entries.len() == self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (arrival_global_s, gateway));
+        self.order.push_back(key);
+        DedupOutcome::First
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +404,56 @@ mod tests {
             RxVerdict::Rejected(LorawanError::BadMic) => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn best_copy_prefers_snr_then_arrival_then_gateway() {
+        let copies = [
+            UplinkCopy { gateway: 0, snr_db: 3.0, arrival_global_s: 10.0 },
+            UplinkCopy { gateway: 1, snr_db: 9.0, arrival_global_s: 10.000002 },
+            UplinkCopy { gateway: 2, snr_db: 9.0, arrival_global_s: 10.000001 },
+        ];
+        // Highest SNR wins; among the 9 dB tie the earlier arrival wins.
+        assert_eq!(best_copy(&copies), Some(2));
+        let tie = [
+            UplinkCopy { gateway: 5, snr_db: 4.0, arrival_global_s: 1.0 },
+            UplinkCopy { gateway: 2, snr_db: 4.0, arrival_global_s: 1.0 },
+        ];
+        assert_eq!(best_copy(&tie), Some(1), "gateway index breaks full ties");
+        assert_eq!(best_copy(&[]), None);
+    }
+
+    #[test]
+    fn dedup_cache_flags_late_duplicates() {
+        let mut cache = DedupCache::new(8);
+        assert_eq!(cache.observe(7, 1, 100.0, 0), DedupOutcome::First);
+        // Fleet copy: microseconds later at another gateway.
+        match cache.observe(7, 1, 100.000004, 2) {
+            DedupOutcome::Duplicate { first_gateway, gap_s, .. } => {
+                assert_eq!(first_gateway, 0);
+                assert!(gap_s < 1e-3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Frame-delay replay: the same counter τ = 30 s late.
+        match cache.observe(7, 1, 130.0, 0) {
+            DedupOutcome::Duplicate { gap_s, .. } => assert!((gap_s - 30.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+        // A fresh counter is a fresh uplink.
+        assert_eq!(cache.observe(7, 2, 200.0, 1), DedupOutcome::First);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn dedup_cache_evicts_oldest_at_capacity() {
+        let mut cache = DedupCache::new(2);
+        cache.observe(1, 1, 10.0, 0);
+        cache.observe(1, 2, 20.0, 0);
+        cache.observe(1, 3, 30.0, 0); // evicts (1, 1)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.observe(1, 1, 40.0, 0), DedupOutcome::First, "evicted entry forgotten");
+        assert!(matches!(cache.observe(1, 3, 50.0, 0), DedupOutcome::Duplicate { .. }));
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod region;
 pub use device::{ClassADevice, DeviceConfig};
 pub use elapsed::{ElapsedCodec, SensorRecord};
 pub use frame::{DataFrame, DeviceKeys, FrameType};
-pub use gateway::{Gateway, ReceivedUplink, RxVerdict};
+pub use gateway::{
+    best_copy, DedupCache, DedupOutcome, Gateway, ReceivedUplink, RxVerdict, UplinkCopy,
+};
 
 /// Errors returned by LoRaWAN-layer operations.
 #[derive(Debug, Clone, PartialEq)]

@@ -4,7 +4,7 @@
 //! All defaults follow the paper's experimental configuration: an EU868
 //! channel at `fc = 869.75 MHz` with `W = 125 kHz`, SDR sampling at
 //! 2.4 Msps, and the SX1276 demodulation SNR floors from the datasheet the
-//! paper cites [3].
+//! paper cites \[3\].
 
 use crate::PhyError;
 

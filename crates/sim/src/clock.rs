@@ -1,7 +1,7 @@
 //! Drifting-clock models (paper §3.2).
 //!
 //! A crystal-driven device clock advances at `1 + ε` times real time, with
-//! `ε` of 30–50 ppm for the microcontroller crystals the paper cites [10].
+//! `ε` of 30–50 ppm for the microcontroller crystals the paper cites \[10\].
 //! The paper's arithmetic: at 40 ppm, a device needs 14 synchronisation
 //! sessions per hour to hold a sub-10 ms error, while the
 //! synchronization-free scheme only requires the *buffer time* between

@@ -208,6 +208,88 @@ impl PathLoss for CampusPathLoss {
     }
 }
 
+/// A parametric multi-gateway fleet deployment: gateways on a ring around
+/// a service area, devices scattered deterministically inside it.
+///
+/// This is the topology generator behind the fleet experiments: real
+/// LoRaWAN networks place several gateways so that every uplink is heard
+/// by more than one of them, and the network server deduplicates the
+/// copies. One gateway degenerates to the classic single-link setup (the
+/// gateway sits at the area centre).
+#[derive(Debug, Clone)]
+pub struct FleetDeployment {
+    /// Number of gateways (≥ 1).
+    pub gateways: usize,
+    /// Radius of the gateway ring, metres.
+    pub gateway_ring_m: f64,
+    /// Gateway mast height, metres.
+    pub gateway_height_m: f64,
+    /// Radius of the device area, metres.
+    pub device_area_m: f64,
+    /// Device antenna height, metres.
+    pub device_height_m: f64,
+}
+
+impl Default for FleetDeployment {
+    fn default() -> Self {
+        FleetDeployment {
+            gateways: 3,
+            gateway_ring_m: 600.0,
+            gateway_height_m: 15.0,
+            device_area_m: 450.0,
+            device_height_m: 1.5,
+        }
+    }
+}
+
+impl FleetDeployment {
+    /// A fleet with `gateways` gateways and the default geometry.
+    pub fn with_gateways(gateways: usize) -> Self {
+        FleetDeployment { gateways: gateways.max(1), ..Self::default() }
+    }
+
+    /// Gateway positions: a single gateway sits at the centre; larger
+    /// fleets spread evenly on the ring.
+    pub fn gateway_positions(&self) -> Vec<Position> {
+        if self.gateways == 1 {
+            return vec![Position::new(0.0, 0.0, self.gateway_height_m)];
+        }
+        (0..self.gateways)
+            .map(|k| {
+                let angle = k as f64 * std::f64::consts::TAU / self.gateways as f64;
+                Position::new(
+                    self.gateway_ring_m * angle.cos(),
+                    self.gateway_ring_m * angle.sin(),
+                    self.gateway_height_m,
+                )
+            })
+            .collect()
+    }
+
+    /// `n` device positions scattered deterministically (hash of
+    /// `seed`/index) inside the device area.
+    pub fn device_positions(&self, n: usize, seed: u64) -> Vec<Position> {
+        (0..n)
+            .map(|k| {
+                let mut h = seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                h ^= h >> 30;
+                h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+                h ^= h >> 27;
+                let radius_unit = ((h >> 11) & 0xFFFF) as f64 / 65536.0;
+                let angle = ((h >> 27) & 0xFFFF) as f64 / 65536.0 * std::f64::consts::TAU;
+                // sqrt for uniform density over the disc.
+                let r = self.device_area_m * radius_unit.sqrt();
+                Position::new(r * angle.cos(), r * angle.sin(), self.device_height_m)
+            })
+            .collect()
+    }
+
+    /// A radio medium over the fleet's (open, 869.75 MHz) propagation.
+    pub fn medium(&self) -> RadioMedium {
+        RadioMedium::new(Box::new(crate::medium::FreeSpace { freq_hz: 869.75e6 }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +397,59 @@ mod tests {
         // The paper: one-way propagation 3.57 µs.
         let delay = medium.delay_s(&c.site_a(), &c.site_b());
         assert!((delay - 3.57e-6).abs() < 0.02e-6, "delay {delay}");
+    }
+
+    #[test]
+    fn fleet_single_gateway_sits_at_centre() {
+        let f = FleetDeployment::with_gateways(1);
+        let gws = f.gateway_positions();
+        assert_eq!(gws.len(), 1);
+        assert_eq!((gws[0].x, gws[0].y), (0.0, 0.0));
+    }
+
+    #[test]
+    fn fleet_gateways_spread_on_ring() {
+        let f = FleetDeployment::with_gateways(4);
+        let gws = f.gateway_positions();
+        assert_eq!(gws.len(), 4);
+        let centre = Position::new(0.0, 0.0, f.gateway_height_m);
+        for gw in &gws {
+            assert!((gw.distance_m(&centre) - f.gateway_ring_m).abs() < 1e-9);
+        }
+        // Distinct positions.
+        for (i, a) in gws.iter().enumerate() {
+            for b in &gws[i + 1..] {
+                assert!(a.distance_m(b) > 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_devices_deterministic_and_in_area() {
+        let f = FleetDeployment::default();
+        let a = f.device_positions(50, 7);
+        let b = f.device_positions(50, 7);
+        assert_eq!(a, b);
+        let centre = Position::new(0.0, 0.0, f.device_height_m);
+        for p in &a {
+            assert!(p.distance_m(&centre) <= f.device_area_m + 1e-9);
+        }
+        // Different seeds scatter differently.
+        let c = f.device_positions(50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fleet_copies_see_distinct_link_budgets() {
+        let f = FleetDeployment::with_gateways(3);
+        let medium = f.medium();
+        let device = f.device_positions(1, 1)[0];
+        let snrs: Vec<f64> = f
+            .gateway_positions()
+            .iter()
+            .map(|gw| medium.link(&device, gw, 14.0).snr_db())
+            .collect();
+        assert!(snrs.windows(2).any(|w| (w[0] - w[1]).abs() > 0.1), "snrs {snrs:?}");
     }
 
     #[test]

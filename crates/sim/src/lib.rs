@@ -8,11 +8,16 @@
 //! * [`queue`] — a deterministic time-ordered event queue;
 //! * [`medium`] — positions, path-loss models, link budgets and
 //!   propagation delays between radios;
-//! * [`deployment`] — the paper's two testbeds: the 190 m six-floor
-//!   concrete building of Fig. 15 and the 1.07 km campus link of §8.2;
+//! * [`deployment`] — the paper's two testbeds (the 190 m six-floor
+//!   concrete building of Fig. 15, the 1.07 km campus link of §8.2) plus
+//!   parametric multi-gateway fleet topologies;
 //! * [`network`] — the uplink pipeline gluing devices, the medium and the
-//!   gateway together, with an [`network::Interceptor`] hook that the
-//!   frame-delay attack (in `softlora-attack`) implements.
+//!   gateways together, with an [`network::Interceptor`] hook that the
+//!   frame-delay attack (in `softlora-attack`) implements, fanning one
+//!   air frame out into per-gateway deliveries;
+//! * [`scenario`] — the discrete-event workload generator: pluggable
+//!   traffic models, per-gateway collisions, scheduled attacker actions
+//!   and grouped fleet deliveries for a network server to deduplicate.
 
 pub mod clock;
 pub mod deployment;
@@ -22,6 +27,9 @@ pub mod queue;
 pub mod scenario;
 
 pub use clock::DriftingClock;
+pub use deployment::FleetDeployment;
 pub use medium::{Position, RadioMedium};
-pub use network::{AirFrame, Delivery, HonestChannel, Interceptor};
-pub use scenario::{Scenario, ScenarioStats};
+pub use network::{
+    AirFrame, Delivery, FleetDelivery, HonestChannel, Interceptor, UplinkDeliveries,
+};
+pub use scenario::{GatewayLinkStats, Scenario, ScenarioStats, TrafficModel};

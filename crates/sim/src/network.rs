@@ -61,15 +61,68 @@ pub struct Delivery {
     pub is_replay: bool,
 }
 
+/// A copy of a frame arriving at one gateway of a fleet.
+#[derive(Debug, Clone)]
+pub struct FleetDelivery {
+    /// Index of the receiving gateway in the fleet's gateway list.
+    pub gateway: usize,
+    /// The copy as that gateway observes it.
+    pub delivery: Delivery,
+}
+
+/// All copies of one uplink across a gateway fleet, as handed to a
+/// scenario sink (and consumed by the network server in `softlora`).
+///
+/// One transmission produces at most one group; the copies share the
+/// frame bytes but differ in gateway, SNR, arrival time and (for attack
+/// interceptors) jamming exposure and replay provenance.
+#[derive(Debug, Clone)]
+pub struct UplinkDeliveries {
+    /// Monotonic uplink sequence number within the scenario.
+    pub uplink: u64,
+    /// Transmitting device address.
+    pub dev_addr: u32,
+    /// Global time the transmission started, seconds.
+    pub tx_start_global_s: f64,
+    /// Frame air time, seconds.
+    pub airtime_s: f64,
+    /// Surviving per-gateway copies (collided copies are already removed).
+    pub copies: Vec<FleetDelivery>,
+}
+
 /// Turns an air frame into the deliveries the gateway observes.
 pub trait Interceptor {
-    /// Processes one uplink.
+    /// Processes one uplink towards a single gateway.
     fn intercept(
         &mut self,
         frame: &AirFrame,
         medium: &RadioMedium,
         gateway_position: &Position,
     ) -> Vec<Delivery>;
+
+    /// Processes one uplink towards a fleet of gateways: the single air
+    /// frame fans out into per-gateway copies with independent path loss,
+    /// SNR and propagation delay.
+    ///
+    /// The default treats every gateway as an independent single-gateway
+    /// link — correct for the honest channel, where each gateway simply
+    /// hears its own copy. Attacks override this: jamming is local to the
+    /// attacked gateway, while a replay transmission is heard by the whole
+    /// fleet (see `softlora-attack`).
+    fn intercept_fleet(
+        &mut self,
+        frame: &AirFrame,
+        medium: &RadioMedium,
+        gateways: &[Position],
+    ) -> Vec<FleetDelivery> {
+        let mut out = Vec::new();
+        for (gateway, position) in gateways.iter().enumerate() {
+            for delivery in self.intercept(frame, medium, position) {
+                out.push(FleetDelivery { gateway, delivery });
+            }
+        }
+        out
+    }
 }
 
 /// The benign channel: one delivery, delayed by propagation, at the link
@@ -134,6 +187,36 @@ mod tests {
         let delay = d.arrival_global_s - 100.0;
         assert!((delay - 1.0e-6).abs() < 0.05e-6, "delay {delay}");
         assert_eq!(d.carrier_bias_hz, -22_000.0);
+    }
+
+    #[test]
+    fn default_fleet_fan_out_gives_each_gateway_its_own_copy() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let gateways =
+            [Position::new(300.0, 0.0, 0.0), Position::new(900.0, 0.0, 0.0), Position::default()];
+        let mut ch = HonestChannel;
+        let copies = ch.intercept_fleet(&frame_at(Position::default()), &medium, &gateways);
+        assert_eq!(copies.len(), 3);
+        for (g, c) in copies.iter().enumerate() {
+            assert_eq!(c.gateway, g);
+        }
+        // Independent link budgets: nearer gateways hear stronger copies.
+        assert!(copies[2].delivery.snr_db > copies[0].delivery.snr_db);
+        assert!(copies[0].delivery.snr_db > copies[1].delivery.snr_db);
+        // And independent propagation delays.
+        assert!(copies[1].delivery.arrival_global_s > copies[0].delivery.arrival_global_s);
+    }
+
+    #[test]
+    fn single_gateway_fleet_matches_single_link() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let gw = Position::new(300.0, 0.0, 0.0);
+        let frame = frame_at(Position::default());
+        let single = HonestChannel.intercept(&frame, &medium, &gw);
+        let fleet = HonestChannel.intercept_fleet(&frame, &medium, &[gw]);
+        assert_eq!(fleet.len(), single.len());
+        assert_eq!(fleet[0].delivery.snr_db, single[0].snr_db);
+        assert_eq!(fleet[0].delivery.arrival_global_s, single[0].arrival_global_s);
     }
 
     #[test]

@@ -1,114 +1,124 @@
-//! Fleet-scale scenario: a 12-device metering network under the
-//! frame-delay attack, driven by the discrete-event scenario runner.
+//! Fleet-scale scenario: a 12-meter network heard by three gateways, with
+//! the frame-delay attack parked next to one of them.
 //!
 //! Devices report on jittered periods through a shared channel (ALOHA with
-//! the capture effect); the attacker targets one meter; the SoftLoRa
-//! gateway keeps per-device FB bands and flags the replays while the rest
-//! of the fleet keeps timestamping normally. Two observers consume the
-//! gateway's events: the stock [`GatewayStats`] tally and a small printer
-//! for the first few flags.
+//! the capture effect, evaluated independently at every gateway); each
+//! uplink fans out into per-gateway copies that the network server
+//! deduplicates to one verdict. After a clean warm-up hour the attacker
+//! arrives as a *scheduled event*: the jammer/replayer chain suppresses
+//! the target's originals at gateway 0 only — so the server keeps
+//! accepting the meter's uplinks via the clean gateways *and* flags the
+//! τ-late replay copies by cross-gateway arrival consistency.
 //!
 //! Run with: `cargo run --release --example fleet_scenario`
 
 use softlora_repro::attack::FrameDelayAttack;
 use softlora_repro::phy::{PhyConfig, SpreadingFactor};
-use softlora_repro::sim::medium::FreeSpace;
-use softlora_repro::sim::scenario::Scenario;
-use softlora_repro::sim::{Position, RadioMedium};
-use softlora_repro::softlora::observer::{GatewayObserver, GatewayStats, ReplayFlagEvent};
-use softlora_repro::softlora::{GatewayBuilder, SoftLoraGateway};
-use std::cell::RefCell;
-use std::rc::Rc;
-
-/// Prints the first few replay flags as they happen.
-#[derive(Default)]
-struct FlagPrinter {
-    printed: usize,
-}
-
-impl GatewayObserver for FlagPrinter {
-    fn on_replay_flag(&mut self, _frame: u64, event: ReplayFlagEvent) {
-        self.printed += 1;
-        if self.printed <= 3 {
-            println!(
-                "  replay flagged: device {:#x}, FB off by {:+.0} Hz",
-                event.dev_addr, event.deviation_hz
-            );
-        }
-    }
-}
+use softlora_repro::sim::{FleetDeployment, HonestChannel, Position, Scenario};
+use softlora_repro::softlora::network_server::ReplaySignal;
+use softlora_repro::softlora::NetworkServer;
 
 fn main() {
     let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
-    let gw_pos = Position::new(0.0, 0.0, 15.0);
-    let target_addr = 0x2601_3004;
+    let fleet = FleetDeployment::with_gateways(3);
+    let gateways = fleet.gateway_positions();
+    let target_addr = 0x2601_3000;
 
-    println!("Fleet scenario: 12 meters, 90 s periods, one device under attack\n");
+    println!("Fleet scenario: 12 meters, 3 gateways, one meter under attack\n");
 
-    // --- Phase 1: a clean hour builds every device's FB history. ---
-    let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 }));
-    let mut net = Scenario::new(phy, medium, gw_pos, Box::new(softlora_repro::sim::HonestChannel));
-    for k in 0..12u32 {
-        let angle = k as f64 * 0.52;
-        let pos = Position::new(250.0 * angle.cos(), 250.0 * angle.sin(), 1.5);
-        net.add_device(0x2601_3000 + k, pos, 90.0, k as u64);
+    let mut net =
+        Scenario::new_fleet(phy, fleet.medium(), gateways.clone(), Box::new(HonestChannel));
+    let device_positions = fleet.device_positions(12, 2026);
+    for (k, pos) in device_positions.iter().enumerate() {
+        net.add_device(target_addr + k as u32, *pos, 90.0, k as u64);
     }
-    let stats = Rc::new(RefCell::new(GatewayStats::default()));
-    let mut builder: GatewayBuilder = SoftLoraGateway::builder(phy)
-        .seed(2026)
-        .observer(Box::new(Rc::clone(&stats)))
-        .observer(Box::new(FlagPrinter::default()));
+    net.enable_maintenance(600.0);
+
+    let mut builder = NetworkServer::builder(phy)
+        .adc_quantisation(false)
+        .max_tracked_devices(100_000)
+        .gateway(2026)
+        .gateway(2027)
+        .gateway(2028);
     for k in 0..net.devices() {
         let cfg = net.device_config(k).clone();
         builder = builder.provision(cfg.dev_addr, cfg.keys);
     }
-    let mut gateway = builder.build();
+    let mut server = builder.build();
 
-    net.run(3600.0, |d| {
-        gateway.process(d).expect("pipeline");
-    });
-    let st = net.stats().clone();
-    let warm_accepted = stats.borrow().accepted;
-    println!(
-        "warm-up hour: {} transmitted, {} collided, {} accepted",
-        st.transmitted, st.collided, warm_accepted
-    );
-
-    // --- Phase 2: the attacker moves in on one meter; the network keeps
-    // its device state (frame counters, duty cycles). ---
-    // The target is device k = 4 on the 250 m ring.
-    let target_angle = 4.0 * 0.52;
-    let eaves_pos = Position::new(
-        250.0 * f64::cos(target_angle) + 2.0,
-        250.0 * f64::sin(target_angle) + 1.0,
-        1.5,
-    );
-    let attack = FrameDelayAttack::new(
-        eaves_pos,                     // eavesdropper beside the target
-        Position::new(2.0, 1.0, 15.0), // USRPs near the gateway
-        120.0,                         // two-minute delay
+    // The attack arrives at t = 1 h as a first-class scenario event:
+    // eavesdropper beside the target meter, USRP chain 2 m from gateway 0,
+    // two-minute replay delay.
+    let target_pos = device_positions[0];
+    let attack = FrameDelayAttack::near_gateway(
+        Position::new(target_pos.x + 2.0, target_pos.y + 1.0, target_pos.z),
+        &gateways,
+        0,
+        2.0,
+        120.0,
         phy,
         99,
     )
     .with_targets(vec![target_addr]);
-    net.set_interceptor(Box::new(attack));
+    net.schedule_interceptor(3600.0, Box::new(attack));
 
-    let before = stats.borrow().clone();
-    net.run(3600.0 + 1800.0, |d| {
-        gateway.process(d).expect("pipeline");
-    });
-    let after = stats.borrow().clone();
+    // One continuous 90-minute run; stats are sharded at the attack
+    // boundary and merged back for the totals.
+    let mut flags_printed = 0usize;
+    let mut attacked_accepts = 0u64;
+    let warm;
+    let attacked;
+    {
+        let mut process = |u: &softlora_repro::sim::UplinkDeliveries| {
+            let v = server.process_uplink(u).expect("pipeline");
+            for s in &v.signals {
+                if let ReplaySignal::ArrivalInconsistent { gateway, gap_s, .. } = s {
+                    if flags_printed < 3 {
+                        println!(
+                            "  replay copy flagged at gateway {gateway}: device {:#x}, \
+                             {gap_s:.0} s late",
+                            u.dev_addr
+                        );
+                    }
+                    flags_printed += 1;
+                }
+            }
+            if u.dev_addr == target_addr && u.tx_start_global_s > 3600.0 && v.is_accepted() {
+                attacked_accepts += 1;
+            }
+        };
+        net.run(3600.0, &mut process);
+        warm = net.take_stats();
+        net.run(3600.0 + 1800.0, &mut process);
+        attacked = net.take_stats();
+    }
+    let mut total = warm.clone();
+    total += &attacked;
 
+    println!("\nwarm-up hour:");
+    println!("  uplinks transmitted         : {}", warm.transmitted);
+    println!("  copies delivered (3 gws)    : {}", warm.delivered);
+    println!("  collided copies             : {}", warm.collided);
+
+    let st = server.stats();
     println!("\nattacked half hour:");
-    println!("  fleet uplinks accepted      : {}", after.accepted - before.accepted);
-    println!("  originals silently jammed   : {}", after.not_received - before.not_received);
-    println!("  replays flagged             : {}", after.replays_flagged - before.replays_flagged);
-    let det = gateway.detection_stats();
+    println!("  uplinks transmitted         : {}", attacked.transmitted);
+    println!("  target uplinks still accepted: {attacked_accepts}");
+    println!("  replay copies flagged        : {}", st.cross_gateway_replays_flagged);
+    println!("  duplicates deduped (total)   : {}", st.duplicates_suppressed);
+
+    let det = server.detection_stats();
     println!(
-        "  overall: detection {:.0} %, false alarms {:.2} %",
+        "\noverall ({} uplinks, peak {} in flight):",
+        total.uplinks_delivered, total.peak_in_flight
+    );
+    println!(
+        "  server accepted {} uplinks; detection {:.0} %, false alarms {:.2} %",
+        st.accepted,
         det.detection_rate() * 100.0,
         det.false_alarm_rate() * 100.0
     );
-    println!("\nEleven meters never noticed anything; the twelfth's delayed frames");
-    println!("were dropped instead of poisoning the billing timeline.");
+    println!("\nWith one gateway the attacked meter's frames were lost or flagged;");
+    println!("with a fleet the clean gateways keep its billing timeline intact while");
+    println!("the replay chain is exposed by cross-gateway consistency.");
 }

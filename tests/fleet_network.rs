@@ -1,0 +1,256 @@
+//! End-to-end multi-gateway fleet tests: the acceptance criteria of the
+//! fleet-engine refactor.
+//!
+//! * a fleet scenario produces per-gateway deliveries with distinct SNRs
+//!   and the network server dedups every uplink group to **one** verdict;
+//! * the frame-delay attack is detected at a gateway the attacker never
+//!   jammed, via cross-gateway arrival consistency — and the uplink is
+//!   *still delivered correctly* from a clean gateway's copy;
+//! * a one-gateway `NetworkServer` reproduces a standalone
+//!   `SoftLoraGateway`'s single-link verdicts bit for bit.
+
+use softlora_repro::attack::FrameDelayAttack;
+use softlora_repro::lorawan::{ClassADevice, DeviceConfig};
+use softlora_repro::phy::oscillator::Oscillator;
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+use softlora_repro::sim::{
+    AirFrame, FleetDeployment, HonestChannel, Interceptor, Position, Scenario, UplinkDeliveries,
+};
+use softlora_repro::softlora::network_server::ReplaySignal;
+use softlora_repro::softlora::{NetworkServer, SoftLoraGateway};
+
+const DEV_ADDR: u32 = 0x2601_0042;
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf8)
+}
+
+/// A device transmission as an air frame at `device_pos`.
+fn air_frame(
+    dev: &mut ClassADevice,
+    osc: &mut Oscillator,
+    device_pos: Position,
+    t: f64,
+    value: u16,
+) -> AirFrame {
+    dev.sense(value, t - 1.0).expect("sense");
+    let tx = dev.try_transmit(t).expect("transmit");
+    AirFrame {
+        dev_addr: dev.dev_addr(),
+        bytes: tx.bytes,
+        tx_start_global_s: t,
+        airtime_s: tx.airtime_s,
+        tx_power_dbm: 14.0,
+        tx_position: device_pos,
+        tx_bias_hz: osc.frame_bias_hz(),
+        tx_phase: 0.3,
+        sf: phy().sf,
+    }
+}
+
+fn group(
+    uplink: u64,
+    frame: &AirFrame,
+    copies: Vec<softlora_repro::sim::FleetDelivery>,
+) -> UplinkDeliveries {
+    UplinkDeliveries {
+        uplink,
+        dev_addr: frame.dev_addr,
+        tx_start_global_s: frame.tx_start_global_s,
+        airtime_s: frame.airtime_s,
+        copies,
+    }
+}
+
+#[test]
+fn fleet_attack_detected_at_non_attacked_gateway() {
+    let fleet = FleetDeployment::with_gateways(3);
+    let gateways = fleet.gateway_positions();
+    let medium = fleet.medium();
+    let device_pos = fleet.device_positions(1, 3)[0];
+
+    let dev_cfg = DeviceConfig::new(DEV_ADDR, phy());
+    let mut dev = ClassADevice::new(dev_cfg.clone());
+    let mut osc = Oscillator::sample_end_device(869.75e6, 11);
+
+    let mut server = NetworkServer::builder(phy())
+        .adc_quantisation(false)
+        .warmup_frames(4)
+        .gateway(7)
+        .gateway(8)
+        .gateway(9)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+        .build();
+
+    // Clean warm-up through the honest fleet channel.
+    let mut honest = HonestChannel;
+    let mut t = 100.0;
+    for k in 0..6u16 {
+        let frame = air_frame(&mut dev, &mut osc, device_pos, t, 500 + k);
+        let copies = honest.intercept_fleet(&frame, &medium, &gateways);
+        // Per-gateway copies with distinct SNRs (independent path loss).
+        assert_eq!(copies.len(), 3);
+        assert!(copies[0].delivery.snr_db != copies[1].delivery.snr_db);
+        assert!(copies[1].delivery.snr_db != copies[2].delivery.snr_db);
+        let v = server.process_uplink(&group(k as u64, &frame, copies)).expect("pipeline");
+        assert!(v.is_accepted(), "warm-up {k}: {v:?}");
+        t += 200.0;
+    }
+
+    // The attacker parks the jammer/replayer chain next to gateway 0 and
+    // replays with τ = 45 s.
+    let eaves_pos = Position::new(device_pos.x + 2.0, device_pos.y + 1.0, device_pos.z);
+    let mut attack = FrameDelayAttack::near_gateway(eaves_pos, &gateways, 0, 2.0, 45.0, phy(), 5);
+
+    let mut attacked_accepts = 0;
+    let mut cross_gateway_flags_at_clean_gateways = 0;
+    for k in 0..4u16 {
+        let frame = air_frame(&mut dev, &mut osc, device_pos, t, 600 + k);
+        let true_time = t - 1.0;
+        let copies = attack.intercept_fleet(&frame, &medium, &gateways);
+        let v = server.process_uplink(&group(100 + k as u64, &frame, copies)).expect("pipeline");
+
+        // One verdict per uplink: the original is accepted from a clean
+        // gateway's copy even though gateway 0 was jammed...
+        assert!(v.is_accepted(), "attacked uplink {k}: {v:?}");
+        let chosen = v.gateway.expect("accepted via some gateway");
+        assert_ne!(chosen, 0, "verdict must come from a non-attacked gateway");
+
+        // ...and the τ-late replay copies raised cross-gateway arrival
+        // evidence, including at gateways the attacker never jammed.
+        let late_gateways: Vec<usize> = v
+            .signals
+            .iter()
+            .filter_map(|s| match s {
+                ReplaySignal::ArrivalInconsistent { gateway, gap_s, .. } => {
+                    assert!((gap_s - 45.0).abs() < 0.1, "gap {gap_s}");
+                    Some(*gateway)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!late_gateways.is_empty(), "no replay evidence: {v:?}");
+        cross_gateway_flags_at_clean_gateways += late_gateways.iter().filter(|g| **g != 0).count();
+
+        // The accepted copy timestamps the record correctly — the fleet
+        // defeats the delay outright instead of merely dropping frames.
+        if let softlora_repro::softlora::SoftLoraVerdict::Accepted { uplink, .. } = &v.verdict {
+            let err = (uplink.records[0].global_time_s - true_time).abs();
+            assert!(err < 5e-3, "timestamp error {err}");
+            attacked_accepts += 1;
+        }
+        t += 200.0;
+    }
+    assert_eq!(attacked_accepts, 4);
+    assert!(
+        cross_gateway_flags_at_clean_gateways >= 4,
+        "flags at clean gateways: {cross_gateway_flags_at_clean_gateways}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 10);
+    assert!(stats.cross_gateway_replays_flagged >= 4, "{stats:?}");
+    // Replay copies were scored as true positives, none of the clean
+    // traffic was flagged.
+    let det = server.detection_stats();
+    assert!(det.true_positives >= 4, "{det:?}");
+    assert_eq!(det.false_positives, 0, "{det:?}");
+}
+
+#[test]
+fn one_gateway_server_matches_standalone_gateway_bit_for_bit() {
+    // The same delivery stream — honest warm-up, then frame-delay attack
+    // with the original jammed — through a standalone SoftLoraGateway and
+    // a one-gateway NetworkServer built from the same seed.
+    let seed = 99;
+    let dev_cfg = DeviceConfig::new(DEV_ADDR, phy());
+    let mut dev = ClassADevice::new(dev_cfg.clone());
+    let mut osc = Oscillator::sample_end_device(869.75e6, 11);
+
+    let gw_pos = Position::new(400.0, 0.0, 10.0);
+    let device_pos = Position::new(0.0, 0.0, 1.5);
+    let medium = FleetDeployment::default().medium();
+
+    let mut gateway = SoftLoraGateway::builder(phy())
+        .adc_quantisation(false)
+        .seed(seed)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+        .build();
+    let mut server = NetworkServer::builder(phy())
+        .adc_quantisation(false)
+        .gateway(seed)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+        .build();
+    assert_eq!(gateway.receiver_bias_hz(), server.receiver_bias_hz(0));
+
+    // Build the stream once: 6 honest uplinks, then 3 attacked ones.
+    let mut honest = HonestChannel;
+    let mut attack = FrameDelayAttack::new(
+        Position::new(2.0, 1.0, 1.5),
+        Position::new(398.0, 1.0, 10.0),
+        30.0,
+        phy(),
+        5,
+    );
+    let mut stream = Vec::new();
+    let mut t = 100.0;
+    for k in 0..9u16 {
+        let frame = air_frame(&mut dev, &mut osc, device_pos, t, k);
+        let interceptor: &mut dyn Interceptor = if k < 6 { &mut honest } else { &mut attack };
+        stream.extend(interceptor.intercept(&frame, &medium, &gw_pos));
+        t += 200.0;
+    }
+    assert!(stream.iter().any(|d| d.is_replay), "attack phase must produce replays");
+
+    for (k, delivery) in stream.iter().enumerate() {
+        let expected = gateway.process(delivery).expect("gateway pipeline");
+        let got = server.process_delivery(0, delivery).expect("server pipeline");
+        // Bit-for-bit: the enum fields (timestamps, FB estimates, bands,
+        // deviations) compare by exact equality.
+        assert_eq!(got.verdict, expected, "delivery {k}");
+    }
+    // The shared database saw exactly what the standalone gateway's did.
+    assert_eq!(
+        server.fb_database().history_len(DEV_ADDR),
+        gateway.fb_database().history_len(DEV_ADDR)
+    );
+    assert_eq!(
+        server.fb_database().tracked_center_hz(DEV_ADDR),
+        gateway.fb_database().tracked_center_hz(DEV_ADDR)
+    );
+    assert_eq!(server.detection_stats(), gateway.detection_stats());
+}
+
+#[test]
+fn scenario_fleet_feeds_server_end_to_end() {
+    // A small honest fleet scenario: groups flow from the discrete-event
+    // engine straight into the network server, one verdict per uplink.
+    let fleet = FleetDeployment::with_gateways(2);
+    let gateways = fleet.gateway_positions();
+    let mut scenario =
+        Scenario::new_fleet(phy(), fleet.medium(), gateways.clone(), Box::new(HonestChannel));
+    let positions = fleet.device_positions(3, 21);
+    for (k, pos) in positions.iter().enumerate() {
+        scenario.add_device(0x2601_5000 + k as u32, *pos, 400.0, k as u64);
+    }
+    let mut builder = NetworkServer::builder(phy()).adc_quantisation(false).gateway(1).gateway(2);
+    for k in 0..scenario.devices() {
+        let cfg = scenario.device_config(k).clone();
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
+    }
+    let mut server = builder.build();
+
+    let mut groups = Vec::new();
+    scenario.run(1300.0, |u| groups.push(u.clone()));
+    assert!(groups.len() >= 6, "too few uplinks: {}", groups.len());
+    let verdicts = server.process_batch(&groups).expect("server pipeline");
+    assert_eq!(verdicts.len(), groups.len(), "one verdict per uplink");
+    for (g, v) in groups.iter().zip(&verdicts) {
+        assert_eq!(v.copies_heard, 2, "both gateways hear uplink {}", g.uplink);
+        assert_eq!(v.duplicates_suppressed, 1);
+        assert!(v.is_accepted(), "{v:?}");
+        assert!(!v.is_replay_flagged());
+    }
+    // Shared per-device state, bounded dedup bookkeeping.
+    assert_eq!(server.fb_database().devices(), 3);
+    assert_eq!(server.stats().accepted, groups.len() as u64);
+}

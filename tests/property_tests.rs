@@ -13,6 +13,7 @@ use softlora_repro::phy::coding::{
     Whitener,
 };
 use softlora_repro::phy::CodingRate;
+use softlora_repro::sim::queue::EventQueue;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -179,5 +180,82 @@ proptest! {
     #[test]
     fn whitening_is_involution(data in prop::collection::vec(any::<u8>(), 0..200)) {
         prop_assert_eq!(Whitener::whiten(&Whitener::whiten(&data)), data);
+    }
+
+    #[test]
+    fn event_queue_pops_globally_time_ordered_with_fifo_ties(
+        // Coarse quantisation forces plenty of exact time ties.
+        quantized in prop::collection::vec(0u8..8, 1..120),
+    ) {
+        // The determinism regression guard behind the fleet event model:
+        // pops come out globally time-ordered, and events scheduled at the
+        // same time come out in insertion order.
+        let mut q = EventQueue::new();
+        for (k, t) in quantized.iter().enumerate() {
+            q.schedule(*t as f64 * 0.5, k);
+        }
+        let mut popped = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), quantized.len());
+        for w in popped.windows(2) {
+            let ((t_a, a), (t_b, b)) = (w[0], w[1]);
+            prop_assert!(t_a <= t_b, "time order violated: {} after {}", t_b, t_a);
+            if t_a == t_b {
+                prop_assert!(a < b, "tie broken out of insertion order: {} before {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn event_queue_pop_always_returns_minimum_pending(
+        batch_a in prop::collection::vec(0u8..6, 1..40),
+        batch_b in prop::collection::vec(0u8..6, 0..40),
+    ) {
+        // Even with pops interleaved between schedule batches, every pop
+        // returns the minimum pending time (peek agrees), and ties within
+        // the pending set resolve to the earliest-scheduled event.
+        let mut q = EventQueue::new();
+        let mut pending: Vec<(f64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        let check_pop = |q: &mut EventQueue<usize>, pending: &mut Vec<(f64, usize)>| {
+            let peeked = q.peek_time();
+            let popped = q.pop();
+            match popped {
+                None => {
+                    assert!(pending.is_empty());
+                    assert_eq!(peeked, None);
+                }
+                Some((t, id)) => {
+                    assert_eq!(peeked, Some(t));
+                    let min_t = pending.iter().map(|(pt, _)| *pt).fold(f64::INFINITY, f64::min);
+                    assert_eq!(t, min_t, "pop returned a non-minimal time");
+                    let expected_id = pending
+                        .iter()
+                        .filter(|(pt, _)| *pt == min_t)
+                        .map(|(_, pid)| *pid)
+                        .min()
+                        .expect("pending non-empty");
+                    assert_eq!(id, expected_id, "tie not broken by insertion order");
+                    pending.retain(|(_, pid)| *pid != id);
+                }
+            }
+        };
+        for t in &batch_a {
+            q.schedule(*t as f64, seq);
+            pending.push((*t as f64, seq));
+            seq += 1;
+        }
+        check_pop(&mut q, &mut pending);
+        for t in &batch_b {
+            q.schedule(*t as f64, seq);
+            pending.push((*t as f64, seq));
+            seq += 1;
+        }
+        while !pending.is_empty() {
+            check_pop(&mut q, &mut pending);
+        }
+        prop_assert!(q.is_empty());
     }
 }
