@@ -73,6 +73,7 @@ pub mod observer;
 pub mod phy_timestamp;
 pub mod pipeline;
 pub mod replay_detect;
+pub mod streaming;
 
 pub use builder::GatewayBuilder;
 pub use config::SoftLoraConfig;
@@ -80,12 +81,13 @@ pub use fb_db::FbDatabase;
 pub use fb_estimator::{FbEstimate, FbEstimator, FbMethod};
 pub use gateway::{SoftLoraGateway, SoftLoraVerdict};
 pub use network_server::{
-    NetworkServer, NetworkServerBuilder, ReplaySignal, ServerStats, ServerVerdict,
+    NetworkServer, NetworkServerBuilder, ReplaySignal, ServerObserver, ServerStats, ServerVerdict,
 };
 pub use observer::{GatewayObserver, GatewayStats, Stage};
 pub use phy_timestamp::{OnsetMethod, PhyTimestamp, PhyTimestamper};
 pub use pipeline::Pipeline;
 pub use replay_detect::{ReplayDetector, ReplayVerdict};
+pub use streaming::{FrontPart, GatewayFrontBlock, ServerSinkBlock};
 
 /// Errors returned by SoftLoRa processing stages.
 #[derive(Debug, Clone, PartialEq)]

@@ -36,14 +36,49 @@ use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
 use crate::SoftLoraError;
 use rayon::prelude::*;
 use softlora_lorawan::frame::DataFrame;
-use softlora_lorawan::{best_copy, DedupCache, DedupOutcome, DeviceKeys, RxVerdict, UplinkCopy};
+use softlora_lorawan::{
+    best_copy, payload_hash, DedupCache, DedupOutcome, DeviceKeys, RxVerdict, UplinkCopy,
+};
 use softlora_phy::PhyConfig;
 use softlora_sim::{Delivery, FleetDelivery, UplinkDeliveries};
 
 /// One gateway's stateless analysis front end inside the server.
-struct GatewayFront {
-    pipeline: Pipeline,
-    frames_seen: u64,
+pub(crate) struct GatewayFront {
+    pub(crate) pipeline: Pipeline,
+    pub(crate) frames_seen: u64,
+}
+
+/// Hooks the network server calls as it commits deduplicated verdicts —
+/// the server-tier counterpart of [`crate::GatewayObserver`]. Both the
+/// batch path ([`NetworkServer::process_batch`]) and the streaming path
+/// (`softlora::streaming`) drive the same hooks, so observability does
+/// not depend on the execution mode. All methods have empty defaults.
+///
+/// Observers run on whichever thread commits the verdict (the streaming
+/// sink block runs on a scheduler worker), hence the `Send` bound.
+#[allow(unused_variables)]
+pub trait ServerObserver: Send {
+    /// One uplink group was deduplicated to its authoritative verdict.
+    fn on_verdict(&mut self, uplink: u64, verdict: &ServerVerdict) {}
+
+    /// Aggregate statistics after committing that uplink.
+    fn on_stats(&mut self, stats: ServerStats) {}
+
+    /// A gateway front end failed with an infrastructure error; the
+    /// stream (or batch) stops after this uplink.
+    fn on_error(&mut self, uplink: u64, error: &SoftLoraError) {}
+}
+
+impl<T: ServerObserver> ServerObserver for std::sync::Arc<std::sync::Mutex<T>> {
+    fn on_verdict(&mut self, uplink: u64, verdict: &ServerVerdict) {
+        self.lock().expect("server observer poisoned").on_verdict(uplink, verdict);
+    }
+    fn on_stats(&mut self, stats: ServerStats) {
+        self.lock().expect("server observer poisoned").on_stats(stats);
+    }
+    fn on_error(&mut self, uplink: u64, error: &SoftLoraError) {
+        self.lock().expect("server observer poisoned").on_error(uplink, error);
+    }
 }
 
 /// Attack evidence the server gathered while deduplicating one uplink.
@@ -140,6 +175,7 @@ pub struct NetworkServerBuilder {
     arrival_tolerance_s: f64,
     fb_spread_tolerance_hz: f64,
     dedup_capacity: usize,
+    observers: Vec<Box<dyn ServerObserver>>,
 }
 
 impl NetworkServerBuilder {
@@ -160,6 +196,7 @@ impl NetworkServerBuilder {
             // workable SNR); a replay chain adds ≥ 543 Hz.
             fb_spread_tolerance_hz: 450.0,
             dedup_capacity: 4096,
+            observers: Vec::new(),
         }
     }
 
@@ -229,6 +266,13 @@ impl NetworkServerBuilder {
         self
     }
 
+    /// Attaches a [`ServerObserver`] receiving every committed verdict
+    /// and the running statistics.
+    pub fn observer(mut self, observer: Box<dyn ServerObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
     /// Assembles the server.
     pub fn build(self) -> NetworkServer {
         let seeds = if self.gateway_seeds.is_empty() { vec![0] } else { self.gateway_seeds };
@@ -254,34 +298,52 @@ impl NetworkServerBuilder {
         for (dev_addr, keys) in self.devices {
             mac.provision(dev_addr, keys);
         }
+        let receiver_bias_hz =
+            fronts.iter().map(|f| f.pipeline.capture.receiver_bias_hz()).collect();
         NetworkServer {
             fronts,
-            detector,
-            mac,
-            dedup: DedupCache::new(self.dedup_capacity),
-            arrival_tolerance_s: self.arrival_tolerance_s,
-            fb_spread_tolerance_hz: self.fb_spread_tolerance_hz,
-            stats: ServerStats::default(),
+            core: ServerCore {
+                detector,
+                mac,
+                dedup: DedupCache::new(self.dedup_capacity),
+                arrival_tolerance_s: self.arrival_tolerance_s,
+                fb_spread_tolerance_hz: self.fb_spread_tolerance_hz,
+                stats: ServerStats::default(),
+                receiver_bias_hz,
+                observers: self.observers,
+            },
         }
     }
 }
 
+/// The server's stateful back half: the shared FB detector, LoRaWAN MAC,
+/// dedup cache and statistics — everything that must observe uplinks
+/// sequentially, packaged so the batch path and the streaming sink block
+/// (`softlora::streaming`) run the *same* commit code.
+pub(crate) struct ServerCore {
+    pub(crate) detector: ReplayDetector,
+    pub(crate) mac: MacStage,
+    pub(crate) dedup: DedupCache,
+    pub(crate) arrival_tolerance_s: f64,
+    pub(crate) fb_spread_tolerance_hz: f64,
+    pub(crate) stats: ServerStats,
+    /// Each gateway's SDR oscillator bias, captured at build time (the
+    /// bias is a fixed property of the pipeline's seed).
+    pub(crate) receiver_bias_hz: Vec<f64>,
+    pub(crate) observers: Vec<Box<dyn ServerObserver>>,
+}
+
 /// The multi-gateway network server (see the module docs).
 pub struct NetworkServer {
-    fronts: Vec<GatewayFront>,
-    detector: ReplayDetector,
-    mac: MacStage,
-    dedup: DedupCache,
-    arrival_tolerance_s: f64,
-    fb_spread_tolerance_hz: f64,
-    stats: ServerStats,
+    pub(crate) fronts: Vec<GatewayFront>,
+    pub(crate) core: ServerCore,
 }
 
 impl std::fmt::Debug for NetworkServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetworkServer")
             .field("gateways", &self.fronts.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.core.stats)
             .finish_non_exhaustive()
     }
 }
@@ -309,38 +371,33 @@ impl NetworkServer {
 
     /// Provisions a device's LoRaWAN session keys.
     pub fn provision(&mut self, dev_addr: u32, keys: DeviceKeys) {
-        self.mac.provision(dev_addr, keys);
+        self.core.mac.provision(dev_addr, keys);
     }
 
     /// Pre-loads a device's FB history (gateway-0 reference frame).
     pub fn preload_fb(&mut self, dev_addr: u32, fbs_hz: &[f64]) {
-        self.detector.preload(dev_addr, fbs_hz);
+        self.core.detector.preload(dev_addr, fbs_hz);
+    }
+
+    /// Attaches a [`ServerObserver`] (see [`crate::observer`] for the
+    /// gateway-tier counterpart).
+    pub fn attach_observer(&mut self, observer: Box<dyn ServerObserver>) {
+        self.core.observers.push(observer);
     }
 
     /// Read access to the shared FB database.
     pub fn fb_database(&self) -> &FbDatabase {
-        self.detector.db()
+        self.core.detector.db()
     }
 
     /// FB detection statistics (scored on deduplicated verdicts).
     pub fn detection_stats(&self) -> DetectionStats {
-        self.detector.stats()
+        self.core.detector.stats()
     }
 
     /// Aggregate server statistics.
     pub fn stats(&self) -> ServerStats {
-        self.stats
-    }
-
-    /// Maps a gateway's FB estimate into gateway 0's reference frame.
-    /// Exactly the identity for gateway 0 — the bit-for-bit single-link
-    /// compatibility hinge.
-    fn normalized_fb(&self, gateway: usize, fb_hz: f64) -> f64 {
-        if gateway == 0 {
-            fb_hz
-        } else {
-            fb_hz + self.receiver_bias_hz(gateway) - self.receiver_bias_hz(0)
-        }
+        self.core.stats
     }
 
     /// Processes one delivery heard by one gateway (a group of one). The
@@ -357,7 +414,7 @@ impl NetworkServer {
         delivery: &Delivery,
     ) -> Result<ServerVerdict, SoftLoraError> {
         let group = UplinkDeliveries {
-            uplink: self.stats.uplinks,
+            uplink: self.core.stats.uplinks,
             dev_addr: delivery.dev_addr,
             tx_start_global_s: delivery.arrival_global_s,
             airtime_s: 0.0,
@@ -432,16 +489,59 @@ impl NetworkServer {
                 }
             }
             match failure {
-                Some(e) => return Err(e),
-                None => verdicts.push(self.commit_group(group, fronts_of_group)),
+                Some(e) => {
+                    for obs in &mut self.core.observers {
+                        obs.on_error(group.uplink, &e);
+                    }
+                    return Err(e);
+                }
+                None => verdicts.push(self.core.commit_group(group, fronts_of_group)),
             }
         }
         Ok(verdicts)
     }
+}
 
-    /// The stateful back half for one uplink group. Sequential by
-    /// construction.
-    fn commit_group(&mut self, group: &UplinkDeliveries, fronts: Vec<FrontFrame>) -> ServerVerdict {
+impl ServerCore {
+    /// Maps a gateway's FB estimate into gateway 0's reference frame.
+    /// Exactly the identity for gateway 0 — the bit-for-bit single-link
+    /// compatibility hinge.
+    fn normalized_fb(&self, gateway: usize, fb_hz: f64) -> f64 {
+        if gateway == 0 {
+            fb_hz
+        } else {
+            fb_hz + self.receiver_bias_hz[gateway] - self.receiver_bias_hz[0]
+        }
+    }
+
+    /// The stateful back half for one uplink group: commits the verdict
+    /// and notifies observers. Sequential by construction.
+    pub(crate) fn commit_group(
+        &mut self,
+        group: &UplinkDeliveries,
+        fronts: Vec<FrontFrame>,
+    ) -> ServerVerdict {
+        let verdict = self.commit_group_inner(group, fronts);
+        let stats = self.stats;
+        for obs in &mut self.observers {
+            obs.on_verdict(group.uplink, &verdict);
+            obs.on_stats(stats);
+        }
+        verdict
+    }
+
+    /// Notifies observers of an infrastructure failure (streaming path).
+    pub(crate) fn notify_error(&mut self, uplink: u64, error: &SoftLoraError) {
+        for obs in &mut self.observers {
+            obs.on_error(uplink, error);
+        }
+    }
+
+    fn commit_group_inner(
+        &mut self,
+        group: &UplinkDeliveries,
+        fronts: Vec<FrontFrame>,
+    ) -> ServerVerdict {
         assert!(!group.copies.is_empty(), "empty uplink group");
         self.stats.uplinks += 1;
 
@@ -549,13 +649,21 @@ impl NetworkServer {
             }
         }
 
-        // Recent-uplink dedup across groups: a repeated (device, fcnt) far
-        // outside the arrival window is the replayed duplicate of a frame
-        // some other gateway already delivered — the detection that works
-        // at gateways the attacker never jammed.
+        // Recent-uplink dedup across groups: a repeated (device, fcnt,
+        // frame bytes) far outside the arrival window is the replayed
+        // duplicate of a frame some other gateway already delivered — the
+        // detection that works at gateways the attacker never jammed. The
+        // payload hash in the key keeps counter rollover from aliasing
+        // honest frames into replays at scale.
         if let Ok((_, dedup_dev, fcnt)) = DataFrame::peek_header(&best_delivery.bytes) {
-            match self.dedup.observe(dedup_dev, fcnt, best_delivery.arrival_global_s, best_gateway)
-            {
+            let digest = payload_hash(&best_delivery.bytes);
+            match self.dedup.observe(
+                dedup_dev,
+                fcnt,
+                digest,
+                best_delivery.arrival_global_s,
+                best_gateway,
+            ) {
                 DedupOutcome::First => {}
                 DedupOutcome::Duplicate { gap_s, .. } => {
                     if gap_s.abs() > self.arrival_tolerance_s {

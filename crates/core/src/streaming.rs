@@ -1,0 +1,236 @@
+//! The gateway + network-server stack as streaming flowgraph blocks.
+//!
+//! [`NetworkServer::into_streaming`] splits a built server into the
+//! blocks of an always-on flowgraph:
+//!
+//! ```text
+//!                     ┌─▶ GatewayFrontBlock(gw 0) ─▶┐
+//!  source (sim crate) ┼─▶ GatewayFrontBlock(gw 1) ─▶┼─▶ ServerSinkBlock
+//!                     └─▶ GatewayFrontBlock(gw 2) ─▶┘
+//! ```
+//!
+//! The source (see `softlora_sim::streaming`) broadcasts every
+//! [`UplinkDeliveries`] group to all gateway blocks; each gateway block
+//! runs the embarrassingly-parallel pipeline front half for **its**
+//! copies (assigning per-gateway frame indices exactly as the batch path
+//! does, so all randomness matches); the sink reassembles per-gateway
+//! parts in uplink order and drives the same sequential back half
+//! ([`crate::network_server`]'s dedup → cross-gateway checks → FB check →
+//! MAC) that `process_batch` uses. Verdicts therefore come out **bit for
+//! bit identical** to the batch path — pinned by the
+//! `streaming_runtime` integration test — and flow to the outside through
+//! the server's [`ServerObserver`]s.
+
+use crate::network_server::{GatewayFront, NetworkServer, ServerCore, ServerObserver};
+use crate::pipeline::FrontFrame;
+use crate::SoftLoraError;
+use softlora_runtime::{Block, WorkIo, WorkResult};
+use softlora_sim::UplinkDeliveries;
+use std::sync::Arc;
+
+/// Groups a front block analyses per `work` call before yielding.
+const FRONT_BATCH: usize = 16;
+
+/// Groups the sink commits per `work` call before yielding.
+const SINK_BATCH: usize = 64;
+
+/// One gateway's front-half analysis of one uplink group.
+pub struct FrontPart {
+    /// The group's scenario-wide uplink sequence number.
+    pub uplink: u64,
+    /// Index of the gateway that produced this part.
+    pub gateway: usize,
+    /// The group itself (shared with every other gateway's part).
+    pub group: Arc<UplinkDeliveries>,
+    /// Analysed copies, as `(index into group.copies, front result)` for
+    /// the copies this gateway heard — empty when the group holds no copy
+    /// for this gateway.
+    pub fronts: Vec<(usize, Result<FrontFrame, SoftLoraError>)>,
+}
+
+/// One gateway's streaming front half: the radio gate → capture → onset →
+/// FB chain of [`crate::Pipeline`], applied to this gateway's copies of
+/// every group flowing past.
+pub struct GatewayFrontBlock {
+    name: String,
+    gateway: usize,
+    front: GatewayFront,
+}
+
+impl GatewayFrontBlock {
+    /// Deliveries analysed so far (the per-gateway frame index).
+    pub fn frames_seen(&self) -> u64 {
+        self.front.frames_seen
+    }
+}
+
+impl Block for GatewayFrontBlock {
+    type In = Arc<UplinkDeliveries>;
+    type Out = FrontPart;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, Arc<UplinkDeliveries>, FrontPart>) -> WorkResult {
+        let mut produced = 0;
+        while produced < FRONT_BATCH {
+            if io.output().free() == 0 {
+                return if produced > 0 {
+                    WorkResult::Produced(produced)
+                } else {
+                    WorkResult::NeedsOutput
+                };
+            }
+            let group = match io.input().pop() {
+                Some(group) => group,
+                None if io.input().is_finished() => return WorkResult::Finished,
+                None => {
+                    return if produced > 0 {
+                        WorkResult::Produced(produced)
+                    } else {
+                        WorkResult::NeedsInput
+                    }
+                }
+            };
+            // Per-gateway frame indices advance per copy in group order —
+            // the same assignment `NetworkServer::process_batch` makes,
+            // so every random draw matches the batch path.
+            let mut fronts = Vec::new();
+            for (k, copy) in group.copies.iter().enumerate() {
+                if copy.gateway != self.gateway {
+                    continue;
+                }
+                let frame_index = self.front.frames_seen;
+                self.front.frames_seen += 1;
+                fronts.push((k, self.front.pipeline.front_half(&copy.delivery, frame_index)));
+            }
+            let part = FrontPart { uplink: group.uplink, gateway: self.gateway, group, fronts };
+            let pushed = io.output().push(part);
+            debug_assert!(pushed.is_ok(), "free slot was checked");
+            produced += 1;
+        }
+        WorkResult::Produced(produced)
+    }
+}
+
+/// The server's sequential back half as the flowgraph sink: reassembles
+/// each group's per-gateway [`FrontPart`]s (one input port per gateway)
+/// and commits the deduplicated verdict through the same shared state the
+/// batch path uses (FB detector, dedup cache, MAC), notifying the
+/// server's [`ServerObserver`]s.
+pub struct ServerSinkBlock {
+    core: ServerCore,
+    /// Set when a gateway front reported an infrastructure error; the
+    /// sink finishes early, mirroring `process_batch` aborting a batch.
+    failed: bool,
+}
+
+impl ServerSinkBlock {
+    /// Attaches a [`ServerObserver`] — the streaming path's way to watch
+    /// verdicts and statistics.
+    pub fn attach_observer(&mut self, observer: Box<dyn ServerObserver>) {
+        self.core.observers.push(observer);
+    }
+
+    /// Aggregate statistics committed so far.
+    pub fn stats(&self) -> crate::ServerStats {
+        self.core.stats
+    }
+}
+
+impl Block for ServerSinkBlock {
+    type In = FrontPart;
+    type Out = ();
+
+    fn name(&self) -> &str {
+        "server-sink"
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, FrontPart, ()>) -> WorkResult {
+        if self.failed {
+            return WorkResult::Finished;
+        }
+        let mut committed = 0;
+        while committed < SINK_BATCH {
+            // A group's verdict needs every gateway's part; each input
+            // port delivers parts in group order, so the heads of all
+            // ports always belong to the same group.
+            if io.inputs.iter_mut().any(|p| p.is_empty()) {
+                return if io.inputs_finished() {
+                    WorkResult::Finished
+                } else if committed > 0 {
+                    WorkResult::Produced(committed)
+                } else {
+                    WorkResult::NeedsInput
+                };
+            }
+            let parts: Vec<FrontPart> =
+                io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")).collect();
+            let uplink = parts[0].uplink;
+            let group = Arc::clone(&parts[0].group);
+            for part in &parts {
+                assert_eq!(
+                    part.uplink, uplink,
+                    "gateway streams out of step: every front block must emit exactly one part \
+                     per group"
+                );
+            }
+            // Reassemble the fronts in group-copy order, exactly the
+            // order the batch path analyses them in.
+            let mut indexed: Vec<(usize, Result<FrontFrame, SoftLoraError>)> =
+                parts.into_iter().flat_map(|p| p.fronts).collect();
+            indexed.sort_by_key(|(k, _)| *k);
+            // Parity with `process_batch`, which asserts every copy maps
+            // to a known gateway: a copy no front block claimed would
+            // silently shift the positional alignment below and attribute
+            // arrival/SNR/replay ground truth to the wrong copies.
+            assert_eq!(
+                indexed.len(),
+                group.copies.len(),
+                "uplink {uplink}: copies for a gateway without a front block"
+            );
+            let mut fronts = Vec::with_capacity(indexed.len());
+            let mut failure = None;
+            for (_, front) in indexed {
+                match front {
+                    Ok(front) => fronts.push(front),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                self.core.notify_error(uplink, &e);
+                self.failed = true;
+                return WorkResult::Finished;
+            }
+            self.core.commit_group(&group, fronts);
+            committed += 1;
+        }
+        WorkResult::Produced(committed)
+    }
+}
+
+impl NetworkServer {
+    /// Dismantles the server into streaming blocks: one
+    /// [`GatewayFrontBlock`] per gateway plus the [`ServerSinkBlock`]
+    /// holding the shared sequential state. Wire them as
+    /// `source → fronts → sink` (the sink's input ports in gateway
+    /// order); the resulting flowgraph produces verdicts bit-for-bit
+    /// identical to [`NetworkServer::process_batch`] on the same groups.
+    pub fn into_streaming(self) -> (Vec<GatewayFrontBlock>, ServerSinkBlock) {
+        let fronts = self
+            .fronts
+            .into_iter()
+            .enumerate()
+            .map(|(gateway, front)| GatewayFrontBlock {
+                name: format!("gateway-front-{gateway}"),
+                gateway,
+                front,
+            })
+            .collect();
+        (fronts, ServerSinkBlock { core: self.core, failed: false })
+    }
+}

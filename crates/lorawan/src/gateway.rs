@@ -219,10 +219,26 @@ pub fn best_copy(copies: &[UplinkCopy]) -> Option<usize> {
         .map(|(idx, _)| idx)
 }
 
+/// A stable 64-bit digest of a frame's raw bytes (FNV-1a), used to key
+/// the [`DedupCache`] alongside `(device, fcnt)`: the 16-bit frame
+/// counter rolls over every 65 536 uplinks, so at scale an honest frame
+/// can legitimately repeat a `(device, fcnt)` pair — but it cannot repeat
+/// the pair *and* the exact frame bytes (payload, MIC) of the earlier
+/// transmission, while a replayed copy repeats both.
+pub fn payload_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// What a [`DedupCache`] says about a newly observed copy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DedupOutcome {
-    /// First copy of this `(device, fcnt)` within the cache window.
+    /// First copy of this `(device, fcnt, payload)` within the cache
+    /// window.
     First,
     /// A copy of an uplink already observed.
     Duplicate {
@@ -237,12 +253,14 @@ pub enum DedupOutcome {
     },
 }
 
-/// A bounded cache of recently observed `(device, fcnt)` uplinks for
-/// cross-gateway deduplication. Oldest entries are evicted first.
+/// A bounded cache of recently observed uplinks for cross-gateway
+/// deduplication, keyed by `(device, fcnt, payload hash)` so dedup
+/// state survives frame-counter rollover at scale (see [`payload_hash`]).
+/// Oldest entries are evicted first.
 #[derive(Debug, Clone)]
 pub struct DedupCache {
-    entries: HashMap<(u32, u16), (f64, usize)>,
-    order: std::collections::VecDeque<(u32, u16)>,
+    entries: HashMap<(u32, u16, u64), (f64, usize)>,
+    order: std::collections::VecDeque<(u32, u16, u64)>,
     capacity: usize,
 }
 
@@ -266,17 +284,21 @@ impl DedupCache {
         self.entries.is_empty()
     }
 
-    /// Observes a copy of `(dev_addr, fcnt)` arriving at
+    /// Observes a copy of `(dev_addr, fcnt)` with frame digest
+    /// `payload_hash` (see [`payload_hash`]) arriving at
     /// `arrival_global_s` via `gateway` and reports whether it is the
-    /// first copy or a duplicate of a remembered one.
+    /// first copy or a duplicate of a remembered one. A post-rollover
+    /// frame reusing an old counter value carries different bytes, so it
+    /// is correctly reported as [`DedupOutcome::First`].
     pub fn observe(
         &mut self,
         dev_addr: u32,
         fcnt: u16,
+        payload_hash: u64,
         arrival_global_s: f64,
         gateway: usize,
     ) -> DedupOutcome {
-        let key = (dev_addr, fcnt);
+        let key = (dev_addr, fcnt, payload_hash);
         if let Some(&(first_arrival_s, first_gateway)) = self.entries.get(&key) {
             return DedupOutcome::Duplicate {
                 first_arrival_s,
@@ -426,34 +448,57 @@ mod tests {
     #[test]
     fn dedup_cache_flags_late_duplicates() {
         let mut cache = DedupCache::new(8);
-        assert_eq!(cache.observe(7, 1, 100.0, 0), DedupOutcome::First);
+        let h = payload_hash(&[0x40, 0x11, 0x22]);
+        assert_eq!(cache.observe(7, 1, h, 100.0, 0), DedupOutcome::First);
         // Fleet copy: microseconds later at another gateway.
-        match cache.observe(7, 1, 100.000004, 2) {
+        match cache.observe(7, 1, h, 100.000004, 2) {
             DedupOutcome::Duplicate { first_gateway, gap_s, .. } => {
                 assert_eq!(first_gateway, 0);
                 assert!(gap_s < 1e-3);
             }
             other => panic!("{other:?}"),
         }
-        // Frame-delay replay: the same counter τ = 30 s late.
-        match cache.observe(7, 1, 130.0, 0) {
+        // Frame-delay replay: the same counter and bytes, τ = 30 s late.
+        match cache.observe(7, 1, h, 130.0, 0) {
             DedupOutcome::Duplicate { gap_s, .. } => assert!((gap_s - 30.0).abs() < 1e-9),
             other => panic!("{other:?}"),
         }
         // A fresh counter is a fresh uplink.
-        assert_eq!(cache.observe(7, 2, 200.0, 1), DedupOutcome::First);
+        assert_eq!(cache.observe(7, 2, h, 200.0, 1), DedupOutcome::First);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn dedup_cache_survives_counter_rollover() {
+        // After the 16-bit counter wraps, an honest device legitimately
+        // reuses (dev, fcnt) — with different frame bytes. The payload
+        // hash keeps that from being mistaken for a replayed duplicate,
+        // while a bit-exact replay still collides.
+        let mut cache = DedupCache::new(8);
+        let pre_rollover = payload_hash(&[0x40, 0x01, 0xAA]);
+        let post_rollover = payload_hash(&[0x40, 0x01, 0xBB]);
+        assert_ne!(pre_rollover, post_rollover);
+        assert_eq!(cache.observe(7, 5, pre_rollover, 100.0, 0), DedupOutcome::First);
+        assert_eq!(
+            cache.observe(7, 5, post_rollover, 900.0, 0),
+            DedupOutcome::First,
+            "post-rollover frame is a fresh uplink, not a τ = 800 s replay"
+        );
+        assert!(matches!(
+            cache.observe(7, 5, pre_rollover, 950.0, 1),
+            DedupOutcome::Duplicate { .. }
+        ));
     }
 
     #[test]
     fn dedup_cache_evicts_oldest_at_capacity() {
         let mut cache = DedupCache::new(2);
-        cache.observe(1, 1, 10.0, 0);
-        cache.observe(1, 2, 20.0, 0);
-        cache.observe(1, 3, 30.0, 0); // evicts (1, 1)
+        cache.observe(1, 1, 9, 10.0, 0);
+        cache.observe(1, 2, 9, 20.0, 0);
+        cache.observe(1, 3, 9, 30.0, 0); // evicts (1, 1)
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.observe(1, 1, 40.0, 0), DedupOutcome::First, "evicted entry forgotten");
-        assert!(matches!(cache.observe(1, 3, 50.0, 0), DedupOutcome::Duplicate { .. }));
+        assert_eq!(cache.observe(1, 1, 9, 40.0, 0), DedupOutcome::First, "evicted entry forgotten");
+        assert!(matches!(cache.observe(1, 3, 9, 50.0, 0), DedupOutcome::Duplicate { .. }));
     }
 
     #[test]

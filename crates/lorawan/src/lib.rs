@@ -27,7 +27,8 @@ pub use device::{ClassADevice, DeviceConfig};
 pub use elapsed::{ElapsedCodec, SensorRecord};
 pub use frame::{DataFrame, DeviceKeys, FrameType};
 pub use gateway::{
-    best_copy, DedupCache, DedupOutcome, Gateway, ReceivedUplink, RxVerdict, UplinkCopy,
+    best_copy, payload_hash, DedupCache, DedupOutcome, Gateway, ReceivedUplink, RxVerdict,
+    UplinkCopy,
 };
 
 /// Errors returned by LoRaWAN-layer operations.

@@ -1,0 +1,167 @@
+//! Ready-made generic blocks: closure-driven sources, transforms and
+//! sinks.
+//!
+//! These cover the plumbing ends of a flowgraph — pumping an iterator in,
+//! mapping items, folding results out — so domain crates only implement
+//! [`Block`] impls for stages with real state. They are also what
+//! the runtime's own tests and benches are built from.
+
+use crate::block::{Block, WorkIo, WorkResult};
+
+/// How many items a closure-driven block moves per `work` call before
+/// yielding back to the scheduler.
+const BATCH: usize = 256;
+
+/// A source that pulls items from a closure until it returns `None`.
+///
+/// With several downstream edges the item is broadcast (cloned) to every
+/// output ring; production is paced by the fullest ring.
+pub struct FnSource<T, F> {
+    name: String,
+    next: F,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, F: FnMut() -> Option<T>> FnSource<T, F> {
+    /// Creates the source; `next` yields the stream, `None` ends it.
+    pub fn new(name: impl Into<String>, next: F) -> Self {
+        FnSource { name: name.into(), next, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T, F> Block for FnSource<T, F>
+where
+    T: Clone + Send + 'static,
+    F: FnMut() -> Option<T> + Send + 'static,
+{
+    type In = ();
+    type Out = T;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, (), T>) -> WorkResult {
+        let mut produced = 0;
+        while produced < BATCH {
+            if io.min_output_free() == 0 {
+                return if produced > 0 {
+                    WorkResult::Produced(produced)
+                } else {
+                    WorkResult::NeedsOutput
+                };
+            }
+            match (self.next)() {
+                Some(item) => {
+                    io.broadcast(item);
+                    produced += 1;
+                }
+                None => return WorkResult::Finished,
+            }
+        }
+        WorkResult::Produced(produced)
+    }
+}
+
+/// A one-in / one-out transform block applying a closure per item.
+pub struct FnBlock<I, O, F> {
+    name: String,
+    map: F,
+    _marker: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F: FnMut(I) -> O> FnBlock<I, O, F> {
+    /// Creates the transform.
+    pub fn new(name: impl Into<String>, map: F) -> Self {
+        FnBlock { name: name.into(), map, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I, O, F> Block for FnBlock<I, O, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> O + Send + 'static,
+{
+    type In = I;
+    type Out = O;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, I, O>) -> WorkResult {
+        let mut moved = 0;
+        while moved < BATCH {
+            if io.output().free() == 0 {
+                return if moved > 0 {
+                    WorkResult::Produced(moved)
+                } else {
+                    WorkResult::NeedsOutput
+                };
+            }
+            match io.input().pop() {
+                Some(item) => {
+                    let out = (self.map)(item);
+                    let pushed = io.output().push(out);
+                    debug_assert!(pushed.is_ok(), "free slot was checked");
+                    moved += 1;
+                }
+                None if io.input().is_finished() => return WorkResult::Finished,
+                None => {
+                    return if moved > 0 {
+                        WorkResult::Produced(moved)
+                    } else {
+                        WorkResult::NeedsInput
+                    }
+                }
+            }
+        }
+        WorkResult::Produced(moved)
+    }
+}
+
+/// A sink feeding every arriving item (from any of its inputs) to a
+/// closure.
+pub struct FnSink<T, F> {
+    name: String,
+    consume: F,
+    scratch: Vec<T>,
+}
+
+impl<T, F: FnMut(T)> FnSink<T, F> {
+    /// Creates the sink.
+    pub fn new(name: impl Into<String>, consume: F) -> Self {
+        FnSink { name: name.into(), consume, scratch: Vec::new() }
+    }
+}
+
+impl<T, F> Block for FnSink<T, F>
+where
+    T: Send + 'static,
+    F: FnMut(T) + Send + 'static,
+{
+    type In = T;
+    type Out = ();
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, T, ()>) -> WorkResult {
+        let mut consumed = 0;
+        for port in io.inputs.iter_mut() {
+            consumed += port.pop_batch(&mut self.scratch, BATCH);
+        }
+        for item in self.scratch.drain(..) {
+            (self.consume)(item);
+        }
+        if consumed > 0 {
+            WorkResult::Produced(consumed)
+        } else if io.inputs_finished() {
+            WorkResult::Finished
+        } else {
+            WorkResult::NeedsInput
+        }
+    }
+}

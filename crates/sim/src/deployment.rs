@@ -12,7 +12,7 @@
 //! deterministic per-position shadowing term; the calibration targets the
 //! SNR *range and gradient* of the paper's heatmap (see EXPERIMENTS.md).
 
-use crate::medium::{PathLoss, Position, RadioMedium};
+use crate::medium::{GatewaySite, PathLoss, Position, RadioMedium};
 use softlora_phy::channel::{rain_margin_db, LogDistance};
 
 /// Labels of the eleven measurement columns along the building (Fig. 15).
@@ -228,6 +228,14 @@ pub struct FleetDeployment {
     pub device_area_m: f64,
     /// Device antenna height, metres.
     pub device_height_m: f64,
+    /// Per-site receive antenna gains, dBi, indexed by gateway; sites
+    /// beyond the vector's length use 0 dBi. Real fleets mix hardware —
+    /// a rooftop collinear at one site, a stock dipole at another.
+    pub site_antenna_gains_dbi: Vec<f64>,
+    /// Per-site noise floors, dBm, indexed by gateway; sites beyond the
+    /// vector's length use the medium's default floor. Urban sites sit on
+    /// noisier spectrum than rural ones.
+    pub site_noise_floors_dbm: Vec<f64>,
 }
 
 impl Default for FleetDeployment {
@@ -238,6 +246,8 @@ impl Default for FleetDeployment {
             gateway_height_m: 15.0,
             device_area_m: 450.0,
             device_height_m: 1.5,
+            site_antenna_gains_dbi: Vec::new(),
+            site_noise_floors_dbm: Vec::new(),
         }
     }
 }
@@ -246,6 +256,40 @@ impl FleetDeployment {
     /// A fleet with `gateways` gateways and the default geometry.
     pub fn with_gateways(gateways: usize) -> Self {
         FleetDeployment { gateways: gateways.max(1), ..Self::default() }
+    }
+
+    /// Sets per-site receive antenna gains (dBi, indexed by gateway).
+    pub fn with_site_antenna_gains_dbi(mut self, gains_dbi: Vec<f64>) -> Self {
+        self.site_antenna_gains_dbi = gains_dbi;
+        self
+    }
+
+    /// Sets per-site noise floors (dBm, indexed by gateway).
+    pub fn with_site_noise_floors_dbm(mut self, floors_dbm: Vec<f64>) -> Self {
+        self.site_noise_floors_dbm = floors_dbm;
+        self
+    }
+
+    /// Characterised gateway sites: ring positions combined with the
+    /// per-site antenna gains and noise floors. Feed these to
+    /// [`crate::Scenario::new_fleet_sites`] (or
+    /// [`crate::Interceptor::intercept_fleet_sites`]) so the fleet's
+    /// delivery SNRs reflect each installation.
+    pub fn gateway_sites(&self) -> Vec<GatewaySite> {
+        self.gateway_positions()
+            .into_iter()
+            .enumerate()
+            .map(|(g, position)| {
+                let mut site = GatewaySite::at(position);
+                if let Some(&gain) = self.site_antenna_gains_dbi.get(g) {
+                    site = site.with_antenna_gain_dbi(gain);
+                }
+                if let Some(&floor) = self.site_noise_floors_dbm.get(g) {
+                    site = site.with_noise_floor_dbm(floor);
+                }
+                site
+            })
+            .collect()
     }
 
     /// Gateway positions: a single gateway sits at the centre; larger
@@ -437,6 +481,36 @@ mod tests {
         // Different seeds scatter differently.
         let c = f.device_positions(50, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fleet_sites_carry_per_site_characteristics() {
+        let f = FleetDeployment::with_gateways(3)
+            .with_site_antenna_gains_dbi(vec![6.0, 0.0])
+            .with_site_noise_floors_dbm(vec![-110.0]);
+        let sites = f.gateway_sites();
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].antenna_gain_dbi, 6.0);
+        assert_eq!(sites[0].noise_floor_dbm, Some(-110.0));
+        assert_eq!(sites[1].antenna_gain_dbi, 0.0);
+        assert_eq!(sites[1].noise_floor_dbm, None);
+        // Sites beyond the vectors fall back to the reference receiver.
+        assert_eq!(sites[2].antenna_gain_dbi, 0.0);
+        assert_eq!(sites[2].noise_floor_dbm, None);
+        // Positions match the plain ring.
+        let positions = f.gateway_positions();
+        for (site, pos) in sites.iter().zip(positions.iter()) {
+            assert_eq!(site.position, *pos);
+        }
+        // Threading through the fleet link: the high-gain site hears a
+        // device louder than the same site without gain.
+        let medium = f.medium();
+        let device = f.device_positions(1, 5)[0];
+        let base_snr = medium.link(&device, &sites[0].position, 14.0).snr_db();
+        let site_snr = base_snr + sites[0].snr_offset_db(medium.noise_floor_dbm());
+        // Offset = gain + (default floor − site floor) = 6 + (−117 − −110).
+        let expected = base_snr + 6.0 + (medium.noise_floor_dbm() - -110.0);
+        assert!((site_snr - expected).abs() < 1e-9, "site {site_snr} expected {expected}");
     }
 
     #[test]

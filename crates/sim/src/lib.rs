@@ -16,8 +16,11 @@
 //!   frame-delay attack (in `softlora-attack`) implements, fanning one
 //!   air frame out into per-gateway deliveries;
 //! * [`scenario`] — the discrete-event workload generator: pluggable
-//!   traffic models, per-gateway collisions, scheduled attacker actions
-//!   and grouped fleet deliveries for a network server to deduplicate.
+//!   traffic models, per-gateway collisions (replay re-transmissions
+//!   contend for the channel too), scheduled attacker actions and grouped
+//!   fleet deliveries for a network server to deduplicate;
+//! * [`streaming`] — scenario traffic as `softlora-runtime` flowgraph
+//!   sources, for the always-on streaming execution mode.
 
 pub mod clock;
 pub mod deployment;
@@ -25,11 +28,13 @@ pub mod medium;
 pub mod network;
 pub mod queue;
 pub mod scenario;
+pub mod streaming;
 
 pub use clock::DriftingClock;
 pub use deployment::FleetDeployment;
-pub use medium::{Position, RadioMedium};
+pub use medium::{GatewaySite, Position, RadioMedium};
 pub use network::{
     AirFrame, Delivery, FleetDelivery, HonestChannel, Interceptor, UplinkDeliveries,
 };
 pub use scenario::{GatewayLinkStats, Scenario, ScenarioStats, TrafficModel};
+pub use streaming::{FrameSource, ScenarioSource, SyntheticFrameSource};

@@ -35,6 +35,57 @@ impl Position {
     }
 }
 
+/// One gateway site of a fleet: its position plus the receiver-side
+/// characteristics that differ between real installations — the antenna
+/// gain of the site's hardware and, optionally, a site-specific noise
+/// floor (urban sites sit on noisier spectrum than rural ones).
+///
+/// Both parameters act on the receiver, so they shift the SNR of **every**
+/// arriving signal at that site identically: [`GatewaySite::snr_offset_db`]
+/// is the per-site correction that fleet delivery paths add on top of the
+/// medium's baseline link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewaySite {
+    /// Antenna/mast position.
+    pub position: Position,
+    /// Receive antenna gain, dBi (0 = the reference dipole the medium's
+    /// link budget assumes).
+    pub antenna_gain_dbi: f64,
+    /// Site-specific noise floor, dBm; `None` uses the medium's default.
+    pub noise_floor_dbm: Option<f64>,
+}
+
+impl GatewaySite {
+    /// A reference site at `position`: no extra gain, default noise floor.
+    pub fn at(position: Position) -> Self {
+        GatewaySite { position, antenna_gain_dbi: 0.0, noise_floor_dbm: None }
+    }
+
+    /// Sets the receive antenna gain, dBi.
+    pub fn with_antenna_gain_dbi(mut self, gain_dbi: f64) -> Self {
+        self.antenna_gain_dbi = gain_dbi;
+        self
+    }
+
+    /// Sets a site-specific noise floor, dBm.
+    pub fn with_noise_floor_dbm(mut self, floor_dbm: f64) -> Self {
+        self.noise_floor_dbm = Some(floor_dbm);
+        self
+    }
+
+    /// The site's effective noise floor given the medium's default, dBm.
+    pub fn noise_floor_dbm(&self, default_floor_dbm: f64) -> f64 {
+        self.noise_floor_dbm.unwrap_or(default_floor_dbm)
+    }
+
+    /// SNR shift this site applies relative to a reference site
+    /// (`gain − Δfloor`), dB: gain raises the received power, a hotter
+    /// noise floor eats into it.
+    pub fn snr_offset_db(&self, default_floor_dbm: f64) -> f64 {
+        self.antenna_gain_dbi + (default_floor_dbm - self.noise_floor_dbm(default_floor_dbm))
+    }
+}
+
 /// A path-loss model over positions.
 ///
 /// Implementations add environment-specific structure (walls, floors) on
@@ -163,6 +214,25 @@ mod tests {
         let a = Position::default();
         let b = Position::new(1070.0, 0.0, 0.0);
         assert!((medium.delay_s(&a, &b) - 3.57e-6).abs() < 0.02e-6);
+    }
+
+    #[test]
+    fn gateway_site_offsets() {
+        let default_floor = -117.0;
+        let plain = GatewaySite::at(Position::default());
+        assert_eq!(plain.snr_offset_db(default_floor), 0.0);
+        assert_eq!(plain.noise_floor_dbm(default_floor), default_floor);
+
+        let high_gain = GatewaySite::at(Position::default()).with_antenna_gain_dbi(6.0);
+        assert_eq!(high_gain.snr_offset_db(default_floor), 6.0);
+
+        // A site 4 dB noisier than the default loses 4 dB of SNR; gain
+        // claws some back.
+        let urban = GatewaySite::at(Position::default())
+            .with_antenna_gain_dbi(3.0)
+            .with_noise_floor_dbm(-113.0);
+        assert_eq!(urban.noise_floor_dbm(default_floor), -113.0);
+        assert!((urban.snr_offset_db(default_floor) - (3.0 - 4.0)).abs() < 1e-12);
     }
 
     #[test]

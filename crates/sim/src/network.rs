@@ -8,7 +8,7 @@
 //! while the frame-delay attack (in `softlora-attack`) jams the direct
 //! copy and injects a delayed replay with its own oscillator bias.
 
-use crate::medium::{Position, RadioMedium};
+use crate::medium::{GatewaySite, Position, RadioMedium};
 use softlora_phy::rn2483::JammingAttempt;
 use softlora_phy::SpreadingFactor;
 
@@ -123,6 +123,32 @@ pub trait Interceptor {
         }
         out
     }
+
+    /// Processes one uplink towards a fleet of characterised
+    /// [`GatewaySite`]s: the positional fan-out of
+    /// [`Interceptor::intercept_fleet`], with every delivery's SNR shifted
+    /// by the receiving site's antenna gain and noise-floor offset
+    /// ([`GatewaySite::snr_offset_db`]).
+    ///
+    /// The offset is receiver-side, so it applies uniformly to every
+    /// emission arriving at the site — honest originals and replay
+    /// transmissions alike — which is why the default adjustment is
+    /// correct for attack interceptors too. A reference site (zero gain,
+    /// default floor) reproduces `intercept_fleet` exactly.
+    fn intercept_fleet_sites(
+        &mut self,
+        frame: &AirFrame,
+        medium: &RadioMedium,
+        sites: &[GatewaySite],
+    ) -> Vec<FleetDelivery> {
+        let positions: Vec<Position> = sites.iter().map(|s| s.position).collect();
+        let mut copies = self.intercept_fleet(frame, medium, &positions);
+        let default_floor = medium.noise_floor_dbm();
+        for copy in &mut copies {
+            copy.delivery.snr_db += sites[copy.gateway].snr_offset_db(default_floor);
+        }
+        copies
+    }
 }
 
 /// The benign channel: one delivery, delayed by propagation, at the link
@@ -217,6 +243,35 @@ mod tests {
         assert_eq!(fleet.len(), single.len());
         assert_eq!(fleet[0].delivery.snr_db, single[0].snr_db);
         assert_eq!(fleet[0].delivery.arrival_global_s, single[0].arrival_global_s);
+    }
+
+    #[test]
+    fn site_characteristics_shift_fleet_snrs() {
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 868e6 }));
+        let positions = [Position::new(300.0, 0.0, 0.0), Position::new(500.0, 0.0, 0.0)];
+        let baseline =
+            HonestChannel.intercept_fleet(&frame_at(Position::default()), &medium, &positions);
+        let sites = [
+            GatewaySite::at(positions[0]).with_antenna_gain_dbi(6.0),
+            GatewaySite::at(positions[1]).with_noise_floor_dbm(medium.noise_floor_dbm() + 3.0),
+        ];
+        let shifted =
+            HonestChannel.intercept_fleet_sites(&frame_at(Position::default()), &medium, &sites);
+        // Gain adds, a hotter floor subtracts; geometry is untouched.
+        assert!((shifted[0].delivery.snr_db - (baseline[0].delivery.snr_db + 6.0)).abs() < 1e-9);
+        assert!((shifted[1].delivery.snr_db - (baseline[1].delivery.snr_db - 3.0)).abs() < 1e-9);
+        assert_eq!(shifted[0].delivery.arrival_global_s, baseline[0].delivery.arrival_global_s);
+
+        // Reference sites reproduce the positional fan-out bit for bit.
+        let reference: Vec<GatewaySite> = positions.iter().map(|p| GatewaySite::at(*p)).collect();
+        let same = HonestChannel.intercept_fleet_sites(
+            &frame_at(Position::default()),
+            &medium,
+            &reference,
+        );
+        for (a, b) in same.iter().zip(baseline.iter()) {
+            assert_eq!(a.delivery.snr_db, b.delivery.snr_db);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! interceptor moving in or out mid-run) and periodic maintenance ticks.
 
 use crate::clock::DriftingClock;
-use crate::medium::{Position, RadioMedium};
+use crate::medium::{GatewaySite, Position, RadioMedium};
 use crate::network::{AirFrame, FleetDelivery, Interceptor, UplinkDeliveries};
 use crate::queue::EventQueue;
 use softlora_lorawan::{ClassADevice, DeviceConfig};
@@ -112,8 +112,9 @@ struct Node {
 }
 
 /// Scenario events. The queue is open-ended: device cycles, transmission
-/// ends, grouped gateway deliveries, attacker actions and maintenance all
-/// flow through the same deterministic [`EventQueue`].
+/// ends, grouped gateway deliveries, replay re-transmissions, attacker
+/// actions and maintenance all flow through the same deterministic
+/// [`EventQueue`].
 enum Event {
     /// Device `idx` takes a sensor reading and tries to transmit.
     SenseAndSend { idx: usize, value: u16 },
@@ -122,10 +123,33 @@ enum Event {
     /// All surviving per-gateway copies of one uplink reach their
     /// gateways (decode completes at frame end).
     Deliver { uplink: UplinkDeliveries },
+    /// The attacker's replay chain re-transmits a recorded frame τ after
+    /// the original: a real emission that contends for the channel like
+    /// any other (checked against the in-flight set, then added to it).
+    ReplayTx {
+        /// Claimed source device of the replayed frame.
+        dev_addr: u32,
+        /// Frame air time, seconds.
+        airtime_s: f64,
+        /// Per-gateway replay copies as the interceptor produced them.
+        copies: Vec<FleetDelivery>,
+    },
     /// The attacker (or any interceptor) moves in or out.
-    AttackerAction { interceptor: Box<dyn Interceptor> },
+    AttackerAction { interceptor: Box<dyn Interceptor + Send> },
     /// Periodic housekeeping: prune in-flight state, tally the tick.
     MaintenanceTick { period_s: f64 },
+}
+
+/// One emission currently on the air, reduced to what collision checks
+/// need: when it ends and how strongly each gateway hears it. Device
+/// uplinks get their powers from the medium's link budget (plus site
+/// antenna gain); replay transmissions reconstruct theirs from the
+/// delivered SNR, so both kinds contend identically.
+struct InFlight {
+    /// Global time the emission leaves the air, seconds.
+    end_s: f64,
+    /// Received power at each gateway, dBm (site antenna gain included).
+    rx_power_dbm: Vec<f64>,
 }
 
 /// Per-gateway delivery statistics.
@@ -163,6 +187,14 @@ pub struct ScenarioStats {
     /// Original copies that survived a collision via the capture effect,
     /// summed over gateways.
     pub captured: u64,
+    /// Replay re-transmissions that went on the air (each contends for
+    /// the channel like any other emission).
+    pub replay_transmissions: u64,
+    /// Replay copies lost to co-channel collisions at their gateway,
+    /// summed over gateways.
+    pub replay_collided: u64,
+    /// Replay copies bound for the sink, summed over gateways.
+    pub replay_delivered: u64,
     /// Maximum concurrently in-flight frames observed.
     pub peak_in_flight: u64,
     /// Maintenance ticks executed.
@@ -182,6 +214,9 @@ impl ScenarioStats {
         self.delivered += other.delivered;
         self.collided += other.collided;
         self.captured += other.captured;
+        self.replay_transmissions += other.replay_transmissions;
+        self.replay_collided += other.replay_collided;
+        self.replay_delivered += other.replay_delivered;
         self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
         self.maintenance_ticks += other.maintenance_ticks;
         if self.per_gateway.len() < other.per_gateway.len() {
@@ -216,13 +251,14 @@ impl std::ops::AddAssign for ScenarioStats {
 pub struct Scenario {
     phy: PhyConfig,
     medium: RadioMedium,
-    gateways: Vec<Position>,
-    interceptor: Box<dyn Interceptor>,
+    sites: Vec<GatewaySite>,
+    gateway_positions: Vec<Position>,
+    interceptor: Box<dyn Interceptor + Send>,
     nodes: Vec<Node>,
     queue: EventQueue<Event>,
     stats: ScenarioStats,
-    /// Frames currently in flight: (air frame, end time).
-    in_flight: Vec<(AirFrame, f64)>,
+    /// Emissions currently on the air (device uplinks and replays alike).
+    in_flight: Vec<InFlight>,
     next_uplink: u64,
 }
 
@@ -233,14 +269,16 @@ impl Scenario {
         phy: PhyConfig,
         medium: RadioMedium,
         gateway_position: Position,
-        interceptor: Box<dyn Interceptor>,
+        interceptor: Box<dyn Interceptor + Send>,
     ) -> Self {
         Self::new_fleet(phy, medium, vec![gateway_position], interceptor)
     }
 
-    /// Creates a scenario over a fleet of gateways. Every uplink fans out
-    /// into per-gateway copies with independent path loss, SNR, capture
-    /// and (under attack) jamming exposure.
+    /// Creates a scenario over a fleet of gateways at the given positions
+    /// (reference sites: no extra antenna gain, the medium's noise
+    /// floor). Every uplink fans out into per-gateway copies with
+    /// independent path loss, SNR, capture and (under attack) jamming
+    /// exposure.
     ///
     /// # Panics
     ///
@@ -249,17 +287,36 @@ impl Scenario {
         phy: PhyConfig,
         medium: RadioMedium,
         gateways: Vec<Position>,
-        interceptor: Box<dyn Interceptor>,
+        interceptor: Box<dyn Interceptor + Send>,
     ) -> Self {
-        assert!(!gateways.is_empty(), "a scenario needs at least one gateway");
+        let sites = gateways.into_iter().map(GatewaySite::at).collect();
+        Self::new_fleet_sites(phy, medium, sites, interceptor)
+    }
+
+    /// Creates a scenario over a fleet of characterised [`GatewaySite`]s:
+    /// per-site antenna gains and noise floors shift each site's delivery
+    /// SNRs on top of the medium's link budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn new_fleet_sites(
+        phy: PhyConfig,
+        medium: RadioMedium,
+        sites: Vec<GatewaySite>,
+        interceptor: Box<dyn Interceptor + Send>,
+    ) -> Self {
+        assert!(!sites.is_empty(), "a scenario needs at least one gateway");
         let stats = ScenarioStats {
-            per_gateway: vec![GatewayLinkStats::default(); gateways.len()],
+            per_gateway: vec![GatewayLinkStats::default(); sites.len()],
             ..ScenarioStats::default()
         };
+        let gateway_positions = sites.iter().map(|s| s.position).collect();
         Scenario {
             phy,
             medium,
-            gateways,
+            sites,
+            gateway_positions,
             interceptor,
             nodes: Vec::new(),
             queue: EventQueue::new(),
@@ -271,14 +328,14 @@ impl Scenario {
 
     /// Swaps the delivery interceptor (e.g. the attack moving in) while
     /// keeping all device and schedule state.
-    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
+    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor + Send>) {
         self.interceptor = interceptor;
     }
 
     /// Schedules an interceptor swap at simulation time `at_s` — the
     /// attacker arriving (or leaving, by scheduling an honest channel) as
     /// a first-class event instead of split `run` calls.
-    pub fn schedule_interceptor(&mut self, at_s: f64, interceptor: Box<dyn Interceptor>) {
+    pub fn schedule_interceptor(&mut self, at_s: f64, interceptor: Box<dyn Interceptor + Send>) {
         self.queue.schedule(at_s, Event::AttackerAction { interceptor });
     }
 
@@ -296,7 +353,13 @@ impl Scenario {
 
     /// Gateway positions of the fleet.
     pub fn gateways(&self) -> &[Position] {
-        &self.gateways
+        &self.gateway_positions
+    }
+
+    /// The fleet's gateway sites (positions plus per-site receiver
+    /// characteristics).
+    pub fn sites(&self) -> &[GatewaySite] {
+        &self.sites
     }
 
     /// Adds a device at `position` reporting every `period_s` seconds
@@ -357,7 +420,7 @@ impl Scenario {
     /// into phases whose stats merge back into the whole-run view.
     pub fn take_stats(&mut self) -> ScenarioStats {
         let fresh = ScenarioStats {
-            per_gateway: vec![GatewayLinkStats::default(); self.gateways.len()],
+            per_gateway: vec![GatewayLinkStats::default(); self.sites.len()],
             ..ScenarioStats::default()
         };
         std::mem::replace(&mut self.stats, fresh)
@@ -382,21 +445,39 @@ impl Scenario {
                     self.handle_sense_and_send(now, idx, value);
                 }
                 Event::TxEnd => {
-                    self.in_flight.retain(|(_, end)| *end > now);
+                    self.in_flight.retain(|f| f.end_s > now);
                 }
                 Event::Deliver { uplink } => {
                     sink(&uplink);
+                }
+                Event::ReplayTx { dev_addr, airtime_s, copies } => {
+                    self.handle_replay_tx(now, dev_addr, airtime_s, copies);
                 }
                 Event::AttackerAction { interceptor } => {
                     self.interceptor = interceptor;
                 }
                 Event::MaintenanceTick { period_s } => {
-                    self.in_flight.retain(|(_, end)| *end > now);
+                    self.in_flight.retain(|f| f.end_s > now);
                     self.stats.maintenance_ticks += 1;
                     self.queue.schedule(now + period_s, Event::MaintenanceTick { period_s });
                 }
             }
         }
+    }
+
+    /// Received power of a device emission at every gateway, dBm,
+    /// including each site's antenna gain — the quantity collision checks
+    /// compare.
+    fn frame_rx_powers(&self, frame: &AirFrame) -> Vec<f64> {
+        self.sites
+            .iter()
+            .map(|site| {
+                self.medium
+                    .link(&frame.tx_position, &site.position, frame.tx_power_dbm)
+                    .rx_power_dbm()
+                    + site.antenna_gain_dbi
+            })
+            .collect()
     }
 
     fn handle_sense_and_send(&mut self, now: f64, idx: usize, value: u16) {
@@ -444,22 +525,22 @@ impl Scenario {
 
         // Collision bookkeeping: prune ended flights, then check overlap
         // independently at every gateway (near–far geometry means a frame
-        // can capture at one gateway and collide at another).
-        self.in_flight.retain(|(_, end)| *end > now);
+        // can capture at one gateway and collide at another). The
+        // in-flight set holds *every* ongoing emission — device uplinks
+        // and replay re-transmissions alike.
+        self.in_flight.retain(|f| f.end_s > now);
         let had_overlap = !self.in_flight.is_empty();
-        let mut survives = vec![true; self.gateways.len()];
-        for (g, gw) in self.gateways.iter().enumerate() {
-            let rx_power =
-                |f: &AirFrame| self.medium.link(&f.tx_position, gw, f.tx_power_dbm).rx_power_dbm();
-            let new_power = rx_power(&frame);
-            for (other, _) in &self.in_flight {
-                if new_power < rx_power(other) + CAPTURE_THRESHOLD_DB {
+        let new_powers = self.frame_rx_powers(&frame);
+        let mut survives = vec![true; self.sites.len()];
+        for (g, &new_power) in new_powers.iter().enumerate() {
+            for other in &self.in_flight {
+                if new_power < other.rx_power_dbm[g] + CAPTURE_THRESHOLD_DB {
                     // The new frame does not capture over the ongoing one.
                     survives[g] = false;
                 }
             }
         }
-        self.in_flight.push((frame.clone(), now + frame.airtime_s));
+        self.in_flight.push(InFlight { end_s: now + frame.airtime_s, rx_power_dbm: new_powers });
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight.len() as u64);
         self.queue.schedule(now + frame.airtime_s, Event::TxEnd);
 
@@ -473,12 +554,34 @@ impl Scenario {
             }
         }
 
-        // Fan out through the interceptor, then drop original copies at
-        // gateways where the original collided. Replay copies arrive τ
-        // later, when the channel contention has passed, and are kept.
-        let copies = self.interceptor.intercept_fleet(&frame, &self.medium, &self.gateways);
+        // Fan out through the interceptor, then split the copies: original
+        // copies are dropped at gateways where the original collided and
+        // delivered when this frame leaves the air; replay copies are a
+        // *separate transmission* τ later and go back on the event queue,
+        // where they face the in-flight overlap check of their own tx
+        // window instead of bypassing it.
+        let copies = self.interceptor.intercept_fleet_sites(&frame, &self.medium, &self.sites);
+        let (replays, originals): (Vec<FleetDelivery>, Vec<FleetDelivery>) =
+            copies.into_iter().partition(|c| c.delivery.is_replay);
         let kept: Vec<FleetDelivery> =
-            copies.into_iter().filter(|c| c.delivery.is_replay || survives[c.gateway]).collect();
+            originals.into_iter().filter(|c| survives[c.gateway]).collect();
+
+        if let Some(replay_tx_start) =
+            replays.iter().map(|c| c.delivery.arrival_global_s).min_by(f64::total_cmp)
+        {
+            // One replay emission, heard fleet-wide; its transmission
+            // starts when its earliest copy arrives (propagation within
+            // the fleet is microseconds).
+            self.queue.schedule(
+                replay_tx_start,
+                Event::ReplayTx {
+                    dev_addr: frame.dev_addr,
+                    airtime_s: frame.airtime_s,
+                    copies: replays,
+                },
+            );
+        }
+
         let uplink_id = self.next_uplink;
         self.next_uplink += 1;
         if kept.is_empty() {
@@ -498,6 +601,65 @@ impl Scenario {
         };
         // Decode completes when the frame leaves the air.
         self.queue.schedule(now + frame.airtime_s, Event::Deliver { uplink: group });
+    }
+
+    /// The replay chain's re-transmission goes on the air: contend with
+    /// whatever is in flight *now* (the original's window has long
+    /// passed), join the in-flight set so later uplinks contend with the
+    /// replay, and deliver the surviving copies as their own group when
+    /// the emission ends.
+    fn handle_replay_tx(
+        &mut self,
+        now: f64,
+        dev_addr: u32,
+        airtime_s: f64,
+        copies: Vec<FleetDelivery>,
+    ) {
+        self.in_flight.retain(|f| f.end_s > now);
+        self.stats.replay_transmissions += 1;
+
+        // Reconstruct the replay's per-gateway received power from the
+        // delivered SNR and the site noise floor — the same quantity
+        // `frame_rx_powers` computes for device emissions.
+        let default_floor = self.medium.noise_floor_dbm();
+        let mut replay_powers = vec![f64::NEG_INFINITY; self.sites.len()];
+        for c in &copies {
+            replay_powers[c.gateway] =
+                self.sites[c.gateway].noise_floor_dbm(default_floor) + c.delivery.snr_db;
+        }
+
+        let kept: Vec<FleetDelivery> = copies
+            .into_iter()
+            .filter(|c| {
+                let survives = self.in_flight.iter().all(|other| {
+                    replay_powers[c.gateway] >= other.rx_power_dbm[c.gateway] + CAPTURE_THRESHOLD_DB
+                });
+                if !survives {
+                    self.stats.replay_collided += 1;
+                }
+                survives
+            })
+            .collect();
+
+        self.in_flight.push(InFlight { end_s: now + airtime_s, rx_power_dbm: replay_powers });
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight.len() as u64);
+        self.queue.schedule(now + airtime_s, Event::TxEnd);
+
+        let uplink_id = self.next_uplink;
+        self.next_uplink += 1;
+        if kept.is_empty() {
+            return;
+        }
+        self.stats.uplinks_delivered += 1;
+        self.stats.replay_delivered += kept.len() as u64;
+        let group = UplinkDeliveries {
+            uplink: uplink_id,
+            dev_addr,
+            tx_start_global_s: now,
+            airtime_s,
+            copies: kept,
+        };
+        self.queue.schedule(now + airtime_s, Event::Deliver { uplink: group });
     }
 }
 
@@ -685,6 +847,143 @@ mod tests {
         s.run(1800.0, |_| {});
         let st = s.stats();
         assert!(st.transmitted > 10, "{st:?}");
+    }
+
+    /// A bare-bones frame-delay stand-in: every uplink is delivered
+    /// honestly and additionally replayed τ seconds later at the same
+    /// SNR, fleet-wide.
+    struct TestReplayChannel {
+        tau_s: f64,
+    }
+    impl Interceptor for TestReplayChannel {
+        fn intercept(
+            &mut self,
+            frame: &AirFrame,
+            medium: &RadioMedium,
+            gateway_position: &Position,
+        ) -> Vec<crate::network::Delivery> {
+            let mut out = HonestChannel.intercept(frame, medium, gateway_position);
+            let mut replay = out[0].clone();
+            replay.arrival_global_s += self.tau_s;
+            replay.is_replay = true;
+            out.push(replay);
+            out
+        }
+    }
+    #[test]
+    fn replays_are_delivered_as_their_own_groups() {
+        // Sparse traffic: one device, no contention. Replays must reach
+        // the sink τ late as separate groups and be counted separately.
+        let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 }));
+        let mut s = Scenario::new(
+            phy,
+            medium,
+            Position::new(0.0, 0.0, 10.0),
+            Box::new(TestReplayChannel { tau_s: 30.0 }),
+        );
+        s.add_device(1, Position::new(100.0, 20.0, 1.5), 120.0, 0);
+        let mut originals = Vec::new();
+        let mut replays = Vec::new();
+        s.run(1200.0, |u| {
+            assert_eq!(u.copies.len(), 1);
+            if u.copies[0].delivery.is_replay {
+                replays.push(u.tx_start_global_s);
+            } else {
+                originals.push(u.tx_start_global_s);
+            }
+        });
+        assert!(!originals.is_empty());
+        assert!(!replays.is_empty(), "replay groups reach the sink");
+        // Each replay transmission starts ~τ after some original.
+        for r in &replays {
+            assert!(
+                originals.iter().any(|o| (r - o - 30.0).abs() < 0.1),
+                "replay at {r} has no original 30 s earlier"
+            );
+        }
+        let st = s.stats().clone();
+        assert_eq!(st.replay_transmissions as usize, replays.len());
+        assert_eq!(st.replay_delivered as usize, replays.len());
+        assert_eq!(st.replay_collided, 0, "no contention in a sparse net");
+        assert_eq!(st.delivered as usize, originals.len(), "originals counted separately");
+    }
+
+    #[test]
+    fn replay_transmissions_contend_for_the_channel() {
+        // Dense traffic: 40 devices at 5 s periods keep the channel busy,
+        // and every uplink is replayed τ = 7 s later — replays land in
+        // other devices' transmission windows, so the in-flight overlap
+        // check must kill some of them (they no longer bypass it).
+        let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 }));
+        let mut s = Scenario::new(
+            phy,
+            medium,
+            Position::new(0.0, 0.0, 10.0),
+            Box::new(TestReplayChannel { tau_s: 7.0 }),
+        );
+        for k in 0..40 {
+            s.add_device(
+                0x2601_2000 + k as u32,
+                Position::new(100.0 + 40.0 * k as f64, 20.0, 1.5),
+                5.0,
+                k as u64,
+            );
+        }
+        s.run(600.0, |_| {});
+        let st = s.stats().clone();
+        assert!(st.replay_transmissions > 50, "{st:?}");
+        assert!(st.replay_collided > 0, "replays must suffer collisions: {st:?}");
+        assert_eq!(
+            st.replay_delivered + st.replay_collided,
+            st.replay_transmissions,
+            "single gateway: every replay copy is delivered or collided"
+        );
+        // Replays also occupy the air: device uplinks collide against
+        // them, so the original collision count exceeds a replay-free run.
+        let mut honest = Scenario::new(
+            PhyConfig::uplink(SpreadingFactor::Sf7),
+            RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 })),
+            Position::new(0.0, 0.0, 10.0),
+            Box::new(HonestChannel),
+        );
+        for k in 0..40 {
+            honest.add_device(
+                0x2601_2000 + k as u32,
+                Position::new(100.0 + 40.0 * k as f64, 20.0, 1.5),
+                5.0,
+                k as u64,
+            );
+        }
+        honest.run(600.0, |_| {});
+        assert!(
+            st.collided > honest.stats().collided,
+            "replay emissions add contention: {} vs {}",
+            st.collided,
+            honest.stats().collided
+        );
+    }
+
+    #[test]
+    fn site_characteristics_reach_scenario_deliveries() {
+        let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+        let make = |gain_dbi: f64| {
+            let medium = RadioMedium::new(Box::new(FreeSpace { freq_hz: 869.75e6 }));
+            let site = crate::medium::GatewaySite::at(Position::new(0.0, 0.0, 10.0))
+                .with_antenna_gain_dbi(gain_dbi);
+            let mut s = Scenario::new_fleet_sites(phy, medium, vec![site], Box::new(HonestChannel));
+            s.add_device(1, Position::new(300.0, 0.0, 1.5), 120.0, 0);
+            s
+        };
+        let snr_of = |s: &mut Scenario| {
+            let mut snr = None;
+            s.run(200.0, |u| snr = Some(u.copies[0].delivery.snr_db));
+            snr.expect("one delivery in 200 s")
+        };
+        let baseline = snr_of(&mut make(0.0));
+        let boosted = snr_of(&mut make(8.0));
+        assert!((boosted - baseline - 8.0).abs() < 1e-9, "baseline {baseline} boosted {boosted}");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The always-on deployment mode: a gateway fleet and its network server
+//! running as a streaming flowgraph instead of a batch call.
+//!
+//! A 10-meter fleet scenario is wrapped as a `ScenarioSource` block that
+//! broadcasts every uplink group over lock-free rings to one
+//! `GatewayFrontBlock` per gateway (the embarrassingly-parallel DSP front
+//! half: radio gate → capture → onset pick → FB estimate); the
+//! `ServerSinkBlock` reassembles the per-gateway analyses and drives the
+//! sequential dedup/detect/MAC tail. Verdicts surface through a
+//! `ServerObserver`, and the runtime reports per-block throughput,
+//! latency and ring occupancy.
+//!
+//! Run with: `cargo run --release --example streaming_gateway`
+
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+use softlora_repro::runtime::{FlowgraphBuilder, Scheduler};
+use softlora_repro::sim::{FleetDeployment, HonestChannel, Scenario, ScenarioSource};
+use softlora_repro::softlora::network_server::ServerObserver;
+use softlora_repro::softlora::{NetworkServer, ServerStats, ServerVerdict};
+use std::sync::{Arc, Mutex};
+
+const GATEWAYS: usize = 3;
+const DEVICES: usize = 10;
+const HOURS: f64 = 1.0;
+
+#[derive(Default)]
+struct Tally {
+    accepted: u64,
+    flagged: u64,
+    stats: ServerStats,
+}
+
+impl ServerObserver for Tally {
+    fn on_verdict(&mut self, _uplink: u64, verdict: &ServerVerdict) {
+        if verdict.is_accepted() {
+            self.accepted += 1;
+        }
+        if verdict.is_replay_flagged() {
+            self.flagged += 1;
+        }
+    }
+    fn on_stats(&mut self, stats: ServerStats) {
+        self.stats = stats;
+    }
+}
+
+fn main() {
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let fleet = FleetDeployment::with_gateways(GATEWAYS);
+
+    println!("Streaming flowgraph: {DEVICES} meters -> {GATEWAYS} gateway fronts -> server sink");
+    println!("Simulating {HOURS} h of traffic as a continuous stream...\n");
+
+    let mut scenario = Scenario::new_fleet(
+        phy,
+        fleet.medium(),
+        fleet.gateway_positions(),
+        Box::new(HonestChannel),
+    );
+    let mut builder = NetworkServer::builder(phy).adc_quantisation(false).warmup_frames(2);
+    for g in 0..GATEWAYS {
+        builder = builder.gateway(2100 + g as u64);
+    }
+    for (k, pos) in fleet.device_positions(DEVICES, 77).iter().enumerate() {
+        let dev_addr = scenario.add_device(0x2601_7000 + k as u32, *pos, 120.0, k as u64);
+        let cfg = scenario.device_config(k).clone();
+        assert_eq!(dev_addr, cfg.dev_addr);
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
+    }
+    let (fronts, mut sink) = builder.build().into_streaming();
+
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    sink.attach_observer(Box::new(Arc::clone(&tally)));
+
+    let mut b = FlowgraphBuilder::new();
+    let src = b.source(ScenarioSource::new(scenario, HOURS * 3600.0, 60.0));
+    let parts: Vec<_> = fronts.into_iter().map(|front| b.stage(src, front)).collect();
+    b.sink(&parts, sink);
+    let flowgraph = b.build().expect("valid flowgraph");
+
+    let workers = 1 + GATEWAYS.min(3);
+    let report = Scheduler::new(workers).run(flowgraph);
+
+    println!(
+        "{:<18} {:>9} {:>9} {:>11} {:>12} {:>10}",
+        "block", "items in", "items out", "work calls", "latency", "occupancy"
+    );
+    for block in &report.blocks {
+        println!(
+            "{:<18} {:>9} {:>9} {:>11} {:>9.1} µs {:>10.2}",
+            block.name,
+            block.items_in,
+            block.items_out,
+            block.work_calls,
+            block.latency_s() * 1e6,
+            block.mean_occupancy,
+        );
+    }
+
+    let tally = tally.lock().unwrap();
+    println!(
+        "\n{} uplinks deduplicated in {:.2} s wall clock ({:.0} uplinks/s end to end, {} workers)",
+        tally.stats.uplinks,
+        report.elapsed_s,
+        tally.stats.uplinks as f64 / report.elapsed_s,
+        report.workers,
+    );
+    println!(
+        "accepted {} | replay-flagged {} | duplicates suppressed {} | lorawan rejected {}",
+        tally.accepted,
+        tally.flagged,
+        tally.stats.duplicates_suppressed,
+        tally.stats.lorawan_rejected,
+    );
+    assert_eq!(tally.accepted, tally.stats.accepted);
+    assert!(tally.flagged == 0, "honest traffic must not be flagged");
+    println!("\nThe same wiring accepts a live SDR feed: blocks only see ring items.");
+}

@@ -12,7 +12,8 @@
 //! | [`lorawan`] | frames, Class A device, duty cycle, elapsed-time timestamping, commodity gateway |
 //! | [`sim`] | drifting clocks, event queue, radio medium, building/campus deployments, interception |
 //! | [`attack`] | eavesdropper, stealthy jammer, USRP replayer, frame-delay orchestrator, RTT strawman |
-//! | [`softlora`] | the paper's contribution: PHY timestamping, FB estimation, FB database, replay detection, the SoftLoRa gateway |
+//! | [`runtime`] | streaming flowgraph runtime: blocks over lock-free SPSC rings, multi-threaded scheduler, runtime observers |
+//! | [`softlora`] | the paper's contribution: PHY timestamping, FB estimation, FB database, replay detection, the SoftLoRa gateway, the streaming network-server blocks |
 //!
 //! See the repository `README.md` for a guided tour, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for the paper-versus-measured
@@ -51,4 +52,5 @@ pub use softlora_crypto as crypto;
 pub use softlora_dsp as dsp;
 pub use softlora_lorawan as lorawan;
 pub use softlora_phy as phy;
+pub use softlora_runtime as runtime;
 pub use softlora_sim as sim;
