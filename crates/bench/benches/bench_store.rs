@@ -1,0 +1,159 @@
+//! Criterion benchmarks for the durable sharded device-state store.
+//!
+//! Three questions:
+//!
+//! 1. raw WAL append throughput — what one commit record costs at the
+//!    storage layer, across record sizes and with segment rotation
+//!    (`wal_append_*`);
+//! 2. recovery cost — reopening a shard with a snapshot plus a WAL tail
+//!    of various lengths (`recovery_*`);
+//! 3. what the server tail costs end to end: sequential (1 shard) versus
+//!    sharded tails, in memory and with persistence on
+//!    (`server_tail_*`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softlora::NetworkServer;
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use softlora_sim::{FleetDeployment, HonestChannel, Scenario, UplinkDeliveries};
+use softlora_store::{test_dir, ShardWal, WalOptions};
+use std::hint::black_box;
+use std::path::Path;
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf7)
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_wal");
+    group.sample_size(10);
+    for record_bytes in [64usize, 256, 1024] {
+        group.bench_function(format!("wal_append_1k_records_{record_bytes}B"), |b| {
+            let payload = vec![0xA5u8; record_bytes];
+            b.iter(|| {
+                let dir = test_dir("bench-append");
+                let mut wal = ShardWal::open(&dir, WalOptions { segment_bytes: 1 << 18 }).unwrap();
+                for _ in 0..1000 {
+                    wal.append(black_box(&payload)).unwrap();
+                }
+                wal.flush().unwrap();
+                drop(wal);
+                std::fs::remove_dir_all(&dir).ok();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_recovery");
+    group.sample_size(10);
+    for (records, with_snapshot) in [(1000usize, false), (1000, true), (5000, false)] {
+        // Build the shard once; recovery (open + replay) is what's timed.
+        let dir = test_dir("bench-recovery");
+        {
+            let mut wal = ShardWal::open(&dir, WalOptions { segment_bytes: 1 << 18 }).unwrap();
+            let payload = vec![0x5Au8; 256];
+            if with_snapshot {
+                for _ in 0..records / 2 {
+                    wal.append(&payload).unwrap();
+                }
+                wal.install_snapshot(&vec![0u8; 64 * 1024]).unwrap();
+                for _ in 0..records / 2 {
+                    wal.append(&payload).unwrap();
+                }
+            } else {
+                for _ in 0..records {
+                    wal.append(&payload).unwrap();
+                }
+            }
+        }
+        let label = if with_snapshot { "snapshot_plus_tail" } else { "wal_only" };
+        group.bench_function(format!("recovery_{records}rec_{label}"), |b| {
+            b.iter(|| {
+                let mut wal =
+                    ShardWal::open(black_box(&dir), WalOptions { segment_bytes: 1 << 18 }).unwrap();
+                let recovery = wal.take_recovery();
+                black_box(recovery.records.len())
+            })
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn pinned_groups(devices: usize) -> Vec<UplinkDeliveries> {
+    let fleet = FleetDeployment::with_gateways(2);
+    let mut s = Scenario::new_fleet(
+        phy(),
+        fleet.medium(),
+        fleet.gateway_positions(),
+        Box::new(HonestChannel),
+    );
+    for (k, pos) in fleet.device_positions(devices, 42).iter().enumerate() {
+        s.add_device(0x2601_6000 + k as u32, *pos, 120.0, k as u64);
+    }
+    let mut groups = Vec::new();
+    let mut scenario = s;
+    scenario.run(1800.0, |u| groups.push(u.clone()));
+    groups
+}
+
+fn build_server(groups_src: &Scenario, shards: usize, dir: Option<&Path>) -> NetworkServer {
+    let mut b = NetworkServer::builder(phy())
+        .adc_quantisation(false)
+        .warmup_frames(2)
+        .gateway(0)
+        .gateway(1)
+        .shards(shards);
+    for k in 0..groups_src.devices() {
+        let cfg = groups_src.device_config(k).clone();
+        b = b.provision(cfg.dev_addr, cfg.keys);
+    }
+    if let Some(dir) = dir {
+        b = b.with_persistence(dir);
+    }
+    b.build()
+}
+
+fn bench_server_tail(c: &mut Criterion) {
+    let devices = 8;
+    let groups = pinned_groups(devices);
+    let scenario = {
+        let fleet = FleetDeployment::with_gateways(2);
+        let mut s = Scenario::new_fleet(
+            phy(),
+            fleet.medium(),
+            fleet.gateway_positions(),
+            Box::new(HonestChannel),
+        );
+        for (k, pos) in fleet.device_positions(devices, 42).iter().enumerate() {
+            s.add_device(0x2601_6000 + k as u32, *pos, 120.0, k as u64);
+        }
+        s
+    };
+    let mut group = c.benchmark_group("server_tail");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        group.bench_function(format!("server_tail_{shards}shard_memory"), |b| {
+            b.iter(|| {
+                let mut server = build_server(&scenario, shards, None);
+                let verdicts = server.process_batch(black_box(&groups)).unwrap();
+                verdicts.len()
+            })
+        });
+        group.bench_function(format!("server_tail_{shards}shard_persistent"), |b| {
+            b.iter(|| {
+                let dir = test_dir("bench-tail");
+                let mut server = build_server(&scenario, shards, Some(&dir));
+                let verdicts = server.process_batch(black_box(&groups)).unwrap();
+                drop(server);
+                std::fs::remove_dir_all(&dir).ok();
+                verdicts.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_recovery, bench_server_tail);
+criterion_main!(benches);

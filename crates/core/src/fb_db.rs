@@ -36,6 +36,19 @@ impl FbCheck {
     }
 }
 
+/// The audit record of a capacity eviction: which device lost its
+/// history and what that history was. Emitted by [`FbDatabase::update`]
+/// when the capacity bound forces out the least-recently-updated device,
+/// so the drop is observable (server observers log it, the WAL keeps it)
+/// instead of silent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FbEviction {
+    /// The evicted device.
+    pub dev_addr: u32,
+    /// The FB history that was dropped, oldest first, Hz.
+    pub history: Vec<f64>,
+}
+
 /// Sliding-window FB statistics for one device.
 #[derive(Debug, Clone)]
 struct DeviceHistory {
@@ -179,20 +192,27 @@ impl FbDatabase {
     ///
     /// When the device is new and the database is at its capacity bound,
     /// the least-recently-updated device is evicted first (update ticks
-    /// are unique, so eviction is deterministic).
-    pub fn update(&mut self, dev_addr: u32, fb_hz: f64) {
+    /// are unique, so eviction is deterministic) and the dropped history
+    /// is returned as an [`FbEviction`] audit record.
+    pub fn update(&mut self, dev_addr: u32, fb_hz: f64) -> Option<FbEviction> {
         self.clock += 1;
         if let Some(h) = self.histories.get_mut(&dev_addr) {
             self.lru.remove(&(h.last_update, dev_addr));
             h.push(fb_hz);
             h.last_update = self.clock;
             self.lru.insert((self.clock, dev_addr));
-            return;
+            return None;
         }
+        let mut eviction = None;
         if self.histories.len() >= self.max_devices {
             if let Some(&stalest) = self.lru.iter().next() {
                 self.lru.remove(&stalest);
-                self.histories.remove(&stalest.1);
+                if let Some(h) = self.histories.remove(&stalest.1) {
+                    eviction = Some(FbEviction {
+                        dev_addr: stalest.1,
+                        history: h.window.into_iter().collect(),
+                    });
+                }
             }
         }
         let mut h = DeviceHistory::new(self.window);
@@ -200,6 +220,54 @@ impl FbDatabase {
         h.last_update = self.clock;
         self.histories.insert(dev_addr, h);
         self.lru.insert((self.clock, dev_addr));
+        eviction
+    }
+
+    /// The monotonic update tick (for state export/restore).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Every tracked history as `(device, last-update tick, FBs oldest
+    /// first)`, ordered stalest-first — a deterministic, restorable
+    /// export of the database's device state.
+    pub fn export_histories(&self) -> Vec<(u32, u64, Vec<f64>)> {
+        self.lru
+            .iter()
+            .map(|&(tick, dev)| {
+                let h = &self.histories[&dev];
+                (dev, tick, h.window.iter().copied().collect())
+            })
+            .collect()
+    }
+
+    /// Drops every tracked history (state restore entry point); the
+    /// configuration (window, warm-up, band, capacity) is kept.
+    pub fn clear(&mut self) {
+        self.histories.clear();
+        self.lru.clear();
+        self.clock = 0;
+    }
+
+    /// Reinstates one device's exported history verbatim: the window
+    /// contents and the LRU tick are restored bit-for-bit, so a
+    /// snapshot-restored database behaves identically to the live one.
+    /// The clock is raised to at least `tick`.
+    pub fn restore_history(&mut self, dev_addr: u32, tick: u64, fbs_hz: &[f64]) {
+        self.forget(dev_addr);
+        let mut h = DeviceHistory::new(self.window);
+        for &fb in fbs_hz {
+            h.push(fb);
+        }
+        h.last_update = tick;
+        self.histories.insert(dev_addr, h);
+        self.lru.insert((tick, dev_addr));
+        self.clock = self.clock.max(tick);
+    }
+
+    /// Forces the update tick (the final step of a snapshot restore).
+    pub fn set_clock(&mut self, clock: u64) {
+        self.clock = clock;
     }
 
     /// Removes a device's history (e.g. on re-provisioning).
@@ -399,6 +467,51 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_eq!(run(), vec![1, 9]);
+    }
+
+    #[test]
+    fn eviction_returns_audit_record() {
+        let mut d = FbDatabase::new(16, 3, 360.0, 4.0).with_max_devices(2);
+        for k in 0..3 {
+            assert_eq!(d.update(1, -20_000.0 + k as f64), None);
+        }
+        assert_eq!(d.update(2, -21_000.0), None);
+        // Device 3 forces device 1 (stalest) out; the dropped history
+        // comes back as the audit record, oldest first.
+        let ev = d.update(3, -22_000.0).expect("eviction at capacity");
+        assert_eq!(ev.dev_addr, 1);
+        assert_eq!(ev.history, vec![-20_000.0, -19_999.0, -19_998.0]);
+        assert_eq!(d.history_len(1), 0);
+    }
+
+    #[test]
+    fn export_restore_round_trips_state() {
+        let mut d = FbDatabase::new(8, 3, 360.0, 4.0).with_max_devices(2);
+        for k in 0..5 {
+            d.update(10, -20_000.0 + 10.0 * k as f64);
+            d.update(11, -21_000.0 - 10.0 * k as f64);
+        }
+        let exported = d.export_histories();
+        let clock = d.clock();
+
+        let mut r = FbDatabase::new(8, 3, 360.0, 4.0).with_max_devices(2);
+        for (dev, tick, fbs) in &exported {
+            r.restore_history(*dev, *tick, fbs);
+        }
+        r.set_clock(clock);
+        assert_eq!(r.devices(), d.devices());
+        for dev in [10u32, 11] {
+            assert_eq!(r.history_len(dev), d.history_len(dev));
+            assert_eq!(r.tracked_center_hz(dev), d.tracked_center_hz(dev));
+            assert_eq!(r.band_hz(dev), d.band_hz(dev));
+        }
+        // Restored LRU order matches: the next eviction hits the same
+        // device in both databases.
+        let ev_live = d.update(12, -1.0).map(|e| e.dev_addr);
+        let ev_rest = r.update(12, -1.0).map(|e| e.dev_addr);
+        assert_eq!(ev_live, ev_rest);
+        assert!(ev_live.is_some());
+        assert_eq!(d.clock(), r.clock());
     }
 
     #[test]

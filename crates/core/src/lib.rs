@@ -70,6 +70,7 @@ pub mod fb_estimator;
 pub mod gateway;
 pub mod network_server;
 pub mod observer;
+pub(crate) mod persist;
 pub mod phy_timestamp;
 pub mod pipeline;
 pub mod replay_detect;
@@ -77,7 +78,7 @@ pub mod streaming;
 
 pub use builder::GatewayBuilder;
 pub use config::SoftLoraConfig;
-pub use fb_db::FbDatabase;
+pub use fb_db::{FbDatabase, FbEviction};
 pub use fb_estimator::{FbEstimate, FbEstimator, FbMethod};
 pub use gateway::{SoftLoraGateway, SoftLoraVerdict};
 pub use network_server::{
@@ -87,7 +88,9 @@ pub use observer::{GatewayObserver, GatewayStats, Stage};
 pub use phy_timestamp::{OnsetMethod, PhyTimestamp, PhyTimestamper};
 pub use pipeline::Pipeline;
 pub use replay_detect::{ReplayDetector, ReplayVerdict};
-pub use streaming::{FrontPart, GatewayFrontBlock, ServerSinkBlock};
+pub use streaming::{
+    FrontPart, GatewayFrontBlock, RoutedUplink, ServerSinkBlock, ShardRouterBlock, ShardSinkBlock,
+};
 
 /// Errors returned by SoftLoRa processing stages.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +106,12 @@ pub enum SoftLoraError {
     Phy(softlora_phy::PhyError),
     /// A LoRaWAN stage failed.
     Lorawan(softlora_lorawan::LorawanError),
+    /// The durable device-state store failed (WAL append, snapshot or
+    /// flush) on a server built with persistence enabled.
+    Persistence {
+        /// Description of the store failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SoftLoraError {
@@ -112,6 +121,7 @@ impl std::fmt::Display for SoftLoraError {
             SoftLoraError::Dsp(e) => write!(f, "dsp error: {e}"),
             SoftLoraError::Phy(e) => write!(f, "phy error: {e}"),
             SoftLoraError::Lorawan(e) => write!(f, "lorawan error: {e}"),
+            SoftLoraError::Persistence { detail } => write!(f, "persistence error: {detail}"),
         }
     }
 }
@@ -142,6 +152,12 @@ impl From<softlora_phy::PhyError> for SoftLoraError {
 impl From<softlora_lorawan::LorawanError> for SoftLoraError {
     fn from(e: softlora_lorawan::LorawanError) -> Self {
         SoftLoraError::Lorawan(e)
+    }
+}
+
+impl From<softlora_store::StoreError> for SoftLoraError {
+    fn from(e: softlora_store::StoreError) -> Self {
+        SoftLoraError::Persistence { detail: e.to_string() }
     }
 }
 

@@ -1,5 +1,5 @@
 //! The network-server timestamping service: multi-gateway deduplication
-//! over the SoftLoRa pipeline.
+//! over the SoftLoRa pipeline, with a sharded, optionally durable tail.
 //!
 //! Real LoRaWAN deployments place several gateways so that one uplink is
 //! heard by more than one of them; the network server deduplicates the
@@ -10,27 +10,45 @@
 //!   [`crate::pipeline`] (radio gate → capture synthesis → onset pick → FB
 //!   estimate) — per-gateway state, because every gateway has its own SDR
 //!   receiver and oscillator bias;
-//! * the server owns the **shared, capacity-bounded
-//!   [`crate::FbDatabase`] keyed by device**. FB estimates are
-//!   normalised into gateway 0's reference frame (`fb + δRx_g − δRx_0`) so
-//!   copies from different SDRs share one per-device history; for gateway
-//!   0 the normalisation is exactly zero, which keeps the one-gateway
-//!   configuration bit-for-bit identical to a standalone
-//!   [`SoftLoraGateway`](crate::SoftLoraGateway);
+//! * the server's stateful **back half is sharded by device**: every
+//!   uplink group is routed to the `ShardCore` owning its device
+//!   (stable hash, [`softlora_store::shard_of`]), and each shard owns
+//!   that slice of the FB detector, dedup cache and LoRaWAN MAC tail
+//!   state. Because all of that state is per-device, a shard-parallel
+//!   tail is **verdict-identical to the sequential one** for any shard
+//!   count — `shards(1)` *is* the sequential tail;
+//! * FB estimates are normalised into gateway 0's reference frame
+//!   (`fb + δRx_g − δRx_0`) so copies from different SDRs share one
+//!   per-device history; for gateway 0 the normalisation is exactly
+//!   zero, which keeps the one-gateway configuration bit-for-bit
+//!   identical to a standalone [`SoftLoraGateway`](crate::SoftLoraGateway);
 //! * **dedup with consistency checking** adds a second replay signal on
 //!   top of the FB check: copies of one uplink must arrive within the
 //!   propagation window, and a repeated `(device, fcnt)` far outside it is
 //!   flagged — so the frame-delay attack is caught even at a gateway the
 //!   attacker never jammed;
 //! * [`NetworkServer::process_batch`] fans the per-gateway front halves
-//!   out across worker threads exactly like
-//!   [`SoftLoraGateway::process_batch`](crate::SoftLoraGateway::process_batch),
-//!   then replays the stateful dedup/detect/MAC tail sequentially in
-//!   uplink order.
+//!   out across worker threads, commits the per-shard tails in parallel,
+//!   then replays verdicts and statistics to [`ServerObserver`]s in
+//!   uplink order — the observer stream is bit-for-bit what a sequential
+//!   tail would have produced.
+//!
+//! # Persistence
+//!
+//! [`NetworkServerBuilder::with_persistence`] makes the tail durable: each
+//! shard appends one WAL commit record per uplink group to its slice of a
+//! [`softlora_store::ShardedStore`] and periodically installs a snapshot.
+//! Rebuilding the same server configuration over the same directory
+//! recovers the tail (snapshot + WAL tail replay) **bit for bit** — a
+//! kill-and-recover run produces verdicts identical to an uninterrupted
+//! one, pinned by the `persistence` integration test. The caller must
+//! rebuild with the same gateways, devices and tuning; gateway- or
+//! shard-count changes are refused at build.
 
 use crate::config::SoftLoraConfig;
-use crate::fb_db::FbDatabase;
+use crate::fb_db::{FbDatabase, FbEviction};
 use crate::gateway::SoftLoraVerdict;
+use crate::persist::{CommitRecord, DedupRecord, ShardSnapshot};
 use crate::pipeline::{AnalyzedFrame, FrontFrame, MacStage, Pipeline};
 use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
 use crate::SoftLoraError;
@@ -41,6 +59,9 @@ use softlora_lorawan::{
 };
 use softlora_phy::PhyConfig;
 use softlora_sim::{Delivery, FleetDelivery, UplinkDeliveries};
+use softlora_store::{shard_of, ShardedStore, StoreError, WalOptions};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// One gateway's stateless analysis front end inside the server.
 pub(crate) struct GatewayFront {
@@ -49,13 +70,13 @@ pub(crate) struct GatewayFront {
 }
 
 /// Hooks the network server calls as it commits deduplicated verdicts —
-/// the server-tier counterpart of [`crate::GatewayObserver`]. Both the
-/// batch path ([`NetworkServer::process_batch`]) and the streaming path
+/// the server-tier counterpart of [`crate::GatewayObserver`]. The batch
+/// path ([`NetworkServer::process_batch`]) and the streaming paths
 /// (`softlora::streaming`) drive the same hooks, so observability does
 /// not depend on the execution mode. All methods have empty defaults.
 ///
 /// Observers run on whichever thread commits the verdict (the streaming
-/// sink block runs on a scheduler worker), hence the `Send` bound.
+/// sink blocks run on scheduler workers), hence the `Send` bound.
 #[allow(unused_variables)]
 pub trait ServerObserver: Send {
     /// One uplink group was deduplicated to its authoritative verdict.
@@ -64,17 +85,25 @@ pub trait ServerObserver: Send {
     /// Aggregate statistics after committing that uplink.
     fn on_stats(&mut self, stats: ServerStats) {}
 
+    /// The FB database's capacity bound evicted a device while learning
+    /// from this uplink; the dropped history rides along so the loss is
+    /// auditable (it also lands in the WAL when persistence is on).
+    fn on_eviction(&mut self, uplink: u64, eviction: &FbEviction) {}
+
     /// A gateway front end failed with an infrastructure error; the
     /// stream (or batch) stops after this uplink.
     fn on_error(&mut self, uplink: u64, error: &SoftLoraError) {}
 }
 
-impl<T: ServerObserver> ServerObserver for std::sync::Arc<std::sync::Mutex<T>> {
+impl<T: ServerObserver> ServerObserver for Arc<Mutex<T>> {
     fn on_verdict(&mut self, uplink: u64, verdict: &ServerVerdict) {
         self.lock().expect("server observer poisoned").on_verdict(uplink, verdict);
     }
     fn on_stats(&mut self, stats: ServerStats) {
         self.lock().expect("server observer poisoned").on_stats(stats);
+    }
+    fn on_eviction(&mut self, uplink: u64, eviction: &FbEviction) {
+        self.lock().expect("server observer poisoned").on_eviction(uplink, eviction);
     }
     fn on_error(&mut self, uplink: u64, error: &SoftLoraError) {
         self.lock().expect("server observer poisoned").on_error(uplink, error);
@@ -166,6 +195,41 @@ pub struct ServerStats {
     pub lorawan_rejected: u64,
 }
 
+impl ServerStats {
+    /// Field-wise difference against an earlier snapshot of the same
+    /// counters (all fields are monotone).
+    pub fn delta_since(&self, before: &ServerStats) -> ServerStats {
+        ServerStats {
+            uplinks: self.uplinks - before.uplinks,
+            accepted: self.accepted - before.accepted,
+            fb_replays_flagged: self.fb_replays_flagged - before.fb_replays_flagged,
+            cross_gateway_replays_flagged: self.cross_gateway_replays_flagged
+                - before.cross_gateway_replays_flagged,
+            duplicates_suppressed: self.duplicates_suppressed - before.duplicates_suppressed,
+            not_received: self.not_received - before.not_received,
+            lorawan_rejected: self.lorawan_rejected - before.lorawan_rejected,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ServerStats {
+    fn add_assign(&mut self, rhs: ServerStats) {
+        self.uplinks += rhs.uplinks;
+        self.accepted += rhs.accepted;
+        self.fb_replays_flagged += rhs.fb_replays_flagged;
+        self.cross_gateway_replays_flagged += rhs.cross_gateway_replays_flagged;
+        self.duplicates_suppressed += rhs.duplicates_suppressed;
+        self.not_received += rhs.not_received;
+        self.lorawan_rejected += rhs.lorawan_rejected;
+    }
+}
+
+/// Shard count when [`NetworkServerBuilder::shards`] is not called: one
+/// shard per available core.
+fn default_shard_count() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Fluent builder for [`NetworkServer`].
 pub struct NetworkServerBuilder {
     config: SoftLoraConfig,
@@ -176,6 +240,10 @@ pub struct NetworkServerBuilder {
     fb_spread_tolerance_hz: f64,
     dedup_capacity: usize,
     observers: Vec<Box<dyn ServerObserver>>,
+    shards: Option<usize>,
+    persist_dir: Option<PathBuf>,
+    snapshot_every: u64,
+    wal_segment_bytes: u64,
 }
 
 impl NetworkServerBuilder {
@@ -197,6 +265,10 @@ impl NetworkServerBuilder {
             fb_spread_tolerance_hz: 450.0,
             dedup_capacity: 4096,
             observers: Vec::new(),
+            shards: None,
+            persist_dir: None,
+            snapshot_every: 1024,
+            wal_segment_bytes: WalOptions::default().segment_bytes,
         }
     }
 
@@ -235,7 +307,8 @@ impl NetworkServerBuilder {
         self
     }
 
-    /// Device-capacity bound of the shared FB database.
+    /// Device-capacity bound of the shared FB database (split across
+    /// shards; each shard holds `⌈bound / shards⌉` devices).
     pub fn max_tracked_devices(mut self, devices: usize) -> Self {
         self.config.max_tracked_devices = devices;
         self
@@ -260,7 +333,7 @@ impl NetworkServerBuilder {
         self
     }
 
-    /// Capacity of the recent-uplink dedup cache.
+    /// Capacity of the recent-uplink dedup cache (per shard).
     pub fn dedup_capacity(mut self, uplinks: usize) -> Self {
         self.dedup_capacity = uplinks;
         self
@@ -273,8 +346,49 @@ impl NetworkServerBuilder {
         self
     }
 
-    /// Assembles the server.
-    pub fn build(self) -> NetworkServer {
+    /// Number of device-hashed tail shards (floored at 1). Defaults to
+    /// [`std::thread::available_parallelism`]. `shards(1)` reduces the
+    /// tail to exactly the sequential commit loop; any other count is
+    /// verdict-identical because all tail state is per-device.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Makes the tail durable under `dir`: every committed uplink group
+    /// appends a WAL record to its shard's log, snapshots are installed
+    /// every [`NetworkServerBuilder::snapshot_every`] records, and
+    /// [`NetworkServerBuilder::try_build`] recovers the tail (snapshot +
+    /// WAL replay) before serving. Rebuild with the same gateways,
+    /// devices, shard count and tuning — shard- and gateway-count changes
+    /// are refused.
+    pub fn with_persistence(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// WAL records a shard accumulates before installing a snapshot and
+    /// compacting (floored at 1; default 1024).
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = records.max(1);
+        self
+    }
+
+    /// WAL segment rotation threshold, bytes (default 1 MiB).
+    pub fn wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Assembles the server, recovering persisted state when
+    /// [`NetworkServerBuilder::with_persistence`] was set.
+    ///
+    /// # Errors
+    ///
+    /// Every [`StoreError`] is a persistence failure: the directory is
+    /// unusable, was created with a different shard/gateway count, or
+    /// holds corrupt data beyond the recoverable torn tail.
+    pub fn try_build(self) -> Result<NetworkServer, StoreError> {
         let seeds = if self.gateway_seeds.is_empty() { vec![0] } else { self.gateway_seeds };
         let fronts: Vec<GatewayFront> = seeds
             .into_iter()
@@ -283,44 +397,106 @@ impl NetworkServerBuilder {
                 frames_seen: 0,
             })
             .collect();
-        let db = FbDatabase::new(
-            32,
-            self.config.warmup_frames,
-            self.config.band_floor_hz,
-            self.config.band_sigma,
-        )
-        .with_max_devices(self.config.max_tracked_devices);
-        let mut detector = ReplayDetector::new(db);
-        for (dev_addr, fbs) in &self.preloads {
-            detector.preload(*dev_addr, fbs);
+        let receiver_bias_hz: Arc<Vec<f64>> =
+            Arc::new(fronts.iter().map(|f| f.pipeline.capture.receiver_bias_hz()).collect());
+
+        // Explicit `shards(n)` wins; otherwise an existing store's pinned
+        // count wins over `available_parallelism()`, so an unchanged
+        // deployment reopens its own data after a core-count change.
+        let shard_count = match (self.shards, &self.persist_dir) {
+            (Some(n), _) => n,
+            (None, Some(dir)) => {
+                softlora_store::peek_shard_count(dir)?.unwrap_or_else(default_shard_count)
+            }
+            (None, None) => default_shard_count(),
         }
-        let mut mac = MacStage::new();
-        for (dev_addr, keys) in self.devices {
-            mac.provision(dev_addr, keys);
-        }
-        let receiver_bias_hz =
-            fronts.iter().map(|f| f.pipeline.capture.receiver_bias_hz()).collect();
-        NetworkServer {
-            fronts,
-            core: ServerCore {
-                detector,
-                mac,
+        .max(1);
+        // The device-capacity bound splits across shards; `shards(1)`
+        // keeps the exact single-store semantics.
+        let per_shard_devices = self.config.max_tracked_devices.div_ceil(shard_count).max(1);
+
+        let mut shards: Vec<ShardCore> = (0..shard_count)
+            .map(|index| ShardCore {
+                detector: ReplayDetector::new(
+                    FbDatabase::new(
+                        32,
+                        self.config.warmup_frames,
+                        self.config.band_floor_hz,
+                        self.config.band_sigma,
+                    )
+                    .with_max_devices(per_shard_devices),
+                ),
+                mac: MacStage::new(),
                 dedup: DedupCache::new(self.dedup_capacity),
                 arrival_tolerance_s: self.arrival_tolerance_s,
                 fb_spread_tolerance_hz: self.fb_spread_tolerance_hz,
                 stats: ServerStats::default(),
-                receiver_bias_hz,
-                observers: self.observers,
-            },
+                receiver_bias_hz: Arc::clone(&receiver_bias_hz),
+                index,
+                store: None,
+                snapshot_every: self.snapshot_every,
+            })
+            .collect();
+        // Per-device state — MAC sessions included — lives only in the
+        // shard owning the device, keeping key storage O(devices)
+        // instead of O(devices × shards).
+        for (dev_addr, keys) in self.devices {
+            shards[shard_of(u64::from(dev_addr), shard_count)].mac.provision(dev_addr, keys);
         }
+        for (dev_addr, fbs) in &self.preloads {
+            shards[shard_of(u64::from(*dev_addr), shard_count)].detector.preload(*dev_addr, fbs);
+        }
+
+        let frames_cumulative = vec![0; fronts.len()];
+        let mut server = NetworkServer {
+            fronts,
+            tail: ServerTail {
+                shards,
+                observers: self.observers,
+                observed_stats: ServerStats::default(),
+                committed_groups: 0,
+                global_seq: 0,
+                frames_cumulative,
+                store: None,
+            },
+        };
+
+        if let Some(dir) = self.persist_dir {
+            let store = Arc::new(ShardedStore::open(
+                dir,
+                shard_count,
+                WalOptions { segment_bytes: self.wal_segment_bytes },
+            )?);
+            server.recover_from(&store)?;
+            server.tail.store = Some(Arc::clone(&store));
+            for shard in &mut server.tail.shards {
+                shard.store = Some(Arc::clone(&store));
+            }
+        }
+        Ok(server)
+    }
+
+    /// Assembles the server; panics on a persistence failure (use
+    /// [`NetworkServerBuilder::try_build`] to handle recovery errors).
+    pub fn build(self) -> NetworkServer {
+        self.try_build().expect("network server persistence recovery failed")
     }
 }
 
-/// The server's stateful back half: the shared FB detector, LoRaWAN MAC,
-/// dedup cache and statistics — everything that must observe uplinks
-/// sequentially, packaged so the batch path and the streaming sink block
-/// (`softlora::streaming`) run the *same* commit code.
-pub(crate) struct ServerCore {
+/// What one shard commit produced: the verdict plus the bookkeeping the
+/// ordered observer replay needs.
+pub(crate) struct CommitOutcome {
+    pub(crate) verdict: ServerVerdict,
+    pub(crate) stats_delta: ServerStats,
+    pub(crate) eviction: Option<FbEviction>,
+}
+
+/// One shard of the server's stateful back half: the slice of the FB
+/// detector, LoRaWAN MAC and dedup cache owning every device that hashes
+/// to it. All of that state is per-device, so shards never interact —
+/// which is exactly why the sharded tail is verdict-identical to the
+/// sequential one.
+pub(crate) struct ShardCore {
     pub(crate) detector: ReplayDetector,
     pub(crate) mac: MacStage,
     pub(crate) dedup: DedupCache,
@@ -329,21 +505,140 @@ pub(crate) struct ServerCore {
     pub(crate) stats: ServerStats,
     /// Each gateway's SDR oscillator bias, captured at build time (the
     /// bias is a fixed property of the pipeline's seed).
-    pub(crate) receiver_bias_hz: Vec<f64>,
+    pub(crate) receiver_bias_hz: Arc<Vec<f64>>,
+    /// This shard's index — its slice of the sharded store.
+    pub(crate) index: usize,
+    /// The durable store, when persistence is enabled.
+    pub(crate) store: Option<Arc<ShardedStore>>,
+    /// WAL records between snapshots.
+    pub(crate) snapshot_every: u64,
+}
+
+/// The server's complete back half: the device-hashed shards plus the
+/// ordered observer replay state. The batch path commits shards in
+/// parallel and replays observers in uplink order; the sequential
+/// streaming sink drives [`ServerTail::commit_ordered`] directly.
+pub(crate) struct ServerTail {
+    pub(crate) shards: Vec<ShardCore>,
     pub(crate) observers: Vec<Box<dyn ServerObserver>>,
+    /// Running statistics as replayed to observers, in uplink order.
+    pub(crate) observed_stats: ServerStats,
+    /// Uplink groups committed across all shards (numbers the groups
+    /// [`NetworkServer::process_delivery`] synthesises).
+    pub(crate) committed_groups: u64,
+    /// Server-wide commit sequence (persisted in every WAL record).
+    pub(crate) global_seq: u64,
+    /// Per-gateway front-half frame indices consumed so far — mirrors
+    /// the fronts' counters so commit records can reseat them on
+    /// recovery.
+    pub(crate) frames_cumulative: Vec<u64>,
+    pub(crate) store: Option<Arc<ShardedStore>>,
+}
+
+impl ServerTail {
+    /// Shard owning `dev_addr`.
+    pub(crate) fn shard_for(&self, dev_addr: u32) -> usize {
+        shard_of(u64::from(dev_addr), self.shards.len())
+    }
+
+    /// Aggregate statistics across the shards.
+    pub(crate) fn stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for shard in &self.shards {
+            total += shard.stats;
+        }
+        total
+    }
+
+    /// Aggregate detection statistics across the shards.
+    pub(crate) fn detection_stats(&self) -> DetectionStats {
+        let mut total = DetectionStats::default();
+        for shard in &self.shards {
+            total += shard.detector.stats();
+        }
+        total
+    }
+
+    /// Merged read view of every shard's FB database.
+    pub(crate) fn fb_database(&self) -> FbDatabase {
+        let mut merged = self.shards[0].detector.db().clone();
+        for shard in &self.shards[1..] {
+            let db = shard.detector.db();
+            for (dev, tick, fbs) in db.export_histories() {
+                merged.restore_history(dev, tick, &fbs);
+            }
+            let clock = merged.clock().max(db.clock());
+            merged.set_clock(clock);
+        }
+        merged
+    }
+
+    /// Replays one committed group to the observers, in uplink order.
+    pub(crate) fn notify(&mut self, uplink: u64, outcome: &CommitOutcome) {
+        self.observed_stats += outcome.stats_delta;
+        let stats = self.observed_stats;
+        for obs in &mut self.observers {
+            if let Some(eviction) = &outcome.eviction {
+                obs.on_eviction(uplink, eviction);
+            }
+            obs.on_verdict(uplink, &outcome.verdict);
+            obs.on_stats(stats);
+        }
+    }
+
+    /// Notifies observers of an infrastructure failure.
+    pub(crate) fn notify_error(&mut self, uplink: u64, error: &SoftLoraError) {
+        for obs in &mut self.observers {
+            obs.on_error(uplink, error);
+        }
+    }
+
+    /// Commits one group in stream order: routes it to its shard,
+    /// commits, and replays observers immediately. The sequential tail —
+    /// `process_batch` over the same groups is bit-for-bit identical.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the WAL append fails.
+    pub(crate) fn commit_ordered(
+        &mut self,
+        group: &UplinkDeliveries,
+        fronts: Vec<FrontFrame>,
+    ) -> Result<ServerVerdict, SoftLoraError> {
+        let shard = self.shard_for(group.dev_addr);
+        let seq = self.global_seq + 1;
+        for copy in &group.copies {
+            self.frames_cumulative[copy.gateway] += 1;
+        }
+        let frames = self.frames_cumulative.clone();
+        let outcome = self.shards[shard].commit(group, fronts, seq, &frames)?;
+        self.global_seq = seq;
+        self.committed_groups += 1;
+        self.notify(group.uplink, &outcome);
+        Ok(outcome.verdict)
+    }
+
+    /// Flushes the durable store, if any.
+    pub(crate) fn flush_store(&self) -> Result<(), SoftLoraError> {
+        if let Some(store) = &self.store {
+            store.flush()?;
+        }
+        Ok(())
+    }
 }
 
 /// The multi-gateway network server (see the module docs).
 pub struct NetworkServer {
     pub(crate) fronts: Vec<GatewayFront>,
-    pub(crate) core: ServerCore,
+    pub(crate) tail: ServerTail,
 }
 
 impl std::fmt::Debug for NetworkServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetworkServer")
             .field("gateways", &self.fronts.len())
-            .field("stats", &self.core.stats)
+            .field("shards", &self.tail.shards.len())
+            .field("stats", &self.tail.stats())
             .finish_non_exhaustive()
     }
 }
@@ -359,6 +654,16 @@ impl NetworkServer {
         self.fronts.len()
     }
 
+    /// Number of device-hashed tail shards.
+    pub fn shard_count(&self) -> usize {
+        self.tail.shards.len()
+    }
+
+    /// The durable store's directory, when persistence is enabled.
+    pub fn persistence_dir(&self) -> Option<&Path> {
+        self.tail.store.as_deref().map(ShardedStore::dir)
+    }
+
     /// Gateway `g`'s SDR oscillator bias (δRx), Hz.
     pub fn receiver_bias_hz(&self, gateway: usize) -> f64 {
         self.fronts[gateway].pipeline.capture.receiver_bias_hz()
@@ -369,35 +674,186 @@ impl NetworkServer {
         self.fronts[gateway].frames_seen
     }
 
-    /// Provisions a device's LoRaWAN session keys.
+    /// Provisions a device's LoRaWAN session keys (into the shard owning
+    /// the device).
     pub fn provision(&mut self, dev_addr: u32, keys: DeviceKeys) {
-        self.core.mac.provision(dev_addr, keys);
+        let shard = self.tail.shard_for(dev_addr);
+        self.tail.shards[shard].mac.provision(dev_addr, keys);
     }
 
     /// Pre-loads a device's FB history (gateway-0 reference frame).
     pub fn preload_fb(&mut self, dev_addr: u32, fbs_hz: &[f64]) {
-        self.core.detector.preload(dev_addr, fbs_hz);
+        let shard = self.tail.shard_for(dev_addr);
+        self.tail.shards[shard].detector.preload(dev_addr, fbs_hz);
     }
 
     /// Attaches a [`ServerObserver`] (see [`crate::observer`] for the
     /// gateway-tier counterpart).
     pub fn attach_observer(&mut self, observer: Box<dyn ServerObserver>) {
-        self.core.observers.push(observer);
+        self.tail.observers.push(observer);
     }
 
-    /// Read access to the shared FB database.
-    pub fn fb_database(&self) -> &FbDatabase {
-        self.core.detector.db()
+    /// A merged read view of the per-shard FB databases (one shared
+    /// history per device, whatever the shard count).
+    pub fn fb_database(&self) -> FbDatabase {
+        self.tail.fb_database()
     }
 
-    /// FB detection statistics (scored on deduplicated verdicts).
+    /// FB detection statistics (scored on deduplicated verdicts),
+    /// aggregated across the shards.
     pub fn detection_stats(&self) -> DetectionStats {
-        self.core.detector.stats()
+        self.tail.detection_stats()
     }
 
     /// Aggregate server statistics.
     pub fn stats(&self) -> ServerStats {
-        self.core.stats
+        self.tail.stats()
+    }
+
+    /// Flushes WAL appends to the OS (done automatically at the end of
+    /// every batch; a no-op without persistence).
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when a shard's flush fails.
+    pub fn flush_persistence(&self) -> Result<(), SoftLoraError> {
+        self.tail.flush_store()
+    }
+
+    /// Flushes and fsyncs every shard's WAL (a hard durability point; a
+    /// no-op without persistence).
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when a shard's sync fails.
+    pub fn sync_persistence(&self) -> Result<(), SoftLoraError> {
+        if let Some(store) = &self.tail.store {
+            store.sync().map_err(SoftLoraError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Installs a snapshot of every shard's tail state right now and
+    /// compacts the WALs (a no-op without persistence).
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when a snapshot cannot be written.
+    pub fn snapshot_now(&mut self) -> Result<(), SoftLoraError> {
+        let Some(store) = self.tail.store.clone() else {
+            return Ok(());
+        };
+        let seq = self.tail.global_seq;
+        let frames = self.tail.frames_cumulative.clone();
+        for shard in &self.tail.shards {
+            let snapshot = shard.snapshot_state(seq, &frames).encode();
+            let mut wal = store.shard(shard.index).lock().expect("shard wal poisoned");
+            wal.install_snapshot(&snapshot).map_err(SoftLoraError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the tail from a freshly opened store: every shard decodes
+    /// its snapshot and replays its WAL tail, then the fronts are
+    /// reseated at the recovered frame indices.
+    ///
+    /// Durability consistency points are batch boundaries (every
+    /// `process_batch` flushes all shard WALs) and
+    /// [`NetworkServer::sync_persistence`]. A hard kill *mid-batch* can
+    /// leave shards flushed to different depths; recovery cross-checks
+    /// the shards' commit sequences and refuses a store with a hole —
+    /// a group some shard committed durably while an earlier group's
+    /// record was still buffered in a dead process — rather than
+    /// silently skipping the lost commit and desynchronising the
+    /// per-gateway frame indices.
+    fn recover_from(&mut self, store: &Arc<ShardedStore>) -> Result<(), StoreError> {
+        let gateways = self.fronts.len();
+        let frames_check = |frames: &[u64]| -> Result<(), StoreError> {
+            if frames.len() != gateways {
+                return Err(StoreError::Config {
+                    detail: format!(
+                        "store was written by a {}-gateway server, this build has {gateways}",
+                        frames.len()
+                    ),
+                });
+            }
+            Ok(())
+        };
+        // Decode everything first: the cross-shard consistency check must
+        // run before any state is applied.
+        let mut decoded: Vec<(Option<ShardSnapshot>, Vec<CommitRecord>)> = Vec::new();
+        for recovery in store.take_recovery() {
+            let snapshot = match recovery.snapshot {
+                Some(bytes) => {
+                    let snapshot = ShardSnapshot::decode(&bytes)?;
+                    frames_check(&snapshot.frames_cumulative)?;
+                    Some(snapshot)
+                }
+                None => None,
+            };
+            let mut records = Vec::with_capacity(recovery.records.len());
+            for bytes in recovery.records {
+                let record = CommitRecord::decode(&bytes)?;
+                frames_check(&record.frames_cumulative)?;
+                records.push(record);
+            }
+            decoded.push((snapshot, records));
+        }
+
+        // Hole detection: every commit sequence above the newest snapshot
+        // floor must be present in some shard's log (records at or below
+        // a shard's own snapshot were compacted into it and are fine).
+        let floor = decoded
+            .iter()
+            .filter_map(|(snapshot, _)| snapshot.as_ref().map(|s| s.global_seq))
+            .max()
+            .unwrap_or(0);
+        let seen: std::collections::BTreeSet<u64> =
+            decoded.iter().flat_map(|(_, records)| records.iter().map(|r| r.global_seq)).collect();
+        let newest_seq = seen.iter().next_back().copied().unwrap_or(0).max(floor);
+        for seq in floor + 1..=newest_seq {
+            if !seen.contains(&seq) {
+                return Err(StoreError::Corrupt {
+                    path: store.dir().to_path_buf(),
+                    detail: format!(
+                        "commit sequence {seq} is missing while {newest_seq} is durable — a \
+                         mid-batch crash lost a buffered WAL record; the store cannot be \
+                         replayed to a consistent prefix"
+                    ),
+                });
+            }
+        }
+
+        // The newest commit across all shards pins the server-wide
+        // sequence and the per-gateway frame indices.
+        let mut newest: Option<(u64, Vec<u64>)> = None;
+        for (k, (snapshot, records)) in decoded.into_iter().enumerate() {
+            let shard = &mut self.tail.shards[k];
+            let mut last: Option<(u64, Vec<u64>)> = None;
+            if let Some(snapshot) = snapshot {
+                shard.restore_snapshot(&snapshot);
+                last = Some((snapshot.global_seq, snapshot.frames_cumulative));
+            }
+            for record in records {
+                shard.apply_record(&record);
+                last = Some((record.global_seq, record.frames_cumulative));
+            }
+            if let Some((seq, frames)) = last {
+                if newest.as_ref().is_none_or(|(best, _)| seq > *best) {
+                    newest = Some((seq, frames));
+                }
+            }
+        }
+        if let Some((seq, frames)) = newest {
+            self.tail.global_seq = seq;
+            for (front, &n) in self.fronts.iter_mut().zip(&frames) {
+                front.frames_seen = n;
+            }
+            self.tail.frames_cumulative = frames;
+        }
+        self.tail.committed_groups = self.tail.shards.iter().map(|s| s.stats.uplinks).sum();
+        self.tail.observed_stats = self.tail.stats();
+        Ok(())
     }
 
     /// Processes one delivery heard by one gateway (a group of one). The
@@ -414,7 +870,7 @@ impl NetworkServer {
         delivery: &Delivery,
     ) -> Result<ServerVerdict, SoftLoraError> {
         let group = UplinkDeliveries {
-            uplink: self.core.stats.uplinks,
+            uplink: self.tail.committed_groups,
             dev_addr: delivery.dev_addr,
             tx_start_global_s: delivery.arrival_global_s,
             airtime_s: 0.0,
@@ -437,10 +893,14 @@ impl NetworkServer {
         Ok(verdicts.pop().expect("one group in, one verdict out"))
     }
 
-    /// Processes a batch of uplink groups: all copies' front halves run
-    /// across worker threads (randomness is per `(gateway seed, gateway
-    /// frame index)`, so results are identical to the sequential order),
-    /// then the stateful dedup/detect/MAC tail replays sequentially.
+    /// Processes a batch of uplink groups. The per-gateway front halves
+    /// run across worker threads (randomness is per `(gateway seed,
+    /// gateway frame index)`, so results are identical to the sequential
+    /// order); the stateful tail commits **shard-parallel** — every group
+    /// goes to the shard owning its device, shards proceed independently
+    /// — and verdicts plus running statistics are then replayed to
+    /// observers in uplink order, bit-for-bit as a sequential tail would
+    /// have produced them.
     ///
     /// # Errors
     ///
@@ -449,22 +909,36 @@ impl NetworkServer {
     /// consumed up to and including the failing copy (exactly as
     /// [`crate::SoftLoraGateway::process`] consumes an index for an
     /// erroring delivery), so a retried group `k` draws fresh randomness
-    /// rather than replaying the failed indices.
+    /// rather than replaying the failed indices. On a persistence failure
+    /// the batch also stops early; groups already committed by *other*
+    /// shards remain committed (their verdicts are not returned) — rebuild
+    /// from the store to resynchronise.
     pub fn process_batch(
         &mut self,
         groups: &[UplinkDeliveries],
     ) -> Result<Vec<ServerVerdict>, SoftLoraError> {
         // Assign per-gateway frame indices in arrival order, mirroring a
-        // sequential loop over every copy.
+        // sequential loop over every copy, and pre-route every group to
+        // its shard with the commit metadata (sequence + cumulative frame
+        // indices) the WAL records carry.
+        let shard_count = self.tail.shards.len();
         let mut counters: Vec<u64> = self.fronts.iter().map(|f| f.frames_seen).collect();
         let mut jobs: Vec<(usize, u64, &Delivery)> = Vec::new();
-        for group in groups {
+        let mut metas: Vec<(usize, u64, Vec<u64>)> = Vec::with_capacity(groups.len());
+        for (i, group) in groups.iter().enumerate() {
             for copy in &group.copies {
                 assert!(copy.gateway < self.fronts.len(), "copy for unknown gateway");
                 jobs.push((copy.gateway, counters[copy.gateway], &copy.delivery));
                 counters[copy.gateway] += 1;
             }
+            metas.push((
+                shard_of(u64::from(group.dev_addr), shard_count),
+                self.tail.global_seq + 1 + i as u64,
+                counters.clone(),
+            ));
         }
+
+        // The embarrassingly parallel front half.
         let fronts = &self.fronts;
         let analysed: Vec<Result<FrontFrame, SoftLoraError>> = jobs
             .par_iter()
@@ -473,36 +947,104 @@ impl NetworkServer {
             })
             .collect();
 
+        // Regroup per uplink; stop at the first front-half failure,
+        // consuming frame indices through the failing copy.
         let mut results = analysed.into_iter();
-        let mut verdicts = Vec::with_capacity(groups.len());
-        for group in groups {
+        let mut complete: Vec<(usize, Vec<FrontFrame>)> = Vec::with_capacity(groups.len());
+        let mut front_failure: Option<(u64, SoftLoraError)> = None;
+        'groups: for (i, group) in groups.iter().enumerate() {
             let mut fronts_of_group = Vec::with_capacity(group.copies.len());
-            let mut failure = None;
             for copy in &group.copies {
                 self.fronts[copy.gateway].frames_seen += 1;
                 match results.next().expect("one front per copy") {
                     Ok(front) => fronts_of_group.push(front),
                     Err(e) => {
-                        failure = Some(e);
+                        front_failure = Some((group.uplink, e));
+                        break 'groups;
+                    }
+                }
+            }
+            complete.push((i, fronts_of_group));
+        }
+
+        // The shard-parallel tail: every complete group commits on the
+        // shard owning its device; shards run independently (their state
+        // is disjoint by construction).
+        type ShardWork = Vec<(usize, Vec<FrontFrame>)>;
+        let mut per_shard: Vec<ShardWork> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (i, fronts_of_group) in complete {
+            per_shard[metas[i].0].push((i, fronts_of_group));
+        }
+        let tasks: Vec<Mutex<(&mut ShardCore, ShardWork)>> = self
+            .tail
+            .shards
+            .iter_mut()
+            .zip(per_shard)
+            .map(|(shard, list)| Mutex::new((shard, list)))
+            .collect();
+        let metas_ref = &metas;
+        let committed: Vec<Vec<(usize, Result<CommitOutcome, SoftLoraError>)>> = tasks
+            .par_iter()
+            .map(|task| {
+                let mut guard = task.lock().expect("shard task poisoned");
+                let (shard, list) = &mut *guard;
+                let list = std::mem::take(list);
+                let mut out = Vec::with_capacity(list.len());
+                for (i, fronts_of_group) in list {
+                    let (_, seq, frames) = &metas_ref[i];
+                    let result = shard.commit(&groups[i], fronts_of_group, *seq, frames);
+                    let failed = result.is_err();
+                    out.push((i, result));
+                    if failed {
                         break;
                     }
                 }
+                out
+            })
+            .collect();
+        drop(tasks);
+        let mut by_group: Vec<Option<Result<CommitOutcome, SoftLoraError>>> =
+            groups.iter().map(|_| None).collect();
+        for list in committed {
+            for (i, result) in list {
+                by_group[i] = Some(result);
             }
-            match failure {
-                Some(e) => {
-                    for obs in &mut self.core.observers {
-                        obs.on_error(group.uplink, &e);
-                    }
-                    return Err(e);
+        }
+
+        // Ordered observer replay: verdicts and running statistics reach
+        // observers in uplink order, exactly as a sequential tail.
+        let mut verdicts = Vec::with_capacity(groups.len());
+        let mut failure = front_failure;
+        for (i, group) in groups.iter().enumerate() {
+            match by_group[i].take() {
+                Some(Ok(outcome)) => {
+                    self.tail.global_seq = metas[i].1;
+                    self.tail.frames_cumulative.clone_from(&metas[i].2);
+                    self.tail.committed_groups += 1;
+                    self.tail.notify(group.uplink, &outcome);
+                    verdicts.push(outcome.verdict);
                 }
-                None => verdicts.push(self.core.commit_group(group, fronts_of_group)),
+                Some(Err(e)) => {
+                    failure = Some((group.uplink, e));
+                    break;
+                }
+                None => break,
             }
+        }
+        // Mirror the fronts: on a front failure indices stopped at the
+        // failing copy; the tail metadata must agree for the next batch.
+        self.tail.frames_cumulative = self.fronts.iter().map(|f| f.frames_seen).collect();
+
+        self.tail.flush_store()?;
+        if let Some((uplink, e)) = failure {
+            self.tail.notify_error(uplink, &e);
+            return Err(e);
         }
         Ok(verdicts)
     }
 }
 
-impl ServerCore {
+impl ShardCore {
     /// Maps a gateway's FB estimate into gateway 0's reference frame.
     /// Exactly the identity for gateway 0 — the bit-for-bit single-link
     /// compatibility hinge.
@@ -514,33 +1056,140 @@ impl ServerCore {
         }
     }
 
-    /// The stateful back half for one uplink group: commits the verdict
-    /// and notifies observers. Sequential by construction.
-    pub(crate) fn commit_group(
+    /// The stateful back half for one uplink group routed to this shard:
+    /// commits the verdict, captures the state mutations for the WAL and
+    /// appends the commit record when persistence is on.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the WAL append or a snapshot
+    /// installation fails; the in-memory commit has already happened.
+    pub(crate) fn commit(
         &mut self,
         group: &UplinkDeliveries,
         fronts: Vec<FrontFrame>,
-    ) -> ServerVerdict {
-        let verdict = self.commit_group_inner(group, fronts);
-        let stats = self.stats;
-        for obs in &mut self.observers {
-            obs.on_verdict(group.uplink, &verdict);
-            obs.on_stats(stats);
+        global_seq: u64,
+        frames_cumulative: &[u64],
+    ) -> Result<CommitOutcome, SoftLoraError> {
+        let stats_before = self.stats;
+        let mut ops = TailOps::default();
+        let verdict = self.commit_inner(group, fronts, &mut ops);
+        let outcome = CommitOutcome {
+            verdict,
+            stats_delta: self.stats.delta_since(&stats_before),
+            eviction: ops.eviction.clone(),
+        };
+
+        let Some(store) = self.store.clone() else {
+            return Ok(outcome);
+        };
+        let (mac_accepted, mac_rejected) = self.mac.frame_counts();
+        let record = CommitRecord {
+            global_seq,
+            uplink: group.uplink,
+            stats: self.stats,
+            det: self.detector.stats(),
+            mac_accepted,
+            mac_rejected,
+            frames_cumulative: frames_cumulative.to_vec(),
+            fb_learn: ops.fb_learn,
+            dedup_insert: ops.dedup_insert,
+            mac_fcnt: ops.mac_fcnt,
+            eviction: ops.eviction.map(|e| (e.dev_addr, e.history)),
+        };
+        let bytes = record.encode();
+        let mut wal = store.shard(self.index).lock().expect("shard wal poisoned");
+        wal.append(&bytes).map_err(SoftLoraError::from)?;
+        if wal.records_since_snapshot() >= self.snapshot_every {
+            let snapshot = self.snapshot_state(global_seq, frames_cumulative).encode();
+            wal.install_snapshot(&snapshot).map_err(SoftLoraError::from)?;
         }
-        verdict
+        Ok(outcome)
     }
 
-    /// Notifies observers of an infrastructure failure (streaming path).
-    pub(crate) fn notify_error(&mut self, uplink: u64, error: &SoftLoraError) {
-        for obs in &mut self.observers {
-            obs.on_error(uplink, error);
+    /// This shard's full tail state as a snapshot payload.
+    fn snapshot_state(&self, global_seq: u64, frames_cumulative: &[u64]) -> ShardSnapshot {
+        let db = self.detector.db();
+        let (mac_accepted, mac_rejected) = self.mac.frame_counts();
+        ShardSnapshot {
+            global_seq,
+            frames_cumulative: frames_cumulative.to_vec(),
+            stats: self.stats,
+            det: self.detector.stats(),
+            mac_accepted,
+            mac_rejected,
+            mac_fcnts: self.mac.session_fcnts(),
+            db_clock: db.clock(),
+            db_histories: db.export_histories(),
+            dedup: self
+                .dedup
+                .entries_in_order()
+                .map(|(dev_addr, fcnt, payload_hash, arrival_global_s, gateway)| DedupRecord {
+                    dev_addr,
+                    fcnt,
+                    payload_hash,
+                    arrival_global_s,
+                    gateway: gateway as u32,
+                })
+                .collect(),
         }
     }
 
-    fn commit_group_inner(
+    /// Reinstates the shard's tail state from a snapshot, bit for bit.
+    fn restore_snapshot(&mut self, snapshot: &ShardSnapshot) {
+        let db = self.detector.db_mut();
+        db.clear();
+        for (dev, tick, fbs) in &snapshot.db_histories {
+            db.restore_history(*dev, *tick, fbs);
+        }
+        db.set_clock(snapshot.db_clock);
+        self.detector.restore_stats(snapshot.det);
+        self.dedup = DedupCache::new(self.dedup.capacity());
+        for e in &snapshot.dedup {
+            self.dedup.observe(
+                e.dev_addr,
+                e.fcnt,
+                e.payload_hash,
+                e.arrival_global_s,
+                e.gateway as usize,
+            );
+        }
+        for (dev, fcnt) in &snapshot.mac_fcnts {
+            self.mac.restore_session_fcnt(*dev, *fcnt);
+        }
+        self.mac.restore_frame_counts(snapshot.mac_accepted, snapshot.mac_rejected);
+        self.stats = snapshot.stats;
+    }
+
+    /// Replays one WAL commit record: the mutations re-run through the
+    /// live state paths (so LRU ticks and evictions re-derive exactly),
+    /// the absolute counters overwrite.
+    fn apply_record(&mut self, record: &CommitRecord) {
+        if let Some((dev, fb)) = record.fb_learn {
+            let _ = self.detector.learn(dev, fb);
+        }
+        if let Some(e) = &record.dedup_insert {
+            self.dedup.observe(
+                e.dev_addr,
+                e.fcnt,
+                e.payload_hash,
+                e.arrival_global_s,
+                e.gateway as usize,
+            );
+        }
+        if let Some((dev, fcnt)) = record.mac_fcnt {
+            self.mac.restore_session_fcnt(dev, fcnt);
+        }
+        self.mac.restore_frame_counts(record.mac_accepted, record.mac_rejected);
+        self.detector.restore_stats(record.det);
+        self.stats = record.stats;
+    }
+
+    fn commit_inner(
         &mut self,
         group: &UplinkDeliveries,
         fronts: Vec<FrontFrame>,
+        ops: &mut TailOps,
     ) -> ServerVerdict {
         assert!(!group.copies.is_empty(), "empty uplink group");
         self.stats.uplinks += 1;
@@ -664,7 +1313,15 @@ impl ServerCore {
                 best_delivery.arrival_global_s,
                 best_gateway,
             ) {
-                DedupOutcome::First => {}
+                DedupOutcome::First => {
+                    ops.dedup_insert = Some(DedupRecord {
+                        dev_addr: dedup_dev,
+                        fcnt,
+                        payload_hash: digest,
+                        arrival_global_s: best_delivery.arrival_global_s,
+                        gateway: best_gateway as u32,
+                    });
+                }
                 DedupOutcome::Duplicate { gap_s, .. } => {
                     if gap_s.abs() > self.arrival_tolerance_s {
                         signals.push(ReplaySignal::ArrivalInconsistent {
@@ -738,7 +1395,9 @@ impl ServerCore {
         let rx = self.mac.verify(&best_delivery.bytes, best_frame.onset.phy_arrival_s);
         let verdict = match rx {
             RxVerdict::Accepted(uplink) => {
-                self.detector.learn(claimed_dev, fb_norm);
+                ops.mac_fcnt = Some((uplink.dev_addr, uplink.fcnt));
+                ops.eviction = self.detector.learn(claimed_dev, fb_norm);
+                ops.fb_learn = Some((claimed_dev, fb_norm));
                 self.stats.accepted += 1;
                 SoftLoraVerdict::Accepted {
                     uplink,
@@ -764,6 +1423,15 @@ impl ServerCore {
             signals,
         }
     }
+}
+
+/// The state mutations one commit made — what its WAL record carries.
+#[derive(Default)]
+struct TailOps {
+    fb_learn: Option<(u32, f64)>,
+    dedup_insert: Option<DedupRecord>,
+    mac_fcnt: Option<(u32, u16)>,
+    eviction: Option<FbEviction>,
 }
 
 #[cfg(test)]
@@ -819,6 +1487,16 @@ mod tests {
     fn builder_defaults_one_gateway() {
         let s = NetworkServer::builder(phy()).build();
         assert_eq!(s.gateway_count(), 1);
+        assert!(s.shard_count() >= 1);
+        assert!(s.persistence_dir().is_none());
+    }
+
+    #[test]
+    fn shards_override_and_floor() {
+        let s = NetworkServer::builder(phy()).shards(5).build();
+        assert_eq!(s.shard_count(), 5);
+        let s = NetworkServer::builder(phy()).shards(0).build();
+        assert_eq!(s.shard_count(), 1, "shard count is floored at one");
     }
 
     #[test]
@@ -971,5 +1649,84 @@ mod tests {
         assert_eq!(sequential, batched);
         assert_eq!(seq_srv.frames_seen(0), batch_srv.frames_seen(0));
         assert_eq!(seq_srv.frames_seen(1), batch_srv.frames_seen(1));
+    }
+
+    #[test]
+    fn sharded_tail_matches_single_shard_tail() {
+        // The same multi-device stream through a 1-shard and a 4-shard
+        // server: verdicts, statistics and detection scores must be
+        // bit-for-bit equal — the per-device tail state never interacts
+        // across devices.
+        let build = |shards: usize| {
+            let mut b =
+                NetworkServer::builder(phy()).adc_quantisation(false).shards(shards).gateway(7);
+            let mut devs = Vec::new();
+            for k in 0..5u32 {
+                let cfg = DeviceConfig::new(0x2601_0100 + k, phy());
+                b = b.provision(cfg.dev_addr, cfg.keys.clone());
+                devs.push(ClassADevice::new(cfg));
+            }
+            (devs, b.build())
+        };
+        let (mut devs, mut seq) = build(1);
+        let (_, mut sharded) = build(4);
+        let mut groups = Vec::new();
+        for round in 0..4 {
+            for (j, dev) in devs.iter_mut().enumerate() {
+                let t = 100.0 + 300.0 * round as f64 + 40.0 * j as f64;
+                let d = delivery(dev, t, -22_000.0 - 500.0 * j as f64, 9.0);
+                groups.push(group(vec![FleetDelivery { gateway: 0, delivery: d }]));
+            }
+        }
+        let a = seq.process_batch(&groups).unwrap();
+        let b = sharded.process_batch(&groups).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(seq.stats(), sharded.stats());
+        assert_eq!(seq.detection_stats(), sharded.detection_stats());
+        let (db1, db4) = (seq.fb_database(), sharded.fb_database());
+        assert_eq!(db1.devices(), db4.devices());
+        for k in 0..5u32 {
+            let dev = 0x2601_0100 + k;
+            assert_eq!(db1.history_len(dev), db4.history_len(dev), "device {dev:#x}");
+            assert_eq!(db1.tracked_center_hz(dev), db4.tracked_center_hz(dev));
+        }
+    }
+
+    #[test]
+    fn eviction_is_reported_to_observers() {
+        #[derive(Default)]
+        struct Evictions(Vec<(u64, u32, usize)>);
+        impl ServerObserver for Evictions {
+            fn on_eviction(&mut self, uplink: u64, eviction: &FbEviction) {
+                self.0.push((uplink, eviction.dev_addr, eviction.history.len()));
+            }
+        }
+        let log = Arc::new(Mutex::new(Evictions::default()));
+        let mut b = NetworkServer::builder(phy())
+            .adc_quantisation(false)
+            .shards(1)
+            .max_tracked_devices(2)
+            .gateway(7)
+            .observer(Box::new(Arc::clone(&log)));
+        let mut devs = Vec::new();
+        for k in 0..3u32 {
+            let cfg = DeviceConfig::new(0x2601_0200 + k, phy());
+            b = b.provision(cfg.dev_addr, cfg.keys.clone());
+            devs.push(ClassADevice::new(cfg));
+        }
+        let mut srv = b.build();
+        let mut t = 100.0;
+        for dev in &mut devs {
+            let d = delivery(dev, t, -22_000.0, 9.0);
+            assert!(srv.process_delivery(0, &d).unwrap().is_accepted());
+            t += 200.0;
+        }
+        // Device 0 was least recently updated — accepting device 2 evicted
+        // it, and the observer heard about it with the dropped history.
+        let seen = &log.lock().unwrap().0;
+        assert_eq!(seen.len(), 1, "{seen:?}");
+        assert_eq!(seen[0].1, 0x2601_0200);
+        assert_eq!(seen[0].2, 1, "one dropped FB");
+        assert_eq!(srv.fb_database().history_len(0x2601_0200), 0);
     }
 }

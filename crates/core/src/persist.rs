@@ -1,0 +1,419 @@
+//! On-disk encodings of the server tail's durable state.
+//!
+//! The network server persists through `softlora-store` in two shapes:
+//!
+//! * a [`CommitRecord`] per committed uplink group — the WAL entry. It
+//!   carries the **state mutations** of that commit (FB learn, dedup
+//!   insert, MAC counter advance) plus the shard's **absolute** counters
+//!   after it, so replay is idempotent per record and the last replayed
+//!   record pins every counter exactly;
+//! * a [`ShardSnapshot`] — the shard's full tail state, installed every
+//!   `snapshot_every` records so recovery replays a bounded WAL tail.
+//!
+//! Replaying a `ShardSnapshot` and then every later `CommitRecord`
+//! through the live mutation paths (`FbDatabase::update`,
+//! `DedupCache::observe`, MAC counter restore) reproduces the shard's
+//! in-memory state **bit for bit** — including LRU ticks and eviction
+//! order — which is what makes kill-and-recover verdict-identical to an
+//! uninterrupted run.
+//!
+//! Both payloads start with a version byte; unknown versions are refused
+//! rather than misread.
+
+use crate::network_server::ServerStats;
+use crate::replay_detect::DetectionStats;
+use softlora_store::{CodecError, Decoder, Encoder, StoreError};
+
+/// Format version of both payload kinds.
+const VERSION: u8 = 1;
+
+fn version_error(found: u8) -> StoreError {
+    StoreError::Config { detail: format!("unknown persistence format version {found}") }
+}
+
+fn encode_server_stats(e: &mut Encoder, s: &ServerStats) {
+    e.u64(s.uplinks)
+        .u64(s.accepted)
+        .u64(s.fb_replays_flagged)
+        .u64(s.cross_gateway_replays_flagged)
+        .u64(s.duplicates_suppressed)
+        .u64(s.not_received)
+        .u64(s.lorawan_rejected);
+}
+
+fn decode_server_stats(d: &mut Decoder<'_>) -> Result<ServerStats, CodecError> {
+    Ok(ServerStats {
+        uplinks: d.u64()?,
+        accepted: d.u64()?,
+        fb_replays_flagged: d.u64()?,
+        cross_gateway_replays_flagged: d.u64()?,
+        duplicates_suppressed: d.u64()?,
+        not_received: d.u64()?,
+        lorawan_rejected: d.u64()?,
+    })
+}
+
+fn encode_detection_stats(e: &mut Encoder, s: &DetectionStats) {
+    e.u64(s.true_positives).u64(s.false_positives).u64(s.false_negatives).u64(s.true_negatives);
+}
+
+fn decode_detection_stats(d: &mut Decoder<'_>) -> Result<DetectionStats, CodecError> {
+    Ok(DetectionStats {
+        true_positives: d.u64()?,
+        false_positives: d.u64()?,
+        false_negatives: d.u64()?,
+        true_negatives: d.u64()?,
+    })
+}
+
+fn encode_frames(e: &mut Encoder, frames: &[u64]) {
+    e.u32(frames.len() as u32);
+    for &f in frames {
+        e.u64(f);
+    }
+}
+
+fn decode_frames(d: &mut Decoder<'_>) -> Result<Vec<u64>, CodecError> {
+    let n = d.u32()? as usize;
+    let mut frames = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        frames.push(d.u64()?);
+    }
+    Ok(frames)
+}
+
+/// One remembered dedup-cache uplink, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DedupRecord {
+    /// Device address from the frame header.
+    pub dev_addr: u32,
+    /// Frame counter.
+    pub fcnt: u16,
+    /// Frame-byte digest (`softlora_lorawan::payload_hash`).
+    pub payload_hash: u64,
+    /// Arrival of the first observed copy, seconds.
+    pub arrival_global_s: f64,
+    /// Gateway that observed the first copy.
+    pub gateway: u32,
+}
+
+fn encode_dedup(e: &mut Encoder, r: &DedupRecord) {
+    e.u32(r.dev_addr).u16(r.fcnt).u64(r.payload_hash).f64(r.arrival_global_s).u32(r.gateway);
+}
+
+fn decode_dedup(d: &mut Decoder<'_>) -> Result<DedupRecord, CodecError> {
+    Ok(DedupRecord {
+        dev_addr: d.u32()?,
+        fcnt: d.u16()?,
+        payload_hash: d.u64()?,
+        arrival_global_s: d.f64()?,
+        gateway: d.u32()?,
+    })
+}
+
+/// The WAL entry for one committed uplink group.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CommitRecord {
+    /// Server-wide commit sequence number of this group.
+    pub global_seq: u64,
+    /// The group's uplink id (for audit trails; replay ignores it).
+    pub uplink: u64,
+    /// Shard statistics *after* this commit (absolute).
+    pub stats: ServerStats,
+    /// Shard detection statistics after this commit (absolute).
+    pub det: DetectionStats,
+    /// Shard MAC accepted/rejected totals after this commit (absolute).
+    pub mac_accepted: u64,
+    pub mac_rejected: u64,
+    /// Per-gateway front-half frame indices consumed through this group
+    /// (server-wide cumulative, so recovery reseats the pipelines).
+    pub frames_cumulative: Vec<u64>,
+    /// FB history update this commit made, if the frame was accepted.
+    pub fb_learn: Option<(u32, f64)>,
+    /// Dedup-cache insertion this commit made, if it was a first copy.
+    pub dedup_insert: Option<DedupRecord>,
+    /// MAC frame-counter advance this commit made, if accepted.
+    pub mac_fcnt: Option<(u32, u16)>,
+    /// Capacity eviction the FB learn forced, with the dropped history —
+    /// the audit trail; replay re-derives the eviction from the learn.
+    pub eviction: Option<(u32, Vec<f64>)>,
+}
+
+impl CommitRecord {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u8(VERSION).u64(self.global_seq).u64(self.uplink);
+        encode_server_stats(&mut e, &self.stats);
+        encode_detection_stats(&mut e, &self.det);
+        e.u64(self.mac_accepted).u64(self.mac_rejected);
+        encode_frames(&mut e, &self.frames_cumulative);
+        e.option(&self.fb_learn, |e, (dev, fb)| {
+            e.u32(*dev).f64(*fb);
+        });
+        e.option(&self.dedup_insert, encode_dedup);
+        e.option(&self.mac_fcnt, |e, (dev, fcnt)| {
+            e.u32(*dev).u16(*fcnt);
+        });
+        e.option(&self.eviction, |e, (dev, history)| {
+            e.u32(*dev).u32(history.len() as u32);
+            for &fb in history {
+                e.f64(fb);
+            }
+        });
+        e.into_bytes()
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u8()?;
+        if version != VERSION {
+            return Err(version_error(version));
+        }
+        Ok(CommitRecord {
+            global_seq: d.u64()?,
+            uplink: d.u64()?,
+            stats: decode_server_stats(&mut d)?,
+            det: decode_detection_stats(&mut d)?,
+            mac_accepted: d.u64()?,
+            mac_rejected: d.u64()?,
+            frames_cumulative: decode_frames(&mut d)?,
+            fb_learn: d.option(|d| Ok((d.u32()?, d.f64()?)))?,
+            dedup_insert: d.option(decode_dedup)?,
+            mac_fcnt: d.option(|d| Ok((d.u32()?, d.u16()?)))?,
+            eviction: d.option(|d| {
+                let dev = d.u32()?;
+                let n = d.u32()? as usize;
+                let mut history = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    history.push(d.f64()?);
+                }
+                Ok((dev, history))
+            })?,
+        })
+    }
+}
+
+/// One shard's full tail state, as installed in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ShardSnapshot {
+    /// Server-wide commit sequence the snapshot covers through.
+    pub global_seq: u64,
+    /// Per-gateway frame indices consumed through that commit.
+    pub frames_cumulative: Vec<u64>,
+    /// Shard statistics (absolute).
+    pub stats: ServerStats,
+    /// Shard detection statistics (absolute).
+    pub det: DetectionStats,
+    /// Shard MAC accepted/rejected totals (absolute).
+    pub mac_accepted: u64,
+    pub mac_rejected: u64,
+    /// Per-device last-accepted frame counters, sorted by device.
+    pub mac_fcnts: Vec<(u32, u16)>,
+    /// FB database update tick.
+    pub db_clock: u64,
+    /// Every FB history as `(device, LRU tick, FBs oldest first)`.
+    pub db_histories: Vec<(u32, u64, Vec<f64>)>,
+    /// Dedup-cache entries in insertion order.
+    pub dedup: Vec<DedupRecord>,
+}
+
+impl ShardSnapshot {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u8(VERSION).u64(self.global_seq);
+        encode_frames(&mut e, &self.frames_cumulative);
+        encode_server_stats(&mut e, &self.stats);
+        encode_detection_stats(&mut e, &self.det);
+        e.u64(self.mac_accepted).u64(self.mac_rejected);
+        e.u32(self.mac_fcnts.len() as u32);
+        for (dev, fcnt) in &self.mac_fcnts {
+            e.u32(*dev).u16(*fcnt);
+        }
+        e.u64(self.db_clock);
+        e.u32(self.db_histories.len() as u32);
+        for (dev, tick, fbs) in &self.db_histories {
+            e.u32(*dev).u64(*tick).u32(fbs.len() as u32);
+            for &fb in fbs {
+                e.f64(fb);
+            }
+        }
+        e.u32(self.dedup.len() as u32);
+        for r in &self.dedup {
+            encode_dedup(&mut e, r);
+        }
+        e.into_bytes()
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.u8()?;
+        if version != VERSION {
+            return Err(version_error(version));
+        }
+        let global_seq = d.u64()?;
+        let frames_cumulative = decode_frames(&mut d)?;
+        let stats = decode_server_stats(&mut d)?;
+        let det = decode_detection_stats(&mut d)?;
+        let mac_accepted = d.u64()?;
+        let mac_rejected = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut mac_fcnts = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            mac_fcnts.push((d.u32()?, d.u16()?));
+        }
+        let db_clock = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut db_histories = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let dev = d.u32()?;
+            let tick = d.u64()?;
+            let len = d.u32()? as usize;
+            let mut fbs = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                fbs.push(d.f64()?);
+            }
+            db_histories.push((dev, tick, fbs));
+        }
+        let n = d.u32()? as usize;
+        let mut dedup = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            dedup.push(decode_dedup(&mut d)?);
+        }
+        Ok(ShardSnapshot {
+            global_seq,
+            frames_cumulative,
+            stats,
+            det,
+            mac_accepted,
+            mac_rejected,
+            mac_fcnts,
+            db_clock,
+            db_histories,
+            dedup,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ServerStats {
+        ServerStats {
+            uplinks: 10,
+            accepted: 7,
+            fb_replays_flagged: 1,
+            cross_gateway_replays_flagged: 2,
+            duplicates_suppressed: 5,
+            not_received: 1,
+            lorawan_rejected: 1,
+        }
+    }
+
+    fn det() -> DetectionStats {
+        DetectionStats {
+            true_positives: 3,
+            false_positives: 0,
+            false_negatives: 1,
+            true_negatives: 6,
+        }
+    }
+
+    #[test]
+    fn commit_record_round_trips() {
+        let full = CommitRecord {
+            global_seq: 42,
+            uplink: 17,
+            stats: stats(),
+            det: det(),
+            mac_accepted: 7,
+            mac_rejected: 2,
+            frames_cumulative: vec![12, 9, 13],
+            fb_learn: Some((0x2601_0001, -22_040.5)),
+            dedup_insert: Some(DedupRecord {
+                dev_addr: 0x2601_0001,
+                fcnt: 9,
+                payload_hash: 0xDEAD_BEEF_CAFE_F00D,
+                arrival_global_s: 1234.000004,
+                gateway: 2,
+            }),
+            mac_fcnt: Some((0x2601_0001, 9)),
+            eviction: Some((0x2601_0009, vec![-21_000.0, -21_010.0])),
+        };
+        assert_eq!(CommitRecord::decode(&full.encode()).unwrap(), full);
+
+        let sparse = CommitRecord {
+            fb_learn: None,
+            dedup_insert: None,
+            mac_fcnt: None,
+            eviction: None,
+            ..full
+        };
+        assert_eq!(CommitRecord::decode(&sparse.encode()).unwrap(), sparse);
+    }
+
+    #[test]
+    fn shard_snapshot_round_trips() {
+        let snap = ShardSnapshot {
+            global_seq: 99,
+            frames_cumulative: vec![40, 38],
+            stats: stats(),
+            det: det(),
+            mac_accepted: 7,
+            mac_rejected: 3,
+            mac_fcnts: vec![(0x2601_0001, 12), (0x2601_0002, 4)],
+            db_clock: 25,
+            db_histories: vec![
+                (0x2601_0001, 24, vec![-22_000.0, -22_010.0, -21_995.5]),
+                (0x2601_0002, 25, vec![-18_500.0]),
+            ],
+            dedup: vec![DedupRecord {
+                dev_addr: 0x2601_0001,
+                fcnt: 12,
+                payload_hash: 7,
+                arrival_global_s: 2400.0,
+                gateway: 0,
+            }],
+        };
+        assert_eq!(ShardSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn unknown_version_refused() {
+        let mut bytes = ShardSnapshot {
+            global_seq: 0,
+            frames_cumulative: vec![],
+            stats: ServerStats::default(),
+            det: DetectionStats::default(),
+            mac_accepted: 0,
+            mac_rejected: 0,
+            mac_fcnts: vec![],
+            db_clock: 0,
+            db_histories: vec![],
+            dedup: vec![],
+        }
+        .encode();
+        bytes[0] = 99;
+        assert!(ShardSnapshot::decode(&bytes).is_err());
+        assert!(CommitRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let record = CommitRecord {
+            global_seq: 1,
+            uplink: 1,
+            stats: stats(),
+            det: det(),
+            mac_accepted: 0,
+            mac_rejected: 0,
+            frames_cumulative: vec![1],
+            fb_learn: None,
+            dedup_insert: None,
+            mac_fcnt: None,
+            eviction: None,
+        };
+        let bytes = record.encode();
+        assert!(CommitRecord::decode(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

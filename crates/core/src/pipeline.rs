@@ -341,9 +341,10 @@ impl DetectStage {
         verdict
     }
 
-    /// Records an accepted frame's FB into the claimed device's history.
-    pub fn learn(&mut self, claimed_dev: u32, fb_hz: f64) {
-        self.detector.learn(claimed_dev, fb_hz);
+    /// Records an accepted frame's FB into the claimed device's history;
+    /// a capacity eviction comes back as an audit record.
+    pub fn learn(&mut self, claimed_dev: u32, fb_hz: f64) -> Option<crate::fb_db::FbEviction> {
+        self.detector.learn(claimed_dev, fb_hz)
     }
 }
 
@@ -370,6 +371,27 @@ impl MacStage {
     /// instant.
     pub fn verify(&mut self, bytes: &[u8], phy_arrival_s: f64) -> RxVerdict {
         self.lorawan.receive(bytes, phy_arrival_s)
+    }
+
+    /// Per-device last-accepted frame counters (state export).
+    pub fn session_fcnts(&self) -> Vec<(u32, u16)> {
+        self.lorawan.session_fcnts()
+    }
+
+    /// Reinstates a device's last-accepted frame counter (state restore);
+    /// ignored for unprovisioned devices.
+    pub fn restore_session_fcnt(&mut self, dev_addr: u32, fcnt: u16) {
+        self.lorawan.restore_session_fcnt(dev_addr, fcnt);
+    }
+
+    /// Accepted/rejected frame totals (state export).
+    pub fn frame_counts(&self) -> (u64, u64) {
+        (self.lorawan.accepted_count(), self.lorawan.rejected_count())
+    }
+
+    /// Overwrites the accepted/rejected totals (state restore).
+    pub fn restore_frame_counts(&mut self, accepted: u64, rejected: u64) {
+        self.lorawan.restore_frame_counts(accepted, rejected);
     }
 }
 

@@ -8,7 +8,7 @@
 //! estimation resolution — and is flagged; flagged frames are dropped and
 //! never update the database.
 
-use crate::fb_db::{FbCheck, FbDatabase};
+use crate::fb_db::{FbCheck, FbDatabase, FbEviction};
 
 /// Detection verdict for one frame.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +54,15 @@ pub struct DetectionStats {
     pub false_negatives: u64,
     /// Genuine frames correctly passed.
     pub true_negatives: u64,
+}
+
+impl std::ops::AddAssign for DetectionStats {
+    fn add_assign(&mut self, rhs: DetectionStats) {
+        self.true_positives += rhs.true_positives;
+        self.false_positives += rhs.false_positives;
+        self.false_negatives += rhs.false_negatives;
+        self.true_negatives += rhs.true_negatives;
+    }
 }
 
 impl DetectionStats {
@@ -106,9 +115,19 @@ impl ReplayDetector {
         &self.db
     }
 
+    /// Mutable access to the database (state restore).
+    pub fn db_mut(&mut self) -> &mut FbDatabase {
+        &mut self.db
+    }
+
     /// Accumulated evaluation statistics.
     pub fn stats(&self) -> DetectionStats {
         self.stats
+    }
+
+    /// Overwrites the evaluation statistics (state restore).
+    pub fn restore_stats(&mut self, stats: DetectionStats) {
+        self.stats = stats;
     }
 
     /// Checks a frame's FB without touching the database.
@@ -123,9 +142,11 @@ impl ReplayDetector {
     }
 
     /// Records an *accepted* frame's FB into the device history. Callers
-    /// must not learn from flagged frames.
-    pub fn learn(&mut self, claimed_dev: u32, fb_hz: f64) {
-        self.db.update(claimed_dev, fb_hz);
+    /// must not learn from flagged frames. When the database is at its
+    /// capacity bound this may evict another device; the dropped history
+    /// is handed back for auditing.
+    pub fn learn(&mut self, claimed_dev: u32, fb_hz: f64) -> Option<FbEviction> {
+        self.db.update(claimed_dev, fb_hz)
     }
 
     /// Records a scored outcome (ROC bookkeeping) for a non-learning

@@ -1,7 +1,7 @@
 //! The gateway + network-server stack as streaming flowgraph blocks.
 //!
 //! [`NetworkServer::into_streaming`] splits a built server into the
-//! blocks of an always-on flowgraph:
+//! blocks of an always-on flowgraph with a **sequential** tail:
 //!
 //! ```text
 //!                     ┌─▶ GatewayFrontBlock(gw 0) ─▶┐
@@ -9,30 +9,50 @@
 //!                     └─▶ GatewayFrontBlock(gw 2) ─▶┘
 //! ```
 //!
+//! [`NetworkServer::into_sharded_streaming`] goes one step further and
+//! parallelises the tail *inside* the flowgraph: a [`ShardRouterBlock`]
+//! reassembles each group's per-gateway parts and routes it to the
+//! [`ShardSinkBlock`] owning its device, so shard tails commit
+//! concurrently on scheduler workers:
+//!
+//! ```text
+//!        ┌─▶ front(gw 0) ─▶┐                ┌─▶ ShardSinkBlock(shard 0)
+//!  src ──┼─▶ front(gw 1) ─▶┼─▶ ShardRouter ─┼─▶ ShardSinkBlock(shard 1)
+//!        └─▶ front(gw 2) ─▶┘                └─▶ ShardSinkBlock(shard 2)
+//! ```
+//!
 //! The source (see `softlora_sim::streaming`) broadcasts every
 //! [`UplinkDeliveries`] group to all gateway blocks; each gateway block
 //! runs the embarrassingly-parallel pipeline front half for **its**
 //! copies (assigning per-gateway frame indices exactly as the batch path
-//! does, so all randomness matches); the sink reassembles per-gateway
-//! parts in uplink order and drives the same sequential back half
-//! ([`crate::network_server`]'s dedup → cross-gateway checks → FB check →
-//! MAC) that `process_batch` uses. Verdicts therefore come out **bit for
-//! bit identical** to the batch path — pinned by the
-//! `streaming_runtime` integration test — and flow to the outside through
-//! the server's [`ServerObserver`]s.
+//! does, so all randomness matches). Both tails commit through the same
+//! [`crate::network_server`] shard state the batch path uses, so
+//! **verdicts are bit-for-bit identical** to
+//! [`NetworkServer::process_batch`] — pinned by the `streaming_runtime`
+//! integration tests. With the sequential sink the full observer stream
+//! (verdict order *and* running statistics) matches the batch path
+//! exactly; with the sharded tail, per-uplink verdicts and final
+//! statistics match, but `on_stats` snapshots interleave in commit order
+//! across shards (concurrency is the point).
 
-use crate::network_server::{GatewayFront, NetworkServer, ServerCore, ServerObserver};
+use crate::network_server::{
+    CommitOutcome, GatewayFront, NetworkServer, ServerObserver, ServerStats, ServerTail, ShardCore,
+};
 use crate::pipeline::FrontFrame;
+use crate::replay_detect::DetectionStats;
 use crate::SoftLoraError;
 use softlora_runtime::{Block, WorkIo, WorkResult};
 use softlora_sim::UplinkDeliveries;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Groups a front block analyses per `work` call before yielding.
 const FRONT_BATCH: usize = 16;
 
 /// Groups the sink commits per `work` call before yielding.
 const SINK_BATCH: usize = 64;
+
+/// Groups the router reassembles per `work` call before yielding.
+const ROUTER_BATCH: usize = 64;
 
 /// One gateway's front-half analysis of one uplink group.
 pub struct FrontPart {
@@ -114,13 +134,52 @@ impl Block for GatewayFrontBlock {
     }
 }
 
+/// Reassembles one group's per-gateway [`FrontPart`]s (one input port per
+/// gateway, heads always belong to the same group because each port
+/// delivers parts in group order) into the group-ordered front list the
+/// tail commits. Returns `Err` with the first infrastructure failure.
+fn reassemble(
+    parts: Vec<FrontPart>,
+) -> (u64, Arc<UplinkDeliveries>, Result<Vec<FrontFrame>, SoftLoraError>) {
+    let uplink = parts[0].uplink;
+    let group = Arc::clone(&parts[0].group);
+    for part in &parts {
+        assert_eq!(
+            part.uplink, uplink,
+            "gateway streams out of step: every front block must emit exactly one part per group"
+        );
+    }
+    // Reassemble the fronts in group-copy order, exactly the order the
+    // batch path analyses them in.
+    let mut indexed: Vec<(usize, Result<FrontFrame, SoftLoraError>)> =
+        parts.into_iter().flat_map(|p| p.fronts).collect();
+    indexed.sort_by_key(|(k, _)| *k);
+    // Parity with `process_batch`, which asserts every copy maps to a
+    // known gateway: a copy no front block claimed would silently shift
+    // the positional alignment below and attribute arrival/SNR/replay
+    // ground truth to the wrong copies.
+    assert_eq!(
+        indexed.len(),
+        group.copies.len(),
+        "uplink {uplink}: copies for a gateway without a front block"
+    );
+    let mut fronts = Vec::with_capacity(indexed.len());
+    for (_, front) in indexed {
+        match front {
+            Ok(front) => fronts.push(front),
+            Err(e) => return (uplink, group, Err(e)),
+        }
+    }
+    (uplink, group, Ok(fronts))
+}
+
 /// The server's sequential back half as the flowgraph sink: reassembles
 /// each group's per-gateway [`FrontPart`]s (one input port per gateway)
-/// and commits the deduplicated verdict through the same shared state the
-/// batch path uses (FB detector, dedup cache, MAC), notifying the
-/// server's [`ServerObserver`]s.
+/// and commits the deduplicated verdict through the same shard state the
+/// batch path uses (FB detector, dedup cache, MAC — and the WAL when
+/// persistence is on), notifying the server's [`ServerObserver`]s.
 pub struct ServerSinkBlock {
-    core: ServerCore,
+    tail: ServerTail,
     /// Set when a gateway front reported an infrastructure error; the
     /// sink finishes early, mirroring `process_batch` aborting a batch.
     failed: bool,
@@ -130,12 +189,12 @@ impl ServerSinkBlock {
     /// Attaches a [`ServerObserver`] — the streaming path's way to watch
     /// verdicts and statistics.
     pub fn attach_observer(&mut self, observer: Box<dyn ServerObserver>) {
-        self.core.observers.push(observer);
+        self.tail.observers.push(observer);
     }
 
     /// Aggregate statistics committed so far.
-    pub fn stats(&self) -> crate::ServerStats {
-        self.core.stats
+    pub fn stats(&self) -> ServerStats {
+        self.tail.stats()
     }
 }
 
@@ -158,6 +217,7 @@ impl Block for ServerSinkBlock {
             // ports always belong to the same group.
             if io.inputs.iter_mut().any(|p| p.is_empty()) {
                 return if io.inputs_finished() {
+                    let _ = self.tail.flush_store();
                     WorkResult::Finished
                 } else if committed > 0 {
                     WorkResult::Produced(committed)
@@ -167,70 +227,287 @@ impl Block for ServerSinkBlock {
             }
             let parts: Vec<FrontPart> =
                 io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")).collect();
-            let uplink = parts[0].uplink;
-            let group = Arc::clone(&parts[0].group);
-            for part in &parts {
-                assert_eq!(
-                    part.uplink, uplink,
-                    "gateway streams out of step: every front block must emit exactly one part \
-                     per group"
-                );
-            }
-            // Reassemble the fronts in group-copy order, exactly the
-            // order the batch path analyses them in.
-            let mut indexed: Vec<(usize, Result<FrontFrame, SoftLoraError>)> =
-                parts.into_iter().flat_map(|p| p.fronts).collect();
-            indexed.sort_by_key(|(k, _)| *k);
-            // Parity with `process_batch`, which asserts every copy maps
-            // to a known gateway: a copy no front block claimed would
-            // silently shift the positional alignment below and attribute
-            // arrival/SNR/replay ground truth to the wrong copies.
-            assert_eq!(
-                indexed.len(),
-                group.copies.len(),
-                "uplink {uplink}: copies for a gateway without a front block"
-            );
-            let mut fronts = Vec::with_capacity(indexed.len());
-            let mut failure = None;
-            for (_, front) in indexed {
-                match front {
-                    Ok(front) => fronts.push(front),
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
+            let (uplink, group, fronts) = reassemble(parts);
+            let fronts = match fronts {
+                Ok(fronts) => fronts,
+                Err(e) => {
+                    self.tail.notify_error(uplink, &e);
+                    self.failed = true;
+                    let _ = self.tail.flush_store();
+                    return WorkResult::Finished;
                 }
-            }
-            if let Some(e) = failure {
-                self.core.notify_error(uplink, &e);
+            };
+            if let Err(e) = self.tail.commit_ordered(&group, fronts) {
+                self.tail.notify_error(uplink, &e);
                 self.failed = true;
                 return WorkResult::Finished;
             }
-            self.core.commit_group(&group, fronts);
             committed += 1;
         }
         WorkResult::Produced(committed)
     }
 }
 
+/// One reassembled uplink group, routed to the shard owning its device —
+/// the item flowing between [`ShardRouterBlock`] and the
+/// [`ShardSinkBlock`]s.
+pub struct RoutedUplink {
+    pub(crate) shard: usize,
+    pub(crate) group: Arc<UplinkDeliveries>,
+    pub(crate) fronts: Vec<FrontFrame>,
+    pub(crate) global_seq: u64,
+    pub(crate) frames_cumulative: Vec<u64>,
+}
+
+/// The shared observer fan-in of the sharded streaming tail: shard sinks
+/// commit concurrently and serialise only the (cheap) observer
+/// notification through this hub.
+pub(crate) struct ObserverHub {
+    observers: Vec<Box<dyn ServerObserver>>,
+    observed_stats: ServerStats,
+}
+
+impl ObserverHub {
+    fn notify(&mut self, uplink: u64, outcome: &CommitOutcome) {
+        self.observed_stats += outcome.stats_delta;
+        let stats = self.observed_stats;
+        for obs in &mut self.observers {
+            if let Some(eviction) = &outcome.eviction {
+                obs.on_eviction(uplink, eviction);
+            }
+            obs.on_verdict(uplink, &outcome.verdict);
+            obs.on_stats(stats);
+        }
+    }
+
+    fn notify_error(&mut self, uplink: u64, error: &SoftLoraError) {
+        for obs in &mut self.observers {
+            obs.on_error(uplink, error);
+        }
+    }
+}
+
+/// Routes reassembled groups to per-shard sinks: one input port per
+/// gateway front, one output port per shard (wire the sinks in shard
+/// order). Assigns the server-wide commit sequence and the cumulative
+/// frame indices each WAL record carries, exactly as the batch path does.
+pub struct ShardRouterBlock {
+    shards: usize,
+    global_seq: u64,
+    frames_cumulative: Vec<u64>,
+    hub: Arc<Mutex<ObserverHub>>,
+    /// Head-of-line item waiting for space in its shard's ring.
+    pending: Option<RoutedUplink>,
+    failed: bool,
+}
+
+impl Block for ShardRouterBlock {
+    type In = FrontPart;
+    type Out = RoutedUplink;
+
+    fn name(&self) -> &str {
+        "shard-router"
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, FrontPart, RoutedUplink>) -> WorkResult {
+        if self.failed {
+            return WorkResult::Finished;
+        }
+        assert_eq!(io.outputs.len(), self.shards, "one output ring per shard");
+        let mut produced = 0;
+        while produced < ROUTER_BATCH {
+            if let Some(item) = self.pending.take() {
+                let port = &mut io.outputs[item.shard];
+                if port.free() == 0 {
+                    self.pending = Some(item);
+                    return if produced > 0 {
+                        WorkResult::Produced(produced)
+                    } else {
+                        WorkResult::NeedsOutput
+                    };
+                }
+                let pushed = port.push(item);
+                debug_assert!(pushed.is_ok(), "free slot was checked");
+                produced += 1;
+                continue;
+            }
+            if io.inputs.iter_mut().any(|p| p.is_empty()) {
+                return if io.inputs_finished() {
+                    WorkResult::Finished
+                } else if produced > 0 {
+                    WorkResult::Produced(produced)
+                } else {
+                    WorkResult::NeedsInput
+                };
+            }
+            let parts: Vec<FrontPart> =
+                io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")).collect();
+            let (uplink, group, fronts) = reassemble(parts);
+            let fronts = match fronts {
+                Ok(fronts) => fronts,
+                Err(e) => {
+                    self.hub.lock().expect("observer hub poisoned").notify_error(uplink, &e);
+                    self.failed = true;
+                    return WorkResult::Finished;
+                }
+            };
+            self.global_seq += 1;
+            for copy in &group.copies {
+                self.frames_cumulative[copy.gateway] += 1;
+            }
+            self.pending = Some(RoutedUplink {
+                shard: softlora_store::shard_of(u64::from(group.dev_addr), self.shards),
+                group,
+                fronts,
+                global_seq: self.global_seq,
+                frames_cumulative: self.frames_cumulative.clone(),
+            });
+        }
+        WorkResult::Produced(produced)
+    }
+}
+
+/// One shard's tail as a flowgraph sink: commits every routed group on
+/// the shard's own detector/dedup/MAC state (and WAL), then serialises
+/// the observer notification through the shared hub. Shard sinks run
+/// concurrently on scheduler workers — the tail finally parallelises
+/// inside the flowgraph.
+pub struct ShardSinkBlock {
+    name: String,
+    core: ShardCore,
+    hub: Arc<Mutex<ObserverHub>>,
+    failed: bool,
+}
+
+impl ShardSinkBlock {
+    /// Statistics this shard committed so far.
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    /// Detection statistics this shard scored so far.
+    pub fn detection_stats(&self) -> DetectionStats {
+        self.core.detector.stats()
+    }
+}
+
+impl Block for ShardSinkBlock {
+    type In = RoutedUplink;
+    type Out = ();
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn work(&mut self, io: &mut WorkIo<'_, RoutedUplink, ()>) -> WorkResult {
+        if self.failed {
+            return WorkResult::Finished;
+        }
+        let mut committed = 0;
+        while committed < SINK_BATCH {
+            let routed = match io.input().pop() {
+                Some(routed) => routed,
+                None if io.input().is_finished() => {
+                    if let Some(store) = &self.core.store {
+                        let _ = store.shard(self.core.index).lock().expect("wal poisoned").flush();
+                    }
+                    return WorkResult::Finished;
+                }
+                None => {
+                    return if committed > 0 {
+                        WorkResult::Produced(committed)
+                    } else {
+                        WorkResult::NeedsInput
+                    }
+                }
+            };
+            debug_assert_eq!(routed.shard, self.core.index, "router sent a foreign device");
+            match self.core.commit(
+                &routed.group,
+                routed.fronts,
+                routed.global_seq,
+                &routed.frames_cumulative,
+            ) {
+                Ok(outcome) => {
+                    self.hub
+                        .lock()
+                        .expect("observer hub poisoned")
+                        .notify(routed.group.uplink, &outcome);
+                }
+                Err(e) => {
+                    self.hub
+                        .lock()
+                        .expect("observer hub poisoned")
+                        .notify_error(routed.group.uplink, &e);
+                    self.failed = true;
+                    return WorkResult::Finished;
+                }
+            }
+            committed += 1;
+        }
+        WorkResult::Produced(committed)
+    }
+}
+
+fn front_blocks(fronts: Vec<GatewayFront>) -> Vec<GatewayFrontBlock> {
+    fronts
+        .into_iter()
+        .enumerate()
+        .map(|(gateway, front)| GatewayFrontBlock {
+            name: format!("gateway-front-{gateway}"),
+            gateway,
+            front,
+        })
+        .collect()
+}
+
 impl NetworkServer {
-    /// Dismantles the server into streaming blocks: one
-    /// [`GatewayFrontBlock`] per gateway plus the [`ServerSinkBlock`]
-    /// holding the shared sequential state. Wire them as
+    /// Dismantles the server into streaming blocks with a **sequential**
+    /// tail: one [`GatewayFrontBlock`] per gateway plus the
+    /// [`ServerSinkBlock`] holding the complete tail. Wire them as
     /// `source → fronts → sink` (the sink's input ports in gateway
-    /// order); the resulting flowgraph produces verdicts bit-for-bit
-    /// identical to [`NetworkServer::process_batch`] on the same groups.
+    /// order); the resulting flowgraph produces verdicts — and a full
+    /// observer stream — bit-for-bit identical to
+    /// [`NetworkServer::process_batch`] on the same groups.
     pub fn into_streaming(self) -> (Vec<GatewayFrontBlock>, ServerSinkBlock) {
-        let fronts = self
-            .fronts
+        (front_blocks(self.fronts), ServerSinkBlock { tail: self.tail, failed: false })
+    }
+
+    /// Dismantles the server into streaming blocks with a
+    /// **shard-parallel** tail: per-gateway fronts, the
+    /// [`ShardRouterBlock`], and one [`ShardSinkBlock`] per tail shard.
+    /// Wire them as `source → fronts → router → shard sinks` with the
+    /// sinks connected in shard order (the router's output port `k` is
+    /// shard `k`). Per-uplink verdicts and final statistics are
+    /// bit-for-bit identical to the batch path; `on_stats` snapshots
+    /// interleave in cross-shard commit order.
+    pub fn into_sharded_streaming(
+        self,
+    ) -> (Vec<GatewayFrontBlock>, ShardRouterBlock, Vec<ShardSinkBlock>) {
+        let tail = self.tail;
+        let hub = Arc::new(Mutex::new(ObserverHub {
+            observers: tail.observers,
+            observed_stats: tail.observed_stats,
+        }));
+        let shards = tail.shards.len();
+        let router = ShardRouterBlock {
+            shards,
+            global_seq: tail.global_seq,
+            frames_cumulative: tail.frames_cumulative,
+            hub: Arc::clone(&hub),
+            pending: None,
+            failed: false,
+        };
+        let sinks = tail
+            .shards
             .into_iter()
-            .enumerate()
-            .map(|(gateway, front)| GatewayFrontBlock {
-                name: format!("gateway-front-{gateway}"),
-                gateway,
-                front,
+            .map(|core| ShardSinkBlock {
+                name: format!("shard-sink-{}", core.index),
+                core,
+                hub: Arc::clone(&hub),
+                failed: false,
             })
             .collect();
-        (fronts, ServerSinkBlock { core: self.core, failed: false })
+        (front_blocks(self.fronts), router, sinks)
     }
 }

@@ -118,6 +118,34 @@ impl Gateway {
         self.rejected
     }
 
+    /// Per-device last-accepted frame counters, sorted by device address
+    /// (deterministic state export for persistence).
+    pub fn session_fcnts(&self) -> Vec<(u32, u16)> {
+        let mut fcnts: Vec<(u32, u16)> =
+            self.sessions.iter().filter_map(|(dev, s)| s.last_fcnt.map(|f| (*dev, f))).collect();
+        fcnts.sort_unstable();
+        fcnts
+    }
+
+    /// Reinstates a device's last-accepted frame counter (state restore).
+    /// Returns whether the device was provisioned (unknown devices are
+    /// ignored — restore always re-provisions first).
+    pub fn restore_session_fcnt(&mut self, dev_addr: u32, fcnt: u16) -> bool {
+        match self.sessions.get_mut(&dev_addr) {
+            Some(s) => {
+                s.last_fcnt = Some(fcnt);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites the accepted/rejected totals (state restore).
+    pub fn restore_frame_counts(&mut self, accepted: u64, rejected: u64) {
+        self.accepted = accepted;
+        self.rejected = rejected;
+    }
+
     /// Processes an uplink frame that arrived at `arrival_global_s` on the
     /// gateway clock: verifies structure, MIC and counter, decodes the
     /// elapsed-time records and reconstructs their global timestamps.
@@ -277,6 +305,22 @@ impl DedupCache {
     /// Number of uplinks currently remembered.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Every remembered uplink as `(dev, fcnt, payload hash, first
+    /// arrival, first gateway)`, oldest first — replaying these through
+    /// [`DedupCache::observe`] on an empty cache of the same capacity
+    /// reproduces this cache exactly (state export for persistence).
+    pub fn entries_in_order(&self) -> impl Iterator<Item = (u32, u16, u64, f64, usize)> + '_ {
+        self.order.iter().map(|key| {
+            let &(arrival, gateway) = self.entries.get(key).expect("order tracks entries");
+            (key.0, key.1, key.2, arrival, gateway)
+        })
     }
 
     /// Whether the cache is empty.

@@ -323,6 +323,33 @@ impl FlowgraphBuilder {
         NodeHandle { id, _marker: PhantomData }
     }
 
+    /// Adds a transform block fed by **every** handle in `upstreams` (one
+    /// input port per upstream, in order) over
+    /// [`DEFAULT_RING_CAPACITY`]-slot rings — the fan-in counterpart of
+    /// [`FlowgraphBuilder::stage`], for blocks that reassemble or merge
+    /// several upstream streams and keep producing (e.g. a shard router
+    /// joining per-gateway parts before fanning out to per-shard sinks).
+    pub fn merge<B>(&mut self, upstreams: &[NodeHandle<B::In>], block: B) -> NodeHandle<B::Out>
+    where
+        B: Block,
+    {
+        self.merge_with_capacity::<B, DEFAULT_RING_CAPACITY>(upstreams, block)
+    }
+
+    /// Adds a fan-in transform block over `CAP`-slot rings.
+    pub fn merge_with_capacity<B, const CAP: usize>(
+        &mut self,
+        upstreams: &[NodeHandle<B::In>],
+        block: B,
+    ) -> NodeHandle<B::Out>
+    where
+        B: Block,
+    {
+        let inputs = upstreams.iter().map(|&u| self.edge::<B::In, CAP>(u)).collect();
+        let id = self.add(block, inputs, false);
+        NodeHandle { id, _marker: PhantomData }
+    }
+
     /// Adds a sink block fed by every handle in `upstreams` (one input
     /// port per upstream, in order) over
     /// [`DEFAULT_RING_CAPACITY`]-slot rings.
@@ -466,6 +493,63 @@ mod tests {
         let fg = b.build().unwrap();
         assert_eq!(fg.len(), 3);
         assert_eq!(fg.block_names(), vec!["numbers", "double", "sum"]);
+    }
+
+    #[test]
+    fn merge_block_joins_streams_and_feeds_downstream() {
+        // Two sources fan into one merge block that sums the heads of
+        // both ports, feeding a counting sink — the shard-router shape.
+        struct PairSum;
+        impl Block for PairSum {
+            type In = u64;
+            type Out = u64;
+            fn name(&self) -> &str {
+                "pair-sum"
+            }
+            fn work(&mut self, io: &mut WorkIo<'_, u64, u64>) -> WorkResult {
+                let mut produced = 0;
+                loop {
+                    if io.inputs.iter_mut().any(|p| p.is_empty()) {
+                        return if io.inputs_finished() {
+                            WorkResult::Finished
+                        } else if produced > 0 {
+                            WorkResult::Produced(produced)
+                        } else {
+                            WorkResult::NeedsInput
+                        };
+                    }
+                    if io.output().free() == 0 {
+                        return if produced > 0 {
+                            WorkResult::Produced(produced)
+                        } else {
+                            WorkResult::NeedsOutput
+                        };
+                    }
+                    let sum: u64 = io.inputs.iter_mut().map(|p| p.pop().expect("checked")).sum();
+                    io.output().push(sum).expect("free checked");
+                    produced += 1;
+                }
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut b = FlowgraphBuilder::new();
+        let mut i = 0u64;
+        let left = b.source(FnSource::new("left", move || {
+            i += 1;
+            (i <= 50).then_some(i)
+        }));
+        let mut j = 0u64;
+        let right = b.source(FnSource::new("right", move || {
+            j += 1;
+            (j <= 50).then_some(100 * j)
+        }));
+        let merged = b.merge(&[left, right], PairSum);
+        let sink_seen = Arc::clone(&seen);
+        b.sink(&[merged], FnSink::new("collect", move |x: u64| sink_seen.lock().unwrap().push(x)));
+        b.build().unwrap().run(2);
+        let got = seen.lock().unwrap().clone();
+        let want: Vec<u64> = (1..=50).map(|k| k + 100 * k).collect();
+        assert_eq!(got, want, "ports pop in lockstep, order preserved");
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Hand-rolled binary codec: fixed-width little-endian primitives with
+//! length-prefixed byte strings, plus the CRC-32 every WAL record and
+//! snapshot is guarded by.
+//!
+//! The store crate is deliberately dependency-free, so the on-disk format
+//! is spelled out here instead of delegated to a serialisation framework:
+//!
+//! * integers are little-endian, fixed width;
+//! * `f64` is the IEEE-754 bit pattern, little-endian (`to_bits`), so
+//!   encode/decode round-trips are bit-exact including NaN payloads;
+//! * byte strings are `u32` length + raw bytes;
+//! * `Option<T>` is a presence byte (`0`/`1`) followed by `T` when `1`.
+//!
+//! Nothing here touches the filesystem; [`crate::wal`] frames encoded
+//! payloads into records.
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+/// used by every record frame and snapshot in the store.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// A decode failure: the buffer did not hold what the reader expected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes left in the buffer.
+        available: usize,
+    },
+    /// A presence byte was neither `0` nor `1`.
+    BadPresence {
+        /// The byte found.
+        found: u8,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated value: needed {needed} bytes, {available} available")
+            }
+            CodecError::BadPresence { found } => {
+                write!(f, "invalid Option presence byte {found:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends primitives to a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, yielding the encoded buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Encodes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Encodes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Encodes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Encodes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Encodes an `f64` as its IEEE-754 bit pattern (bit-exact round-trip).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Encodes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Encodes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("byte string longer than 4 GiB"));
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Encodes an optional value via a presence byte.
+    pub fn option<T>(&mut self, v: &Option<T>, mut enc: impl FnMut(&mut Self, &T)) -> &mut Self {
+        match v {
+            None => self.u8(0),
+            Some(inner) => {
+                self.u8(1);
+                enc(self, inner);
+                self
+            }
+        }
+    }
+}
+
+/// Reads primitives back out of a byte buffer, in encode order.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the buffer is exhausted.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Decodes a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take(2)")))
+    }
+
+    /// Decodes a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
+    }
+
+    /// Decodes a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+    }
+
+    /// Decodes an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Decodes a `bool` (any non-zero byte is `true`).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the buffer is exhausted.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Decodes a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the prefix or payload is cut short.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Decodes an optional value via its presence byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadPresence`] for a presence byte other than `0`/`1`,
+    /// or whatever `dec` returns.
+    pub fn option<T>(
+        &mut self,
+        mut dec: impl FnMut(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(dec(self)?)),
+            found => Err(CodecError::BadPresence { found }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(0xAB)
+            .u16(0xCDEF)
+            .u32(0xDEAD_BEEF)
+            .u64(0x0123_4567_89AB_CDEF)
+            .f64(-22_000.125)
+            .bool(true)
+            .bytes(b"softlora")
+            .option(&Some(7u32), |e, v| {
+                e.u32(*v);
+            })
+            .option(&None::<u32>, |e, v| {
+                e.u32(*v);
+            });
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u16().unwrap(), 0xCDEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(d.f64().unwrap(), -22_000.125);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.bytes().unwrap(), b"softlora");
+        assert_eq!(d.option(|d| d.u32()).unwrap(), Some(7));
+        assert_eq!(d.option(|d| d.u32()).unwrap(), None);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1e-308, -543.21] {
+            let mut e = Encoder::new();
+            e.f64(v);
+            let bytes = e.into_bytes();
+            let got = Decoder::new(&bytes).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut e = Encoder::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert_eq!(d.u64(), Err(CodecError::Truncated { needed: 8, available: 5 }));
+    }
+
+    #[test]
+    fn bad_presence_byte_rejected() {
+        let mut d = Decoder::new(&[9]);
+        assert_eq!(d.option(|d| d.u8()), Err(CodecError::BadPresence { found: 9 }));
+    }
+}

@@ -1,0 +1,146 @@
+//! **softlora-store** — the durable sharded device-state store.
+//!
+//! The SoftLoRa defence is stateful per device: the frequency-bias
+//! history that makes synchronization-free timestamping attack-aware
+//! lives (or dies) with the network server's memory. This crate makes
+//! that state durable without any external dependency:
+//!
+//! * [`codec`] — a hand-rolled binary codec (fixed-width little-endian
+//!   primitives, length-prefixed byte strings) plus the CRC-32 guarding
+//!   every frame;
+//! * [`wal`] — an append-only write-ahead log per shard: length-prefixed
+//!   CRC records in rotating segment files, snapshot installation with
+//!   compaction, and recovery that replays the WAL tail over the latest
+//!   snapshot, dropping a torn tail record after a crash mid-append;
+//! * [`store`] — [`ShardedStore`]: N hash-keyed shards
+//!   ([`shard_of`]) behind independent locks, so a shard-parallel server
+//!   tail persists without cross-shard contention.
+//!
+//! The store is intentionally application-agnostic: records and
+//! snapshots are opaque byte payloads; the `softlora` core crate encodes
+//! its tail state (FB histories, dedup entries, MAC counters, statistics)
+//! with the [`codec`] primitives.
+
+pub mod codec;
+pub mod store;
+pub mod wal;
+
+pub use codec::{crc32, CodecError, Decoder, Encoder};
+pub use store::{peek_shard_count, shard_of, ShardedStore};
+pub use wal::{Recovery, ShardWal, WalOptions};
+
+use std::path::PathBuf;
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// On-disk data is damaged beyond the recoverable torn-tail case.
+    Corrupt {
+        /// The offending file or directory.
+        path: PathBuf,
+        /// What recovery found.
+        detail: String,
+    },
+    /// A record or snapshot payload failed to decode.
+    Codec(CodecError),
+    /// The store was created with a different shard count; key placement
+    /// depends on it, so reopening with another count is refused.
+    ShardCountMismatch {
+        /// Store directory.
+        dir: PathBuf,
+        /// Shard count pinned in the meta file.
+        on_disk: usize,
+        /// Shard count this open requested.
+        requested: usize,
+    },
+    /// Recovered state is inconsistent with the requested configuration
+    /// (e.g. a gateway-count change under a persisted server).
+    Config {
+        /// What does not line up.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store corruption in {}: {detail}", path.display())
+            }
+            StoreError::Codec(e) => write!(f, "store codec error: {e}"),
+            StoreError::ShardCountMismatch { dir, on_disk, requested } => write!(
+                f,
+                "store {} was created with {on_disk} shards, reopen requested {requested}",
+                dir.display()
+            ),
+            StoreError::Config { detail } => write!(f, "store configuration mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Creates a fresh, uniquely named scratch directory under the system
+/// temp dir — the helper every store test, bench and example uses so
+/// parallel runs never collide. The caller owns cleanup (or leaves it to
+/// the OS temp reaper).
+pub fn test_dir(label: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("softlora-store-{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_sources() {
+        use std::error::Error;
+        let io: StoreError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("i/o"));
+        assert!(io.source().is_some());
+        let codec: StoreError = CodecError::Truncated { needed: 8, available: 2 }.into();
+        assert!(codec.to_string().contains("codec"));
+        let corrupt = StoreError::Corrupt { path: "/x".into(), detail: "bad".into() };
+        assert!(corrupt.to_string().contains("corruption"));
+        assert!(corrupt.source().is_none());
+        let cfg = StoreError::Config { detail: "gateways changed".into() };
+        assert!(cfg.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn test_dirs_are_unique() {
+        let a = test_dir("uniq");
+        let b = test_dir("uniq");
+        assert_ne!(a, b);
+        assert!(a.is_dir() && b.is_dir());
+    }
+}

