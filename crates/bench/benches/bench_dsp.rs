@@ -1,12 +1,17 @@
 //! Criterion benchmarks for the DSP substrate: FFT, Hilbert envelope and
 //! the onset pickers — the per-frame cost of SoftLoRa's PHY timestamping.
+//!
+//! The `fft` group times the planner path (what the signal path now
+//! runs) against the self-contained reference transform, and the
+//! `onset_pickers` group times the scratch-backed pickers against their
+//! allocating ancestors — the two layers of the allocation-free refactor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use softlora_dsp::aic::{aic_pick, power_aic_pick};
+use softlora_dsp::aic::{aic_onset_with, aic_pick, power_aic_onset_with, power_aic_pick};
 use softlora_dsp::envelope::EnvelopeDetector;
-use softlora_dsp::fft::fft_forward;
+use softlora_dsp::fft::{fft_forward, fft_in_place};
 use softlora_dsp::hilbert::envelope;
-use softlora_dsp::Complex;
+use softlora_dsp::{Complex, DspScratch, FftPlanner};
 use std::hint::black_box;
 
 fn tone(n: usize) -> Vec<Complex> {
@@ -32,21 +37,60 @@ fn bench_fft(c: &mut Criterion) {
     group.finish();
 }
 
+/// The planner's two wins, isolated: cached twiddles versus per-call
+/// `sin`/`cos`, and a reused buffer versus a fresh allocation per call.
+fn bench_fft_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_planner");
+    for n in [512usize, 4096] {
+        let data = tone(n);
+        group.bench_with_input(BenchmarkId::new("reference_in_place", n), &data, |b, data| {
+            let mut buf = data.clone();
+            b.iter(|| {
+                buf.copy_from_slice(black_box(data));
+                fft_in_place(&mut buf);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("planned_in_place", n), &data, |b, data| {
+            let mut planner = FftPlanner::new();
+            let plan = planner.plan_arc(n);
+            let mut buf = data.clone();
+            b.iter(|| {
+                buf.copy_from_slice(black_box(data));
+                plan.forward(&mut buf);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_pickers(c: &mut Criterion) {
     // One SF7 two-chirp capture at 2.4 Msps is ~5600 samples.
     let (i, q) = onset_trace(5600);
     let mut group = c.benchmark_group("onset_pickers");
     group.bench_function("aic_pick", |b| b.iter(|| aic_pick(black_box(&i), 16)));
+    group.bench_function("aic_onset_scratch", |b| {
+        let mut scratch = DspScratch::new();
+        b.iter(|| aic_onset_with(black_box(&i), 16, &mut scratch))
+    });
     group.bench_function("power_aic_pick", |b| {
         b.iter(|| power_aic_pick(black_box(&i), black_box(&q), 16))
+    });
+    group.bench_function("power_aic_onset_scratch", |b| {
+        let mut scratch = DspScratch::new();
+        b.iter(|| power_aic_onset_with(black_box(&i), black_box(&q), 16, &mut scratch))
     });
     group.bench_function("envelope_detector", |b| {
         let det = EnvelopeDetector::new();
         b.iter(|| det.detect(black_box(&i)))
     });
+    group.bench_function("envelope_onset_scratch", |b| {
+        let det = EnvelopeDetector::new();
+        let mut scratch = DspScratch::new();
+        b.iter(|| det.detect_onset_with(black_box(&i), &mut scratch))
+    });
     group.bench_function("hilbert_envelope", |b| b.iter(|| envelope(black_box(&i))));
     group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_pickers);
+criterion_group!(benches, bench_fft, bench_fft_planner, bench_pickers);
 criterion_main!(benches);

@@ -31,7 +31,11 @@ fn bench_wal_append(c: &mut Criterion) {
             let payload = vec![0xA5u8; record_bytes];
             b.iter(|| {
                 let dir = test_dir("bench-append");
-                let mut wal = ShardWal::open(&dir, WalOptions { segment_bytes: 1 << 18 }).unwrap();
+                let mut wal = ShardWal::open(
+                    &dir,
+                    WalOptions { segment_bytes: 1 << 18, ..WalOptions::default() },
+                )
+                .unwrap();
                 for _ in 0..1000 {
                     wal.append(black_box(&payload)).unwrap();
                 }
@@ -51,7 +55,11 @@ fn bench_recovery(c: &mut Criterion) {
         // Build the shard once; recovery (open + replay) is what's timed.
         let dir = test_dir("bench-recovery");
         {
-            let mut wal = ShardWal::open(&dir, WalOptions { segment_bytes: 1 << 18 }).unwrap();
+            let mut wal = ShardWal::open(
+                &dir,
+                WalOptions { segment_bytes: 1 << 18, ..WalOptions::default() },
+            )
+            .unwrap();
             let payload = vec![0x5Au8; 256];
             if with_snapshot {
                 for _ in 0..records / 2 {
@@ -70,8 +78,11 @@ fn bench_recovery(c: &mut Criterion) {
         let label = if with_snapshot { "snapshot_plus_tail" } else { "wal_only" };
         group.bench_function(format!("recovery_{records}rec_{label}"), |b| {
             b.iter(|| {
-                let mut wal =
-                    ShardWal::open(black_box(&dir), WalOptions { segment_bytes: 1 << 18 }).unwrap();
+                let mut wal = ShardWal::open(
+                    black_box(&dir),
+                    WalOptions { segment_bytes: 1 << 18, ..WalOptions::default() },
+                )
+                .unwrap();
                 let recovery = wal.take_recovery();
                 black_box(recovery.records.len())
             })

@@ -14,6 +14,7 @@
 //! cargo run --release -p softlora-bench --bin repro_fig14
 //! ```
 
+pub mod alloc_counter;
 pub mod experiments;
 pub mod table;
 

@@ -1,0 +1,78 @@
+//! Pins the allocation-free steady state of the per-frame signal path.
+//!
+//! A warm receiver must demodulate a frame and pick its onset without a
+//! single heap allocation — that is the whole point of the FFT planner +
+//! scratch-arena refactor, and this test makes regressing it loud. The
+//! file intentionally holds **one** test: the counting allocator is
+//! process-global, so a lone test keeps the measured region free of
+//! concurrent harness allocations.
+
+use softlora_bench::alloc_counter::CountingAllocator;
+use softlora_dsp::aic::{aic_onset_with, power_aic_onset_with};
+use softlora_dsp::Complex;
+use softlora_phy::demodulator::DemodScratch;
+use softlora_phy::modulator::Modulator;
+use softlora_phy::{Demodulator, PhyConfig, SpreadingFactor};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn steady_state_demodulate_onset_path_is_allocation_free() {
+    // --- Setup (allocations allowed): one SF7 frame in a padded capture,
+    // plus the I/Q traces the onset pickers run on. ---
+    let cfg = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let modulator = Modulator::new(cfg, 2).expect("modulator");
+    let demodulator = Demodulator::new(cfg, 2).expect("demodulator");
+    let payload = b"steady state frame";
+    let frame = modulator.modulate(payload, -21_000.0, 0.4, 1.0).expect("modulate");
+    let lead = 120usize;
+    let mut capture: Vec<Complex> = vec![Complex::ZERO; lead];
+    capture.extend_from_slice(&frame.samples);
+    capture.extend(std::iter::repeat_n(Complex::ZERO, 400));
+    // The onset pickers run on what the SDR path captures: the silent
+    // lead plus the first few preamble chirps (a whole frame would give
+    // the changepoint statistic a second, stronger edge at frame end).
+    let pick_window = lead + 3 * demodulator.samples_per_chirp();
+    let i_trace: Vec<f64> = capture[..pick_window].iter().map(|z| z.re).collect();
+    let q_trace: Vec<f64> = capture[..pick_window].iter().map(|z| z.im).collect();
+
+    let mut scratch = DemodScratch::new();
+
+    // One frame's worth of the steady-state path: demodulate, then the
+    // two production onset pickers (variance AIC — the paper's choice —
+    // and the power-AIC extension).
+    let run_frame = |scratch: &mut DemodScratch| {
+        let out = demodulator.demodulate_with(&capture, lead, scratch).expect("demodulate");
+        assert_eq!(out.payload, payload);
+        let onset = aic_onset_with(&i_trace, 16, &mut scratch.dsp).expect("aic onset");
+        let power_onset =
+            power_aic_onset_with(&i_trace, &q_trace, 16, &mut scratch.dsp).expect("power onset");
+        // Both pickers must land within a chirp of the true onset —
+        // sanity that the measured path is doing real work.
+        assert!(onset.abs_diff(lead) < demodulator.samples_per_chirp());
+        assert!(power_onset.abs_diff(lead) < demodulator.samples_per_chirp());
+        scratch.recycle(out);
+    };
+
+    // --- Warm-up: fill the buffer pools, build the FFT plans, grow the
+    // payload/nibble staging to their steady sizes. ---
+    for _ in 0..3 {
+        run_frame(&mut scratch);
+    }
+
+    // --- Steady state: zero allocations across many frames. ---
+    let before = ALLOC.snapshot();
+    for _ in 0..16 {
+        run_frame(&mut scratch);
+    }
+    let after = ALLOC.snapshot();
+    let allocated = before.allocations_since(&after);
+    assert_eq!(
+        allocated,
+        0,
+        "steady-state demodulate→onset path allocated {allocated} times over 16 frames \
+         ({} bytes)",
+        after.bytes_allocated - before.bytes_allocated,
+    );
+}

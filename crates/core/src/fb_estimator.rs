@@ -19,13 +19,15 @@
 //!   polish. Used as the production path on the gateway.
 
 use crate::SoftLoraError;
-use softlora_dsp::fft::{fft_forward, next_pow2};
+use softlora_dsp::fft::next_pow2;
 use softlora_dsp::optimize::{golden_section, nelder_mead, DifferentialEvolution};
 use softlora_dsp::regression::linear_fit;
-use softlora_dsp::unwrap::unwrap_iq;
-use softlora_dsp::Complex;
-use softlora_phy::chirp::ChirpGenerator;
+use softlora_dsp::scratch::with_thread_scratch;
+use softlora_dsp::unwrap::unwrap_iq_with;
+use softlora_dsp::{Complex, DspScratch};
+use softlora_phy::chirp::cached_chirp_refs;
 use softlora_phy::PhyConfig;
+use std::sync::Arc;
 
 /// Estimation method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,10 @@ pub struct FbEstimator {
     pub search_range_hz: (f64, f64),
     /// DE seed (deterministic runs).
     pub de_seed: u64,
+    /// Lazily resolved up-dechirp reference (shared via the process-wide
+    /// chirp cache; resolved once so the per-frame matched filter never
+    /// touches the cache lock).
+    dechirp_ref: std::sync::OnceLock<Arc<Vec<Complex>>>,
 }
 
 impl FbEstimator {
@@ -75,6 +81,7 @@ impl FbEstimator {
             sample_rate,
             search_range_hz: (-34_000.0, 34_000.0),
             de_seed: 0xF0CC,
+            dechirp_ref: std::sync::OnceLock::new(),
         }
     }
 
@@ -111,19 +118,39 @@ impl FbEstimator {
     /// Returns [`SoftLoraError::Capture`] when fewer than one chirp of
     /// samples is supplied, and propagates regression failures.
     pub fn linear_regression(&self, i: &[f64], q: &[f64]) -> Result<FbEstimate, SoftLoraError> {
+        with_thread_scratch(|scratch| self.linear_regression_with(i, q, scratch))
+    }
+
+    /// [`FbEstimator::linear_regression`] with arena-held intermediates
+    /// (unwrapped phase, time axis, de-quadratic'd phase).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FbEstimator::linear_regression`].
+    pub fn linear_regression_with(
+        &self,
+        i: &[f64],
+        q: &[f64],
+        scratch: &mut DspScratch,
+    ) -> Result<FbEstimate, SoftLoraError> {
         let n = self.samples_per_chirp();
         if i.len() < n || q.len() < n {
             return Err(SoftLoraError::Capture { reason: "need one full chirp for regression" });
         }
-        let theta = unwrap_iq(&i[..n], &q[..n]);
+        let mut theta = scratch.take_real_empty();
+        unwrap_iq_with(&i[..n], &q[..n], scratch, &mut theta);
         let dt = 1.0 / self.sample_rate;
-        let xs: Vec<f64> = (0..n).map(|k| k as f64 * dt).collect();
-        let linear: Vec<f64> = theta
-            .iter()
-            .enumerate()
-            .map(|(k, &p)| p - self.quadratic_angle(k as f64 * dt))
-            .collect();
-        let fit = linear_fit(&xs, &linear)?;
+        let mut xs = scratch.take_real_empty();
+        xs.extend((0..n).map(|k| k as f64 * dt));
+        let mut linear = scratch.take_real_empty();
+        linear.extend(
+            theta.iter().enumerate().map(|(k, &p)| p - self.quadratic_angle(k as f64 * dt)),
+        );
+        let fit = linear_fit(&xs, &linear);
+        scratch.put_real(linear);
+        scratch.put_real(xs);
+        scratch.put_real(theta);
+        let fit = fit?;
         Ok(FbEstimate {
             delta_hz: fit.slope / (2.0 * std::f64::consts::PI),
             method: FbMethod::LinearRegression,
@@ -131,31 +158,41 @@ impl FbEstimator {
         })
     }
 
+    /// The shared up-dechirp reference (`conj` of the clean symbol-0
+    /// chirp) for this estimator's parameterisation: resolved through the
+    /// process-wide chirp cache on first use, then pinned on the
+    /// estimator so the per-frame path never contends on the cache lock.
+    fn dechirp_reference(&self) -> Result<Arc<Vec<Complex>>, SoftLoraError> {
+        if let Some(reference) = self.dechirp_ref.get() {
+            return Ok(Arc::clone(reference));
+        }
+        let sf = softlora_phy::SpreadingFactor::from_value(self.sf).map_err(SoftLoraError::Phy)?;
+        let refs = cached_chirp_refs(sf, self.bandwidth_hz, self.sample_rate)
+            .map_err(SoftLoraError::Phy)?;
+        Ok(Arc::clone(self.dechirp_ref.get_or_init(|| refs.up_conj)))
+    }
+
     /// Builds the dechirped sequence `z(t)·conj(chirp₀(t))` whose Fourier
     /// transform magnitude at frequency `δ` equals the matched-filter
-    /// correlation `|⟨z, chirp_δ⟩|`.
+    /// correlation `|⟨z, chirp_δ⟩|`, into a caller-owned buffer.
     ///
     /// Up to two chirps of input are used: the base chirp's phase returns
     /// to zero at each chirp boundary, so tiling the reference keeps the
     /// dechirped tone phase-continuous and doubles the coherent
     /// integration (+3 dB), which suppresses the occasional noise-peak
     /// outlier at −25 dB.
-    fn dechirp(&self, z: &[Complex]) -> Result<Vec<Complex>, SoftLoraError> {
+    fn dechirp_into(&self, z: &[Complex], out: &mut Vec<Complex>) -> Result<(), SoftLoraError> {
         let n = self.samples_per_chirp();
         if z.len() < n {
             return Err(SoftLoraError::Capture {
                 reason: "need one full chirp for matched filter",
             });
         }
-        let generator = ChirpGenerator::new(
-            softlora_phy::SpreadingFactor::from_value(self.sf).map_err(SoftLoraError::Phy)?,
-            self.bandwidth_hz,
-            self.sample_rate,
-        )
-        .map_err(SoftLoraError::Phy)?;
-        let reference = generator.dechirp_reference();
+        let reference = self.dechirp_reference()?;
         let m = z.len().min(2 * n);
-        Ok((0..m).map(|k| z[k] * reference[k % n]).collect())
+        out.clear();
+        out.extend((0..m).map(|k| z[k] * reference[k % n]));
+        Ok(())
     }
 
     /// Fast least-squares estimate: coarse dechirped FFT, then a
@@ -166,33 +203,66 @@ impl FbEstimator {
     /// Returns [`SoftLoraError::Capture`] when fewer than one chirp of
     /// samples is supplied.
     pub fn matched_filter(&self, z: &[Complex]) -> Result<FbEstimate, SoftLoraError> {
+        with_thread_scratch(|scratch| self.matched_filter_with(z, scratch))
+    }
+
+    /// [`FbEstimator::matched_filter`] with arena-held intermediates
+    /// (blanked trace, dechirped sequence, padded spectrum) — the
+    /// per-worker steady-state path of the gateway's low-SNR estimator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FbEstimator::matched_filter`].
+    pub fn matched_filter_with(
+        &self,
+        z: &[Complex],
+        scratch: &mut DspScratch,
+    ) -> Result<FbEstimate, SoftLoraError> {
+        let mut blanked = scratch.take_complex_empty();
+        let mut d = scratch.take_complex_empty();
+        let mut padded = scratch.take_complex_empty();
+        let result = self.matched_filter_inner(z, scratch, &mut blanked, &mut d, &mut padded);
+        scratch.put_complex(padded);
+        scratch.put_complex(d);
+        scratch.put_complex(blanked);
+        result
+    }
+
+    fn matched_filter_inner(
+        &self,
+        z: &[Complex],
+        scratch: &mut DspScratch,
+        blanked: &mut Vec<Complex>,
+        d: &mut Vec<Complex>,
+        padded: &mut Vec<Complex>,
+    ) -> Result<FbEstimate, SoftLoraError> {
         // Impulse blanking: clip samples above 4x the trace RMS. At the
         // SNRs where this matters the RMS is noise-dominated, so the chirp
         // is untouched while interference bursts (the dominant failure mode
         // under "real" building noise) lose their leverage.
         let rms = (z.iter().map(|v| v.norm_sqr()).sum::<f64>() / z.len().max(1) as f64).sqrt();
         let limit = 4.0 * rms;
-        let blanked: Vec<Complex> = z
-            .iter()
-            .map(|&v| {
-                let m = v.norm();
-                if m > limit {
-                    v.scale(limit / m)
-                } else {
-                    v
-                }
-            })
-            .collect();
-        let d = self.dechirp(&blanked)?;
+        blanked.clear();
+        blanked.extend(z.iter().map(|&v| {
+            let m = v.norm();
+            if m > limit {
+                v.scale(limit / m)
+            } else {
+                v
+            }
+        }));
+        self.dechirp_into(blanked, d)?;
         let n = d.len();
         let dt = 1.0 / self.sample_rate;
 
         // Coarse: zero-padded FFT of the dechirped sequence; the tone sits
         // at δ. Pad 4x for a bin width well under 1/T.
         let fft_len = next_pow2(n * 4);
-        let mut padded = vec![Complex::ZERO; fft_len];
-        padded[..n].copy_from_slice(&d);
-        let spec = fft_forward(&padded);
+        padded.clear();
+        padded.extend_from_slice(d);
+        padded.resize(fft_len, Complex::ZERO);
+        scratch.planner().plan(fft_len).forward(padded);
+        let spec: &[Complex] = padded;
         let bin_hz = self.sample_rate / fft_len as f64;
         let (lo, hi) = self.search_range_hz;
         // With 4x zero padding the tone energy spreads over ~4 bins;
@@ -311,6 +381,29 @@ impl FbEstimator {
         method: FbMethod,
         noise_power: f64,
     ) -> Result<FbEstimate, SoftLoraError> {
+        with_thread_scratch(|scratch| {
+            self.estimate_from_capture_with(capture, onset, method, noise_power, scratch)
+        })
+    }
+
+    /// [`FbEstimator::estimate_from_capture`] against a caller-owned
+    /// scratch arena — the per-worker steady-state path: the complex view
+    /// of the capture and every estimator intermediate reuse pooled
+    /// buffers. (The differential-evolution method keeps its own
+    /// allocations; it is the paper-faithful research path, not the
+    /// production one.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FbEstimator::estimate_from_capture`].
+    pub fn estimate_from_capture_with(
+        &self,
+        capture: &softlora_phy::sdr::IqCapture,
+        onset: usize,
+        method: FbMethod,
+        noise_power: f64,
+        scratch: &mut DspScratch,
+    ) -> Result<FbEstimate, SoftLoraError> {
         let n = self.samples_per_chirp();
         // The onset picker can land a few samples late; tolerate a small
         // shortfall at the capture tail by shifting the analysis window
@@ -329,14 +422,17 @@ impl FbEstimator {
         }
         match method {
             FbMethod::LinearRegression => {
-                self.linear_regression(&capture.i[start..], &capture.q[start..])
+                self.linear_regression_with(&capture.i[start..], &capture.q[start..], scratch)
             }
             FbMethod::MatchedFilter => {
                 // The matched filter integrates over both chirps (the
                 // first is also a clean preamble up-chirp).
-                let z = capture.to_complex();
+                let mut z = scratch.take_complex_empty();
+                capture.to_complex_into(&mut z);
                 let first = start - n;
-                self.matched_filter(&z[first..])
+                let result = self.matched_filter_with(&z[first..], scratch);
+                scratch.put_complex(z);
+                result
             }
             FbMethod::DifferentialEvolution => {
                 let z = capture.to_complex();

@@ -217,9 +217,14 @@ impl SoftLoraGateway {
         let indexed: Vec<(u64, &Delivery)> =
             deliveries.iter().enumerate().map(|(k, d)| (start + k as u64, d)).collect();
         let pipeline = &self.pipeline;
+        // One scratch arena per worker (`map_init`): each worker's frames
+        // share pooled buffers and cached FFT plans, so the parallel front
+        // half is allocation-free in steady state.
         let fronts: Vec<Result<FrontFrame, SoftLoraError>> = indexed
             .par_iter()
-            .map(|(frame_index, delivery)| pipeline.front_half(delivery, *frame_index))
+            .map_init(softlora_dsp::DspScratch::new, |scratch, (frame_index, delivery)| {
+                pipeline.front_half_with(delivery, *frame_index, scratch)
+            })
             .collect();
 
         let mut verdicts = Vec::with_capacity(deliveries.len());

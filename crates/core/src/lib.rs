@@ -67,6 +67,7 @@ pub mod builder;
 pub mod config;
 pub mod fb_db;
 pub mod fb_estimator;
+pub mod fsck;
 pub mod gateway;
 pub mod network_server;
 pub mod observer;
@@ -80,6 +81,7 @@ pub use builder::GatewayBuilder;
 pub use config::SoftLoraConfig;
 pub use fb_db::{FbDatabase, FbEviction};
 pub use fb_estimator::{FbEstimate, FbEstimator, FbMethod};
+pub use fsck::{fsck_store, ShardReport, StoreReport};
 pub use gateway::{SoftLoraGateway, SoftLoraVerdict};
 pub use network_server::{
     NetworkServer, NetworkServerBuilder, ReplaySignal, ServerObserver, ServerStats, ServerVerdict,

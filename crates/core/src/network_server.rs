@@ -465,7 +465,7 @@ impl NetworkServerBuilder {
             let store = Arc::new(ShardedStore::open(
                 dir,
                 shard_count,
-                WalOptions { segment_bytes: self.wal_segment_bytes },
+                WalOptions { segment_bytes: self.wal_segment_bytes, ..WalOptions::default() },
             )?);
             server.recover_from(&store)?;
             server.tail.store = Some(Arc::clone(&store));
@@ -938,12 +938,14 @@ impl NetworkServer {
             ));
         }
 
-        // The embarrassingly parallel front half.
+        // The embarrassingly parallel front half — one scratch arena per
+        // worker (`map_init`), so every worker's frames share pooled
+        // buffers and cached FFT plans.
         let fronts = &self.fronts;
         let analysed: Vec<Result<FrontFrame, SoftLoraError>> = jobs
             .par_iter()
-            .map(|(gateway, frame_index, delivery)| {
-                fronts[*gateway].pipeline.front_half(delivery, *frame_index)
+            .map_init(softlora_dsp::DspScratch::new, |scratch, (gateway, frame_index, delivery)| {
+                fronts[*gateway].pipeline.front_half_with(delivery, *frame_index, scratch)
             })
             .collect();
 

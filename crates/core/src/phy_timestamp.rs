@@ -9,8 +9,10 @@
 //! is a prerequisite of the FB estimation").
 
 use crate::SoftLoraError;
-use softlora_dsp::aic::{aic_pick, aic_pick_iq, power_aic_pick};
+use softlora_dsp::aic::{aic_onset_iq_with, aic_onset_with, power_aic_onset_with};
 use softlora_dsp::envelope::EnvelopeDetector;
+use softlora_dsp::scratch::with_thread_scratch;
+use softlora_dsp::DspScratch;
 use softlora_phy::sdr::IqCapture;
 
 /// Onset-picking algorithm (paper §6.1.2 evaluates both).
@@ -67,29 +69,38 @@ impl PhyTimestamper {
     /// Returns [`SoftLoraError::Capture`] when the capture is too short for
     /// the picker.
     pub fn timestamp(&self, capture: &IqCapture) -> Result<PhyTimestamp, SoftLoraError> {
+        with_thread_scratch(|scratch| self.timestamp_with(capture, scratch))
+    }
+
+    /// [`PhyTimestamper::timestamp`] against a caller-owned scratch arena
+    /// — the per-worker steady-state path: every picker's intermediates
+    /// (AIC curves, prefix sums, Hilbert buffers) come from the arena, so
+    /// after warm-up a pick allocates nothing. The pick itself is
+    /// identical to the allocating API (which delegates here with a
+    /// thread-local arena).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhyTimestamper::timestamp`].
+    pub fn timestamp_with(
+        &self,
+        capture: &IqCapture,
+        scratch: &mut DspScratch,
+    ) -> Result<PhyTimestamp, SoftLoraError> {
         let onset_sample = match self.method {
             OnsetMethod::Envelope => {
                 let det = EnvelopeDetector::new();
-                det.detect(&capture.i)
-                    .map_err(|_| SoftLoraError::Capture {
-                        reason: "capture too short for envelope",
-                    })?
-                    .onset
+                det.detect_onset_with(&capture.i, scratch).map_err(|_| SoftLoraError::Capture {
+                    reason: "capture too short for envelope",
+                })?
             }
-            OnsetMethod::Aic => {
-                aic_pick(&capture.i, self.guard)
-                    .map_err(|_| SoftLoraError::Capture { reason: "capture too short for AIC" })?
-                    .onset
-            }
-            OnsetMethod::AicIq => {
-                aic_pick_iq(&capture.i, &capture.q, self.guard)
-                    .map_err(|_| SoftLoraError::Capture { reason: "capture too short for AIC" })?
-                    .onset
-            }
+            OnsetMethod::Aic => aic_onset_with(&capture.i, self.guard, scratch)
+                .map_err(|_| SoftLoraError::Capture { reason: "capture too short for AIC" })?,
+            OnsetMethod::AicIq => aic_onset_iq_with(&capture.i, &capture.q, self.guard, scratch)
+                .map_err(|_| SoftLoraError::Capture { reason: "capture too short for AIC" })?,
             OnsetMethod::PowerAic => {
-                power_aic_pick(&capture.i, &capture.q, self.guard)
+                power_aic_onset_with(&capture.i, &capture.q, self.guard, scratch)
                     .map_err(|_| SoftLoraError::Capture { reason: "capture too short for AIC" })?
-                    .onset
             }
         };
         Ok(PhyTimestamp {

@@ -33,6 +33,8 @@ use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
 use crate::SoftLoraError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use softlora_dsp::scratch::with_thread_scratch;
+use softlora_dsp::DspScratch;
 use softlora_lorawan::frame::DataFrame;
 use softlora_lorawan::{DeviceKeys, Gateway as LorawanGateway, RxVerdict};
 use softlora_phy::noise::{GaussianNoise, NoiseSource};
@@ -99,6 +101,16 @@ pub struct CaptureOutput {
     pub lead: usize,
 }
 
+impl CaptureOutput {
+    /// Returns the capture's I/Q buffers to a scratch arena once the
+    /// per-frame analysis is done with them — the other half of
+    /// [`CaptureSynth::synthesise_with`]'s checkout.
+    pub fn recycle(self, scratch: &mut DspScratch) {
+        scratch.put_real(self.capture.i);
+        scratch.put_real(self.capture.q);
+    }
+}
+
 /// Stage 2: SDR capture synthesis — the first preamble chirps at 2.4 Msps
 /// with the delivery's carrier bias/phase, plus channel noise at the
 /// delivery SNR.
@@ -149,6 +161,27 @@ impl CaptureSynth {
         delivery: &Delivery,
         frame_index: u64,
     ) -> Result<CaptureOutput, SoftLoraError> {
+        with_thread_scratch(|scratch| self.synthesise_with(config, delivery, frame_index, scratch))
+    }
+
+    /// [`CaptureSynth::synthesise`] against a caller-owned scratch arena:
+    /// the waveform staging buffer and the capture's I/Q vectors come
+    /// from the pool, so a warm worker synthesises captures without
+    /// allocating. Return the capture's buffers via
+    /// [`CaptureOutput::recycle`] once the onset/FB stages are done with
+    /// them. Deterministic in `(gateway seed, frame_index)`, exactly as
+    /// the allocating API (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftLoraError::Phy`] when chirp synthesis fails.
+    pub fn synthesise_with(
+        &self,
+        config: &SoftLoraConfig,
+        delivery: &Delivery,
+        frame_index: u64,
+        scratch: &mut DspScratch,
+    ) -> Result<CaptureOutput, SoftLoraError> {
         let mut rng = delivery_rng(self.seed, frame_index);
         let lead = self.capture_lead + (rng.random::<u64>() % 200) as usize;
         let theta_rx = 2.0 * std::f64::consts::PI * rng.random::<f64>();
@@ -157,29 +190,33 @@ impl CaptureSynth {
         // real preamble has 8 identical up-chirps, so when a low-SNR onset
         // pick lands late the analysis window still covers genuine
         // preamble signal instead of running off the buffer.
-        let cap = self
-            .sdr
-            .capture_chirps_with_phase(
-                &config.phy,
-                self.capture_chirps + 1,
-                delivery.carrier_bias_hz,
-                delivery.carrier_phase,
-                1.0,
-                lead,
-                theta_rx,
-            )
-            .map_err(SoftLoraError::Phy)?;
+        let mut z = scratch.take_complex_empty();
+        let synth = self.sdr.capture_chirps_with_phase_into(
+            &config.phy,
+            self.capture_chirps + 1,
+            delivery.carrier_bias_hz,
+            delivery.carrier_phase,
+            1.0,
+            lead,
+            theta_rx,
+            &mut z,
+        );
+        if let Err(e) = synth {
+            scratch.put_complex(z);
+            return Err(SoftLoraError::Phy(e));
+        }
         // Add noise at the delivery SNR (power referenced to the unit-
         // amplitude chirp: signal power = 1).
         let noise_power = 10f64.powf(-delivery.snr_db / 10.0);
-        let mut z = cap.to_complex();
         let mut src = GaussianNoise::with_power(noise_power, noise_seed);
-        let noise = src.generate(z.len());
-        for (s, n) in z.iter_mut().zip(noise.iter()) {
-            *s += *n;
-        }
+        src.add_to(&mut z);
+        let mut i = scratch.take_real_empty();
+        i.extend(z.iter().map(|c| c.re));
+        let mut q = scratch.take_real_empty();
+        q.extend(z.iter().map(|c| c.im));
+        scratch.put_complex(z);
         Ok(CaptureOutput {
-            capture: IqCapture::from_complex(&z, cap.sample_rate, cap.true_onset),
+            capture: IqCapture { i, q, sample_rate: self.sdr.sample_rate(), true_onset: lead },
             lead,
         })
     }
@@ -233,8 +270,24 @@ impl OnsetStage {
         capture: &IqCapture,
         delivery_arrival_s: f64,
     ) -> Result<OnsetOutput, SoftLoraError> {
+        with_thread_scratch(|scratch| self.pick_with(capture, delivery_arrival_s, scratch))
+    }
+
+    /// [`OnsetStage::pick`] against a caller-owned scratch arena — the
+    /// per-worker steady-state path (identical pick; the picker's
+    /// intermediates reuse pooled buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftLoraError::Capture`] when the capture is too short.
+    pub fn pick_with(
+        &self,
+        capture: &IqCapture,
+        delivery_arrival_s: f64,
+        scratch: &mut DspScratch,
+    ) -> Result<OnsetOutput, SoftLoraError> {
         self.picks.fetch_add(1, Ordering::Relaxed);
-        let timestamp = self.timestamper.timestamp(capture)?;
+        let timestamp = self.timestamper.timestamp_with(capture, scratch)?;
         // The capture buffer started (true_onset · dt) before the frame
         // arrived; the PHY arrival is the buffer start plus the detected
         // onset.
@@ -289,12 +342,31 @@ impl FbStage {
         onset: &OnsetOutput,
         snr_db: f64,
     ) -> Result<FbEstimate, SoftLoraError> {
+        with_thread_scratch(|scratch| self.estimate_with(capture, onset, snr_db, scratch))
+    }
+
+    /// [`FbStage::estimate`] against a caller-owned scratch arena — the
+    /// per-worker steady-state path (identical estimate; the estimator's
+    /// intermediates reuse pooled buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftLoraError::Capture`] when the capture does not hold
+    /// two chirps after the onset.
+    pub fn estimate_with(
+        &self,
+        capture: &IqCapture,
+        onset: &OnsetOutput,
+        snr_db: f64,
+        scratch: &mut DspScratch,
+    ) -> Result<FbEstimate, SoftLoraError> {
         let noise_power = 10f64.powf(-snr_db / 10.0);
-        self.estimator.estimate_from_capture(
+        self.estimator.estimate_from_capture_with(
             capture,
             onset.timestamp.onset_sample,
             self.method_for_snr(snr_db),
             noise_power,
+            scratch,
         )
     }
 }
@@ -486,6 +558,28 @@ impl Pipeline {
         delivery: &Delivery,
         frame_index: u64,
     ) -> Result<FrontFrame, SoftLoraError> {
+        with_thread_scratch(|scratch| self.front_half_with(delivery, frame_index, scratch))
+    }
+
+    /// [`Pipeline::front_half`] against a caller-owned scratch arena —
+    /// the per-worker steady-state path. The whole per-frame signal chain
+    /// (capture synthesis, onset pick, FB estimate) runs on pooled
+    /// buffers and cached FFT plans; the ephemeral capture's I/Q vectors
+    /// are recycled back into the arena before returning, so a warm
+    /// worker analyses a delivery without heap allocations on the DSP
+    /// path. Results are bit-for-bit identical to
+    /// [`Pipeline::front_half`] (which delegates here with a thread-local
+    /// arena).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::front_half`].
+    pub fn front_half_with(
+        &self,
+        delivery: &Delivery,
+        frame_index: u64,
+        scratch: &mut DspScratch,
+    ) -> Result<FrontFrame, SoftLoraError> {
         let mut timings = Vec::with_capacity(4);
 
         let t = Instant::now();
@@ -496,15 +590,25 @@ impl Pipeline {
         }
 
         let t = Instant::now();
-        let captured = self.capture.synthesise(&self.config, delivery, frame_index)?;
+        let captured =
+            self.capture.synthesise_with(&self.config, delivery, frame_index, scratch)?;
         timings.push((Stage::CaptureSynth, t.elapsed().as_secs_f64()));
 
         let t = Instant::now();
-        let onset = self.onset.pick(&captured.capture, delivery.arrival_global_s)?;
+        let onset = self.onset.pick_with(&captured.capture, delivery.arrival_global_s, scratch);
+        let onset = match onset {
+            Ok(onset) => onset,
+            Err(e) => {
+                captured.recycle(scratch);
+                return Err(e);
+            }
+        };
         timings.push((Stage::Onset, t.elapsed().as_secs_f64()));
 
         let t = Instant::now();
-        let fb = self.fb.estimate(&captured.capture, &onset, delivery.snr_db)?;
+        let fb = self.fb.estimate_with(&captured.capture, &onset, delivery.snr_db, scratch);
+        captured.recycle(scratch);
+        let fb = fb?;
         timings.push((Stage::Fb, t.elapsed().as_secs_f64()));
 
         // The replay check needs the *claimed* source; peeking the header

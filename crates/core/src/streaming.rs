@@ -41,6 +41,7 @@ use crate::network_server::{
 use crate::pipeline::FrontFrame;
 use crate::replay_detect::DetectionStats;
 use crate::SoftLoraError;
+use softlora_dsp::DspScratch;
 use softlora_runtime::{Block, WorkIo, WorkResult};
 use softlora_sim::UplinkDeliveries;
 use std::sync::{Arc, Mutex};
@@ -70,11 +71,14 @@ pub struct FrontPart {
 
 /// One gateway's streaming front half: the radio gate → capture → onset →
 /// FB chain of [`crate::Pipeline`], applied to this gateway's copies of
-/// every group flowing past.
+/// every group flowing past. The block owns a [`DspScratch`] arena, so a
+/// long-running flowgraph analyses frames allocation-free on the DSP
+/// path after warm-up.
 pub struct GatewayFrontBlock {
     name: String,
     gateway: usize,
     front: GatewayFront,
+    scratch: DspScratch,
 }
 
 impl GatewayFrontBlock {
@@ -123,7 +127,14 @@ impl Block for GatewayFrontBlock {
                 }
                 let frame_index = self.front.frames_seen;
                 self.front.frames_seen += 1;
-                fronts.push((k, self.front.pipeline.front_half(&copy.delivery, frame_index)));
+                fronts.push((
+                    k,
+                    self.front.pipeline.front_half_with(
+                        &copy.delivery,
+                        frame_index,
+                        &mut self.scratch,
+                    ),
+                ));
             }
             let part = FrontPart { uplink: group.uplink, gateway: self.gateway, group, fronts };
             let pushed = io.output().push(part);
@@ -138,12 +149,15 @@ impl Block for GatewayFrontBlock {
 /// gateway, heads always belong to the same group because each port
 /// delivers parts in group order) into the group-ordered front list the
 /// tail commits. Returns `Err` with the first infrastructure failure.
+///
+/// `parts` is the calling block's reusable staging buffer: it is drained,
+/// so the same allocation carries every group.
 fn reassemble(
-    parts: Vec<FrontPart>,
+    parts: &mut Vec<FrontPart>,
 ) -> (u64, Arc<UplinkDeliveries>, Result<Vec<FrontFrame>, SoftLoraError>) {
     let uplink = parts[0].uplink;
     let group = Arc::clone(&parts[0].group);
-    for part in &parts {
+    for part in parts.iter() {
         assert_eq!(
             part.uplink, uplink,
             "gateway streams out of step: every front block must emit exactly one part per group"
@@ -152,7 +166,7 @@ fn reassemble(
     // Reassemble the fronts in group-copy order, exactly the order the
     // batch path analyses them in.
     let mut indexed: Vec<(usize, Result<FrontFrame, SoftLoraError>)> =
-        parts.into_iter().flat_map(|p| p.fronts).collect();
+        parts.drain(..).flat_map(|p| p.fronts).collect();
     indexed.sort_by_key(|(k, _)| *k);
     // Parity with `process_batch`, which asserts every copy maps to a
     // known gateway: a copy no front block claimed would silently shift
@@ -180,6 +194,10 @@ fn reassemble(
 /// persistence is on), notifying the server's [`ServerObserver`]s.
 pub struct ServerSinkBlock {
     tail: ServerTail,
+    /// Reusable per-group staging buffer for the gateway parts (the
+    /// sink's "scratch": the tail is pure state, so its reusable working
+    /// memory is the reassembly buffer rather than a DSP arena).
+    parts: Vec<FrontPart>,
     /// Set when a gateway front reported an infrastructure error; the
     /// sink finishes early, mirroring `process_batch` aborting a batch.
     failed: bool,
@@ -225,9 +243,10 @@ impl Block for ServerSinkBlock {
                     WorkResult::NeedsInput
                 };
             }
-            let parts: Vec<FrontPart> =
-                io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")).collect();
-            let (uplink, group, fronts) = reassemble(parts);
+            self.parts.clear();
+            self.parts
+                .extend(io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")));
+            let (uplink, group, fronts) = reassemble(&mut self.parts);
             let fronts = match fronts {
                 Ok(fronts) => fronts,
                 Err(e) => {
@@ -296,6 +315,8 @@ pub struct ShardRouterBlock {
     global_seq: u64,
     frames_cumulative: Vec<u64>,
     hub: Arc<Mutex<ObserverHub>>,
+    /// Reusable per-group staging buffer for the gateway parts.
+    parts: Vec<FrontPart>,
     /// Head-of-line item waiting for space in its shard's ring.
     pending: Option<RoutedUplink>,
     failed: bool,
@@ -340,9 +361,10 @@ impl Block for ShardRouterBlock {
                     WorkResult::NeedsInput
                 };
             }
-            let parts: Vec<FrontPart> =
-                io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")).collect();
-            let (uplink, group, fronts) = reassemble(parts);
+            self.parts.clear();
+            self.parts
+                .extend(io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")));
+            let (uplink, group, fronts) = reassemble(&mut self.parts);
             let fronts = match fronts {
                 Ok(fronts) => fronts,
                 Err(e) => {
@@ -457,6 +479,7 @@ fn front_blocks(fronts: Vec<GatewayFront>) -> Vec<GatewayFrontBlock> {
             name: format!("gateway-front-{gateway}"),
             gateway,
             front,
+            scratch: DspScratch::new(),
         })
         .collect()
 }
@@ -470,7 +493,10 @@ impl NetworkServer {
     /// observer stream — bit-for-bit identical to
     /// [`NetworkServer::process_batch`] on the same groups.
     pub fn into_streaming(self) -> (Vec<GatewayFrontBlock>, ServerSinkBlock) {
-        (front_blocks(self.fronts), ServerSinkBlock { tail: self.tail, failed: false })
+        (
+            front_blocks(self.fronts),
+            ServerSinkBlock { tail: self.tail, parts: Vec::new(), failed: false },
+        )
     }
 
     /// Dismantles the server into streaming blocks with a
@@ -495,6 +521,7 @@ impl NetworkServer {
             global_seq: tail.global_seq,
             frames_cumulative: tail.frames_cumulative,
             hub: Arc::clone(&hub),
+            parts: Vec::new(),
             pending: None,
             failed: false,
         };

@@ -15,6 +15,7 @@
 //! Both formulate onset detection as an argmin, so — like the envelope
 //! detector — they need no detection threshold.
 
+use crate::scratch::DspScratch;
 use crate::DspError;
 
 /// Result of an AIC onset pick.
@@ -53,6 +54,45 @@ pub struct AicPick {
 /// # Ok::<(), softlora_dsp::DspError>(())
 /// ```
 pub fn aic_pick(x: &[f64], guard: usize) -> Result<AicPick, DspError> {
+    let mut sum = Vec::new();
+    let mut sumsq = Vec::new();
+    let mut curve = Vec::new();
+    let onset = aic_curve_into(x, guard, &mut sum, &mut sumsq, &mut curve)?;
+    Ok(AicPick { onset, curve })
+}
+
+/// Scratch-backed [`aic_pick`] returning only the onset: the running sums
+/// and the AIC curve live in the arena. Identical pick to `aic_pick` (the
+/// same arithmetic runs over arena-held buffers); allocation-free once
+/// the arena is warm.
+///
+/// # Errors
+///
+/// Same as [`aic_pick`].
+pub fn aic_onset_with(
+    x: &[f64],
+    guard: usize,
+    scratch: &mut DspScratch,
+) -> Result<usize, DspError> {
+    let mut sum = scratch.take_real_empty();
+    let mut sumsq = scratch.take_real_empty();
+    let mut curve = scratch.take_real_empty();
+    let result = aic_curve_into(x, guard, &mut sum, &mut sumsq, &mut curve);
+    scratch.put_real(curve);
+    scratch.put_real(sumsq);
+    scratch.put_real(sum);
+    result
+}
+
+/// The Maeda-AIC core shared by the allocating and scratch paths: fills
+/// `curve` (edge samples `INFINITY`) and returns the argmin.
+fn aic_curve_into(
+    x: &[f64],
+    guard: usize,
+    sum: &mut Vec<f64>,
+    sumsq: &mut Vec<f64>,
+    curve: &mut Vec<f64>,
+) -> Result<usize, DspError> {
     let n = x.len();
     let min_len = 2 * guard + 8;
     if n < min_len {
@@ -60,8 +100,10 @@ pub fn aic_pick(x: &[f64], guard: usize) -> Result<AicPick, DspError> {
     }
 
     // Running sums for O(1) segment variances.
-    let mut sum = vec![0.0f64; n + 1];
-    let mut sumsq = vec![0.0f64; n + 1];
+    sum.clear();
+    sum.resize(n + 1, 0.0);
+    sumsq.clear();
+    sumsq.resize(n + 1, 0.0);
     for (i, &v) in x.iter().enumerate() {
         sum[i + 1] = sum[i] + v;
         sumsq[i + 1] = sumsq[i] + v * v;
@@ -76,7 +118,8 @@ pub fn aic_pick(x: &[f64], guard: usize) -> Result<AicPick, DspError> {
 
     let lo = guard.max(2);
     let hi = n - guard.max(2);
-    let mut curve = vec![f64::INFINITY; n];
+    curve.clear();
+    curve.resize(n, f64::INFINITY);
     let mut best = lo;
     for k in lo..hi {
         let aic = k as f64 * var(0, k).ln() + (n - k - 1) as f64 * var(k, n).ln();
@@ -85,7 +128,7 @@ pub fn aic_pick(x: &[f64], guard: usize) -> Result<AicPick, DspError> {
             best = k;
         }
     }
-    Ok(AicPick { onset: best, curve })
+    Ok(best)
 }
 
 /// Joint AIC pick over the I and Q traces of an SDR capture.
@@ -119,6 +162,50 @@ pub fn aic_pick_iq(i: &[f64], q: &[f64], guard: usize) -> Result<AicPick, DspErr
     }
     let onset = best.expect("guarded region is non-empty by aic_pick's length check");
     Ok(AicPick { onset, curve })
+}
+
+/// Scratch-backed [`aic_pick_iq`] returning only the joint onset: both
+/// component curves live in the arena. Identical pick to `aic_pick_iq`.
+///
+/// # Errors
+///
+/// Same as [`aic_pick_iq`].
+pub fn aic_onset_iq_with(
+    i: &[f64],
+    q: &[f64],
+    guard: usize,
+    scratch: &mut DspScratch,
+) -> Result<usize, DspError> {
+    if i.len() != q.len() {
+        return Err(DspError::InvalidWindow { reason: "I and Q traces must have equal length" });
+    }
+    let mut sum = scratch.take_real_empty();
+    let mut sumsq = scratch.take_real_empty();
+    let mut curve_i = scratch.take_real_empty();
+    let mut curve_q = scratch.take_real_empty();
+    let result = (|| {
+        aic_curve_into(i, guard, &mut sum, &mut sumsq, &mut curve_i)?;
+        aic_curve_into(q, guard, &mut sum, &mut sumsq, &mut curve_q)?;
+        // Joint argmin over the summed curves, exactly as `aic_pick_iq`
+        // computes it (the combined value is never materialised).
+        let mut best: Option<(usize, f64)> = None;
+        for k in 0..i.len() {
+            if curve_i[k].is_finite() && curve_q[k].is_finite() {
+                let joint = curve_i[k] + curve_q[k];
+                match best {
+                    None => best = Some((k, joint)),
+                    Some((_, b)) if joint < b => best = Some((k, joint)),
+                    _ => {}
+                }
+            }
+        }
+        Ok(best.expect("guarded region is non-empty by aic_pick's length check").0)
+    })();
+    scratch.put_real(curve_q);
+    scratch.put_real(curve_i);
+    scratch.put_real(sumsq);
+    scratch.put_real(sum);
+    result
 }
 
 /// Autoregressive AIC picker.
@@ -200,6 +287,47 @@ pub fn ar_aic_pick(x: &[f64], order: usize, step: usize) -> Result<AicPick, DspE
 /// Returns [`DspError::InvalidWindow`] if the traces differ in length,
 /// plus the length requirements of [`aic_pick`].
 pub fn power_aic_pick(i: &[f64], q: &[f64], guard: usize) -> Result<AicPick, DspError> {
+    let mut prefix = Vec::new();
+    let mut prefix_sq = Vec::new();
+    let mut curve = Vec::new();
+    let onset = power_aic_curve_into(i, q, guard, &mut prefix, &mut prefix_sq, &mut curve)?;
+    Ok(AicPick { onset, curve })
+}
+
+/// Scratch-backed [`power_aic_pick`] returning only the onset: the
+/// log-power prefix sums and the cost curve live in the arena. Identical
+/// pick to `power_aic_pick` (the same core runs over arena-held
+/// buffers); allocation-free once the arena is warm.
+///
+/// # Errors
+///
+/// Same as [`power_aic_pick`].
+pub fn power_aic_onset_with(
+    i: &[f64],
+    q: &[f64],
+    guard: usize,
+    scratch: &mut DspScratch,
+) -> Result<usize, DspError> {
+    let mut prefix = scratch.take_real_empty();
+    let mut prefix_sq = scratch.take_real_empty();
+    let mut curve = scratch.take_real_empty();
+    let result = power_aic_curve_into(i, q, guard, &mut prefix, &mut prefix_sq, &mut curve);
+    scratch.put_real(curve);
+    scratch.put_real(prefix_sq);
+    scratch.put_real(prefix);
+    result
+}
+
+/// The log-power changepoint core shared by the allocating and scratch
+/// paths: fills `curve` (edge samples `INFINITY`) and returns the argmin.
+fn power_aic_curve_into(
+    i: &[f64],
+    q: &[f64],
+    guard: usize,
+    prefix: &mut Vec<f64>,
+    prefix_sq: &mut Vec<f64>,
+    curve: &mut Vec<f64>,
+) -> Result<usize, DspError> {
     if i.len() != q.len() {
         return Err(DspError::InvalidWindow { reason: "I and Q traces must have equal length" });
     }
@@ -208,8 +336,10 @@ pub fn power_aic_pick(i: &[f64], q: &[f64], guard: usize) -> Result<AicPick, Dsp
     if n < min_len {
         return Err(DspError::InputTooShort { required: min_len, actual: n });
     }
-    let mut prefix = vec![0.0f64; n + 1];
-    let mut prefix_sq = vec![0.0f64; n + 1];
+    prefix.clear();
+    prefix.resize(n + 1, 0.0);
+    prefix_sq.clear();
+    prefix_sq.resize(n + 1, 0.0);
     for k in 0..n {
         let x = (i[k] * i[k] + q[k] * q[k]).max(1e-300).ln();
         prefix[k + 1] = prefix[k] + x;
@@ -223,7 +353,8 @@ pub fn power_aic_pick(i: &[f64], q: &[f64], guard: usize) -> Result<AicPick, Dsp
     };
     let lo = guard.max(2);
     let hi = n - guard.max(2);
-    let mut curve = vec![f64::INFINITY; n];
+    curve.clear();
+    curve.resize(n, f64::INFINITY);
     let mut best = lo;
     for k in lo..hi {
         let cost = sse(0, k) + sse(k, n);
@@ -232,7 +363,7 @@ pub fn power_aic_pick(i: &[f64], q: &[f64], guard: usize) -> Result<AicPick, Dsp
             best = k;
         }
     }
-    Ok(AicPick { onset: best, curve })
+    Ok(best)
 }
 
 /// Final prediction-error variance of an AR(`order`) model fitted with

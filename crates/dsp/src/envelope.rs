@@ -6,7 +6,8 @@
 //! amplitude. Being formulated as an optimisation (argmax), it needs no
 //! detection threshold — a property the paper emphasises.
 
-use crate::hilbert::envelope;
+use crate::hilbert::envelope_with;
+use crate::scratch::DspScratch;
 use crate::DspError;
 
 /// Result of an envelope-ratio onset detection.
@@ -60,23 +61,69 @@ impl EnvelopeDetector {
     /// Returns [`DspError::InputTooShort`] if the trace has fewer than
     /// `2 * guard + 4` samples.
     pub fn detect(&self, trace: &[f64]) -> Result<EnvelopeOnset, DspError> {
+        crate::scratch::with_thread_scratch(|scratch| {
+            let mut env = Vec::new();
+            let mut ratio = Vec::new();
+            let onset = self.run(trace, scratch, &mut env, &mut ratio)?;
+            Ok(EnvelopeOnset { onset, envelope: env, ratio })
+        })
+    }
+
+    /// Scratch-backed onset pick: same arithmetic as
+    /// [`EnvelopeDetector::detect`], but every intermediate (envelope,
+    /// ratio curve, prefix sums) lives in the arena and only the onset
+    /// index is returned. Allocation-free once the arena is warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InputTooShort`] if the trace has fewer than
+    /// `2 * guard + 4` samples.
+    pub fn detect_onset_with(
+        &self,
+        trace: &[f64],
+        scratch: &mut DspScratch,
+    ) -> Result<usize, DspError> {
+        let mut env = scratch.take_real_empty();
+        let mut ratio = scratch.take_real_empty();
+        let result = self.run(trace, scratch, &mut env, &mut ratio);
+        scratch.put_real(ratio);
+        scratch.put_real(env);
+        result
+    }
+
+    /// The shared detection core: fills `env`/`ratio` and returns the
+    /// onset. `detect` and `detect_onset_with` differ only in who owns
+    /// the output buffers.
+    fn run(
+        &self,
+        trace: &[f64],
+        scratch: &mut DspScratch,
+        env: &mut Vec<f64>,
+        ratio: &mut Vec<f64>,
+    ) -> Result<usize, DspError> {
         let min_len = 2 * self.guard + 4;
         if trace.len() < min_len {
             return Err(DspError::InputTooShort { required: min_len, actual: trace.len() });
         }
-        let mut env = envelope(trace)?;
+        envelope_with(trace, scratch, env)?;
         if self.smooth > 0 {
-            env = moving_average(&env, self.smooth);
+            let mut prefix = scratch.take_real_empty();
+            let mut smoothed = scratch.take_real_empty();
+            moving_average_into(env, self.smooth, &mut prefix, &mut smoothed);
+            std::mem::swap(env, &mut smoothed);
+            scratch.put_real(smoothed);
+            scratch.put_real(prefix);
         }
         let mean_env = env.iter().sum::<f64>() / env.len() as f64;
         let floor = (mean_env * self.ratio_floor).max(f64::MIN_POSITIVE);
 
         let lag = self.lag.max(1);
-        let mut ratio = vec![1.0; env.len()];
+        ratio.clear();
+        ratio.resize(env.len(), 1.0);
         // Prefix sums of the envelope for O(1) trailing means.
-        let mut prefix = Vec::with_capacity(env.len() + 1);
+        let mut prefix = scratch.take_real_empty();
         prefix.push(0.0);
-        for &v in &env {
+        for &v in env.iter() {
             prefix.push(prefix.last().unwrap() + v);
         }
         for i in 1..env.len() {
@@ -84,6 +131,7 @@ impl EnvelopeDetector {
             let trailing = (prefix[i] - prefix[a]) / (i - a) as f64;
             ratio[i] = env[i] / (trailing + floor);
         }
+        scratch.put_real(prefix);
 
         let lo = self.guard.max(lag);
         let hi = env.len() - self.guard;
@@ -93,27 +141,37 @@ impl EnvelopeDetector {
                 best = i;
             }
         }
-        Ok(EnvelopeOnset { onset: best, envelope: env, ratio })
+        Ok(best)
     }
 }
 
 /// Centered moving average with half-width `h` (window `2h+1`, clamped at
-/// the edges).
+/// the edges). The detector itself runs the buffer-reusing
+/// [`moving_average_into`]; this wrapper exists for the unit tests.
+#[cfg(test)]
 fn moving_average(x: &[f64], h: usize) -> Vec<f64> {
+    let mut prefix = Vec::new();
+    let mut out = Vec::new();
+    moving_average_into(x, h, &mut prefix, &mut out);
+    out
+}
+
+/// [`moving_average`] into caller-owned buffers (`prefix` is workspace,
+/// `out` receives the result).
+fn moving_average_into(x: &[f64], h: usize, prefix: &mut Vec<f64>, out: &mut Vec<f64>) {
     let n = x.len();
-    let mut out = Vec::with_capacity(n);
     // Prefix sums for O(n) averaging.
-    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.clear();
     prefix.push(0.0);
     for &v in x {
         prefix.push(prefix.last().unwrap() + v);
     }
+    out.clear();
     for i in 0..n {
         let a = i.saturating_sub(h);
         let b = (i + h + 1).min(n);
         out.push((prefix[b] - prefix[a]) / (b - a) as f64);
     }
-    out
 }
 
 #[cfg(test)]

@@ -54,13 +54,24 @@ pub fn lowpass_fir(cutoff: f64, taps: usize, kind: WindowKind) -> Result<Vec<f64
 /// so the output is time-aligned with the input (same length; edges are
 /// zero-padded).
 pub fn fir_filter(signal: &[Complex], taps: &[f64]) -> Vec<Complex> {
+    let mut out = Vec::new();
+    fir_filter_into(signal, taps, &mut out);
+    out
+}
+
+/// [`fir_filter`] into a caller-owned buffer: `out` is cleared and
+/// refilled (capacity reused across calls, so a warm buffer makes the
+/// filter allocation-free).
+pub fn fir_filter_into(signal: &[Complex], taps: &[f64], out: &mut Vec<Complex>) {
     let n = signal.len();
     let t = taps.len();
+    out.clear();
     if n == 0 || t == 0 {
-        return signal.to_vec();
+        out.extend_from_slice(signal);
+        return;
     }
     let delay = t / 2;
-    let mut out = vec![Complex::ZERO; n];
+    out.resize(n, Complex::ZERO);
     for (i, o) in out.iter_mut().enumerate() {
         let mut acc = Complex::ZERO;
         // y[i] = sum_k h[k] * x[i + delay - k]
@@ -72,13 +83,33 @@ pub fn fir_filter(signal: &[Complex], taps: &[f64]) -> Vec<Complex> {
         }
         *o = acc;
     }
-    out
 }
 
 /// Applies an FIR filter to a real signal (group-delay compensated).
 pub fn fir_filter_real(signal: &[f64], taps: &[f64]) -> Vec<f64> {
-    let z: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
-    fir_filter(&z, taps).into_iter().map(|c| c.re).collect()
+    crate::scratch::with_thread_scratch(|scratch| {
+        let mut out = Vec::new();
+        fir_filter_real_with(signal, taps, scratch, &mut out);
+        out
+    })
+}
+
+/// [`fir_filter_real`] with arena-held temporaries: the complex embedding
+/// and filter output are scratch buffers; `out` receives the real part.
+pub fn fir_filter_real_with(
+    signal: &[f64],
+    taps: &[f64],
+    scratch: &mut crate::scratch::DspScratch,
+    out: &mut Vec<f64>,
+) {
+    let mut z = scratch.take_complex_empty();
+    z.extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
+    let mut filtered = scratch.take_complex_empty();
+    fir_filter_into(&z, taps, &mut filtered);
+    out.clear();
+    out.extend(filtered.iter().map(|c| c.re));
+    scratch.put_complex(filtered);
+    scratch.put_complex(z);
 }
 
 /// Single-pole IIR low-pass (`y[i] = a*x[i] + (1-a)*y[i-1]`), `a` in `(0,1]`.

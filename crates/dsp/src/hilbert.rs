@@ -7,7 +7,8 @@
 //! spectrum and double the positive half.
 
 use crate::complex::Complex;
-use crate::fft::{fft_in_place, ifft_in_place, next_pow2};
+use crate::fft::next_pow2;
+use crate::scratch::DspScratch;
 use crate::DspError;
 
 /// Computes the analytic signal of a real trace via the FFT method.
@@ -20,18 +21,39 @@ use crate::DspError;
 ///
 /// Returns [`DspError::InputTooShort`] for inputs shorter than 2 samples.
 pub fn analytic_signal(x: &[f64]) -> Result<Vec<Complex>, DspError> {
+    crate::scratch::with_thread_scratch(|scratch| {
+        let mut out = Vec::new();
+        analytic_signal_with(x, scratch, &mut out)?;
+        Ok(out)
+    })
+}
+
+/// Scratch-backed [`analytic_signal`]: the transform runs through the
+/// arena's planner and `out` is cleared and refilled (its capacity is
+/// reused across frames). Allocation-free once `out` and the arena are
+/// warm.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] for inputs shorter than 2 samples.
+pub fn analytic_signal_with(
+    x: &[f64],
+    scratch: &mut DspScratch,
+    out: &mut Vec<Complex>,
+) -> Result<(), DspError> {
     if x.len() < 2 {
         return Err(DspError::InputTooShort { required: 2, actual: x.len() });
     }
     let n = next_pow2(x.len());
-    let mut buf: Vec<Complex> = Vec::with_capacity(n);
-    buf.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
-    buf.resize(n, Complex::ZERO);
-    fft_in_place(&mut buf);
+    out.clear();
+    out.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
+    out.resize(n, Complex::ZERO);
+    let plan = scratch.planner().plan(n);
+    plan.forward(out);
 
     // Single-sided spectrum: keep DC and Nyquist, double positive
     // frequencies, zero negative frequencies.
-    for (k, z) in buf.iter_mut().enumerate() {
+    for (k, z) in out.iter_mut().enumerate() {
         if k == 0 || k == n / 2 {
             // unchanged
         } else if k < n / 2 {
@@ -40,9 +62,9 @@ pub fn analytic_signal(x: &[f64]) -> Result<Vec<Complex>, DspError> {
             *z = Complex::ZERO;
         }
     }
-    ifft_in_place(&mut buf);
-    buf.truncate(x.len());
-    Ok(buf)
+    plan.inverse(out);
+    out.truncate(x.len());
+    Ok(())
 }
 
 /// Amplitude envelope of a real trace: `|analytic_signal(x)|`.
@@ -62,7 +84,34 @@ pub fn analytic_signal(x: &[f64]) -> Result<Vec<Complex>, DspError> {
 /// # Ok::<(), softlora_dsp::DspError>(())
 /// ```
 pub fn envelope(x: &[f64]) -> Result<Vec<f64>, DspError> {
-    Ok(analytic_signal(x)?.into_iter().map(Complex::norm).collect())
+    crate::scratch::with_thread_scratch(|scratch| {
+        let mut out = Vec::new();
+        envelope_with(x, scratch, &mut out)?;
+        Ok(out)
+    })
+}
+
+/// Scratch-backed [`envelope`]: `out` is cleared and refilled with the
+/// amplitude envelope; temporaries come from the arena.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] for inputs shorter than 2 samples.
+pub fn envelope_with(
+    x: &[f64],
+    scratch: &mut DspScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    let mut analytic = scratch.take_complex_empty();
+    let result = analytic_signal_with(x, scratch, &mut analytic);
+    if let Err(e) = result {
+        scratch.put_complex(analytic);
+        return Err(e);
+    }
+    out.clear();
+    out.extend(analytic.iter().map(|z| z.norm()));
+    scratch.put_complex(analytic);
+    Ok(())
 }
 
 /// Instantaneous phase of a real trace, i.e. the argument of the analytic

@@ -48,6 +48,7 @@ pub mod fft;
 pub mod filter;
 pub mod optimize;
 pub mod regression;
+pub mod scratch;
 pub mod spectrogram;
 pub mod stats;
 pub mod unwrap;
@@ -56,6 +57,8 @@ pub mod window;
 pub mod hilbert;
 
 pub use complex::Complex;
+pub use fft::{FftPlan, FftPlanner};
+pub use scratch::DspScratch;
 
 /// Errors returned by fallible DSP routines.
 ///

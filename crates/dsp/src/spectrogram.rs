@@ -9,7 +9,7 @@
 //! exposes.
 
 use crate::complex::Complex;
-use crate::fft::fft_forward;
+use crate::scratch::DspScratch;
 use crate::window::{window, WindowKind};
 use crate::DspError;
 
@@ -119,6 +119,21 @@ impl Spectrogram {
 ///   not smaller than the window.
 /// * [`DspError::InputTooShort`] if the signal is shorter than one window.
 pub fn stft(signal: &[Complex], cfg: &StftConfig) -> Result<Spectrogram, DspError> {
+    crate::scratch::with_thread_scratch(|scratch| stft_with(signal, cfg, scratch))
+}
+
+/// [`stft`] with arena-held temporaries: the windowed segment and its
+/// transform reuse one scratch buffer across frames, and all frames share
+/// one cached FFT plan. Only the returned power matrix allocates.
+///
+/// # Errors
+///
+/// Same as [`stft`].
+pub fn stft_with(
+    signal: &[Complex],
+    cfg: &StftConfig,
+    scratch: &mut DspScratch,
+) -> Result<Spectrogram, DspError> {
     if cfg.window_len == 0 {
         return Err(DspError::InvalidWindow { reason: "window_len must be positive" });
     }
@@ -131,18 +146,20 @@ pub fn stft(signal: &[Complex], cfg: &StftConfig) -> Result<Spectrogram, DspErro
     let w = window(cfg.kind, cfg.window_len);
     let hop = cfg.hop();
     let fft_len = crate::fft::next_pow2(cfg.window_len);
+    let mut seg = scratch.take_complex_empty();
     let mut power = Vec::new();
     let mut start = 0;
     while start + cfg.window_len <= signal.len() {
-        let seg: Vec<Complex> = signal[start..start + cfg.window_len]
-            .iter()
-            .zip(w.iter())
-            .map(|(z, &wi)| z.scale(wi))
-            .collect();
-        let spec = fft_forward(&seg);
-        power.push(spec.iter().map(|z| z.norm_sqr()).collect());
+        seg.clear();
+        seg.extend(
+            signal[start..start + cfg.window_len].iter().zip(w.iter()).map(|(z, &wi)| z.scale(wi)),
+        );
+        seg.resize(fft_len, Complex::ZERO);
+        scratch.planner().plan(fft_len).forward(&mut seg);
+        power.push(seg.iter().map(|z| z.norm_sqr()).collect());
         start += hop;
     }
+    scratch.put_complex(seg);
     Ok(Spectrogram { power, fft_len, hop, sample_rate: cfg.sample_rate })
 }
 

@@ -34,13 +34,21 @@ use std::f64::consts::PI;
 /// ```
 pub fn unwrap_phase(wrapped: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(wrapped.len());
+    unwrap_phase_into(wrapped, &mut out);
+    out
+}
+
+/// [`unwrap_phase`] into a caller-owned buffer (`out` is cleared and
+/// refilled; capacity reused across calls).
+pub fn unwrap_phase_into(wrapped: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     let mut k = 0.0f64; // the paper's integer k, stored as f64 multiples of 2π
     let mut prev = match wrapped.first() {
         Some(&p) => {
             out.push(p);
             p
         }
-        None => return out,
+        None => return,
     };
     for &p in &wrapped[1..] {
         let d = p - prev;
@@ -52,7 +60,6 @@ pub fn unwrap_phase(wrapped: &[f64]) -> Vec<f64> {
         out.push(p + 2.0 * PI * k);
         prev = p;
     }
-    out
 }
 
 /// Wraps a phase into `(-pi, pi]`.
@@ -71,6 +78,20 @@ pub fn wrap_to_pi(phase: f64) -> f64 {
 pub fn unwrap_iq(i: &[f64], q: &[f64]) -> Vec<f64> {
     let wrapped: Vec<f64> = i.iter().zip(q.iter()).map(|(&ii, &qq)| qq.atan2(ii)).collect();
     unwrap_phase(&wrapped)
+}
+
+/// [`unwrap_iq`] with arena-held temporaries: the wrapped-phase buffer
+/// comes from the scratch pool and `out` receives the unwrapped phase.
+pub fn unwrap_iq_with(
+    i: &[f64],
+    q: &[f64],
+    scratch: &mut crate::scratch::DspScratch,
+    out: &mut Vec<f64>,
+) {
+    let mut wrapped = scratch.take_real_empty();
+    wrapped.extend(i.iter().zip(q.iter()).map(|(&ii, &qq)| qq.atan2(ii)));
+    unwrap_phase_into(&wrapped, out);
+    scratch.put_real(wrapped);
 }
 
 #[cfg(test)]

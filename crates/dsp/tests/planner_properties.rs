@@ -1,0 +1,125 @@
+//! Property tests pinning the planned FFT to the unplanned reference.
+//!
+//! The allocation-free signal path routes every transform through
+//! [`softlora_dsp::FftPlan`]s with cached twiddle tables. The gateway's
+//! verdict-equality guarantees (batch vs sequential vs streaming) only
+//! hold if the planned butterflies produce **bit-for-bit** the same
+//! output as the original per-call transform — which these properties
+//! pin across all power-of-two sizes up to 2^14.
+
+use proptest::prelude::*;
+use softlora_dsp::fft::{fft_in_place, ifft_in_place, FftPlanner};
+use softlora_dsp::Complex;
+
+/// Deterministic pseudo-random complex buffer for a given size/seed.
+fn signal(n: usize, seed: u64) -> Vec<Complex> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64, mapped into [-1, 1).
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    };
+    (0..n).map(|_| Complex::new(next(), next())).collect()
+}
+
+/// Exhaustive sweep: every pow2 size up to 2^14, forward and inverse,
+/// planned output must equal the reference bit for bit.
+#[test]
+fn planned_fft_matches_reference_all_sizes() {
+    let mut planner = FftPlanner::new();
+    for log2 in 0..=14u32 {
+        let n = 1usize << log2;
+        let data = signal(n, 0xF0CC + u64::from(log2));
+
+        let mut reference = data.clone();
+        fft_in_place(&mut reference);
+        let mut planned = data.clone();
+        planner.plan(n).forward(&mut planned);
+        assert_eq!(
+            reference.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect::<Vec<_>>(),
+            planned.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect::<Vec<_>>(),
+            "forward mismatch at n = {n}"
+        );
+
+        let mut reference = data.clone();
+        ifft_in_place(&mut reference);
+        let mut planned = data;
+        planner.plan(n).inverse(&mut planned);
+        assert_eq!(
+            reference.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect::<Vec<_>>(),
+            planned.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect::<Vec<_>>(),
+            "inverse mismatch at n = {n}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random sizes and contents: `forward_into` (the zero-padding entry
+    /// the dechirp path uses) equals the reference `fft_in_place` over the
+    /// padded buffer, bit for bit.
+    #[test]
+    fn forward_into_matches_reference(log2 in 0u32..12, seed in any::<u64>()) {
+        let n = 1usize << log2;
+        // A non-pow2 length exercises the zero-padding path too.
+        let len = n - n / 3;
+        let data = signal(len.max(1), seed);
+
+        let mut reference = data.clone();
+        reference.resize(softlora_dsp::fft::next_pow2(data.len()), Complex::ZERO);
+        fft_in_place(&mut reference);
+
+        let mut planner = FftPlanner::new();
+        let mut planned = Vec::new();
+        planner.forward_into(&data, &mut planned);
+
+        prop_assert_eq!(reference.len(), planned.len());
+        for (k, (a, b)) in reference.iter().zip(planned.iter()).enumerate() {
+            prop_assert!(a.re.to_bits() == b.re.to_bits(), "re bin {}", k);
+            prop_assert!(a.im.to_bits() == b.im.to_bits(), "im bin {}", k);
+        }
+    }
+
+    /// `forward_real_into` (the planner-backed `fft_real`) equals the
+    /// reference transform of the embedded real signal, bit for bit.
+    #[test]
+    fn forward_real_into_matches_reference(log2 in 1u32..12, seed in any::<u64>()) {
+        let n = 1usize << log2;
+        let xs: Vec<f64> = signal(n, seed).into_iter().map(|z| z.re).collect();
+
+        let mut reference: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_in_place(&mut reference);
+
+        let mut planner = FftPlanner::new();
+        let mut planned = Vec::new();
+        planner.forward_real_into(&xs, &mut planned);
+
+        prop_assert_eq!(reference.len(), planned.len());
+        for (k, (a, b)) in reference.iter().zip(planned.iter()).enumerate() {
+            prop_assert!(a.re.to_bits() == b.re.to_bits(), "re bin {}", k);
+            prop_assert!(a.im.to_bits() == b.im.to_bits(), "im bin {}", k);
+        }
+    }
+
+    /// Plan reuse is stateless: transforming twice through the same cached
+    /// plan gives identical results (no accumulated state in the planner).
+    #[test]
+    fn plan_reuse_is_stateless(log2 in 0u32..10, seed in any::<u64>()) {
+        let n = 1usize << log2;
+        let data = signal(n, seed);
+        let mut planner = FftPlanner::new();
+        let mut a = data.clone();
+        planner.plan(n).forward(&mut a);
+        let mut b = data;
+        planner.plan(n).forward(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+}

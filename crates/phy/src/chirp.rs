@@ -18,6 +18,8 @@
 use crate::params::{PhyConfig, SpreadingFactor};
 use crate::PhyError;
 use softlora_dsp::Complex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Evaluates the paper's instantaneous angle `Θ(t)` of a symbol-0 up chirp.
 ///
@@ -177,6 +179,27 @@ impl ChirpGenerator {
         theta: f64,
         amp: f64,
     ) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(self.samples_per_chirp);
+        self.chirp_into(direction, symbol, delta_hz, theta, amp, &mut out);
+        out
+    }
+
+    /// [`ChirpGenerator::chirp`] appended to a caller-owned buffer —
+    /// capture synthesis reuses one buffer for a whole multi-chirp
+    /// preamble instead of allocating per chirp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= 2^SF`.
+    pub fn chirp_into(
+        &self,
+        direction: ChirpDirection,
+        symbol: usize,
+        delta_hz: f64,
+        theta: f64,
+        amp: f64,
+        out: &mut Vec<Complex>,
+    ) {
         let chips = self.sf.chips();
         assert!(symbol < chips, "symbol {symbol} out of range for {}", self.sf);
         let w = self.bandwidth_hz;
@@ -202,18 +225,17 @@ impl ChirpGenerator {
         };
 
         let dt = 1.0 / self.sample_rate;
-        (0..self.samples_per_chirp)
-            .map(|n| {
-                let t = n as f64 * dt;
-                let core_phase = if t < t_wrap || t_wrap >= t_total {
-                    two_pi * (f0 * t + slope * t * t / 2.0)
-                } else {
-                    let u = t - t_wrap;
-                    phase_at_wrap + two_pi * (f_restart * u + slope * u * u / 2.0)
-                };
-                Complex::from_polar(amp, core_phase + two_pi * delta_hz * t + theta)
-            })
-            .collect()
+        out.reserve(self.samples_per_chirp);
+        out.extend((0..self.samples_per_chirp).map(|n| {
+            let t = n as f64 * dt;
+            let core_phase = if t < t_wrap || t_wrap >= t_total {
+                two_pi * (f0 * t + slope * t * t / 2.0)
+            } else {
+                let u = t - t_wrap;
+                phase_at_wrap + two_pi * (f_restart * u + slope * u * u / 2.0)
+            };
+            Complex::from_polar(amp, core_phase + two_pi * delta_hz * t + theta)
+        }));
     }
 
     /// Conjugate base up-chirp used as the dechirp reference.
@@ -234,6 +256,66 @@ impl ChirpGenerator {
         let z = self.upchirp(symbol, delta_hz, theta, amp);
         (z.iter().map(|c| c.re).collect(), z.iter().map(|c| c.im).collect())
     }
+}
+
+/// The shared reference waveforms of one `(SF, bandwidth, sample rate)`
+/// parameterisation: every receiver instance at the same parameters uses
+/// the **same** immutable tables instead of re-synthesising them.
+#[derive(Debug, Clone)]
+pub struct ChirpRefs {
+    /// The clean symbol-0 up-chirp (fine-timing correlation template).
+    pub upchirp: Arc<Vec<Complex>>,
+    /// `conj(upchirp)` — the up-dechirp reference.
+    pub up_conj: Arc<Vec<Complex>>,
+    /// `conj(downchirp)` — the down-dechirp (SFD) reference.
+    pub down_conj: Arc<Vec<Complex>>,
+}
+
+/// Cache key: `(sf, bandwidth bits, sample-rate bits)`.
+type RefsKey = (u32, u64, u64);
+
+/// Process-wide cache behind [`cached_chirp_refs`].
+fn refs_cache() -> &'static Mutex<HashMap<RefsKey, ChirpRefs>> {
+    static CACHE: OnceLock<Mutex<HashMap<RefsKey, ChirpRefs>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The cached reference set for `(sf, bandwidth_hz, sample_rate)`,
+/// synthesised on first request.
+///
+/// Demodulators and FB estimators are constructed per gateway (and per
+/// benchmark iteration), but their reference chirps depend only on the
+/// radio parameterisation — a fleet of SF7/125 kHz receivers shares three
+/// tables instead of synthesising `3 × gateways` of them. The returned
+/// handles are cheap to clone.
+///
+/// # Errors
+///
+/// Propagates [`PhyError::InvalidConfig`] from [`ChirpGenerator::new`].
+pub fn cached_chirp_refs(
+    sf: SpreadingFactor,
+    bandwidth_hz: f64,
+    sample_rate: f64,
+) -> Result<ChirpRefs, PhyError> {
+    let key = (sf.value(), bandwidth_hz.to_bits(), sample_rate.to_bits());
+    if let Some(refs) = refs_cache().lock().expect("chirp cache poisoned").get(&key) {
+        return Ok(refs.clone());
+    }
+    // Synthesise outside the lock (SF12 at 2.4 Msps is ~80k samples).
+    let generator = ChirpGenerator::new(sf, bandwidth_hz, sample_rate)?;
+    let upchirp = generator.upchirp(0, 0.0, 0.0, 1.0);
+    let up_conj: Vec<Complex> = upchirp.iter().map(|z| z.conj()).collect();
+    let down_conj: Vec<Complex> =
+        generator.downchirp(0, 0.0, 0.0, 1.0).iter().map(|z| z.conj()).collect();
+    let refs = ChirpRefs {
+        upchirp: Arc::new(upchirp),
+        up_conj: Arc::new(up_conj),
+        down_conj: Arc::new(down_conj),
+    };
+    let mut cache = refs_cache().lock().expect("chirp cache poisoned");
+    // A racing thread may have inserted meanwhile; keep the first entry so
+    // every holder shares one table.
+    Ok(cache.entry(key).or_insert(refs).clone())
 }
 
 #[cfg(test)]

@@ -47,19 +47,37 @@ pub fn deinterleave_block(
     ppm: usize,
     cw_bits: usize,
 ) -> Result<Vec<u8>, PhyError> {
+    let mut codewords = Vec::with_capacity(ppm);
+    deinterleave_block_into(symbols, ppm, cw_bits, &mut codewords)?;
+    Ok(codewords)
+}
+
+/// [`deinterleave_block`] into a caller-owned buffer (`out` is cleared and
+/// refilled; capacity reused across blocks).
+///
+/// # Errors
+///
+/// Same as [`deinterleave_block`].
+pub fn deinterleave_block_into(
+    symbols: &[u16],
+    ppm: usize,
+    cw_bits: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), PhyError> {
     if symbols.len() != cw_bits {
         return Err(PhyError::InvalidConfig { reason: "symbol count must equal codeword bits" });
     }
     validate(ppm, ppm, cw_bits)?;
-    let mut codewords = vec![0u8; ppm];
+    out.clear();
+    out.resize(ppm, 0u8);
     for (j, &sym) in symbols.iter().enumerate() {
         for i in 0..ppm {
             let row = (i + j) % ppm;
             let bit = ((sym >> i) & 1) as u8;
-            codewords[row] |= bit << j;
+            out[row] |= bit << j;
         }
     }
-    Ok(codewords)
+    Ok(())
 }
 
 fn validate(n_codewords: usize, ppm: usize, cw_bits: usize) -> Result<(), PhyError> {

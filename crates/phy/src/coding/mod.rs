@@ -16,7 +16,7 @@ pub mod whitening;
 
 pub use gray::{gray_decode, gray_encode};
 pub use hamming::{hamming_decode, hamming_encode, DecodeOutcome};
-pub use interleaver::{deinterleave_block, interleave_block};
+pub use interleaver::{deinterleave_block, deinterleave_block_into, interleave_block};
 pub use whitening::Whitener;
 
 /// CRC-16/CCITT (polynomial 0x1021, init 0xFFFF) used as the LoRa payload

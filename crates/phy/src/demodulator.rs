@@ -13,15 +13,17 @@
 //! [`PhyError::HeaderLost`] drop, while a payload CRC failure raises the
 //! "alert" error [`PhyError::PayloadCrc`].
 
-use crate::chirp::ChirpGenerator;
+use crate::chirp::{cached_chirp_refs, ChirpGenerator};
 use crate::coding::{
-    crc16_ccitt, deinterleave_block, gray_decode, hamming_decode, DecodeOutcome, Whitener,
+    crc16_ccitt, deinterleave_block_into, gray_decode, hamming_decode, DecodeOutcome, Whitener,
 };
 use crate::modulator::{header_checksum, SYNC_SYMBOLS};
 use crate::params::{CodingRate, PhyConfig};
 use crate::PhyError;
-use softlora_dsp::fft::{argmax_bin, fft_forward};
-use softlora_dsp::Complex;
+use softlora_dsp::fft::{argmax_bin, parabolic_peak};
+use softlora_dsp::{Complex, DspScratch};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Decoded PHY header fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,14 +52,69 @@ pub struct DemodulatedFrame {
     pub corrected_codewords: usize,
 }
 
+/// Reusable working memory for a demodulator: a [`DspScratch`] arena for
+/// the dechirp windows/spectra plus symbol, nibble and payload buffers.
+///
+/// One instance per worker; feed it to [`Demodulator::demodulate_with`]
+/// and return finished frames through [`DemodScratch::recycle`] so their
+/// payload buffers rotate back into the pool. After a few warm-up frames
+/// the demodulate path performs **zero heap allocations** per frame
+/// (pinned by the counting-allocator test in `softlora-bench`).
+#[derive(Debug, Default)]
+pub struct DemodScratch {
+    /// The DSP arena (FFT plans, complex/real pools).
+    pub dsp: DspScratch,
+    syms: Vec<u16>,
+    nibbles: Vec<u8>,
+    codewords: Vec<u8>,
+    payloads: Vec<Vec<u8>>,
+}
+
+impl DemodScratch {
+    /// Creates an empty scratch; pools fill on first use.
+    pub fn new() -> Self {
+        DemodScratch::default()
+    }
+
+    /// Returns a finished frame's payload buffer to the pool so the next
+    /// demodulation reuses its capacity.
+    pub fn recycle(&mut self, frame: DemodulatedFrame) {
+        self.put_payload(frame.payload);
+    }
+
+    fn take_payload(&mut self) -> Vec<u8> {
+        let mut buf = self.payloads.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    fn put_payload(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 {
+            self.payloads.push(buf);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_DEMOD_SCRATCH: RefCell<DemodScratch> = RefCell::new(DemodScratch::new());
+}
+
 /// Dechirp-and-FFT LoRa demodulator.
+///
+/// The reference waveforms (up/down dechirp references and the clean
+/// up-chirp template) are shared per `(SF, bandwidth, sample rate)`
+/// through the process-wide [`crate::chirp::cached_chirp_refs`] cache, so
+/// constructing many demodulators at the same radio parameters reuses the
+/// same immutable tables.
 #[derive(Debug, Clone)]
 pub struct Demodulator {
     cfg: PhyConfig,
     oversample: usize,
     generator: ChirpGenerator,
-    up_ref: Vec<Complex>,
-    down_ref: Vec<Complex>,
+    up_ref: Arc<Vec<Complex>>,
+    down_ref: Arc<Vec<Complex>>,
+    /// Clean symbol-0 up-chirp, the fine-timing correlation template.
+    template: Arc<Vec<Complex>>,
 }
 
 impl Demodulator {
@@ -71,10 +128,15 @@ impl Demodulator {
         cfg.validate()?;
         let generator =
             ChirpGenerator::oversampled(cfg.sf, cfg.channel.bandwidth.hz(), oversample)?;
-        let up_ref = generator.dechirp_reference();
-        let down_ref: Vec<Complex> =
-            generator.downchirp(0, 0.0, 0.0, 1.0).iter().map(|z| z.conj()).collect();
-        Ok(Demodulator { cfg, oversample, generator, up_ref, down_ref })
+        let refs = cached_chirp_refs(cfg.sf, cfg.channel.bandwidth.hz(), generator.sample_rate())?;
+        Ok(Demodulator {
+            cfg,
+            oversample,
+            generator,
+            up_ref: refs.up_conj,
+            down_ref: refs.down_conj,
+            template: refs.upchirp,
+        })
     }
 
     /// Samples per chirp.
@@ -92,13 +154,21 @@ impl Demodulator {
     /// measurable.
     const PAD: usize = 4;
 
-    /// Dechirps one window with the given reference, folds to chip rate and
-    /// returns the 4x zero-padded FFT spectrum (length `4 · 2^SF`).
-    fn dechirp_fft(&self, window: &[Complex], reference: &[Complex]) -> Vec<Complex> {
+    /// Dechirps one window with the given reference, folds to chip rate
+    /// and writes the 4x zero-padded FFT spectrum (length `4 · 2^SF`) into
+    /// the scratch-provided buffer.
+    fn dechirp_fft_into(
+        &self,
+        window: &[Complex],
+        reference: &[Complex],
+        dsp: &mut DspScratch,
+        spec: &mut Vec<Complex>,
+    ) {
         let chips = self.cfg.sf.chips();
         let os = self.oversample;
-        let mut folded = vec![Complex::ZERO; chips * Self::PAD];
-        for (i, slot) in folded.iter_mut().take(chips).enumerate() {
+        spec.clear();
+        spec.resize(chips * Self::PAD, Complex::ZERO);
+        for (i, slot) in spec.iter_mut().take(chips).enumerate() {
             // Sum the os polyphase samples of each chip (fold/alias to the
             // chip rate) — equivalent to decimation after dechirping with a
             // boxcar anti-alias, adequate since the dechirped tone is
@@ -110,46 +180,73 @@ impl Demodulator {
                 }
             }
         }
-        fft_forward(&folded)
+        // chips * PAD is a power of two, so the planned in-place transform
+        // is exactly what `fft_forward` ran here before.
+        let n = spec.len();
+        dsp.planner().plan(n).forward(spec);
     }
 
     /// Fractional tone position of the dechirped window, in chip units
-    /// within `[0, 2^SF)`: padded-FFT argmax plus a parabolic sub-bin
-    /// refinement.
-    fn dechirp_tone_chips(&self, window: &[Complex], reference: &[Complex]) -> f64 {
-        let spec = self.dechirp_fft(window, reference);
-        let (pk, _) = argmax_bin(&spec);
-        let m = spec.len();
-        let mag = |i: usize| spec[i % m].norm();
-        let (ym, y0, yp) = (mag(pk + m - 1), mag(pk), mag(pk + 1));
-        let denom = ym - 2.0 * y0 + yp;
-        let frac =
-            if denom.abs() > 1e-12 { (0.5 * (ym - yp) / denom).clamp(-0.5, 0.5) } else { 0.0 };
-        (pk as f64 + frac) / Self::PAD as f64
+    /// within `[0, 2^SF)`: padded-FFT argmax plus the shared
+    /// [`parabolic_peak`] sub-bin refinement.
+    fn dechirp_tone_chips(
+        &self,
+        window: &[Complex],
+        reference: &[Complex],
+        dsp: &mut DspScratch,
+    ) -> f64 {
+        let mut spec = dsp.take_complex_empty();
+        self.dechirp_fft_into(window, reference, dsp, &mut spec);
+        let peak = parabolic_peak(&spec);
+        dsp.put_complex(spec);
+        peak / Self::PAD as f64
     }
 
-    /// Derotates a window copy by `-cfo_hz`, with phase referenced to the
-    /// window's first sample index `abs_start` so successive windows stay
-    /// phase-continuous.
-    fn derotated(
+    /// Derotates a window by `-cfo_hz` into a scratch buffer, with phase
+    /// referenced to the window's first sample index `abs_start` so
+    /// successive windows stay phase-continuous.
+    fn derotate_into(
         &self,
         samples: &[Complex],
         abs_start: usize,
         len: usize,
         cfo_hz: f64,
-    ) -> Vec<Complex> {
+        out: &mut Vec<Complex>,
+    ) {
         let dt = 1.0 / self.sample_rate();
-        (0..len)
-            .map(|n| {
-                let idx = abs_start + n;
-                if idx < samples.len() {
-                    samples[idx]
-                        * Complex::cis(-2.0 * std::f64::consts::PI * cfo_hz * (idx as f64 * dt))
-                } else {
-                    Complex::ZERO
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend((0..len).map(|n| {
+            let idx = abs_start + n;
+            if idx < samples.len() {
+                samples[idx]
+                    * Complex::cis(-2.0 * std::f64::consts::PI * cfo_hz * (idx as f64 * dt))
+            } else {
+                Complex::ZERO
+            }
+        }));
+    }
+
+    /// Reads the offset-corrected symbol value of the dechirped window at
+    /// `ws` (the body of what used to be a per-call closure, lifted so it
+    /// can borrow the scratch arena).
+    #[allow(clippy::too_many_arguments)]
+    fn read_symbol_at(
+        &self,
+        samples: &[Complex],
+        ws: usize,
+        cfo_hz: f64,
+        ref_offset: f64,
+        dsp: &mut DspScratch,
+        win: &mut Vec<Complex>,
+    ) -> Option<usize> {
+        let n = self.samples_per_chirp();
+        let chips = self.cfg.sf.chips();
+        if ws + n > samples.len() {
+            return None;
+        }
+        self.derotate_into(samples, ws, n, cfo_hz, win);
+        let value = self.dechirp_tone_chips(win, &self.up_ref, dsp) - ref_offset;
+        Some((value.round() as i64).rem_euclid(chips as i64) as usize)
     }
 
     /// Demodulates a frame from `samples`.
@@ -172,6 +269,54 @@ impl Demodulator {
         samples: &[Complex],
         start_hint: usize,
     ) -> Result<DemodulatedFrame, PhyError> {
+        THREAD_DEMOD_SCRATCH
+            .with(|s| self.demodulate_with(samples, start_hint, &mut s.borrow_mut()))
+    }
+
+    /// [`Demodulator::demodulate`] against a caller-owned scratch arena —
+    /// the steady-state path: windows, spectra, symbol/nibble staging and
+    /// the payload buffer all come from `scratch`, so after warm-up a
+    /// frame demodulates without touching the heap. Results are
+    /// bit-for-bit identical to [`Demodulator::demodulate`] (which
+    /// delegates here with a thread-local arena).
+    ///
+    /// Return the finished frame through [`DemodScratch::recycle`] to keep
+    /// the payload pool warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Demodulator::demodulate`].
+    pub fn demodulate_with(
+        &self,
+        samples: &[Complex],
+        start_hint: usize,
+        scratch: &mut DemodScratch,
+    ) -> Result<DemodulatedFrame, PhyError> {
+        let mut win = scratch.dsp.take_complex_empty();
+        let mut payload = scratch.take_payload();
+        let result = self.demodulate_inner(samples, start_hint, scratch, &mut win, &mut payload);
+        scratch.dsp.put_complex(win);
+        match result {
+            Ok((header, cfo_hz, frame_start, corrected_codewords)) => {
+                Ok(DemodulatedFrame { payload, header, cfo_hz, frame_start, corrected_codewords })
+            }
+            Err(e) => {
+                scratch.put_payload(payload);
+                Err(e)
+            }
+        }
+    }
+
+    /// The demodulation body; returns `(header, cfo, frame start,
+    /// corrected codewords)` with the payload written into `payload`.
+    fn demodulate_inner(
+        &self,
+        samples: &[Complex],
+        start_hint: usize,
+        scratch: &mut DemodScratch,
+        win: &mut Vec<Complex>,
+        payload: &mut Vec<u8>,
+    ) -> Result<(PhyHeader, f64, usize, usize), PhyError> {
         let n = self.samples_per_chirp();
         let chips = self.cfg.sf.chips();
         let os = self.oversample;
@@ -184,9 +329,17 @@ impl Demodulator {
         // in chip units. Use the 3rd preamble chirp so a hint up to
         // ¼ chirp early still lands inside the preamble. ---
         let up_win_start = start_hint + 2 * n;
-        let b_up = self.dechirp_tone_chips(&samples[up_win_start..up_win_start + n], &self.up_ref);
+        let b_up = self.dechirp_tone_chips(
+            &samples[up_win_start..up_win_start + n],
+            &self.up_ref,
+            &mut scratch.dsp,
+        );
         let sfd_start = start_hint + (self.cfg.preamble_chirps + 2) * n;
-        let b_down = self.dechirp_tone_chips(&samples[sfd_start..sfd_start + n], &self.down_ref);
+        let b_down = self.dechirp_tone_chips(
+            &samples[sfd_start..sfd_start + n],
+            &self.down_ref,
+            &mut scratch.dsp,
+        );
 
         // Signed fold to (−2^S/2, 2^S/2] in float chip units.
         let fold_f = |x: f64| -> f64 {
@@ -213,7 +366,7 @@ impl Demodulator {
 
         // --- Fine timing: correlate a derotated preamble chirp against the
         // clean template over ±2 chips. ---
-        let template = self.generator.upchirp(0, 0.0, 0.0, 1.0);
+        let template = &self.template;
         let search = 2 * os as i64;
         let mut best_off = 0i64;
         let mut best_mag = -1.0f64;
@@ -222,7 +375,7 @@ impl Demodulator {
             if ws < 0 || (ws as usize + n) > samples.len() {
                 continue;
             }
-            let win = self.derotated(samples, ws as usize, n, cfo_hz);
+            self.derotate_into(samples, ws as usize, n, cfo_hz, win);
             let corr: Complex = win.iter().zip(template.iter()).map(|(a, b)| *a * b.conj()).sum();
             let mag = corr.norm();
             if mag > best_mag {
@@ -243,13 +396,13 @@ impl Demodulator {
         // carrier offset from the fractional timing offset just like the
         // coarse stage did for the integer parts. ---
         let up_f = {
-            let win = self.derotated(samples, start + 2 * n, n, cfo_hz);
-            fold_f(self.dechirp_tone_chips(&win, &self.up_ref))
+            self.derotate_into(samples, start + 2 * n, n, cfo_hz, win);
+            fold_f(self.dechirp_tone_chips(win, &self.up_ref, &mut scratch.dsp))
         };
         let down_f = {
             let ws = start + (self.cfg.preamble_chirps + 2) * n;
-            let win = self.derotated(samples, ws, n, cfo_hz);
-            fold_f(self.dechirp_tone_chips(&win, &self.down_ref))
+            self.derotate_into(samples, ws, n, cfo_hz, win);
+            fold_f(self.dechirp_tone_chips(win, &self.down_ref, &mut scratch.dsp))
         };
         let cfo_frac_bins = (up_f + down_f) / 2.0;
         let sto_frac_chips = (up_f - down_f) / 2.0;
@@ -262,28 +415,19 @@ impl Demodulator {
         // payload symbol; subtract it from each decision. ---
         let mut ref_offset = 0.0;
         for k in [2usize, 3] {
-            let win = self.derotated(samples, start + k * n, n, cfo_hz);
-            ref_offset += fold_f(self.dechirp_tone_chips(&win, &self.up_ref));
+            self.derotate_into(samples, start + k * n, n, cfo_hz, win);
+            ref_offset += fold_f(self.dechirp_tone_chips(win, &self.up_ref, &mut scratch.dsp));
         }
         ref_offset /= 2.0;
         let cfo_report = cfo_hz + ref_offset * bin_hz;
-
-        // Reads the symbol value of the dechirped window at `ws`, offset-
-        // corrected relative to the preamble reference.
-        let read_symbol_at = |ws: usize| -> Option<usize> {
-            if ws + n > samples.len() {
-                return None;
-            }
-            let win = self.derotated(samples, ws, n, cfo_hz);
-            let value = self.dechirp_tone_chips(&win, &self.up_ref) - ref_offset;
-            Some((value.round() as i64).rem_euclid(chips as i64) as usize)
-        };
 
         // --- Sync word sanity check (loose: each within ±1 of expected). ---
         let mut sync_ok = 0;
         for (k, &expect) in SYNC_SYMBOLS.iter().enumerate() {
             let ws = start + (self.cfg.preamble_chirps + k) * n;
-            if let Some(sym) = read_symbol_at(ws) {
+            if let Some(sym) =
+                self.read_symbol_at(samples, ws, cfo_hz, ref_offset, &mut scratch.dsp, win)
+            {
                 let err = fold(sym as i64 - (expect % chips) as i64).abs();
                 if err <= 1 {
                     sync_ok += 1;
@@ -296,27 +440,31 @@ impl Demodulator {
 
         // --- Payload section. ---
         let payload_start = start + (self.cfg.preamble_chirps + 2) * n + 2 * n + n / 4;
-        let read_symbol = |k: usize| -> Option<usize> { read_symbol_at(payload_start + k * n) };
 
         let sf = self.cfg.sf.value() as usize;
         let mut corrected = 0usize;
-        let mut nibbles: Vec<u8> = Vec::new();
+        scratch.nibbles.clear();
         let mut symbol_idx = 0usize;
 
         // Header block (explicit header assumed for gateway uplinks).
         let header = if self.cfg.explicit_header {
             let ppm = sf - 2;
-            let mut syms = Vec::with_capacity(8);
+            scratch.syms.clear();
             for _ in 0..8 {
-                let s = read_symbol(symbol_idx).ok_or(PhyError::HeaderLost)?;
+                let ws = payload_start + symbol_idx * n;
+                let s = self
+                    .read_symbol_at(samples, ws, cfo_hz, ref_offset, &mut scratch.dsp, win)
+                    .ok_or(PhyError::HeaderLost)?;
                 symbol_idx += 1;
                 // Reduced rate: round to the nearest multiple of 4.
                 let v = ((s + 2) >> 2) as u32 % (1u32 << ppm);
-                syms.push(gray_decode(v) as u16);
+                scratch.syms.push(gray_decode(v) as u16);
             }
-            let codewords = deinterleave_block(&syms, ppm, 8)?;
-            let mut hdr_nibbles = Vec::with_capacity(ppm);
-            for cw in codewords {
+            deinterleave_block_into(&scratch.syms, ppm, 8, &mut scratch.codewords)?;
+            // Header nibbles land at the front of the nibble stream; the
+            // five header fields are consumed below and drained off so the
+            // stream starts with the payload nibbles that rode along.
+            for &cw in &scratch.codewords {
                 let (nib, outcome) = hamming_decode(cw, CodingRate::Cr4_8);
                 if outcome == DecodeOutcome::Detected {
                     return Err(PhyError::HeaderLost);
@@ -324,19 +472,18 @@ impl Demodulator {
                 if outcome == DecodeOutcome::Corrected {
                     corrected += 1;
                 }
-                hdr_nibbles.push(nib);
+                scratch.nibbles.push(nib);
             }
-            let len = (hdr_nibbles[0] | (hdr_nibbles[1] << 4)) as usize;
-            let flags = hdr_nibbles[2];
-            let check = hdr_nibbles[3] | (hdr_nibbles[4] << 4);
+            let len = (scratch.nibbles[0] | (scratch.nibbles[1] << 4)) as usize;
+            let flags = scratch.nibbles[2];
+            let check = scratch.nibbles[3] | (scratch.nibbles[4] << 4);
             if header_checksum(len as u8, flags) != check {
                 return Err(PhyError::HeaderLost);
             }
             let cr = CodingRate::from_parity_bits((flags & 0x07) as usize)
                 .map_err(|_| PhyError::HeaderLost)?;
             let has_crc = flags & 0x08 != 0;
-            // Extra payload nibbles that rode in the header block.
-            nibbles.extend_from_slice(&hdr_nibbles[5..]);
+            scratch.nibbles.drain(..5);
             PhyHeader { payload_len: len, cr, has_crc }
         } else {
             PhyHeader { payload_len: 0, cr: self.cfg.cr, has_crc: self.cfg.payload_crc }
@@ -348,58 +495,54 @@ impl Demodulator {
         let cw_bits = header.cr.codeword_bits();
         let shift = sf - ppm;
 
-        while nibbles.len() < total_nibbles {
-            let mut syms = Vec::with_capacity(cw_bits);
+        while scratch.nibbles.len() < total_nibbles {
+            scratch.syms.clear();
             for _ in 0..cw_bits {
-                let s = read_symbol(symbol_idx).ok_or(PhyError::PayloadCrc)?;
+                let ws = payload_start + symbol_idx * n;
+                let s = self
+                    .read_symbol_at(samples, ws, cfo_hz, ref_offset, &mut scratch.dsp, win)
+                    .ok_or(PhyError::PayloadCrc)?;
                 symbol_idx += 1;
                 let v = if shift > 0 {
                     ((s + (1 << (shift - 1))) >> shift) as u32 % (1u32 << ppm)
                 } else {
                     s as u32
                 };
-                syms.push(gray_decode(v) as u16);
+                scratch.syms.push(gray_decode(v) as u16);
             }
-            let codewords = deinterleave_block(&syms, ppm, cw_bits)?;
-            for cw in codewords {
+            deinterleave_block_into(&scratch.syms, ppm, cw_bits, &mut scratch.codewords)?;
+            for &cw in &scratch.codewords {
                 let (nib, outcome) = hamming_decode(cw, header.cr);
                 if outcome == DecodeOutcome::Corrected {
                     corrected += 1;
                 }
-                nibbles.push(nib);
+                scratch.nibbles.push(nib);
             }
         }
 
-        // Reassemble bytes (low nibble first).
-        let mut body = Vec::with_capacity(body_len);
-        for pair in nibbles.chunks(2).take(body_len) {
-            body.push(pair[0] | (pair.get(1).copied().unwrap_or(0) << 4));
+        // Reassemble bytes (low nibble first) straight into the payload
+        // buffer — CRC check and de-whitening run on it in place.
+        payload.clear();
+        for pair in scratch.nibbles.chunks(2).take(body_len) {
+            payload.push(pair[0] | (pair.get(1).copied().unwrap_or(0) << 4));
         }
 
         // CRC check on whitened body, then de-whiten.
-        let mut payload_whitened = body;
         if header.has_crc {
-            if payload_whitened.len() < 2 {
+            if payload.len() < 2 {
                 return Err(PhyError::PayloadCrc);
             }
-            let crc_hi = payload_whitened[payload_whitened.len() - 2];
-            let crc_lo = payload_whitened[payload_whitened.len() - 1];
-            payload_whitened.truncate(payload_whitened.len() - 2);
+            let crc_hi = payload[payload.len() - 2];
+            let crc_lo = payload[payload.len() - 1];
+            payload.truncate(payload.len() - 2);
             let want = ((crc_hi as u16) << 8) | crc_lo as u16;
-            if crc16_ccitt(&payload_whitened) != want {
+            if crc16_ccitt(payload) != want {
                 return Err(PhyError::PayloadCrc);
             }
         }
-        let mut payload = payload_whitened;
-        Whitener::new().apply(&mut payload);
+        Whitener::new().apply(payload);
 
-        Ok(DemodulatedFrame {
-            payload,
-            header,
-            cfo_hz: cfo_report,
-            frame_start: start,
-            corrected_codewords: corrected,
-        })
+        Ok((header, cfo_report, start, corrected))
     }
 
     /// Scans a capture for the coarse start of a LoRa frame.
@@ -416,6 +559,19 @@ impl Demodulator {
     /// `threshold` is the required peak-to-average spectral ratio (e.g. 8.0
     /// for comfortable SNR, 4.0 near the demodulation floor).
     pub fn find_frame_start(&self, samples: &[Complex], threshold: f64) -> Option<usize> {
+        THREAD_DEMOD_SCRATCH
+            .with(|s| self.find_frame_start_with(samples, threshold, &mut s.borrow_mut()))
+    }
+
+    /// [`Demodulator::find_frame_start`] against a caller-owned scratch
+    /// arena: the sliding dechirp spectra, the magnitude trace and the
+    /// AIC pick all reuse pooled buffers.
+    pub fn find_frame_start_with(
+        &self,
+        samples: &[Complex],
+        threshold: f64,
+        scratch: &mut DemodScratch,
+    ) -> Option<usize> {
         let n = self.samples_per_chirp();
         if samples.len() < 4 * n {
             return None;
@@ -432,8 +588,14 @@ impl Demodulator {
         let mut run_len = 0usize;
         let mut pos = 0usize;
         let mut found = None;
+        let mut spec = scratch.dsp.take_complex_empty();
         while pos + n <= samples.len() {
-            let spec = self.dechirp_fft(&samples[pos..pos + n], &self.up_ref);
+            self.dechirp_fft_into(
+                &samples[pos..pos + n],
+                &self.up_ref,
+                &mut scratch.dsp,
+                &mut spec,
+            );
             let (bin, mag) = argmax_bin(&spec);
             let avg = spec.iter().map(|z| z.norm()).sum::<f64>() / spec.len() as f64;
             let strong = avg > 0.0 && mag / avg > threshold;
@@ -463,15 +625,19 @@ impl Demodulator {
             }
             pos += step;
         }
+        scratch.dsp.put_complex(spec);
         let coarse = found?;
         // Refine: AIC onset pick on the magnitude trace around the coarse
         // start (the first strong window can precede the true onset by up
         // to a window length at high SNR).
         let lo = coarse.saturating_sub(2 * n);
         let hi = (coarse + 2 * n).min(samples.len());
-        let mags: Vec<f64> = samples[lo..hi].iter().map(|z| z.norm()).collect();
-        match softlora_dsp::aic::aic_pick(&mags, 16) {
-            Ok(pick) => Some(lo + pick.onset),
+        let mut mags = scratch.dsp.take_real_empty();
+        mags.extend(samples[lo..hi].iter().map(|z| z.norm()));
+        let pick = softlora_dsp::aic::aic_onset_with(&mags, 16, &mut scratch.dsp);
+        scratch.dsp.put_real(mags);
+        match pick {
+            Ok(onset) => Some(lo + onset),
             Err(_) => Some(coarse),
         }
     }

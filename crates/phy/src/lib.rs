@@ -40,7 +40,8 @@ pub mod params;
 pub mod rn2483;
 pub mod sdr;
 
-pub use chirp::ChirpGenerator;
+pub use chirp::{cached_chirp_refs, ChirpGenerator, ChirpRefs};
+pub use demodulator::{DemodScratch, DemodulatedFrame, Demodulator};
 pub use params::{Bandwidth, CodingRate, LoRaChannel, PhyConfig, SpreadingFactor};
 
 /// Errors returned by PHY-layer routines.

@@ -19,6 +19,17 @@ pub trait NoiseSource {
 
     /// Mean power `E[|z|²]` this source produces (used to calibrate SNR).
     fn mean_power(&self) -> f64;
+
+    /// Adds `z.len()` samples from this source to `z` in place, drawing
+    /// exactly the sequence `generate(z.len())` would. Sources override
+    /// this to skip the intermediate allocation (the per-frame capture
+    /// path relies on that).
+    fn add_to(&mut self, z: &mut [Complex]) {
+        let noise = self.generate(z.len());
+        for (s, n) in z.iter_mut().zip(noise) {
+            *s += n;
+        }
+    }
 }
 
 /// Circularly symmetric complex white Gaussian noise.
@@ -58,6 +69,16 @@ impl NoiseSource for GaussianNoise {
                 )
             })
             .collect()
+    }
+
+    fn add_to(&mut self, z: &mut [Complex]) {
+        // Same draw order as `generate`, added in place.
+        for s in z.iter_mut() {
+            *s += Complex::new(
+                self.sigma * Self::gaussian(&mut self.rng),
+                self.sigma * Self::gaussian(&mut self.rng),
+            );
+        }
     }
 
     fn mean_power(&self) -> f64 {

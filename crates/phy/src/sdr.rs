@@ -9,7 +9,7 @@
 //! `δ = δTx − δRx` and net phase `θ = θTx − θRx` — exactly the paper's
 //! Eq. (5).
 
-use crate::chirp::ChirpGenerator;
+use crate::chirp::{ChirpDirection, ChirpGenerator};
 use crate::oscillator::Oscillator;
 use crate::params::PhyConfig;
 use crate::PhyError;
@@ -52,6 +52,13 @@ impl IqCapture {
     /// View as complex samples `I + jQ`.
     pub fn to_complex(&self) -> Vec<Complex> {
         self.i.iter().zip(self.q.iter()).map(|(&i, &q)| Complex::new(i, q)).collect()
+    }
+
+    /// [`IqCapture::to_complex`] into a caller-owned buffer (`out` is
+    /// cleared and refilled; capacity reused across captures).
+    pub fn to_complex_into(&self, out: &mut Vec<Complex>) {
+        out.clear();
+        out.extend(self.i.iter().zip(self.q.iter()).map(|(&i, &q)| Complex::new(i, q)));
     }
 
     /// Builds a capture from complex samples.
@@ -194,22 +201,53 @@ impl SdrReceiver {
         lead: usize,
         theta_rx: f64,
     ) -> Result<IqCapture, PhyError> {
+        let mut z = Vec::new();
+        self.capture_chirps_with_phase_into(
+            cfg, n_chirps, delta_tx, theta_tx, amp, lead, theta_rx, &mut z,
+        )?;
+        Ok(IqCapture::from_complex(&z, self.sample_rate, lead))
+    }
+
+    /// [`SdrReceiver::capture_chirps_with_phase`] writing the quantised
+    /// complex waveform into a caller-owned buffer — the batch pipeline's
+    /// per-worker scratch path, which synthesises one capture per
+    /// delivery without allocating once the buffer is warm. The capture
+    /// onset sits at sample `lead`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhyError::InvalidConfig`] from chirp generation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_chirps_with_phase_into(
+        &self,
+        cfg: &PhyConfig,
+        n_chirps: usize,
+        delta_tx: f64,
+        theta_tx: f64,
+        amp: f64,
+        lead: usize,
+        theta_rx: f64,
+        z: &mut Vec<Complex>,
+    ) -> Result<(), PhyError> {
         let generator = ChirpGenerator::new(cfg.sf, cfg.channel.bandwidth.hz(), self.sample_rate)?;
         let delta_rx = self.oscillator.frequency_bias_hz();
         // Net bias and phase, per the paper's Eq. (5).
         let delta = delta_tx - delta_rx;
         let theta = theta_tx - theta_rx;
 
-        let mut z = vec![Complex::ZERO; lead];
+        z.clear();
+        z.resize(lead, Complex::ZERO);
         for k in 0..n_chirps {
             // Keep the bias phase continuous across chirps: the k-th chirp
             // starts at t = k·T, contributing 2π·δ·kT of accumulated phase.
             let t_start = k as f64 * generator.chirp_time();
             let phase_offset = 2.0 * std::f64::consts::PI * delta * t_start + theta;
-            z.extend(generator.upchirp(0, delta, phase_offset, amp));
+            generator.chirp_into(ChirpDirection::Up, 0, delta, phase_offset, amp, z);
         }
-        let quantised: Vec<Complex> = z.into_iter().map(|s| self.quantise(s)).collect();
-        Ok(IqCapture::from_complex(&quantised, self.sample_rate, lead))
+        for s in z.iter_mut() {
+            *s = self.quantise(*s);
+        }
+        Ok(())
     }
 
     fn quantise(&self, z: Complex) -> Complex {

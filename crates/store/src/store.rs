@@ -75,7 +75,9 @@ impl ShardedStore {
     ) -> Result<Self, StoreError> {
         let dir = dir.into();
         let shards = shards.max(1);
-        std::fs::create_dir_all(&dir)?;
+        if !options.read_only {
+            std::fs::create_dir_all(&dir)?;
+        }
         match peek_shard_count(&dir)? {
             Some(on_disk) if on_disk != shards => {
                 return Err(StoreError::ShardCountMismatch {
@@ -85,6 +87,14 @@ impl ShardedStore {
                 });
             }
             Some(_) => {}
+            None if options.read_only => {
+                return Err(StoreError::Config {
+                    detail: format!(
+                        "{} is not an initialised store (read-only open refuses to create it)",
+                        dir.display()
+                    ),
+                });
+            }
             None => {
                 std::fs::write(dir.join("meta"), format!("softlora-store v1\nshards {shards}\n"))?;
             }

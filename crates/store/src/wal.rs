@@ -46,6 +46,13 @@ const FRAME_HEADER: usize = 8;
 pub struct WalOptions {
     /// Rotate to a fresh segment once the current one reaches this size.
     pub segment_bytes: u64,
+    /// Open for inspection only: recovery reads everything (a torn tail
+    /// is still *reported* via [`Recovery::dropped_torn_tail`]) but
+    /// nothing on disk is created, truncated or opened for writing, and
+    /// [`ShardWal::append`] / [`ShardWal::install_snapshot`] refuse.
+    /// This is what `fsck`-style tooling uses so inspecting a store
+    /// never repairs it.
+    pub read_only: bool,
 }
 
 impl Default for WalOptions {
@@ -53,7 +60,14 @@ impl Default for WalOptions {
         // Small enough that rotation and compaction actually exercise in
         // tests and benches, large enough that a segment holds thousands
         // of commit records.
-        WalOptions { segment_bytes: 1 << 20 }
+        WalOptions { segment_bytes: 1 << 20, read_only: false }
+    }
+}
+
+impl WalOptions {
+    /// The inspection configuration: see [`WalOptions::read_only`].
+    pub fn read_only() -> Self {
+        WalOptions { read_only: true, ..WalOptions::default() }
     }
 }
 
@@ -66,7 +80,9 @@ pub struct Recovery {
     pub snapshot_seq: u64,
     /// Record payloads after the snapshot, in append order.
     pub records: Vec<Vec<u8>>,
-    /// Whether a torn tail record was dropped (crash mid-append).
+    /// Whether a torn tail record was excluded from replay (crash
+    /// mid-append). The file is truncated back to the last intact record
+    /// unless the log was opened read-only.
     pub dropped_torn_tail: bool,
 }
 
@@ -146,7 +162,9 @@ impl ShardWal {
     /// when a non-tail record or the segment chain is damaged.
     pub fn open(dir: impl Into<PathBuf>, options: WalOptions) -> Result<Self, StoreError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        if !options.read_only {
+            std::fs::create_dir_all(&dir)?;
+        }
 
         let mut segments: Vec<u64> = Vec::new();
         let mut snapshots: Vec<u64> = Vec::new();
@@ -214,8 +232,11 @@ impl ShardWal {
                     }
                     Frame::Eof => break,
                     Frame::Torn if is_last => {
-                        // Crash mid-append: drop only the torn record.
-                        Self::truncate(&path, pos as u64)?;
+                        // Crash mid-append: drop only the torn record (in
+                        // read-only mode report it, repair nothing).
+                        if !options.read_only {
+                            Self::truncate(&path, pos as u64)?;
+                        }
                         buf.truncate(pos);
                         dropped_torn_tail = true;
                         break;
@@ -223,7 +244,9 @@ impl ShardWal {
                     Frame::BadCrc { end } if is_last && end == buf.len() => {
                         // The final frame's payload was partially flushed:
                         // same torn-tail case, dressed as a CRC failure.
-                        Self::truncate(&path, pos as u64)?;
+                        if !options.read_only {
+                            Self::truncate(&path, pos as u64)?;
+                        }
                         buf.truncate(pos);
                         dropped_torn_tail = true;
                         break;
@@ -244,6 +267,7 @@ impl ShardWal {
         // Resume appending into the last segment (rotation will move on
         // once it fills); with no segments, the first append creates one.
         let writer = match segments.last() {
+            _ if options.read_only => None,
             Some(&first) if segment_len < options.segment_bytes => {
                 let file = OpenOptions::new().append(true).open(segment_path(&dir, first))?;
                 Some(BufWriter::new(file))
@@ -260,6 +284,15 @@ impl ShardWal {
             snapshot_seq,
             recovery: Some(Recovery { snapshot, snapshot_seq, records, dropped_torn_tail }),
         })
+    }
+
+    fn refuse_if_read_only(&self, operation: &str) -> Result<(), StoreError> {
+        if self.options.read_only {
+            return Err(StoreError::Config {
+                detail: format!("{operation} refused: log opened read-only"),
+            });
+        }
+        Ok(())
     }
 
     fn truncate(path: &Path, len: u64) -> Result<(), StoreError> {
@@ -300,8 +333,10 @@ impl ShardWal {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the segment cannot be written.
+    /// [`StoreError::Io`] when the segment cannot be written, and
+    /// [`StoreError::Config`] on a read-only log.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        self.refuse_if_read_only("append")?;
         if self.writer.is_none() || self.segment_len >= self.options.segment_bytes {
             let path = segment_path(&self.dir, self.next_seq);
             let file = OpenOptions::new().create_new(true).append(true).open(path)?;
@@ -352,8 +387,10 @@ impl ShardWal {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when writing, renaming or deleting fails.
+    /// [`StoreError::Io`] when writing, renaming or deleting fails, and
+    /// [`StoreError::Config`] on a read-only log.
     pub fn install_snapshot(&mut self, state: &[u8]) -> Result<(), StoreError> {
+        self.refuse_if_read_only("install_snapshot")?;
         self.flush()?;
         let seq = self.last_seq();
         let final_path = snapshot_path(&self.dir, seq);
@@ -442,7 +479,7 @@ mod tests {
     #[test]
     fn segments_rotate_and_chain() {
         let dir = test_dir("wal-rotate");
-        let opts = WalOptions { segment_bytes: 64 };
+        let opts = WalOptions { segment_bytes: 64, ..WalOptions::default() };
         {
             let mut wal = ShardWal::open(&dir, opts).unwrap();
             for k in 0..30u64 {
@@ -461,7 +498,7 @@ mod tests {
     #[test]
     fn snapshot_replay_and_compaction() {
         let dir = test_dir("wal-snapshot");
-        let opts = WalOptions { segment_bytes: 64 };
+        let opts = WalOptions { segment_bytes: 64, ..WalOptions::default() };
         {
             let mut wal = ShardWal::open(&dir, opts).unwrap();
             for k in 0..10u64 {
@@ -482,6 +519,45 @@ mod tests {
         let got: Vec<u64> =
             rec.records.iter().map(|r| u64::from_le_bytes(r[..].try_into().unwrap())).collect();
         assert_eq!(got, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn read_only_open_reports_torn_tail_without_repairing() {
+        let dir = test_dir("wal-ro");
+        {
+            let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+            for k in 0..5u64 {
+                wal.append(&k.to_le_bytes()).unwrap();
+            }
+        }
+        // Tear the last record: chop 3 bytes off the file.
+        let seg = segment_path(&dir, 1);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        let torn_len = std::fs::metadata(&seg).unwrap().len();
+
+        let mut wal = ShardWal::open(&dir, WalOptions::read_only()).unwrap();
+        let rec = wal.take_recovery();
+        assert!(rec.dropped_torn_tail, "the torn tail must be reported");
+        assert_eq!(rec.records.len(), 4, "the torn record is excluded from replay");
+        // ... but the file on disk is untouched, and writes refuse.
+        assert_eq!(std::fs::metadata(&seg).unwrap().len(), torn_len);
+        assert!(matches!(wal.append(b"nope"), Err(StoreError::Config { .. })));
+        assert!(matches!(wal.install_snapshot(b"nope"), Err(StoreError::Config { .. })));
+        drop(wal);
+        // A read-write open afterwards still sees and repairs the tear.
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        assert!(wal.take_recovery().dropped_torn_tail);
+        assert!(std::fs::metadata(&seg).unwrap().len() < torn_len);
+    }
+
+    #[test]
+    fn read_only_open_refuses_missing_directory() {
+        let dir = test_dir("wal-ro-missing");
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(ShardWal::open(&dir, WalOptions::read_only()).is_err());
+        // A read-write open creates it as before.
+        assert!(ShardWal::open(&dir, WalOptions::default()).is_ok());
     }
 
     #[test]

@@ -21,7 +21,7 @@ proptest! {
         segment_bytes in 32usize..600,
     ) {
         let dir = test_dir("prop-roundtrip");
-        let options = WalOptions { segment_bytes: segment_bytes as u64 };
+        let options = WalOptions { segment_bytes: segment_bytes as u64, ..WalOptions::default() };
         {
             let mut wal = ShardWal::open(&dir, options).unwrap();
             for p in &payloads {
@@ -79,7 +79,7 @@ proptest! {
     ) {
         let dir = test_dir("prop-torn");
         // One big segment so the tear lands in the only file.
-        let options = WalOptions { segment_bytes: 1 << 20 };
+        let options = WalOptions { segment_bytes: 1 << 20, ..WalOptions::default() };
         {
             let mut wal = ShardWal::open(&dir, options).unwrap();
             for p in &payloads {

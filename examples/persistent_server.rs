@@ -88,8 +88,22 @@ fn main() {
     let mut reference = build(None);
     let expected = reference.process_batch(&groups).expect("reference pipeline");
 
-    // Life 1: persist, commit the first half, die hard.
-    let dir = test_dir("persistent-server-example");
+    // Life 1: persist, commit the first half, die hard. The store lands
+    // in a scratch directory unless SOFTLORA_PERSIST_DIR pins it (CI does
+    // this so `repro_fsck` can check the output afterwards).
+    let pinned_dir = std::env::var_os("SOFTLORA_PERSIST_DIR").map(std::path::PathBuf::from);
+    let dir = match &pinned_dir {
+        Some(p) => {
+            // A pinned directory is the example's scratch space: clear any
+            // previous run's store, otherwise life 1 would *resume* stale
+            // state and the fresh in-memory reference below could never
+            // match.
+            std::fs::remove_dir_all(p).ok();
+            std::fs::create_dir_all(p).expect("create pinned store dir");
+            p.clone()
+        }
+        None => test_dir("persistent-server-example"),
+    };
     let mut life1 = build(Some(&dir));
     let first_half = life1.process_batch(&groups[..mid]).expect("first life pipeline");
     let stats_at_kill = life1.stats();
@@ -132,5 +146,7 @@ fn main() {
         life2.detection_stats().false_alarm_rate(),
     );
 
-    std::fs::remove_dir_all(&dir).ok();
+    if pinned_dir.is_none() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

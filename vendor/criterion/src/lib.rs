@@ -13,6 +13,14 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Whether the binary was invoked in smoke-test mode (`cargo bench --
+/// --test`, matching real criterion's flag): each benchmark body runs
+/// exactly once, untimed, so CI can prove every bench still compiles and
+/// executes without paying for warm-up and sampling.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug)]
 pub struct Criterion {
@@ -108,15 +116,28 @@ pub struct Bencher {
     samples: Vec<Duration>,
     per_sample_iters: u64,
     requested_samples: usize,
+    /// Smoke mode: run bodies once, record nothing.
+    smoke: bool,
 }
 
 impl Bencher {
     fn with_samples(n: usize) -> Self {
-        Bencher { samples: Vec::new(), per_sample_iters: 1, requested_samples: n.max(1) }
+        Bencher {
+            samples: Vec::new(),
+            per_sample_iters: 1,
+            requested_samples: n.max(1),
+            smoke: false,
+        }
     }
 
-    /// Times `f`, recording one duration per sample.
+    /// Times `f`, recording one duration per sample. In `--test` mode the
+    /// body runs once and nothing is recorded.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.samples.clear();
+            return;
+        }
         // Warm-up: run until ~20 ms have elapsed (min 1 iteration) to fault
         // in caches, and size the per-sample iteration count from it.
         let warm_start = Instant::now();
@@ -144,7 +165,12 @@ impl Bencher {
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
     let mut b = Bencher::with_samples(samples);
+    b.smoke = test_mode();
     f(&mut b);
+    if b.smoke {
+        println!("{label:<44} ok (test mode: 1 iteration)");
+        return;
+    }
     if b.samples.is_empty() {
         println!("{label:<44} (no samples)");
         return;

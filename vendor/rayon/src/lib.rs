@@ -12,7 +12,7 @@ use std::num::NonZeroUsize;
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap, ParMapInit};
 }
 
 /// `.par_iter()` entry point for slice-like containers.
@@ -52,6 +52,20 @@ impl<'a, T: Sync> ParIter<'a, T> {
         R: Send,
     {
         ParMap { items: self.items, f }
+    }
+
+    /// Maps every element through `f` with per-worker state from `init`,
+    /// mirroring rayon's `map_init`: `init` runs once per worker chunk
+    /// (not per element), and `f` receives `&mut` access to that worker's
+    /// state — the idiom for threading scratch arenas through a parallel
+    /// map without sharing them across threads.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit { items: self.items, init, f }
     }
 }
 
@@ -94,6 +108,55 @@ where
     }
 }
 
+/// The result of [`ParIter::map_init`], ready to collect.
+#[derive(Debug)]
+pub struct ParMapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T, S, R, INIT, F> ParMapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+{
+    /// Runs the map across threads — one `init()` state per worker chunk —
+    /// and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let workers =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            let mut state = (self.init)();
+            return self.items.iter().map(|item| (self.f)(&mut state, item)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let init = &self.init;
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        slice.iter().map(|item| f(&mut state, item)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stub worker panicked"))
+                .collect();
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -113,6 +176,38 @@ mod tests {
         let one = [41u32];
         let out: Vec<u32> = one[..].par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn map_init_matches_map_and_reuses_state() {
+        let input: Vec<u64> = (0..5000).collect();
+        // State counts how many items each worker handled; results must
+        // still come back in input order.
+        let out: Vec<(u64, u64)> = input
+            .par_iter()
+            .map_init(
+                || 0u64,
+                |seen, x| {
+                    *seen += 1;
+                    (*x * 3, *seen)
+                },
+            )
+            .collect();
+        for (k, (tripled, seen)) in out.iter().enumerate() {
+            assert_eq!(*tripled, k as u64 * 3);
+            // Per-worker counters start at 1 and grow within a chunk.
+            assert!(*seen >= 1);
+        }
+        // Every element was visited exactly once overall.
+        let total: u64 = out.iter().map(|(_, _s)| 1).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn map_init_single_item() {
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map_init(|| 10u32, |s, x| *s + *x).collect();
+        assert_eq!(out, vec![17]);
     }
 
     #[test]
