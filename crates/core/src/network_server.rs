@@ -59,7 +59,7 @@ use softlora_lorawan::{
 };
 use softlora_phy::PhyConfig;
 use softlora_sim::{Delivery, FleetDelivery, UplinkDeliveries};
-use softlora_store::{shard_of, ShardedStore, StoreError, WalOptions};
+use softlora_store::{shard_of, Encoder, ShardedStore, StoreError, WalOptions};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -435,6 +435,7 @@ impl NetworkServerBuilder {
                 index,
                 store: None,
                 snapshot_every: self.snapshot_every,
+                wal_buf: Encoder::new(),
             })
             .collect();
         // Per-device state — MAC sessions included — lives only in the
@@ -512,6 +513,10 @@ pub(crate) struct ShardCore {
     pub(crate) store: Option<Arc<ShardedStore>>,
     /// WAL records between snapshots.
     pub(crate) snapshot_every: u64,
+    /// Reusable scratch encoder for WAL commit records: one buffer per
+    /// shard carries every record, so the commit path does not allocate
+    /// a fresh encode buffer per uplink group.
+    pub(crate) wal_buf: Encoder,
 }
 
 /// The server's complete back half: the device-hashed shards plus the
@@ -1099,9 +1104,10 @@ impl ShardCore {
             mac_fcnt: ops.mac_fcnt,
             eviction: ops.eviction.map(|e| (e.dev_addr, e.history)),
         };
-        let bytes = record.encode();
+        self.wal_buf.clear();
+        record.encode_into(&mut self.wal_buf);
         let mut wal = store.shard(self.index).lock().expect("shard wal poisoned");
-        wal.append(&bytes).map_err(SoftLoraError::from)?;
+        wal.append(self.wal_buf.as_bytes()).map_err(SoftLoraError::from)?;
         if wal.records_since_snapshot() >= self.snapshot_every {
             let snapshot = self.snapshot_state(global_seq, frames_cumulative).encode();
             wal.install_snapshot(&snapshot).map_err(SoftLoraError::from)?;

@@ -140,13 +140,22 @@ pub(crate) struct CommitRecord {
 }
 
 impl CommitRecord {
+    #[cfg(test)]
     pub(crate) fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
+        self.encode_into(&mut e);
+        e.into_bytes()
+    }
+
+    /// Encodes into a caller-owned encoder — the commit hot path clears
+    /// and reuses one per-shard scratch encoder instead of allocating a
+    /// fresh buffer per WAL record.
+    pub(crate) fn encode_into(&self, e: &mut Encoder) {
         e.u8(VERSION).u64(self.global_seq).u64(self.uplink);
-        encode_server_stats(&mut e, &self.stats);
-        encode_detection_stats(&mut e, &self.det);
+        encode_server_stats(e, &self.stats);
+        encode_detection_stats(e, &self.det);
         e.u64(self.mac_accepted).u64(self.mac_rejected);
-        encode_frames(&mut e, &self.frames_cumulative);
+        encode_frames(e, &self.frames_cumulative);
         e.option(&self.fb_learn, |e, (dev, fb)| {
             e.u32(*dev).f64(*fb);
         });
@@ -160,7 +169,6 @@ impl CommitRecord {
                 e.f64(fb);
             }
         });
-        e.into_bytes()
     }
 
     pub(crate) fn decode(bytes: &[u8]) -> Result<Self, StoreError> {

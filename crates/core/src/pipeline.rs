@@ -470,6 +470,53 @@ impl MacStage {
 /// A stage timing sample: which stage ran and for how long, seconds.
 pub type StageTiming = (Stage, f64);
 
+/// The front half's stage-timing samples, held inline: the front half
+/// runs at most four stages, so a fixed-size array (instead of the
+/// former `Vec<StageTiming>`) keeps per-frame telemetry off the heap —
+/// part of the allocation-free steady state pinned by the
+/// `softlora-bench` zero-allocation tests.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimings {
+    len: u8,
+    samples: [StageTiming; Self::CAPACITY],
+}
+
+impl StageTimings {
+    /// The front half has four stages (radio → capture → onset → FB).
+    pub const CAPACITY: usize = 4;
+
+    /// An empty sample set.
+    pub fn new() -> Self {
+        StageTimings { len: 0, samples: [(Stage::RadioFrontEnd, 0.0); Self::CAPACITY] }
+    }
+
+    /// Records one stage's elapsed time.
+    pub(crate) fn push(&mut self, stage: Stage, elapsed_s: f64) {
+        assert!((self.len as usize) < Self::CAPACITY, "more samples than front-half stages");
+        self.samples[self.len as usize] = (stage, elapsed_s);
+        self.len += 1;
+    }
+
+    /// The recorded samples, in stage order.
+    pub fn as_slice(&self) -> &[StageTiming] {
+        &self.samples[..self.len as usize]
+    }
+}
+
+impl Default for StageTimings {
+    fn default() -> Self {
+        StageTimings::new()
+    }
+}
+
+impl std::ops::Deref for StageTimings {
+    type Target = [StageTiming];
+
+    fn deref(&self) -> &[StageTiming] {
+        self.as_slice()
+    }
+}
+
 /// Front-half result for one delivery: either the radio dropped it, or the
 /// per-frame analysis (capture → onset → FB) completed.
 #[derive(Debug, Clone)]
@@ -479,7 +526,7 @@ pub enum FrontFrame {
         /// The chip-level outcome.
         outcome: ReceptionOutcome,
         /// Timing of the stages that ran.
-        timings: Vec<StageTiming>,
+        timings: StageTimings,
     },
     /// The embarrassingly-parallel analysis completed.
     Analyzed(AnalyzedFrame),
@@ -495,7 +542,7 @@ pub struct AnalyzedFrame {
     /// The single onset pick and its gateway-clock mapping.
     pub onset: OnsetOutput,
     /// Timing of the front-half stages.
-    pub timings: Vec<StageTiming>,
+    pub timings: StageTimings,
 }
 
 /// The assembled six-stage pipeline.
@@ -580,11 +627,11 @@ impl Pipeline {
         frame_index: u64,
         scratch: &mut DspScratch,
     ) -> Result<FrontFrame, SoftLoraError> {
-        let mut timings = Vec::with_capacity(4);
+        let mut timings = StageTimings::new();
 
         let t = Instant::now();
         let radio = self.radio.evaluate(&self.config, delivery);
-        timings.push((Stage::RadioFrontEnd, t.elapsed().as_secs_f64()));
+        timings.push(Stage::RadioFrontEnd, t.elapsed().as_secs_f64());
         if !radio.host_received {
             return Ok(FrontFrame::NotReceived { outcome: radio.outcome, timings });
         }
@@ -592,7 +639,7 @@ impl Pipeline {
         let t = Instant::now();
         let captured =
             self.capture.synthesise_with(&self.config, delivery, frame_index, scratch)?;
-        timings.push((Stage::CaptureSynth, t.elapsed().as_secs_f64()));
+        timings.push(Stage::CaptureSynth, t.elapsed().as_secs_f64());
 
         let t = Instant::now();
         let onset = self.onset.pick_with(&captured.capture, delivery.arrival_global_s, scratch);
@@ -603,13 +650,13 @@ impl Pipeline {
                 return Err(e);
             }
         };
-        timings.push((Stage::Onset, t.elapsed().as_secs_f64()));
+        timings.push(Stage::Onset, t.elapsed().as_secs_f64());
 
         let t = Instant::now();
         let fb = self.fb.estimate_with(&captured.capture, &onset, delivery.snr_db, scratch);
         captured.recycle(scratch);
         let fb = fb?;
-        timings.push((Stage::Fb, t.elapsed().as_secs_f64()));
+        timings.push(Stage::Fb, t.elapsed().as_secs_f64());
 
         // The replay check needs the *claimed* source; peeking the header
         // requires no keys and no state.

@@ -1,0 +1,271 @@
+//! Fleet-scale load harness: simulate a gateway fleet (optionally under
+//! the frame-delay attack), start an in-process [`NetServer`] listener,
+//! replay the traffic from N concurrent gateway sockets over loopback,
+//! and report sustained throughput + ingest latency as JSON.
+//!
+//! ```text
+//! loadgen [--gateways N] [--devices N] [--sim-duration-s S] [--attack-at S]
+//!         [--loud-gateways K] [--shards N] [--copies-per-datagram N]
+//!         [--persist DIR] [--out FILE] [--quiet]
+//! ```
+//!
+//! All but `--loud-gateways` gateway sites get a +60 dB noise floor, so
+//! their copies fail the radio front end cheaply — the fleet exercises
+//! the wire path and the reassembly barrier at full width while DSP cost
+//! stays proportional to the loud sites. `--persist DIR` turns on the
+//! WAL + snapshot store so CI can fsck the result with `repro_fsck`.
+
+use softlora::NetworkServer;
+use softlora_attack::FrameDelayAttack;
+use softlora_net::listener::{NetServer, NetServerConfig};
+use softlora_net::loadgen::{replay_fleet, LoadgenConfig};
+use softlora_net::protocol::{decode_frame, encode_frame, Frame};
+use softlora_net::NetError;
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use softlora_sim::{FleetDeployment, Position, Scenario, UplinkDeliveries};
+use std::net::UdpSocket;
+use std::time::Duration;
+
+struct Args {
+    gateways: usize,
+    devices: usize,
+    sim_duration_s: f64,
+    attack_at_s: Option<f64>,
+    loud_gateways: usize,
+    shards: usize,
+    copies_per_datagram: usize,
+    persist: Option<String>,
+    out: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            gateways: 8,
+            devices: 6,
+            sim_duration_s: 2600.0,
+            attack_at_s: Some(1500.0),
+            loud_gateways: 3,
+            shards: 0,
+            copies_per_datagram: 8,
+            persist: None,
+            out: None,
+            quiet: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--gateways N] [--devices N] [--sim-duration-s S] \
+         [--attack-at S | --no-attack] [--loud-gateways K] [--shards N] \
+         [--copies-per-datagram N] [--persist DIR] [--out FILE] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--gateways" => args.gateways = value().parse().unwrap_or_else(|_| usage()),
+            "--devices" => args.devices = value().parse().unwrap_or_else(|_| usage()),
+            "--sim-duration-s" => {
+                args.sim_duration_s = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--attack-at" => {
+                args.attack_at_s = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--no-attack" => args.attack_at_s = None,
+            "--loud-gateways" => args.loud_gateways = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--copies-per-datagram" => {
+                args.copies_per_datagram = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--persist" => args.persist = Some(value()),
+            "--out" => args.out = Some(value()),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf7)
+}
+
+/// Builds the deterministic fleet scenario: `gateways` sites on the
+/// default ring, all but the first `loud` of them deafened by a +60 dB
+/// noise floor, `devices` meters at a 300 s reporting period, and the
+/// frame-delay attack (τ = 40 s) against meter 0 from `attack_at_s` on.
+fn build_scenario(args: &Args) -> Scenario {
+    let default_floor_dbm = -117.0;
+    let floors: Vec<f64> = (0..args.gateways)
+        .map(|g| if g < args.loud_gateways { default_floor_dbm } else { default_floor_dbm + 60.0 })
+        .collect();
+    let fleet = FleetDeployment::with_gateways(args.gateways).with_site_noise_floors_dbm(floors);
+    let gateways = fleet.gateway_positions();
+    let mut scenario = Scenario::new_fleet_sites(
+        phy(),
+        fleet.medium(),
+        fleet.gateway_sites(),
+        Box::new(softlora_sim::HonestChannel),
+    );
+    let positions = fleet.device_positions(args.devices, 21);
+    for (k, pos) in positions.iter().enumerate() {
+        scenario.add_device(0x2601_5000 + k as u32, *pos, 300.0, k as u64);
+    }
+    if let Some(at_s) = args.attack_at_s {
+        let target = positions[0];
+        let attack = FrameDelayAttack::near_gateway(
+            Position::new(target.x + 2.0, target.y + 1.0, target.z),
+            &gateways,
+            0,
+            2.0,
+            40.0,
+            phy(),
+            7,
+        )
+        .with_targets(vec![0x2601_5000]);
+        scenario.schedule_interceptor(at_s, Box::new(attack));
+    }
+    scenario
+}
+
+fn build_server(scenario: &Scenario, args: &Args) -> NetworkServer {
+    let mut builder = NetworkServer::builder(phy()).adc_quantisation(false).warmup_frames(2);
+    for g in 0..args.gateways {
+        builder = builder.gateway(g as u64 + 1);
+    }
+    if args.shards > 0 {
+        builder = builder.shards(args.shards);
+    }
+    for k in 0..scenario.devices() {
+        let cfg = scenario.device_config(k).clone();
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
+    }
+    if let Some(dir) = &args.persist {
+        builder = builder.with_persistence(dir);
+    }
+    match builder.try_build() {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("loadgen: failed to build server: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run(&args) {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), NetError> {
+    // 1. Simulate the fleet once: the canonical group stream.
+    let mut scenario = build_scenario(args);
+    let mut groups: Vec<UplinkDeliveries> = Vec::new();
+    scenario.run(args.sim_duration_s, |u| groups.push(u.clone()));
+    if !args.quiet {
+        let copies: usize = groups.iter().map(|g| g.copies.len()).sum();
+        eprintln!(
+            "loadgen: simulated {} uplink groups / {} copies across {} gateways",
+            groups.len(),
+            copies,
+            args.gateways
+        );
+    }
+
+    // 2. Stand the listener up on loopback.
+    let server = build_server(&scenario, args);
+    let net = NetServer::bind(server, NetServerConfig::default())?;
+    let data_addr = net.data_addr()?;
+    let ctrl_addr = net.ctrl_addr()?;
+    let listener = std::thread::spawn(move || net.run());
+
+    // 3. Replay the fleet from N concurrent gateway sockets.
+    let config =
+        LoadgenConfig { copies_per_datagram: args.copies_per_datagram, ..LoadgenConfig::default() };
+    let report = replay_fleet(&groups, args.gateways, data_addr, &config)?;
+
+    // 4. Pull live stats over the ctrl endpoint, then shut down.
+    let ctrl = UdpSocket::bind("127.0.0.1:0")?;
+    ctrl.connect(ctrl_addr)?;
+    ctrl.set_read_timeout(Some(Duration::from_secs(5)))?;
+    ctrl.send(&encode_frame(&Frame::StatsReq { token: 1 }))?;
+    let mut buf = [0u8; 2048];
+    let len = ctrl.recv(&mut buf)?;
+    let Frame::StatsResp { stats, .. } = decode_frame(&buf[..len])? else {
+        return Err(NetError::BadFrameType { found: 0xFF });
+    };
+    if !args.quiet {
+        eprintln!(
+            "loadgen: live stats mid-run: {} datagrams, {} groups committed",
+            stats.counters.datagrams, stats.counters.groups_committed
+        );
+    }
+    ctrl.send(&encode_frame(&Frame::Shutdown { token: 2 }))?;
+    let _ = ctrl.recv(&mut buf)?;
+    let run_report = listener.join().expect("listener thread panicked")?;
+
+    // 5. Flush persistence so a follow-up fsck sees a clean store.
+    if args.persist.is_some() {
+        run_report.server.sync_persistence().map_err(NetError::Server)?;
+    }
+
+    let counters = run_report.counters;
+    let server_stats = run_report.server.stats();
+    let json = format!(
+        concat!(
+            "{{\"loadgen\":{},\"listener\":{{\"datagrams\":{},\"push_data\":{},",
+            "\"keepalives\":{},\"duplicate_datagrams\":{},\"out_of_order_datagrams\":{},",
+            "\"copies_received\":{},\"stale_copies\":{},\"duplicate_copies\":{},",
+            "\"incomplete_groups\":{},\"groups_committed\":{},\"batches\":{}}},",
+            "\"server\":{{\"uplinks\":{},\"accepted\":{},\"fb_replays_flagged\":{},",
+            "\"cross_gateway_replays_flagged\":{},\"not_received\":{}}}}}"
+        ),
+        report.to_json(),
+        counters.datagrams,
+        counters.push_data,
+        counters.keepalives,
+        counters.duplicate_datagrams,
+        counters.out_of_order_datagrams,
+        counters.copies_received,
+        counters.stale_copies,
+        counters.duplicate_copies,
+        counters.incomplete_groups,
+        counters.groups_committed,
+        counters.batches,
+        server_stats.uplinks,
+        server_stats.accepted,
+        server_stats.fb_replays_flagged,
+        server_stats.cross_gateway_replays_flagged,
+        server_stats.not_received,
+    );
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json)?;
+    }
+    if !args.quiet {
+        eprintln!(
+            "loadgen: {} gateways | {:.0} uplinks/s, {:.0} copies/s | ingest p50 {} µs, p99 {} µs, p999 {} µs | {} committed, {} retries",
+            report.gateways,
+            report.uplinks_per_s,
+            report.copies_per_s,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.latency.p999_us,
+            counters.groups_committed,
+            report.retries,
+        );
+    }
+    println!("{json}");
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Scenario → wire export: what each gateway of a simulated fleet would
+//! have put on the wire.
+//!
+//! The simulator hands scenarios a stream of [`UplinkDeliveries`] groups
+//! — all copies of one transmission across the fleet, in arrival order.
+//! [`gateway_streams`] splits that stream into per-gateway sequences of
+//! [`WireUplink`]s, preserving each copy's position inside its group
+//! (`copy_index`) so a listener reassembling the groups reproduces the
+//! original copy order bit-for-bit.
+//!
+//! Groups no gateway heard still matter to the server (they count as
+//! `not_received` on the owning shard), so gateway 0 doubles as the
+//! fleet's designated reporter: it forwards an empty-group marker for
+//! every such uplink.
+
+use crate::protocol::{WireDelivery, WireUplink};
+use softlora_sim::UplinkDeliveries;
+
+/// Splits a fleet group stream into one wire stream per gateway.
+///
+/// Each returned stream is ordered by uplink id (the input order). A
+/// group's copies keep their original index via
+/// [`WireUplink::copy_index`]; empty groups become a marker on gateway
+/// 0's stream.
+///
+/// # Panics
+///
+/// Panics if a copy references a gateway ≥ `gateway_count`.
+pub fn gateway_streams(groups: &[UplinkDeliveries], gateway_count: usize) -> Vec<Vec<WireUplink>> {
+    assert!(gateway_count > 0, "a fleet needs at least one gateway");
+    let mut streams: Vec<Vec<WireUplink>> = vec![Vec::new(); gateway_count];
+    for group in groups {
+        if group.copies.is_empty() {
+            streams[0].push(WireUplink {
+                uplink: group.uplink,
+                dev_addr: group.dev_addr,
+                tx_start_global_s: group.tx_start_global_s,
+                airtime_s: group.airtime_s,
+                copies_total: 0,
+                copy_index: 0,
+                delivery: None,
+            });
+            continue;
+        }
+        let copies_total =
+            u16::try_from(group.copies.len()).expect("more than 65535 copies of one uplink");
+        for (index, copy) in group.copies.iter().enumerate() {
+            assert!(
+                copy.gateway < gateway_count,
+                "copy for gateway {} but the fleet has {gateway_count}",
+                copy.gateway
+            );
+            streams[copy.gateway].push(WireUplink {
+                uplink: group.uplink,
+                dev_addr: group.dev_addr,
+                tx_start_global_s: group.tx_start_global_s,
+                airtime_s: group.airtime_s,
+                copies_total,
+                copy_index: index as u16,
+                delivery: Some(WireDelivery::from_delivery(&copy.delivery)),
+            });
+        }
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softlora_phy::params::SpreadingFactor;
+    use softlora_sim::{Delivery, FleetDelivery};
+
+    fn delivery(arrival: f64) -> Delivery {
+        Delivery {
+            bytes: vec![1, 2, 3],
+            dev_addr: 0x10,
+            arrival_global_s: arrival,
+            snr_db: 5.0,
+            carrier_bias_hz: 100.0,
+            carrier_phase: 0.25,
+            sf: SpreadingFactor::Sf7,
+            jamming: None,
+            is_replay: false,
+        }
+    }
+
+    #[test]
+    fn copies_split_by_gateway_with_indices() {
+        let groups = vec![
+            UplinkDeliveries {
+                uplink: 0,
+                dev_addr: 0x10,
+                tx_start_global_s: 1.0,
+                airtime_s: 0.06,
+                copies: vec![
+                    FleetDelivery { gateway: 1, delivery: delivery(1.1) },
+                    FleetDelivery { gateway: 0, delivery: delivery(1.2) },
+                ],
+            },
+            UplinkDeliveries {
+                uplink: 1,
+                dev_addr: 0x11,
+                tx_start_global_s: 2.0,
+                airtime_s: 0.06,
+                copies: vec![],
+            },
+        ];
+        let streams = gateway_streams(&groups, 2);
+        assert_eq!(streams[1].len(), 1);
+        assert_eq!(streams[1][0].copy_index, 0);
+        assert_eq!(streams[1][0].copies_total, 2);
+        // Gateway 0 carries its own copy plus the empty-group marker.
+        assert_eq!(streams[0].len(), 2);
+        assert_eq!(streams[0][0].copy_index, 1);
+        assert_eq!(streams[0][1].copies_total, 0);
+        assert!(streams[0][1].delivery.is_none());
+    }
+}

@@ -1,0 +1,469 @@
+//! The socket front door: a UDP listener feeding the sharded server tail.
+//!
+//! [`NetServer`] owns a [`NetworkServer`] and two sockets:
+//!
+//! * the **data** socket receives gateway traffic (`PUSH_DATA` batches,
+//!   `PULL_DATA` keepalives) and acks every accepted datagram;
+//! * the **ctrl** socket answers `STATS_REQ` with live counters and
+//!   accepts `SHUTDOWN` — the FutureSDR `ctrl_port` idea in datagram
+//!   form.
+//!
+//! # Bit-for-bit ingestion
+//!
+//! The server's batch path is order-sensitive: per-gateway frame indices
+//! (which seed all front-half randomness) are assigned in group-copy
+//! arrival order. The listener therefore reassembles network arrivals
+//! back into the canonical order before committing anything:
+//!
+//! 1. every copy carries its group's uplink id and its position inside
+//!    the group (`copy_index`), so groups reassemble with their original
+//!    internal copy order regardless of datagram arrival order;
+//! 2. every gateway datagram carries a **watermark** — a promise that
+//!    the gateway will never again send a copy with uplink id < w. The
+//!    listener only commits groups strictly below the *fleet minimum*
+//!    watermark, in ascending uplink order, so no late copy can arrive
+//!    for a committed group;
+//! 3. committed groups flow into [`NetworkServer::process_batch`] in
+//!    per-poll batches. Batch boundaries don't affect results (the
+//!    server's sub-batch ≡ big-batch invariant), so the wire path's
+//!    verdicts, statistics and persisted state are bit-for-bit those of
+//!    handing the whole stream to `process_batch` directly.
+//!
+//! Duplicated datagrams are re-acked but not re-processed (per-gateway
+//! sequence tracking); malformed datagrams are counted and dropped —
+//! the listener never panics on wire input.
+
+use crate::protocol::{
+    decode_frame, encode_frame_into, Frame, NetCounters, PushData, WireStats, WireUplink,
+};
+use crate::NetError;
+use softlora::{NetworkServer, ServerVerdict};
+use softlora_sim::{FleetDelivery, UplinkDeliveries};
+use std::collections::{BTreeMap, HashSet};
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Address to bind the data socket on (port 0 = ephemeral).
+    pub data_bind: SocketAddr,
+    /// Address to bind the ctrl socket on (port 0 = ephemeral).
+    pub ctrl_bind: SocketAddr,
+    /// Commit cadence: ready groups are flushed into the server tail at
+    /// least this often (the recv timeout, so also the ctrl poll period).
+    pub poll_interval: Duration,
+    /// Flush early once this many groups are ready, keeping per-batch
+    /// memory bounded under load.
+    pub max_batch_groups: usize,
+    /// Bound on the reassembly buffer: when more groups than this are
+    /// pending, the oldest are force-flushed even if incomplete.
+    pub max_pending_groups: usize,
+    /// A pending group older than this is committed with the copies that
+    /// arrived (counted in [`NetCounters::incomplete_groups`]).
+    pub straggler_timeout: Duration,
+    /// Keep every committed verdict in the run report. Costs memory
+    /// proportional to the run; turn off for unbounded soak runs.
+    pub record_verdicts: bool,
+    /// Stop serving after this long without any data datagram. A safety
+    /// net for CI smoke runs; `None` serves until `SHUTDOWN`.
+    pub idle_shutdown: Option<Duration>,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            data_bind: "127.0.0.1:0".parse().expect("loopback literal"),
+            ctrl_bind: "127.0.0.1:0".parse().expect("loopback literal"),
+            poll_interval: Duration::from_millis(5),
+            max_batch_groups: 512,
+            max_pending_groups: 1 << 16,
+            straggler_timeout: Duration::from_secs(2),
+            record_verdicts: true,
+            idle_shutdown: None,
+        }
+    }
+}
+
+/// What a finished listener run hands back.
+pub struct NetRunReport {
+    /// Final wire counters.
+    pub counters: NetCounters,
+    /// Every committed `(uplink id, verdict)`, in commit order (empty
+    /// when [`NetServerConfig::record_verdicts`] is off).
+    pub verdicts: Vec<(u64, ServerVerdict)>,
+    /// The server tail, for post-run inspection (stats, FB database,
+    /// persistence flush).
+    pub server: NetworkServer,
+}
+
+/// Reassembly state of one uplink group.
+struct PendingGroup {
+    dev_addr: u32,
+    tx_start_global_s: f64,
+    airtime_s: f64,
+    copies_total: u16,
+    /// Slots indexed by `copy_index`; filled as copies arrive.
+    copies: Vec<Option<FleetDelivery>>,
+    received: u16,
+    first_seen: Instant,
+}
+
+impl PendingGroup {
+    fn is_complete(&self) -> bool {
+        self.received == self.copies_total
+    }
+
+    fn into_group(self, uplink: u64) -> UplinkDeliveries {
+        UplinkDeliveries {
+            uplink,
+            dev_addr: self.dev_addr,
+            tx_start_global_s: self.tx_start_global_s,
+            airtime_s: self.airtime_s,
+            copies: self.copies.into_iter().flatten().collect(),
+        }
+    }
+}
+
+/// Per-gateway wire state.
+struct GatewayTrack {
+    /// Highest watermark promised so far (`None` until first contact —
+    /// nothing fleet-wide can commit before every gateway has spoken).
+    watermark: Option<u64>,
+    highest_seq: Option<u64>,
+    /// Recently processed datagram seqs, for duplicate suppression.
+    seen: HashSet<u64>,
+}
+
+/// How many datagram seqs per gateway the duplicate filter remembers.
+const SEQ_WINDOW: u64 = 4096;
+
+impl GatewayTrack {
+    fn new() -> Self {
+        GatewayTrack { watermark: None, highest_seq: None, seen: HashSet::new() }
+    }
+
+    /// Registers a datagram seq. Returns `(duplicate, out_of_order)`.
+    fn register(&mut self, seq: u64) -> (bool, bool) {
+        if self.seen.contains(&seq) {
+            return (true, false);
+        }
+        let out_of_order = self.highest_seq.is_some_and(|h| seq < h);
+        self.seen.insert(seq);
+        let highest = self.highest_seq.map_or(seq, |h| h.max(seq));
+        self.highest_seq = Some(highest);
+        if self.seen.len() as u64 > 2 * SEQ_WINDOW {
+            self.seen.retain(|&s| s + SEQ_WINDOW >= highest);
+        }
+        (false, out_of_order)
+    }
+
+    fn advance_watermark(&mut self, watermark: u64) {
+        self.watermark = Some(self.watermark.map_or(watermark, |w| w.max(watermark)));
+    }
+}
+
+/// The listening front door around a [`NetworkServer`].
+pub struct NetServer {
+    server: NetworkServer,
+    config: NetServerConfig,
+    data: UdpSocket,
+    ctrl: UdpSocket,
+    gateways: Vec<GatewayTrack>,
+    pending: BTreeMap<u64, PendingGroup>,
+    /// Uplink ids ≤ this are committed; late copies for them are stale.
+    committed_through: Option<u64>,
+    counters: NetCounters,
+    verdicts: Vec<(u64, ServerVerdict)>,
+    scratch: softlora_store::Encoder,
+    batch: Vec<UplinkDeliveries>,
+}
+
+impl NetServer {
+    /// Binds the data + ctrl sockets around a built server.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn bind(server: NetworkServer, config: NetServerConfig) -> Result<Self, NetError> {
+        let data = UdpSocket::bind(config.data_bind)?;
+        data.set_read_timeout(Some(config.poll_interval))?;
+        let ctrl = UdpSocket::bind(config.ctrl_bind)?;
+        ctrl.set_nonblocking(true)?;
+        let gateways = (0..server.gateway_count()).map(|_| GatewayTrack::new()).collect();
+        Ok(NetServer {
+            server,
+            config,
+            data,
+            ctrl,
+            gateways,
+            pending: BTreeMap::new(),
+            committed_through: None,
+            counters: NetCounters::default(),
+            verdicts: Vec::new(),
+            scratch: softlora_store::Encoder::new(),
+            batch: Vec::new(),
+        })
+    }
+
+    /// The bound data-socket address gateways should send to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn data_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.data.local_addr()?)
+    }
+
+    /// The bound ctrl-socket address for stats/shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn ctrl_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.ctrl.local_addr()?)
+    }
+
+    /// Serves until `SHUTDOWN` (or the idle timeout), then returns the
+    /// final counters, verdicts and the server tail.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and server-tail commit failures. Malformed wire
+    /// input is **not** an error — it is counted and dropped.
+    pub fn run(mut self) -> Result<NetRunReport, NetError> {
+        let mut buf = vec![0u8; 65_535];
+        let mut last_flush = Instant::now();
+        let mut last_datagram = Instant::now();
+        loop {
+            match self.data.recv_from(&mut buf) {
+                Ok((len, from)) => {
+                    last_datagram = Instant::now();
+                    self.handle_data(&buf[..len], from)?;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+
+            if let Some(shutdown_ack) = self.poll_ctrl()? {
+                self.flush(true)?;
+                let (token, from) = shutdown_ack;
+                self.send_ctrl(&Frame::PullAck { gateway: 0, seq: token }, from)?;
+                break;
+            }
+            if let Some(idle) = self.config.idle_shutdown {
+                if last_datagram.elapsed() >= idle {
+                    self.flush(true)?;
+                    break;
+                }
+            }
+
+            let ready = self.ready_count();
+            if ready >= self.config.max_batch_groups
+                || (last_flush.elapsed() >= self.config.poll_interval && ready > 0)
+                || self.pending.len() > self.config.max_pending_groups
+            {
+                self.flush(false)?;
+                last_flush = Instant::now();
+            }
+        }
+        Ok(NetRunReport { counters: self.counters, verdicts: self.verdicts, server: self.server })
+    }
+
+    /// The fleet-wide commit barrier: the minimum watermark across all
+    /// gateways, or `None` until every gateway has reported one.
+    fn barrier(&self) -> Option<u64> {
+        self.gateways.iter().map(|g| g.watermark).min().flatten()
+    }
+
+    fn ready_count(&self) -> usize {
+        let Some(barrier) = self.barrier() else { return 0 };
+        self.pending.range(..barrier).take_while(|(_, g)| g.is_complete()).count()
+    }
+
+    fn handle_data(&mut self, bytes: &[u8], from: SocketAddr) -> Result<(), NetError> {
+        self.counters.datagrams += 1;
+        let frame = match decode_frame(bytes) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.count_rejection(&e);
+                return Ok(());
+            }
+        };
+        match frame {
+            Frame::PushData(push) => {
+                let PushData { gateway, seq, watermark, uplinks } = push;
+                let Some(track) = self.gateways.get_mut(gateway as usize) else {
+                    self.counters.rejected_other += 1;
+                    return Ok(());
+                };
+                let (duplicate, out_of_order) = track.register(seq);
+                track.advance_watermark(watermark);
+                if duplicate {
+                    self.counters.duplicate_datagrams += 1;
+                } else {
+                    if out_of_order {
+                        self.counters.out_of_order_datagrams += 1;
+                    }
+                    self.counters.push_data += 1;
+                    for uplink in uplinks {
+                        self.stash(gateway as usize, uplink);
+                    }
+                }
+                self.send_data(&Frame::PushAck { gateway, seq }, from)?;
+            }
+            Frame::PullData { gateway, seq, watermark } => {
+                let Some(track) = self.gateways.get_mut(gateway as usize) else {
+                    self.counters.rejected_other += 1;
+                    return Ok(());
+                };
+                let (duplicate, _) = track.register(seq);
+                track.advance_watermark(watermark);
+                if duplicate {
+                    self.counters.duplicate_datagrams += 1;
+                } else {
+                    self.counters.keepalives += 1;
+                }
+                self.send_data(&Frame::PullAck { gateway, seq }, from)?;
+            }
+            // Anything else is not gateway traffic; count it as noise.
+            _ => self.counters.rejected_other += 1,
+        }
+        Ok(())
+    }
+
+    /// Files one wire uplink copy into the reassembly buffer.
+    fn stash(&mut self, gateway: usize, uplink: WireUplink) {
+        self.counters.copies_received += 1;
+        if self.committed_through.is_some_and(|c| uplink.uplink <= c) {
+            self.counters.stale_copies += 1;
+            return;
+        }
+        let slot = self.pending.entry(uplink.uplink).or_insert_with(|| PendingGroup {
+            dev_addr: uplink.dev_addr,
+            tx_start_global_s: uplink.tx_start_global_s,
+            airtime_s: uplink.airtime_s,
+            copies_total: uplink.copies_total,
+            copies: vec![None; usize::from(uplink.copies_total)],
+            received: 0,
+            first_seen: Instant::now(),
+        });
+        let Some(delivery) = uplink.delivery else {
+            // Empty-group marker: the entry itself is the information.
+            return;
+        };
+        let Ok(delivery) = delivery.to_delivery() else {
+            self.counters.rejected_other += 1;
+            return;
+        };
+        let index = usize::from(uplink.copy_index);
+        match slot.copies.get_mut(index) {
+            Some(cell @ None) => {
+                *cell = Some(FleetDelivery { gateway, delivery });
+                slot.received += 1;
+            }
+            // Copy index already filled (a duplicate across datagrams) or
+            // out of the announced range — either way, drop and count.
+            Some(Some(_)) => self.counters.duplicate_copies += 1,
+            None => self.counters.rejected_other += 1,
+        }
+    }
+
+    /// Commits every group that is safe to commit, in ascending uplink
+    /// order, through the server tail. `drain` (shutdown) commits the
+    /// whole pending set regardless of watermarks.
+    fn flush(&mut self, drain: bool) -> Result<(), NetError> {
+        let barrier = if drain { Some(u64::MAX) } else { self.barrier() };
+        self.batch.clear();
+        loop {
+            let over_cap = self.pending.len() > self.config.max_pending_groups;
+            let Some(entry) = self.pending.first_entry() else { break };
+            let id = *entry.key();
+            let ready = barrier.is_some_and(|b| id < b);
+            let expired = drain
+                || over_cap
+                || entry.get().first_seen.elapsed() >= self.config.straggler_timeout;
+            let complete = entry.get().is_complete();
+            if (ready && complete) || expired {
+                if !complete {
+                    self.counters.incomplete_groups += 1;
+                }
+                let group = entry.remove().into_group(id);
+                self.batch.push(group);
+            } else {
+                // Strict ascending commit order: the oldest pending group
+                // gates everything behind it.
+                break;
+            }
+        }
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let verdicts = self.server.process_batch(&self.batch)?;
+        self.counters.batches += 1;
+        self.counters.groups_committed += self.batch.len() as u64;
+        self.committed_through = self.batch.last().map(|g| g.uplink);
+        if self.config.record_verdicts {
+            for (group, verdict) in self.batch.iter().zip(verdicts) {
+                self.verdicts.push((group.uplink, verdict));
+            }
+        }
+        self.batch.clear();
+        Ok(())
+    }
+
+    /// Drains the ctrl socket; returns the shutdown token + requester
+    /// when a `SHUTDOWN` arrived.
+    fn poll_ctrl(&mut self) -> Result<Option<(u64, SocketAddr)>, NetError> {
+        let mut buf = [0u8; 2048];
+        loop {
+            match self.ctrl.recv_from(&mut buf) {
+                Ok((len, from)) => match decode_frame(&buf[..len]) {
+                    Ok(Frame::StatsReq { token }) => {
+                        let stats = WireStats {
+                            counters: self.counters,
+                            server: self.server.stats(),
+                            detection: self.server.detection_stats(),
+                        };
+                        self.send_ctrl(&Frame::StatsResp { token, stats }, from)?;
+                    }
+                    Ok(Frame::Shutdown { token }) => return Ok(Some((token, from))),
+                    Ok(_) => self.counters.rejected_other += 1,
+                    Err(e) => self.count_rejection(&e),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    fn count_rejection(&mut self, e: &NetError) {
+        match e {
+            NetError::BadMagic { .. } => self.counters.rejected_magic += 1,
+            NetError::BadVersion { .. } => self.counters.rejected_version += 1,
+            NetError::BadFrameType { .. } => self.counters.rejected_type += 1,
+            NetError::BadCrc { .. } => self.counters.rejected_crc += 1,
+            NetError::TooShort { .. } | NetError::TrailingBytes { .. } | NetError::Codec(_) => {
+                self.counters.rejected_truncated += 1;
+            }
+            _ => self.counters.rejected_other += 1,
+        }
+    }
+
+    fn send_data(&mut self, frame: &Frame, to: SocketAddr) -> Result<(), NetError> {
+        self.scratch.clear();
+        encode_frame_into(frame, &mut self.scratch);
+        self.data.send_to(self.scratch.as_bytes(), to)?;
+        self.counters.acks_sent += 1;
+        Ok(())
+    }
+
+    fn send_ctrl(&mut self, frame: &Frame, to: SocketAddr) -> Result<(), NetError> {
+        self.scratch.clear();
+        encode_frame_into(frame, &mut self.scratch);
+        self.ctrl.send_to(self.scratch.as_bytes(), to)?;
+        Ok(())
+    }
+}

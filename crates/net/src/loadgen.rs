@@ -1,0 +1,334 @@
+//! The fleet-scale load generator: N concurrent gateway sockets replaying
+//! a simulated fleet's traffic against a live listener.
+//!
+//! Each gateway runs on its own thread with its own UDP socket and plays
+//! its wire stream (from [`crate::gateway_streams`]) in lock-step: send a
+//! `PUSH_DATA` datagram, wait for the `PUSH_ACK`, retransmit on timeout.
+//! Lock-step bounds the fleet's in-flight datagrams at one per gateway —
+//! well under default socket buffers even at hundreds of gateways — and
+//! makes the send→ack round trip the natural per-datagram **ingest
+//! latency** sample. Retransmissions double as organic duplicate traffic
+//! for the listener's dedup path.
+//!
+//! The report carries sustained throughput plus p50/p90/p99/p999 latency
+//! and serialises itself to JSON for CI artifacts.
+
+use crate::export::gateway_streams;
+use crate::protocol::{decode_frame, encode_frame_into, Frame, PushData, WireUplink};
+use crate::NetError;
+use softlora_sim::UplinkDeliveries;
+use softlora_store::Encoder;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Uplink copies packed into one `PUSH_DATA` datagram.
+    pub copies_per_datagram: usize,
+    /// How long a gateway waits for an ack before retransmitting.
+    pub ack_timeout: Duration,
+    /// Retransmissions per datagram before the gateway gives up.
+    pub max_retries: u32,
+    /// Optional pacing: minimum spacing between one gateway's datagrams.
+    /// `None` replays as fast as the ack loop allows.
+    pub datagram_interval: Option<Duration>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            copies_per_datagram: 8,
+            ack_timeout: Duration::from_millis(250),
+            max_retries: 40,
+            datagram_interval: None,
+        }
+    }
+}
+
+/// Percentile summary of per-datagram ingest (send→ack) latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples (acknowledged datagrams).
+    pub count: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+    /// Worst sample, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a raw sample set (consumed: sorted in place).
+    pub fn from_samples(mut samples_us: Vec<u64>) -> Self {
+        if samples_us.is_empty() {
+            return LatencySummary::default();
+        }
+        samples_us.sort_unstable();
+        let n = samples_us.len();
+        let pct = |p: f64| samples_us[(((n - 1) as f64) * p).round() as usize];
+        let sum: u64 = samples_us.iter().sum();
+        LatencySummary {
+            count: n as u64,
+            mean_us: sum as f64 / n as f64,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            p999_us: pct(0.999),
+            max_us: samples_us[n - 1],
+        }
+    }
+}
+
+/// What a finished load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Concurrent gateway senders.
+    pub gateways: usize,
+    /// Uplink groups in the replayed stream.
+    pub uplinks: u64,
+    /// Copies (+ empty-group markers) put on the wire.
+    pub copies: u64,
+    /// Datagrams sent (excluding retransmissions).
+    pub datagrams: u64,
+    /// Retransmissions across the fleet.
+    pub retries: u64,
+    /// Wall-clock duration of the replay, seconds.
+    pub elapsed_s: f64,
+    /// Sustained uplink groups per second.
+    pub uplinks_per_s: f64,
+    /// Sustained copies per second.
+    pub copies_per_s: f64,
+    /// Ingest latency percentiles.
+    pub latency: LatencySummary,
+}
+
+impl LoadgenReport {
+    /// Serialises the report as a JSON object (hand-rolled — the
+    /// workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"gateways\":{},\"uplinks\":{},\"copies\":{},\"datagrams\":{},",
+                "\"retries\":{},\"elapsed_s\":{:.6},\"uplinks_per_s\":{:.3},",
+                "\"copies_per_s\":{:.3},\"latency_us\":{{\"count\":{},\"mean\":{:.3},",
+                "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}}}"
+            ),
+            self.gateways,
+            self.uplinks,
+            self.copies,
+            self.datagrams,
+            self.retries,
+            self.elapsed_s,
+            self.uplinks_per_s,
+            self.copies_per_s,
+            self.latency.count,
+            self.latency.mean_us,
+            self.latency.p50_us,
+            self.latency.p90_us,
+            self.latency.p99_us,
+            self.latency.p999_us,
+            self.latency.max_us,
+        )
+    }
+}
+
+/// What one gateway thread measured.
+struct GatewayRun {
+    latencies_us: Vec<u64>,
+    datagrams: u64,
+    retries: u64,
+    copies: u64,
+}
+
+/// Replays a fleet group stream against a listener at `data_addr` from
+/// `gateway_count` concurrent sockets and reports throughput + latency.
+///
+/// # Errors
+///
+/// Socket failures, or [`NetError::AckTimeout`] when the listener stops
+/// acknowledging a gateway within the retry budget.
+pub fn replay_fleet(
+    groups: &[UplinkDeliveries],
+    gateway_count: usize,
+    data_addr: SocketAddr,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, NetError> {
+    let streams = gateway_streams(groups, gateway_count);
+    let started = Instant::now();
+    let runs: Vec<Result<GatewayRun, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(gateway, stream)| {
+                scope.spawn(move || run_gateway(gateway as u32, stream, data_addr, config))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("gateway thread panicked")).collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut datagrams = 0u64;
+    let mut retries = 0u64;
+    let mut copies = 0u64;
+    for run in runs {
+        let run = run?;
+        latencies.extend(run.latencies_us);
+        datagrams += run.datagrams;
+        retries += run.retries;
+        copies += run.copies;
+    }
+    let uplinks = groups.len() as u64;
+    Ok(LoadgenReport {
+        gateways: gateway_count,
+        uplinks,
+        copies,
+        datagrams,
+        retries,
+        elapsed_s,
+        uplinks_per_s: uplinks as f64 / elapsed_s.max(1e-9),
+        copies_per_s: copies as f64 / elapsed_s.max(1e-9),
+        latency: LatencySummary::from_samples(latencies),
+    })
+}
+
+/// One gateway's lock-step replay loop.
+fn run_gateway(
+    gateway: u32,
+    stream: Vec<WireUplink>,
+    data_addr: SocketAddr,
+    config: &LoadgenConfig,
+) -> Result<GatewayRun, NetError> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.connect(data_addr)?;
+    socket.set_read_timeout(Some(config.ack_timeout))?;
+
+    let mut run = GatewayRun { latencies_us: Vec::new(), datagrams: 0, retries: 0, copies: 0 };
+    let mut scratch = Encoder::new();
+    let mut seq = 0u64;
+    let mut next_send = Instant::now();
+
+    let chunk_size = config.copies_per_datagram.max(1);
+    let chunks: Vec<&[WireUplink]> = stream.chunks(chunk_size).collect();
+    for (k, chunk) in chunks.iter().enumerate() {
+        // Promise everything strictly below the next chunk's first id;
+        // the final chunk releases the whole stream.
+        let watermark = match chunks.get(k + 1) {
+            Some(next) => next[0].uplink,
+            None => u64::MAX,
+        };
+        let frame = Frame::PushData(PushData { gateway, seq, watermark, uplinks: chunk.to_vec() });
+        if let Some(interval) = config.datagram_interval {
+            let now = Instant::now();
+            if next_send > now {
+                std::thread::sleep(next_send - now);
+            }
+            next_send = next_send.max(now) + interval;
+        }
+        send_acked(&socket, &mut scratch, &frame, gateway, seq, config, &mut run)?;
+        run.copies += chunk.len() as u64;
+        seq += 1;
+    }
+    if chunks.is_empty() {
+        // A silent gateway still has to release the fleet barrier.
+        let frame = Frame::PullData { gateway, seq, watermark: u64::MAX };
+        send_acked(&socket, &mut scratch, &frame, gateway, seq, config, &mut run)?;
+    }
+    Ok(run)
+}
+
+/// Sends one datagram and blocks until its ack, retransmitting on
+/// timeout. Records the send→ack latency.
+fn send_acked(
+    socket: &UdpSocket,
+    scratch: &mut Encoder,
+    frame: &Frame,
+    gateway: u32,
+    seq: u64,
+    config: &LoadgenConfig,
+    run: &mut GatewayRun,
+) -> Result<(), NetError> {
+    scratch.clear();
+    encode_frame_into(frame, scratch);
+    let started = Instant::now();
+    let mut buf = [0u8; 256];
+    for attempt in 0..=config.max_retries {
+        if attempt > 0 {
+            run.retries += 1;
+        }
+        socket.send(scratch.as_bytes())?;
+        let deadline = Instant::now() + config.ack_timeout;
+        loop {
+            match socket.recv(&mut buf) {
+                Ok(len) => match decode_frame(&buf[..len]) {
+                    Ok(
+                        Frame::PushAck { gateway: g, seq: s }
+                        | Frame::PullAck { gateway: g, seq: s },
+                    ) if g == gateway && s == seq => {
+                        run.datagrams += 1;
+                        run.latencies_us
+                            .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        return Ok(());
+                    }
+                    // A stale ack (earlier retransmission) or noise:
+                    // keep listening until the deadline.
+                    _ => {}
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+    Err(NetError::AckTimeout { gateway, seq })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let s = LatencySummary::from_samples(samples);
+        assert_eq!(s.count, 1000);
+        // Index (n-1)*0.5 = 499.5 rounds half-away-from-zero to 500.
+        assert_eq!(s.p50_us, 501);
+        assert_eq!(s.p99_us, 990);
+        assert_eq!(s.max_us, 1000);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = LoadgenReport {
+            gateways: 4,
+            uplinks: 100,
+            copies: 400,
+            datagrams: 50,
+            retries: 1,
+            elapsed_s: 0.5,
+            uplinks_per_s: 200.0,
+            copies_per_s: 800.0,
+            latency: LatencySummary::from_samples(vec![10, 20, 30]),
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"p999\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

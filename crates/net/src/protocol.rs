@@ -1,0 +1,596 @@
+//! The gateway wire protocol: versioned, CRC-framed binary datagrams.
+//!
+//! Layout of every datagram (all integers little-endian, the codec rules
+//! of [`softlora_store::codec`]):
+//!
+//! ```text
+//! +--------+---------+------+-----------------+-------+
+//! | magic  | version | type |     payload     | crc32 |
+//! |  u16   |   u8    |  u8  |   type-defined  |  u32  |
+//! +--------+---------+------+-----------------+-------+
+//! ```
+//!
+//! The CRC-32 (IEEE, the store's [`crc32`]) covers everything before it.
+//! Frame types mirror the Semtech UDP packet forwarder's vocabulary:
+//!
+//! | type | frame | direction | payload |
+//! |---|---|---|---|
+//! | `0x00` | `PUSH_DATA` | gateway → server | gateway id, seq, watermark, uplink-copy batch |
+//! | `0x01` | `PUSH_ACK` | server → gateway | gateway id, seq |
+//! | `0x02` | `PULL_DATA` | gateway → server | keepalive carrying the gateway's watermark |
+//! | `0x03` | `PULL_ACK` | server → gateway | gateway id, seq |
+//! | `0x04` | `STATS_REQ` | ctrl → server | opaque token |
+//! | `0x05` | `STATS_RESP` | server → ctrl | token, live wire + server + detection counters |
+//! | `0x06` | `SHUTDOWN` | ctrl → server | opaque token |
+//!
+//! Decoding never panics: every malformed input maps to a structured
+//! [`NetError`] so the listener can count rejections instead of dying.
+
+use crate::NetError;
+use softlora::network_server::ServerStats;
+use softlora::replay_detect::DetectionStats;
+use softlora_phy::params::SpreadingFactor;
+use softlora_phy::rn2483::JammingAttempt;
+use softlora_sim::Delivery;
+use softlora_store::codec::{crc32, CodecError, Decoder, Encoder};
+
+/// First two bytes of every datagram: `"SN"` on the wire.
+pub const MAGIC: u16 = 0x4E53;
+
+/// Protocol version this crate speaks.
+pub const VERSION: u8 = 1;
+
+/// Bytes of fixed overhead around the payload: magic + version + type
+/// up front, CRC-32 behind.
+pub const HEADER_LEN: usize = 4;
+/// Trailing CRC length.
+pub const TRAILER_LEN: usize = 4;
+
+const TYPE_PUSH_DATA: u8 = 0x00;
+const TYPE_PUSH_ACK: u8 = 0x01;
+const TYPE_PULL_DATA: u8 = 0x02;
+const TYPE_PULL_ACK: u8 = 0x03;
+const TYPE_STATS_REQ: u8 = 0x04;
+const TYPE_STATS_RESP: u8 = 0x05;
+const TYPE_SHUTDOWN: u8 = 0x06;
+
+/// One uplink copy (or empty-group marker) as a gateway reports it.
+///
+/// The group metadata (`uplink` … `copies_total`) is repeated on every
+/// copy so the listener can reassemble cross-gateway groups from any
+/// arrival order; `copy_index` is the copy's position in the original
+/// group, which pins the group-internal copy order (and therefore the
+/// per-gateway frame-index assignment) bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUplink {
+    /// Scenario-wide monotonic uplink id.
+    pub uplink: u64,
+    /// Transmitting device address.
+    pub dev_addr: u32,
+    /// Global time the transmission started, seconds.
+    pub tx_start_global_s: f64,
+    /// Frame air time, seconds.
+    pub airtime_s: f64,
+    /// Copies in the group across the whole fleet (0 for a marker).
+    pub copies_total: u16,
+    /// This copy's position within the group (0 for a marker).
+    pub copy_index: u16,
+    /// The copy itself; `None` marks a group no gateway received, which
+    /// the designated reporter (gateway 0) forwards so the server still
+    /// counts the uplink.
+    pub delivery: Option<WireDelivery>,
+}
+
+/// The received-signal summary of one copy, mirroring the simulator's
+/// [`Delivery`] field for field.
+///
+/// `is_replay` is ground truth for detector scoring — a real deployment
+/// would not have it; it rides along as the evaluation channel exactly as
+/// it does on the in-process path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDelivery {
+    /// Frame bytes as received.
+    pub bytes: Vec<u8>,
+    /// Claimed source address from the frame header.
+    pub dev_addr: u32,
+    /// Global arrival time of the frame onset, seconds.
+    pub arrival_global_s: f64,
+    /// Received SNR, dB.
+    pub snr_db: f64,
+    /// Net oscillator bias of the arriving waveform, Hz.
+    pub carrier_bias_hz: f64,
+    /// Carrier phase, radians.
+    pub carrier_phase: f64,
+    /// Spreading factor (6..=12).
+    pub sf: u8,
+    /// Concurrent jamming overlapping this frame: (onset s, relative
+    /// power dB).
+    pub jamming: Option<(f64, f64)>,
+    /// Evaluation ground truth: whether this copy is a malicious replay.
+    pub is_replay: bool,
+}
+
+impl WireDelivery {
+    /// Captures a simulator delivery onto the wire.
+    pub fn from_delivery(d: &Delivery) -> Self {
+        WireDelivery {
+            bytes: d.bytes.clone(),
+            dev_addr: d.dev_addr,
+            arrival_global_s: d.arrival_global_s,
+            snr_db: d.snr_db,
+            carrier_bias_hz: d.carrier_bias_hz,
+            carrier_phase: d.carrier_phase,
+            sf: d.sf.value() as u8,
+            jamming: d.jamming.map(|j| (j.onset_s, j.relative_power_db)),
+            is_replay: d.is_replay,
+        }
+    }
+
+    /// Reconstructs the simulator delivery, bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSpreadingFactor`] when `sf` is outside 6..=12.
+    pub fn to_delivery(&self) -> Result<Delivery, NetError> {
+        let sf = SpreadingFactor::from_value(u32::from(self.sf))
+            .map_err(|_| NetError::BadSpreadingFactor { found: self.sf })?;
+        Ok(Delivery {
+            bytes: self.bytes.clone(),
+            dev_addr: self.dev_addr,
+            arrival_global_s: self.arrival_global_s,
+            snr_db: self.snr_db,
+            carrier_bias_hz: self.carrier_bias_hz,
+            carrier_phase: self.carrier_phase,
+            sf,
+            jamming: self
+                .jamming
+                .map(|(onset_s, relative_power_db)| JammingAttempt { onset_s, relative_power_db }),
+            is_replay: self.is_replay,
+        })
+    }
+}
+
+/// A `PUSH_DATA` uplink batch from one gateway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushData {
+    /// Sending gateway's fleet index.
+    pub gateway: u32,
+    /// Per-gateway datagram sequence number (dedup/reorder tracking).
+    pub seq: u64,
+    /// The gateway's promise: it will never again send a copy with
+    /// uplink id **strictly below** `watermark` (so `0` promises
+    /// nothing and `u64::MAX` promises everything). Drives the
+    /// listener's commit barrier.
+    pub watermark: u64,
+    /// The uplink copies in this batch.
+    pub uplinks: Vec<WireUplink>,
+}
+
+/// Live counters the listener maintains, served over the ctrl endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Datagrams received on the data socket.
+    pub datagrams: u64,
+    /// `PUSH_DATA` frames accepted.
+    pub push_data: u64,
+    /// `PULL_DATA` keepalives accepted.
+    pub keepalives: u64,
+    /// Acks sent (`PUSH_ACK` + `PULL_ACK`).
+    pub acks_sent: u64,
+    /// Datagrams rejected: bad magic.
+    pub rejected_magic: u64,
+    /// Datagrams rejected: unknown protocol version.
+    pub rejected_version: u64,
+    /// Datagrams rejected: unknown frame type.
+    pub rejected_type: u64,
+    /// Datagrams rejected: CRC mismatch.
+    pub rejected_crc: u64,
+    /// Datagrams rejected: truncated or trailing bytes.
+    pub rejected_truncated: u64,
+    /// Datagrams rejected: any other malformation.
+    pub rejected_other: u64,
+    /// Datagrams whose (gateway, seq) was already processed — re-acked,
+    /// not re-processed.
+    pub duplicate_datagrams: u64,
+    /// Datagrams that arrived with a lower seq than one already seen from
+    /// that gateway (processed anyway; the watermark keeps order safe).
+    pub out_of_order_datagrams: u64,
+    /// Uplink copies received inside accepted `PUSH_DATA` frames.
+    pub copies_received: u64,
+    /// Copies dropped because their group was already committed.
+    pub stale_copies: u64,
+    /// Copies dropped because the same (uplink, copy index) was already
+    /// held in the pending set.
+    pub duplicate_copies: u64,
+    /// Groups committed before all announced copies arrived (straggler
+    /// timeout or shutdown flush).
+    pub incomplete_groups: u64,
+    /// Uplink groups committed into the server tail.
+    pub groups_committed: u64,
+    /// `process_batch` calls made (poll-interval flushes).
+    pub batches: u64,
+}
+
+/// The `STATS_RESP` payload: wire counters plus the server tail's own
+/// statistics, sampled live.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireStats {
+    /// Listener-side wire counters.
+    pub counters: NetCounters,
+    /// Server tail aggregate statistics.
+    pub server: ServerStats,
+    /// Replay-detection confusion counters.
+    pub detection: DetectionStats,
+}
+
+/// Every frame the protocol can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Uplink batch, gateway → server.
+    PushData(PushData),
+    /// Batch acknowledgement, server → gateway.
+    PushAck {
+        /// Acknowledged gateway.
+        gateway: u32,
+        /// Acknowledged datagram seq.
+        seq: u64,
+    },
+    /// Keepalive carrying the gateway's current watermark.
+    PullData {
+        /// Sending gateway.
+        gateway: u32,
+        /// Per-gateway datagram sequence number.
+        seq: u64,
+        /// The gateway's watermark promise (see [`PushData::watermark`]).
+        watermark: u64,
+    },
+    /// Keepalive acknowledgement, server → gateway.
+    PullAck {
+        /// Acknowledged gateway.
+        gateway: u32,
+        /// Acknowledged datagram seq.
+        seq: u64,
+    },
+    /// Stats query, ctrl → server.
+    StatsReq {
+        /// Opaque token echoed in the response.
+        token: u64,
+    },
+    /// Stats response, server → ctrl.
+    StatsResp {
+        /// The query's token.
+        token: u64,
+        /// Live counters.
+        stats: WireStats,
+    },
+    /// Orderly shutdown request, ctrl → server.
+    Shutdown {
+        /// Opaque token echoed in the final `PULL_ACK`.
+        token: u64,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::PushData(_) => TYPE_PUSH_DATA,
+            Frame::PushAck { .. } => TYPE_PUSH_ACK,
+            Frame::PullData { .. } => TYPE_PULL_DATA,
+            Frame::PullAck { .. } => TYPE_PULL_ACK,
+            Frame::StatsReq { .. } => TYPE_STATS_REQ,
+            Frame::StatsResp { .. } => TYPE_STATS_RESP,
+            Frame::Shutdown { .. } => TYPE_SHUTDOWN,
+        }
+    }
+}
+
+fn encode_wire_uplink(e: &mut Encoder, u: &WireUplink) {
+    e.u64(u.uplink)
+        .u32(u.dev_addr)
+        .f64(u.tx_start_global_s)
+        .f64(u.airtime_s)
+        .u16(u.copies_total)
+        .u16(u.copy_index)
+        .option(&u.delivery, encode_wire_delivery);
+}
+
+fn decode_wire_uplink(d: &mut Decoder<'_>) -> Result<WireUplink, CodecError> {
+    Ok(WireUplink {
+        uplink: d.u64()?,
+        dev_addr: d.u32()?,
+        tx_start_global_s: d.f64()?,
+        airtime_s: d.f64()?,
+        copies_total: d.u16()?,
+        copy_index: d.u16()?,
+        delivery: d.option(decode_wire_delivery)?,
+    })
+}
+
+fn encode_wire_delivery(e: &mut Encoder, w: &WireDelivery) {
+    e.bytes(&w.bytes)
+        .u32(w.dev_addr)
+        .f64(w.arrival_global_s)
+        .f64(w.snr_db)
+        .f64(w.carrier_bias_hz)
+        .f64(w.carrier_phase)
+        .u8(w.sf)
+        .option(&w.jamming, |e, (onset, power)| {
+            e.f64(*onset).f64(*power);
+        })
+        .bool(w.is_replay);
+}
+
+fn decode_wire_delivery(d: &mut Decoder<'_>) -> Result<WireDelivery, CodecError> {
+    Ok(WireDelivery {
+        bytes: d.bytes()?.to_vec(),
+        dev_addr: d.u32()?,
+        arrival_global_s: d.f64()?,
+        snr_db: d.f64()?,
+        carrier_bias_hz: d.f64()?,
+        carrier_phase: d.f64()?,
+        sf: d.u8()?,
+        jamming: d.option(|d| Ok((d.f64()?, d.f64()?)))?,
+        is_replay: d.bool()?,
+    })
+}
+
+fn encode_net_counters(e: &mut Encoder, c: &NetCounters) {
+    e.u64(c.datagrams)
+        .u64(c.push_data)
+        .u64(c.keepalives)
+        .u64(c.acks_sent)
+        .u64(c.rejected_magic)
+        .u64(c.rejected_version)
+        .u64(c.rejected_type)
+        .u64(c.rejected_crc)
+        .u64(c.rejected_truncated)
+        .u64(c.rejected_other)
+        .u64(c.duplicate_datagrams)
+        .u64(c.out_of_order_datagrams)
+        .u64(c.copies_received)
+        .u64(c.stale_copies)
+        .u64(c.duplicate_copies)
+        .u64(c.incomplete_groups)
+        .u64(c.groups_committed)
+        .u64(c.batches);
+}
+
+fn decode_net_counters(d: &mut Decoder<'_>) -> Result<NetCounters, CodecError> {
+    Ok(NetCounters {
+        datagrams: d.u64()?,
+        push_data: d.u64()?,
+        keepalives: d.u64()?,
+        acks_sent: d.u64()?,
+        rejected_magic: d.u64()?,
+        rejected_version: d.u64()?,
+        rejected_type: d.u64()?,
+        rejected_crc: d.u64()?,
+        rejected_truncated: d.u64()?,
+        rejected_other: d.u64()?,
+        duplicate_datagrams: d.u64()?,
+        out_of_order_datagrams: d.u64()?,
+        copies_received: d.u64()?,
+        stale_copies: d.u64()?,
+        duplicate_copies: d.u64()?,
+        incomplete_groups: d.u64()?,
+        groups_committed: d.u64()?,
+        batches: d.u64()?,
+    })
+}
+
+fn encode_wire_stats(e: &mut Encoder, s: &WireStats) {
+    encode_net_counters(e, &s.counters);
+    e.u64(s.server.uplinks)
+        .u64(s.server.accepted)
+        .u64(s.server.fb_replays_flagged)
+        .u64(s.server.cross_gateway_replays_flagged)
+        .u64(s.server.duplicates_suppressed)
+        .u64(s.server.not_received)
+        .u64(s.server.lorawan_rejected)
+        .u64(s.detection.true_positives)
+        .u64(s.detection.false_positives)
+        .u64(s.detection.false_negatives)
+        .u64(s.detection.true_negatives);
+}
+
+fn decode_wire_stats(d: &mut Decoder<'_>) -> Result<WireStats, CodecError> {
+    Ok(WireStats {
+        counters: decode_net_counters(d)?,
+        server: ServerStats {
+            uplinks: d.u64()?,
+            accepted: d.u64()?,
+            fb_replays_flagged: d.u64()?,
+            cross_gateway_replays_flagged: d.u64()?,
+            duplicates_suppressed: d.u64()?,
+            not_received: d.u64()?,
+            lorawan_rejected: d.u64()?,
+        },
+        detection: DetectionStats {
+            true_positives: d.u64()?,
+            false_positives: d.u64()?,
+            false_negatives: d.u64()?,
+            true_negatives: d.u64()?,
+        },
+    })
+}
+
+/// Encodes a frame into a caller-owned encoder — hot senders clear and
+/// reuse one encoder per socket instead of allocating per datagram.
+pub fn encode_frame_into(frame: &Frame, e: &mut Encoder) {
+    e.u16(MAGIC).u8(VERSION).u8(frame.type_byte());
+    match frame {
+        Frame::PushData(p) => {
+            e.u32(p.gateway).u64(p.seq).u64(p.watermark);
+            e.u16(u16::try_from(p.uplinks.len()).expect("more than 65535 copies in a datagram"));
+            for u in &p.uplinks {
+                encode_wire_uplink(e, u);
+            }
+        }
+        Frame::PushAck { gateway, seq } | Frame::PullAck { gateway, seq } => {
+            e.u32(*gateway).u64(*seq);
+        }
+        Frame::PullData { gateway, seq, watermark } => {
+            e.u32(*gateway).u64(*seq).u64(*watermark);
+        }
+        Frame::StatsReq { token } | Frame::Shutdown { token } => {
+            e.u64(*token);
+        }
+        Frame::StatsResp { token, stats } => {
+            e.u64(*token);
+            encode_wire_stats(e, stats);
+        }
+    }
+    let crc = crc32(e.as_bytes());
+    e.u32(crc);
+}
+
+/// Encodes a frame into a fresh datagram buffer.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut e = Encoder::new();
+    encode_frame_into(frame, &mut e);
+    e.into_bytes()
+}
+
+/// Decodes one datagram.
+///
+/// Never panics on any input; every malformation maps to a structured
+/// [`NetError`] variant (CRC is checked before anything else is trusted).
+///
+/// # Errors
+///
+/// See the [`NetError`] variants.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(NetError::TooShort { len: bytes.len() });
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - TRAILER_LEN);
+    let found = u32::from_le_bytes(crc_bytes.try_into().expect("split_at(4)"));
+    let expected = crc32(body);
+    if expected != found {
+        return Err(NetError::BadCrc { expected, found });
+    }
+
+    let mut d = Decoder::new(body);
+    let magic = d.u16()?;
+    if magic != MAGIC {
+        return Err(NetError::BadMagic { found: magic });
+    }
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(NetError::BadVersion { found: version });
+    }
+    let frame_type = d.u8()?;
+    let frame = match frame_type {
+        TYPE_PUSH_DATA => {
+            let gateway = d.u32()?;
+            let seq = d.u64()?;
+            let watermark = d.u64()?;
+            let count = d.u16()? as usize;
+            let mut uplinks = Vec::with_capacity(count.min(1 << 12));
+            for _ in 0..count {
+                uplinks.push(decode_wire_uplink(&mut d)?);
+            }
+            Frame::PushData(PushData { gateway, seq, watermark, uplinks })
+        }
+        TYPE_PUSH_ACK => Frame::PushAck { gateway: d.u32()?, seq: d.u64()? },
+        TYPE_PULL_DATA => Frame::PullData { gateway: d.u32()?, seq: d.u64()?, watermark: d.u64()? },
+        TYPE_PULL_ACK => Frame::PullAck { gateway: d.u32()?, seq: d.u64()? },
+        TYPE_STATS_REQ => Frame::StatsReq { token: d.u64()? },
+        TYPE_STATS_RESP => Frame::StatsResp { token: d.u64()?, stats: decode_wire_stats(&mut d)? },
+        TYPE_SHUTDOWN => Frame::Shutdown { token: d.u64()? },
+        found => return Err(NetError::BadFrameType { found }),
+    };
+    if !d.is_exhausted() {
+        return Err(NetError::TrailingBytes { remaining: d.remaining() });
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_push() -> Frame {
+        Frame::PushData(PushData {
+            gateway: 7,
+            seq: 41,
+            watermark: 12,
+            uplinks: vec![
+                WireUplink {
+                    uplink: 13,
+                    dev_addr: 0x2601_5000,
+                    tx_start_global_s: 1234.5,
+                    airtime_s: 0.066,
+                    copies_total: 2,
+                    copy_index: 1,
+                    delivery: Some(WireDelivery {
+                        bytes: vec![0x40, 0x00, 0x50, 0x01, 0x26],
+                        dev_addr: 0x2601_5000,
+                        arrival_global_s: 1234.501,
+                        snr_db: 8.25,
+                        carrier_bias_hz: -4120.5,
+                        carrier_phase: 1.5,
+                        sf: 7,
+                        jamming: Some((-0.002, 6.0)),
+                        is_replay: true,
+                    }),
+                },
+                WireUplink {
+                    uplink: 14,
+                    dev_addr: 0x2601_5001,
+                    tx_start_global_s: 1300.0,
+                    airtime_s: 0.066,
+                    copies_total: 0,
+                    copy_index: 0,
+                    delivery: None,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            sample_push(),
+            Frame::PushAck { gateway: 7, seq: 41 },
+            Frame::PullData { gateway: 3, seq: 9, watermark: u64::MAX },
+            Frame::PullAck { gateway: 3, seq: 9 },
+            Frame::StatsReq { token: 0xDEAD_BEEF },
+            Frame::StatsResp {
+                token: 0xDEAD_BEEF,
+                stats: WireStats {
+                    counters: NetCounters { datagrams: 11, push_data: 9, ..Default::default() },
+                    ..Default::default()
+                },
+            },
+            Frame::Shutdown { token: 1 },
+        ];
+        for frame in &frames {
+            let bytes = encode_frame(frame);
+            let back = decode_frame(&bytes).expect("round trip");
+            assert_eq!(&back, frame);
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut bytes = encode_frame(&sample_push());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(decode_frame(&bytes), Err(NetError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn short_datagram_is_rejected() {
+        assert!(matches!(decode_frame(&[0x53, 0x4E, 1]), Err(NetError::TooShort { len: 3 })));
+    }
+
+    #[test]
+    fn delivery_round_trips_through_sim_type() {
+        let Frame::PushData(p) = sample_push() else { unreachable!() };
+        let wire = p.uplinks[0].delivery.clone().unwrap();
+        let delivery = wire.to_delivery().expect("valid sf");
+        let back = WireDelivery::from_delivery(&delivery);
+        assert_eq!(back, wire);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests for the gateway wire protocol, mirroring the store's
+//! `wal_properties` discipline:
+//!
+//! * every frame type round-trips bit-exactly through encode → decode,
+//!   across arbitrary payload shapes and sizes;
+//! * the decoder never panics: truncations, single-bit flips and pure
+//!   garbage all come back as structured [`NetError`]s, never a crash.
+
+use proptest::prelude::*;
+use softlora_net::protocol::{
+    decode_frame, encode_frame, Frame, NetCounters, PushData, WireDelivery, WireStats, WireUplink,
+};
+use softlora_net::NetError;
+
+/// Deterministically expands a compact sample tuple into one uplink copy.
+#[allow(clippy::too_many_arguments)]
+fn build_uplink(
+    uplink: u64,
+    dev_addr: u32,
+    t0: f64,
+    total: u16,
+    index: u16,
+    with_delivery: bool,
+    bytes: Vec<u8>,
+    snr_db: f64,
+    jamming: Option<(f64, f64)>,
+    is_replay: bool,
+    sf: u8,
+) -> WireUplink {
+    WireUplink {
+        uplink,
+        dev_addr,
+        tx_start_global_s: t0,
+        airtime_s: 0.0616,
+        copies_total: total,
+        copy_index: index,
+        delivery: with_delivery.then_some(WireDelivery {
+            bytes,
+            dev_addr,
+            arrival_global_s: t0 + 0.001,
+            snr_db,
+            carrier_bias_hz: snr_db * 37.5,
+            carrier_phase: 1.25,
+            sf,
+            jamming,
+            is_replay,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `PUSH_DATA` batches of arbitrary shape round-trip bit-exactly —
+    /// including empty batches, empty frame bytes, markers without a
+    /// delivery, and NaN-free f64 payloads compared by bit pattern.
+    #[test]
+    fn push_data_round_trips(
+        gateway in any::<u32>(),
+        seq in any::<u64>(),
+        watermark in any::<u64>(),
+        uplink_ids in prop::collection::vec(any::<u64>(), 0..20),
+        dev in any::<u32>(),
+        t0 in any::<f64>(),
+        totals in prop::collection::vec(0u16..8, 0..20),
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        snr in any::<f64>(),
+        jam_onset in any::<f64>(),
+        jam_power in any::<f64>(),
+        flags in any::<u64>(),
+    ) {
+        let uplinks: Vec<WireUplink> = uplink_ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                let total = totals.get(k).copied().unwrap_or(1);
+                let with_delivery = total > 0 && (flags >> (k % 60)) & 1 == 0;
+                let jamming = ((flags >> ((k + 7) % 60)) & 1 == 1)
+                    .then_some((jam_onset, jam_power));
+                build_uplink(
+                    id,
+                    dev.wrapping_add(k as u32),
+                    t0,
+                    total,
+                    total.saturating_sub(1),
+                    with_delivery,
+                    bytes.clone(),
+                    snr,
+                    jamming,
+                    (flags >> ((k + 13) % 60)) & 1 == 1,
+                    6 + (k % 7) as u8,
+                )
+            })
+            .collect();
+        let frame = Frame::PushData(PushData { gateway, seq, watermark, uplinks });
+        let decoded = decode_frame(&encode_frame(&frame)).expect("round trip");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Every non-batch frame type round-trips bit-exactly.
+    #[test]
+    fn control_frames_round_trip(
+        gateway in any::<u32>(),
+        seq in any::<u64>(),
+        watermark in any::<u64>(),
+        token in any::<u64>(),
+        counter_seed in any::<u64>(),
+    ) {
+        let stats = WireStats {
+            counters: NetCounters {
+                datagrams: counter_seed,
+                push_data: counter_seed.wrapping_mul(3),
+                rejected_crc: counter_seed >> 5,
+                duplicate_datagrams: counter_seed >> 9,
+                groups_committed: counter_seed >> 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let frames = [
+            Frame::PushAck { gateway, seq },
+            Frame::PullData { gateway, seq, watermark },
+            Frame::PullAck { gateway, seq },
+            Frame::StatsReq { token },
+            Frame::StatsResp { token, stats },
+            Frame::Shutdown { token },
+        ];
+        for frame in &frames {
+            let decoded = decode_frame(&encode_frame(frame)).expect("round trip");
+            prop_assert_eq!(&decoded, frame);
+        }
+    }
+
+    /// Truncating a valid datagram anywhere yields a structured error —
+    /// never a panic, never a silently misdecoded frame.
+    #[test]
+    fn truncation_is_rejected(
+        seq in any::<u64>(),
+        uplink in any::<u64>(),
+        bytes in prop::collection::vec(any::<u8>(), 0..40),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = Frame::PushData(PushData {
+            gateway: 3,
+            seq,
+            watermark: uplink,
+            uplinks: vec![build_uplink(
+                uplink, 0x2601_5000, 1234.5, 2, 0, true, bytes, 7.5, Some((-0.002, 6.0)),
+                false, 7,
+            )],
+        });
+        let encoded = encode_frame(&frame);
+        let cut = (cut_seed % encoded.len() as u64) as usize;
+        prop_assert!(decode_frame(&encoded[..cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in the datagram is always caught
+    /// (CRC-32 detects all single-bit errors).
+    #[test]
+    fn bit_flip_is_rejected(
+        seq in any::<u64>(),
+        watermark in any::<u64>(),
+        flip_seed in any::<u64>(),
+    ) {
+        let frame = Frame::PullData { gateway: 9, seq, watermark };
+        let mut encoded = encode_frame(&frame);
+        let bit = (flip_seed % (encoded.len() as u64 * 8)) as usize;
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        let err = decode_frame(&encoded);
+        prop_assert!(err.is_err());
+        prop_assert!(matches!(
+            err,
+            Err(NetError::BadCrc { .. })
+                | Err(NetError::BadMagic { .. })
+                | Err(NetError::BadVersion { .. })
+        ));
+    }
+
+    /// Pure garbage never panics the decoder; it errors or (vanishingly
+    /// unlikely) decodes to a frame, but control flow always returns.
+    #[test]
+    fn garbage_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Garbage wearing a valid header + CRC still decodes without
+    /// panicking: the payload reader sees attacker-controlled bytes and
+    /// must return a structured result.
+    #[test]
+    fn framed_garbage_never_panics(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        frame_type in 0u8..12,
+    ) {
+        // Hand-build a datagram with correct magic/version/CRC around an
+        // arbitrary payload, the worst case for the payload decoders.
+        let mut body = vec![0x53, 0x4E, 1, frame_type];
+        body.extend_from_slice(&payload);
+        let crc = softlora_store::crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let _ = decode_frame(&body);
+    }
+}

@@ -90,6 +90,23 @@ impl Encoder {
         &self.buf
     }
 
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Clears the buffer while keeping its capacity — hot paths (the
+    /// server tail's per-shard WAL encode, the net tier's datagram
+    /// assembly) reuse one encoder instead of allocating per record.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Consumes the encoder, yielding the encoded buffer.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf

@@ -14,6 +14,7 @@
 //! | [`attack`] | eavesdropper, stealthy jammer, USRP replayer, frame-delay orchestrator, RTT strawman |
 //! | [`runtime`] | streaming flowgraph runtime: blocks over lock-free SPSC rings, multi-threaded scheduler, runtime observers |
 //! | [`store`] | durable sharded device-state store: append-only WAL with a hand-rolled binary codec, snapshots + compaction, crash recovery |
+//! | [`net`] | the wire-protocol front door: Semtech-UDP-style gateway frames, the UDP/loopback listener feeding the sharded server tail, the fleet-scale load generator |
 //! | [`softlora`] | the paper's contribution: PHY timestamping, FB estimation, FB database, replay detection, the SoftLoRa gateway, the streaming network-server blocks |
 //!
 //! See the repository `README.md` for a guided tour, `DESIGN.md` for the
@@ -52,6 +53,7 @@ pub use softlora_attack as attack;
 pub use softlora_crypto as crypto;
 pub use softlora_dsp as dsp;
 pub use softlora_lorawan as lorawan;
+pub use softlora_net as net;
 pub use softlora_phy as phy;
 pub use softlora_runtime as runtime;
 pub use softlora_sim as sim;
