@@ -5,13 +5,19 @@
 //! runs) against the self-contained reference transform, and the
 //! `onset_pickers` group times the scratch-backed pickers against their
 //! allocating ancestors — the two layers of the allocation-free refactor.
+//! The `fft_kernels`, `fft_real`, `dechirp` and `fft_batched` groups
+//! time the vector-fast kernels (fused-stage schedule, N/2 real-input
+//! transform, chunked dechirp fold, batched multi-frame transforms)
+//! against their reference counterparts; `dsp_report` runs the same
+//! comparisons as a CI artifact (`BENCH_dsp.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use softlora_dsp::aic::{aic_onset_with, aic_pick, power_aic_onset_with, power_aic_pick};
 use softlora_dsp::envelope::EnvelopeDetector;
-use softlora_dsp::fft::{fft_forward, fft_in_place};
+use softlora_dsp::fft::{fft_forward, fft_in_place, FftPlan};
 use softlora_dsp::hilbert::envelope;
-use softlora_dsp::{Complex, DspScratch, FftPlanner};
+use softlora_dsp::kernels::dechirp_fold_into;
+use softlora_dsp::{Complex, DspScratch, FftKernel, FftPlanner};
 use std::hint::black_box;
 
 fn tone(n: usize) -> Vec<Complex> {
@@ -63,6 +69,97 @@ fn bench_fft_planner(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused-schedule FFT against the reference schedule, plan for plan.
+fn bench_fft_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_kernels");
+    for n in [4096usize, 16384] {
+        let data = tone(n);
+        for kernel in [FftKernel::Reference, FftKernel::Fused] {
+            let label = format!("{kernel:?}").to_lowercase();
+            group.bench_with_input(BenchmarkId::new(label, n), &data, |b, data| {
+                let plan = FftPlan::with_kernel(n, kernel);
+                let mut buf = data.clone();
+                b.iter(|| {
+                    buf.copy_from_slice(black_box(data));
+                    plan.forward(&mut buf);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The real-input transform: N/2 complex-FFT trick vs the zero-imag
+/// embed both paths ran before.
+fn bench_fft_real(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_real");
+    for n in [4096usize, 16384] {
+        let trace: Vec<f64> = (0..n).map(|k| (0.13 * k as f64).cos()).collect();
+        for kernel in [FftKernel::Reference, FftKernel::Fused] {
+            let label = format!("{kernel:?}").to_lowercase();
+            group.bench_with_input(BenchmarkId::new(label, n), &trace, |b, trace| {
+                let mut planner = FftPlanner::with_kernel(kernel);
+                let mut out = Vec::new();
+                // Build the plans outside the measured loop.
+                planner.forward_real_into(trace, &mut out);
+                b.iter(|| planner.forward_real_into(black_box(trace), &mut out))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The fused dechirp(+fold) kernel on an SF7-shaped window: conjugate
+/// multiply by the reference chirp and boxcar-fold `os` polyphase
+/// samples per chip.
+fn bench_dechirp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dechirp");
+    // SF7 at the SDR rate: 128 chips, 19 samples per chip.
+    let (chips, os) = (128usize, 19usize);
+    let n = chips * os;
+    let window = tone(n);
+    let reference: Vec<Complex> = (0..n).map(|i| Complex::cis(-0.07 * i as f64)).collect();
+    for kernel in [FftKernel::Reference, FftKernel::Fused] {
+        let label = format!("{kernel:?}").to_lowercase();
+        group.bench_function(format!("{label}/{n}"), |b| {
+            softlora_dsp::set_fast_kernels(kernel == FftKernel::Fused);
+            let mut out = vec![Complex::ZERO; chips];
+            b.iter(|| dechirp_fold_into(black_box(&window), &reference, os, &mut out));
+        });
+    }
+    softlora_dsp::set_fast_kernels(true);
+    group.finish();
+}
+
+/// Batched multi-frame transforms: `forward_many` over 1/8/64 frames vs
+/// the same frames through per-frame `forward` calls. Reported per
+/// batch; divide by the frame count for per-frame cost.
+fn bench_fft_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_batched");
+    let n = 512usize;
+    let plan = FftPlan::new(n);
+    for frames in [1usize, 8, 64] {
+        let data: Vec<Complex> = (0..frames * n).map(|i| Complex::cis(0.13 * i as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("forward_many", frames), &data, |b, data| {
+            let mut buf = data.clone();
+            b.iter(|| {
+                buf.copy_from_slice(black_box(data));
+                plan.forward_many(&mut buf);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("per_frame", frames), &data, |b, data| {
+            let mut buf = data.clone();
+            b.iter(|| {
+                buf.copy_from_slice(black_box(data));
+                for frame in buf.chunks_exact_mut(n) {
+                    plan.forward(frame);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_pickers(c: &mut Criterion) {
     // One SF7 two-chirp capture at 2.4 Msps is ~5600 samples.
     let (i, q) = onset_trace(5600);
@@ -92,5 +189,14 @@ fn bench_pickers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_fft_planner, bench_pickers);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_fft_planner,
+    bench_fft_kernels,
+    bench_fft_real,
+    bench_dechirp,
+    bench_fft_batched,
+    bench_pickers
+);
 criterion_main!(benches);

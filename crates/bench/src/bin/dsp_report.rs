@@ -1,0 +1,199 @@
+//! `dsp_report` — time the vector-fast DSP kernels against their
+//! reference counterparts and emit the numbers as JSON (the
+//! `BENCH_dsp.json` CI artifact, alongside the loadgen's
+//! `BENCH_net.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! dsp_report [--out FILE] [--quiet]
+//! ```
+//!
+//! Each entry times one kernel/size pair (median over repeated runs, a
+//! warm plan, no allocation in the measured loop) for both the fused and
+//! the reference schedule:
+//!
+//! * `fft/N` — planned complex forward transform;
+//! * `fft_real/N` — real-input transform (N/2 trick vs zero-imag embed);
+//! * `dechirp/N` — conjugate-multiply + fold to chip rate, SF7-shaped;
+//! * `fft_many/FxN` — batched multi-frame transform, per batch.
+
+use softlora_dsp::fft::FftPlan;
+use softlora_dsp::kernels::dechirp_fold_into;
+use softlora_dsp::{set_fast_kernels, Complex, FftKernel, FftPlanner};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing repetitions: the median of `REPS` runs of `iters` calls each.
+const REPS: usize = 7;
+
+struct Args {
+    out: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: dsp_report [--out FILE] [--quiet]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: None, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" => args.quiet = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// One measured kernel/size pair.
+struct Entry {
+    name: String,
+    kernel: &'static str,
+    ns: f64,
+}
+
+fn kernel_name(kernel: FftKernel) -> &'static str {
+    match kernel {
+        FftKernel::Reference => "reference",
+        FftKernel::Fused => "fused",
+    }
+}
+
+/// Median time per call, nanoseconds: `iters` calls per rep, median of
+/// [`REPS`] reps, after one untimed warm-up rep.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(REPS);
+    for rep in 0..=REPS {
+        let started = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if rep > 0 {
+            samples.push(started.elapsed().as_secs_f64() / iters as f64 * 1e9);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[REPS / 2]
+}
+
+fn tone(n: usize) -> Vec<Complex> {
+    (0..n).map(|i| Complex::cis(0.13 * i as f64)).collect()
+}
+
+/// Calls per rep, scaled so every entry measures a similar wall-clock
+/// slice regardless of transform size.
+fn iters_for(work: usize) -> usize {
+    (2_000_000 / work.max(1)).clamp(8, 4096)
+}
+
+fn run() -> Vec<Entry> {
+    let mut entries = Vec::new();
+
+    // Planned complex forward transforms.
+    for n in [1024usize, 4096, 16384] {
+        let data = tone(n);
+        for kernel in [FftKernel::Reference, FftKernel::Fused] {
+            let plan = FftPlan::with_kernel(n, kernel);
+            let mut buf = data.clone();
+            let ns = time_ns(iters_for(n), || {
+                buf.copy_from_slice(black_box(&data));
+                plan.forward(&mut buf);
+            });
+            entries.push(Entry { name: format!("fft/{n}"), kernel: kernel_name(kernel), ns });
+        }
+    }
+
+    // Real-input transforms: the fused planner runs the N/2 trick, the
+    // reference planner the zero-imag embed.
+    for n in [4096usize, 16384] {
+        let trace: Vec<f64> = (0..n).map(|k| (0.13 * k as f64).cos()).collect();
+        for kernel in [FftKernel::Reference, FftKernel::Fused] {
+            let mut planner = FftPlanner::with_kernel(kernel);
+            let mut out = Vec::new();
+            planner.forward_real_into(&trace, &mut out);
+            let ns = time_ns(iters_for(n), || {
+                planner.forward_real_into(black_box(&trace), &mut out);
+            });
+            entries.push(Entry { name: format!("fft_real/{n}"), kernel: kernel_name(kernel), ns });
+        }
+    }
+
+    // Dechirp + fold on an SF7-shaped window (128 chips, 19 samples per
+    // chip at the SDR rate). The kernel follows the process-wide switch.
+    let (chips, os) = (128usize, 19usize);
+    let n = chips * os;
+    let window = tone(n);
+    let reference: Vec<Complex> = (0..n).map(|i| Complex::cis(-0.07 * i as f64)).collect();
+    for kernel in [FftKernel::Reference, FftKernel::Fused] {
+        set_fast_kernels(kernel == FftKernel::Fused);
+        let mut out = vec![Complex::ZERO; chips];
+        let ns = time_ns(iters_for(n), || {
+            dechirp_fold_into(black_box(&window), &reference, os, &mut out);
+        });
+        entries.push(Entry { name: format!("dechirp/{n}"), kernel: kernel_name(kernel), ns });
+    }
+    set_fast_kernels(true);
+
+    // Batched multi-frame transforms (per batch).
+    let n = 512usize;
+    for frames in [1usize, 8, 64] {
+        let data = tone(frames * n);
+        for kernel in [FftKernel::Reference, FftKernel::Fused] {
+            let plan = FftPlan::with_kernel(n, kernel);
+            let mut buf = data.clone();
+            let ns = time_ns(iters_for(frames * n), || {
+                buf.copy_from_slice(black_box(&data));
+                plan.forward_many(&mut buf);
+            });
+            entries.push(Entry {
+                name: format!("fft_many/{frames}x{n}"),
+                kernel: kernel_name(kernel),
+                ns,
+            });
+        }
+    }
+
+    entries
+}
+
+/// Serialises the entries as a JSON object (hand-rolled — the workspace
+/// is dependency-free).
+fn to_json(entries: &[Entry]) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!("{{\"name\":\"{}\",\"kernel\":\"{}\",\"ns\":{:.1}}}", e.name, e.kernel, e.ns)
+        })
+        .collect();
+    format!("{{\"benches\":[{}]}}", body.join(","))
+}
+
+fn main() {
+    let args = parse_args();
+    let entries = run();
+
+    if !args.quiet {
+        println!("{:<18} {:>12} {:>12} {:>8}", "bench", "reference", "fused", "speedup");
+        let mut k = 0;
+        while k + 1 < entries.len() {
+            let (a, b) = (&entries[k], &entries[k + 1]);
+            assert_eq!(a.name, b.name, "entries come in reference/fused pairs");
+            println!("{:<18} {:>9.1} ns {:>9.1} ns {:>7.2}x", a.name, a.ns, b.ns, a.ns / b.ns);
+            k += 2;
+        }
+    }
+
+    let json = to_json(&entries);
+    match &args.out {
+        Some(path) => std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("dsp_report: write {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => println!("{json}"),
+    }
+}

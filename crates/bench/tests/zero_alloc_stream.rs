@@ -1,0 +1,100 @@
+//! Pins the allocation-free steady state of the streaming **collection
+//! path** — the `AnalyzedFrame` box the ROADMAP flagged as the last
+//! known per-frame allocation. A `GatewayFrontBlock` used to heap-allocate
+//! a `Vec` per analysed group to carry its front results into the ring;
+//! the results now ride inline in the `FrontPart` itself (`FrontVec`),
+//! so a warm front block must analyse a group and emit its part without
+//! a single heap allocation.
+//!
+//! One test per file: the counting allocator is process-global, so a
+//! lone test keeps the measured region free of harness allocations.
+
+use softlora::{FrontPart, NetworkServer};
+use softlora_bench::alloc_counter::CountingAllocator;
+use softlora_lorawan::{ClassADevice, DeviceConfig};
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use softlora_runtime::ring::channel;
+use softlora_runtime::{Block, InputPort, OutputPort, WorkIo, WorkResult};
+use softlora_sim::{Delivery, FleetDelivery, UplinkDeliveries};
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn steady_state_streaming_front_block_is_allocation_free() {
+    // --- Setup (allocations allowed): a one-gateway server dismantled
+    // into streaming blocks, plus one genuine SF7 uplink group. ---
+    let phy = PhyConfig::uplink(SpreadingFactor::Sf7);
+    let dev_cfg = DeviceConfig::new(0x2601_0001, phy);
+    let mut dev = ClassADevice::new(dev_cfg.clone());
+    dev.sense(1, 99.0).expect("sense");
+    let tx = dev.try_transmit(100.0).expect("tx");
+    let delivery = Delivery {
+        bytes: tx.bytes,
+        dev_addr: dev_cfg.dev_addr,
+        arrival_global_s: 100.0 + 4e-6,
+        snr_db: 10.0,
+        carrier_bias_hz: -22_000.0,
+        carrier_phase: 0.4,
+        sf: phy.sf,
+        jamming: None,
+        is_replay: false,
+    };
+    let group = Arc::new(UplinkDeliveries {
+        uplink: 0,
+        dev_addr: dev_cfg.dev_addr,
+        tx_start_global_s: 100.0,
+        airtime_s: 0.1,
+        copies: vec![FleetDelivery { gateway: 0, delivery }],
+    });
+
+    let server = NetworkServer::builder(phy)
+        .adc_quantisation(false)
+        .gateway(3)
+        .provision(dev_cfg.dev_addr, dev_cfg.keys.clone())
+        .build();
+    let (mut fronts, _sink) = server.into_streaming();
+    let mut front = fronts.pop().expect("one gateway front block");
+
+    // Hand-built flowgraph edges: groups in, parts out. The rings are
+    // preallocated slot arrays, so moving items through them is free.
+    let (mut group_tx, group_rx) = channel::<Arc<UplinkDeliveries>, 64>();
+    let (part_tx, mut part_rx) = channel::<FrontPart, 64>();
+    let mut inputs = [InputPort::new(Box::new(group_rx))];
+    let mut outputs = [OutputPort::new(Box::new(part_tx))];
+
+    let mut run_group = |front: &mut dyn Block<In = Arc<UplinkDeliveries>, Out = FrontPart>| {
+        assert!(group_tx.push(Arc::clone(&group)).is_ok(), "ring has room");
+        let result = front.work(&mut WorkIo { inputs: &mut inputs, outputs: &mut outputs });
+        assert_eq!(result, WorkResult::Produced(1), "one group in, one part out");
+        let part = part_rx.pop().expect("front emitted a part");
+        // The block must have done real work: the gateway heard the
+        // group's single copy, and its result rides inline in the part.
+        assert_eq!(part.fronts.len(), 1, "one analysed copy per group");
+    };
+
+    // --- Warm-up: fill the scratch pools and FFT plans. Capture
+    // synthesis draws a per-frame-index random lead (up to 200 extra
+    // samples) and the block's frame index advances monotonically, so a
+    // long warm-up bounds the pools at the lead distribution's maximum
+    // before the measured window opens. ---
+    for _ in 0..64 {
+        run_group(&mut front);
+    }
+
+    // --- Steady state: zero allocations across many groups. ---
+    let before = ALLOC.snapshot();
+    for _ in 0..16 {
+        run_group(&mut front);
+    }
+    let after = ALLOC.snapshot();
+    let allocated = before.allocations_since(&after);
+    assert_eq!(
+        allocated,
+        0,
+        "steady-state streaming front block allocated {allocated} times over 16 groups \
+         ({} bytes)",
+        after.bytes_allocated - before.bytes_allocated,
+    );
+}

@@ -42,6 +42,18 @@ pub struct SoftLoraConfig {
     pub max_tracked_devices: usize,
     /// Whether to model ADC quantisation in the SDR captures.
     pub adc_quantisation: bool,
+    /// Whether the fast DSP kernels run (fused-stage FFT schedule,
+    /// chunked dechirp multiplies, and the N/2 real-input transform).
+    ///
+    /// **Process-wide**: applied via
+    /// [`softlora_dsp::set_fast_kernels`] when a pipeline is built,
+    /// because scratch arenas and thread-local planners are shared
+    /// across pipelines. Every fast path except the real-input
+    /// transform is bit-identical to the reference kernels; the
+    /// real-input transform is ulp-close and does not feed the default
+    /// verdict path. Defaults to the `SOFTLORA_DSP_KERNEL` environment
+    /// override if set, else `true`.
+    pub fast_dsp: bool,
 }
 
 impl SoftLoraConfig {
@@ -66,6 +78,7 @@ impl SoftLoraConfig {
             warmup_frames: 3,
             max_tracked_devices: usize::MAX,
             adc_quantisation: true,
+            fast_dsp: softlora_dsp::fast_kernels(),
         }
     }
 }

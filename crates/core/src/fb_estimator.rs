@@ -191,7 +191,11 @@ impl FbEstimator {
         let reference = self.dechirp_reference()?;
         let m = z.len().min(2 * n);
         out.clear();
-        out.extend((0..m).map(|k| z[k] * reference[k % n]));
+        out.resize(m, Complex::ZERO);
+        // Chunked cyclic multiply (the reference tiles per chirp period):
+        // same products in the same order as the modular-index loop this
+        // replaces, so the dechirped sequence is bit-identical.
+        softlora_dsp::kernels::mul_cycle_into(&z[..m], &reference[..n], out);
         Ok(())
     }
 

@@ -217,13 +217,17 @@ impl SoftLoraGateway {
         let indexed: Vec<(u64, &Delivery)> =
             deliveries.iter().enumerate().map(|(k, d)| (start + k as u64, d)).collect();
         let pipeline = &self.pipeline;
-        // One scratch arena per worker (`map_init`): each worker's frames
-        // share pooled buffers and cached FFT plans, so the parallel front
-        // half is allocation-free in steady state.
+        // One scratch arena per worker *thread*, persistent across batches:
+        // pooled buffers and FFT twiddle tables (32k-point tables for the
+        // matched filter are the expensive part) are built once per rayon
+        // thread, not once per `process_batch` call, so the parallel front
+        // half is allocation-free in steady state even for small batches.
         let fronts: Vec<Result<FrontFrame, SoftLoraError>> = indexed
             .par_iter()
-            .map_init(softlora_dsp::DspScratch::new, |scratch, (frame_index, delivery)| {
-                pipeline.front_half_with(delivery, *frame_index, scratch)
+            .map(|(frame_index, delivery)| {
+                softlora_dsp::scratch::with_thread_scratch(|scratch| {
+                    pipeline.front_half_with(delivery, *frame_index, scratch)
+                })
             })
             .collect();
 

@@ -91,7 +91,8 @@ pub use phy_timestamp::{OnsetMethod, PhyTimestamp, PhyTimestamper};
 pub use pipeline::Pipeline;
 pub use replay_detect::{ReplayDetector, ReplayVerdict};
 pub use streaming::{
-    FrontPart, GatewayFrontBlock, RoutedUplink, ServerSinkBlock, ShardRouterBlock, ShardSinkBlock,
+    FrontEntry, FrontPart, FrontVec, GatewayFrontBlock, RoutedUplink, ServerSinkBlock,
+    ShardRouterBlock, ShardSinkBlock,
 };
 
 /// Errors returned by SoftLoRa processing stages.

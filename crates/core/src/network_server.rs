@@ -944,13 +944,16 @@ impl NetworkServer {
         }
 
         // The embarrassingly parallel front half — one scratch arena per
-        // worker (`map_init`), so every worker's frames share pooled
-        // buffers and cached FFT plans.
+        // worker *thread*, persistent across batches, so pooled buffers
+        // and cached FFT plans (including the 32k-point matched-filter
+        // twiddle tables) survive from one `process_batch` to the next.
         let fronts = &self.fronts;
         let analysed: Vec<Result<FrontFrame, SoftLoraError>> = jobs
             .par_iter()
-            .map_init(softlora_dsp::DspScratch::new, |scratch, (gateway, frame_index, delivery)| {
-                fronts[*gateway].pipeline.front_half_with(delivery, *frame_index, scratch)
+            .map(|(gateway, frame_index, delivery)| {
+                softlora_dsp::scratch::with_thread_scratch(|scratch| {
+                    fronts[*gateway].pipeline.front_half_with(delivery, *frame_index, scratch)
+                })
             })
             .collect();
 

@@ -571,7 +571,14 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Assembles the pipeline from a configuration and seed.
+    ///
+    /// Applies `config.fast_dsp` to the **process-wide** DSP kernel
+    /// switch (see [`softlora_dsp::set_fast_kernels`]): scratch arenas
+    /// and thread-local planners are shared across pipelines, so the
+    /// kernel choice cannot be per-instance. Build pipelines before the
+    /// first frame if mixing configurations.
     pub fn new(config: SoftLoraConfig, seed: u64) -> Self {
+        softlora_dsp::set_fast_kernels(config.fast_dsp);
         let capture = CaptureSynth::new(&config, seed);
         let fb = FbStage::new(&config, capture.sample_rate());
         let onset = OnsetStage::new(PhyTimestamper::new(config.onset_method));

@@ -55,6 +55,68 @@ const SINK_BATCH: usize = 64;
 /// Groups the router reassembles per `work` call before yielding.
 const ROUTER_BATCH: usize = 64;
 
+/// One copy's front-half result: `(index into group.copies, result)`.
+pub type FrontEntry = (usize, Result<FrontFrame, SoftLoraError>);
+
+/// Inline small-vector for a gateway's per-group front results.
+///
+/// A group carries at most a handful of copies per gateway (usually
+/// exactly one), so a plain `Vec` here meant one heap allocation per
+/// analysed group — the "`AnalyzedFrame` box" the ROADMAP flagged as the
+/// last per-frame allocation on the batch collection path. The first
+/// [`FrontVec::INLINE`] entries live inside the `FrontPart` itself
+/// (moved through the ring by value, no heap); only a pathological group
+/// with more copies for one gateway spills to the heap. No `unsafe`: the
+/// inline slots are `Option`s.
+#[derive(Default)]
+pub struct FrontVec {
+    inline: [Option<FrontEntry>; Self::INLINE],
+    inline_len: usize,
+    spill: Vec<FrontEntry>,
+}
+
+impl FrontVec {
+    /// Entries stored inline before spilling to the heap.
+    pub const INLINE: usize = 4;
+
+    /// An empty list (allocation-free).
+    pub fn new() -> Self {
+        FrontVec::default()
+    }
+
+    /// Appends an entry, spilling past [`FrontVec::INLINE`].
+    pub fn push(&mut self, entry: FrontEntry) {
+        if self.inline_len < Self::INLINE {
+            self.inline[self.inline_len] = Some(entry);
+            self.inline_len += 1;
+        } else {
+            self.spill.push(entry);
+        }
+    }
+
+    /// Entries stored so far.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl IntoIterator for FrontVec {
+    type Item = FrontEntry;
+    type IntoIter = std::iter::Chain<
+        std::iter::Flatten<std::array::IntoIter<Option<FrontEntry>, { FrontVec::INLINE }>>,
+        std::vec::IntoIter<FrontEntry>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline.into_iter().flatten().chain(self.spill)
+    }
+}
+
 /// One gateway's front-half analysis of one uplink group.
 pub struct FrontPart {
     /// The group's scenario-wide uplink sequence number.
@@ -65,8 +127,9 @@ pub struct FrontPart {
     pub group: Arc<UplinkDeliveries>,
     /// Analysed copies, as `(index into group.copies, front result)` for
     /// the copies this gateway heard — empty when the group holds no copy
-    /// for this gateway.
-    pub fronts: Vec<(usize, Result<FrontFrame, SoftLoraError>)>,
+    /// for this gateway. Inline up to [`FrontVec::INLINE`] copies, so
+    /// emitting a part performs no heap allocation.
+    pub fronts: FrontVec,
 }
 
 /// One gateway's streaming front half: the radio gate → capture → onset →
@@ -120,7 +183,7 @@ impl Block for GatewayFrontBlock {
             // Per-gateway frame indices advance per copy in group order —
             // the same assignment `NetworkServer::process_batch` makes,
             // so every random draw matches the batch path.
-            let mut fronts = Vec::new();
+            let mut fronts = FrontVec::new();
             for (k, copy) in group.copies.iter().enumerate() {
                 if copy.gateway != self.gateway {
                     continue;
@@ -150,10 +213,11 @@ impl Block for GatewayFrontBlock {
 /// delivers parts in group order) into the group-ordered front list the
 /// tail commits. Returns `Err` with the first infrastructure failure.
 ///
-/// `parts` is the calling block's reusable staging buffer: it is drained,
-/// so the same allocation carries every group.
+/// `parts` and `indexed` are the calling block's reusable staging
+/// buffers: both are drained, so the same allocations carry every group.
 fn reassemble(
     parts: &mut Vec<FrontPart>,
+    indexed: &mut Vec<FrontEntry>,
 ) -> (u64, Arc<UplinkDeliveries>, Result<Vec<FrontFrame>, SoftLoraError>) {
     let uplink = parts[0].uplink;
     let group = Arc::clone(&parts[0].group);
@@ -165,8 +229,8 @@ fn reassemble(
     }
     // Reassemble the fronts in group-copy order, exactly the order the
     // batch path analyses them in.
-    let mut indexed: Vec<(usize, Result<FrontFrame, SoftLoraError>)> =
-        parts.drain(..).flat_map(|p| p.fronts).collect();
+    indexed.clear();
+    indexed.extend(parts.drain(..).flat_map(|p| p.fronts));
     indexed.sort_by_key(|(k, _)| *k);
     // Parity with `process_batch`, which asserts every copy maps to a
     // known gateway: a copy no front block claimed would silently shift
@@ -178,7 +242,7 @@ fn reassemble(
         "uplink {uplink}: copies for a gateway without a front block"
     );
     let mut fronts = Vec::with_capacity(indexed.len());
-    for (_, front) in indexed {
+    for (_, front) in indexed.drain(..) {
         match front {
             Ok(front) => fronts.push(front),
             Err(e) => return (uplink, group, Err(e)),
@@ -198,6 +262,8 @@ pub struct ServerSinkBlock {
     /// sink's "scratch": the tail is pure state, so its reusable working
     /// memory is the reassembly buffer rather than a DSP arena).
     parts: Vec<FrontPart>,
+    /// Reusable copy-order staging buffer for [`reassemble`].
+    indexed: Vec<FrontEntry>,
     /// Set when a gateway front reported an infrastructure error; the
     /// sink finishes early, mirroring `process_batch` aborting a batch.
     failed: bool,
@@ -246,7 +312,7 @@ impl Block for ServerSinkBlock {
             self.parts.clear();
             self.parts
                 .extend(io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")));
-            let (uplink, group, fronts) = reassemble(&mut self.parts);
+            let (uplink, group, fronts) = reassemble(&mut self.parts, &mut self.indexed);
             let fronts = match fronts {
                 Ok(fronts) => fronts,
                 Err(e) => {
@@ -317,6 +383,8 @@ pub struct ShardRouterBlock {
     hub: Arc<Mutex<ObserverHub>>,
     /// Reusable per-group staging buffer for the gateway parts.
     parts: Vec<FrontPart>,
+    /// Reusable copy-order staging buffer for [`reassemble`].
+    indexed: Vec<FrontEntry>,
     /// Head-of-line item waiting for space in its shard's ring.
     pending: Option<RoutedUplink>,
     failed: bool,
@@ -364,7 +432,7 @@ impl Block for ShardRouterBlock {
             self.parts.clear();
             self.parts
                 .extend(io.inputs.iter_mut().map(|p| p.pop().expect("port checked non-empty")));
-            let (uplink, group, fronts) = reassemble(&mut self.parts);
+            let (uplink, group, fronts) = reassemble(&mut self.parts, &mut self.indexed);
             let fronts = match fronts {
                 Ok(fronts) => fronts,
                 Err(e) => {
@@ -495,7 +563,12 @@ impl NetworkServer {
     pub fn into_streaming(self) -> (Vec<GatewayFrontBlock>, ServerSinkBlock) {
         (
             front_blocks(self.fronts),
-            ServerSinkBlock { tail: self.tail, parts: Vec::new(), failed: false },
+            ServerSinkBlock {
+                tail: self.tail,
+                parts: Vec::new(),
+                indexed: Vec::new(),
+                failed: false,
+            },
         )
     }
 
@@ -522,6 +595,7 @@ impl NetworkServer {
             frames_cumulative: tail.frames_cumulative,
             hub: Arc::clone(&hub),
             parts: Vec::new(),
+            indexed: Vec::new(),
             pending: None,
             failed: false,
         };

@@ -45,11 +45,11 @@ pub fn analytic_signal_with(
         return Err(DspError::InputTooShort { required: 2, actual: x.len() });
     }
     let n = next_pow2(x.len());
-    out.clear();
-    out.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
-    out.resize(n, Complex::ZERO);
+    // The forward transform of a real trace is the real-input fast
+    // path's home turf (half the butterflies when fast kernels are on;
+    // the bit-stable embedding otherwise).
+    scratch.planner().forward_real_into(x, out);
     let plan = scratch.planner().plan(n);
-    plan.forward(out);
 
     // Single-sided spectrum: keep DC and Nyquist, double positive
     // frequencies, zero negative frequencies.

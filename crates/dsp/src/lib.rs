@@ -46,6 +46,7 @@ pub mod complex;
 pub mod envelope;
 pub mod fft;
 pub mod filter;
+pub mod kernels;
 pub mod optimize;
 pub mod regression;
 pub mod scratch;
@@ -58,6 +59,7 @@ pub mod hilbert;
 
 pub use complex::Complex;
 pub use fft::{FftPlan, FftPlanner};
+pub use kernels::{fast_kernels, set_fast_kernels, FftKernel};
 pub use scratch::DspScratch;
 
 /// Errors returned by fallible DSP routines.

@@ -168,18 +168,12 @@ impl Demodulator {
         let os = self.oversample;
         spec.clear();
         spec.resize(chips * Self::PAD, Complex::ZERO);
-        for (i, slot) in spec.iter_mut().take(chips).enumerate() {
-            // Sum the os polyphase samples of each chip (fold/alias to the
-            // chip rate) — equivalent to decimation after dechirping with a
-            // boxcar anti-alias, adequate since the dechirped tone is
-            // narrowband.
-            for k in 0..os {
-                let idx = i * os + k;
-                if idx < window.len() && idx < reference.len() {
-                    *slot += window[idx] * reference[idx];
-                }
-            }
-        }
+        // Fused dechirp kernel: the conjugate-multiply by the reference and
+        // the fold/alias to chip rate (boxcar decimation of the os
+        // polyphase samples — adequate since the dechirped tone is
+        // narrowband) land straight in the FFT input slots, chunked for
+        // the autovectorizer and bit-identical to the original loop.
+        softlora_dsp::kernels::dechirp_fold_into(window, reference, os, &mut spec[..chips]);
         // chips * PAD is a power of two, so the planned in-place transform
         // is exactly what `fft_forward` ran here before.
         let n = spec.len();
@@ -495,29 +489,73 @@ impl Demodulator {
         let cw_bits = header.cr.codeword_bits();
         let shift = sf - ppm;
 
-        while scratch.nibbles.len() < total_nibbles {
-            scratch.syms.clear();
-            for _ in 0..cw_bits {
-                let ws = payload_start + symbol_idx * n;
-                let s = self
-                    .read_symbol_at(samples, ws, cfo_hz, ref_offset, &mut scratch.dsp, win)
-                    .ok_or(PhyError::PayloadCrc)?;
-                symbol_idx += 1;
-                let v = if shift > 0 {
-                    ((s + (1 << (shift - 1))) >> shift) as u32 % (1u32 << ppm)
-                } else {
-                    s as u32
-                };
-                scratch.syms.push(gray_decode(v) as u16);
-            }
-            deinterleave_block_into(&scratch.syms, ppm, cw_bits, &mut scratch.codewords)?;
-            for &cw in &scratch.codewords {
-                let (nib, outcome) = hamming_decode(cw, header.cr);
-                if outcome == DecodeOutcome::Corrected {
-                    corrected += 1;
+        // The header fixes the remaining block count (each block yields
+        // exactly `ppm` nibbles), so all payload windows dechirp into one
+        // contiguous batch lane and transform through a stage-major
+        // `forward_many` — one plan, each twiddle table streamed once per
+        // stage for the whole group instead of once per symbol. Spectra,
+        // and therefore decisions, are bit-identical to the former
+        // symbol-at-a-time loop.
+        let remaining = total_nibbles.saturating_sub(scratch.nibbles.len());
+        let blocks = remaining.div_ceil(ppm);
+        let spec_len = chips * Self::PAD;
+        // Bound the batch lane to ~2 MiB of complex samples per round.
+        let blocks_per_batch = ((1usize << 17) / (spec_len * cw_bits)).max(1);
+        let mut done = 0usize;
+        while done < blocks {
+            let nblocks = (blocks - done).min(blocks_per_batch);
+            let nsyms = nblocks * cw_bits;
+            let mut batch = scratch.dsp.take_batch(nsyms, spec_len);
+            let mut short = false;
+            for s in 0..nsyms {
+                let ws = payload_start + (symbol_idx + s) * n;
+                if ws + n > samples.len() {
+                    short = true;
+                    break;
                 }
-                scratch.nibbles.push(nib);
+                self.derotate_into(samples, ws, n, cfo_hz, win);
+                softlora_dsp::kernels::dechirp_fold_into(
+                    win,
+                    &self.up_ref,
+                    os,
+                    &mut batch[s * spec_len..s * spec_len + chips],
+                );
             }
+            if short {
+                scratch.dsp.put_complex(batch);
+                return Err(PhyError::PayloadCrc);
+            }
+            scratch.dsp.planner().plan(spec_len).forward_many(&mut batch);
+            for b in 0..nblocks {
+                scratch.syms.clear();
+                for j in 0..cw_bits {
+                    let spec = &batch[(b * cw_bits + j) * spec_len..][..spec_len];
+                    let value = parabolic_peak(spec) / Self::PAD as f64 - ref_offset;
+                    let s = (value.round() as i64).rem_euclid(chips as i64) as usize;
+                    let v = if shift > 0 {
+                        ((s + (1 << (shift - 1))) >> shift) as u32 % (1u32 << ppm)
+                    } else {
+                        s as u32
+                    };
+                    scratch.syms.push(gray_decode(v) as u16);
+                }
+                if let Err(e) =
+                    deinterleave_block_into(&scratch.syms, ppm, cw_bits, &mut scratch.codewords)
+                {
+                    scratch.dsp.put_complex(batch);
+                    return Err(e);
+                }
+                for &cw in &scratch.codewords {
+                    let (nib, outcome) = hamming_decode(cw, header.cr);
+                    if outcome == DecodeOutcome::Corrected {
+                        corrected += 1;
+                    }
+                    scratch.nibbles.push(nib);
+                }
+            }
+            symbol_idx += nsyms;
+            done += nblocks;
+            scratch.dsp.put_complex(batch);
         }
 
         // Reassemble bytes (low nibble first) straight into the payload
