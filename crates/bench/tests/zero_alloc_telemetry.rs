@@ -1,0 +1,63 @@
+//! Pins the allocation-free warm path of the telemetry layer: once a
+//! handle is resolved (registration may allocate — it renders the label
+//! key and inserts into the registry map), recording through it is
+//! relaxed atomics only. Counter increments, gauge stores and histogram
+//! records must never heap-allocate, or every instrumented hot path —
+//! the gateway front half, the shard commit loop, the WAL append —
+//! inherits a per-event allocation.
+//!
+//! One test per file: the counting allocator is process-global, so a
+//! lone test keeps the measured region free of harness allocations.
+
+use softlora_bench::alloc_counter::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn warm_metric_recording_is_allocation_free() {
+    // --- Setup (allocations allowed): resolve every handle once, the
+    // way instrumented components do at construction. ---
+    let registry = softlora_telemetry::Registry::new();
+    let counter = registry.counter("bench_events_total");
+    let labeled = registry.counter_with("bench_labeled_total", &[("shard", "3")]);
+    let gauge = registry.gauge("bench_level");
+    let histogram = registry.histogram_with("bench_latency_ns", &[("stage", "detect")]);
+
+    // --- Warm-up: touch every cell once. ---
+    counter.inc();
+    labeled.add(2);
+    gauge.set(0.5);
+    for v in [0u64, 1, 900, 40_000, u64::MAX] {
+        histogram.record(v);
+    }
+
+    // --- Steady state: zero allocations across many records, spanning
+    // every bucket magnitude a real latency distribution hits. ---
+    let before = ALLOC.snapshot();
+    for k in 0..4096u64 {
+        counter.inc();
+        labeled.add(k & 7);
+        gauge.set(k as f64 * 0.25);
+        histogram.record(k.wrapping_mul(2_654_435_761) >> (k % 48));
+    }
+    let after = ALLOC.snapshot();
+    let allocated = before.allocations_since(&after);
+    assert_eq!(
+        allocated,
+        0,
+        "warm metric recording allocated {allocated} times over 4096 iterations \
+         ({} bytes)",
+        after.bytes_allocated - before.bytes_allocated
+    );
+
+    // The records must have landed: the cells are live, not optimised
+    // away.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter_sum("bench_events_total"), 1 + 4096);
+    let hist = snapshot
+        .find_with("bench_latency_ns", &[("stage", "detect")])
+        .and_then(|s| s.value.as_histogram())
+        .expect("histogram series present");
+    assert_eq!(hist.count, 5 + 4096);
+}

@@ -275,6 +275,7 @@ impl SoftLoraGateway {
         let t = Instant::now();
         let verdict = self.pipeline.detect.check(claimed_dev, fb.delta_hz, delivery.is_replay);
         let detect_s = t.elapsed().as_secs_f64();
+        self.pipeline.stage_metrics.record(Stage::Detect, detect_s);
         self.notify(|o| o.on_stage(frame_index, Stage::Detect, detect_s));
         if let ReplayVerdict::ReplayDetected { deviation_hz, band_hz } = verdict {
             let event = ReplayFlagEvent { dev_addr: claimed_dev, deviation_hz, band_hz };
@@ -291,6 +292,7 @@ impl SoftLoraGateway {
         let t = Instant::now();
         let rx = self.pipeline.mac.verify(&delivery.bytes, onset.phy_arrival_s);
         let mac_s = t.elapsed().as_secs_f64();
+        self.pipeline.stage_metrics.record(Stage::Mac, mac_s);
         self.notify(|o| o.on_stage(frame_index, Stage::Mac, mac_s));
         match rx {
             RxVerdict::Accepted(uplink) => {

@@ -436,6 +436,7 @@ impl NetworkServerBuilder {
                 store: None,
                 snapshot_every: self.snapshot_every,
                 wal_buf: Encoder::new(),
+                metrics: ShardMetrics::new(index),
             })
             .collect();
         // Per-device state — MAC sessions included — lives only in the
@@ -492,6 +493,48 @@ pub(crate) struct CommitOutcome {
     pub(crate) eviction: Option<FbEviction>,
 }
 
+/// Per-shard telemetry handles into the process-wide registry, resolved
+/// once at build time so the commit path records with nothing but
+/// relaxed atomic adds. The verdict/dedup/eviction counters share their
+/// cells across shards (same series key); the commit-latency histogram
+/// is labeled per shard.
+pub(crate) struct ShardMetrics {
+    commit_ns: softlora_telemetry::Histogram,
+    accepted: softlora_telemetry::Counter,
+    replays: softlora_telemetry::Counter,
+    rejected: softlora_telemetry::Counter,
+    dedup_hits: softlora_telemetry::Counter,
+    fb_evictions: softlora_telemetry::Counter,
+}
+
+impl ShardMetrics {
+    pub(crate) fn new(shard: usize) -> Self {
+        let registry = softlora_telemetry::global();
+        let shard_label = shard.to_string();
+        ShardMetrics {
+            commit_ns: registry
+                .histogram_with("server_commit_ns", &[("shard", shard_label.as_str())]),
+            accepted: registry.counter_with("server_verdicts_total", &[("verdict", "accept")]),
+            replays: registry.counter_with("server_verdicts_total", &[("verdict", "replay")]),
+            rejected: registry.counter_with("server_verdicts_total", &[("verdict", "reject")]),
+            dedup_hits: registry.counter("server_dedup_hits_total"),
+            fb_evictions: registry.counter("server_fb_evictions_total"),
+        }
+    }
+
+    /// Folds one commit's statistics delta into the counters.
+    fn observe(&self, outcome: &CommitOutcome) {
+        let d = &outcome.stats_delta;
+        self.accepted.add(d.accepted);
+        self.replays.add(d.fb_replays_flagged + d.cross_gateway_replays_flagged);
+        self.rejected.add(d.lorawan_rejected + d.not_received);
+        self.dedup_hits.add(d.duplicates_suppressed);
+        if outcome.eviction.is_some() {
+            self.fb_evictions.inc();
+        }
+    }
+}
+
 /// One shard of the server's stateful back half: the slice of the FB
 /// detector, LoRaWAN MAC and dedup cache owning every device that hashes
 /// to it. All of that state is per-device, so shards never interact —
@@ -517,6 +560,8 @@ pub(crate) struct ShardCore {
     /// shard carries every record, so the commit path does not allocate
     /// a fresh encode buffer per uplink group.
     pub(crate) wal_buf: Encoder,
+    /// Telemetry handles (commit latency, verdict/dedup/eviction counts).
+    pub(crate) metrics: ShardMetrics,
 }
 
 /// The server's complete back half: the device-hashed shards plus the
@@ -1075,6 +1120,23 @@ impl ShardCore {
     /// [`SoftLoraError::Persistence`] when the WAL append or a snapshot
     /// installation fails; the in-memory commit has already happened.
     pub(crate) fn commit(
+        &mut self,
+        group: &UplinkDeliveries,
+        fronts: Vec<FrontFrame>,
+        global_seq: u64,
+        frames_cumulative: &[u64],
+    ) -> Result<CommitOutcome, SoftLoraError> {
+        let start = std::time::Instant::now();
+        let result = self.commit_impl(group, fronts, global_seq, frames_cumulative);
+        self.metrics.commit_ns.record_duration(start.elapsed());
+        if let Ok(outcome) = &result {
+            self.metrics.observe(outcome);
+        }
+        result
+    }
+
+    /// [`ShardCore::commit`] minus the telemetry wrapper.
+    fn commit_impl(
         &mut self,
         group: &UplinkDeliveries,
         fronts: Vec<FrontFrame>,

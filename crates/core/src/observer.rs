@@ -47,6 +47,19 @@ impl Stage {
         Stage::Detect,
         Stage::Mac,
     ];
+
+    /// Short lowercase label, used as the `stage` label value of the
+    /// `gateway_stage_ns` telemetry series.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::RadioFrontEnd => "radio",
+            Stage::CaptureSynth => "capture",
+            Stage::Onset => "onset",
+            Stage::Fb => "fb",
+            Stage::Detect => "detect",
+            Stage::Mac => "mac",
+        }
+    }
 }
 
 /// Payload of an accepted, timestamped frame.

@@ -470,6 +470,41 @@ impl MacStage {
 /// A stage timing sample: which stage ran and for how long, seconds.
 pub type StageTiming = (Stage, f64);
 
+/// Per-stage latency histograms in the process-wide telemetry registry
+/// (`gateway_stage_ns{stage="radio"|…|"mac"}`).
+///
+/// Handles are resolved once at pipeline construction; recording a
+/// sample on the warm path is three relaxed atomic adds — the
+/// zero-alloc pins (`zero_alloc_telemetry.rs`) cover this path.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    histograms: [softlora_telemetry::Histogram; Stage::ALL.len()],
+}
+
+impl StageMetrics {
+    /// Resolves the six per-stage histogram handles.
+    pub fn new() -> Self {
+        let registry = softlora_telemetry::global();
+        StageMetrics {
+            histograms: Stage::ALL.map(|stage| {
+                registry.histogram_with("gateway_stage_ns", &[("stage", stage.name())])
+            }),
+        }
+    }
+
+    /// Records one stage's elapsed wall time (seconds → nanoseconds).
+    #[inline]
+    pub fn record(&self, stage: Stage, elapsed_s: f64) {
+        self.histograms[stage as usize].record((elapsed_s * 1e9) as u64);
+    }
+}
+
+impl Default for StageMetrics {
+    fn default() -> Self {
+        StageMetrics::new()
+    }
+}
+
 /// The front half's stage-timing samples, held inline: the front half
 /// runs at most four stages, so a fixed-size array (instead of the
 /// former `Vec<StageTiming>`) keeps per-frame telemetry off the heap —
@@ -567,6 +602,8 @@ pub struct Pipeline {
     pub detect: DetectStage,
     /// Stage 6: LoRaWAN MAC (stateful).
     pub mac: MacStage,
+    /// Per-stage latency histograms (process-wide registry handles).
+    pub stage_metrics: StageMetrics,
 }
 
 impl Pipeline {
@@ -590,6 +627,7 @@ impl Pipeline {
             fb,
             detect,
             mac: MacStage::new(),
+            stage_metrics: StageMetrics::new(),
             config,
         }
     }
@@ -638,7 +676,9 @@ impl Pipeline {
 
         let t = Instant::now();
         let radio = self.radio.evaluate(&self.config, delivery);
-        timings.push(Stage::RadioFrontEnd, t.elapsed().as_secs_f64());
+        let elapsed = t.elapsed().as_secs_f64();
+        timings.push(Stage::RadioFrontEnd, elapsed);
+        self.stage_metrics.record(Stage::RadioFrontEnd, elapsed);
         if !radio.host_received {
             return Ok(FrontFrame::NotReceived { outcome: radio.outcome, timings });
         }
@@ -646,7 +686,9 @@ impl Pipeline {
         let t = Instant::now();
         let captured =
             self.capture.synthesise_with(&self.config, delivery, frame_index, scratch)?;
-        timings.push(Stage::CaptureSynth, t.elapsed().as_secs_f64());
+        let elapsed = t.elapsed().as_secs_f64();
+        timings.push(Stage::CaptureSynth, elapsed);
+        self.stage_metrics.record(Stage::CaptureSynth, elapsed);
 
         let t = Instant::now();
         let onset = self.onset.pick_with(&captured.capture, delivery.arrival_global_s, scratch);
@@ -657,13 +699,17 @@ impl Pipeline {
                 return Err(e);
             }
         };
-        timings.push(Stage::Onset, t.elapsed().as_secs_f64());
+        let elapsed = t.elapsed().as_secs_f64();
+        timings.push(Stage::Onset, elapsed);
+        self.stage_metrics.record(Stage::Onset, elapsed);
 
         let t = Instant::now();
         let fb = self.fb.estimate_with(&captured.capture, &onset, delivery.snr_db, scratch);
         captured.recycle(scratch);
         let fb = fb?;
-        timings.push(Stage::Fb, t.elapsed().as_secs_f64());
+        let elapsed = t.elapsed().as_secs_f64();
+        timings.push(Stage::Fb, elapsed);
+        self.stage_metrics.record(Stage::Fb, elapsed);
 
         // The replay check needs the *claimed* source; peeking the header
         // requires no keys and no state.

@@ -201,7 +201,9 @@ fn run(args: &Args) -> Result<(), NetError> {
     ctrl.connect(ctrl_addr)?;
     ctrl.set_read_timeout(Some(Duration::from_secs(5)))?;
     ctrl.send(&encode_frame(&Frame::StatsReq { token: 1 }))?;
-    let mut buf = [0u8; 2048];
+    // A registry snapshot can run to tens of KiB; size the ctrl recv
+    // buffer for a full UDP datagram.
+    let mut buf = vec![0u8; 65_535];
     let len = ctrl.recv(&mut buf)?;
     let Frame::StatsResp { stats, .. } = decode_frame(&buf[..len])? else {
         return Err(NetError::BadFrameType { found: 0xFF });
@@ -212,7 +214,14 @@ fn run(args: &Args) -> Result<(), NetError> {
             stats.counters.datagrams, stats.counters.groups_committed
         );
     }
-    ctrl.send(&encode_frame(&Frame::Shutdown { token: 2 }))?;
+    // Pull the server-side telemetry registry too: stage latencies, WAL
+    // counters and the wire series all ride back in one snapshot.
+    ctrl.send(&encode_frame(&Frame::MetricsReq { token: 2 }))?;
+    let len = ctrl.recv(&mut buf)?;
+    let Frame::MetricsResp { snapshot, .. } = decode_frame(&buf[..len])? else {
+        return Err(NetError::BadFrameType { found: 0xFF });
+    };
+    ctrl.send(&encode_frame(&Frame::Shutdown { token: 3 }))?;
     let _ = ctrl.recv(&mut buf)?;
     let run_report = listener.join().expect("listener thread panicked")?;
 
@@ -230,7 +239,8 @@ fn run(args: &Args) -> Result<(), NetError> {
             "\"copies_received\":{},\"stale_copies\":{},\"duplicate_copies\":{},",
             "\"incomplete_groups\":{},\"groups_committed\":{},\"batches\":{}}},",
             "\"server\":{{\"uplinks\":{},\"accepted\":{},\"fb_replays_flagged\":{},",
-            "\"cross_gateway_replays_flagged\":{},\"not_received\":{}}}}}"
+            "\"cross_gateway_replays_flagged\":{},\"not_received\":{}}},",
+            "\"server_registry\":{}}}"
         ),
         report.to_json(),
         counters.datagrams,
@@ -249,6 +259,7 @@ fn run(args: &Args) -> Result<(), NetError> {
         server_stats.fb_replays_flagged,
         server_stats.cross_gateway_replays_flagged,
         server_stats.not_received,
+        snapshot.to_json(),
     );
     if let Some(path) = &args.out {
         std::fs::write(path, &json)?;

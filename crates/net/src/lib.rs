@@ -39,7 +39,8 @@ pub use export::gateway_streams;
 pub use listener::{NetRunReport, NetServer, NetServerConfig};
 pub use loadgen::{LatencySummary, LoadgenConfig, LoadgenReport};
 pub use protocol::{
-    decode_frame, encode_frame, Frame, NetCounters, PushData, WireDelivery, WireStats, WireUplink,
+    decode_frame, encode_frame, Frame, NetCounters, PushData, WireBlockStats, WireDelivery,
+    WireRuntime, WireStats, WireUplink,
 };
 
 use softlora_store::CodecError;
@@ -86,6 +87,12 @@ pub enum NetError {
         /// The value found.
         found: u8,
     },
+    /// A metrics snapshot carried a histogram bucket index outside the
+    /// fixed log2 bucket range.
+    BadBucketIndex {
+        /// The bucket index found.
+        found: u8,
+    },
     /// A socket operation failed.
     Io(std::io::Error),
     /// The server tail failed while committing a batch.
@@ -115,6 +122,9 @@ impl std::fmt::Display for NetError {
             }
             NetError::BadSpreadingFactor { found } => {
                 write!(f, "spreading factor {found} outside 6..=12")
+            }
+            NetError::BadBucketIndex { found } => {
+                write!(f, "histogram bucket index {found} outside the log2 bucket range")
             }
             NetError::Io(e) => write!(f, "socket error: {e}"),
             NetError::Server(e) => write!(f, "server error: {e}"),

@@ -4,9 +4,17 @@
 //!
 //! * the **data** socket receives gateway traffic (`PUSH_DATA` batches,
 //!   `PULL_DATA` keepalives) and acks every accepted datagram;
-//! * the **ctrl** socket answers `STATS_REQ` with live counters and
+//! * the **ctrl** socket answers `STATS_REQ` with live counters,
+//!   `METRICS_REQ` with a full process-wide telemetry snapshot, and
 //!   accepts `SHUTDOWN` — the FutureSDR `ctrl_port` idea in datagram
 //!   form.
+//!
+//! Wire counters live in the process-wide [`softlora_telemetry`]
+//! registry as `net_*` series (labeled with a per-listener instance id),
+//! so a `METRICS_REQ` scrape sees them next to the server tail's commit
+//! latencies and the store's WAL counters. The [`NetCounters`] struct
+//! remains the stable report/ctrl-protocol view, rebuilt from the
+//! registry handles on demand.
 //!
 //! # Bit-for-bit ingestion
 //!
@@ -34,13 +42,16 @@
 //! the listener never panics on wire input.
 
 use crate::protocol::{
-    decode_frame, encode_frame_into, Frame, NetCounters, PushData, WireStats, WireUplink,
+    decode_frame, encode_frame_into, Frame, NetCounters, PushData, WireRuntime, WireStats,
+    WireUplink,
 };
 use crate::NetError;
 use softlora::{NetworkServer, ServerVerdict};
 use softlora_sim::{FleetDelivery, UplinkDeliveries};
+use softlora_telemetry::Counter;
 use std::collections::{BTreeMap, HashSet};
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`NetServer`].
@@ -163,6 +174,90 @@ impl GatewayTrack {
     }
 }
 
+/// Registry-backed listener counters: one `net_*` series per
+/// [`NetCounters`] field, each labeled with this listener's instance id
+/// so several listeners in one process keep exact per-instance counts
+/// while the process-wide registry stays the single source of truth.
+struct NetMetrics {
+    datagrams: Counter,
+    push_data: Counter,
+    keepalives: Counter,
+    acks_sent: Counter,
+    rejected_magic: Counter,
+    rejected_version: Counter,
+    rejected_type: Counter,
+    rejected_crc: Counter,
+    rejected_truncated: Counter,
+    rejected_other: Counter,
+    duplicate_datagrams: Counter,
+    out_of_order_datagrams: Counter,
+    copies_received: Counter,
+    stale_copies: Counter,
+    duplicate_copies: Counter,
+    incomplete_groups: Counter,
+    groups_committed: Counter,
+    batches: Counter,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let id = INSTANCE.fetch_add(1, Ordering::Relaxed).to_string();
+        let registry = softlora_telemetry::global();
+        let counter = |name: &str| registry.counter_with(name, &[("listener", id.as_str())]);
+        let rejected = |reason: &str| {
+            registry.counter_with(
+                "net_rejected_total",
+                &[("listener", id.as_str()), ("reason", reason)],
+            )
+        };
+        NetMetrics {
+            datagrams: counter("net_datagrams_total"),
+            push_data: counter("net_push_data_total"),
+            keepalives: counter("net_keepalives_total"),
+            acks_sent: counter("net_acks_sent_total"),
+            rejected_magic: rejected("magic"),
+            rejected_version: rejected("version"),
+            rejected_type: rejected("type"),
+            rejected_crc: rejected("crc"),
+            rejected_truncated: rejected("truncated"),
+            rejected_other: rejected("other"),
+            duplicate_datagrams: counter("net_duplicate_datagrams_total"),
+            out_of_order_datagrams: counter("net_out_of_order_datagrams_total"),
+            copies_received: counter("net_copies_received_total"),
+            stale_copies: counter("net_stale_copies_total"),
+            duplicate_copies: counter("net_duplicate_copies_total"),
+            incomplete_groups: counter("net_incomplete_groups_total"),
+            groups_committed: counter("net_groups_committed_total"),
+            batches: counter("net_batches_total"),
+        }
+    }
+
+    /// The stable protocol/report view, read back out of the handles.
+    fn counters(&self) -> NetCounters {
+        NetCounters {
+            datagrams: self.datagrams.get(),
+            push_data: self.push_data.get(),
+            keepalives: self.keepalives.get(),
+            acks_sent: self.acks_sent.get(),
+            rejected_magic: self.rejected_magic.get(),
+            rejected_version: self.rejected_version.get(),
+            rejected_type: self.rejected_type.get(),
+            rejected_crc: self.rejected_crc.get(),
+            rejected_truncated: self.rejected_truncated.get(),
+            rejected_other: self.rejected_other.get(),
+            duplicate_datagrams: self.duplicate_datagrams.get(),
+            out_of_order_datagrams: self.out_of_order_datagrams.get(),
+            copies_received: self.copies_received.get(),
+            stale_copies: self.stale_copies.get(),
+            duplicate_copies: self.duplicate_copies.get(),
+            incomplete_groups: self.incomplete_groups.get(),
+            groups_committed: self.groups_committed.get(),
+            batches: self.batches.get(),
+        }
+    }
+}
+
 /// The listening front door around a [`NetworkServer`].
 pub struct NetServer {
     server: NetworkServer,
@@ -173,7 +268,7 @@ pub struct NetServer {
     pending: BTreeMap<u64, PendingGroup>,
     /// Uplink ids ≤ this are committed; late copies for them are stale.
     committed_through: Option<u64>,
-    counters: NetCounters,
+    metrics: NetMetrics,
     verdicts: Vec<(u64, ServerVerdict)>,
     scratch: softlora_store::Encoder,
     batch: Vec<UplinkDeliveries>,
@@ -199,7 +294,7 @@ impl NetServer {
             gateways,
             pending: BTreeMap::new(),
             committed_through: None,
-            counters: NetCounters::default(),
+            metrics: NetMetrics::new(),
             verdicts: Vec::new(),
             scratch: softlora_store::Encoder::new(),
             batch: Vec::new(),
@@ -269,7 +364,11 @@ impl NetServer {
                 last_flush = Instant::now();
             }
         }
-        Ok(NetRunReport { counters: self.counters, verdicts: self.verdicts, server: self.server })
+        Ok(NetRunReport {
+            counters: self.metrics.counters(),
+            verdicts: self.verdicts,
+            server: self.server,
+        })
     }
 
     /// The fleet-wide commit barrier: the minimum watermark across all
@@ -284,7 +383,7 @@ impl NetServer {
     }
 
     fn handle_data(&mut self, bytes: &[u8], from: SocketAddr) -> Result<(), NetError> {
-        self.counters.datagrams += 1;
+        self.metrics.datagrams.inc();
         let frame = match decode_frame(bytes) {
             Ok(frame) => frame,
             Err(e) => {
@@ -296,18 +395,18 @@ impl NetServer {
             Frame::PushData(push) => {
                 let PushData { gateway, seq, watermark, uplinks } = push;
                 let Some(track) = self.gateways.get_mut(gateway as usize) else {
-                    self.counters.rejected_other += 1;
+                    self.metrics.rejected_other.inc();
                     return Ok(());
                 };
                 let (duplicate, out_of_order) = track.register(seq);
                 track.advance_watermark(watermark);
                 if duplicate {
-                    self.counters.duplicate_datagrams += 1;
+                    self.metrics.duplicate_datagrams.inc();
                 } else {
                     if out_of_order {
-                        self.counters.out_of_order_datagrams += 1;
+                        self.metrics.out_of_order_datagrams.inc();
                     }
-                    self.counters.push_data += 1;
+                    self.metrics.push_data.inc();
                     for uplink in uplinks {
                         self.stash(gateway as usize, uplink);
                     }
@@ -316,29 +415,29 @@ impl NetServer {
             }
             Frame::PullData { gateway, seq, watermark } => {
                 let Some(track) = self.gateways.get_mut(gateway as usize) else {
-                    self.counters.rejected_other += 1;
+                    self.metrics.rejected_other.inc();
                     return Ok(());
                 };
                 let (duplicate, _) = track.register(seq);
                 track.advance_watermark(watermark);
                 if duplicate {
-                    self.counters.duplicate_datagrams += 1;
+                    self.metrics.duplicate_datagrams.inc();
                 } else {
-                    self.counters.keepalives += 1;
+                    self.metrics.keepalives.inc();
                 }
                 self.send_data(&Frame::PullAck { gateway, seq }, from)?;
             }
             // Anything else is not gateway traffic; count it as noise.
-            _ => self.counters.rejected_other += 1,
+            _ => self.metrics.rejected_other.inc(),
         }
         Ok(())
     }
 
     /// Files one wire uplink copy into the reassembly buffer.
     fn stash(&mut self, gateway: usize, uplink: WireUplink) {
-        self.counters.copies_received += 1;
+        self.metrics.copies_received.inc();
         if self.committed_through.is_some_and(|c| uplink.uplink <= c) {
-            self.counters.stale_copies += 1;
+            self.metrics.stale_copies.inc();
             return;
         }
         let slot = self.pending.entry(uplink.uplink).or_insert_with(|| PendingGroup {
@@ -355,7 +454,7 @@ impl NetServer {
             return;
         };
         let Ok(delivery) = delivery.to_delivery() else {
-            self.counters.rejected_other += 1;
+            self.metrics.rejected_other.inc();
             return;
         };
         let index = usize::from(uplink.copy_index);
@@ -366,8 +465,8 @@ impl NetServer {
             }
             // Copy index already filled (a duplicate across datagrams) or
             // out of the announced range — either way, drop and count.
-            Some(Some(_)) => self.counters.duplicate_copies += 1,
-            None => self.counters.rejected_other += 1,
+            Some(Some(_)) => self.metrics.duplicate_copies.inc(),
+            None => self.metrics.rejected_other.inc(),
         }
     }
 
@@ -388,7 +487,7 @@ impl NetServer {
             let complete = entry.get().is_complete();
             if (ready && complete) || expired {
                 if !complete {
-                    self.counters.incomplete_groups += 1;
+                    self.metrics.incomplete_groups.inc();
                 }
                 let group = entry.remove().into_group(id);
                 self.batch.push(group);
@@ -402,8 +501,8 @@ impl NetServer {
             return Ok(());
         }
         let verdicts = self.server.process_batch(&self.batch)?;
-        self.counters.batches += 1;
-        self.counters.groups_committed += self.batch.len() as u64;
+        self.metrics.batches.inc();
+        self.metrics.groups_committed.add(self.batch.len() as u64);
         self.committed_through = self.batch.last().map(|g| g.uplink);
         if self.config.record_verdicts {
             for (group, verdict) in self.batch.iter().zip(verdicts) {
@@ -423,14 +522,21 @@ impl NetServer {
                 Ok((len, from)) => match decode_frame(&buf[..len]) {
                     Ok(Frame::StatsReq { token }) => {
                         let stats = WireStats {
-                            counters: self.counters,
+                            counters: self.metrics.counters(),
                             server: self.server.stats(),
                             detection: self.server.detection_stats(),
+                            runtime: WireRuntime::from_registry(
+                                &softlora_telemetry::global().snapshot(),
+                            ),
                         };
                         self.send_ctrl(&Frame::StatsResp { token, stats }, from)?;
                     }
+                    Ok(Frame::MetricsReq { token }) => {
+                        let snapshot = softlora_telemetry::global().snapshot();
+                        self.send_ctrl(&Frame::MetricsResp { token, snapshot }, from)?;
+                    }
                     Ok(Frame::Shutdown { token }) => return Ok(Some((token, from))),
-                    Ok(_) => self.counters.rejected_other += 1,
+                    Ok(_) => self.metrics.rejected_other.inc(),
                     Err(e) => self.count_rejection(&e),
                 },
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
@@ -441,14 +547,14 @@ impl NetServer {
 
     fn count_rejection(&mut self, e: &NetError) {
         match e {
-            NetError::BadMagic { .. } => self.counters.rejected_magic += 1,
-            NetError::BadVersion { .. } => self.counters.rejected_version += 1,
-            NetError::BadFrameType { .. } => self.counters.rejected_type += 1,
-            NetError::BadCrc { .. } => self.counters.rejected_crc += 1,
+            NetError::BadMagic { .. } => self.metrics.rejected_magic.inc(),
+            NetError::BadVersion { .. } => self.metrics.rejected_version.inc(),
+            NetError::BadFrameType { .. } => self.metrics.rejected_type.inc(),
+            NetError::BadCrc { .. } => self.metrics.rejected_crc.inc(),
             NetError::TooShort { .. } | NetError::TrailingBytes { .. } | NetError::Codec(_) => {
-                self.counters.rejected_truncated += 1;
+                self.metrics.rejected_truncated.inc();
             }
-            _ => self.counters.rejected_other += 1,
+            _ => self.metrics.rejected_other.inc(),
         }
     }
 
@@ -456,7 +562,7 @@ impl NetServer {
         self.scratch.clear();
         encode_frame_into(frame, &mut self.scratch);
         self.data.send_to(self.scratch.as_bytes(), to)?;
-        self.counters.acks_sent += 1;
+        self.metrics.acks_sent.inc();
         Ok(())
     }
 

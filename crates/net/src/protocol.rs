@@ -20,8 +20,15 @@
 //! | `0x02` | `PULL_DATA` | gateway → server | keepalive carrying the gateway's watermark |
 //! | `0x03` | `PULL_ACK` | server → gateway | gateway id, seq |
 //! | `0x04` | `STATS_REQ` | ctrl → server | opaque token |
-//! | `0x05` | `STATS_RESP` | server → ctrl | token, live wire + server + detection counters |
+//! | `0x05` | `STATS_RESP` | server → ctrl | token, live wire + server + detection + runtime counters |
 //! | `0x06` | `SHUTDOWN` | ctrl → server | opaque token |
+//! | `0x07` | `METRICS_REQ` | ctrl → server | opaque token |
+//! | `0x08` | `METRICS_RESP` | server → ctrl | token, full telemetry registry snapshot |
+//!
+//! Version 2 extends `STATS_RESP` with the runtime block section and adds
+//! the `METRICS_REQ`/`METRICS_RESP` pair, which serializes the whole
+//! process-wide [`softlora_telemetry`] registry — every counter, gauge
+//! and log2-bucketed latency histogram — over the store codec.
 //!
 //! Decoding never panics: every malformed input maps to a structured
 //! [`NetError`] so the listener can count rejections instead of dying.
@@ -33,12 +40,14 @@ use softlora_phy::params::SpreadingFactor;
 use softlora_phy::rn2483::JammingAttempt;
 use softlora_sim::Delivery;
 use softlora_store::codec::{crc32, CodecError, Decoder, Encoder};
+use softlora_telemetry::{HistogramSnapshot, RegistrySnapshot, SeriesSnapshot, SeriesValue};
 
 /// First two bytes of every datagram: `"SN"` on the wire.
 pub const MAGIC: u16 = 0x4E53;
 
-/// Protocol version this crate speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this crate speaks. Version 2 added the runtime
+/// section to `STATS_RESP` and the `METRICS_REQ`/`METRICS_RESP` pair.
+pub const VERSION: u8 = 2;
 
 /// Bytes of fixed overhead around the payload: magic + version + type
 /// up front, CRC-32 behind.
@@ -53,6 +62,12 @@ const TYPE_PULL_ACK: u8 = 0x03;
 const TYPE_STATS_REQ: u8 = 0x04;
 const TYPE_STATS_RESP: u8 = 0x05;
 const TYPE_SHUTDOWN: u8 = 0x06;
+const TYPE_METRICS_REQ: u8 = 0x07;
+const TYPE_METRICS_RESP: u8 = 0x08;
+
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+const KIND_HISTOGRAM: u8 = 2;
 
 /// One uplink copy (or empty-group marker) as a gateway reports it.
 ///
@@ -211,9 +226,69 @@ pub struct NetCounters {
     pub batches: u64,
 }
 
+/// Final counters for one runtime block, as carried in `STATS_RESP`.
+///
+/// Sourced from the `runtime_block_*` telemetry series that
+/// `RuntimeStats` folds into the process-wide registry when a flowgraph
+/// block finishes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireBlockStats {
+    /// Block display name.
+    pub name: String,
+    /// Counted `work` calls.
+    pub work_calls: u64,
+    /// Items consumed from all input ports.
+    pub items_in: u64,
+    /// Items produced into all output ports.
+    pub items_out: u64,
+    /// Nanoseconds spent inside `work`.
+    pub busy_ns: u64,
+}
+
+/// The runtime section of `STATS_RESP`: scheduler-level counters plus
+/// per-block totals, read out of the process-wide telemetry registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireRuntime {
+    /// Times any worker parked for lack of work.
+    pub worker_parks: u64,
+    /// Total counted `work` calls across all blocks and runs.
+    pub work_calls: u64,
+    /// Per-block totals, sorted by block name.
+    pub blocks: Vec<WireBlockStats>,
+}
+
+impl WireRuntime {
+    /// Extracts the runtime section from a registry snapshot by
+    /// filtering the `runtime_*` series `RuntimeStats` maintains.
+    pub fn from_registry(snapshot: &RegistrySnapshot) -> Self {
+        let counter_with_block = |name: &str, block: &str| {
+            snapshot.find_with(name, &[("block", block)]).and_then(|s| s.value.as_counter())
+        };
+        let blocks = snapshot
+            .series
+            .iter()
+            .filter(|s| s.name == "runtime_block_work_calls_total")
+            .filter_map(|s| s.label("block"))
+            .map(|block| WireBlockStats {
+                name: block.to_string(),
+                work_calls: counter_with_block("runtime_block_work_calls_total", block)
+                    .unwrap_or(0),
+                items_in: counter_with_block("runtime_block_items_in_total", block).unwrap_or(0),
+                items_out: counter_with_block("runtime_block_items_out_total", block).unwrap_or(0),
+                busy_ns: counter_with_block("runtime_block_busy_ns_total", block).unwrap_or(0),
+            })
+            .collect();
+        WireRuntime {
+            worker_parks: snapshot.counter_sum("runtime_worker_parks_total"),
+            work_calls: snapshot.counter_sum("runtime_work_calls_total"),
+            blocks,
+        }
+    }
+}
+
 /// The `STATS_RESP` payload: wire counters plus the server tail's own
 /// statistics, sampled live.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WireStats {
     /// Listener-side wire counters.
     pub counters: NetCounters,
@@ -221,9 +296,17 @@ pub struct WireStats {
     pub server: ServerStats,
     /// Replay-detection confusion counters.
     pub detection: DetectionStats,
+    /// Runtime scheduler and per-block counters (version 2).
+    pub runtime: WireRuntime,
 }
 
 /// Every frame the protocol can carry.
+///
+/// Frames are transient — decoded, inspected, dropped — and the common
+/// data-path variants (`PushData`, acks) dominate traffic, so the
+/// larger ctrl-only variants (`StatsResp`, `MetricsResp`) stay inline
+/// rather than boxed.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Uplink batch, gateway → server.
@@ -268,6 +351,18 @@ pub enum Frame {
         /// Opaque token echoed in the final `PULL_ACK`.
         token: u64,
     },
+    /// Full telemetry snapshot query, ctrl → server.
+    MetricsReq {
+        /// Opaque token echoed in the response.
+        token: u64,
+    },
+    /// Full telemetry snapshot response, server → ctrl.
+    MetricsResp {
+        /// The query's token.
+        token: u64,
+        /// The process-wide registry, sampled live.
+        snapshot: RegistrySnapshot,
+    },
 }
 
 impl Frame {
@@ -280,6 +375,8 @@ impl Frame {
             Frame::StatsReq { .. } => TYPE_STATS_REQ,
             Frame::StatsResp { .. } => TYPE_STATS_RESP,
             Frame::Shutdown { .. } => TYPE_SHUTDOWN,
+            Frame::MetricsReq { .. } => TYPE_METRICS_REQ,
+            Frame::MetricsResp { .. } => TYPE_METRICS_RESP,
         }
     }
 }
@@ -378,6 +475,35 @@ fn decode_net_counters(d: &mut Decoder<'_>) -> Result<NetCounters, CodecError> {
     })
 }
 
+fn encode_wire_runtime(e: &mut Encoder, r: &WireRuntime) {
+    e.u64(r.worker_parks).u64(r.work_calls);
+    e.u16(u16::try_from(r.blocks.len()).expect("more than 65535 runtime blocks"));
+    for b in &r.blocks {
+        e.bytes(b.name.as_bytes())
+            .u64(b.work_calls)
+            .u64(b.items_in)
+            .u64(b.items_out)
+            .u64(b.busy_ns);
+    }
+}
+
+fn decode_wire_runtime(d: &mut Decoder<'_>) -> Result<WireRuntime, CodecError> {
+    let worker_parks = d.u64()?;
+    let work_calls = d.u64()?;
+    let count = d.u16()? as usize;
+    let mut blocks = Vec::with_capacity(count.min(1 << 10));
+    for _ in 0..count {
+        blocks.push(WireBlockStats {
+            name: String::from_utf8_lossy(d.bytes()?).into_owned(),
+            work_calls: d.u64()?,
+            items_in: d.u64()?,
+            items_out: d.u64()?,
+            busy_ns: d.u64()?,
+        });
+    }
+    Ok(WireRuntime { worker_parks, work_calls, blocks })
+}
+
 fn encode_wire_stats(e: &mut Encoder, s: &WireStats) {
     encode_net_counters(e, &s.counters);
     e.u64(s.server.uplinks)
@@ -391,6 +517,7 @@ fn encode_wire_stats(e: &mut Encoder, s: &WireStats) {
         .u64(s.detection.false_positives)
         .u64(s.detection.false_negatives)
         .u64(s.detection.true_negatives);
+    encode_wire_runtime(e, &s.runtime);
 }
 
 fn decode_wire_stats(d: &mut Decoder<'_>) -> Result<WireStats, CodecError> {
@@ -411,7 +538,88 @@ fn decode_wire_stats(d: &mut Decoder<'_>) -> Result<WireStats, CodecError> {
             false_negatives: d.u64()?,
             true_negatives: d.u64()?,
         },
+        runtime: decode_wire_runtime(d)?,
     })
+}
+
+/// Encodes a full registry snapshot over the store codec.
+///
+/// Per series: name, label pairs, a kind byte, then the value. Histogram
+/// buckets go sparse — only occupied log2 buckets are carried as
+/// `(index, count)` pairs — so a snapshot with a handful of live
+/// histograms stays well inside a single UDP datagram.
+pub fn encode_registry_snapshot(e: &mut Encoder, snapshot: &RegistrySnapshot) {
+    e.u32(u32::try_from(snapshot.series.len()).expect("more than 4G telemetry series"));
+    for s in &snapshot.series {
+        e.bytes(s.name.as_bytes());
+        e.u16(u16::try_from(s.labels.len()).expect("more than 65535 labels on one series"));
+        for (k, v) in &s.labels {
+            e.bytes(k.as_bytes()).bytes(v.as_bytes());
+        }
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                e.u8(KIND_COUNTER).u64(*v);
+            }
+            SeriesValue::Gauge(v) => {
+                e.u8(KIND_GAUGE).f64(*v);
+            }
+            SeriesValue::Histogram(h) => {
+                e.u8(KIND_HISTOGRAM).u64(h.count).u64(h.sum);
+                let occupied = h.buckets.iter().filter(|&&c| c != 0).count();
+                e.u16(u16::try_from(occupied).expect("at most 65 buckets"));
+                for (idx, &count) in h.buckets.iter().enumerate() {
+                    if count != 0 {
+                        e.u8(idx as u8).u64(count);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a registry snapshot encoded by [`encode_registry_snapshot`].
+///
+/// # Errors
+///
+/// [`NetError::Codec`] on truncation, [`NetError::BadFrameType`] on an
+/// unknown series kind byte, [`NetError::BadBucketIndex`] when a
+/// histogram bucket index falls outside the fixed log2 range.
+pub fn decode_registry_snapshot(d: &mut Decoder<'_>) -> Result<RegistrySnapshot, NetError> {
+    let series_count = d.u32()? as usize;
+    let mut series = Vec::with_capacity(series_count.min(1 << 12));
+    for _ in 0..series_count {
+        let name = String::from_utf8_lossy(d.bytes()?).into_owned();
+        let label_count = d.u16()? as usize;
+        let mut labels = Vec::with_capacity(label_count.min(64));
+        for _ in 0..label_count {
+            let k = String::from_utf8_lossy(d.bytes()?).into_owned();
+            let v = String::from_utf8_lossy(d.bytes()?).into_owned();
+            labels.push((k, v));
+        }
+        let value = match d.u8()? {
+            KIND_COUNTER => SeriesValue::Counter(d.u64()?),
+            KIND_GAUGE => SeriesValue::Gauge(d.f64()?),
+            KIND_HISTOGRAM => {
+                let count = d.u64()?;
+                let sum = d.u64()?;
+                let mut h = HistogramSnapshot::empty();
+                h.count = count;
+                h.sum = sum;
+                let occupied = d.u16()? as usize;
+                for _ in 0..occupied {
+                    let idx = d.u8()?;
+                    let bucket_count = d.u64()?;
+                    *h.buckets
+                        .get_mut(idx as usize)
+                        .ok_or(NetError::BadBucketIndex { found: idx })? = bucket_count;
+                }
+                SeriesValue::Histogram(h)
+            }
+            found => return Err(NetError::BadFrameType { found }),
+        };
+        series.push(SeriesSnapshot { name, labels, value });
+    }
+    Ok(RegistrySnapshot { series })
 }
 
 /// Encodes a frame into a caller-owned encoder — hot senders clear and
@@ -432,12 +640,16 @@ pub fn encode_frame_into(frame: &Frame, e: &mut Encoder) {
         Frame::PullData { gateway, seq, watermark } => {
             e.u32(*gateway).u64(*seq).u64(*watermark);
         }
-        Frame::StatsReq { token } | Frame::Shutdown { token } => {
+        Frame::StatsReq { token } | Frame::Shutdown { token } | Frame::MetricsReq { token } => {
             e.u64(*token);
         }
         Frame::StatsResp { token, stats } => {
             e.u64(*token);
             encode_wire_stats(e, stats);
+        }
+        Frame::MetricsResp { token, snapshot } => {
+            e.u64(*token);
+            encode_registry_snapshot(e, snapshot);
         }
     }
     let crc = crc32(e.as_bytes());
@@ -498,6 +710,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
         TYPE_STATS_REQ => Frame::StatsReq { token: d.u64()? },
         TYPE_STATS_RESP => Frame::StatsResp { token: d.u64()?, stats: decode_wire_stats(&mut d)? },
         TYPE_SHUTDOWN => Frame::Shutdown { token: d.u64()? },
+        TYPE_METRICS_REQ => Frame::MetricsReq { token: d.u64()? },
+        TYPE_METRICS_RESP => {
+            Frame::MetricsResp { token: d.u64()?, snapshot: decode_registry_snapshot(&mut d)? }
+        }
         found => return Err(NetError::BadFrameType { found }),
     };
     if !d.is_exhausted() {
@@ -560,16 +776,111 @@ mod tests {
                 token: 0xDEAD_BEEF,
                 stats: WireStats {
                     counters: NetCounters { datagrams: 11, push_data: 9, ..Default::default() },
+                    runtime: WireRuntime {
+                        worker_parks: 3,
+                        work_calls: 90,
+                        blocks: vec![WireBlockStats {
+                            name: "dechirp".into(),
+                            work_calls: 90,
+                            items_in: 4096,
+                            items_out: 4096,
+                            busy_ns: 1_250_000,
+                        }],
+                    },
                     ..Default::default()
                 },
             },
             Frame::Shutdown { token: 1 },
+            Frame::MetricsReq { token: 5 },
+            Frame::MetricsResp { token: 5, snapshot: sample_snapshot() },
         ];
         for frame in &frames {
             let bytes = encode_frame(frame);
             let back = decode_frame(&bytes).expect("round trip");
             assert_eq!(&back, frame);
         }
+    }
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        let mut hist = HistogramSnapshot::empty();
+        hist.count = 3;
+        hist.sum = 2 + 700 + 1_000_000;
+        for v in [2u64, 700, 1_000_000] {
+            hist.buckets[softlora_telemetry::bucket_index(v)] += 1;
+        }
+        RegistrySnapshot {
+            series: vec![
+                SeriesSnapshot {
+                    name: "gateway_stage_ns".into(),
+                    labels: vec![("stage".into(), "detect".into())],
+                    value: SeriesValue::Histogram(hist),
+                },
+                SeriesSnapshot {
+                    name: "runtime_block_throughput_per_s".into(),
+                    labels: vec![("block".into(), "dechirp".into())],
+                    value: SeriesValue::Gauge(81_920.5),
+                },
+                SeriesSnapshot {
+                    name: "store_fsyncs_total".into(),
+                    labels: vec![],
+                    value: SeriesValue::Counter(42),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_sparse() {
+        let snapshot = sample_snapshot();
+        let mut e = Encoder::new();
+        encode_registry_snapshot(&mut e, &snapshot);
+        // 3 series, one histogram with 3 occupied buckets: far smaller
+        // than a dense 65-bucket encoding.
+        assert!(e.len() < 256, "sparse encoding blew up: {} bytes", e.len());
+        let mut d = Decoder::new(e.as_bytes());
+        let back = decode_registry_snapshot(&mut d).expect("round trip");
+        assert!(d.is_exhausted());
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn bad_bucket_index_is_rejected() {
+        let mut e = Encoder::new();
+        e.u32(1); // one series
+        e.bytes(b"h");
+        e.u16(0); // no labels
+        e.u8(2).u64(1).u64(1); // histogram kind, count, sum
+        e.u16(1).u8(200).u64(1); // bucket index 200 is out of range
+        let mut d = Decoder::new(e.as_bytes());
+        assert!(matches!(
+            decode_registry_snapshot(&mut d),
+            Err(NetError::BadBucketIndex { found: 200 })
+        ));
+    }
+
+    #[test]
+    fn wire_runtime_extracts_block_series() {
+        let registry = softlora_telemetry::Registry::new();
+        let labels: &[(&str, &str)] = &[("block", "fft")];
+        registry.counter_with("runtime_block_work_calls_total", labels).add(7);
+        registry.counter_with("runtime_block_items_in_total", labels).add(700);
+        registry.counter_with("runtime_block_items_out_total", labels).add(700);
+        registry.counter_with("runtime_block_busy_ns_total", labels).add(900);
+        registry.counter("runtime_worker_parks_total").add(2);
+        registry.counter("runtime_work_calls_total").add(7);
+        let runtime = WireRuntime::from_registry(&registry.snapshot());
+        assert_eq!(runtime.worker_parks, 2);
+        assert_eq!(runtime.work_calls, 7);
+        assert_eq!(
+            runtime.blocks,
+            vec![WireBlockStats {
+                name: "fft".into(),
+                work_calls: 7,
+                items_in: 700,
+                items_out: 700,
+                busy_ns: 900,
+            }]
+        );
     }
 
     #[test]

@@ -8,9 +8,15 @@
 
 use proptest::prelude::*;
 use softlora_net::protocol::{
-    decode_frame, encode_frame, Frame, NetCounters, PushData, WireDelivery, WireStats, WireUplink,
+    decode_frame, decode_registry_snapshot, encode_frame, encode_registry_snapshot, Frame,
+    NetCounters, PushData, WireBlockStats, WireDelivery, WireRuntime, WireStats, WireUplink,
+    VERSION,
 };
 use softlora_net::NetError;
+use softlora_store::codec::{Decoder, Encoder};
+use softlora_telemetry::{
+    bucket_index, HistogramSnapshot, RegistrySnapshot, SeriesSnapshot, SeriesValue,
+};
 
 /// Deterministically expands a compact sample tuple into one uplink copy.
 #[allow(clippy::too_many_arguments)]
@@ -46,6 +52,43 @@ fn build_uplink(
             is_replay,
         }),
     }
+}
+
+/// Deterministically expands seed words into a registry snapshot that
+/// covers all three series kinds, label arity 0..=2 and unicode label
+/// values, with histogram buckets built by recording arbitrary samples
+/// (so bucket/count/sum stay coherent).
+fn build_snapshot(seeds: &[u64], samples: &[u64]) -> RegistrySnapshot {
+    let series = seeds
+        .iter()
+        .enumerate()
+        .map(|(k, &seed)| {
+            let name = format!("series_{k}_{:x}", seed >> 48);
+            let labels = match seed % 3 {
+                0 => vec![],
+                1 => vec![("shard".to_string(), format!("{}", seed % 16))],
+                _ => vec![
+                    ("stage".to_string(), "detect µs".to_string()),
+                    ("listener".to_string(), format!("{}", seed % 7)),
+                ],
+            };
+            let value = match (seed >> 2) % 3 {
+                0 => SeriesValue::Counter(seed),
+                1 => SeriesValue::Gauge(seed as i64 as f64 * 0.125),
+                _ => {
+                    let mut h = HistogramSnapshot::empty();
+                    for &v in samples.iter().skip(k % 3) {
+                        h.buckets[bucket_index(v)] += 1;
+                        h.count += 1;
+                        h.sum = h.sum.wrapping_add(v);
+                    }
+                    SeriesValue::Histogram(h)
+                }
+            };
+            SeriesSnapshot { name, labels, value }
+        })
+        .collect();
+    RegistrySnapshot { series }
 }
 
 proptest! {
@@ -105,7 +148,10 @@ proptest! {
         watermark in any::<u64>(),
         token in any::<u64>(),
         counter_seed in any::<u64>(),
+        snapshot_seeds in prop::collection::vec(any::<u64>(), 0..8),
+        snapshot_samples in prop::collection::vec(any::<u64>(), 0..16),
     ) {
+        let snapshot = build_snapshot(&snapshot_seeds, &snapshot_samples);
         let stats = WireStats {
             counters: NetCounters {
                 datagrams: counter_seed,
@@ -114,6 +160,17 @@ proptest! {
                 duplicate_datagrams: counter_seed >> 9,
                 groups_committed: counter_seed >> 2,
                 ..Default::default()
+            },
+            runtime: WireRuntime {
+                worker_parks: counter_seed >> 7,
+                work_calls: counter_seed >> 3,
+                blocks: vec![WireBlockStats {
+                    name: format!("block_{:x}", counter_seed & 0xFF),
+                    work_calls: counter_seed >> 3,
+                    items_in: counter_seed >> 1,
+                    items_out: counter_seed >> 1,
+                    busy_ns: counter_seed >> 4,
+                }],
             },
             ..Default::default()
         };
@@ -124,11 +181,30 @@ proptest! {
             Frame::StatsReq { token },
             Frame::StatsResp { token, stats },
             Frame::Shutdown { token },
+            Frame::MetricsReq { token },
+            Frame::MetricsResp { token, snapshot },
         ];
         for frame in &frames {
             let decoded = decode_frame(&encode_frame(frame)).expect("round trip");
             prop_assert_eq!(&decoded, frame);
         }
+    }
+
+    /// A registry snapshot of arbitrary shape survives the store codec
+    /// losslessly — names, unicode labels, counters, gauge bit patterns
+    /// and sparse histogram buckets all come back bit-exact.
+    #[test]
+    fn registry_snapshot_codec_round_trips(
+        snapshot_seeds in prop::collection::vec(any::<u64>(), 0..10),
+        snapshot_samples in prop::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let snapshot = build_snapshot(&snapshot_seeds, &snapshot_samples);
+        let mut e = Encoder::new();
+        encode_registry_snapshot(&mut e, &snapshot);
+        let mut d = Decoder::new(e.as_bytes());
+        let back = decode_registry_snapshot(&mut d).expect("round trip");
+        prop_assert!(d.is_exhausted());
+        prop_assert_eq!(back, snapshot);
     }
 
     /// Truncating a valid datagram anywhere yields a structured error —
@@ -195,7 +271,7 @@ proptest! {
     ) {
         // Hand-build a datagram with correct magic/version/CRC around an
         // arbitrary payload, the worst case for the payload decoders.
-        let mut body = vec![0x53, 0x4E, 1, frame_type];
+        let mut body = vec![0x53, 0x4E, VERSION, frame_type];
         body.extend_from_slice(&payload);
         let crc = softlora_store::crc32(&body);
         body.extend_from_slice(&crc.to_le_bytes());

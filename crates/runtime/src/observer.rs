@@ -111,11 +111,34 @@ pub struct BlockTally {
 
 /// A ready-made observer tallying per-block work and worker parks — the
 /// runtime counterpart of the gateway's `GatewayStats`.
-#[derive(Debug, Default)]
+///
+/// Besides its own queryable tallies, the observer registers into the
+/// process-wide telemetry registry: worker parks and total work calls
+/// stream in live through handles resolved at construction (relaxed
+/// atomics — nothing on the hot path allocates), and each block's final
+/// counters land as `runtime_block_*` series when the block finishes,
+/// so ctrl-socket `METRICS_REQ` scrapes see flowgraph throughput next
+/// to the server's series.
+#[derive(Debug)]
 pub struct RuntimeStats {
     tallies: Mutex<HashMap<String, BlockTally>>,
     parks: AtomicU64,
     finished_blocks: AtomicU64,
+    parks_total: softlora_telemetry::Counter,
+    work_calls_total: softlora_telemetry::Counter,
+}
+
+impl Default for RuntimeStats {
+    fn default() -> Self {
+        let registry = softlora_telemetry::global();
+        RuntimeStats {
+            tallies: Mutex::new(HashMap::new()),
+            parks: AtomicU64::new(0),
+            finished_blocks: AtomicU64::new(0),
+            parks_total: registry.counter("runtime_worker_parks_total"),
+            work_calls_total: registry.counter("runtime_work_calls_total"),
+        }
+    }
 }
 
 impl RuntimeStats {
@@ -166,14 +189,31 @@ impl RuntimeObserver for RuntimeStats {
         t.items_in += consumed;
         t.items_out += produced;
         t.busy_s += elapsed_s;
+        drop(tallies);
+        self.work_calls_total.inc();
     }
 
     fn on_park(&self, _worker: usize) {
         self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parks_total.inc();
     }
 
-    fn on_block_finished(&self, _report: &BlockReport) {
+    fn on_block_finished(&self, report: &BlockReport) {
         self.finished_blocks.fetch_add(1, Ordering::Relaxed);
+        // Cold path (once per block per run): fold the block's final
+        // counters into the registry. Registration allocates the label
+        // key on first sight of a block name, never per work call.
+        let registry = softlora_telemetry::global();
+        let labels: &[(&str, &str)] = &[("block", report.name.as_str())];
+        registry.counter_with("runtime_block_work_calls_total", labels).add(report.work_calls);
+        registry.counter_with("runtime_block_items_in_total", labels).add(report.items_in);
+        registry.counter_with("runtime_block_items_out_total", labels).add(report.items_out);
+        registry
+            .counter_with("runtime_block_busy_ns_total", labels)
+            .add((report.busy_s * 1e9) as u64);
+        registry
+            .gauge_with("runtime_block_throughput_per_s", labels)
+            .set(report.throughput_per_s());
     }
 }
 

@@ -41,6 +41,33 @@ use std::path::{Path, PathBuf};
 /// Frame header size: `len` + `crc`.
 const FRAME_HEADER: usize = 8;
 
+/// Registry handles for WAL health telemetry, shared by every shard
+/// (one process-wide series per event kind). Resolved once; each hook
+/// is a relaxed atomic add on the commit path.
+struct WalMetrics {
+    append_ns: softlora_telemetry::Histogram,
+    fsyncs: softlora_telemetry::Counter,
+    segment_rotations: softlora_telemetry::Counter,
+    snapshot_installs: softlora_telemetry::Counter,
+    recovered_records: softlora_telemetry::Counter,
+    torn_tails: softlora_telemetry::Counter,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: std::sync::OnceLock<WalMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = softlora_telemetry::global();
+        WalMetrics {
+            append_ns: registry.histogram("store_wal_append_ns"),
+            fsyncs: registry.counter("store_fsyncs_total"),
+            segment_rotations: registry.counter("store_segment_rotations_total"),
+            snapshot_installs: registry.counter("store_snapshot_installs_total"),
+            recovered_records: registry.counter("store_recovered_records_total"),
+            torn_tails: registry.counter("store_torn_tails_total"),
+        }
+    })
+}
+
 /// Tuning knobs of a [`ShardWal`].
 #[derive(Debug, Clone, Copy)]
 pub struct WalOptions {
@@ -275,6 +302,12 @@ impl ShardWal {
             _ => None,
         };
 
+        let metrics = wal_metrics();
+        metrics.recovered_records.add(records.len() as u64);
+        if dropped_torn_tail {
+            metrics.torn_tails.inc();
+        }
+
         Ok(ShardWal {
             dir,
             options,
@@ -336,6 +369,7 @@ impl ShardWal {
     /// [`StoreError::Io`] when the segment cannot be written, and
     /// [`StoreError::Config`] on a read-only log.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let start = std::time::Instant::now();
         self.refuse_if_read_only("append")?;
         if self.writer.is_none() || self.segment_len >= self.options.segment_bytes {
             let path = segment_path(&self.dir, self.next_seq);
@@ -344,6 +378,7 @@ impl ShardWal {
                 old.flush()?;
             }
             self.segment_len = 0;
+            wal_metrics().segment_rotations.inc();
         }
         let writer = self.writer.as_mut().expect("writer installed above");
         let len = u32::try_from(payload.len()).expect("record longer than 4 GiB");
@@ -353,6 +388,7 @@ impl ShardWal {
         self.segment_len += (FRAME_HEADER + payload.len()) as u64;
         let seq = self.next_seq;
         self.next_seq += 1;
+        wal_metrics().append_ns.record_duration(start.elapsed());
         Ok(seq)
     }
 
@@ -377,6 +413,7 @@ impl ShardWal {
         if let Some(w) = self.writer.as_mut() {
             w.flush()?;
             w.get_ref().sync_all()?;
+            wal_metrics().fsyncs.inc();
         }
         Ok(())
     }
@@ -405,6 +442,7 @@ impl ShardWal {
             tmp.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp_path, &final_path)?;
+        wal_metrics().snapshot_installs.inc();
 
         // Compaction: the snapshot covers every appended record, so every
         // segment on disk is fully covered, and older snapshots are moot

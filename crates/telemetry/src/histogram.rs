@@ -1,0 +1,259 @@
+//! Log₂-bucketed latency histograms.
+//!
+//! A [`HistogramCell`] is a fixed array of 65 relaxed atomic buckets:
+//! bucket 0 holds the exact value 0, bucket `i ≥ 1` covers the half-open
+//! power-of-two range `[2^(i-1), 2^i)`. Recording a sample is three
+//! relaxed `fetch_add`s — no locks, no heap, no floating point — which
+//! keeps the warm signal path allocation-free (the zero-alloc pins from
+//! PRs 5–7 extend to metric recording).
+//!
+//! [`HistogramSnapshot`] is the frozen, mergeable view: bucket-wise
+//! addition merges shards, and quantiles are estimated by walking the
+//! cumulative counts and interpolating linearly inside the bucket that
+//! contains the requested rank. The estimate is always inside that
+//! bucket's range, so its error is bounded by the bucket width — the
+//! property the crate's proptests pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Index of the bucket a value lands in.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[low, high]` range of values covered by bucket `index`.
+///
+/// # Panics
+/// Panics if `index >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range: {index}");
+    if index == 0 {
+        (0, 0)
+    } else if index == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+/// The live, concurrently-written histogram storage.
+///
+/// All writes are relaxed atomics: samples recorded from many threads
+/// land exactly (counts never tear), while a concurrent
+/// [`HistogramCell::snapshot`] may observe a momentarily inconsistent
+/// `count`/`sum`/bucket triple — acceptable for monitoring, and the
+/// final post-quiescence snapshot is exact.
+#[derive(Debug)]
+pub struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCell {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self { buckets: [ZERO; BUCKETS], count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// Records one sample. Lock-free and allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Freezes the current contents into a mergeable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A frozen histogram: mergeable, quantile-queryable, wire-encodable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded sample values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bucket-wise merge: the result is exactly the histogram that
+    /// would have been produced by recording both sample streams into
+    /// one cell.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst = dst.wrapping_add(*src);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean sample value, or 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 < q <= 1.0`) by linear
+    /// interpolation inside the bucket containing rank `⌈q·count⌉`.
+    ///
+    /// The estimate always lies inside `[low, high + 1]` of that
+    /// bucket, so the error versus the true sample is bounded by the
+    /// bucket width. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= rank {
+                let (low, high) = bucket_bounds(index);
+                let position = (rank - cumulative) as f64 / n as f64;
+                let width = (high - low) as f64 + 1.0;
+                return low as f64 + position * width;
+            }
+            cumulative += n;
+        }
+        // Unreachable when count equals the bucket total, but a racing
+        // snapshot can under-read `buckets` versus `count`.
+        bucket_bounds(BUCKETS - 1).1 as f64
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(bucket_index(low), index);
+            assert_eq!(bucket_index(high), index);
+        }
+    }
+
+    #[test]
+    fn quantile_lies_in_the_right_bucket() {
+        let cell = HistogramCell::new();
+        for v in [0u64, 1, 5, 9, 100, 1000, 1000, 50_000] {
+            cell.record(v);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.count, 8);
+        let p50 = snap.p50();
+        // Rank ⌈0.5·8⌉ = 4 → sorted sample 9, bucket [8, 15].
+        assert!((8.0..=16.0).contains(&p50), "p50 = {p50}");
+        let p999 = snap.p999();
+        // Rank 8 → 50 000, bucket [32768, 65535].
+        assert!((32768.0..=65536.0).contains(&p999), "p999 = {p999}");
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let a = HistogramCell::new();
+        let b = HistogramCell::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 3);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let all = HistogramCell::new();
+        for v in 0..100u64 {
+            all.record(v);
+            all.record(v * 3);
+        }
+        assert_eq!(merged, all.snapshot());
+    }
+}

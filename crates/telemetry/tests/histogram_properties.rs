@@ -1,0 +1,97 @@
+//! Property tests for the histogram and registry:
+//!
+//! * merged quantile estimates stay within one bucket width of the true
+//!   order statistic of the combined sample stream;
+//! * merge equals recording both streams into one cell;
+//! * concurrent increments from N threads sum exactly (no lost
+//!   updates under the relaxed-atomic scheme).
+
+use proptest::prelude::*;
+use softlora_telemetry::{bucket_bounds, bucket_index, HistogramCell, Registry};
+
+/// The true order statistic at Prometheus-style rank ⌈q·n⌉.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every quantile in the report set, the estimate from the
+    /// merged histogram lands inside (or within one unit of) the bucket
+    /// that contains the true combined-order statistic — the error is
+    /// bounded by the bucket width.
+    #[test]
+    fn merged_quantiles_bounded_by_bucket_width(
+        a in prop::collection::vec(any::<u64>(), 1..200),
+        b in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ca = HistogramCell::new();
+        let cb = HistogramCell::new();
+        for &v in &a { ca.record(v); }
+        for &v in &b { cb.record(v); }
+        let mut merged = ca.snapshot();
+        merged.merge(&cb.snapshot());
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged.count, all.len() as u64);
+
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let truth = exact_quantile(&all, q);
+            let (low, high) = bucket_bounds(bucket_index(truth));
+            let estimate = merged.quantile(q);
+            prop_assert!(
+                estimate >= low as f64 && estimate <= high as f64 + 1.0,
+                "q={} estimate {} outside bucket [{}, {}] of true {}",
+                q, estimate, low, high, truth
+            );
+        }
+    }
+
+    /// Merging snapshots is exactly equivalent to recording both
+    /// streams into a single cell.
+    #[test]
+    fn merge_equals_single_stream(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let ca = HistogramCell::new();
+        let cb = HistogramCell::new();
+        let combined = HistogramCell::new();
+        for &v in &a { ca.record(v); combined.record(v); }
+        for &v in &b { cb.record(v); combined.record(v); }
+        let mut merged = ca.snapshot();
+        merged.merge(&cb.snapshot());
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+}
+
+/// N threads hammering one counter and one histogram through cloned
+/// handles lose no updates: the final count is exactly N·per_thread.
+#[test]
+fn concurrent_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("concurrent_total");
+    let histogram = registry.histogram("concurrent_ns");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    let snap = histogram.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS as u64 * PER_THREAD);
+}

@@ -181,7 +181,7 @@ fn loopback_fleet_matches_batch_bit_for_bit() {
     ctrl.connect(ctrl_addr).expect("connect ctrl");
     ctrl.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
     ctrl.send(&encode_frame(&Frame::StatsReq { token: 77 })).expect("stats req");
-    let mut buf = [0u8; 2048];
+    let mut buf = [0u8; 8192];
     let len = ctrl.recv(&mut buf).expect("stats resp");
     let Frame::StatsResp { token, stats } = decode_frame(&buf[..len]).expect("stats frame") else {
         panic!("expected STATS_RESP");
