@@ -1,0 +1,258 @@
+//! `repro_failover` — kill a primary mid-attacked-fleet, promote its
+//! WAL-shipping follower, and prove the failover cost nothing:
+//! verdicts, statistics and store digests all match an uninterrupted
+//! run bit for bit.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro_failover [--out BENCH_ha.json]
+//! ```
+//!
+//! The drill:
+//!
+//! 1. simulate a deterministic 2-gateway fleet under the frame-delay
+//!    attack (the paper's Section V adversary);
+//! 2. run the whole stream through an uninterrupted persisted baseline;
+//! 3. run the first half through a primary whose commit hook ships
+//!    every sealed WAL frame to a live follower over loopback UDP,
+//!    measuring per-batch replication catch-up and peak lag;
+//! 4. hard-kill the primary (`abandon` — no shutdown flush), promote
+//!    the follower (timed: the epoch fsync + handoff), and run the
+//!    second half on the promoted server;
+//! 5. compare the joined verdict stream, final statistics and per-shard
+//!    `fsck` digests against the baseline. Any mismatch exits non-zero.
+//!
+//! CI uploads the JSON artifact (`--out`) with the replication-lag and
+//! failover-time numbers.
+
+use softlora::{fsck_store, NetworkServer, ServerVerdict};
+use softlora_attack::FrameDelayAttack;
+use softlora_bench::table::Table;
+use softlora_ha::{Follower, Shipper, ShipperConfig};
+use softlora_phy::{PhyConfig, SpreadingFactor};
+use softlora_sim::{FleetDeployment, HonestChannel, Position, Scenario, UplinkDeliveries};
+use softlora_store::test_dir;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GATEWAYS: usize = 2;
+const DEVICES: usize = 4;
+const CHUNK: usize = 4;
+
+fn phy() -> PhyConfig {
+    PhyConfig::uplink(SpreadingFactor::Sf7)
+}
+
+fn scenario() -> Scenario {
+    let fleet = FleetDeployment::with_gateways(GATEWAYS);
+    let gateways = fleet.gateway_positions();
+    let mut scenario =
+        Scenario::new_fleet(phy(), fleet.medium(), gateways.clone(), Box::new(HonestChannel));
+    let positions = fleet.device_positions(DEVICES, 33);
+    for (k, pos) in positions.iter().enumerate() {
+        scenario.add_device(0x2602_6000 + k as u32, *pos, 300.0, k as u64);
+    }
+    let target = positions[0];
+    let attack = FrameDelayAttack::near_gateway(
+        Position::new(target.x + 2.0, target.y + 1.0, target.z),
+        &gateways,
+        0,
+        2.0,
+        40.0,
+        phy(),
+        7,
+    )
+    .with_targets(vec![0x2602_6000]);
+    scenario.schedule_interceptor(1500.0, Box::new(attack));
+    scenario
+}
+
+fn build_server(dir: Option<&Path>, hook: Option<Arc<Shipper>>) -> NetworkServer {
+    let reference = scenario();
+    let mut builder = NetworkServer::builder(phy())
+        .adc_quantisation(false)
+        .warmup_frames(2)
+        .gateway(1)
+        .gateway(2)
+        .shards(2)
+        .snapshot_every(8)
+        .wal_segment_bytes(4096)
+        .durability_window(Duration::from_millis(2));
+    for k in 0..reference.devices() {
+        let cfg = reference.device_config(k).clone();
+        builder = builder.provision(cfg.dev_addr, cfg.keys);
+    }
+    if let Some(dir) = dir {
+        builder = builder.with_persistence(dir);
+    }
+    if let Some(hook) = hook {
+        builder = builder.commit_hook(hook);
+    }
+    builder.build()
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument {other}; usage: repro_failover [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sim = scenario();
+    let mut groups: Vec<UplinkDeliveries> = Vec::new();
+    sim.run(3600.0, |u| groups.push(u.clone()));
+    let mid = (groups.len() / 2 / CHUNK) * CHUNK;
+    println!(
+        "Fleet: {GATEWAYS} gateways, {DEVICES} devices, {} uplink groups (failover after {mid})",
+        groups.len()
+    );
+
+    // Uninterrupted baseline.
+    let dir_c = test_dir("repro-failover-baseline");
+    let mut baseline = build_server(Some(&dir_c), None);
+    let mut expected: Vec<ServerVerdict> = Vec::new();
+    for chunk in groups.chunks(CHUNK) {
+        expected.extend(baseline.process_batch(chunk).expect("baseline pipeline"));
+    }
+
+    // Primary shipping to a live follower.
+    let dir_a = test_dir("repro-failover-primary");
+    let dir_b = test_dir("repro-failover-follower");
+    let standby = build_server(Some(&dir_b), None);
+    let mut follower = Follower::new(standby).expect("follower");
+    let shipper = Arc::new(
+        Shipper::new(follower.local_addr().expect("follower addr"), 0, ShipperConfig::default())
+            .expect("shipper"),
+    );
+    let mut primary = build_server(Some(&dir_a), Some(Arc::clone(&shipper)));
+    follower.subscribe(shipper.local_addr().expect("shipper addr")).expect("subscribe");
+
+    let mut first_half: Vec<ServerVerdict> = Vec::new();
+    let mut peak_lag_records = 0u64;
+    let mut catchup_total = Duration::ZERO;
+    let mut catchup_worst = Duration::ZERO;
+    let mut batches = 0u64;
+    for chunk in groups[..mid].chunks(CHUNK) {
+        first_half.extend(primary.process_batch(chunk).expect("primary pipeline"));
+        let target = primary.global_seq();
+        let start = Instant::now();
+        peak_lag_records = peak_lag_records.max(target - follower.server().global_seq());
+        let mut spins = 0u32;
+        while follower.server().global_seq() < target
+            || follower.lag() > 0
+            || shipper.pending_len() > 0
+        {
+            shipper.pump().expect("shipper pump");
+            follower.poll().expect("follower poll");
+            spins += 1;
+            if spins > 10_000 {
+                eprintln!("FAIL: follower never caught up to {target}");
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let elapsed = start.elapsed();
+        catchup_total += elapsed;
+        catchup_worst = catchup_worst.max(elapsed);
+        batches += 1;
+    }
+
+    // Hard kill, timed promotion.
+    primary.abandon();
+    let promote_start = Instant::now();
+    let mut promoted = follower.promote().expect("promotion");
+    let failover = promote_start.elapsed();
+    let epoch = promoted.epoch().expect("epoch");
+
+    let mut second_half: Vec<ServerVerdict> = Vec::new();
+    for chunk in groups[mid..].chunks(CHUNK) {
+        second_half.extend(promoted.process_batch(chunk).expect("promoted pipeline"));
+    }
+
+    // Verification.
+    let rejoined: Vec<ServerVerdict> =
+        first_half.iter().cloned().chain(second_half.iter().cloned()).collect();
+    let verdicts_ok = rejoined == expected;
+    let stats_ok = promoted.stats() == baseline.stats()
+        && promoted.detection_stats() == baseline.detection_stats();
+    promoted.drain_snapshots().expect("promoted installs");
+    baseline.drain_snapshots().expect("baseline installs");
+    drop(promoted);
+    drop(baseline);
+    let report_b = fsck_store(&dir_b).expect("fsck follower store");
+    let report_c = fsck_store(&dir_c).expect("fsck baseline store");
+    let digests_ok = report_b.digest() == report_c.digest()
+        && report_b
+            .shards
+            .iter()
+            .zip(&report_c.shards)
+            .all(|(b, c)| b.digest == c.digest && b.wal_records == c.wal_records);
+
+    let snapshot = softlora_telemetry::global().snapshot();
+    let shipped_bytes = snapshot.counter_sum("ha_shipped_bytes_total");
+    let shipped_records = snapshot.counter_sum("ha_shipped_records_total");
+    let resends = snapshot.counter_sum("ha_resends_total");
+    let snapshots_installed = snapshot.counter_sum("ha_snapshots_installed_total");
+
+    let catchup_mean_us = catchup_total.as_micros() as f64 / batches.max(1) as f64;
+    let mut t = Table::new(["Measure", "Value"]);
+    t.row(["Uplink groups replicated".into(), format!("{mid} of {}", groups.len())]);
+    t.row(["Shipped".into(), format!("{shipped_records} records, {shipped_bytes} bytes")]);
+    t.row(["Resends".into(), resends.to_string()]);
+    t.row(["Replica snapshots installed".into(), snapshots_installed.to_string()]);
+    t.row(["Peak replication lag".into(), format!("{peak_lag_records} records")]);
+    t.row(["Catch-up per batch (mean)".into(), format!("{catchup_mean_us:.0} µs")]);
+    t.row(["Catch-up per batch (worst)".into(), format!("{} µs", catchup_worst.as_micros())]);
+    t.row(["Failover (epoch fsync + handoff)".into(), format!("{} µs", failover.as_micros())]);
+    t.row(["Promoted epoch".into(), epoch.to_string()]);
+    t.row(["Verdicts bit-identical".into(), verdicts_ok.to_string()]);
+    t.row(["Stats identical".into(), stats_ok.to_string()]);
+    t.row(["fsck digests identical".into(), digests_ok.to_string()]);
+    println!("\n{t}");
+
+    if let Some(path) = out {
+        let json = format!(
+            concat!(
+                "{{\"groups\":{},\"failover_at\":{},\"shipped_records\":{},",
+                "\"shipped_bytes\":{},\"resends\":{},\"snapshots_installed\":{},",
+                "\"peak_lag_records\":{},\"catchup_mean_us\":{:.1},\"catchup_worst_us\":{},",
+                "\"failover_us\":{},\"promoted_epoch\":{},\"verdicts_identical\":{},",
+                "\"stats_identical\":{},\"digests_identical\":{}}}"
+            ),
+            groups.len(),
+            mid,
+            shipped_records,
+            shipped_bytes,
+            resends,
+            snapshots_installed,
+            peak_lag_records,
+            catchup_mean_us,
+            catchup_worst.as_micros(),
+            failover.as_micros(),
+            epoch,
+            verdicts_ok,
+            stats_ok,
+            digests_ok,
+        );
+        std::fs::write(&path, json).expect("write JSON artifact");
+        println!("Wrote {path}");
+    }
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+    std::fs::remove_dir_all(&dir_c).ok();
+
+    if !(verdicts_ok && stats_ok && digests_ok) {
+        eprintln!("FAIL: failover changed the observable history");
+        std::process::exit(1);
+    }
+    println!("PASS: failover preserved every verdict, statistic and digest");
+}

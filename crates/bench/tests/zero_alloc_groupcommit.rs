@@ -1,0 +1,75 @@
+//! Pins the allocation-free steady state of the group-commit durability
+//! path.
+//!
+//! A committed batch reaches the WAL as **one coalesced frame** —
+//! `ShardWal::append_batch` writes one header, one CRC and one
+//! contiguous run — and durability is one `sync_dirty` sweep across the
+//! shards. Warm, neither may touch the heap: the segment writer's
+//! buffer is pre-grown, the frame header is a stack array and the fsync
+//! batching is pure book-keeping. This is the invariant that lets the
+//! group committer run on the commit path's latency budget, and this
+//! test makes regressing it loud. The file intentionally holds **one**
+//! test: the counting allocator is process-global, so a lone test keeps
+//! the measured region free of concurrent harness allocations.
+
+use softlora_bench::alloc_counter::CountingAllocator;
+use softlora_store::{test_dir, ShardedStore, WalOptions};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn steady_state_group_commit_path_is_allocation_free() {
+    // --- Setup (allocations allowed): a 2-shard store with a segment
+    // budget large enough that the measured region never rotates, plus a
+    // prebuilt coalesced frame payload (the commit path reuses one
+    // Encoder the same way). ---
+    let dir = test_dir("zero-alloc-groupcommit");
+    let options = WalOptions { segment_bytes: 1 << 22, ..WalOptions::default() };
+    let store = ShardedStore::open(&dir, 2, options).expect("open store");
+    for recovery in store.take_recovery() {
+        assert_eq!(recovery.records.len(), 0, "fresh directory");
+    }
+
+    let mut payload = Vec::new();
+    for k in 0u8..3 {
+        let record = [k; 48];
+        payload.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&record);
+    }
+
+    let run_batch = |store: &ShardedStore, payload: &[u8]| {
+        for shard in 0..2 {
+            store
+                .shard(shard)
+                .lock()
+                .expect("shard wal poisoned")
+                .append_batch(payload, 3)
+                .expect("append batch");
+        }
+        store.sync_dirty().expect("group-commit fsync");
+    };
+
+    // --- Warm-up: grow the writer buffers, fault in the metrics. ---
+    for _ in 0..3 {
+        run_batch(&store, &payload);
+    }
+
+    // --- Steady state: zero allocations across many committed batches. ---
+    let before = ALLOC.snapshot();
+    for _ in 0..16 {
+        run_batch(&store, &payload);
+    }
+    let after = ALLOC.snapshot();
+    let allocated = before.allocations_since(&after);
+    assert_eq!(
+        allocated,
+        0,
+        "steady-state append_batch→sync_dirty path allocated {allocated} times over 16 \
+         batches ({} bytes)",
+        after.bytes_allocated - before.bytes_allocated,
+    );
+
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}

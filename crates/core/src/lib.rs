@@ -75,6 +75,7 @@ pub(crate) mod persist;
 pub mod phy_timestamp;
 pub mod pipeline;
 pub mod replay_detect;
+pub mod replication;
 pub mod streaming;
 
 pub use builder::GatewayBuilder;
@@ -90,6 +91,7 @@ pub use observer::{GatewayObserver, GatewayStats, Stage};
 pub use phy_timestamp::{OnsetMethod, PhyTimestamp, PhyTimestamper};
 pub use pipeline::Pipeline;
 pub use replay_detect::{ReplayDetector, ReplayVerdict};
+pub use replication::CommitHook;
 pub use streaming::{
     FrontEntry, FrontPart, FrontVec, GatewayFrontBlock, RoutedUplink, ServerSinkBlock,
     ShardRouterBlock, ShardSinkBlock,

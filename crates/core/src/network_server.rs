@@ -51,6 +51,7 @@ use crate::gateway::SoftLoraVerdict;
 use crate::persist::{CommitRecord, DedupRecord, ShardSnapshot};
 use crate::pipeline::{AnalyzedFrame, FrontFrame, MacStage, Pipeline};
 use crate::replay_detect::{DetectionStats, ReplayDetector, ReplayVerdict};
+use crate::replication::{CommitHook, SnapshotInstaller};
 use crate::SoftLoraError;
 use rayon::prelude::*;
 use softlora_lorawan::frame::DataFrame;
@@ -59,9 +60,10 @@ use softlora_lorawan::{
 };
 use softlora_phy::PhyConfig;
 use softlora_sim::{Delivery, FleetDelivery, UplinkDeliveries};
-use softlora_store::{shard_of, Encoder, ShardedStore, StoreError, WalOptions};
+use softlora_store::{shard_of, Encoder, GroupCommitter, ShardedStore, StoreError, WalOptions};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// One gateway's stateless analysis front end inside the server.
 pub(crate) struct GatewayFront {
@@ -244,6 +246,8 @@ pub struct NetworkServerBuilder {
     persist_dir: Option<PathBuf>,
     snapshot_every: u64,
     wal_segment_bytes: u64,
+    durability_window: Option<Duration>,
+    commit_hook: Option<Arc<dyn CommitHook>>,
 }
 
 impl NetworkServerBuilder {
@@ -269,6 +273,8 @@ impl NetworkServerBuilder {
             persist_dir: None,
             snapshot_every: 1024,
             wal_segment_bytes: WalOptions::default().segment_bytes,
+            durability_window: None,
+            commit_hook: None,
         }
     }
 
@@ -380,15 +386,48 @@ impl NetworkServerBuilder {
         self
     }
 
+    /// Enables interval-based group-commit fsync: a background thread
+    /// fsyncs every dirty shard WAL once per `window`, so a crash loses
+    /// at most the records committed inside the current window. Without
+    /// this, appends are flushed per batch but fsync only happens at
+    /// explicit [`NetworkServer::sync_persistence`] calls and snapshot
+    /// installs. Requires [`NetworkServerBuilder::with_persistence`].
+    pub fn durability_window(mut self, window: Duration) -> Self {
+        self.durability_window = Some(window);
+        self
+    }
+
+    /// Attaches a [`CommitHook`] receiving every sealed WAL frame and
+    /// snapshot marker — the feed a WAL-shipping replicator (the
+    /// `softlora-ha` crate) subscribes to. Only called when persistence
+    /// is enabled.
+    pub fn commit_hook(mut self, hook: Arc<dyn CommitHook>) -> Self {
+        self.commit_hook = Some(hook);
+        self
+    }
+
     /// Assembles the server, recovering persisted state when
     /// [`NetworkServerBuilder::with_persistence`] was set.
     ///
     /// # Errors
     ///
     /// Every [`StoreError`] is a persistence failure: the directory is
-    /// unusable, was created with a different shard/gateway count, or
-    /// holds corrupt data beyond the recoverable torn tail.
+    /// unusable, was created with a different gateway count, or holds
+    /// corrupt data beyond the recoverable torn tail. An explicit
+    /// `shards(n)` against a store pinned at a different count is **not**
+    /// an error: the store is migrated online (see
+    /// [`NetworkServerBuilder::shards`]).
     pub fn try_build(self) -> Result<NetworkServer, StoreError> {
+        // Online resharding: when the caller explicitly asks for a shard
+        // count different from the pinned one, re-key the device state
+        // through a migration pass instead of refusing to open.
+        if let (Some(requested), Some(dir)) = (self.shards, self.persist_dir.clone()) {
+            if let Some(on_disk) = softlora_store::peek_shard_count(&dir)? {
+                if on_disk != requested {
+                    self.reshard(&dir, on_disk, requested)?;
+                }
+            }
+        }
         let seeds = if self.gateway_seeds.is_empty() { vec![0] } else { self.gateway_seeds };
         let fronts: Vec<GatewayFront> = seeds
             .into_iter()
@@ -436,6 +475,12 @@ impl NetworkServerBuilder {
                 store: None,
                 snapshot_every: self.snapshot_every,
                 wal_buf: Encoder::new(),
+                pending_count: 0,
+                since_snapshot: 0,
+                last_global_seq: 0,
+                last_frames: Vec::new(),
+                installer: None,
+                hook: None,
                 metrics: ShardMetrics::new(index),
             })
             .collect();
@@ -461,6 +506,8 @@ impl NetworkServerBuilder {
                 frames_cumulative,
                 store: None,
             },
+            installer: None,
+            committer: None,
         };
 
         if let Some(dir) = self.persist_dir {
@@ -470,12 +517,137 @@ impl NetworkServerBuilder {
                 WalOptions { segment_bytes: self.wal_segment_bytes, ..WalOptions::default() },
             )?);
             server.recover_from(&store)?;
+            let installer = Arc::new(SnapshotInstaller::spawn(Arc::clone(&store)));
             server.tail.store = Some(Arc::clone(&store));
             for shard in &mut server.tail.shards {
                 shard.store = Some(Arc::clone(&store));
+                shard.installer = Some(Arc::clone(&installer));
+                shard.hook = self.commit_hook.clone();
+            }
+            server.installer = Some(installer);
+            if let Some(window) = self.durability_window {
+                server.committer = Some(GroupCommitter::spawn(Arc::clone(&store), window));
             }
         }
         Ok(server)
+    }
+
+    /// Migrates a store pinned at `on_disk` shards to `new_n`: recover
+    /// the tail with the pinned count, decompose the per-device state
+    /// (FB histories, dedup entries, MAC counters), re-key everything
+    /// under the new placement, and write a fresh store — one snapshot
+    /// per new shard, no WAL tail — that atomically replaces the old
+    /// directory. Aggregate statistics are indivisible, so they ride on
+    /// the new shard 0; per-device state lands exactly where
+    /// [`shard_of`] now routes its device, keeping verdicts identical
+    /// (the sharded tail is verdict-invariant in the shard count).
+    fn reshard(&self, dir: &Path, on_disk: usize, new_n: usize) -> Result<(), StoreError> {
+        let mut recovery_builder = NetworkServerBuilder::from_config(self.config.clone());
+        recovery_builder.gateway_seeds = self.gateway_seeds.clone();
+        recovery_builder.devices = self.devices.clone();
+        recovery_builder.preloads = self.preloads.clone();
+        recovery_builder.arrival_tolerance_s = self.arrival_tolerance_s;
+        recovery_builder.fb_spread_tolerance_hz = self.fb_spread_tolerance_hz;
+        recovery_builder.dedup_capacity = self.dedup_capacity;
+        recovery_builder.shards = Some(on_disk);
+        recovery_builder.persist_dir = Some(dir.to_path_buf());
+        recovery_builder.snapshot_every = self.snapshot_every;
+        recovery_builder.wal_segment_bytes = self.wal_segment_bytes;
+        // Counts now match, so this recursion terminates at depth one.
+        let old = recovery_builder.try_build()?;
+        let epoch = old.tail.store.as_ref().expect("recovery server has a store").epoch()?;
+        let global_seq = old.tail.global_seq;
+        let frames = old.tail.frames_cumulative.clone();
+
+        // Decompose: pool every shard's per-device state, plus the
+        // indivisible aggregates.
+        let mut histories: Vec<(u32, u64, Vec<f64>)> = Vec::new();
+        let mut dedups: Vec<DedupRecord> = Vec::new();
+        let mut fcnts: Vec<(u32, u16)> = Vec::new();
+        let mut stats = ServerStats::default();
+        let mut det = DetectionStats::default();
+        let (mut mac_accepted, mut mac_rejected) = (0u64, 0u64);
+        for shard in &old.tail.shards {
+            let db = shard.detector.db();
+            histories.extend(db.export_histories());
+            dedups.extend(shard.dedup.entries_in_order().map(
+                |(dev_addr, fcnt, payload_hash, arrival_global_s, gateway)| DedupRecord {
+                    dev_addr,
+                    fcnt,
+                    payload_hash,
+                    arrival_global_s,
+                    gateway: gateway as u32,
+                },
+            ));
+            fcnts.extend(shard.mac.session_fcnts());
+            stats += shard.stats;
+            det += shard.detector.stats();
+            let (a, r) = shard.mac.frame_counts();
+            mac_accepted += a;
+            mac_rejected += r;
+        }
+        drop(old);
+        // Deterministic re-keying: sort by stable keys so the migrated
+        // store is identical however the old shards interleaved.
+        histories.sort_by_key(|a| (a.1, a.0));
+        dedups.sort_by(|a, b| {
+            a.arrival_global_s
+                .total_cmp(&b.arrival_global_s)
+                .then((a.dev_addr, a.fcnt).cmp(&(b.dev_addr, b.fcnt)))
+        });
+        fcnts.sort_unstable();
+
+        let mut tmp_name = dir.as_os_str().to_owned();
+        tmp_name.push(".reshard-tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let mut old_name = dir.as_os_str().to_owned();
+        old_name.push(".reshard-old");
+        let retired = PathBuf::from(old_name);
+        if tmp.exists() {
+            std::fs::remove_dir_all(&tmp)?;
+        }
+        if retired.exists() {
+            std::fs::remove_dir_all(&retired)?;
+        }
+        {
+            let options =
+                WalOptions { segment_bytes: self.wal_segment_bytes, ..WalOptions::default() };
+            let store = ShardedStore::open(&tmp, new_n, options)?;
+            let _ = store.take_recovery();
+            store.set_epoch(epoch)?;
+            for j in 0..new_n {
+                let owned = |dev: u32| shard_of(u64::from(dev), new_n) == j;
+                let shard_histories: Vec<(u32, u64, Vec<f64>)> = histories
+                    .iter()
+                    .filter(|(dev, _, _)| owned(*dev))
+                    .enumerate()
+                    .map(|(tick, (dev, _, fbs))| (*dev, tick as u64, fbs.clone()))
+                    .collect();
+                let db_clock = shard_histories.len() as u64;
+                let snapshot = ShardSnapshot {
+                    global_seq,
+                    frames_cumulative: frames.clone(),
+                    stats: if j == 0 { stats } else { ServerStats::default() },
+                    det: if j == 0 { det } else { DetectionStats::default() },
+                    mac_accepted: if j == 0 { mac_accepted } else { 0 },
+                    mac_rejected: if j == 0 { mac_rejected } else { 0 },
+                    mac_fcnts: fcnts.iter().copied().filter(|(dev, _)| owned(*dev)).collect(),
+                    db_clock,
+                    db_histories: shard_histories,
+                    dedup: dedups.iter().filter(|e| owned(e.dev_addr)).cloned().collect(),
+                };
+                store
+                    .shard(j)
+                    .lock()
+                    .expect("shard wal poisoned")
+                    .install_snapshot(&snapshot.encode())?;
+            }
+            store.sync()?;
+        }
+        std::fs::rename(dir, &retired)?;
+        std::fs::rename(&tmp, dir)?;
+        std::fs::remove_dir_all(&retired)?;
+        Ok(())
     }
 
     /// Assembles the server; panics on a persistence failure (use
@@ -556,10 +728,25 @@ pub(crate) struct ShardCore {
     pub(crate) store: Option<Arc<ShardedStore>>,
     /// WAL records between snapshots.
     pub(crate) snapshot_every: u64,
-    /// Reusable scratch encoder for WAL commit records: one buffer per
-    /// shard carries every record, so the commit path does not allocate
-    /// a fresh encode buffer per uplink group.
+    /// Reusable scratch encoder accumulating this batch's commit records
+    /// as an inner-framed run — sealed into **one coalesced WAL frame**
+    /// per shard per batch, so the commit path neither allocates a fresh
+    /// buffer nor issues a write syscall per uplink group.
     pub(crate) wal_buf: Encoder,
+    /// Records accumulated in `wal_buf` since the last seal.
+    pub(crate) pending_count: u64,
+    /// Records committed since the last snapshot was scheduled — the
+    /// deterministic snapshot trigger (checked at seal boundaries, so
+    /// the schedule depends only on the record stream, never on how
+    /// fast the background installer drains).
+    pub(crate) since_snapshot: u64,
+    /// Commit metadata of the most recent record, for snapshot capture.
+    pub(crate) last_global_seq: u64,
+    pub(crate) last_frames: Vec<u64>,
+    /// Background snapshot installer, when persistence is enabled.
+    pub(crate) installer: Option<Arc<SnapshotInstaller>>,
+    /// Replication hook fed every sealed frame and snapshot marker.
+    pub(crate) hook: Option<Arc<dyn CommitHook>>,
     /// Telemetry handles (commit latency, verdict/dedup/eviction counts).
     pub(crate) metrics: ShardMetrics,
 }
@@ -662,6 +849,7 @@ impl ServerTail {
         }
         let frames = self.frames_cumulative.clone();
         let outcome = self.shards[shard].commit(group, fronts, seq, &frames)?;
+        self.shards[shard].seal_frame()?;
         self.global_seq = seq;
         self.committed_groups += 1;
         self.notify(group.uplink, &outcome);
@@ -681,6 +869,11 @@ impl ServerTail {
 pub struct NetworkServer {
     pub(crate) fronts: Vec<GatewayFront>,
     pub(crate) tail: ServerTail,
+    /// Background snapshot installer (persistence only).
+    pub(crate) installer: Option<Arc<SnapshotInstaller>>,
+    /// Interval-based group-commit fsync thread, when a durability
+    /// window was configured.
+    pub(crate) committer: Option<GroupCommitter>,
 }
 
 impl std::fmt::Debug for NetworkServer {
@@ -784,7 +977,9 @@ impl NetworkServer {
     }
 
     /// Installs a snapshot of every shard's tail state right now and
-    /// compacts the WALs (a no-op without persistence).
+    /// compacts the WALs (a no-op without persistence). Synchronous by
+    /// contract — background installs are drained first, so the on-disk
+    /// store is deterministic when this returns.
     ///
     /// # Errors
     ///
@@ -793,14 +988,199 @@ impl NetworkServer {
         let Some(store) = self.tail.store.clone() else {
             return Ok(());
         };
+        self.drain_snapshots()?;
         let seq = self.tail.global_seq;
         let frames = self.tail.frames_cumulative.clone();
-        for shard in &self.tail.shards {
+        for shard in &mut self.tail.shards {
             let snapshot = shard.snapshot_state(seq, &frames).encode();
             let mut wal = store.shard(shard.index).lock().expect("shard wal poisoned");
             wal.install_snapshot(&snapshot).map_err(SoftLoraError::from)?;
+            shard.since_snapshot = 0;
         }
         Ok(())
+    }
+
+    /// Blocks until every background snapshot install has completed (a
+    /// no-op without persistence). Use before comparing on-disk state —
+    /// e.g. `repro_fsck` digests — so pending installs cannot race the
+    /// comparison.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when a background install failed.
+    pub fn drain_snapshots(&self) -> Result<(), SoftLoraError> {
+        if let Some(installer) = &self.installer {
+            installer.drain().map_err(SoftLoraError::from)?;
+        }
+        Ok(())
+    }
+
+    /// The store's replication epoch (0 without persistence). See
+    /// [`softlora_store::ShardedStore::epoch`]: the monotonic fencing
+    /// token replication uses to refuse a deposed primary's frames.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the epoch file is unreadable.
+    pub fn epoch(&self) -> Result<u64, SoftLoraError> {
+        match &self.tail.store {
+            Some(store) => store.epoch().map_err(SoftLoraError::from),
+            None => Ok(0),
+        }
+    }
+
+    /// Durably advances the store's replication epoch (a no-op without
+    /// persistence). Promotion calls this with `deposed_epoch + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the write fails or the epoch
+    /// would move backwards.
+    pub fn set_epoch(&self, epoch: u64) -> Result<(), SoftLoraError> {
+        if let Some(store) = &self.tail.store {
+            store.set_epoch(epoch).map_err(SoftLoraError::from)?;
+        }
+        Ok(())
+    }
+
+    /// The global commit sequence this tail has reached (0 before the
+    /// first committed group). Replication uses it to order records
+    /// shipped from shard-parallel commits.
+    pub fn global_seq(&self) -> u64 {
+        self.tail.global_seq
+    }
+
+    /// Reads the global commit sequence out of an encoded commit-record
+    /// payload without applying it — what a follower sorts its reorder
+    /// buffer by (shard-parallel sealing on the primary can interleave
+    /// the per-shard streams).
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the payload is too short to
+    /// carry a record header.
+    pub fn peek_replicated_seq(payload: &[u8]) -> Result<u64, SoftLoraError> {
+        let mut d = softlora_store::Decoder::new(payload);
+        let inner = |d: &mut softlora_store::Decoder<'_>| {
+            d.u8()?;
+            d.u64()
+        };
+        inner(&mut d).map_err(|e| SoftLoraError::from(StoreError::from(e)))
+    }
+
+    /// Applies one replicated commit record — the follower half of WAL
+    /// shipping. The record must be the next in global commit order
+    /// (`global_seq == last + 1`); the mutations re-run through the same
+    /// live-replay paths recovery uses, and the **original record
+    /// bytes** are appended to this server's own WAL, so a promoted
+    /// follower's store replays — and `repro_fsck`-digests — exactly
+    /// like the primary's. Returns the applied global sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] on an out-of-order record, a
+    /// gateway-count mismatch, an undecodable payload or a WAL failure.
+    pub fn apply_replicated_record(
+        &mut self,
+        shard: usize,
+        payload: &[u8],
+    ) -> Result<u64, SoftLoraError> {
+        let record = CommitRecord::decode(payload)?;
+        let expected = self.tail.global_seq + 1;
+        if record.global_seq != expected {
+            return Err(SoftLoraError::Persistence {
+                detail: format!(
+                    "replicated record {} arrived out of order (expected {expected})",
+                    record.global_seq
+                ),
+            });
+        }
+        if record.frames_cumulative.len() != self.fronts.len() {
+            return Err(SoftLoraError::Persistence {
+                detail: format!(
+                    "replicated record counts {} gateways, this server has {}",
+                    record.frames_cumulative.len(),
+                    self.fronts.len()
+                ),
+            });
+        }
+        if shard >= self.tail.shards.len() {
+            return Err(SoftLoraError::Persistence {
+                detail: format!(
+                    "replicated record for shard {shard} of a {}-shard server",
+                    self.tail.shards.len()
+                ),
+            });
+        }
+        let core = &mut self.tail.shards[shard];
+        core.apply_record(&record);
+        core.since_snapshot += 1;
+        if let Some(store) = &self.tail.store {
+            let mut wal = store.shard(shard).lock().expect("shard wal poisoned");
+            wal.append(payload).map_err(SoftLoraError::from)?;
+        }
+        self.tail.global_seq = record.global_seq;
+        for (front, &n) in self.fronts.iter_mut().zip(&record.frames_cumulative) {
+            front.frames_seen = n;
+        }
+        self.tail.frames_cumulative.clone_from(&record.frames_cumulative);
+        self.tail.committed_groups += 1;
+        self.tail.observed_stats = self.tail.stats();
+        Ok(record.global_seq)
+    }
+
+    /// Installs a replica snapshot at a primary's snapshot marker: the
+    /// shard's current state is captured with the marker's `global_seq`
+    /// and frame indices, so the snapshot bytes are bit-identical to the
+    /// ones the primary installed at the same point. Call when the
+    /// shard's WAL head equals the marker's `covered_seq` — applying any
+    /// further record first would capture a different state.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the shard's WAL head is not
+    /// at the marker, or the install fails.
+    pub fn install_replica_snapshot(
+        &mut self,
+        shard: usize,
+        covered_seq: u64,
+        global_seq: u64,
+        frames_cumulative: &[u64],
+    ) -> Result<(), SoftLoraError> {
+        let Some(store) = self.tail.store.clone() else {
+            return Err(SoftLoraError::Persistence {
+                detail: "replica snapshot on a server without persistence".into(),
+            });
+        };
+        let core = &mut self.tail.shards[shard];
+        let snapshot = core.snapshot_state(global_seq, frames_cumulative).encode();
+        let mut wal = store.shard(shard).lock().expect("shard wal poisoned");
+        if wal.last_seq() != covered_seq {
+            return Err(SoftLoraError::Persistence {
+                detail: format!(
+                    "snapshot marker covers shard-{shard} record {covered_seq} but the replica \
+                     is at {}",
+                    wal.last_seq()
+                ),
+            });
+        }
+        wal.install_snapshot(&snapshot).map_err(SoftLoraError::from)?;
+        core.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Simulates a hard kill for crash-recovery tests and failover
+    /// drills: background workers are stopped (a real crash takes them
+    /// down with the process) and everything else is leaked **without
+    /// flushing**, so the store holds exactly what the per-batch flushes
+    /// and group-commit fsyncs made durable — no tidy shutdown flush
+    /// papering over the crash window.
+    pub fn abandon(mut self) {
+        self.committer.take();
+        if let Some(installer) = self.installer.take() {
+            installer.shutdown();
+        }
+        std::mem::forget(self);
     }
 
     /// Rebuilds the tail from a freshly opened store: every shard decodes
@@ -879,6 +1259,9 @@ impl NetworkServer {
         let mut newest: Option<(u64, Vec<u64>)> = None;
         for (k, (snapshot, records)) in decoded.into_iter().enumerate() {
             let shard = &mut self.tail.shards[k];
+            // The snapshot trigger resumes where the WAL tail left off —
+            // the same counter state an uninterrupted run would carry.
+            shard.since_snapshot = records.len() as u64;
             let mut last: Option<(u64, Vec<u64>)> = None;
             if let Some(snapshot) = snapshot {
                 shard.restore_snapshot(&snapshot);
@@ -1038,31 +1421,40 @@ impl NetworkServer {
             .map(|(shard, list)| Mutex::new((shard, list)))
             .collect();
         let metas_ref = &metas;
-        let committed: Vec<Vec<(usize, Result<CommitOutcome, SoftLoraError>)>> = tasks
+        type ShardCommits = Vec<(usize, Result<CommitOutcome, SoftLoraError>)>;
+        let committed: Vec<(ShardCommits, Option<SoftLoraError>)> = tasks
             .par_iter()
             .map(|task| {
                 let mut guard = task.lock().expect("shard task poisoned");
                 let (shard, list) = &mut *guard;
                 let list = std::mem::take(list);
                 let mut out = Vec::with_capacity(list.len());
+                let mut aborted = false;
                 for (i, fronts_of_group) in list {
                     let (_, seq, frames) = &metas_ref[i];
                     let result = shard.commit(&groups[i], fronts_of_group, *seq, frames);
                     let failed = result.is_err();
                     out.push((i, result));
                     if failed {
+                        aborted = true;
                         break;
                     }
                 }
-                out
+                // One coalesced WAL frame per shard per batch.
+                let seal_error = if aborted { None } else { shard.seal_frame().err() };
+                (out, seal_error)
             })
             .collect();
         drop(tasks);
         let mut by_group: Vec<Option<Result<CommitOutcome, SoftLoraError>>> =
             groups.iter().map(|_| None).collect();
-        for list in committed {
+        let mut seal_failure: Option<SoftLoraError> = None;
+        for (list, seal_error) in committed {
             for (i, result) in list {
                 by_group[i] = Some(result);
+            }
+            if let Some(e) = seal_error {
+                seal_failure.get_or_insert(e);
             }
         }
 
@@ -1090,6 +1482,14 @@ impl NetworkServer {
         // failing copy; the tail metadata must agree for the next batch.
         self.tail.frames_cumulative = self.fronts.iter().map(|f| f.frames_seen).collect();
 
+        // A seal failure happened *after* every in-memory commit of its
+        // shard succeeded: the verdicts above are real, but the batch
+        // reports the persistence failure like any other.
+        if failure.is_none() {
+            if let Some(e) = seal_failure {
+                failure = Some((groups.last().map_or(0, |g| g.uplink), e));
+            }
+        }
         self.tail.flush_store()?;
         if let Some((uplink, e)) = failure {
             self.tail.notify_error(uplink, &e);
@@ -1152,9 +1552,9 @@ impl ShardCore {
             eviction: ops.eviction.clone(),
         };
 
-        let Some(store) = self.store.clone() else {
+        if self.store.is_none() {
             return Ok(outcome);
-        };
+        }
         let (mac_accepted, mac_rejected) = self.mac.frame_counts();
         let record = CommitRecord {
             global_seq,
@@ -1169,15 +1569,70 @@ impl ShardCore {
             mac_fcnt: ops.mac_fcnt,
             eviction: ops.eviction.map(|e| (e.dev_addr, e.history)),
         };
-        self.wal_buf.clear();
+        // Buffer the record as one inner-framed run entry; the frame is
+        // sealed (one header, one CRC, one write) by `seal_frame` at the
+        // batch boundary.
+        let mark = self.wal_buf.mark_len();
         record.encode_into(&mut self.wal_buf);
-        let mut wal = store.shard(self.index).lock().expect("shard wal poisoned");
-        wal.append(self.wal_buf.as_bytes()).map_err(SoftLoraError::from)?;
-        if wal.records_since_snapshot() >= self.snapshot_every {
-            let snapshot = self.snapshot_state(global_seq, frames_cumulative).encode();
-            wal.install_snapshot(&snapshot).map_err(SoftLoraError::from)?;
-        }
+        self.wal_buf.patch_len(mark);
+        self.pending_count += 1;
+        self.last_global_seq = global_seq;
+        self.last_frames.clear();
+        self.last_frames.extend_from_slice(frames_cumulative);
         Ok(outcome)
+    }
+
+    /// Seals the records buffered since the last seal into one coalesced
+    /// WAL frame, announces it to the replication hook, and — when the
+    /// snapshot interval elapsed — schedules a background snapshot and
+    /// emits its marker. Called once per shard per committed batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftLoraError::Persistence`] when the WAL append fails (the
+    /// in-memory commits have already happened).
+    pub(crate) fn seal_frame(&mut self) -> Result<(), SoftLoraError> {
+        if self.pending_count == 0 {
+            return Ok(());
+        }
+        let store = self.store.clone().expect("pending records imply a store");
+        let count = self.pending_count;
+        let (first, covered) = {
+            let mut wal = store.shard(self.index).lock().expect("shard wal poisoned");
+            let first =
+                wal.append_batch(self.wal_buf.as_bytes(), count).map_err(SoftLoraError::from)?;
+            (first, wal.last_seq())
+        };
+        if let Some(hook) = &self.hook {
+            hook.on_frame(self.index, first, count, self.wal_buf.as_bytes());
+        }
+        self.wal_buf.clear();
+        self.pending_count = 0;
+        self.since_snapshot += count;
+        if self.since_snapshot >= self.snapshot_every {
+            self.since_snapshot = 0;
+            let snapshot = self.snapshot_state(self.last_global_seq, &self.last_frames);
+            if let Some(installer) = &self.installer {
+                installer.enqueue(self.index, covered, snapshot);
+            } else {
+                let bytes = snapshot.encode();
+                store
+                    .shard(self.index)
+                    .lock()
+                    .expect("shard wal poisoned")
+                    .install_snapshot_at(&bytes, covered)
+                    .map_err(SoftLoraError::from)?;
+            }
+            if let Some(hook) = &self.hook {
+                hook.on_snapshot_marker(
+                    self.index,
+                    covered,
+                    self.last_global_seq,
+                    &self.last_frames,
+                );
+            }
+        }
+        Ok(())
     }
 
     /// This shard's full tail state as a snapshot payload.

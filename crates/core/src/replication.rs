@@ -1,0 +1,149 @@
+//! Commit-stream hooks and the background snapshot installer — the two
+//! pieces that decouple the durable tail from the commit path.
+//!
+//! * [`CommitHook`] is the server's outbound replication surface: every
+//!   sealed WAL frame (one coalesced frame per shard per committed
+//!   batch) and every snapshot marker is announced to the hook, in
+//!   shard-local order. `softlora-ha`'s shipper implements it to tail
+//!   the primary's WAL onto the wire without the server knowing what a
+//!   follower is.
+//! * `SnapshotInstaller` (crate-private) moves snapshot installation off the commit
+//!   path: the committing shard captures its state (cheap, in-memory)
+//!   and enqueues; the encode, the fsync'd file write and the segment
+//!   compaction all happen on one background thread. `snapshot_now`
+//!   stays synchronous for tests — it drains the installer first so the
+//!   on-disk store is deterministic afterwards.
+
+use crate::persist::ShardSnapshot;
+use softlora_store::{ShardedStore, StoreError};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Hooks the durable tail calls as it seals WAL frames — the feed a
+/// WAL-shipping replicator subscribes to. Calls arrive from whichever
+/// thread commits the shard (batch commits run shard-parallel), hence
+/// `Send + Sync`; per shard, calls are strictly ordered.
+pub trait CommitHook: Send + Sync {
+    /// One coalesced WAL frame was appended to `shard`'s log: `count`
+    /// records occupying shard-local sequences `first..first + count`,
+    /// with `payload` the frame's inner-framed record run (exactly the
+    /// bytes [`softlora_store::ShardWal::append_batch`] wrote).
+    fn on_frame(&self, shard: usize, first: u64, count: u64, payload: &[u8]);
+
+    /// `shard` scheduled a snapshot covering shard-local records
+    /// `1..=covered_seq`, capturing the server at `global_seq` with the
+    /// per-gateway frame indices in `frames_cumulative`. A follower
+    /// installing its own snapshot at exactly this point produces
+    /// bit-identical snapshot bytes — which is what keeps `repro_fsck`
+    /// digests equal between primary and caught-up follower.
+    fn on_snapshot_marker(
+        &self,
+        shard: usize,
+        covered_seq: u64,
+        global_seq: u64,
+        frames_cumulative: &[u64],
+    );
+}
+
+enum InstallerMsg {
+    Install { shard: usize, covered_seq: u64, snapshot: Box<ShardSnapshot> },
+    Drain(mpsc::Sender<()>),
+}
+
+/// The background snapshot-installation thread: see the module docs.
+pub(crate) struct SnapshotInstaller {
+    tx: Mutex<Option<mpsc::Sender<InstallerMsg>>>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// First error the installer hit (a failed install never corrupts —
+    /// the WAL still holds every record — but the caller should know
+    /// compaction stalled).
+    error: Arc<Mutex<Option<StoreError>>>,
+}
+
+impl SnapshotInstaller {
+    pub(crate) fn spawn(store: Arc<ShardedStore>) -> Self {
+        let (tx, rx) = mpsc::channel::<InstallerMsg>();
+        let error: Arc<Mutex<Option<StoreError>>> = Arc::new(Mutex::new(None));
+        let error_slot = Arc::clone(&error);
+        let thread = std::thread::Builder::new()
+            .name("snapshot-install".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        InstallerMsg::Install { shard, covered_seq, snapshot } => {
+                            let bytes = snapshot.encode();
+                            let result = store
+                                .shard(shard)
+                                .lock()
+                                .expect("shard wal poisoned")
+                                .install_snapshot_at(&bytes, covered_seq);
+                            if let Err(e) = result {
+                                let mut slot =
+                                    error_slot.lock().expect("installer error lock poisoned");
+                                slot.get_or_insert(e);
+                            }
+                        }
+                        InstallerMsg::Drain(reply) => {
+                            let _ = reply.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn snapshot-install thread");
+        SnapshotInstaller { tx: Mutex::new(Some(tx)), thread: Mutex::new(Some(thread)), error }
+    }
+
+    /// Enqueues one shard snapshot for background installation. After
+    /// shutdown the job is silently dropped — the WAL still holds every
+    /// record, so only compaction is lost.
+    pub(crate) fn enqueue(&self, shard: usize, covered_seq: u64, snapshot: ShardSnapshot) {
+        let tx = self.tx.lock().expect("installer sender poisoned");
+        if let Some(tx) = tx.as_ref() {
+            let _ =
+                tx.send(InstallerMsg::Install { shard, covered_seq, snapshot: Box::new(snapshot) });
+        }
+    }
+
+    /// Blocks until every enqueued install has completed and surfaces
+    /// the first install error, if any.
+    pub(crate) fn drain(&self) -> Result<(), StoreError> {
+        let reply = {
+            let tx = self.tx.lock().expect("installer sender poisoned");
+            let Some(tx) = tx.as_ref() else {
+                return Ok(());
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(InstallerMsg::Drain(reply_tx)).is_err() {
+                return Ok(());
+            }
+            reply_rx
+        };
+        let _ = reply.recv();
+        self.error.lock().expect("installer error lock poisoned").take().map_or(Ok(()), Err)
+    }
+
+    /// Finishes queued installs and joins the thread. Idempotent; also
+    /// runs on drop. Explicit shutdown matters for simulated crashes
+    /// ([`crate::NetworkServer::abandon`]): the shards' `Arc`s are
+    /// leaked there, so thread teardown cannot wait for the last `Arc`.
+    pub(crate) fn shutdown(&self) {
+        let tx = self.tx.lock().expect("installer sender poisoned").take();
+        drop(tx);
+        let thread = self.thread.lock().expect("installer thread poisoned").take();
+        if let Some(thread) = thread {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SnapshotInstaller {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for SnapshotInstaller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotInstaller").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,157 @@
+//! WAL-shipping replication, group-commit durability and live failover
+//! for the sharded device-state store.
+//!
+//! A SoftLoRa network server is the authority for attack verdicts: it
+//! owns the FB database, the dedup window and the MAC counters. Losing
+//! it mid-deployment loses the attack-detection state the paper's whole
+//! scheme depends on. This crate keeps a warm standby bit-for-bit in
+//! sync without the primary ever blocking on it:
+//!
+//! * [`protocol`] — the replication wire format: CRC-framed datagrams
+//!   (`SUBSCRIBE`, `SEGMENT_CHUNK`, `SNAP_MARK`, `HEARTBEAT`, `ACK`,
+//!   `EPOCH_HANDOFF`) in the same versioned-magic discipline as
+//!   `softlora-net`'s gateway protocol, but under their own magic so a
+//!   misrouted datagram can never be confused for gateway traffic;
+//! * [`shipper`] — [`Shipper`] implements the server's
+//!   [`CommitHook`]: every coalesced WAL frame the primary seals (one
+//!   per shard per committed batch) and every snapshot marker is
+//!   shipped to the follower as it happens, with go-back-N resend
+//!   driven by cumulative acks;
+//! * [`follower`] — [`Follower`] owns a standby [`NetworkServer`] and
+//!   applies the stream through the **same live-replay paths crash
+//!   recovery uses**, reordering shard-parallel commits by global
+//!   sequence and installing its own snapshots at the primary's marker
+//!   points — so a `repro_fsck` digest of the follower's store equals
+//!   the primary's.
+//!
+//! Failover is [`Follower::promote`]: the standby durably advances the
+//! replication **epoch** (a monotonic fencing token persisted in the
+//! store) and announces the handoff. A zombie primary still shipping
+//! frames under the old epoch is refused by every surviving party —
+//! its shipper fences itself on the first `EPOCH_HANDOFF` it hears.
+//!
+//! [`CommitHook`]: softlora::CommitHook
+//! [`NetworkServer`]: softlora::NetworkServer
+
+#![warn(missing_docs)]
+
+pub mod follower;
+pub mod protocol;
+pub mod shipper;
+
+pub use follower::Follower;
+pub use protocol::{decode_frame, encode_frame, Frame};
+pub use shipper::{Shipper, ShipperConfig};
+
+use softlora::SoftLoraError;
+use softlora_store::CodecError;
+
+/// Everything that can go wrong on the replication path.
+#[derive(Debug)]
+pub enum HaError {
+    /// A primitive failed to decode (truncated buffer, bad presence byte).
+    Codec(CodecError),
+    /// The datagram was too short to hold even the fixed header + CRC.
+    TooShort {
+        /// Bytes in the datagram.
+        len: usize,
+    },
+    /// The magic bytes did not identify a replication datagram.
+    BadMagic {
+        /// The first two bytes, little-endian.
+        found: u16,
+    },
+    /// The protocol version byte is unknown.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The frame-type byte is unknown.
+    BadFrameType {
+        /// The type byte found.
+        found: u8,
+    },
+    /// The trailing CRC-32 did not match the frame bytes.
+    BadCrc {
+        /// CRC computed over the frame bytes.
+        expected: u32,
+        /// CRC carried by the datagram.
+        found: u32,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes {
+        /// Undecoded byte count.
+        remaining: usize,
+    },
+    /// A chunk's inner record run was malformed (a record length header
+    /// pointed past the end of the payload).
+    CorruptRecordRun {
+        /// Byte offset of the malformed record header.
+        offset: usize,
+    },
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The standby server refused a record or snapshot install.
+    Server(SoftLoraError),
+    /// This party has been fenced by a higher epoch — a promotion
+    /// happened elsewhere and this stream is dead.
+    Fenced {
+        /// The epoch that fenced us.
+        epoch: u64,
+    },
+}
+
+impl std::fmt::Display for HaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HaError::Codec(e) => write!(f, "codec error: {e}"),
+            HaError::TooShort { len } => write!(f, "datagram too short: {len} bytes"),
+            HaError::BadMagic { found } => write!(f, "bad magic {found:#06x}"),
+            HaError::BadVersion { found } => write!(f, "unknown protocol version {found}"),
+            HaError::BadFrameType { found } => write!(f, "unknown frame type {found:#04x}"),
+            HaError::BadCrc { expected, found } => {
+                write!(f, "CRC mismatch: computed {expected:#010x}, datagram carried {found:#010x}")
+            }
+            HaError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after payload")
+            }
+            HaError::CorruptRecordRun { offset } => {
+                write!(f, "malformed record run at byte {offset}")
+            }
+            HaError::Io(e) => write!(f, "socket error: {e}"),
+            HaError::Server(e) => write!(f, "server error: {e}"),
+            HaError::Fenced { epoch } => {
+                write!(f, "fenced by epoch {epoch}: a newer primary exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HaError::Codec(e) => Some(e),
+            HaError::Io(e) => Some(e),
+            HaError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for HaError {
+    fn from(e: CodecError) -> Self {
+        HaError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for HaError {
+    fn from(e: std::io::Error) -> Self {
+        HaError::Io(e)
+    }
+}
+
+impl From<SoftLoraError> for HaError {
+    fn from(e: SoftLoraError) -> Self {
+        HaError::Server(e)
+    }
+}

@@ -1,0 +1,341 @@
+//! The replication wire format.
+//!
+//! Same datagram discipline as `softlora-net`'s gateway protocol —
+//! little-endian primitives through `softlora-store`'s
+//! [`Encoder`]/[`Decoder`], a fixed header, a trailing CRC-32 — but
+//! under its own magic (`0x5253`, "SR") and version, so replication
+//! traffic and gateway traffic can never be mistaken for each other
+//! even when misrouted:
+//!
+//! | magic  | version | type |     payload     | crc32 |
+//! |--------|---------|------|-----------------|-------|
+//! | 2 B    | 1 B     | 1 B  | type-dependent  | 4 B   |
+//!
+//! Frame types:
+//!
+//! | type byte | frame | direction | payload |
+//! |-----------|-------|-----------|---------|
+//! | `0x00` | `SUBSCRIBE` | follower → primary | follower id, epoch, resume stream seq |
+//! | `0x01` | `SEGMENT_CHUNK` | primary → follower | epoch, stream seq, shard, first, count, coalesced record run |
+//! | `0x02` | `SNAP_MARK` | primary → follower | epoch, stream seq, shard, covered seq, global seq, frame indices |
+//! | `0x03` | `HEARTBEAT` | primary → follower | epoch, next stream seq |
+//! | `0x04` | `ACK` | follower → primary | epoch, cumulative acked stream seq |
+//! | `0x05` | `EPOCH_HANDOFF` | promoted follower → old primary | new epoch |
+//!
+//! Every primary→follower frame carries the primary's **epoch**: the
+//! monotone fencing token the store persists. A receiver refuses any
+//! frame whose epoch is below its own — that single rule is the whole
+//! zombie-primary defence.
+//!
+//! `SEGMENT_CHUNK` carries the coalesced WAL frame payload **verbatim**
+//! (the `[rec_len u32][record bytes]` run `ShardWal::append_batch`
+//! wrote), so the follower appends the exact record bytes the primary
+//! logged and the two stores digest identically.
+//!
+//! [`Encoder`]: softlora_store::Encoder
+//! [`Decoder`]: softlora_store::Decoder
+
+use crate::HaError;
+use softlora_store::codec::{crc32, Decoder, Encoder};
+
+/// Magic bytes: `0x5253`, "SR" little-endian.
+pub const MAGIC: u16 = 0x5253;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header length: magic (2) + version (1) + type (1).
+pub const HEADER_LEN: usize = 4;
+/// Trailer length: CRC-32.
+pub const TRAILER_LEN: usize = 4;
+
+const TYPE_SUBSCRIBE: u8 = 0x00;
+const TYPE_SEGMENT_CHUNK: u8 = 0x01;
+const TYPE_SNAP_MARK: u8 = 0x02;
+const TYPE_HEARTBEAT: u8 = 0x03;
+const TYPE_ACK: u8 = 0x04;
+const TYPE_EPOCH_HANDOFF: u8 = 0x05;
+
+/// One replication datagram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Follower announces itself (and where its stream resumes).
+    Subscribe {
+        /// Follower identity (free-form; metrics label fodder).
+        follower_id: u64,
+        /// The follower's current epoch.
+        epoch: u64,
+        /// First stream sequence the follower still needs.
+        resume_from: u64,
+    },
+    /// One coalesced WAL frame, shipped as the primary sealed it.
+    SegmentChunk {
+        /// Shipping primary's epoch.
+        epoch: u64,
+        /// Position in the replication stream (starts at 1).
+        stream_seq: u64,
+        /// Shard whose WAL the frame was appended to.
+        shard: u32,
+        /// Shard-local sequence of the first record in the run.
+        first: u64,
+        /// Records in the run.
+        count: u64,
+        /// The `[rec_len u32][record bytes]` run, verbatim.
+        payload: Vec<u8>,
+    },
+    /// The primary scheduled a snapshot: the follower should install its
+    /// own at exactly this point.
+    SnapMark {
+        /// Shipping primary's epoch.
+        epoch: u64,
+        /// Position in the replication stream (starts at 1).
+        stream_seq: u64,
+        /// Shard being snapshotted.
+        shard: u32,
+        /// The snapshot covers shard-local records `1..=covered_seq`.
+        covered_seq: u64,
+        /// Global commit sequence captured by the snapshot.
+        global_seq: u64,
+        /// Per-gateway cumulative frame indices at the capture point.
+        frames_cumulative: Vec<u64>,
+    },
+    /// Liveness + lag signal when no commits are flowing.
+    Heartbeat {
+        /// Shipping primary's epoch.
+        epoch: u64,
+        /// The stream sequence the primary will assign next.
+        next_stream_seq: u64,
+    },
+    /// Cumulative acknowledgement: everything `<= acked_through` is
+    /// applied (or buffered durably) on the follower.
+    Ack {
+        /// Follower's epoch.
+        epoch: u64,
+        /// Highest contiguously received stream sequence.
+        acked_through: u64,
+    },
+    /// A follower was promoted under `epoch`; whoever receives this and
+    /// holds a lower epoch must stop shipping.
+    EpochHandoff {
+        /// The new (higher) epoch.
+        epoch: u64,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Subscribe { .. } => TYPE_SUBSCRIBE,
+            Frame::SegmentChunk { .. } => TYPE_SEGMENT_CHUNK,
+            Frame::SnapMark { .. } => TYPE_SNAP_MARK,
+            Frame::Heartbeat { .. } => TYPE_HEARTBEAT,
+            Frame::Ack { .. } => TYPE_ACK,
+            Frame::EpochHandoff { .. } => TYPE_EPOCH_HANDOFF,
+        }
+    }
+}
+
+/// Encodes a frame into a fresh datagram buffer.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u16(MAGIC).u8(VERSION).u8(frame.type_byte());
+    match frame {
+        Frame::Subscribe { follower_id, epoch, resume_from } => {
+            e.u64(*follower_id).u64(*epoch).u64(*resume_from);
+        }
+        Frame::SegmentChunk { epoch, stream_seq, shard, first, count, payload } => {
+            e.u64(*epoch).u64(*stream_seq).u32(*shard).u64(*first).u64(*count).bytes(payload);
+        }
+        Frame::SnapMark {
+            epoch,
+            stream_seq,
+            shard,
+            covered_seq,
+            global_seq,
+            frames_cumulative,
+        } => {
+            e.u64(*epoch).u64(*stream_seq).u32(*shard).u64(*covered_seq).u64(*global_seq);
+            e.u32(frames_cumulative.len() as u32);
+            for &n in frames_cumulative {
+                e.u64(n);
+            }
+        }
+        Frame::Heartbeat { epoch, next_stream_seq } => {
+            e.u64(*epoch).u64(*next_stream_seq);
+        }
+        Frame::Ack { epoch, acked_through } => {
+            e.u64(*epoch).u64(*acked_through);
+        }
+        Frame::EpochHandoff { epoch } => {
+            e.u64(*epoch);
+        }
+    }
+    let crc = crc32(e.as_bytes());
+    e.u32(crc);
+    e.into_bytes()
+}
+
+/// Decodes one datagram.
+///
+/// Never panics on any input; every malformation maps to a structured
+/// [`HaError`] variant (CRC is checked before anything else is trusted).
+///
+/// # Errors
+///
+/// See the [`HaError`] variants.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, HaError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(HaError::TooShort { len: bytes.len() });
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - TRAILER_LEN);
+    let found = u32::from_le_bytes(crc_bytes.try_into().expect("split_at(4)"));
+    let expected = crc32(body);
+    if expected != found {
+        return Err(HaError::BadCrc { expected, found });
+    }
+
+    let mut d = Decoder::new(body);
+    let magic = d.u16()?;
+    if magic != MAGIC {
+        return Err(HaError::BadMagic { found: magic });
+    }
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(HaError::BadVersion { found: version });
+    }
+    let frame_type = d.u8()?;
+    let frame = match frame_type {
+        TYPE_SUBSCRIBE => {
+            Frame::Subscribe { follower_id: d.u64()?, epoch: d.u64()?, resume_from: d.u64()? }
+        }
+        TYPE_SEGMENT_CHUNK => Frame::SegmentChunk {
+            epoch: d.u64()?,
+            stream_seq: d.u64()?,
+            shard: d.u32()?,
+            first: d.u64()?,
+            count: d.u64()?,
+            payload: d.bytes()?.to_vec(),
+        },
+        TYPE_SNAP_MARK => {
+            let epoch = d.u64()?;
+            let stream_seq = d.u64()?;
+            let shard = d.u32()?;
+            let covered_seq = d.u64()?;
+            let global_seq = d.u64()?;
+            let count = d.u32()? as usize;
+            let mut frames_cumulative = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                frames_cumulative.push(d.u64()?);
+            }
+            Frame::SnapMark { epoch, stream_seq, shard, covered_seq, global_seq, frames_cumulative }
+        }
+        TYPE_HEARTBEAT => Frame::Heartbeat { epoch: d.u64()?, next_stream_seq: d.u64()? },
+        TYPE_ACK => Frame::Ack { epoch: d.u64()?, acked_through: d.u64()? },
+        TYPE_EPOCH_HANDOFF => Frame::EpochHandoff { epoch: d.u64()? },
+        other => return Err(HaError::BadFrameType { found: other }),
+    };
+    // `body` still carries the 4 header bytes the decoder consumed, so
+    // `remaining` counts only undecoded payload bytes.
+    if !d.is_exhausted() {
+        return Err(HaError::TrailingBytes { remaining: d.remaining() });
+    }
+    Ok(frame)
+}
+
+/// Splits a coalesced WAL frame payload back into its records — the
+/// `[rec_len u32][record bytes]` run `ShardWal::append_batch` wrote.
+///
+/// # Errors
+///
+/// [`HaError::CorruptRecordRun`] when a length header is truncated or
+/// points past the end of the payload.
+pub fn split_record_run(payload: &[u8]) -> Result<Vec<&[u8]>, HaError> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < payload.len() {
+        if payload.len() - off < 4 {
+            return Err(HaError::CorruptRecordRun { offset: off });
+        }
+        let len =
+            u32::from_le_bytes(payload[off..off + 4].try_into().expect("4-byte slice")) as usize;
+        off += 4;
+        if payload.len() - off < len {
+            return Err(HaError::CorruptRecordRun { offset: off });
+        }
+        records.push(&payload[off..off + len]);
+        off += len;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let decoded = decode_frame(&bytes).expect("round trip");
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Subscribe { follower_id: 7, epoch: 3, resume_from: 101 });
+        round_trip(Frame::SegmentChunk {
+            epoch: 2,
+            stream_seq: 41,
+            shard: 1,
+            first: 17,
+            count: 3,
+            payload: vec![4, 0, 0, 0, 0xAA, 0xBB, 0xCC, 0xDD],
+        });
+        round_trip(Frame::SnapMark {
+            epoch: 2,
+            stream_seq: 42,
+            shard: 0,
+            covered_seq: 20,
+            global_seq: 39,
+            frames_cumulative: vec![11, 28],
+        });
+        round_trip(Frame::Heartbeat { epoch: 5, next_stream_seq: 43 });
+        round_trip(Frame::Ack { epoch: 5, acked_through: 42 });
+        round_trip(Frame::EpochHandoff { epoch: 6 });
+    }
+
+    #[test]
+    fn corruption_is_refused() {
+        let mut bytes = encode_frame(&Frame::Heartbeat { epoch: 1, next_stream_seq: 9 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(decode_frame(&bytes), Err(HaError::BadCrc { .. })));
+        assert!(matches!(decode_frame(&bytes[..3]), Err(HaError::TooShort { .. })));
+
+        // Wrong magic: a gateway-protocol datagram must be refused even
+        // though it carries a valid CRC in the same trailer position.
+        let mut alien = Encoder::new();
+        alien.u16(0x4E53).u8(1).u8(0);
+        let crc = crc32(alien.as_bytes());
+        alien.u32(crc);
+        assert!(matches!(decode_frame(&alien.into_bytes()), Err(HaError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn record_runs_split_and_refuse_truncation() {
+        let mut run = Vec::new();
+        for rec in [&b"alpha"[..], &b"bee"[..], &b""[..]] {
+            run.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+            run.extend_from_slice(rec);
+        }
+        let records = split_record_run(&run).expect("well-formed run");
+        assert_eq!(records, vec![&b"alpha"[..], &b"bee"[..], &b""[..]]);
+
+        assert!(matches!(
+            split_record_run(&run[..run.len() - 5]),
+            Err(HaError::CorruptRecordRun { .. })
+        ));
+        let mut overlong = run.clone();
+        let n = overlong.len();
+        overlong[n - 4] = 0xFF;
+        assert!(matches!(split_record_run(&overlong), Err(HaError::CorruptRecordRun { .. })));
+    }
+}

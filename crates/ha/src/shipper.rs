@@ -1,0 +1,276 @@
+//! Primary-side WAL shipping: a [`CommitHook`] that tails the sealed
+//! commit stream onto the wire.
+//!
+//! The shipper is attached at build time
+//! (`NetworkServerBuilder::commit_hook`) and is called synchronously
+//! from whichever thread seals each shard's coalesced WAL frame. The
+//! send is one non-blocking UDP datagram — the primary never waits on
+//! the follower; durability-wise the follower is an *option*, not a
+//! quorum. Reliability comes from the pending queue: every shipped
+//! frame stays queued until the follower's cumulative [`Frame::Ack`]
+//! covers it, and [`Shipper::pump`] retransmits the whole unacked
+//! window (go-back-N — the follower processes the stream strictly in
+//! order, so selective repeat buys nothing) once the oldest entry has
+//! waited out the resend timer.
+//!
+//! **Fencing**: the first [`Frame::EpochHandoff`] carrying a higher
+//! epoch than ours marks this shipper dead — a standby was promoted.
+//! From then on every hook call is dropped on the floor; a zombie
+//! primary can keep committing locally but ships nothing.
+//!
+//! [`CommitHook`]: softlora::CommitHook
+
+use crate::protocol::{decode_frame, encode_frame, Frame};
+use crate::HaError;
+use softlora::CommitHook;
+use softlora_telemetry::Counter;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the shipper.
+#[derive(Debug, Clone)]
+pub struct ShipperConfig {
+    /// Retransmit the unacked window when its oldest frame has waited
+    /// this long without a covering ack.
+    pub resend_after: Duration,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> Self {
+        ShipperConfig { resend_after: Duration::from_millis(50) }
+    }
+}
+
+struct Pending {
+    stream_seq: u64,
+    datagram: Vec<u8>,
+    sent_at: Instant,
+}
+
+struct ShipperInner {
+    socket: UdpSocket,
+    follower: SocketAddr,
+    epoch: u64,
+    /// Stream sequence the next shipped frame gets (starts at 1).
+    next_stream_seq: u64,
+    pending: VecDeque<Pending>,
+    /// `Some(epoch)` once a higher-epoch handoff fenced this shipper.
+    fenced_by: Option<u64>,
+    resend_after: Duration,
+}
+
+struct ShipperMetrics {
+    shipped_bytes: Counter,
+    shipped_records: Counter,
+    markers_shipped: Counter,
+    heartbeats: Counter,
+    resends: Counter,
+}
+
+impl ShipperMetrics {
+    fn new() -> Self {
+        let registry = softlora_telemetry::global();
+        let counter = |name: &str| registry.counter_with(name, &[("role", "primary")]);
+        ShipperMetrics {
+            shipped_bytes: counter("ha_shipped_bytes_total"),
+            shipped_records: counter("ha_shipped_records_total"),
+            markers_shipped: counter("ha_markers_shipped_total"),
+            heartbeats: counter("ha_heartbeats_total"),
+            resends: counter("ha_resends_total"),
+        }
+    }
+}
+
+/// The primary's replication half: ships every sealed WAL frame and
+/// snapshot marker to one follower. See the module docs.
+pub struct Shipper {
+    inner: Mutex<ShipperInner>,
+    metrics: ShipperMetrics,
+}
+
+impl Shipper {
+    /// Binds an ephemeral loopback socket shipping to `follower`,
+    /// stamping every frame with `epoch` (the primary's current store
+    /// epoch — `NetworkServer::epoch()`).
+    ///
+    /// # Errors
+    ///
+    /// [`HaError::Io`] when the socket cannot be bound.
+    pub fn new(follower: SocketAddr, epoch: u64, config: ShipperConfig) -> Result<Self, HaError> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_nonblocking(true)?;
+        Ok(Shipper {
+            inner: Mutex::new(ShipperInner {
+                socket,
+                follower,
+                epoch,
+                next_stream_seq: 1,
+                pending: VecDeque::new(),
+                fenced_by: None,
+                resend_after: config.resend_after,
+            }),
+            metrics: ShipperMetrics::new(),
+        })
+    }
+
+    /// The shipper's local socket address (where acks and handoffs must
+    /// be sent).
+    ///
+    /// # Errors
+    ///
+    /// [`HaError::Io`] when the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, HaError> {
+        Ok(self.inner.lock().expect("shipper lock poisoned").socket.local_addr()?)
+    }
+
+    /// Frames shipped but not yet covered by a cumulative ack.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().expect("shipper lock poisoned").pending.len()
+    }
+
+    /// `Some(epoch)` once a higher-epoch handoff fenced this shipper.
+    #[must_use]
+    pub fn fenced_by(&self) -> Option<u64> {
+        self.inner.lock().expect("shipper lock poisoned").fenced_by
+    }
+
+    /// Ships one already-encoded frame and queues it for resend. Called
+    /// under the inner lock, which is what serialises the stream
+    /// sequence across shard-parallel commit threads.
+    fn ship(inner: &mut ShipperInner, metrics: &ShipperMetrics, frame: &Frame) {
+        let datagram = encode_frame(frame);
+        // A send failure is not fatal: the datagram stays pending and
+        // the resend timer re-ships it on the next pump.
+        let _ = inner.socket.send_to(&datagram, inner.follower);
+        metrics.shipped_bytes.add(datagram.len() as u64);
+        let stream_seq = inner.next_stream_seq;
+        inner.next_stream_seq += 1;
+        inner.pending.push_back(Pending { stream_seq, datagram, sent_at: Instant::now() });
+    }
+
+    /// Drains incoming acks/handoffs and retransmits the unacked window
+    /// if its oldest frame has waited out the resend timer.
+    ///
+    /// # Errors
+    ///
+    /// [`HaError::Fenced`] once a higher-epoch handoff has fenced this
+    /// shipper (the pending queue is dropped — those commits now belong
+    /// to the new primary's history).
+    pub fn pump(&self) -> Result<(), HaError> {
+        let mut inner = self.inner.lock().expect("shipper lock poisoned");
+        let inner = &mut *inner;
+        let mut buf = [0u8; 2048];
+        loop {
+            match inner.socket.recv_from(&mut buf) {
+                Ok((len, src)) => {
+                    let Ok(frame) = decode_frame(&buf[..len]) else { continue };
+                    match frame {
+                        Frame::Ack { epoch, acked_through } if epoch >= inner.epoch => {
+                            while inner
+                                .pending
+                                .front()
+                                .is_some_and(|p| p.stream_seq <= acked_through)
+                            {
+                                inner.pending.pop_front();
+                            }
+                        }
+                        Frame::EpochHandoff { epoch } if epoch > inner.epoch => {
+                            inner.fenced_by = Some(epoch);
+                            inner.pending.clear();
+                        }
+                        Frame::Subscribe { resume_from, .. } => {
+                            // (Re)registration: adopt the source address
+                            // and replay everything it still needs.
+                            inner.follower = src;
+                            let resend: Vec<Vec<u8>> = inner
+                                .pending
+                                .iter()
+                                .filter(|p| p.stream_seq >= resume_from)
+                                .map(|p| p.datagram.clone())
+                                .collect();
+                            for datagram in resend {
+                                let _ = inner.socket.send_to(&datagram, inner.follower);
+                                self.metrics.resends.inc();
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(HaError::Io(e)),
+            }
+        }
+        if let Some(epoch) = inner.fenced_by {
+            return Err(HaError::Fenced { epoch });
+        }
+        let stale =
+            inner.pending.front().is_some_and(|p| p.sent_at.elapsed() >= inner.resend_after);
+        if stale {
+            let now = Instant::now();
+            let follower = inner.follower;
+            for p in &mut inner.pending {
+                let _ = inner.socket.send_to(&p.datagram, follower);
+                p.sent_at = now;
+                self.metrics.resends.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Ships a heartbeat carrying the epoch and the next stream
+    /// sequence, so an idle follower can tell lag from silence.
+    pub fn heartbeat(&self) {
+        let inner = self.inner.lock().expect("shipper lock poisoned");
+        if inner.fenced_by.is_some() {
+            return;
+        }
+        let frame = Frame::Heartbeat { epoch: inner.epoch, next_stream_seq: inner.next_stream_seq };
+        let _ = inner.socket.send_to(&encode_frame(&frame), inner.follower);
+        self.metrics.heartbeats.inc();
+    }
+}
+
+impl CommitHook for Shipper {
+    fn on_frame(&self, shard: usize, first: u64, count: u64, payload: &[u8]) {
+        let mut inner = self.inner.lock().expect("shipper lock poisoned");
+        if inner.fenced_by.is_some() {
+            return;
+        }
+        let frame = Frame::SegmentChunk {
+            epoch: inner.epoch,
+            stream_seq: inner.next_stream_seq,
+            shard: shard as u32,
+            first,
+            count,
+            payload: payload.to_vec(),
+        };
+        Self::ship(&mut inner, &self.metrics, &frame);
+        self.metrics.shipped_records.add(count);
+    }
+
+    fn on_snapshot_marker(
+        &self,
+        shard: usize,
+        covered_seq: u64,
+        global_seq: u64,
+        frames_cumulative: &[u64],
+    ) {
+        let mut inner = self.inner.lock().expect("shipper lock poisoned");
+        if inner.fenced_by.is_some() {
+            return;
+        }
+        let frame = Frame::SnapMark {
+            epoch: inner.epoch,
+            stream_seq: inner.next_stream_seq,
+            shard: shard as u32,
+            covered_seq,
+            global_seq,
+            frames_cumulative: frames_cumulative.to_vec(),
+        };
+        Self::ship(&mut inner, &self.metrics, &frame);
+        self.metrics.markers_shipped.inc();
+    }
+}

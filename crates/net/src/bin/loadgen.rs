@@ -18,7 +18,9 @@
 use softlora::NetworkServer;
 use softlora_attack::FrameDelayAttack;
 use softlora_net::listener::{NetServer, NetServerConfig};
-use softlora_net::loadgen::{replay_fleet, LoadgenConfig};
+use softlora_net::loadgen::{
+    replay_fleet, replay_fleet_open_loop, LoadgenConfig, SweepPoint, SweepReport,
+};
 use softlora_net::protocol::{decode_frame, encode_frame, Frame};
 use softlora_net::NetError;
 use softlora_phy::{PhyConfig, SpreadingFactor};
@@ -37,6 +39,9 @@ struct Args {
     persist: Option<String>,
     out: Option<String>,
     quiet: bool,
+    /// Offered rates (uplink groups/s) for the open-loop Poisson sweep;
+    /// empty = closed-loop replay only.
+    sweep_rates: Vec<f64>,
 }
 
 impl Default for Args {
@@ -52,6 +57,7 @@ impl Default for Args {
             persist: None,
             out: None,
             quiet: false,
+            sweep_rates: Vec::new(),
         }
     }
 }
@@ -60,7 +66,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--gateways N] [--devices N] [--sim-duration-s S] \
          [--attack-at S | --no-attack] [--loud-gateways K] [--shards N] \
-         [--copies-per-datagram N] [--persist DIR] [--out FILE] [--quiet]"
+         [--copies-per-datagram N] [--persist DIR] [--out FILE] [--quiet] \
+         [--sweep R1,R2,...]"
     );
     std::process::exit(2);
 }
@@ -88,6 +95,12 @@ fn parse_args() -> Args {
             "--persist" => args.persist = Some(value()),
             "--out" => args.out = Some(value()),
             "--quiet" => args.quiet = true,
+            "--sweep" => {
+                args.sweep_rates = value()
+                    .split(',')
+                    .map(|r| r.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -137,7 +150,7 @@ fn build_scenario(args: &Args) -> Scenario {
     scenario
 }
 
-fn build_server(scenario: &Scenario, args: &Args) -> NetworkServer {
+fn build_server(scenario: &Scenario, args: &Args, persist: bool) -> NetworkServer {
     let mut builder = NetworkServer::builder(phy()).adc_quantisation(false).warmup_frames(2);
     for g in 0..args.gateways {
         builder = builder.gateway(g as u64 + 1);
@@ -149,8 +162,10 @@ fn build_server(scenario: &Scenario, args: &Args) -> NetworkServer {
         let cfg = scenario.device_config(k).clone();
         builder = builder.provision(cfg.dev_addr, cfg.keys);
     }
-    if let Some(dir) = &args.persist {
-        builder = builder.with_persistence(dir);
+    if persist {
+        if let Some(dir) = &args.persist {
+            builder = builder.with_persistence(dir);
+        }
     }
     match builder.try_build() {
         Ok(server) => server,
@@ -159,6 +174,36 @@ fn build_server(scenario: &Scenario, args: &Args) -> NetworkServer {
             std::process::exit(1);
         }
     }
+}
+
+/// One open-loop point: fresh listener, Poisson replay at `rate`,
+/// orderly shutdown, achieved throughput from the listener's own commit
+/// counter over the replay wall clock.
+fn sweep_point(
+    scenario: &Scenario,
+    groups: &[UplinkDeliveries],
+    args: &Args,
+    config: &LoadgenConfig,
+    rate: f64,
+    seed: u64,
+) -> Result<SweepPoint, NetError> {
+    // Sweep points run without persistence: the store dir belongs to the
+    // closed-loop run CI fscks afterwards.
+    let server = build_server(scenario, args, false);
+    let net = NetServer::bind(server, NetServerConfig::default())?;
+    let data_addr = net.data_addr()?;
+    let ctrl_addr = net.ctrl_addr()?;
+    let listener = std::thread::spawn(move || net.run());
+    let report = replay_fleet_open_loop(groups, args.gateways, data_addr, config, rate, seed)?;
+    let ctrl = UdpSocket::bind("127.0.0.1:0")?;
+    ctrl.connect(ctrl_addr)?;
+    ctrl.set_read_timeout(Some(Duration::from_secs(5)))?;
+    ctrl.send(&encode_frame(&Frame::Shutdown { token: 9 }))?;
+    let mut buf = [0u8; 256];
+    let _ = ctrl.recv(&mut buf)?;
+    let run_report = listener.join().expect("listener thread panicked")?;
+    let achieved = run_report.counters.groups_committed as f64 / report.elapsed_s.max(1e-9);
+    Ok(SweepPoint { offered_per_s: rate, achieved_per_s: achieved, report })
 }
 
 fn main() {
@@ -184,19 +229,49 @@ fn run(args: &Args) -> Result<(), NetError> {
         );
     }
 
-    // 2. Stand the listener up on loopback.
-    let server = build_server(&scenario, args);
+    // 2. Open-loop Poisson rate sweep (when requested): offered vs
+    //    achieved throughput per rate, and the saturation knee.
+    let sweep = if args.sweep_rates.is_empty() {
+        None
+    } else {
+        let config = LoadgenConfig {
+            copies_per_datagram: args.copies_per_datagram,
+            ..LoadgenConfig::default()
+        };
+        let mut points = Vec::new();
+        for (k, &rate) in args.sweep_rates.iter().enumerate() {
+            let point = sweep_point(&scenario, &groups, args, &config, rate, 0x5EED + k as u64)?;
+            if !args.quiet {
+                eprintln!(
+                    "loadgen: sweep {} groups/s offered -> {:.0} achieved, ingest p99 {} µs",
+                    rate, point.achieved_per_s, point.report.latency.p99_us
+                );
+            }
+            points.push(point);
+        }
+        let sweep = SweepReport::from_points(points);
+        if !args.quiet {
+            match sweep.knee_per_s {
+                Some(knee) => eprintln!("loadgen: saturation knee ~{knee} groups/s offered"),
+                None => eprintln!("loadgen: saturated at every swept rate"),
+            }
+        }
+        Some(sweep)
+    };
+
+    // 3. Stand the listener up on loopback.
+    let server = build_server(&scenario, args, true);
     let net = NetServer::bind(server, NetServerConfig::default())?;
     let data_addr = net.data_addr()?;
     let ctrl_addr = net.ctrl_addr()?;
     let listener = std::thread::spawn(move || net.run());
 
-    // 3. Replay the fleet from N concurrent gateway sockets.
+    // 4. Replay the fleet from N concurrent gateway sockets.
     let config =
         LoadgenConfig { copies_per_datagram: args.copies_per_datagram, ..LoadgenConfig::default() };
     let report = replay_fleet(&groups, args.gateways, data_addr, &config)?;
 
-    // 4. Pull live stats over the ctrl endpoint, then shut down.
+    // 5. Pull live stats over the ctrl endpoint, then shut down.
     let ctrl = UdpSocket::bind("127.0.0.1:0")?;
     ctrl.connect(ctrl_addr)?;
     ctrl.set_read_timeout(Some(Duration::from_secs(5)))?;
@@ -225,14 +300,14 @@ fn run(args: &Args) -> Result<(), NetError> {
     let _ = ctrl.recv(&mut buf)?;
     let run_report = listener.join().expect("listener thread panicked")?;
 
-    // 5. Flush persistence so a follow-up fsck sees a clean store.
+    // 6. Flush persistence so a follow-up fsck sees a clean store.
     if args.persist.is_some() {
         run_report.server.sync_persistence().map_err(NetError::Server)?;
     }
 
     let counters = run_report.counters;
     let server_stats = run_report.server.stats();
-    let json = format!(
+    let mut json = format!(
         concat!(
             "{{\"loadgen\":{},\"listener\":{{\"datagrams\":{},\"push_data\":{},",
             "\"keepalives\":{},\"duplicate_datagrams\":{},\"out_of_order_datagrams\":{},",
@@ -261,6 +336,10 @@ fn run(args: &Args) -> Result<(), NetError> {
         server_stats.not_received,
         snapshot.to_json(),
     );
+    if let Some(sweep) = &sweep {
+        json.pop();
+        json.push_str(&format!(",\"sweep\":{}}}", sweep.to_json()));
+    }
     if let Some(path) = &args.out {
         std::fs::write(path, &json)?;
     }

@@ -37,10 +37,12 @@ pub mod protocol;
 
 pub use export::gateway_streams;
 pub use listener::{NetRunReport, NetServer, NetServerConfig};
-pub use loadgen::{LatencySummary, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    LatencySummary, LoadgenConfig, LoadgenReport, SweepPoint, SweepReport, SWEEP_P99_BUDGET_US,
+};
 pub use protocol::{
-    decode_frame, encode_frame, Frame, NetCounters, PushData, WireBlockStats, WireDelivery,
-    WireRuntime, WireStats, WireUplink,
+    decode_frame, encode_frame, Frame, NetCounters, PushData, ServerRole, WireBlockStats,
+    WireDelivery, WireRuntime, WireStats, WireUplink,
 };
 
 use softlora_store::CodecError;

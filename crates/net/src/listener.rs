@@ -42,8 +42,8 @@
 //! the listener never panics on wire input.
 
 use crate::protocol::{
-    decode_frame, encode_frame_into, Frame, NetCounters, PushData, WireRuntime, WireStats,
-    WireUplink,
+    decode_frame, encode_frame_into, Frame, NetCounters, PushData, ServerRole, WireRuntime,
+    WireStats, WireUplink,
 };
 use crate::NetError;
 use softlora::{NetworkServer, ServerVerdict};
@@ -536,6 +536,22 @@ impl NetServer {
                         self.send_ctrl(&Frame::MetricsResp { token, snapshot }, from)?;
                     }
                     Ok(Frame::Shutdown { token }) => return Ok(Some((token, from))),
+                    Ok(Frame::RoleReq { token }) => {
+                        let epoch = self.server.epoch().map_err(NetError::Server)?;
+                        let resp = Frame::RoleResp { token, role: ServerRole::Primary, epoch };
+                        self.send_ctrl(&resp, from)?;
+                    }
+                    Ok(Frame::Promote { token, epoch }) => {
+                        // A listener always fronts a committing (primary)
+                        // tail; `PROMOTE` here just advances the fencing
+                        // epoch so a deposed predecessor's shipped frames
+                        // are refused from now on. An epoch regression is
+                        // reported as the current role/epoch unchanged.
+                        let _ = self.server.set_epoch(epoch);
+                        let epoch = self.server.epoch().map_err(NetError::Server)?;
+                        let resp = Frame::RoleResp { token, role: ServerRole::Primary, epoch };
+                        self.send_ctrl(&resp, from)?;
+                    }
                     Ok(_) => self.metrics.rejected_other.inc(),
                     Err(e) => self.count_rejection(&e),
                 },

@@ -12,6 +12,17 @@
 //!
 //! The report carries sustained throughput plus p50/p90/p99/p999 latency
 //! and serialises itself to JSON for CI artifacts.
+//!
+//! Besides the closed-loop (lock-step) mode there is an **open-loop**
+//! mode ([`replay_fleet_open_loop`]): each gateway sends at a Poisson
+//! process of a configured offered rate, never waiting for acks, so the
+//! fleet keeps offering load whether or not the listener keeps up — the
+//! standard way to find a server's **saturation knee**. A rate sweep
+//! ([`SweepReport`]) replays the same stream at increasing offered rates
+//! and reports the last rate the listener sustained — sustained meaning
+//! p99 ingest latency within [`SWEEP_P99_BUDGET_US`], since in open
+//! loop the offered rate is met by construction and overload surfaces
+//! as queueing delay, not throughput shortfall.
 
 use crate::export::gateway_streams;
 use crate::protocol::{decode_frame, encode_frame_into, Frame, PushData, WireUplink};
@@ -148,6 +159,105 @@ struct GatewayRun {
     copies: u64,
 }
 
+/// One offered rate of a sweep: what was offered, what was sustained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered uplink-group rate (fleet-wide Poisson), groups/s.
+    pub offered_per_s: f64,
+    /// Achieved committed-group rate, groups/s.
+    pub achieved_per_s: f64,
+    /// The full open-loop run behind the point.
+    pub report: LoadgenReport,
+}
+
+/// An open-loop rate sweep: the classic offered-vs-achieved curve plus
+/// the saturation knee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One point per offered rate, in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// The highest offered rate the listener sustained; `None` when
+    /// even the lowest rate saturated. See [`SweepReport::from_points`]
+    /// for the criterion.
+    pub knee_per_s: Option<f64>,
+}
+
+/// The sustained-rate criterion: p99 ingest latency at or under this
+/// budget. In an **open-loop** sweep the offered rate is met by
+/// construction (senders never wait), so saturation shows up not as a
+/// throughput shortfall but as queueing — acks lag, p99 ingest latency
+/// explodes. 20 ms is an order of magnitude above the unloaded p99 on
+/// loopback and far below the blow-up past the knee.
+pub const SWEEP_P99_BUDGET_US: u64 = 20_000;
+
+impl SweepReport {
+    /// Derives the knee from a finished point set: the last offered
+    /// rate (in sweep order, before the first saturated one) whose p99
+    /// ingest latency stayed within [`SWEEP_P99_BUDGET_US`].
+    #[must_use]
+    pub fn from_points(points: Vec<SweepPoint>) -> Self {
+        let knee_per_s = points
+            .iter()
+            .take_while(|p| p.report.latency.p99_us <= SWEEP_P99_BUDGET_US)
+            .last()
+            .map(|p| p.offered_per_s);
+        SweepReport { points, knee_per_s }
+    }
+
+    /// Serialises the sweep as a JSON object (hand-rolled — the
+    /// workspace is dependency-free).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"offered_per_s\":{:.3},\"achieved_per_s\":{:.3},\"run\":{}}}",
+                p.offered_per_s,
+                p.achieved_per_s,
+                p.report.to_json()
+            ));
+        }
+        out.push_str("],\"knee_per_s\":");
+        match self.knee_per_s {
+            Some(knee) => out.push_str(&format!("{knee:.3}")),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A tiny deterministic xorshift64* stream for Poisson interarrival
+/// gaps — the load generator must not pull in an RNG dependency, and
+/// reproducible sweeps beat "real" randomness here.
+struct GapRng(u64);
+
+impl GapRng {
+    fn new(seed: u64) -> Self {
+        GapRng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// An exponential gap with the given mean (inverse-CDF sampling).
+    fn exp_gap(&mut self, mean: Duration) -> Duration {
+        // Uniform in (0, 1]: never ln(0).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let u = u.max(f64::MIN_POSITIVE);
+        mean.mul_f64(-u.ln())
+    }
+}
+
 /// Replays a fleet group stream against a listener at `data_addr` from
 /// `gateway_count` concurrent sockets and reports throughput + latency.
 ///
@@ -198,6 +308,176 @@ pub fn replay_fleet(
         copies_per_s: copies as f64 / elapsed_s.max(1e-9),
         latency: LatencySummary::from_samples(latencies),
     })
+}
+
+/// Replays a fleet group stream **open-loop**: each gateway offers its
+/// datagrams on an independent Poisson process sized so the fleet-wide
+/// offered rate is `offered_per_s` uplink groups per second, never
+/// waiting for acks between datagrams. Acks are drained asynchronously
+/// for latency samples; only the final barrier-release keepalive is sent
+/// lock-step (so the listener's commit barrier always opens). Past the
+/// saturation knee the listener's queues grow, acks lag and the run
+/// stretches beyond the offered schedule — which is exactly the signal
+/// [`SweepReport`] detects.
+///
+/// Datagrams are **not** retransmitted (open loop): a drop under
+/// overload surfaces as an incomplete group at the listener, not as
+/// back-pressure on the generator.
+///
+/// # Errors
+///
+/// Socket failures, or [`NetError::AckTimeout`] when the final
+/// barrier-release keepalive is never acknowledged.
+pub fn replay_fleet_open_loop(
+    groups: &[UplinkDeliveries],
+    gateway_count: usize,
+    data_addr: SocketAddr,
+    config: &LoadgenConfig,
+    offered_per_s: f64,
+    seed: u64,
+) -> Result<LoadgenReport, NetError> {
+    let streams = gateway_streams(groups, gateway_count);
+    let target_s = groups.len() as f64 / offered_per_s.max(1e-9);
+    let started = Instant::now();
+    let runs: Vec<Result<GatewayRun, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(gateway, stream)| {
+                let gw_seed = seed ^ (gateway as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                scope.spawn(move || {
+                    run_gateway_open_loop(
+                        gateway as u32,
+                        stream,
+                        data_addr,
+                        config,
+                        target_s,
+                        gw_seed,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("gateway thread panicked")).collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut datagrams = 0u64;
+    let mut retries = 0u64;
+    let mut copies = 0u64;
+    for run in runs {
+        let run = run?;
+        latencies.extend(run.latencies_us);
+        datagrams += run.datagrams;
+        retries += run.retries;
+        copies += run.copies;
+    }
+    let uplinks = groups.len() as u64;
+    Ok(LoadgenReport {
+        gateways: gateway_count,
+        uplinks,
+        copies,
+        datagrams,
+        retries,
+        elapsed_s,
+        uplinks_per_s: uplinks as f64 / elapsed_s.max(1e-9),
+        copies_per_s: copies as f64 / elapsed_s.max(1e-9),
+        latency: LatencySummary::from_samples(latencies),
+    })
+}
+
+/// One gateway's open-loop (Poisson-paced, no ack wait) replay loop.
+fn run_gateway_open_loop(
+    gateway: u32,
+    stream: Vec<WireUplink>,
+    data_addr: SocketAddr,
+    config: &LoadgenConfig,
+    target_s: f64,
+    seed: u64,
+) -> Result<GatewayRun, NetError> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.connect(data_addr)?;
+    socket.set_nonblocking(true)?;
+
+    let mut run = GatewayRun { latencies_us: Vec::new(), datagrams: 0, retries: 0, copies: 0 };
+    let mut scratch = Encoder::new();
+    let mut rng = GapRng::new(seed);
+    let chunk_size = config.copies_per_datagram.max(1);
+    let chunks: Vec<&[WireUplink]> = stream.chunks(chunk_size).collect();
+    let mean = Duration::from_secs_f64(target_s / chunks.len().max(1) as f64);
+    let mut sent_at: std::collections::HashMap<u64, Instant> = std::collections::HashMap::new();
+
+    let mut next_send = Instant::now();
+    for (k, chunk) in chunks.iter().enumerate() {
+        let watermark = chunks.get(k + 1).map_or(u64::MAX, |next| next[0].uplink);
+        let seq = k as u64;
+        let frame = Frame::PushData(PushData { gateway, seq, watermark, uplinks: chunk.to_vec() });
+        next_send += rng.exp_gap(mean);
+        loop {
+            drain_acks(&socket, &mut sent_at, &mut run)?;
+            let now = Instant::now();
+            if now >= next_send {
+                break;
+            }
+            std::thread::sleep((next_send - now).min(Duration::from_millis(1)));
+        }
+        scratch.clear();
+        encode_frame_into(&frame, &mut scratch);
+        sent_at.insert(seq, Instant::now());
+        socket.send(scratch.as_bytes())?;
+        run.datagrams += 1;
+        run.copies += chunk.len() as u64;
+    }
+
+    // Release the fleet barrier reliably: one lock-step keepalive with
+    // the full-release watermark (duplicate-safe whether or not the last
+    // data datagram survived).
+    socket.set_nonblocking(false)?;
+    socket.set_read_timeout(Some(config.ack_timeout))?;
+    let final_seq = chunks.len() as u64;
+    let release = Frame::PullData { gateway, seq: final_seq, watermark: u64::MAX };
+    send_acked(&socket, &mut scratch, &release, gateway, final_seq, config, &mut run)?;
+
+    // One more timeout window for straggling data acks (their latency
+    // samples are the interesting ones near saturation).
+    socket.set_nonblocking(true)?;
+    let deadline = Instant::now() + config.ack_timeout;
+    while !sent_at.is_empty() && Instant::now() < deadline {
+        drain_acks(&socket, &mut sent_at, &mut run)?;
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    Ok(run)
+}
+
+/// Drains every ack currently queued on a non-blocking socket, matching
+/// them to outstanding send times for latency samples.
+fn drain_acks(
+    socket: &UdpSocket,
+    sent_at: &mut std::collections::HashMap<u64, Instant>,
+    run: &mut GatewayRun,
+) -> Result<(), NetError> {
+    let mut buf = [0u8; 256];
+    loop {
+        match socket.recv(&mut buf) {
+            Ok(len) => {
+                if let Ok(Frame::PushAck { seq, .. } | Frame::PullAck { seq, .. }) =
+                    decode_frame(&buf[..len])
+                {
+                    if let Some(sent) = sent_at.remove(&seq) {
+                        run.latencies_us
+                            .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(());
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
 }
 
 /// One gateway's lock-step replay loop.
@@ -311,6 +591,54 @@ mod tests {
         assert_eq!(s.p50_us, 501);
         assert_eq!(s.p99_us, 990);
         assert_eq!(s.max_us, 1000);
+    }
+
+    #[test]
+    fn sweep_knee_is_the_last_sustained_rate() {
+        let run = LoadgenReport {
+            gateways: 1,
+            uplinks: 10,
+            copies: 10,
+            datagrams: 10,
+            retries: 0,
+            elapsed_s: 1.0,
+            uplinks_per_s: 10.0,
+            copies_per_s: 10.0,
+            latency: LatencySummary::default(),
+        };
+        let point = |offered: f64, p99_us: u64| SweepPoint {
+            offered_per_s: offered,
+            achieved_per_s: offered,
+            report: LoadgenReport {
+                latency: LatencySummary { p99_us, ..LatencySummary::default() },
+                ..run.clone()
+            },
+        };
+        // Ingest p99 stays in budget at 100 and 200, explodes at 400.
+        let sweep = SweepReport::from_points(vec![
+            point(100.0, 900),
+            point(200.0, SWEEP_P99_BUDGET_US),
+            point(400.0, 48_000),
+        ]);
+        assert_eq!(sweep.knee_per_s, Some(200.0));
+        let json = sweep.to_json();
+        assert!(json.contains("\"knee_per_s\":200.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // Saturated from the first point: no knee.
+        let sweep = SweepReport::from_points(vec![point(100.0, SWEEP_P99_BUDGET_US + 1)]);
+        assert_eq!(sweep.knee_per_s, None);
+        assert!(sweep.to_json().contains("\"knee_per_s\":null"));
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_requested_mean() {
+        let mut rng = GapRng::new(21);
+        let mean = Duration::from_micros(500);
+        let n = 20_000;
+        let total: Duration = (0..n).map(|_| rng.exp_gap(mean)).sum();
+        let observed_us = total.as_secs_f64() * 1e6 / f64::from(n);
+        assert!((observed_us - 500.0).abs() < 25.0, "mean gap {observed_us:.1} µs");
     }
 
     #[test]

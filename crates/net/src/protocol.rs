@@ -24,11 +24,21 @@
 //! | `0x06` | `SHUTDOWN` | ctrl → server | opaque token |
 //! | `0x07` | `METRICS_REQ` | ctrl → server | opaque token |
 //! | `0x08` | `METRICS_RESP` | server → ctrl | token, full telemetry registry snapshot |
+//! | `0x09` | `ROLE_REQ` | ctrl → server | opaque token |
+//! | `0x0A` | `ROLE_RESP` | server → ctrl | token, role byte, replication epoch |
+//! | `0x0B` | `PROMOTE` | ctrl → server | token, epoch to fence the deposed primary at |
 //!
 //! Version 2 extends `STATS_RESP` with the runtime block section and adds
 //! the `METRICS_REQ`/`METRICS_RESP` pair, which serializes the whole
 //! process-wide [`softlora_telemetry`] registry — every counter, gauge
 //! and log2-bucketed latency histogram — over the store codec.
+//!
+//! The `ROLE_REQ`/`ROLE_RESP`/`PROMOTE` trio is the ctrl plane of
+//! `softlora-ha`'s failover: an operator (or orchestrator) asks a
+//! listener which role its tail currently plays and at which replication
+//! epoch, and tells a follower's listener to promote. These frames add
+//! no payload encodings beyond existing primitives, so the version byte
+//! stays 2 — old peers reject them cleanly as unknown types.
 //!
 //! Decoding never panics: every malformed input maps to a structured
 //! [`NetError`] so the listener can count rejections instead of dying.
@@ -64,6 +74,29 @@ const TYPE_STATS_RESP: u8 = 0x05;
 const TYPE_SHUTDOWN: u8 = 0x06;
 const TYPE_METRICS_REQ: u8 = 0x07;
 const TYPE_METRICS_RESP: u8 = 0x08;
+const TYPE_ROLE_REQ: u8 = 0x09;
+const TYPE_ROLE_RESP: u8 = 0x0A;
+const TYPE_PROMOTE: u8 = 0x0B;
+
+/// The replication role a listener's server tail currently plays, as
+/// carried in `ROLE_RESP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRole {
+    /// This tail commits uplinks itself (and may ship its WAL).
+    Primary = 0,
+    /// This tail applies a primary's shipped WAL.
+    Follower = 1,
+}
+
+impl ServerRole {
+    fn from_byte(b: u8) -> Result<Self, NetError> {
+        match b {
+            0 => Ok(ServerRole::Primary),
+            1 => Ok(ServerRole::Follower),
+            found => Err(NetError::BadFrameType { found }),
+        }
+    }
+}
 
 const KIND_COUNTER: u8 = 0;
 const KIND_GAUGE: u8 = 1;
@@ -363,6 +396,30 @@ pub enum Frame {
         /// The process-wide registry, sampled live.
         snapshot: RegistrySnapshot,
     },
+    /// Replication-role query, ctrl → server.
+    RoleReq {
+        /// Opaque token echoed in the response.
+        token: u64,
+    },
+    /// Replication-role response, server → ctrl.
+    RoleResp {
+        /// The query's token.
+        token: u64,
+        /// The tail's current role.
+        role: ServerRole,
+        /// The tail's durable replication epoch.
+        epoch: u64,
+    },
+    /// Promotion order, ctrl → server: fence the deposed primary by
+    /// advancing to `epoch` and start committing as primary. Answered
+    /// with a `ROLE_RESP` reporting the post-promotion state.
+    Promote {
+        /// Opaque token echoed in the response.
+        token: u64,
+        /// The epoch to promote into (must exceed the deposed
+        /// primary's).
+        epoch: u64,
+    },
 }
 
 impl Frame {
@@ -377,6 +434,9 @@ impl Frame {
             Frame::Shutdown { .. } => TYPE_SHUTDOWN,
             Frame::MetricsReq { .. } => TYPE_METRICS_REQ,
             Frame::MetricsResp { .. } => TYPE_METRICS_RESP,
+            Frame::RoleReq { .. } => TYPE_ROLE_REQ,
+            Frame::RoleResp { .. } => TYPE_ROLE_RESP,
+            Frame::Promote { .. } => TYPE_PROMOTE,
         }
     }
 }
@@ -651,6 +711,15 @@ pub fn encode_frame_into(frame: &Frame, e: &mut Encoder) {
             e.u64(*token);
             encode_registry_snapshot(e, snapshot);
         }
+        Frame::RoleReq { token } => {
+            e.u64(*token);
+        }
+        Frame::RoleResp { token, role, epoch } => {
+            e.u64(*token).u8(*role as u8).u64(*epoch);
+        }
+        Frame::Promote { token, epoch } => {
+            e.u64(*token).u64(*epoch);
+        }
     }
     let crc = crc32(e.as_bytes());
     e.u32(crc);
@@ -714,6 +783,13 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
         TYPE_METRICS_RESP => {
             Frame::MetricsResp { token: d.u64()?, snapshot: decode_registry_snapshot(&mut d)? }
         }
+        TYPE_ROLE_REQ => Frame::RoleReq { token: d.u64()? },
+        TYPE_ROLE_RESP => Frame::RoleResp {
+            token: d.u64()?,
+            role: ServerRole::from_byte(d.u8()?)?,
+            epoch: d.u64()?,
+        },
+        TYPE_PROMOTE => Frame::Promote { token: d.u64()?, epoch: d.u64()? },
         found => return Err(NetError::BadFrameType { found }),
     };
     if !d.is_exhausted() {
@@ -793,6 +869,10 @@ mod tests {
             Frame::Shutdown { token: 1 },
             Frame::MetricsReq { token: 5 },
             Frame::MetricsResp { token: 5, snapshot: sample_snapshot() },
+            Frame::RoleReq { token: 6 },
+            Frame::RoleResp { token: 6, role: ServerRole::Primary, epoch: 3 },
+            Frame::RoleResp { token: 6, role: ServerRole::Follower, epoch: 4 },
+            Frame::Promote { token: 7, epoch: 5 },
         ];
         for frame in &frames {
             let bytes = encode_frame(frame);

@@ -17,12 +17,43 @@
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
 /// used by every record frame and snapshot in the store.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Incremental CRC-32 over discontiguous parts — the WAL's single-record
+/// append path checksums the inner length prefix and the payload without
+/// first copying them into one buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
     }
-    crc ^ 0xFFFF_FFFF
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        const TABLE: [u32; 256] = crc32_table();
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// The finished CRC-32 value.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 const fn crc32_table() -> [u32; 256] {
@@ -150,6 +181,25 @@ impl Encoder {
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.u32(u32::try_from(v.len()).expect("byte string longer than 4 GiB"));
         self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Reserves a `u32` length slot and returns its offset; encode the
+    /// framed content, then close the frame with [`Encoder::patch_len`].
+    /// The commit path uses this to build coalesced WAL frames — every
+    /// record is prefixed by its length without a second encode pass or a
+    /// temporary buffer.
+    pub fn mark_len(&mut self) -> usize {
+        let at = self.buf.len();
+        self.u32(0);
+        at
+    }
+
+    /// Back-patches the length slot reserved by [`Encoder::mark_len`]
+    /// with the number of bytes encoded since.
+    pub fn patch_len(&mut self, mark: usize) -> &mut Self {
+        let len = u32::try_from(self.buf.len() - mark - 4).expect("frame longer than 4 GiB");
+        self.buf[mark..mark + 4].copy_from_slice(&len.to_le_bytes());
         self
     }
 

@@ -1,0 +1,137 @@
+//! Interval-based group-commit fsync: a [`GroupCommitter`] background
+//! thread wakes every *durability window* and fsyncs the shards that
+//! accumulated appends since the last pass ([`crate::ShardedStore::sync_dirty`]).
+//!
+//! The commit path itself only buffers (`append` / `append_batch` write
+//! into the segment's `BufWriter`); the committer turns many commits
+//! into one fsync per shard per window. The window bounds data-at-risk:
+//! a crash loses at most the records appended inside the current window
+//! — the same contract as PostgreSQL's `commit_delay` or etcd's batched
+//! WAL sync. A zero window degenerates to sync-per-wakeup as fast as the
+//! thread can spin; callers wanting sync-per-commit should instead call
+//! [`crate::ShardedStore::sync`] inline and skip the committer.
+//!
+//! Shutdown is drain-first: dropping the committer (or calling
+//! [`GroupCommitter::stop`]) performs one final `sync_dirty`, so no
+//! buffered record is abandoned by a clean exit.
+
+use crate::{ShardedStore, StoreError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Handle to the background fsync thread: see the module docs.
+#[derive(Debug)]
+pub struct GroupCommitter {
+    inner: Arc<Inner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    store: Arc<ShardedStore>,
+    window: Duration,
+    stop: AtomicBool,
+    /// Wakes the thread early on stop (the mutex guards nothing but the
+    /// condvar's protocol).
+    gate: Mutex<()>,
+    bell: Condvar,
+    /// First error the background thread hit, surfaced by `stop`.
+    error: Mutex<Option<StoreError>>,
+}
+
+impl GroupCommitter {
+    /// Spawns the committer thread syncing `store`'s dirty shards every
+    /// `window`.
+    pub fn spawn(store: Arc<ShardedStore>, window: Duration) -> Self {
+        let inner = Arc::new(Inner {
+            store,
+            window,
+            stop: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            bell: Condvar::new(),
+            error: Mutex::new(None),
+        });
+        let worker = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("group-commit".into())
+            .spawn(move || worker.run())
+            .expect("spawn group-commit thread");
+        GroupCommitter { inner, thread: Some(thread) }
+    }
+
+    /// The configured durability window.
+    pub fn window(&self) -> Duration {
+        self.inner.window
+    }
+
+    /// Stops the thread after one final dirty-shard sync and surfaces
+    /// the first error it hit (a failed fsync means buffered records may
+    /// not be durable — callers treat it like a failed [`ShardedStore::sync`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`StoreError`] the background thread encountered.
+    pub fn stop(mut self) -> Result<(), StoreError> {
+        self.shutdown();
+        self.inner.error.lock().expect("committer error lock poisoned").take().map_or(Ok(()), Err)
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.bell.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for GroupCommitter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn run(&self) {
+        loop {
+            let guard = self.gate.lock().expect("committer gate poisoned");
+            let (_guard, _timeout) = self
+                .bell
+                .wait_timeout_while(guard, self.window, |()| !self.stop.load(Ordering::Acquire))
+                .expect("committer gate poisoned");
+            let stopping = self.stop.load(Ordering::Acquire);
+            if let Err(e) = self.store.sync_dirty() {
+                let mut slot = self.error.lock().expect("committer error lock poisoned");
+                slot.get_or_insert(e);
+            }
+            if stopping {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{test_dir, WalOptions};
+
+    #[test]
+    fn committer_syncs_within_the_window_and_drains_on_stop() {
+        let dir = test_dir("group-commit");
+        let store = Arc::new(ShardedStore::open(&dir, 2, WalOptions::default()).unwrap());
+        let _ = store.take_recovery();
+        let committer = GroupCommitter::spawn(Arc::clone(&store), Duration::from_millis(5));
+        store.shard(0).lock().unwrap().append(b"windowed").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.shard(0).lock().unwrap().unsynced_records() > 0 {
+            assert!(std::time::Instant::now() < deadline, "committer never synced");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Stop drains whatever is still buffered.
+        store.shard(1).lock().unwrap().append(b"draining").unwrap();
+        committer.stop().unwrap();
+        assert_eq!(store.shard(1).lock().unwrap().unsynced_records(), 0);
+    }
+}

@@ -14,7 +14,10 @@
 //!   snapshot, dropping a torn tail record after a crash mid-append;
 //! * [`store`] — [`ShardedStore`]: N hash-keyed shards
 //!   ([`shard_of`]) behind independent locks, so a shard-parallel server
-//!   tail persists without cross-shard contention.
+//!   tail persists without cross-shard contention;
+//! * [`group_commit`] — [`GroupCommitter`]: a background thread turning
+//!   many buffered commits into one fsync per shard per durability
+//!   window.
 //!
 //! The store is intentionally application-agnostic: records and
 //! snapshots are opaque byte payloads; the `softlora` core crate encodes
@@ -22,10 +25,12 @@
 //! with the [`codec`] primitives.
 
 pub mod codec;
+pub mod group_commit;
 pub mod store;
 pub mod wal;
 
-pub use codec::{crc32, CodecError, Decoder, Encoder};
+pub use codec::{crc32, CodecError, Crc32, Decoder, Encoder};
+pub use group_commit::GroupCommitter;
 pub use store::{peek_shard_count, shard_of, ShardedStore};
 pub use wal::{Recovery, ShardWal, WalOptions};
 

@@ -154,6 +154,65 @@ impl ShardedStore {
         }
         Ok(())
     }
+
+    /// Fsyncs only the shards with unsynced appends — the group
+    /// committer's periodic pass. Clean shards are not touched (no
+    /// no-op fsync syscalls, no histogram pollution).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when any dirty shard's sync fails.
+    pub fn sync_dirty(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            let mut wal = shard.lock().expect("shard wal poisoned");
+            if wal.unsynced_records() > 0 {
+                wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The store's replication epoch (0 until one is ever set). The
+    /// epoch is a monotonic fencing token: a promoted follower bumps it
+    /// past its dead primary's, and replication refuses frames stamped
+    /// with an older epoch — a zombie primary cannot overwrite history.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the epoch file cannot be read, and
+    /// [`StoreError::Corrupt`] when it holds garbage.
+    pub fn epoch(&self) -> Result<u64, StoreError> {
+        let path = self.dir.join("epoch");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| StoreError::Corrupt { path, detail: "unreadable epoch file".into() }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Durably records a new replication epoch. Refuses to move the
+    /// epoch backwards — fencing tokens only advance.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] when `epoch` is lower than the stored one,
+    /// [`StoreError::Io`] when the write fails.
+    pub fn set_epoch(&self, epoch: u64) -> Result<(), StoreError> {
+        let current = self.epoch()?;
+        if epoch < current {
+            return Err(StoreError::Config {
+                detail: format!("epoch may only advance: stored {current}, requested {epoch}"),
+            });
+        }
+        let path = self.dir.join("epoch");
+        let tmp = self.dir.join("epoch.tmp");
+        std::fs::write(&tmp, format!("{epoch}\n"))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +269,32 @@ mod tests {
             Err(StoreError::ShardCountMismatch { on_disk: 3, requested: 5, .. }) => {}
             other => panic!("expected ShardCountMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn epoch_persists_and_only_advances() {
+        let dir = test_dir("store-epoch");
+        {
+            let store = ShardedStore::open(&dir, 2, WalOptions::default()).unwrap();
+            assert_eq!(store.epoch().unwrap(), 0, "a fresh store starts at epoch 0");
+            store.set_epoch(3).unwrap();
+            assert_eq!(store.epoch().unwrap(), 3);
+            assert!(matches!(store.set_epoch(2), Err(StoreError::Config { .. })));
+            store.set_epoch(3).unwrap();
+        }
+        let store = ShardedStore::open(&dir, 2, WalOptions::default()).unwrap();
+        assert_eq!(store.epoch().unwrap(), 3, "the epoch survives reopen");
+    }
+
+    #[test]
+    fn sync_dirty_clears_only_dirty_shards() {
+        let dir = test_dir("store-sync-dirty");
+        let store = ShardedStore::open(&dir, 2, WalOptions::default()).unwrap();
+        let _ = store.take_recovery();
+        store.shard(0).lock().unwrap().append(b"dirty").unwrap();
+        assert_eq!(store.shard(0).lock().unwrap().unsynced_records(), 1);
+        assert_eq!(store.shard(1).lock().unwrap().unsynced_records(), 0);
+        store.sync_dirty().unwrap();
+        assert_eq!(store.shard(0).lock().unwrap().unsynced_records(), 0);
     }
 }

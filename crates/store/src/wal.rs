@@ -16,23 +16,35 @@
 //! * A **segment** `wal-<first>.seg` is a run of record frames; `<first>`
 //!   (hex) is the sequence number of its first record, so segment
 //!   boundaries carry the numbering and no index file is needed.
-//! * A **record frame** is `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! * A **frame** is `[len: u32 LE][crc32(payload): u32 LE][payload]`, and
+//!   the payload is a **coalesced run of records**, each
+//!   `[rec_len: u32 LE][rec bytes]`. One [`ShardWal::append`] writes a
+//!   frame of one record; [`ShardWal::append_batch`] writes every record
+//!   a committed batch produced as **one frame — one header, one CRC, one
+//!   syscall run** — which is what cuts append overhead at group-commit
+//!   rates. Sequence numbers advance per *record*, so frame layout is
+//!   invisible to replay: the same records coalesced differently recover
+//!   to the same state.
 //! * A **snapshot** `snapshot-<seq>.snap` holds one frame whose payload is
-//!   the application state after applying records `1..=<seq>`; it is
-//!   written to a temp file and atomically renamed, after which fully
-//!   covered segments and older snapshots are deleted (compaction).
+//!   the application state after applying records `1..=<seq>` (raw, not
+//!   inner-framed); it is written to a temp file and atomically renamed,
+//!   after which fully covered segments and older snapshots are deleted
+//!   (compaction). [`ShardWal::install_snapshot_at`] installs a snapshot
+//!   *behind* the append head — the background-installer case — deleting
+//!   only fully covered segments.
 //!
 //! # Recovery
 //!
 //! [`ShardWal::open`] loads the newest intact snapshot, replays every
-//! record after it, and validates the chain. A **torn tail** — a record
-//! whose frame runs past the end of the *last* segment, or whose CRC fails
-//! on the final frame (a crash mid-write) — is dropped and the file is
-//! truncated back to the last intact record, so appends resume cleanly. A
-//! bad frame anywhere *else* is real corruption and surfaces as
-//! [`StoreError::Corrupt`].
+//! record after it, and validates the chain. A **torn tail** — a frame
+//! that runs past the end of the *last* segment, or whose CRC fails on
+//! the final frame (a crash mid-write) — is dropped **whole** (all of a
+//! coalesced frame's records are dropped together; the group either
+//! committed durably or did not) and the file is truncated back to the
+//! last intact frame, so appends resume cleanly. A bad frame anywhere
+//! *else* is real corruption and surfaces as [`StoreError::Corrupt`].
 
-use crate::codec::crc32;
+use crate::codec::{crc32, Crc32};
 use crate::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -47,6 +59,7 @@ const FRAME_HEADER: usize = 8;
 struct WalMetrics {
     append_ns: softlora_telemetry::Histogram,
     fsyncs: softlora_telemetry::Counter,
+    fsync_batch_records: softlora_telemetry::Histogram,
     segment_rotations: softlora_telemetry::Counter,
     snapshot_installs: softlora_telemetry::Counter,
     recovered_records: softlora_telemetry::Counter,
@@ -60,6 +73,7 @@ fn wal_metrics() -> &'static WalMetrics {
         WalMetrics {
             append_ns: registry.histogram("store_wal_append_ns"),
             fsyncs: registry.counter("store_fsyncs_total"),
+            fsync_batch_records: registry.histogram("store_fsync_batch_records"),
             segment_rotations: registry.counter("store_segment_rotations_total"),
             snapshot_installs: registry.counter("store_snapshot_installs_total"),
             recovered_records: registry.counter("store_recovered_records_total"),
@@ -126,6 +140,8 @@ pub struct ShardWal {
     next_seq: u64,
     /// Sequence covered by the newest installed snapshot.
     snapshot_seq: u64,
+    /// Records appended since the last fsync (group-commit accounting).
+    unsynced_records: u64,
     /// Recovery data collected by `open`, until taken.
     recovery: Option<Recovery>,
 }
@@ -251,10 +267,37 @@ impl ShardWal {
             loop {
                 match scan_frame(&buf, pos) {
                     Frame::Record { start, end } => {
-                        if next_seq > snapshot_seq {
-                            records.push(buf[start..end].to_vec());
+                        // A frame is a coalesced run of `[rec_len][bytes]`
+                        // records; the CRC already passed, so a malformed
+                        // inner structure is real corruption, not a tear.
+                        let mut inner = start;
+                        while inner < end {
+                            let bad_inner = |detail: String| StoreError::Corrupt {
+                                path: segment_path(&dir, first),
+                                detail,
+                            };
+                            if end - inner < 4 {
+                                return Err(bad_inner(format!(
+                                    "dangling coalesced-record prefix at offset {inner}"
+                                )));
+                            }
+                            let rec_len = u32::from_le_bytes(
+                                buf[inner..inner + 4].try_into().expect("4 bytes"),
+                            ) as usize;
+                            let rec_start = inner + 4;
+                            let Some(rec_end) =
+                                rec_start.checked_add(rec_len).filter(|&e| e <= end)
+                            else {
+                                return Err(bad_inner(format!(
+                                    "coalesced record at offset {inner} overruns its frame"
+                                )));
+                            };
+                            if next_seq > snapshot_seq {
+                                records.push(buf[rec_start..rec_end].to_vec());
+                            }
+                            next_seq += 1;
+                            inner = rec_end;
                         }
-                        next_seq += 1;
                         pos = end;
                     }
                     Frame::Eof => break,
@@ -315,6 +358,7 @@ impl ShardWal {
             segment_len,
             next_seq,
             snapshot_seq,
+            unsynced_records: 0,
             recovery: Some(Recovery { snapshot, snapshot_seq, records, dropped_torn_tail }),
         })
     }
@@ -362,15 +406,16 @@ impl ShardWal {
         self.last_seq() - self.snapshot_seq
     }
 
-    /// Appends one record; returns its sequence number.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] when the segment cannot be written, and
-    /// [`StoreError::Config`] on a read-only log.
-    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
-        let start = std::time::Instant::now();
-        self.refuse_if_read_only("append")?;
+    /// Records appended since the last fsync — the group committer's
+    /// dirty check (and the `store_fsync_batch_records` histogram's
+    /// sample when the fsync lands).
+    pub fn unsynced_records(&self) -> u64 {
+        self.unsynced_records
+    }
+
+    /// Rotates to a fresh segment when none is active or the current one
+    /// is full.
+    fn ensure_segment(&mut self) -> Result<(), StoreError> {
         if self.writer.is_none() || self.segment_len >= self.options.segment_bytes {
             let path = segment_path(&self.dir, self.next_seq);
             let file = OpenOptions::new().create_new(true).append(true).open(path)?;
@@ -380,16 +425,67 @@ impl ShardWal {
             self.segment_len = 0;
             wal_metrics().segment_rotations.inc();
         }
+        Ok(())
+    }
+
+    /// Appends one record (a coalesced frame of one); returns its
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the segment cannot be written, and
+    /// [`StoreError::Config`] on a read-only log.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let start = std::time::Instant::now();
+        self.refuse_if_read_only("append")?;
+        self.ensure_segment()?;
         let writer = self.writer.as_mut().expect("writer installed above");
-        let len = u32::try_from(payload.len()).expect("record longer than 4 GiB");
-        writer.write_all(&len.to_le_bytes())?;
-        writer.write_all(&crc32(payload).to_le_bytes())?;
+        let rec_len = u32::try_from(payload.len()).expect("record longer than 4 GiB");
+        let frame_len = rec_len + 4;
+        let mut crc = Crc32::new();
+        crc.update(&rec_len.to_le_bytes());
+        crc.update(payload);
+        writer.write_all(&frame_len.to_le_bytes())?;
+        writer.write_all(&crc.finish().to_le_bytes())?;
+        writer.write_all(&rec_len.to_le_bytes())?;
         writer.write_all(payload)?;
-        self.segment_len += (FRAME_HEADER + payload.len()) as u64;
+        self.segment_len += FRAME_HEADER as u64 + u64::from(frame_len);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.unsynced_records += 1;
         wal_metrics().append_ns.record_duration(start.elapsed());
         Ok(seq)
+    }
+
+    /// Appends one **coalesced frame** of `count` records — `payload`
+    /// must already be the inner-framed run `[rec_len][bytes]...` (the
+    /// commit path builds it in a reusable [`crate::Encoder`] via
+    /// `mark_len`/`patch_len`). One frame header, one CRC, one contiguous
+    /// write for the whole batch. Returns the first record's sequence
+    /// number; the frame occupies `first..first + count`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the segment cannot be written, and
+    /// [`StoreError::Config`] on a read-only log or a zero-record frame.
+    pub fn append_batch(&mut self, payload: &[u8], count: u64) -> Result<u64, StoreError> {
+        let start = std::time::Instant::now();
+        self.refuse_if_read_only("append")?;
+        if count == 0 {
+            return Err(StoreError::Config { detail: "empty coalesced frame".into() });
+        }
+        self.ensure_segment()?;
+        let writer = self.writer.as_mut().expect("writer installed above");
+        let frame_len = u32::try_from(payload.len()).expect("frame longer than 4 GiB");
+        writer.write_all(&frame_len.to_le_bytes())?;
+        writer.write_all(&crc32(payload).to_le_bytes())?;
+        writer.write_all(payload)?;
+        self.segment_len += FRAME_HEADER as u64 + u64::from(frame_len);
+        let first = self.next_seq;
+        self.next_seq += count;
+        self.unsynced_records += count;
+        wal_metrics().append_ns.record_duration(start.elapsed());
+        Ok(first)
     }
 
     /// Flushes buffered appends to the OS.
@@ -413,7 +509,10 @@ impl ShardWal {
         if let Some(w) = self.writer.as_mut() {
             w.flush()?;
             w.get_ref().sync_all()?;
-            wal_metrics().fsyncs.inc();
+            let metrics = wal_metrics();
+            metrics.fsyncs.inc();
+            metrics.fsync_batch_records.record(self.unsynced_records);
+            self.unsynced_records = 0;
         }
         Ok(())
     }
@@ -427,10 +526,42 @@ impl ShardWal {
     /// [`StoreError::Io`] when writing, renaming or deleting fails, and
     /// [`StoreError::Config`] on a read-only log.
     pub fn install_snapshot(&mut self, state: &[u8]) -> Result<(), StoreError> {
-        self.refuse_if_read_only("install_snapshot")?;
-        self.flush()?;
         let seq = self.last_seq();
-        let final_path = snapshot_path(&self.dir, seq);
+        self.install_snapshot_at(state, seq)
+    }
+
+    /// Installs a snapshot covering records `1..=covered_seq`, which may
+    /// run **behind** the append head — the background-installer case,
+    /// where commits kept landing while the snapshot was being encoded.
+    /// Compaction deletes only segments whose records are all covered
+    /// (the tail past `covered_seq` stays replayable) and snapshots older
+    /// than `covered_seq`. An install older than the newest snapshot on
+    /// disk is a no-op: a newer install already superseded it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when writing, renaming or deleting fails,
+    /// [`StoreError::Config`] on a read-only log or a `covered_seq`
+    /// beyond the last appended record.
+    pub fn install_snapshot_at(
+        &mut self,
+        state: &[u8],
+        covered_seq: u64,
+    ) -> Result<(), StoreError> {
+        self.refuse_if_read_only("install_snapshot")?;
+        if covered_seq > self.last_seq() {
+            return Err(StoreError::Config {
+                detail: format!(
+                    "snapshot claims to cover record {covered_seq} but only {} were appended",
+                    self.last_seq()
+                ),
+            });
+        }
+        if covered_seq < self.snapshot_seq {
+            return Ok(());
+        }
+        self.flush()?;
+        let final_path = snapshot_path(&self.dir, covered_seq);
         let tmp_path = final_path.with_extension("snap.tmp");
         {
             let mut tmp = BufWriter::new(File::create(&tmp_path)?);
@@ -443,22 +574,40 @@ impl ShardWal {
         }
         std::fs::rename(&tmp_path, &final_path)?;
         wal_metrics().snapshot_installs.inc();
+        self.snapshot_seq = covered_seq;
 
-        // Compaction: the snapshot covers every appended record, so every
-        // segment on disk is fully covered, and older snapshots are moot
-        // (their follow-up records are in the covered segments).
-        self.snapshot_seq = seq;
-        self.writer = None;
-        self.segment_len = 0;
+        // Partial compaction: segments are contiguous and sorted, so the
+        // covered ones form a prefix. A segment's records end where the
+        // next segment begins (the last one ends at `last_seq`); delete
+        // it only when that end is covered. The active segment is only
+        // ever deleted on full coverage, where the writer resets too.
+        let mut segments: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy().into_owned();
-            let covered_segment = parse_numbered(&name, "wal-", ".seg").is_some();
-            let stale_snapshot =
-                parse_numbered(&name, "snapshot-", ".snap").is_some_and(|s| s < seq);
-            if covered_segment || stale_snapshot {
-                std::fs::remove_file(entry.path())?;
+            if let Some(first) = parse_numbered(&name, "wal-", ".seg") {
+                segments.push(first);
+            } else if let Some(s) = parse_numbered(&name, "snapshot-", ".snap") {
+                if s < covered_seq {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        segments.sort_unstable();
+        for (k, &first) in segments.iter().enumerate() {
+            let is_last = k + 1 == segments.len();
+            let end = if is_last { self.last_seq() } else { segments[k + 1] - 1 };
+            if end > covered_seq {
+                break;
+            }
+            std::fs::remove_file(segment_path(&self.dir, first))?;
+            if is_last {
+                self.writer = None;
+                self.segment_len = 0;
+                // The snapshot itself was fsynced and supersedes any
+                // unflushed appends it covers.
+                self.unsynced_records = 0;
             }
         }
         Ok(())
@@ -560,6 +709,62 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_batch_recovers_record_by_record() {
+        let dir = test_dir("wal-batch");
+        {
+            let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+            // One frame holding records 1..=3, then a frame of one.
+            let mut enc = crate::Encoder::new();
+            for k in 0..3u64 {
+                let mark = enc.mark_len();
+                enc.u64(k);
+                enc.patch_len(mark);
+            }
+            assert_eq!(wal.append_batch(enc.as_bytes(), 3).unwrap(), 1);
+            assert_eq!(wal.last_seq(), 3);
+            assert_eq!(wal.append(&3u64.to_le_bytes()).unwrap(), 4);
+            assert!(matches!(wal.append_batch(b"", 0), Err(StoreError::Config { .. })));
+        }
+        let mut wal = ShardWal::open(&dir, WalOptions::default()).unwrap();
+        let rec = wal.take_recovery();
+        let got: Vec<u64> =
+            rec.records.iter().map(|r| u64::from_le_bytes(r[..].try_into().unwrap())).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_behind_the_head_compacts_only_covered_segments() {
+        let dir = test_dir("wal-snap-behind");
+        // 20-byte segments: each 20-byte frame (8 header + 4 inner len +
+        // 8 payload) fills a segment, so every record gets its own file.
+        let opts = WalOptions { segment_bytes: 20, ..WalOptions::default() };
+        let mut wal = ShardWal::open(&dir, opts).unwrap();
+        for k in 0..4u64 {
+            wal.append(&k.to_le_bytes()).unwrap();
+        }
+        assert_eq!(wal.segment_count().unwrap(), 4);
+        // Covering through record 2 deletes segments 1 and 2 only.
+        wal.install_snapshot_at(b"through-2", 2).unwrap();
+        assert_eq!(wal.segment_count().unwrap(), 2);
+        assert_eq!(wal.records_since_snapshot(), 2);
+        // A stale install (behind the newest snapshot) is a no-op.
+        wal.install_snapshot_at(b"through-1", 1).unwrap();
+        assert_eq!(wal.records_since_snapshot(), 2);
+        // Covering past the head refuses.
+        assert!(matches!(wal.install_snapshot_at(b"through-9", 9), Err(StoreError::Config { .. })));
+        // Appends continue, and recovery stitches snapshot + tail.
+        wal.append(&4u64.to_le_bytes()).unwrap();
+        drop(wal);
+        let mut wal = ShardWal::open(&dir, opts).unwrap();
+        let rec = wal.take_recovery();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"through-2"[..]));
+        assert_eq!(rec.snapshot_seq, 2);
+        let got: Vec<u64> =
+            rec.records.iter().map(|r| u64::from_le_bytes(r[..].try_into().unwrap())).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
     fn read_only_open_reports_torn_tail_without_repairing() {
         let dir = test_dir("wal-ro");
         {
@@ -639,7 +844,7 @@ mod tests {
         // not the torn tail.
         let seg = segment_path(&dir, 1);
         let mut bytes = std::fs::read(&seg).unwrap();
-        bytes[(8 + 16) + 8 + 2] ^= 0xFF;
+        bytes[(8 + 4 + 16) + 8 + 4 + 2] ^= 0xFF;
         std::fs::write(&seg, &bytes).unwrap();
         match ShardWal::open(&dir, WalOptions::default()) {
             Err(StoreError::Corrupt { .. }) => {}

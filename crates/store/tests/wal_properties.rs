@@ -93,8 +93,9 @@ proptest! {
             .unwrap();
         let len = std::fs::metadata(&seg).unwrap().len();
         // Cut 1..frame_size-1 bytes: strictly inside the last frame
-        // (8-byte header + payload), never a clean record boundary.
-        let last_frame = 8 + payloads.last().unwrap().len() as u64;
+        // (8-byte header + 4-byte inner length + payload), never a clean
+        // record boundary.
+        let last_frame = 8 + 4 + payloads.last().unwrap().len() as u64;
         let cut = 1 + cut_seed % (last_frame - 1);
         std::fs::OpenOptions::new()
             .write(true)
@@ -109,6 +110,105 @@ proptest! {
         prop_assert_eq!(&recovery.records[..], &payloads[..payloads.len() - 1]);
         // The torn record's sequence slot is reused by the next append.
         prop_assert_eq!(wal.append(b"resume").unwrap(), payloads.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Coalesced multi-record frames replay identically to the same
+    /// records appended one frame apiece, whatever the batch boundaries
+    /// and however often segments rotate — frame layout is invisible.
+    #[test]
+    fn coalesced_frames_round_trip_across_rotation(
+        batches in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 1..8),
+            1..12,
+        ),
+        segment_bytes in 48usize..600,
+    ) {
+        let dir = test_dir("prop-coalesced");
+        let options = WalOptions { segment_bytes: segment_bytes as u64, ..WalOptions::default() };
+        let flat: Vec<Vec<u8>> = batches.iter().flatten().cloned().collect();
+        {
+            let mut wal = ShardWal::open(&dir, options).unwrap();
+            let mut enc = Encoder::new();
+            let mut next = 1u64;
+            for batch in &batches {
+                enc.clear();
+                for record in batch {
+                    let mark = enc.mark_len();
+                    for &b in record {
+                        enc.u8(b);
+                    }
+                    enc.patch_len(mark);
+                }
+                let first = wal.append_batch(enc.as_bytes(), batch.len() as u64).unwrap();
+                prop_assert_eq!(first, next);
+                next += batch.len() as u64;
+            }
+        }
+        let mut wal = ShardWal::open(&dir, options).unwrap();
+        let recovery = wal.take_recovery();
+        prop_assert!(!recovery.dropped_torn_tail);
+        prop_assert_eq!(recovery.records, flat.clone());
+        prop_assert_eq!(wal.last_seq(), flat.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Tearing the final coalesced frame drops exactly that frame — all
+    /// of its records together, none of the earlier frames' records.
+    /// A group either committed durably or it did not.
+    #[test]
+    fn torn_coalesced_frame_drops_exactly_that_frame(
+        batches in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 1..60), 1..6),
+            2..8,
+        ),
+        cut_seed in any::<u64>(),
+    ) {
+        let dir = test_dir("prop-torn-frame");
+        // One big segment so the tear lands in the only file.
+        let options = WalOptions { segment_bytes: 1 << 20, ..WalOptions::default() };
+        {
+            let mut wal = ShardWal::open(&dir, options).unwrap();
+            let mut enc = Encoder::new();
+            for batch in &batches {
+                enc.clear();
+                for record in batch {
+                    let mark = enc.mark_len();
+                    for &b in record {
+                        enc.u8(b);
+                    }
+                    enc.patch_len(mark);
+                }
+                wal.append_batch(enc.as_bytes(), batch.len() as u64).unwrap();
+            }
+        }
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        // Cut strictly inside the last frame: 8-byte header plus the
+        // inner-framed run (4 extra bytes per record).
+        let last_batch = batches.last().unwrap();
+        let last_frame =
+            8 + last_batch.iter().map(|r| 4 + r.len() as u64).sum::<u64>();
+        let cut = 1 + cut_seed % (last_frame - 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - cut)
+            .unwrap();
+
+        let survivors: Vec<Vec<u8>> =
+            batches[..batches.len() - 1].iter().flatten().cloned().collect();
+        let mut wal = ShardWal::open(&dir, options).unwrap();
+        let recovery = wal.take_recovery();
+        prop_assert!(recovery.dropped_torn_tail, "cut {cut} of {last_frame} must tear");
+        prop_assert_eq!(&recovery.records[..], &survivors[..]);
+        // The dropped frame's whole sequence range is reused.
+        prop_assert_eq!(wal.append(b"resume").unwrap(), survivors.len() as u64 + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -172,7 +172,13 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct Registry {
     series: Mutex<BTreeMap<String, Arc<SeriesCell>>>,
+    /// Per-name cap on distinct labeled series (0 = unlimited). See
+    /// [`Registry::set_label_budget`].
+    label_budget: std::sync::atomic::AtomicUsize,
 }
+
+/// The label value every over-budget series collapses into.
+pub const OVERFLOW_LABEL: &str = "other";
 
 /// Renders the canonical series key: `name` or `name{k="v",...}`.
 #[must_use]
@@ -200,6 +206,21 @@ impl Registry {
         Self::default()
     }
 
+    /// Caps the number of distinct labeled series per metric name.
+    ///
+    /// Label values are often data-derived (device addresses, gateway
+    /// ids); an attacker spraying addresses must not be able to grow the
+    /// registry without bound. Once a name holds `budget` labeled series,
+    /// every *new* label combination collapses into one overflow series
+    /// whose label values are all [`OVERFLOW_LABEL`] (`other`) — the
+    /// counts survive in aggregate, the cardinality stays bounded. The
+    /// overflow series itself occupies one budget slot. `0` (the
+    /// default) disables the cap. Already-registered series are never
+    /// evicted.
+    pub fn set_label_budget(&self, budget: usize) {
+        self.label_budget.store(budget, Ordering::Relaxed);
+    }
+
     fn get_or_register(
         &self,
         name: &str,
@@ -208,6 +229,18 @@ impl Registry {
     ) -> Arc<SeriesCell> {
         let key = render_key(name, labels);
         let mut map = self.series.lock().expect("registry poisoned");
+        let budget = self.label_budget.load(Ordering::Relaxed);
+        if budget != 0
+            && !labels.is_empty()
+            && !map.contains_key(&key)
+            && !labels.iter().all(|(_, v)| *v == OVERFLOW_LABEL)
+            && map.values().filter(|c| c.name == name && !c.labels.is_empty()).count() >= budget
+        {
+            drop(map);
+            let overflow: Vec<(&str, &str)> =
+                labels.iter().map(|(k, _)| (*k, OVERFLOW_LABEL)).collect();
+            return self.get_or_register(name, &overflow, kind);
+        }
         let cell = map.entry(key).or_insert_with(|| {
             Arc::new(SeriesCell {
                 name: name.to_string(),
@@ -580,6 +613,44 @@ mod tests {
         assert!(json.contains("\"name\":\"lat_ns\""));
         assert!(json.contains("\"type\":\"histogram\""));
         assert!(json.contains("\"buckets\":[[10,1]]"));
+    }
+
+    #[test]
+    fn label_budget_collapses_overflow_into_other() {
+        let r = Registry::new();
+        r.set_label_budget(2);
+        r.counter_with("lag", &[("follower", "a")]).add(1);
+        r.counter_with("lag", &[("follower", "b")]).add(2);
+        // Third and fourth distinct label sets collapse into one
+        // `other` series; their counts aggregate there.
+        r.counter_with("lag", &[("follower", "c")]).add(10);
+        r.counter_with("lag", &[("follower", "d")]).add(20);
+        let snap = r.snapshot();
+        assert_eq!(snap.series.len(), 3, "{}", snap.render_text());
+        assert_eq!(
+            snap.find_with("lag", &[("follower", OVERFLOW_LABEL)])
+                .and_then(|s| s.value.as_counter()),
+            Some(30)
+        );
+        // Pre-budget series keep recording under their own labels.
+        r.counter_with("lag", &[("follower", "a")]).add(5);
+        assert_eq!(
+            r.snapshot().find_with("lag", &[("follower", "a")]).and_then(|s| s.value.as_counter()),
+            Some(6)
+        );
+        // Unlabeled series and other names are untouched by the budget.
+        r.counter("totals").inc();
+        r.counter_with("depth", &[("shard", "7")]).inc();
+        assert_eq!(r.snapshot().counter_sum("depth"), 1);
+    }
+
+    #[test]
+    fn label_budget_zero_is_unlimited() {
+        let r = Registry::new();
+        for k in 0..64 {
+            r.counter_with("free", &[("k", &k.to_string())]).inc();
+        }
+        assert_eq!(r.snapshot().series.len(), 64);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //!   the same directory (snapshot + WAL tail replay) continues with
 //!   verdicts **bit-for-bit identical** to an uninterrupted run — FB
 //!   histories, dedup entries, MAC counters and statistics all survive.
-//! * Recovery is refused when the configuration no longer matches the
-//!   store (shard count, gateway count).
+//! * **Online resharding**: reopening with a different `.shards(n)`
+//!   migrates the store in place instead of refusing — and the migrated
+//!   server's verdicts stay bit-identical (verdicts are shard-count
+//!   invariant by construction).
+//! * Recovery is still refused when the gateway count no longer matches
+//!   the store — the persisted frame indices would be meaningless.
 
 use softlora_repro::attack::FrameDelayAttack;
 use softlora_repro::phy::{PhyConfig, SpreadingFactor};
@@ -92,11 +96,12 @@ fn kill_and_recover_matches_uninterrupted_run() {
     let expected = baseline.process_batch(&groups).expect("baseline pipeline");
 
     // First life: commit the first half, then die without a graceful
-    // shutdown (`forget` skips Drop; the WAL was flushed per batch).
+    // shutdown (`abandon` skips the WAL Drop flush; the WAL was flushed
+    // per batch).
     let dir = test_dir("server-kill-recover");
     let mut first = build_server(&pinned_scenario(), Some(&dir), 2);
     let first_half = first.process_batch(&groups[..mid]).expect("first life pipeline");
-    std::mem::forget(first);
+    first.abandon();
 
     // Second life: recovery replays the snapshot + WAL tail. The tail
     // state — statistics, detection scores, FB histories — must be
@@ -182,27 +187,57 @@ fn reopen_without_explicit_shards_adopts_the_pinned_count() {
 }
 
 #[test]
-fn mismatched_configuration_is_refused() {
+fn reshard_migrates_and_keeps_verdicts_identical() {
+    // Reopening with a different shard count used to be refused; it now
+    // migrates the store in place. The migrated server must continue
+    // with verdicts bit-identical to an uninterrupted run — the shard
+    // layout is an implementation detail of the tail, never visible in
+    // the verdict stream.
+    let groups = pinned_groups();
+    let mid = groups.len() / 2;
+
+    let mut baseline = build_server(&pinned_scenario(), None, 2);
+    let expected = baseline.process_batch(&groups).expect("baseline pipeline");
+
+    let dir = test_dir("server-reshard");
+    let mut first = build_server(&pinned_scenario(), Some(&dir), 2);
+    let first_half = first.process_batch(&groups[..mid]).expect("first life pipeline");
+    drop(first);
+
+    // Second life asks for 3 shards over a 2-shard store: migrate.
+    let mut resharded = build_server(&pinned_scenario(), Some(&dir), 3);
+    assert_eq!(resharded.shard_count(), 3);
+    assert_eq!(resharded.stats(), baseline_stats_at(&groups[..mid]));
+    let second_half = resharded.process_batch(&groups[mid..]).expect("resharded pipeline");
+    let rejoined: Vec<ServerVerdict> = first_half.into_iter().chain(second_half).collect();
+    assert_eq!(rejoined, expected, "resharding must not change a single verdict");
+    assert_eq!(resharded.stats(), baseline.stats());
+    assert_eq!(resharded.detection_stats(), baseline.detection_stats());
+    drop(resharded);
+
+    // And the migrated store reopens cleanly at the new count — the
+    // migration rewrote the pinned shard count, not just the session.
+    let reopened = build_server(&pinned_scenario(), Some(&dir), 3);
+    assert_eq!(reopened.shard_count(), 3);
+    assert_eq!(reopened.stats(), baseline.stats());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The server statistics an uninterrupted run accumulates over `groups`
+/// — the reference point for a migrated store's recovered state.
+fn baseline_stats_at(groups: &[UplinkDeliveries]) -> softlora_repro::softlora::ServerStats {
+    let mut server = build_server(&pinned_scenario(), None, 2);
+    server.process_batch(groups).expect("reference pipeline");
+    server.stats()
+}
+
+#[test]
+fn mismatched_gateway_count_is_refused() {
     let groups = pinned_groups();
     let dir = test_dir("server-config-guard");
     let mut first = build_server(&pinned_scenario(), Some(&dir), 2);
     first.process_batch(&groups[..4]).expect("seed the store");
     drop(first);
-
-    // Shard count changes move devices between shards: refused.
-    let wrong_shards = NetworkServer::builder(phy())
-        .gateway(1)
-        .gateway(2)
-        .shards(3)
-        .with_persistence(&dir)
-        .try_build();
-    assert!(
-        matches!(
-            wrong_shards,
-            Err(StoreError::ShardCountMismatch { on_disk: 2, requested: 3, .. })
-        ),
-        "{wrong_shards:?}"
-    );
 
     // Gateway count changes invalidate the persisted frame indices:
     // refused.
