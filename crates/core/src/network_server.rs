@@ -1355,9 +1355,15 @@ impl NetworkServer {
         // its shard with the commit metadata (sequence + cumulative frame
         // indices) the WAL records carry.
         let shard_count = self.tail.shards.len();
+        let stride = self.fronts.len();
         let mut counters: Vec<u64> = self.fronts.iter().map(|f| f.frames_seen).collect();
         let mut jobs: Vec<(usize, u64, &Delivery)> = Vec::new();
-        let mut metas: Vec<(usize, u64, Vec<u64>)> = Vec::with_capacity(groups.len());
+        // Per-group commit metadata: (shard, wal seq) plus one row of the
+        // flat cumulative-frame-index matrix (stride = gateway count) —
+        // one allocation for the whole batch instead of one Vec clone per
+        // group.
+        let mut metas: Vec<(usize, u64)> = Vec::with_capacity(groups.len());
+        let mut frame_rows: Vec<u64> = Vec::with_capacity(groups.len() * stride);
         for (i, group) in groups.iter().enumerate() {
             for copy in &group.copies {
                 assert!(copy.gateway < self.fronts.len(), "copy for unknown gateway");
@@ -1367,8 +1373,8 @@ impl NetworkServer {
             metas.push((
                 shard_of(u64::from(group.dev_addr), shard_count),
                 self.tail.global_seq + 1 + i as u64,
-                counters.clone(),
             ));
+            frame_rows.extend_from_slice(&counters);
         }
 
         // The embarrassingly parallel front half — one scratch arena per
@@ -1421,6 +1427,7 @@ impl NetworkServer {
             .map(|(shard, list)| Mutex::new((shard, list)))
             .collect();
         let metas_ref = &metas;
+        let frame_rows_ref = &frame_rows;
         type ShardCommits = Vec<(usize, Result<CommitOutcome, SoftLoraError>)>;
         let committed: Vec<(ShardCommits, Option<SoftLoraError>)> = tasks
             .par_iter()
@@ -1431,8 +1438,9 @@ impl NetworkServer {
                 let mut out = Vec::with_capacity(list.len());
                 let mut aborted = false;
                 for (i, fronts_of_group) in list {
-                    let (_, seq, frames) = &metas_ref[i];
-                    let result = shard.commit(&groups[i], fronts_of_group, *seq, frames);
+                    let (_, seq) = metas_ref[i];
+                    let frames = &frame_rows_ref[i * stride..(i + 1) * stride];
+                    let result = shard.commit(&groups[i], fronts_of_group, seq, frames);
                     let failed = result.is_err();
                     out.push((i, result));
                     if failed {
@@ -1466,7 +1474,10 @@ impl NetworkServer {
             match by_group[i].take() {
                 Some(Ok(outcome)) => {
                     self.tail.global_seq = metas[i].1;
-                    self.tail.frames_cumulative.clone_from(&metas[i].2);
+                    self.tail.frames_cumulative.clear();
+                    self.tail
+                        .frames_cumulative
+                        .extend_from_slice(&frame_rows[i * stride..(i + 1) * stride]);
                     self.tail.committed_groups += 1;
                     self.tail.notify(group.uplink, &outcome);
                     verdicts.push(outcome.verdict);

@@ -243,8 +243,11 @@ fn run(args: &Args) -> Result<(), NetError> {
             let point = sweep_point(&scenario, &groups, args, &config, rate, 0x5EED + k as u64)?;
             if !args.quiet {
                 eprintln!(
-                    "loadgen: sweep {} groups/s offered -> {:.0} achieved, ingest p99 {} µs",
-                    rate, point.achieved_per_s, point.report.latency.p99_us
+                    "loadgen: sweep {} groups/s offered -> {:.0} achieved, ack p99 {} µs, commit p99 {} µs",
+                    rate,
+                    point.achieved_per_s,
+                    point.report.ack_latency.p99_us,
+                    point.report.commit_latency.p99_us
                 );
             }
             points.push(point);
@@ -345,13 +348,14 @@ fn run(args: &Args) -> Result<(), NetError> {
     }
     if !args.quiet {
         eprintln!(
-            "loadgen: {} gateways | {:.0} uplinks/s, {:.0} copies/s | ingest p50 {} µs, p99 {} µs, p999 {} µs | {} committed, {} retries",
+            "loadgen: {} gateways | {:.0} uplinks/s, {:.0} copies/s | ack p50 {} µs, p99 {} µs | commit p50 {} µs, p99 {} µs | {} committed, {} retries",
             report.gateways,
             report.uplinks_per_s,
             report.copies_per_s,
-            report.latency.p50_us,
-            report.latency.p99_us,
-            report.latency.p999_us,
+            report.ack_latency.p50_us,
+            report.ack_latency.p99_us,
+            report.commit_latency.p50_us,
+            report.commit_latency.p99_us,
             counters.groups_committed,
             report.retries,
         );

@@ -309,8 +309,8 @@ fn run(args: &Args) -> Result<(), NetError> {
         args.sim_duration_s,
         args.attack_at_s.is_some(),
         load_report.uplinks_per_s,
-        load_report.latency.p50_us,
-        load_report.latency.p99_us,
+        load_report.ack_latency.p50_us,
+        load_report.ack_latency.p99_us,
         stage_json.join(","),
         histogram_json(&fin_snapshot, "server_commit_ns", &[("shard", "0")]),
         fin_snapshot

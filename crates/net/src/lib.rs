@@ -10,9 +10,13 @@
 //!   `softlora-store`'s [`Encoder`]/[`Decoder`] discipline;
 //! * [`listener`] — [`listener::NetServer`], a UDP/loopback listener that
 //!   accepts frames from many simulated gateways, reassembles per-uplink
-//!   copy groups in watermark order, and commits them through the sharded
-//!   server tail in per-poll batches — **bit-for-bit** identical to
-//!   handing the same groups to `NetworkServer::process_batch` directly;
+//!   copy groups in watermark order, and hands them to an off-thread
+//!   commit worker — **bit-for-bit** identical to handing the same
+//!   groups to `NetworkServer::process_batch` directly, with acks
+//!   decoupled from commit latency;
+//! * [`ingest`] — the pipelined-ingest machinery behind the listener: a
+//!   pooled reassembly window ([`ingest::Reassembler`]) and the bounded
+//!   SPSC commit handoff ([`ingest::CommitPipe`]);
 //! * [`export`] — turns a simulated fleet's [`UplinkDeliveries`] stream
 //!   into per-gateway wire streams (what each gateway would have sent);
 //! * [`loadgen`] — a thread-per-gateway load generator replaying those
@@ -31,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod ingest;
 pub mod listener;
 pub mod loadgen;
 pub mod protocol;
 
 pub use export::gateway_streams;
+pub use ingest::{CommitPipe, CommitSink, CommitTelemetry, CopyHeader, Reassembler};
 pub use listener::{NetRunReport, NetServer, NetServerConfig};
 pub use loadgen::{
     LatencySummary, LoadgenConfig, LoadgenReport, SweepPoint, SweepReport, SWEEP_P99_BUDGET_US,

@@ -9,12 +9,29 @@
 //!   accepts `SHUTDOWN` — the FutureSDR `ctrl_port` idea in datagram
 //!   form.
 //!
+//! # Pipelined ingest
+//!
+//! The poll thread only does cheap work: receive, decode, dedup, ack,
+//! reassemble ([`crate::ingest::Reassembler`]). Watermark-released
+//! groups are handed over a bounded SPSC ring to a dedicated **commit
+//! worker** ([`crate::ingest::CommitPipe`]) that drives
+//! [`NetworkServer::process_batch`] off-thread, so ack latency no
+//! longer includes the sharded commit. Acks carry the worker's
+//! published commit watermark (`committed`, protocol version 3), which
+//! is how a gateway — or the load generator measuring end-to-end commit
+//! latency — observes the pipeline catching up. Backpressure is
+//! explicit: a full handoff ring stalls the poll thread in bounded,
+//! counted ticks (`net_commit_stalls_total`) rather than growing
+//! memory, and shutdown drains both the reassembly window and the
+//! handoff queue before the report is assembled.
+//!
 //! Wire counters live in the process-wide [`softlora_telemetry`]
 //! registry as `net_*` series (labeled with a per-listener instance id),
 //! so a `METRICS_REQ` scrape sees them next to the server tail's commit
-//! latencies and the store's WAL counters. The [`NetCounters`] struct
-//! remains the stable report/ctrl-protocol view, rebuilt from the
-//! registry handles on demand.
+//! latencies and the store's WAL counters — including the new pipeline
+//! series `net_commit_queue_depth` and `net_commit_batch_size`. The
+//! [`NetCounters`] struct remains the stable report/ctrl-protocol view,
+//! rebuilt from the registry handles on demand.
 //!
 //! # Bit-for-bit ingestion
 //!
@@ -28,19 +45,22 @@
 //!    internal copy order regardless of datagram arrival order;
 //! 2. every gateway datagram carries a **watermark** — a promise that
 //!    the gateway will never again send a copy with uplink id < w. The
-//!    listener only commits groups strictly below the *fleet minimum*
+//!    listener only releases groups strictly below the *fleet minimum*
 //!    watermark, in ascending uplink order, so no late copy can arrive
-//!    for a committed group;
-//! 3. committed groups flow into [`NetworkServer::process_batch`] in
-//!    per-poll batches. Batch boundaries don't affect results (the
-//!    server's sub-batch ≡ big-batch invariant), so the wire path's
-//!    verdicts, statistics and persisted state are bit-for-bit those of
-//!    handing the whole stream to `process_batch` directly.
+//!    for a released group;
+//! 3. released groups flow through the SPSC handoff into
+//!    [`NetworkServer::process_batch`] in worker-sized batches. The ring
+//!    preserves the release order and batch boundaries don't affect
+//!    results (the server's sub-batch ≡ big-batch invariant), so the
+//!    wire path's verdicts, statistics and persisted state are
+//!    bit-for-bit those of handing the whole stream to `process_batch`
+//!    directly — commit merely happens on another thread.
 //!
 //! Duplicated datagrams are re-acked but not re-processed (per-gateway
 //! sequence tracking); malformed datagrams are counted and dropped —
 //! the listener never panics on wire input.
 
+use crate::ingest::{CommitPipe, CommitTelemetry, CopyHeader, Reassembler, ServerSink, Stash};
 use crate::protocol::{
     decode_frame, encode_frame_into, Frame, NetCounters, PushData, ServerRole, WireRuntime,
     WireStats, WireUplink,
@@ -48,10 +68,11 @@ use crate::protocol::{
 use crate::NetError;
 use softlora::{NetworkServer, ServerVerdict};
 use softlora_sim::{FleetDelivery, UplinkDeliveries};
-use softlora_telemetry::Counter;
-use std::collections::{BTreeMap, HashSet};
+use softlora_telemetry::{Counter, Gauge, Histogram};
+use std::collections::HashSet;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`NetServer`].
@@ -61,14 +82,15 @@ pub struct NetServerConfig {
     pub data_bind: SocketAddr,
     /// Address to bind the ctrl socket on (port 0 = ephemeral).
     pub ctrl_bind: SocketAddr,
-    /// Commit cadence: ready groups are flushed into the server tail at
+    /// Handoff cadence: ready groups are released to the commit worker at
     /// least this often (the recv timeout, so also the ctrl poll period).
     pub poll_interval: Duration,
-    /// Flush early once this many groups are ready, keeping per-batch
-    /// memory bounded under load.
+    /// Bound on one commit batch: the worker pops at most this many
+    /// groups per `process_batch` call, and the poll thread releases
+    /// early once this many are ready.
     pub max_batch_groups: usize,
     /// Bound on the reassembly buffer: when more groups than this are
-    /// pending, the oldest are force-flushed even if incomplete.
+    /// pending, the oldest are force-released even if incomplete.
     pub max_pending_groups: usize,
     /// A pending group older than this is committed with the copies that
     /// arrived (counted in [`NetCounters::incomplete_groups`]).
@@ -106,34 +128,6 @@ pub struct NetRunReport {
     /// The server tail, for post-run inspection (stats, FB database,
     /// persistence flush).
     pub server: NetworkServer,
-}
-
-/// Reassembly state of one uplink group.
-struct PendingGroup {
-    dev_addr: u32,
-    tx_start_global_s: f64,
-    airtime_s: f64,
-    copies_total: u16,
-    /// Slots indexed by `copy_index`; filled as copies arrive.
-    copies: Vec<Option<FleetDelivery>>,
-    received: u16,
-    first_seen: Instant,
-}
-
-impl PendingGroup {
-    fn is_complete(&self) -> bool {
-        self.received == self.copies_total
-    }
-
-    fn into_group(self, uplink: u64) -> UplinkDeliveries {
-        UplinkDeliveries {
-            uplink,
-            dev_addr: self.dev_addr,
-            tx_start_global_s: self.tx_start_global_s,
-            airtime_s: self.airtime_s,
-            copies: self.copies.into_iter().flatten().collect(),
-        }
-    }
 }
 
 /// Per-gateway wire state.
@@ -175,9 +169,10 @@ impl GatewayTrack {
 }
 
 /// Registry-backed listener counters: one `net_*` series per
-/// [`NetCounters`] field, each labeled with this listener's instance id
-/// so several listeners in one process keep exact per-instance counts
-/// while the process-wide registry stays the single source of truth.
+/// [`NetCounters`] field plus the commit-pipeline series, each labeled
+/// with this listener's instance id so several listeners in one process
+/// keep exact per-instance counts while the process-wide registry stays
+/// the single source of truth.
 struct NetMetrics {
     datagrams: Counter,
     push_data: Counter,
@@ -197,6 +192,12 @@ struct NetMetrics {
     incomplete_groups: Counter,
     groups_committed: Counter,
     batches: Counter,
+    /// Handoff-ring occupancy, updated by both ends of the pipe.
+    commit_queue_depth: Gauge,
+    /// Groups per off-thread commit batch.
+    commit_batch_size: Histogram,
+    /// Bounded poll-thread stalls against a full handoff ring.
+    commit_stalls: Counter,
 }
 
 impl NetMetrics {
@@ -230,6 +231,23 @@ impl NetMetrics {
             incomplete_groups: counter("net_incomplete_groups_total"),
             groups_committed: counter("net_groups_committed_total"),
             batches: counter("net_batches_total"),
+            commit_queue_depth: registry
+                .gauge_with("net_commit_queue_depth", &[("listener", id.as_str())]),
+            commit_batch_size: registry
+                .histogram_with("net_commit_batch_size", &[("listener", id.as_str())]),
+            commit_stalls: counter("net_commit_stalls_total"),
+        }
+    }
+
+    /// The handle bundle the commit worker updates (all handles are
+    /// cheap clones onto the same registry series).
+    fn commit_telemetry(&self) -> CommitTelemetry {
+        CommitTelemetry {
+            batches: self.batches.clone(),
+            groups_committed: self.groups_committed.clone(),
+            queue_depth: self.commit_queue_depth.clone(),
+            batch_size: self.commit_batch_size.clone(),
+            stalls: self.commit_stalls.clone(),
         }
     }
 
@@ -260,22 +278,26 @@ impl NetMetrics {
 
 /// The listening front door around a [`NetworkServer`].
 pub struct NetServer {
-    server: NetworkServer,
+    /// The server tail, shared with the commit worker. The poll thread
+    /// locks it only for cold ctrl queries (stats/role); every commit
+    /// happens on the worker.
+    server: Arc<Mutex<NetworkServer>>,
+    pipe: CommitPipe,
     config: NetServerConfig,
     data: UdpSocket,
     ctrl: UdpSocket,
     gateways: Vec<GatewayTrack>,
-    pending: BTreeMap<u64, PendingGroup>,
-    /// Uplink ids ≤ this are committed; late copies for them are stale.
-    committed_through: Option<u64>,
+    reassembler: Reassembler,
+    /// Highest uplink id handed to the commit worker so far.
+    last_offered: Option<u64>,
     metrics: NetMetrics,
-    verdicts: Vec<(u64, ServerVerdict)>,
     scratch: softlora_store::Encoder,
     batch: Vec<UplinkDeliveries>,
 }
 
 impl NetServer {
-    /// Binds the data + ctrl sockets around a built server.
+    /// Binds the data + ctrl sockets around a built server and spawns
+    /// the commit worker.
     ///
     /// # Errors
     ///
@@ -286,16 +308,25 @@ impl NetServer {
         let ctrl = UdpSocket::bind(config.ctrl_bind)?;
         ctrl.set_nonblocking(true)?;
         let gateways = (0..server.gateway_count()).map(|_| GatewayTrack::new()).collect();
+        let metrics = NetMetrics::new();
+        let server = Arc::new(Mutex::new(server));
+        let pipe = CommitPipe::spawn(
+            ServerSink(Arc::clone(&server)),
+            config.max_batch_groups,
+            config.record_verdicts,
+            metrics.commit_telemetry(),
+        );
+        let reassembler = Reassembler::new(config.straggler_timeout, config.max_pending_groups);
         Ok(NetServer {
             server,
+            pipe,
             config,
             data,
             ctrl,
             gateways,
-            pending: BTreeMap::new(),
-            committed_through: None,
-            metrics: NetMetrics::new(),
-            verdicts: Vec::new(),
+            reassembler,
+            last_offered: None,
+            metrics,
             scratch: softlora_store::Encoder::new(),
             batch: Vec::new(),
         })
@@ -319,18 +350,25 @@ impl NetServer {
         Ok(self.ctrl.local_addr()?)
     }
 
-    /// Serves until `SHUTDOWN` (or the idle timeout), then returns the
-    /// final counters, verdicts and the server tail.
+    /// Serves until `SHUTDOWN` (or the idle timeout), then drains the
+    /// commit pipeline and returns the final counters, verdicts and the
+    /// server tail.
     ///
     /// # Errors
     ///
-    /// Socket failures and server-tail commit failures. Malformed wire
-    /// input is **not** an error — it is counted and dropped.
+    /// Socket failures and server-tail commit failures (the latter
+    /// surface when the pipeline is drained). Malformed wire input is
+    /// **not** an error — it is counted and dropped.
     pub fn run(mut self) -> Result<NetRunReport, NetError> {
         let mut buf = vec![0u8; 65_535];
         let mut last_flush = Instant::now();
         let mut last_datagram = Instant::now();
         loop {
+            // Reclaim group shells the commit worker is done with, so
+            // the warm path stays allocation-free.
+            while let Some(group) = self.pipe.pop_recycled() {
+                self.reassembler.recycle(group);
+            }
             match self.data.recv_from(&mut buf) {
                 Ok((len, from)) => {
                     last_datagram = Instant::now();
@@ -343,43 +381,45 @@ impl NetServer {
             }
 
             if let Some(shutdown_ack) = self.poll_ctrl()? {
-                self.flush(true)?;
+                self.flush(true);
+                // Wait for the commit worker to drain what the final
+                // flush handed it, so the ack's watermark covers every
+                // group the fleet will ever see committed.
+                self.sync_commits();
                 let (token, from) = shutdown_ack;
-                self.send_ctrl(&Frame::PullAck { gateway: 0, seq: token }, from)?;
+                let committed = self.pipe.committed();
+                self.send_ctrl(&Frame::PullAck { gateway: 0, seq: token, committed }, from)?;
                 break;
             }
             if let Some(idle) = self.config.idle_shutdown {
                 if last_datagram.elapsed() >= idle {
-                    self.flush(true)?;
+                    self.flush(true);
                     break;
                 }
             }
 
-            let ready = self.ready_count();
+            let ready = self.reassembler.ready_count(self.barrier());
             if ready >= self.config.max_batch_groups
                 || (last_flush.elapsed() >= self.config.poll_interval && ready > 0)
-                || self.pending.len() > self.config.max_pending_groups
+                || self.reassembler.pending_len() > self.config.max_pending_groups
             {
-                self.flush(false)?;
+                self.flush(false);
                 last_flush = Instant::now();
             }
         }
-        Ok(NetRunReport {
-            counters: self.metrics.counters(),
-            verdicts: self.verdicts,
-            server: self.server,
-        })
+        // Drain the worker: a commit failure it hit surfaces here.
+        let log = self.pipe.finish()?;
+        let server = Arc::try_unwrap(self.server)
+            .unwrap_or_else(|_| panic!("commit worker still holds the server"))
+            .into_inner()
+            .expect("network server poisoned");
+        Ok(NetRunReport { counters: self.metrics.counters(), verdicts: log.verdicts, server })
     }
 
     /// The fleet-wide commit barrier: the minimum watermark across all
     /// gateways, or `None` until every gateway has reported one.
     fn barrier(&self) -> Option<u64> {
         self.gateways.iter().map(|g| g.watermark).min().flatten()
-    }
-
-    fn ready_count(&self) -> usize {
-        let Some(barrier) = self.barrier() else { return 0 };
-        self.pending.range(..barrier).take_while(|(_, g)| g.is_complete()).count()
     }
 
     fn handle_data(&mut self, bytes: &[u8], from: SocketAddr) -> Result<(), NetError> {
@@ -411,7 +451,8 @@ impl NetServer {
                         self.stash(gateway as usize, uplink);
                     }
                 }
-                self.send_data(&Frame::PushAck { gateway, seq }, from)?;
+                let committed = self.pipe.committed();
+                self.send_data(&Frame::PushAck { gateway, seq, committed }, from)?;
             }
             Frame::PullData { gateway, seq, watermark } => {
                 let Some(track) = self.gateways.get_mut(gateway as usize) else {
@@ -425,7 +466,8 @@ impl NetServer {
                 } else {
                     self.metrics.keepalives.inc();
                 }
-                self.send_data(&Frame::PullAck { gateway, seq }, from)?;
+                let committed = self.pipe.committed();
+                self.send_data(&Frame::PullAck { gateway, seq, committed }, from)?;
             }
             // Anything else is not gateway traffic; count it as noise.
             _ => self.metrics.rejected_other.inc(),
@@ -433,84 +475,65 @@ impl NetServer {
         Ok(())
     }
 
-    /// Files one wire uplink copy into the reassembly buffer.
+    /// Files one wire uplink copy into the reassembly window.
     fn stash(&mut self, gateway: usize, uplink: WireUplink) {
         self.metrics.copies_received.inc();
-        if self.committed_through.is_some_and(|c| uplink.uplink <= c) {
-            self.metrics.stale_copies.inc();
-            return;
-        }
-        let slot = self.pending.entry(uplink.uplink).or_insert_with(|| PendingGroup {
+        let header = CopyHeader {
+            uplink: uplink.uplink,
             dev_addr: uplink.dev_addr,
             tx_start_global_s: uplink.tx_start_global_s,
             airtime_s: uplink.airtime_s,
             copies_total: uplink.copies_total,
-            copies: vec![None; usize::from(uplink.copies_total)],
-            received: 0,
-            first_seen: Instant::now(),
-        });
-        let Some(delivery) = uplink.delivery else {
-            // Empty-group marker: the entry itself is the information.
-            return;
+            copy_index: uplink.copy_index,
         };
-        let Ok(delivery) = delivery.to_delivery() else {
-            self.metrics.rejected_other.inc();
-            return;
+        let copy = match uplink.delivery {
+            // Empty-group marker: the window entry itself is the
+            // information.
+            None => None,
+            Some(wire) => match wire.to_delivery() {
+                Ok(delivery) => Some(FleetDelivery { gateway, delivery }),
+                Err(_) => {
+                    // Undecodable payload: count it, but still register
+                    // the group so its metadata is not lost.
+                    self.metrics.rejected_other.inc();
+                    None
+                }
+            },
         };
-        let index = usize::from(uplink.copy_index);
-        match slot.copies.get_mut(index) {
-            Some(cell @ None) => {
-                *cell = Some(FleetDelivery { gateway, delivery });
-                slot.received += 1;
-            }
-            // Copy index already filled (a duplicate across datagrams) or
-            // out of the announced range — either way, drop and count.
-            Some(Some(_)) => self.metrics.duplicate_copies.inc(),
-            None => self.metrics.rejected_other.inc(),
+        match self.reassembler.stash(&header, copy) {
+            Stash::Filed => {}
+            Stash::Stale => self.metrics.stale_copies.inc(),
+            Stash::DuplicateCopy => self.metrics.duplicate_copies.inc(),
+            Stash::BadCopyIndex | Stash::FarFuture => self.metrics.rejected_other.inc(),
         }
     }
 
-    /// Commits every group that is safe to commit, in ascending uplink
-    /// order, through the server tail. `drain` (shutdown) commits the
-    /// whole pending set regardless of watermarks.
-    fn flush(&mut self, drain: bool) -> Result<(), NetError> {
-        let barrier = if drain { Some(u64::MAX) } else { self.barrier() };
+    /// Releases every group that is safe to commit, in ascending uplink
+    /// order, to the commit worker. `drain` (shutdown) releases the
+    /// whole reassembly window regardless of watermarks.
+    fn flush(&mut self, drain: bool) {
         self.batch.clear();
-        loop {
-            let over_cap = self.pending.len() > self.config.max_pending_groups;
-            let Some(entry) = self.pending.first_entry() else { break };
-            let id = *entry.key();
-            let ready = barrier.is_some_and(|b| id < b);
-            let expired = drain
-                || over_cap
-                || entry.get().first_seen.elapsed() >= self.config.straggler_timeout;
-            let complete = entry.get().is_complete();
-            if (ready && complete) || expired {
-                if !complete {
-                    self.metrics.incomplete_groups.inc();
-                }
-                let group = entry.remove().into_group(id);
-                self.batch.push(group);
-            } else {
-                // Strict ascending commit order: the oldest pending group
-                // gates everything behind it.
-                break;
-            }
-        }
+        let tally = self.reassembler.drain_ready(self.barrier(), drain, &mut self.batch);
+        self.metrics.incomplete_groups.add(tally.incomplete as u64);
         if self.batch.is_empty() {
-            return Ok(());
+            return;
         }
-        let verdicts = self.server.process_batch(&self.batch)?;
-        self.metrics.batches.inc();
-        self.metrics.groups_committed.add(self.batch.len() as u64);
-        self.committed_through = self.batch.last().map(|g| g.uplink);
-        if self.config.record_verdicts {
-            for (group, verdict) in self.batch.iter().zip(verdicts) {
-                self.verdicts.push((group.uplink, verdict));
-            }
+        self.last_offered = self.batch.last().map(|g| g.uplink);
+        for group in self.batch.drain(..) {
+            self.pipe.offer(group);
         }
-        self.batch.clear();
-        Ok(())
+        self.pipe.kick();
+    }
+
+    /// Waits (bounded) for the commit worker to catch up with everything
+    /// released so far, so ctrl stats read deterministically — exactly
+    /// what the old synchronous flush guaranteed.
+    fn sync_commits(&self) {
+        let Some(last) = self.last_offered else { return };
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.pipe.committed() <= last && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(100));
+        }
     }
 
     /// Drains the ctrl socket; returns the shutdown token + requester
@@ -521,23 +544,31 @@ impl NetServer {
             match self.ctrl.recv_from(&mut buf) {
                 Ok((len, from)) => match decode_frame(&buf[..len]) {
                     Ok(Frame::StatsReq { token }) => {
-                        let stats = WireStats {
-                            counters: self.metrics.counters(),
-                            server: self.server.stats(),
-                            detection: self.server.detection_stats(),
-                            runtime: WireRuntime::from_registry(
-                                &softlora_telemetry::global().snapshot(),
-                            ),
+                        self.sync_commits();
+                        let stats = {
+                            let server = self.server.lock().expect("network server poisoned");
+                            WireStats {
+                                counters: self.metrics.counters(),
+                                server: server.stats(),
+                                detection: server.detection_stats(),
+                                runtime: WireRuntime::from_registry(
+                                    &softlora_telemetry::global().snapshot(),
+                                ),
+                            }
                         };
                         self.send_ctrl(&Frame::StatsResp { token, stats }, from)?;
                     }
                     Ok(Frame::MetricsReq { token }) => {
+                        self.sync_commits();
                         let snapshot = softlora_telemetry::global().snapshot();
                         self.send_ctrl(&Frame::MetricsResp { token, snapshot }, from)?;
                     }
                     Ok(Frame::Shutdown { token }) => return Ok(Some((token, from))),
                     Ok(Frame::RoleReq { token }) => {
-                        let epoch = self.server.epoch().map_err(NetError::Server)?;
+                        let epoch = {
+                            let server = self.server.lock().expect("network server poisoned");
+                            server.epoch().map_err(NetError::Server)?
+                        };
                         let resp = Frame::RoleResp { token, role: ServerRole::Primary, epoch };
                         self.send_ctrl(&resp, from)?;
                     }
@@ -547,8 +578,11 @@ impl NetServer {
                         // epoch so a deposed predecessor's shipped frames
                         // are refused from now on. An epoch regression is
                         // reported as the current role/epoch unchanged.
-                        let _ = self.server.set_epoch(epoch);
-                        let epoch = self.server.epoch().map_err(NetError::Server)?;
+                        let epoch = {
+                            let server = self.server.lock().expect("network server poisoned");
+                            let _ = server.set_epoch(epoch);
+                            server.epoch().map_err(NetError::Server)?
+                        };
                         let resp = Frame::RoleResp { token, role: ServerRole::Primary, epoch };
                         self.send_ctrl(&resp, from)?;
                     }

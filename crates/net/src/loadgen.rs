@@ -6,12 +6,22 @@
 //! `PUSH_DATA` datagram, wait for the `PUSH_ACK`, retransmit on timeout.
 //! Lock-step bounds the fleet's in-flight datagrams at one per gateway —
 //! well under default socket buffers even at hundreds of gateways — and
-//! makes the send→ack round trip the natural per-datagram **ingest
+//! makes the send→ack round trip the natural per-datagram **ack
 //! latency** sample. Retransmissions double as organic duplicate traffic
 //! for the listener's dedup path.
 //!
-//! The report carries sustained throughput plus p50/p90/p99/p999 latency
-//! and serialises itself to JSON for CI artifacts.
+//! Since the listener commits off-thread (protocol version 3), every ack
+//! also carries the server's **committed watermark**, so the generator
+//! separately measures **end-to-end commit latency**: send time of a
+//! datagram until an ack proves its uplinks are committed. The two
+//! distributions answer different questions — ack latency is the wire
+//! round trip the poll thread controls; commit latency additionally
+//! includes the fleet watermark barrier and the commit worker's queue.
+//! Datagrams still uncommitted when a gateway's stream ends are resolved
+//! by polling keepalives until [`LoadgenConfig::commit_wait`] expires.
+//!
+//! The report carries sustained throughput plus p50/p90/p99/p999 blocks
+//! for both latencies and serialises itself to JSON for CI artifacts.
 //!
 //! Besides the closed-loop (lock-step) mode there is an **open-loop**
 //! mode ([`replay_fleet_open_loop`]): each gateway sends at a Poisson
@@ -29,6 +39,7 @@ use crate::protocol::{decode_frame, encode_frame_into, Frame, PushData, WireUpli
 use crate::NetError;
 use softlora_sim::UplinkDeliveries;
 use softlora_store::Encoder;
+use std::collections::VecDeque;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
@@ -44,6 +55,11 @@ pub struct LoadgenConfig {
     /// Optional pacing: minimum spacing between one gateway's datagrams.
     /// `None` replays as fast as the ack loop allows.
     pub datagram_interval: Option<Duration>,
+    /// After a gateway's stream ends, how long it keeps polling
+    /// keepalives for the commit watermark to cover its last uplinks
+    /// (end-to-end commit-latency samples). Datagrams still unresolved
+    /// at the deadline simply contribute no commit sample.
+    pub commit_wait: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -53,11 +69,13 @@ impl Default for LoadgenConfig {
             ack_timeout: Duration::from_millis(250),
             max_retries: 40,
             datagram_interval: None,
+            commit_wait: Duration::from_secs(5),
         }
     }
 }
 
-/// Percentile summary of per-datagram ingest (send→ack) latency.
+/// Percentile summary of a per-datagram latency distribution (send→ack
+/// or send→committed).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
     /// Samples (acknowledged datagrams).
@@ -96,6 +114,16 @@ impl LatencySummary {
             max_us: samples_us[n - 1],
         }
     }
+
+    /// Serialises the summary as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+            self.count, self.mean_us, self.p50_us, self.p90_us, self.p99_us, self.p999_us,
+            self.max_us,
+        )
+    }
 }
 
 /// What a finished load run measured.
@@ -117,8 +145,12 @@ pub struct LoadgenReport {
     pub uplinks_per_s: f64,
     /// Sustained copies per second.
     pub copies_per_s: f64,
-    /// Ingest latency percentiles.
-    pub latency: LatencySummary,
+    /// Wire round-trip (send→ack) percentiles — what the poll thread
+    /// alone controls.
+    pub ack_latency: LatencySummary,
+    /// End-to-end (send→committed) percentiles — additionally includes
+    /// the fleet watermark barrier and the commit worker's queue.
+    pub commit_latency: LatencySummary,
 }
 
 impl LoadgenReport {
@@ -129,8 +161,7 @@ impl LoadgenReport {
             concat!(
                 "{{\"gateways\":{},\"uplinks\":{},\"copies\":{},\"datagrams\":{},",
                 "\"retries\":{},\"elapsed_s\":{:.6},\"uplinks_per_s\":{:.3},",
-                "\"copies_per_s\":{:.3},\"latency_us\":{{\"count\":{},\"mean\":{:.3},",
-                "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}}}"
+                "\"copies_per_s\":{:.3},\"ack_latency_us\":{},\"commit_latency_us\":{}}}"
             ),
             self.gateways,
             self.uplinks,
@@ -140,13 +171,8 @@ impl LoadgenReport {
             self.elapsed_s,
             self.uplinks_per_s,
             self.copies_per_s,
-            self.latency.count,
-            self.latency.mean_us,
-            self.latency.p50_us,
-            self.latency.p90_us,
-            self.latency.p99_us,
-            self.latency.p999_us,
-            self.latency.max_us,
+            self.ack_latency.to_json(),
+            self.commit_latency.to_json(),
         )
     }
 }
@@ -154,9 +180,23 @@ impl LoadgenReport {
 /// What one gateway thread measured.
 struct GatewayRun {
     latencies_us: Vec<u64>,
+    commit_latencies_us: Vec<u64>,
     datagrams: u64,
     retries: u64,
     copies: u64,
+}
+
+/// Outstanding commit-latency samples: `(highest uplink id in the
+/// datagram, send time)`, pushed in send (= ascending uplink) order and
+/// popped from the front as the acked commit watermark passes them.
+type CommitPending = VecDeque<(u64, Instant)>;
+
+/// Resolves every pending entry the commit watermark now covers.
+fn pop_committed(pending: &mut CommitPending, committed: u64, run: &mut GatewayRun) {
+    while pending.front().is_some_and(|&(uplink, _)| uplink < committed) {
+        let (_, sent) = pending.pop_front().expect("front checked");
+        run.commit_latencies_us.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
 }
 
 /// One offered rate of a sweep: what was offered, what was sustained.
@@ -182,23 +222,27 @@ pub struct SweepReport {
     pub knee_per_s: Option<f64>,
 }
 
-/// The sustained-rate criterion: p99 ingest latency at or under this
+/// The sustained-rate criterion: p99 **ack** latency at or under this
 /// budget. In an **open-loop** sweep the offered rate is met by
 /// construction (senders never wait), so saturation shows up not as a
-/// throughput shortfall but as queueing — acks lag, p99 ingest latency
+/// throughput shortfall but as queueing — acks lag, p99 ack latency
 /// explodes. 20 ms is an order of magnitude above the unloaded p99 on
-/// loopback and far below the blow-up past the knee.
+/// loopback and far below the blow-up past the knee. The knee
+/// deliberately stays on ack latency: commit latency includes the fleet
+/// watermark barrier, which dominates at *low* rates (groups wait for
+/// every gateway to advance), so a commit-latency criterion would read
+/// an idle fleet as saturated.
 pub const SWEEP_P99_BUDGET_US: u64 = 20_000;
 
 impl SweepReport {
     /// Derives the knee from a finished point set: the last offered
     /// rate (in sweep order, before the first saturated one) whose p99
-    /// ingest latency stayed within [`SWEEP_P99_BUDGET_US`].
+    /// ack latency stayed within [`SWEEP_P99_BUDGET_US`].
     #[must_use]
     pub fn from_points(points: Vec<SweepPoint>) -> Self {
         let knee_per_s = points
             .iter()
-            .take_while(|p| p.report.latency.p99_us <= SWEEP_P99_BUDGET_US)
+            .take_while(|p| p.report.ack_latency.p99_us <= SWEEP_P99_BUDGET_US)
             .last()
             .map(|p| p.offered_per_s);
         SweepReport { points, knee_per_s }
@@ -284,19 +328,29 @@ pub fn replay_fleet(
         handles.into_iter().map(|h| h.join().expect("gateway thread panicked")).collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();
+    aggregate_runs(runs, groups.len() as u64, gateway_count, elapsed_s)
+}
 
+/// Folds per-gateway measurements into the fleet report.
+fn aggregate_runs(
+    runs: Vec<Result<GatewayRun, NetError>>,
+    uplinks: u64,
+    gateway_count: usize,
+    elapsed_s: f64,
+) -> Result<LoadgenReport, NetError> {
     let mut latencies = Vec::new();
+    let mut commit_latencies = Vec::new();
     let mut datagrams = 0u64;
     let mut retries = 0u64;
     let mut copies = 0u64;
     for run in runs {
         let run = run?;
         latencies.extend(run.latencies_us);
+        commit_latencies.extend(run.commit_latencies_us);
         datagrams += run.datagrams;
         retries += run.retries;
         copies += run.copies;
     }
-    let uplinks = groups.len() as u64;
     Ok(LoadgenReport {
         gateways: gateway_count,
         uplinks,
@@ -306,7 +360,8 @@ pub fn replay_fleet(
         elapsed_s,
         uplinks_per_s: uplinks as f64 / elapsed_s.max(1e-9),
         copies_per_s: copies as f64 / elapsed_s.max(1e-9),
-        latency: LatencySummary::from_samples(latencies),
+        ack_latency: LatencySummary::from_samples(latencies),
+        commit_latency: LatencySummary::from_samples(commit_latencies),
     })
 }
 
@@ -360,30 +415,7 @@ pub fn replay_fleet_open_loop(
         handles.into_iter().map(|h| h.join().expect("gateway thread panicked")).collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();
-
-    let mut latencies = Vec::new();
-    let mut datagrams = 0u64;
-    let mut retries = 0u64;
-    let mut copies = 0u64;
-    for run in runs {
-        let run = run?;
-        latencies.extend(run.latencies_us);
-        datagrams += run.datagrams;
-        retries += run.retries;
-        copies += run.copies;
-    }
-    let uplinks = groups.len() as u64;
-    Ok(LoadgenReport {
-        gateways: gateway_count,
-        uplinks,
-        copies,
-        datagrams,
-        retries,
-        elapsed_s,
-        uplinks_per_s: uplinks as f64 / elapsed_s.max(1e-9),
-        copies_per_s: copies as f64 / elapsed_s.max(1e-9),
-        latency: LatencySummary::from_samples(latencies),
-    })
+    aggregate_runs(runs, groups.len() as u64, gateway_count, elapsed_s)
 }
 
 /// One gateway's open-loop (Poisson-paced, no ack wait) replay loop.
@@ -399,13 +431,20 @@ fn run_gateway_open_loop(
     socket.connect(data_addr)?;
     socket.set_nonblocking(true)?;
 
-    let mut run = GatewayRun { latencies_us: Vec::new(), datagrams: 0, retries: 0, copies: 0 };
+    let mut run = GatewayRun {
+        latencies_us: Vec::new(),
+        commit_latencies_us: Vec::new(),
+        datagrams: 0,
+        retries: 0,
+        copies: 0,
+    };
     let mut scratch = Encoder::new();
     let mut rng = GapRng::new(seed);
     let chunk_size = config.copies_per_datagram.max(1);
     let chunks: Vec<&[WireUplink]> = stream.chunks(chunk_size).collect();
     let mean = Duration::from_secs_f64(target_s / chunks.len().max(1) as f64);
     let mut sent_at: std::collections::HashMap<u64, Instant> = std::collections::HashMap::new();
+    let mut commit_pending: CommitPending = CommitPending::new();
 
     let mut next_send = Instant::now();
     for (k, chunk) in chunks.iter().enumerate() {
@@ -414,7 +453,7 @@ fn run_gateway_open_loop(
         let frame = Frame::PushData(PushData { gateway, seq, watermark, uplinks: chunk.to_vec() });
         next_send += rng.exp_gap(mean);
         loop {
-            drain_acks(&socket, &mut sent_at, &mut run)?;
+            drain_acks(&socket, &mut sent_at, &mut commit_pending, &mut run)?;
             let now = Instant::now();
             if now >= next_send {
                 break;
@@ -423,7 +462,11 @@ fn run_gateway_open_loop(
         }
         scratch.clear();
         encode_frame_into(&frame, &mut scratch);
-        sent_at.insert(seq, Instant::now());
+        let sent = Instant::now();
+        sent_at.insert(seq, sent);
+        if let Some(last) = chunk.last() {
+            commit_pending.push_back((last.uplink, sent));
+        }
         socket.send(scratch.as_bytes())?;
         run.datagrams += 1;
         run.copies += chunk.len() as u64;
@@ -436,37 +479,57 @@ fn run_gateway_open_loop(
     socket.set_read_timeout(Some(config.ack_timeout))?;
     let final_seq = chunks.len() as u64;
     let release = Frame::PullData { gateway, seq: final_seq, watermark: u64::MAX };
-    send_acked(&socket, &mut scratch, &release, gateway, final_seq, config, &mut run)?;
+    let committed =
+        send_acked(&socket, &mut scratch, &release, gateway, final_seq, config, &mut run)?;
+    pop_committed(&mut commit_pending, committed, &mut run);
 
     // One more timeout window for straggling data acks (their latency
     // samples are the interesting ones near saturation).
     socket.set_nonblocking(true)?;
     let deadline = Instant::now() + config.ack_timeout;
     while !sent_at.is_empty() && Instant::now() < deadline {
-        drain_acks(&socket, &mut sent_at, &mut run)?;
+        drain_acks(&socket, &mut sent_at, &mut commit_pending, &mut run)?;
         std::thread::sleep(Duration::from_micros(200));
     }
+
+    // Resolve the commit tail: poll keepalives until the commit
+    // watermark covers everything this gateway sent (or the budget
+    // runs out — under overload the unresolved tail is the finding).
+    socket.set_nonblocking(false)?;
+    resolve_commits(
+        &socket,
+        &mut scratch,
+        gateway,
+        final_seq + 1,
+        config,
+        &mut commit_pending,
+        &mut run,
+    )?;
     Ok(run)
 }
 
 /// Drains every ack currently queued on a non-blocking socket, matching
-/// them to outstanding send times for latency samples.
+/// them to outstanding send times for ack-latency samples and advancing
+/// the commit-latency queue with the acked watermark.
 fn drain_acks(
     socket: &UdpSocket,
     sent_at: &mut std::collections::HashMap<u64, Instant>,
+    commit_pending: &mut CommitPending,
     run: &mut GatewayRun,
 ) -> Result<(), NetError> {
     let mut buf = [0u8; 256];
     loop {
         match socket.recv(&mut buf) {
             Ok(len) => {
-                if let Ok(Frame::PushAck { seq, .. } | Frame::PullAck { seq, .. }) =
-                    decode_frame(&buf[..len])
+                if let Ok(
+                    Frame::PushAck { seq, committed, .. } | Frame::PullAck { seq, committed, .. },
+                ) = decode_frame(&buf[..len])
                 {
                     if let Some(sent) = sent_at.remove(&seq) {
                         run.latencies_us
                             .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
                     }
+                    pop_committed(commit_pending, committed, run);
                 }
             }
             Err(e)
@@ -480,6 +543,31 @@ fn drain_acks(
     }
 }
 
+/// Polls lock-step keepalives (on a blocking socket) until the commit
+/// watermark covers every pending datagram or
+/// [`LoadgenConfig::commit_wait`] expires.
+fn resolve_commits(
+    socket: &UdpSocket,
+    scratch: &mut Encoder,
+    gateway: u32,
+    mut seq: u64,
+    config: &LoadgenConfig,
+    commit_pending: &mut CommitPending,
+    run: &mut GatewayRun,
+) -> Result<(), NetError> {
+    let deadline = Instant::now() + config.commit_wait;
+    while !commit_pending.is_empty() && Instant::now() < deadline {
+        let frame = Frame::PullData { gateway, seq, watermark: u64::MAX };
+        let committed = send_acked(socket, scratch, &frame, gateway, seq, config, run)?;
+        seq += 1;
+        pop_committed(commit_pending, committed, run);
+        if !commit_pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    Ok(())
+}
+
 /// One gateway's lock-step replay loop.
 fn run_gateway(
     gateway: u32,
@@ -491,10 +579,17 @@ fn run_gateway(
     socket.connect(data_addr)?;
     socket.set_read_timeout(Some(config.ack_timeout))?;
 
-    let mut run = GatewayRun { latencies_us: Vec::new(), datagrams: 0, retries: 0, copies: 0 };
+    let mut run = GatewayRun {
+        latencies_us: Vec::new(),
+        commit_latencies_us: Vec::new(),
+        datagrams: 0,
+        retries: 0,
+        copies: 0,
+    };
     let mut scratch = Encoder::new();
     let mut seq = 0u64;
     let mut next_send = Instant::now();
+    let mut commit_pending: CommitPending = CommitPending::new();
 
     let chunk_size = config.copies_per_datagram.max(1);
     let chunks: Vec<&[WireUplink]> = stream.chunks(chunk_size).collect();
@@ -513,7 +608,12 @@ fn run_gateway(
             }
             next_send = next_send.max(now) + interval;
         }
-        send_acked(&socket, &mut scratch, &frame, gateway, seq, config, &mut run)?;
+        let sent = Instant::now();
+        if let Some(last) = chunk.last() {
+            commit_pending.push_back((last.uplink, sent));
+        }
+        let committed = send_acked(&socket, &mut scratch, &frame, gateway, seq, config, &mut run)?;
+        pop_committed(&mut commit_pending, committed, &mut run);
         run.copies += chunk.len() as u64;
         seq += 1;
     }
@@ -521,12 +621,16 @@ fn run_gateway(
         // A silent gateway still has to release the fleet barrier.
         let frame = Frame::PullData { gateway, seq, watermark: u64::MAX };
         send_acked(&socket, &mut scratch, &frame, gateway, seq, config, &mut run)?;
+        seq += 1;
     }
+    // Resolve the commit tail before reporting (bounded by commit_wait).
+    resolve_commits(&socket, &mut scratch, gateway, seq, config, &mut commit_pending, &mut run)?;
     Ok(run)
 }
 
 /// Sends one datagram and blocks until its ack, retransmitting on
-/// timeout. Records the send→ack latency.
+/// timeout. Records the send→ack latency and returns the commit
+/// watermark the matching ack carried.
 fn send_acked(
     socket: &UdpSocket,
     scratch: &mut Encoder,
@@ -535,7 +639,7 @@ fn send_acked(
     seq: u64,
     config: &LoadgenConfig,
     run: &mut GatewayRun,
-) -> Result<(), NetError> {
+) -> Result<u64, NetError> {
     scratch.clear();
     encode_frame_into(frame, scratch);
     let started = Instant::now();
@@ -550,13 +654,13 @@ fn send_acked(
             match socket.recv(&mut buf) {
                 Ok(len) => match decode_frame(&buf[..len]) {
                     Ok(
-                        Frame::PushAck { gateway: g, seq: s }
-                        | Frame::PullAck { gateway: g, seq: s },
+                        Frame::PushAck { gateway: g, seq: s, committed }
+                        | Frame::PullAck { gateway: g, seq: s, committed },
                     ) if g == gateway && s == seq => {
                         run.datagrams += 1;
                         run.latencies_us
                             .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
-                        return Ok(());
+                        return Ok(committed);
                     }
                     // A stale ack (earlier retransmission) or noise:
                     // keep listening until the deadline.
@@ -604,17 +708,18 @@ mod tests {
             elapsed_s: 1.0,
             uplinks_per_s: 10.0,
             copies_per_s: 10.0,
-            latency: LatencySummary::default(),
+            ack_latency: LatencySummary::default(),
+            commit_latency: LatencySummary::default(),
         };
         let point = |offered: f64, p99_us: u64| SweepPoint {
             offered_per_s: offered,
             achieved_per_s: offered,
             report: LoadgenReport {
-                latency: LatencySummary { p99_us, ..LatencySummary::default() },
+                ack_latency: LatencySummary { p99_us, ..LatencySummary::default() },
                 ..run.clone()
             },
         };
-        // Ingest p99 stays in budget at 100 and 200, explodes at 400.
+        // Ack p99 stays in budget at 100 and 200, explodes at 400.
         let sweep = SweepReport::from_points(vec![
             point(100.0, 900),
             point(200.0, SWEEP_P99_BUDGET_US),
@@ -652,10 +757,13 @@ mod tests {
             elapsed_s: 0.5,
             uplinks_per_s: 200.0,
             copies_per_s: 800.0,
-            latency: LatencySummary::from_samples(vec![10, 20, 30]),
+            ack_latency: LatencySummary::from_samples(vec![10, 20, 30]),
+            commit_latency: LatencySummary::from_samples(vec![100, 200, 300]),
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ack_latency_us\":"));
+        assert!(json.contains("\"commit_latency_us\":"));
         assert!(json.contains("\"p999\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -16,9 +16,9 @@
 //! | type | frame | direction | payload |
 //! |---|---|---|---|
 //! | `0x00` | `PUSH_DATA` | gateway → server | gateway id, seq, watermark, uplink-copy batch |
-//! | `0x01` | `PUSH_ACK` | server → gateway | gateway id, seq |
+//! | `0x01` | `PUSH_ACK` | server → gateway | gateway id, seq, committed watermark |
 //! | `0x02` | `PULL_DATA` | gateway → server | keepalive carrying the gateway's watermark |
-//! | `0x03` | `PULL_ACK` | server → gateway | gateway id, seq |
+//! | `0x03` | `PULL_ACK` | server → gateway | gateway id, seq, committed watermark |
 //! | `0x04` | `STATS_REQ` | ctrl → server | opaque token |
 //! | `0x05` | `STATS_RESP` | server → ctrl | token, live wire + server + detection + runtime counters |
 //! | `0x06` | `SHUTDOWN` | ctrl → server | opaque token |
@@ -56,8 +56,11 @@ use softlora_telemetry::{HistogramSnapshot, RegistrySnapshot, SeriesSnapshot, Se
 pub const MAGIC: u16 = 0x4E53;
 
 /// Protocol version this crate speaks. Version 2 added the runtime
-/// section to `STATS_RESP` and the `METRICS_REQ`/`METRICS_RESP` pair.
-pub const VERSION: u8 = 2;
+/// section to `STATS_RESP` and the `METRICS_REQ`/`METRICS_RESP` pair;
+/// version 3 added the `committed` watermark to `PUSH_ACK`/`PULL_ACK`
+/// so gateways learn how far the off-thread commit pipeline has durably
+/// advanced, independent of ack latency.
+pub const VERSION: u8 = 3;
 
 /// Bytes of fixed overhead around the payload: magic + version + type
 /// up front, CRC-32 behind.
@@ -350,6 +353,11 @@ pub enum Frame {
         gateway: u32,
         /// Acknowledged datagram seq.
         seq: u64,
+        /// Uplink ids strictly below this are committed (version 3);
+        /// `0` means nothing is committed yet. Acks return as soon as
+        /// the datagram is reassembled — this watermark is how a
+        /// gateway observes the commit pipeline catching up.
+        committed: u64,
     },
     /// Keepalive carrying the gateway's current watermark.
     PullData {
@@ -366,6 +374,9 @@ pub enum Frame {
         gateway: u32,
         /// Acknowledged datagram seq.
         seq: u64,
+        /// Commit watermark, as in [`Frame::PushAck::committed`]
+        /// (version 3).
+        committed: u64,
     },
     /// Stats query, ctrl → server.
     StatsReq {
@@ -694,8 +705,8 @@ pub fn encode_frame_into(frame: &Frame, e: &mut Encoder) {
                 encode_wire_uplink(e, u);
             }
         }
-        Frame::PushAck { gateway, seq } | Frame::PullAck { gateway, seq } => {
-            e.u32(*gateway).u64(*seq);
+        Frame::PushAck { gateway, seq, committed } | Frame::PullAck { gateway, seq, committed } => {
+            e.u32(*gateway).u64(*seq).u64(*committed);
         }
         Frame::PullData { gateway, seq, watermark } => {
             e.u32(*gateway).u64(*seq).u64(*watermark);
@@ -773,9 +784,9 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
             }
             Frame::PushData(PushData { gateway, seq, watermark, uplinks })
         }
-        TYPE_PUSH_ACK => Frame::PushAck { gateway: d.u32()?, seq: d.u64()? },
+        TYPE_PUSH_ACK => Frame::PushAck { gateway: d.u32()?, seq: d.u64()?, committed: d.u64()? },
         TYPE_PULL_DATA => Frame::PullData { gateway: d.u32()?, seq: d.u64()?, watermark: d.u64()? },
-        TYPE_PULL_ACK => Frame::PullAck { gateway: d.u32()?, seq: d.u64()? },
+        TYPE_PULL_ACK => Frame::PullAck { gateway: d.u32()?, seq: d.u64()?, committed: d.u64()? },
         TYPE_STATS_REQ => Frame::StatsReq { token: d.u64()? },
         TYPE_STATS_RESP => Frame::StatsResp { token: d.u64()?, stats: decode_wire_stats(&mut d)? },
         TYPE_SHUTDOWN => Frame::Shutdown { token: d.u64()? },
@@ -844,9 +855,9 @@ mod tests {
     fn frames_round_trip() {
         let frames = [
             sample_push(),
-            Frame::PushAck { gateway: 7, seq: 41 },
+            Frame::PushAck { gateway: 7, seq: 41, committed: 12 },
             Frame::PullData { gateway: 3, seq: 9, watermark: u64::MAX },
-            Frame::PullAck { gateway: 3, seq: 9 },
+            Frame::PullAck { gateway: 3, seq: 9, committed: 0 },
             Frame::StatsReq { token: 0xDEAD_BEEF },
             Frame::StatsResp {
                 token: 0xDEAD_BEEF,

@@ -175,9 +175,9 @@ proptest! {
             ..Default::default()
         };
         let frames = [
-            Frame::PushAck { gateway, seq },
+            Frame::PushAck { gateway, seq, committed: watermark },
             Frame::PullData { gateway, seq, watermark },
-            Frame::PullAck { gateway, seq },
+            Frame::PullAck { gateway, seq, committed: seq },
             Frame::StatsReq { token },
             Frame::StatsResp { token, stats },
             Frame::Shutdown { token },

@@ -1,0 +1,245 @@
+//! Fixed-capacity Chase-Lev work-stealing deque of block ids.
+//!
+//! The stealing scheduler's run queue: each worker owns one deque and
+//! pushes/pops runnable block ids at the **bottom** (LIFO, cache-warm),
+//! while idle workers **steal** from the **top** (FIFO, oldest first).
+//! Only ids — small integers indexing the scheduler's node table — cross
+//! the deque, so every slot is a plain [`AtomicUsize`] and the classic
+//! Chase-Lev algorithm needs no uninitialised memory or dynamic growth:
+//!
+//! * `bottom` is written only by the owner; `top` only advances, by a
+//!   compare-and-swap (owner and thieves race on the last element).
+//! * The capacity is fixed at construction. The scheduler sizes every
+//!   deque to hold **all** block ids, and maintains the invariant that
+//!   each id lives in at most one deque at a time (an id is re-enqueued
+//!   only by whoever dequeued it), so [`StealDeque::push`] can never
+//!   observe a full deque in scheduler use — but the bound is still
+//!   checked and surfaced, never silently overwritten.
+//! * `top` is monotone, which rules out ABA: a thief's CAS succeeds only
+//!   if no other thief (and not the owner) claimed the same slot first.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Outcome of a [`StealDeque::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was empty.
+    Empty,
+    /// Another thief (or the owner) won the race for the top element;
+    /// retrying immediately may succeed.
+    Retry,
+    /// Stole this id.
+    Success(usize),
+}
+
+/// A bounded work-stealing deque of `usize` ids; see the module docs.
+///
+/// The owner side ([`push`](StealDeque::push) / [`pop`](StealDeque::pop))
+/// must stay on a single thread at a time; [`steal`](StealDeque::steal)
+/// is safe from any number of concurrent thieves.
+pub struct StealDeque {
+    /// Slot `p & mask` holds the id pushed at position `p`.
+    slots: Box<[AtomicUsize]>,
+    mask: usize,
+    /// Next position to push (owner-only writes).
+    bottom: AtomicIsize,
+    /// Next position to steal (CAS by thieves and the racing owner).
+    top: AtomicIsize,
+}
+
+impl StealDeque {
+    /// A deque holding at least `capacity` ids (rounded up to a power of
+    /// two, minimum 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds `isize::MAX / 2` slots.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        assert!(cap <= (isize::MAX / 2) as usize, "deque capacity overflow");
+        StealDeque {
+            slots: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+        }
+    }
+
+    /// Slot count (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Ids currently queued, from the owner's view (racy under theft —
+    /// a lower bound by the time it returns).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque currently holds no ids (same caveat as
+    /// [`len`](StealDeque::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner: enqueues `id` at the bottom. Returns `Err(id)` when the
+    /// deque is full (never happens under the scheduler's sizing
+    /// invariant, but the bound is enforced).
+    pub fn push(&self, id: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if (b - t) as usize >= self.capacity() {
+            return Err(id);
+        }
+        self.slots[(b as usize) & self.mask].store(id, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner: dequeues the most recently pushed id, racing thieves for
+    /// the last element.
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The owner's bottom decrement must be visible before it reads
+        // top, and symmetrically for thieves — the heart of Chase-Lev.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let id = self.slots[(b as usize) & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: win it from the thieves by advancing top.
+            let won =
+                self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(id);
+        }
+        Some(id)
+    }
+
+    /// Thief: tries to dequeue the oldest id from the top. Safe from any
+    /// thread, concurrently with the owner and other thieves.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read before the CAS: a successful CAS proves no one else
+        // consumed position `t`, so the read saw the live value (top is
+        // monotone — the slot cannot have been reused while top == t,
+        // because re-pushing requires the old occupant to be consumed,
+        // which advances top past t first).
+        let id = self.slots[(t as usize) & self.mask].load(Ordering::Relaxed);
+        match self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed) {
+            Ok(_) => Steal::Success(id),
+            Err(_) => Steal::Retry,
+        }
+    }
+}
+
+impl std::fmt::Debug for StealDeque {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealDeque")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = StealDeque::new(8);
+        for id in 0..4 {
+            d.push(id).unwrap();
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.pop(), Some(3), "owner pops newest");
+        assert_eq!(d.steal(), Steal::Success(0), "thief steals oldest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.steal(), Steal::Success(1));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_bounds_pushes() {
+        let d = StealDeque::new(3);
+        assert_eq!(d.capacity(), 4);
+        for id in 0..4 {
+            d.push(id).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99), "full deque rejects");
+        assert_eq!(d.steal(), Steal::Success(0));
+        d.push(99).unwrap();
+        assert_eq!(d.pop(), Some(99));
+    }
+
+    #[test]
+    fn wraparound_preserves_ids() {
+        let d = StealDeque::new(2);
+        for round in 0..100usize {
+            d.push(round).unwrap();
+            assert_eq!(d.pop(), Some(round));
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn concurrent_thieves_never_lose_or_duplicate() {
+        use std::sync::Arc;
+        const IDS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let deque = Arc::new(StealDeque::new(64));
+        let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..IDS).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let deque = Arc::clone(&deque);
+                let seen = Arc::clone(&seen);
+                let done = Arc::clone(&done);
+                scope.spawn(move || loop {
+                    match deque.steal() {
+                        Steal::Success(id) => {
+                            seen[id].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Owner: push everything, popping some back itself.
+            let mut next = 0usize;
+            while next < IDS {
+                if deque.push(next).is_ok() {
+                    next += 1;
+                } else if let Some(id) = deque.pop() {
+                    seen[id].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            while let Some(id) = deque.pop() {
+                seen[id].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(1, Ordering::Release);
+        });
+        for (id, count) in seen.iter().enumerate() {
+            assert_eq!(count.load(Ordering::Relaxed), 1, "id {id} seen exactly once");
+        }
+    }
+}

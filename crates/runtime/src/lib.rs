@@ -16,9 +16,13 @@
 //!   ([`WorkResult::Finished`]);
 //! * [`FlowgraphBuilder`] — wires blocks into a DAG (acyclic by
 //!   construction, connectivity validated at [`FlowgraphBuilder::build`]);
-//! * [`Scheduler`] — runs blocks round-robin on std worker threads,
-//!   parking on empty/full rings and unparking peers on progress, with
-//!   per-block throughput/latency/occupancy counters surfaced through
+//! * [`Scheduler`] — runs blocks on std worker threads under one of two
+//!   policies ([`SchedulerKind`], selectable per graph or via the
+//!   `SOFTLORA_SCHEDULER` env var): static **round-robin** assignment,
+//!   or **work-stealing** over per-worker Chase-Lev deques ([`deque`])
+//!   with occupancy-driven ring-capacity tuning; both park on empty/full
+//!   rings and unpark peers on progress, with per-block
+//!   throughput/latency/occupancy counters surfaced through
 //!   [`RuntimeObserver`] and the final [`RuntimeReport`].
 //!
 //! The crate is domain-agnostic (items are any `Send` type); the SoftLoRa
@@ -52,14 +56,16 @@
 
 pub mod block;
 pub mod blocks;
+pub mod deque;
 pub mod flowgraph;
 pub mod observer;
 pub mod ring;
 pub mod scheduler;
 
 pub use block::{Block, InputPort, OutputPort, WorkIo, WorkResult};
+pub use deque::{Steal, StealDeque};
 pub use flowgraph::{
     Flowgraph, FlowgraphBuilder, FlowgraphError, NodeHandle, DEFAULT_RING_CAPACITY,
 };
 pub use observer::{BlockReport, BlockTally, RuntimeObserver, RuntimeReport, RuntimeStats};
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerKind};

@@ -1,0 +1,107 @@
+//! Property tests for the work-stealing deque: under arbitrary owner
+//! push/pop interleavings racing concurrent thieves, every id comes out
+//! exactly once — nothing lost, nothing duplicated — and the owner end
+//! behaves LIFO while thieves drain FIFO.
+
+use proptest::prelude::*;
+use softlora_runtime::deque::{Steal, StealDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Owner pushes `ids` (popping locally on a script of its own) while
+    /// `thieves` threads steal concurrently: every id is dequeued by
+    /// exactly one party.
+    #[test]
+    fn concurrent_steals_lose_and_duplicate_nothing(
+        count in 1usize..2_000,
+        thieves in 1usize..4,
+        pop_bias in 0u8..4,
+    ) {
+        let deque = Arc::new(StealDeque::new(32));
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..count).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..thieves {
+                let deque = Arc::clone(&deque);
+                let seen = Arc::clone(&seen);
+                let done = Arc::clone(&done);
+                scope.spawn(move || loop {
+                    match deque.steal() {
+                        Steal::Success(id) => {
+                            seen[id].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut next = 0usize;
+            let mut step = 0u8;
+            while next < count {
+                step = step.wrapping_add(1);
+                // A deterministic owner script: mostly push, with a
+                // bias-controlled sprinkle of local pops.
+                if step % 4 < pop_bias {
+                    if let Some(id) = deque.pop() {
+                        seen[id].fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if deque.push(next).is_ok() {
+                    next += 1;
+                } else if let Some(id) = deque.pop() {
+                    // Full: the owner drains one to make room.
+                    seen[id].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            while let Some(id) = deque.pop() {
+                seen[id].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(1, Ordering::Release);
+        });
+        for (id, tally) in seen.iter().enumerate() {
+            prop_assert!(tally.load(Ordering::Relaxed) == 1, "id {} exactly once", id);
+        }
+    }
+
+    /// Single-threaded, the deque agrees with a reference double-ended
+    /// queue: owner pops take the back (LIFO), steals take the front
+    /// (FIFO), and capacity bounds pushes exactly.
+    #[test]
+    fn matches_reference_deque(ops in prop::collection::vec(any::<u8>(), 1..400)) {
+        let deque = StealDeque::new(8);
+        let cap = deque.capacity();
+        let mut model: std::collections::VecDeque<usize> = Default::default();
+        for (k, op) in ops.iter().enumerate() {
+            match op % 3 {
+                0 => match deque.push(k) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < cap, "push past capacity at op {}", k);
+                        model.push_back(k);
+                    }
+                    Err(id) => {
+                        prop_assert_eq!(id, k);
+                        prop_assert_eq!(model.len(), cap);
+                    }
+                },
+                1 => prop_assert_eq!(deque.pop(), model.pop_back()),
+                _ => {
+                    let want = model.pop_front();
+                    match deque.steal() {
+                        Steal::Success(id) => prop_assert_eq!(Some(id), want),
+                        Steal::Empty => prop_assert_eq!(want, None),
+                        Steal::Retry => prop_assert!(false, "no contention single-threaded"),
+                    }
+                }
+            }
+            prop_assert_eq!(deque.len(), model.len());
+        }
+    }
+}

@@ -95,11 +95,18 @@ fn crafted_push(gateway: u32, seq: u64, group: &UplinkDeliveries) -> Vec<u8> {
     }))
 }
 
-fn send_and_ack(socket: &UdpSocket, datagram: &[u8]) {
+/// Sends one crafted datagram and returns the commit watermark its ack
+/// carries — acks are emitted by the poll thread *before* the off-thread
+/// commit worker necessarily catches up, so the watermark is a lower
+/// bound on commit progress, never a claim about the datagram itself.
+fn send_and_ack(socket: &UdpSocket, datagram: &[u8]) -> u64 {
     socket.send(datagram).expect("send crafted datagram");
     let mut buf = [0u8; 256];
     let len = socket.recv(&mut buf).expect("crafted datagram not acked");
-    assert!(decode_frame(&buf[..len]).is_ok(), "ack must decode");
+    match decode_frame(&buf[..len]).expect("ack must decode") {
+        Frame::PushAck { committed, .. } | Frame::PullAck { committed, .. } => committed,
+        other => panic!("expected an ack frame, got {other:?}"),
+    }
 }
 
 #[test]
@@ -171,10 +178,13 @@ fn loopback_fleet_matches_batch_bit_for_bit() {
     std::thread::sleep(Duration::from_millis(200));
     let stale_seq = 1 << 33;
     let stale = crafted_push(0, stale_seq, &groups[0]);
-    send_and_ack(&inject, &stale); // stale copy, fresh datagram
-    send_and_ack(&inject, &stale); // exact duplicate datagram
+    let w1 = send_and_ack(&inject, &stale); // stale copy, fresh datagram
+    let w2 = send_and_ack(&inject, &stale); // exact duplicate datagram
     let out_of_order = crafted_push(0, stale_seq - 1, &groups[0]);
-    send_and_ack(&inject, &out_of_order); // lower seq than already seen
+    let w3 = send_and_ack(&inject, &out_of_order); // lower seq than already seen
+                                                   // The ack watermark never regresses, even while the poll thread is
+                                                   // being fed garbage the commit worker will never see.
+    assert!(w2 >= w1 && w3 >= w2, "commit watermark regressed: {w1} {w2} {w3}");
 
     // Counters over the ctrl endpoint, live.
     let ctrl = UdpSocket::bind("127.0.0.1:0").expect("ctrl socket");
@@ -199,9 +209,20 @@ fn loopback_fleet_matches_batch_bit_for_bit() {
     assert_eq!(c.incomplete_groups, 0, "no group may commit incomplete: {c:?}");
     assert_eq!(c.groups_committed, groups.len() as u64, "every group commits: {c:?}");
 
-    // Orderly shutdown; the report carries the wire path's verdicts.
+    // Orderly shutdown; the ack carries the final commit watermark (the
+    // queue is drained before it is sent, so every uplink is committed),
+    // and the report carries the wire path's verdicts.
     ctrl.send(&encode_frame(&Frame::Shutdown { token: 78 })).expect("shutdown");
-    let _ = ctrl.recv(&mut buf).expect("shutdown ack");
+    let len = ctrl.recv(&mut buf).expect("shutdown ack");
+    let Frame::PullAck { committed, .. } = decode_frame(&buf[..len]).expect("shutdown ack frame")
+    else {
+        panic!("expected PULL_ACK shutdown ack");
+    };
+    assert_eq!(
+        committed,
+        groups.last().unwrap().uplink + 1,
+        "shutdown must drain the commit queue first"
+    );
     let run = listener.join().expect("listener thread").expect("listener run");
 
     // The acceptance bar: bit-for-bit parity with the in-process path.
