@@ -141,6 +141,14 @@ pub struct Reassembler {
     base: u64,
     /// Slots currently holding a group (the window may also hold holes).
     occupied: usize,
+    /// Groups force-released by overload eviction (the window was full
+    /// and a newer id needed room). They are strictly older than
+    /// everything still in the window and leave with the next
+    /// [`Reassembler::drain_ready`], ahead of it, preserving ascending
+    /// commit order.
+    spill: Vec<UplinkDeliveries>,
+    /// How many spilled groups were incomplete when evicted.
+    spill_incomplete: usize,
     /// Pooled copy-slot vectors, reused across groups.
     shell_pool: Vec<Vec<Option<FleetDelivery>>>,
     /// Pooled emitted groups, refilled via [`Reassembler::recycle`].
@@ -151,14 +159,19 @@ pub struct Reassembler {
 
 impl Reassembler {
     /// A window forcing out groups older than `straggler_timeout` and
-    /// holding at most `max_pending` groups (and at most that many
-    /// window positions ahead of the base).
+    /// holding at most `max_pending` window positions. An id that needs
+    /// a position past a full window force-releases the oldest slots to
+    /// make room (overload); ids more than twice `max_pending` ahead of
+    /// the front — or more than `max_pending` ahead of the base when the
+    /// window is empty — are rejected as hostile/corrupt.
     pub fn new(straggler_timeout: Duration, max_pending: usize) -> Self {
         Reassembler {
             window: VecDeque::new(),
             front_id: 0,
             base: 0,
             occupied: 0,
+            spill: Vec::new(),
+            spill_incomplete: 0,
             shell_pool: Vec::new(),
             group_pool: Vec::new(),
             straggler_timeout,
@@ -179,6 +192,14 @@ impl Reassembler {
             return Stash::Stale;
         }
         let index = if self.window.is_empty() {
+            // Same bound as the non-empty offset check: a forged or
+            // corrupt id arbitrarily far ahead must not seed the window,
+            // or every legitimate smaller id would be rejected until the
+            // straggler timeout jumps the base past them all — a
+            // permanent ingest DoS from one datagram.
+            if id.saturating_sub(self.base) >= self.max_pending as u64 {
+                return Stash::FarFuture;
+            }
             self.front_id = id;
             self.push_back_slot();
             0
@@ -196,10 +217,32 @@ impl Reassembler {
             self.front_id = id;
             0
         } else {
-            let offset = (id - self.front_id) as usize;
-            if offset >= self.max_pending {
+            let mut offset = id - self.front_id;
+            // Hard hostile-id bound: overload can push ids up to one
+            // window past the front (absorbed by evicting the oldest),
+            // but anything further is a forged or corrupt id — reject it
+            // before it can flush the whole window.
+            if offset >= (self.max_pending as u64).saturating_mul(2) {
                 return Stash::FarFuture;
             }
+            if offset >= self.max_pending as u64 {
+                // The window is full up to this id's position: force-
+                // release the oldest slots (documented overload behavior
+                // — evicted groups commit with the copies that arrived)
+                // rather than dropping an already-acked copy.
+                let excess = offset - self.max_pending as u64 + 1;
+                for _ in 0..excess.min(self.window.len() as u64) {
+                    self.evict_front();
+                }
+                if self.window.is_empty() {
+                    self.front_id = id;
+                    self.push_back_slot();
+                    offset = 0;
+                } else {
+                    offset = id - self.front_id;
+                }
+            }
+            let offset = offset as usize;
             while self.window.len() <= offset {
                 self.push_back_slot();
             }
@@ -241,6 +284,30 @@ impl Reassembler {
         self.window.push_back(Slot { first_seen: Instant::now(), group: None });
     }
 
+    /// Force-releases the oldest window position into the spill buffer
+    /// (overload eviction). A hole releases silently, like in
+    /// [`Reassembler::drain_ready`].
+    fn evict_front(&mut self) {
+        let Some(slot) = self.window.pop_front() else { return };
+        let id = self.front_id;
+        self.front_id = self.front_id.saturating_add(1);
+        self.base = self.front_id;
+        if let Some(group) = slot.group {
+            self.occupied -= 1;
+            if !group.is_complete() {
+                self.spill_incomplete += 1;
+            }
+            let emitted = self.emit(id, group);
+            self.spill.push(emitted);
+        }
+    }
+
+    /// Groups force-released by overload eviction, waiting for the next
+    /// [`Reassembler::drain_ready`] to carry them out.
+    pub fn spilled_len(&self) -> usize {
+        self.spill.len()
+    }
+
     /// Groups releasable right now under the fleet `barrier` (the
     /// minimum gateway watermark): complete groups strictly below it, in
     /// ascending order, up to the first incomplete one. Holes below the
@@ -249,7 +316,7 @@ impl Reassembler {
         let Some(barrier) = barrier else { return 0 };
         let mut n = 0;
         for (k, slot) in self.window.iter().enumerate() {
-            if self.front_id + k as u64 >= barrier {
+            if self.front_id.saturating_add(k as u64) >= barrier {
                 break;
             }
             match &slot.group {
@@ -264,8 +331,8 @@ impl Reassembler {
     /// Releases every group that is safe to commit, in strict ascending
     /// uplink order, into `out`. `drain` (shutdown) releases the whole
     /// window regardless of watermarks. Groups older than the straggler
-    /// timeout — and everything when the window is over its pending
-    /// bound — are forced out with the copies that arrived.
+    /// timeout — and groups evicted because the window was full — are
+    /// forced out with the copies that arrived.
     pub fn drain_ready(
         &mut self,
         barrier: Option<u64>,
@@ -273,17 +340,21 @@ impl Reassembler {
         out: &mut Vec<UplinkDeliveries>,
     ) -> DrainTally {
         let mut tally = DrainTally::default();
-        loop {
-            let over_cap = self.occupied > self.max_pending;
-            let Some(front) = self.window.front() else { break };
+        // Overload evictions first: they are strictly older than the
+        // window, so ascending commit order is preserved.
+        tally.emitted += self.spill.len();
+        tally.incomplete += self.spill_incomplete;
+        self.spill_incomplete = 0;
+        out.append(&mut self.spill);
+        while let Some(front) = self.window.front() {
             let id = self.front_id;
             let ready = barrier.is_some_and(|b| id < b);
-            let expired = drain || over_cap || front.first_seen.elapsed() >= self.straggler_timeout;
+            let expired = drain || front.first_seen.elapsed() >= self.straggler_timeout;
             let hole = front.group.is_none();
             let complete = front.group.as_ref().is_some_and(PendingGroup::is_complete);
             if (ready && (complete || hole)) || expired {
                 let slot = self.window.pop_front().expect("front checked");
-                self.front_id += 1;
+                self.front_id = self.front_id.saturating_add(1);
                 self.base = self.front_id;
                 if let Some(group) = slot.group {
                     self.occupied -= 1;
@@ -478,6 +549,13 @@ impl CommitPipe {
         self.worker_thread.unpark();
     }
 
+    /// Whether the commit worker has exited (only before
+    /// [`CommitPipe::finish`] on a commit failure) — the watermark will
+    /// never advance again, so waits on it must stop.
+    pub fn worker_finished(&self) -> bool {
+        self.worker.is_finished()
+    }
+
     /// A group the worker finished with, ready for
     /// [`Reassembler::recycle`].
     pub fn pop_recycled(&mut self) -> Option<UplinkDeliveries> {
@@ -538,7 +616,7 @@ fn commit_worker<S: CommitSink>(
         telemetry.groups_committed.add(batch.len() as u64);
         telemetry.batch_size.record(batch.len() as u64);
         if let Some(last) = batch.last() {
-            committed.store(last.uplink + 1, Ordering::Release);
+            committed.store(last.uplink.saturating_add(1), Ordering::Release);
         }
         if record_verdicts {
             for (group, verdict) in batch.iter().zip(verdicts.drain(..)) {
@@ -657,6 +735,55 @@ mod tests {
         assert_eq!(r.stash(&header(0, 2, 0), Some(copy(0))), Stash::DuplicateCopy);
         assert_eq!(r.stash(&header(0, 2, 5), Some(copy(0))), Stash::BadCopyIndex);
         assert_eq!(r.stash(&header(1 << 40, 1, 0), Some(copy(0))), Stash::FarFuture);
+    }
+
+    #[test]
+    fn forged_far_future_id_on_empty_window_is_rejected() {
+        let mut r = Reassembler::new(Duration::from_secs(60), 8);
+        // A single forged datagram with a huge uplink id must not seed
+        // the window (it would FarFuture-reject every legitimate smaller
+        // id, then jump the base past them forever).
+        assert_eq!(r.stash(&header(1 << 60, 1, 0), Some(copy(0))), Stash::FarFuture);
+        assert_eq!(r.stash(&header(u64::MAX, 1, 0), Some(copy(0))), Stash::FarFuture);
+        // Legitimate ingest is untouched afterwards.
+        assert_eq!(r.stash(&header(0, 1, 0), Some(copy(0))), Stash::Filed);
+        let mut out = Vec::new();
+        assert_eq!(r.drain_ready(Some(1), false, &mut out).emitted, 1);
+        assert_eq!(out[0].uplink, 0);
+        // Rejection also applies relative to the advanced base.
+        assert_eq!(r.stash(&header(1 + 8, 1, 0), Some(copy(0))), Stash::FarFuture);
+        assert_eq!(r.stash(&header(1, 1, 0), Some(copy(0))), Stash::Filed);
+    }
+
+    #[test]
+    fn full_window_force_releases_oldest_groups() {
+        let mut r = Reassembler::new(Duration::from_secs(60), 4);
+        // Fill the window; group 0 stays incomplete.
+        r.stash(&header(0, 2, 0), Some(copy(0)));
+        for id in 1..4 {
+            r.stash(&header(id, 1, 0), Some(copy(0)));
+        }
+        assert_eq!(r.pending_len(), 4);
+        // Id 5 needs a position two past the window end: the two oldest
+        // groups are force-released (documented overload behavior), not
+        // the new already-acked copy dropped.
+        assert_eq!(r.stash(&header(5, 1, 0), Some(copy(0))), Stash::Filed);
+        assert_eq!(r.spilled_len(), 2);
+        let mut out = Vec::new();
+        let tally = r.drain_ready(None, false, &mut out);
+        assert_eq!(tally, DrainTally { emitted: 2, incomplete: 1 });
+        assert_eq!(out.iter().map(|g| g.uplink).collect::<Vec<_>>(), vec![0, 1]);
+        // Evicted ids are drained: late copies for them are stale.
+        assert_eq!(r.stash(&header(0, 2, 1), Some(copy(1))), Stash::Stale);
+        // The rest of the window still commits in ascending order.
+        let tally = r.drain_ready(Some(6), false, &mut out);
+        assert_eq!(tally, DrainTally { emitted: 3, incomplete: 0 });
+        assert_eq!(out.iter().map(|g| g.uplink).collect::<Vec<_>>(), vec![0, 1, 2, 3, 5]);
+        // Ids past one full window beyond the front stay rejected, so a
+        // forged id cannot flush the whole window at once.
+        r.stash(&header(6, 1, 0), Some(copy(0)));
+        assert_eq!(r.stash(&header(6 + 8, 1, 0), Some(copy(0))), Stash::FarFuture);
+        assert_eq!(r.pending_len(), 1, "rejected id did not evict anything");
     }
 
     #[test]

@@ -89,8 +89,10 @@ pub struct NetServerConfig {
     /// groups per `process_batch` call, and the poll thread releases
     /// early once this many are ready.
     pub max_batch_groups: usize,
-    /// Bound on the reassembly buffer: when more groups than this are
-    /// pending, the oldest are force-released even if incomplete.
+    /// Bound on the reassembly buffer: when a new uplink id needs a
+    /// window position past this many pending groups, the oldest are
+    /// force-released even if incomplete. Ids more than twice this bound
+    /// ahead of the window are rejected as forged/corrupt.
     pub max_pending_groups: usize,
     /// A pending group older than this is committed with the copies that
     /// arrived (counted in [`NetCounters::incomplete_groups`]).
@@ -143,24 +145,44 @@ struct GatewayTrack {
 /// How many datagram seqs per gateway the duplicate filter remembers.
 const SEQ_WINDOW: u64 = 4096;
 
+/// A seq further than this ahead of the gateway's highest seen (or of 0
+/// at first contact — gateways count from 0) is forged or corrupt:
+/// accepting it would pin `highest_seq` near `u64::MAX` and evict every
+/// real seq from the duplicate filter.
+const SEQ_FUTURE_BOUND: u64 = 1 << 20;
+
+/// Outcome of filing one datagram seq with [`GatewayTrack::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqCheck {
+    /// Already processed: re-ack, don't re-process.
+    Duplicate,
+    /// Implausibly far ahead of anything seen — reject the datagram.
+    FarFuture,
+    /// New; `out_of_order` if below the highest seq seen.
+    Fresh { out_of_order: bool },
+}
+
 impl GatewayTrack {
     fn new() -> Self {
         GatewayTrack { watermark: None, highest_seq: None, seen: HashSet::new() }
     }
 
-    /// Registers a datagram seq. Returns `(duplicate, out_of_order)`.
-    fn register(&mut self, seq: u64) -> (bool, bool) {
+    /// Registers a datagram seq.
+    fn register(&mut self, seq: u64) -> SeqCheck {
         if self.seen.contains(&seq) {
-            return (true, false);
+            return SeqCheck::Duplicate;
+        }
+        if seq > self.highest_seq.unwrap_or(0).saturating_add(SEQ_FUTURE_BOUND) {
+            return SeqCheck::FarFuture;
         }
         let out_of_order = self.highest_seq.is_some_and(|h| seq < h);
         self.seen.insert(seq);
         let highest = self.highest_seq.map_or(seq, |h| h.max(seq));
         self.highest_seq = Some(highest);
         if self.seen.len() as u64 > 2 * SEQ_WINDOW {
-            self.seen.retain(|&s| s + SEQ_WINDOW >= highest);
+            self.seen.retain(|&s| s >= highest.saturating_sub(SEQ_WINDOW));
         }
-        (false, out_of_order)
+        SeqCheck::Fresh { out_of_order }
     }
 
     fn advance_watermark(&mut self, watermark: u64) {
@@ -385,7 +407,7 @@ impl NetServer {
                 // Wait for the commit worker to drain what the final
                 // flush handed it, so the ack's watermark covers every
                 // group the fleet will ever see committed.
-                self.sync_commits();
+                self.sync_commits(None);
                 let (token, from) = shutdown_ack;
                 let committed = self.pipe.committed();
                 self.send_ctrl(&Frame::PullAck { gateway: 0, seq: token, committed }, from)?;
@@ -401,7 +423,7 @@ impl NetServer {
             let ready = self.reassembler.ready_count(self.barrier());
             if ready >= self.config.max_batch_groups
                 || (last_flush.elapsed() >= self.config.poll_interval && ready > 0)
-                || self.reassembler.pending_len() > self.config.max_pending_groups
+                || self.reassembler.spilled_len() > 0
             {
                 self.flush(false);
                 last_flush = Instant::now();
@@ -438,17 +460,27 @@ impl NetServer {
                     self.metrics.rejected_other.inc();
                     return Ok(());
                 };
-                let (duplicate, out_of_order) = track.register(seq);
-                track.advance_watermark(watermark);
-                if duplicate {
-                    self.metrics.duplicate_datagrams.inc();
-                } else {
-                    if out_of_order {
-                        self.metrics.out_of_order_datagrams.inc();
+                match track.register(seq) {
+                    SeqCheck::FarFuture => {
+                        // Forged/corrupt seq: drop the whole datagram
+                        // before it can poison the dedup state or the
+                        // watermark.
+                        self.metrics.rejected_other.inc();
+                        return Ok(());
                     }
-                    self.metrics.push_data.inc();
-                    for uplink in uplinks {
-                        self.stash(gateway as usize, uplink);
+                    SeqCheck::Duplicate => {
+                        track.advance_watermark(watermark);
+                        self.metrics.duplicate_datagrams.inc();
+                    }
+                    SeqCheck::Fresh { out_of_order } => {
+                        track.advance_watermark(watermark);
+                        if out_of_order {
+                            self.metrics.out_of_order_datagrams.inc();
+                        }
+                        self.metrics.push_data.inc();
+                        for uplink in uplinks {
+                            self.stash(gateway as usize, uplink);
+                        }
                     }
                 }
                 let committed = self.pipe.committed();
@@ -459,12 +491,19 @@ impl NetServer {
                     self.metrics.rejected_other.inc();
                     return Ok(());
                 };
-                let (duplicate, _) = track.register(seq);
-                track.advance_watermark(watermark);
-                if duplicate {
-                    self.metrics.duplicate_datagrams.inc();
-                } else {
-                    self.metrics.keepalives.inc();
+                match track.register(seq) {
+                    SeqCheck::FarFuture => {
+                        self.metrics.rejected_other.inc();
+                        return Ok(());
+                    }
+                    SeqCheck::Duplicate => {
+                        track.advance_watermark(watermark);
+                        self.metrics.duplicate_datagrams.inc();
+                    }
+                    SeqCheck::Fresh { .. } => {
+                        track.advance_watermark(watermark);
+                        self.metrics.keepalives.inc();
+                    }
                 }
                 let committed = self.pipe.committed();
                 self.send_data(&Frame::PullAck { gateway, seq, committed }, from)?;
@@ -525,13 +564,20 @@ impl NetServer {
         self.pipe.kick();
     }
 
-    /// Waits (bounded) for the commit worker to catch up with everything
-    /// released so far, so ctrl stats read deterministically — exactly
-    /// what the old synchronous flush guaranteed.
-    fn sync_commits(&self) {
+    /// Waits for the commit worker to catch up with everything released
+    /// so far, so ctrl stats read deterministically — exactly what the
+    /// old synchronous flush guaranteed. `cap` bounds the wait for live
+    /// ctrl queries; `None` (shutdown) waits for the full drain — the
+    /// ring is bounded, so the wait is bounded by the remaining work —
+    /// unless the worker already died on a commit failure (the watermark
+    /// can then never advance; the error surfaces at `finish`).
+    fn sync_commits(&self, cap: Option<Duration>) {
         let Some(last) = self.last_offered else { return };
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while self.pipe.committed() <= last && Instant::now() < deadline {
+        let deadline = cap.map(|c| Instant::now() + c);
+        while self.pipe.committed() <= last && !self.pipe.worker_finished() {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
             std::thread::sleep(Duration::from_micros(100));
         }
     }
@@ -544,7 +590,7 @@ impl NetServer {
             match self.ctrl.recv_from(&mut buf) {
                 Ok((len, from)) => match decode_frame(&buf[..len]) {
                     Ok(Frame::StatsReq { token }) => {
-                        self.sync_commits();
+                        self.sync_commits(Some(Duration::from_secs(2)));
                         let stats = {
                             let server = self.server.lock().expect("network server poisoned");
                             WireStats {
@@ -559,7 +605,7 @@ impl NetServer {
                         self.send_ctrl(&Frame::StatsResp { token, stats }, from)?;
                     }
                     Ok(Frame::MetricsReq { token }) => {
-                        self.sync_commits();
+                        self.sync_commits(Some(Duration::from_secs(2)));
                         let snapshot = softlora_telemetry::global().snapshot();
                         self.send_ctrl(&Frame::MetricsResp { token, snapshot }, from)?;
                     }
@@ -621,5 +667,51 @@ impl NetServer {
         encode_frame_into(frame, &mut self.scratch);
         self.ctrl.send_to(self.scratch.as_bytes(), to)?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_tracking_survives_forged_far_future_seqs() {
+        let mut track = GatewayTrack::new();
+        assert_eq!(track.register(0), SeqCheck::Fresh { out_of_order: false });
+        // A forged seq near u64::MAX must neither overflow the prune
+        // arithmetic nor pin `highest_seq`, which would evict every real
+        // seq from the duplicate filter.
+        assert_eq!(track.register(u64::MAX), SeqCheck::FarFuture);
+        assert_eq!(track.register(u64::MAX - SEQ_WINDOW), SeqCheck::FarFuture);
+        assert_eq!(track.highest_seq, Some(0));
+        // Real traffic keeps deduplicating.
+        assert_eq!(track.register(1), SeqCheck::Fresh { out_of_order: false });
+        assert_eq!(track.register(1), SeqCheck::Duplicate);
+        assert_eq!(track.register(0), SeqCheck::Duplicate);
+    }
+
+    #[test]
+    fn first_contact_far_future_seq_rejected() {
+        let mut track = GatewayTrack::new();
+        // Gateways count seqs from 0; a first-contact seq beyond the
+        // plausible bound is forged.
+        assert_eq!(track.register(u64::MAX), SeqCheck::FarFuture);
+        assert_eq!(track.highest_seq, None);
+        assert_eq!(track.register(0), SeqCheck::Fresh { out_of_order: false });
+    }
+
+    #[test]
+    fn seq_prune_keeps_the_recent_window() {
+        let mut track = GatewayTrack::new();
+        for seq in 0..=(2 * SEQ_WINDOW + 1) {
+            assert_eq!(track.register(seq), SeqCheck::Fresh { out_of_order: false });
+        }
+        // The prune ran; recent seqs are still remembered, ancient ones
+        // are forgotten (and would re-register as fresh-but-out-of-order
+        // rather than poisoning anything).
+        let highest = 2 * SEQ_WINDOW + 1;
+        assert_eq!(track.register(highest), SeqCheck::Duplicate);
+        assert_eq!(track.register(highest - SEQ_WINDOW + 1), SeqCheck::Duplicate);
+        assert_eq!(track.register(0), SeqCheck::Fresh { out_of_order: true });
     }
 }

@@ -176,7 +176,9 @@ fn loopback_fleet_matches_batch_bit_for_bit() {
     // verdict stream cannot be disturbed — the listener must count it
     // and carry on.
     std::thread::sleep(Duration::from_millis(200));
-    let stale_seq = 1 << 33;
+    // A fresh seq well above anything the replay used, but within the
+    // listener's plausibility bound for this gateway.
+    let stale_seq = 1 << 19;
     let stale = crafted_push(0, stale_seq, &groups[0]);
     let w1 = send_and_ack(&inject, &stale); // stale copy, fresh datagram
     let w2 = send_and_ack(&inject, &stale); // exact duplicate datagram
@@ -185,6 +187,26 @@ fn loopback_fleet_matches_batch_bit_for_bit() {
                                                    // The ack watermark never regresses, even while the poll thread is
                                                    // being fed garbage the commit worker will never see.
     assert!(w2 >= w1 && w3 >= w2, "commit watermark regressed: {w1} {w2} {w3}");
+
+    // Forged far-future seqs (which would pin the duplicate filter's
+    // high-water mark and evict every real seq) are dropped outright:
+    // no ack, no state change.
+    inject.set_read_timeout(Some(Duration::from_millis(300))).expect("short timeout");
+    for forged_seq in [1 << 33, u64::MAX] {
+        let forged = crafted_push(0, forged_seq, &groups[0]);
+        inject.send(&forged).expect("send forged seq");
+        let mut drop_buf = [0u8; 256];
+        let err = inject.recv(&mut drop_buf).expect_err("forged far-future seq must not be acked");
+        assert!(
+            matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "unexpected recv error: {err:?}"
+        );
+    }
+    inject.set_read_timeout(Some(Duration::from_secs(5))).expect("restore timeout");
+    // The gateway's dedup state survived: the stale datagram still
+    // registers as a duplicate.
+    let w4 = send_and_ack(&inject, &stale);
+    assert!(w4 >= w3, "commit watermark regressed after forged seqs: {w3} {w4}");
 
     // Counters over the ctrl endpoint, live.
     let ctrl = UdpSocket::bind("127.0.0.1:0").expect("ctrl socket");
